@@ -1,0 +1,109 @@
+// Ablation A1: cost of the paper's two per-request access-control checks
+// (session lookup + method ACL evaluation, both database operations,
+// uncached) and of the full server dispatch pipeline around them.
+#include <benchmark/benchmark.h>
+
+#include "core/acl.hpp"
+#include "core/session.hpp"
+#include "core/vo.hpp"
+#include "db/store.hpp"
+#include "rpc/registry.hpp"
+
+using namespace clarens;
+
+namespace {
+
+struct Fixture {
+  db::Store store;
+  core::VoManager vo{store, {"/O=bench/CN=Root"}};
+  core::AclManager acl{store, vo, false};
+  core::SessionManager sessions{store};
+  std::string session_id;
+  pki::DistinguishedName user =
+      pki::DistinguishedName::parse("/O=bench/OU=People/CN=User");
+
+  Fixture() {
+    core::AclSpec spec;
+    spec.allow_dns = {"*"};
+    acl.set_method_acl("system", spec);
+    session_id = sessions.create(user.str(), false).id;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+}  // namespace
+
+static void BM_SessionLookup(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sessions.lookup(f.session_id));
+  }
+}
+BENCHMARK(BM_SessionLookup);
+
+static void BM_MethodAclCheck(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.acl.check_method("system.list_methods", f.user));
+  }
+}
+BENCHMARK(BM_MethodAclCheck);
+
+// Both checks back to back: the per-request overhead of paper §4.
+static void BM_BothAccessChecks(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    core::Session session = f.sessions.lookup(f.session_id);
+    benchmark::DoNotOptimize(
+        f.acl.check_method("system.list_methods",
+                           pki::DistinguishedName::parse(session.identity)));
+  }
+}
+BENCHMARK(BM_BothAccessChecks);
+
+// ACL evaluation cost as the method-path depth grows (the walk is
+// lowest-level-first, so depth = number of DB lookups on a miss).
+static void BM_AclCheckByDepth(benchmark::State& state) {
+  Fixture& f = fixture();
+  int depth = static_cast<int>(state.range(0));
+  std::string method = "m0";
+  for (int i = 1; i < depth; ++i) method += ".m" + std::to_string(i);
+  core::AclSpec spec;
+  spec.allow_dns = {"*"};
+  f.acl.set_method_acl("m0", spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.acl.check_method(method, f.user));
+  }
+  f.acl.remove_method_acl("m0");
+}
+BENCHMARK(BM_AclCheckByDepth)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+// Registry dispatch of a trivial handler (the non-check remainder).
+static void BM_RegistryDispatch(benchmark::State& state) {
+  rpc::Registry registry;
+  registry.add("echo.echo",
+               [](const rpc::CallContext&, const std::vector<rpc::Value>& p) {
+                 return p.empty() ? rpc::Value() : p[0];
+               });
+  rpc::CallContext context;
+  std::vector<rpc::Value> params = {rpc::Value(42)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.dispatch("echo.echo", context, params));
+  }
+}
+BENCHMARK(BM_RegistryDispatch);
+
+// Session creation (login path, includes a DRBG token + journaling when
+// persistent; here in-memory as in the Figure-4 setup).
+static void BM_SessionCreate(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    core::Session session = f.sessions.create(f.user.str(), false);
+    f.sessions.destroy(session.id);
+  }
+}
+BENCHMARK(BM_SessionCreate);

@@ -1,0 +1,61 @@
+// Shared setup for the benchmark harnesses: a benchmark PKI (created
+// once per process) and a Clarens server configured exactly like the
+// paper's §4 test — method ACLs granting the system module to every
+// authenticated identity, two uncached DB access checks per request.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/server.hpp"
+#include "pki/authority.hpp"
+
+namespace clarens::bench {
+
+struct BenchPki {
+  pki::CertificateAuthority ca;
+  pki::Credential server;
+  pki::Credential user;
+  pki::TrustStore trust;
+
+  static const BenchPki& instance() {
+    static BenchPki* pki = [] {
+      auto* p = new BenchPki{
+          pki::CertificateAuthority::create(
+              pki::DistinguishedName::parse("/O=benchgrid.org/CN=Bench CA"),
+              512),
+          {}, {}, {}};
+      p->server = p->ca.issue_server(pki::DistinguishedName::parse(
+          "/O=benchgrid.org/OU=Services/CN=host/bench.example.org"));
+      p->user = p->ca.issue_user(pki::DistinguishedName::parse(
+          "/O=benchgrid.org/OU=People/CN=Bench Client"));
+      p->trust.add_authority(p->ca.certificate());
+      return p;
+    }();
+    return *pki;
+  }
+};
+
+inline core::AclSpec allow_anyone() {
+  core::AclSpec spec;
+  spec.allow_dns = {core::AclSpec::kAnyone};
+  return spec;
+}
+
+/// The paper's server setup: unencrypted by default, sessions + ACLs in
+/// the database, system/echo/file modules open to authenticated users.
+inline core::ClarensConfig paper_server_config(bool use_tls = false) {
+  const BenchPki& pki = BenchPki::instance();
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  config.use_tls = use_tls;
+  if (use_tls) config.credential = pki.server;
+  config.admins = {"/O=benchgrid.org/OU=People/CN=Bench Admin"};
+  config.initial_method_acls = {{"system", allow_anyone()},
+                                {"echo", allow_anyone()},
+                                {"file", allow_anyone()}};
+  return config;
+}
+
+}  // namespace clarens::bench

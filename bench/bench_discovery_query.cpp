@@ -1,0 +1,100 @@
+// Discovery ablation (paper §2.4): the JClarens discovery server
+// aggregates the JINI/station network into a local database and is
+// "consequently able to respond to service searches far more rapidly".
+//
+// This harness builds a station network with S stations and R records
+// each, then compares:
+//   * fast path: find_services() against the local aggregated DB;
+//   * slow path: query_stations() — one UDP round-trip per station.
+//
+// Usage: bench_discovery_query [--stations N] [--records N] [--queries N]
+#include <cstring>
+#include <memory>
+
+#include "db/store.hpp"
+#include "discovery/discovery_server.hpp"
+#include "discovery/publisher.hpp"
+#include "discovery/station.hpp"
+#include "util/clock.hpp"
+
+using namespace clarens;
+
+int main(int argc, char** argv) {
+  std::size_t n_stations = 8;
+  std::size_t n_records = 50;
+  int n_queries = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--stations") && i + 1 < argc) {
+      n_stations = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+    if (!std::strcmp(argv[i], "--records") && i + 1 < argc) {
+      n_records = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+    if (!std::strcmp(argv[i], "--queries") && i + 1 < argc) {
+      n_queries = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("# Discovery query latency: aggregated local DB vs walking "
+              "station servers (paper §2.4)\n");
+  std::printf("# %zu stations x %zu records, %d queries each way\n",
+              n_stations, n_records, n_queries);
+
+  std::vector<std::unique_ptr<discovery::StationServer>> stations;
+  std::vector<std::unique_ptr<discovery::Publisher>> publishers;
+  db::Store store;
+  discovery::DiscoveryServer discovery(store, /*record_ttl=*/3600);
+
+  const char* services[] = {"file", "shell", "vo", "acl", "proxy"};
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    stations.push_back(std::make_unique<discovery::StationServer>());
+    discovery.subscribe("127.0.0.1", stations.back()->port());
+    auto publisher = std::make_unique<discovery::Publisher>(
+        "127.0.0.1", stations.back()->port());
+    std::vector<discovery::ServiceRecord> records;
+    for (std::size_t r = 0; r < n_records; ++r) {
+      discovery::ServiceRecord record;
+      record.farm = "farm" + std::to_string(s);
+      record.node = "node" + std::to_string(r);
+      record.service = services[r % 5];
+      record.url = "http://node" + std::to_string(r) + ":8080/";
+      record.protocol = "xmlrpc";
+      record.version = "1.0";
+      records.push_back(std::move(record));
+    }
+    publisher->set_records(std::move(records));
+    publisher->publish_once();
+    publishers.push_back(std::move(publisher));
+  }
+
+  // Wait for aggregation to complete.
+  std::size_t expected = n_stations * n_records;
+  for (int i = 0; i < 500 && discovery.record_count() < expected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::printf("# aggregated %zu/%zu records\n", discovery.record_count(),
+              expected);
+
+  util::Stopwatch fast_timer;
+  std::size_t fast_hits = 0;
+  for (int q = 0; q < n_queries; ++q) {
+    fast_hits += discovery.find_services(services[q % 5]).size();
+  }
+  double fast_ms = fast_timer.seconds() * 1000 / n_queries;
+
+  util::Stopwatch slow_timer;
+  std::size_t slow_hits = 0;
+  for (int q = 0; q < n_queries; ++q) {
+    slow_hits += discovery.query_stations(services[q % 5]).size();
+  }
+  double slow_ms = slow_timer.seconds() * 1000 / n_queries;
+
+  std::printf("%-28s %-14s %-12s\n", "path", "ms/query", "hits/query");
+  std::printf("%-28s %-14.3f %-12.1f\n", "local DB (aggregated)", fast_ms,
+              static_cast<double>(fast_hits) / n_queries);
+  std::printf("%-28s %-14.3f %-12.1f\n", "station walk (per-query)", slow_ms,
+              static_cast<double>(slow_hits) / n_queries);
+  std::printf("# local DB speedup: %.1fx (grows with station count)\n",
+              slow_ms / fast_ms);
+  return 0;
+}

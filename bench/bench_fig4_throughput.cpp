@@ -1,0 +1,127 @@
+// Figure 4 reproduction: Clarens server throughput vs number of
+// asynchronous clients.
+//
+// Paper setup (§4): a configurable number of unencrypted client
+// connections call system.list_methods as rapidly as possible from a
+// single client process completing requests asynchronously. Each batch
+// is 1000 calls; every request passes two access-control checks against
+// the database (session validity + method ACL), with no caching, and
+// serializes the >30-method name array as an XML-RPC response. The paper
+// sweeps 1..79 async clients, repeats each point 2000 times (316 million
+// calls total) and reports ~1450 requests/second on 2005 hardware.
+//
+// This harness reproduces the sweep and the expected *shape*: throughput
+// ramps with the first few concurrent connections, then plateaus once
+// the server saturates — absolute numbers reflect today's hardware, not
+// the dual-Xeon testbed.
+//
+// Usage: bench_fig4_throughput [--full] [--batches N] [--calls N]
+//                               [--persistent]
+//   --full        sweep every client count 1..79 (default: subset)
+//   --batches     batches of calls per point         (default 3)
+//   --calls       calls per batch                    (default 1000)
+//   --persistent  journal sessions/ACLs to disk like the paper's
+//                 database-backed deployment (default: in-memory store)
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "client/async_client.hpp"
+#include "client/client.hpp"
+
+using namespace clarens;
+
+int main(int argc, char** argv) {
+  bool full = false;
+  bool persistent = false;
+  int batches = 3;
+  std::uint64_t calls_per_batch = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--full")) full = true;
+    if (!std::strcmp(argv[i], "--persistent")) persistent = true;
+    if (!std::strcmp(argv[i], "--batches") && i + 1 < argc) {
+      batches = std::atoi(argv[++i]);
+    }
+    if (!std::strcmp(argv[i], "--calls") && i + 1 < argc) {
+      calls_per_batch = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  const bench::BenchPki& pki = bench::BenchPki::instance();
+  core::ClarensConfig config = bench::paper_server_config();
+  std::string data_dir;
+  if (persistent) {
+    data_dir = "/tmp/clarens_fig4_state";
+    std::filesystem::remove_all(data_dir);
+    config.data_dir = data_dir;
+  }
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  // Authenticate once; the measured window (as in the paper) covers only
+  // the list_methods calls against an established session.
+  client::ClientOptions options;
+  options.port = server.port();
+  options.credential = pki.user;
+  options.trust = &pki.trust;
+  client::ClarensClient login(options);
+  login.connect();
+  std::string session = login.authenticate();
+
+  std::size_t n_methods =
+      login.call("system.list_methods").as_array().size();
+  std::printf("# Figure 4: Clarens performance (throughput vs #async clients)\n");
+  std::printf("# method=system.list_methods (%zu methods serialized per response)\n",
+              n_methods);
+  std::printf("# checks per request: session lookup + method ACL (both DB, %s)\n",
+              persistent ? "journaled to disk" : "in-memory store");
+  std::printf("# calls per batch: %llu, batches per point: %d\n",
+              static_cast<unsigned long long>(calls_per_batch), batches);
+  std::printf("%-8s %-14s %-14s %-10s\n", "clients", "calls/sec", "ms/batch",
+              "faults");
+
+  std::vector<std::size_t> sweep;
+  if (full) {
+    for (std::size_t n = 1; n <= 79; ++n) sweep.push_back(n);
+  } else {
+    sweep = {1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 79};
+  }
+
+  std::vector<double> rates;
+  for (std::size_t clients : sweep) {
+    client::AsyncCallDriver driver("127.0.0.1", server.port(), session,
+                                   "system.list_methods", {});
+    double total_calls = 0, total_seconds = 0;
+    std::uint64_t faults = 0;
+    for (int batch = 0; batch < batches; ++batch) {
+      auto result = driver.run(clients, calls_per_batch * clients);
+      total_calls += static_cast<double>(result.calls_completed);
+      total_seconds += result.elapsed_seconds;
+      faults += result.faults;
+    }
+    double rate = total_calls / total_seconds;
+    rates.push_back(rate);
+    std::printf("%-8zu %-14.0f %-14.2f %-10llu\n", clients, rate,
+                1000.0 * total_seconds / batches,
+                static_cast<unsigned long long>(faults));
+    std::fflush(stdout);
+  }
+
+  double mean = std::accumulate(rates.begin(), rates.end(), 0.0) /
+                static_cast<double>(rates.size());
+  // The paper reports the average over the sweep ("an average of 1450
+  // requests per second served"); the plateau mean is the comparable
+  // statistic on modern hardware.
+  std::printf("# average over sweep: %.0f calls/sec (paper: ~1450 on 2005 "
+              "dual-Xeon)\n", mean);
+  double ramp = rates.front();
+  double plateau = *std::max_element(rates.begin(), rates.end());
+  std::printf("# shape: 1-client rate %.0f -> peak %.0f (x%.2f ramp)\n", ramp,
+              plateau, plateau / ramp);
+  server.stop();
+  if (!data_dir.empty()) std::filesystem::remove_all(data_dir);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation A2: wire-protocol cost. Clarens exposes XML-RPC, SOAP and
+// JSON-RPC on the same endpoint (§2); this measures serialize + parse
+// for each on the Figure-4 response payload (an array of >30 method-name
+// strings) and on a struct-heavy file.ls-style payload.
+#include <benchmark/benchmark.h>
+
+#include "rpc/jsonrpc.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/soap.hpp"
+#include "rpc/xmlrpc.hpp"
+
+using namespace clarens;
+
+namespace {
+
+// The system.list_methods response of a fully loaded server.
+rpc::Response list_methods_response() {
+  rpc::Value names = rpc::Value::array();
+  const char* modules[] = {"system", "file", "vo", "acl", "shell", "proxy"};
+  const char* methods[] = {"alpha", "beta", "gamma", "delta", "epsilon", "zeta"};
+  for (const char* m : modules) {
+    for (const char* f : methods) {
+      names.push(std::string(m) + "." + f);
+    }
+  }
+  return rpc::Response::success(names);
+}
+
+// A file.ls response: array of stat structs.
+rpc::Response file_ls_response() {
+  rpc::Value listing = rpc::Value::array();
+  for (int i = 0; i < 50; ++i) {
+    rpc::Value st = rpc::Value::struct_();
+    st.set("name", "events-" + std::to_string(i) + ".dat");
+    st.set("is_directory", false);
+    st.set("size", std::int64_t{1} << 28);
+    st.set("mtime", rpc::DateTime{1120000000 + i});
+    listing.push(st);
+  }
+  return rpc::Response::success(listing);
+}
+
+rpc::Request list_methods_request() {
+  rpc::Request request;
+  request.method = "system.list_methods";
+  return request;
+}
+
+}  // namespace
+
+static void BM_SerializeResponse(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  rpc::Response response = list_methods_response();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string wire = rpc::serialize_response(protocol, response);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetLabel(std::string(rpc::to_string(protocol)) + " " +
+                 std::to_string(bytes) + "B");
+}
+BENCHMARK(BM_SerializeResponse)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+static void BM_ParseResponse(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  std::string wire = rpc::serialize_response(protocol, list_methods_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpc::parse_response(protocol, wire));
+  }
+  state.SetLabel(rpc::to_string(protocol));
+}
+BENCHMARK(BM_ParseResponse)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+static void BM_SerializeStructHeavy(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  rpc::Response response = file_ls_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpc::serialize_response(protocol, response));
+  }
+  state.SetLabel(rpc::to_string(protocol));
+}
+BENCHMARK(BM_SerializeStructHeavy)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+static void BM_ParseStructHeavy(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  std::string wire = rpc::serialize_response(protocol, file_ls_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpc::parse_response(protocol, wire));
+  }
+  state.SetLabel(rpc::to_string(protocol));
+}
+BENCHMARK(BM_ParseStructHeavy)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+static void BM_RequestRoundTrip(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  rpc::Request request = list_methods_request();
+  for (auto _ : state) {
+    std::string wire = rpc::serialize_request(protocol, request);
+    benchmark::DoNotOptimize(rpc::parse_request(protocol, wire));
+  }
+  state.SetLabel(rpc::to_string(protocol));
+}
+BENCHMARK(BM_RequestRoundTrip)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Binary payload cost: base64 dominates XML/JSON transports for
+// file.read responses.
+static void BM_BinaryPayload(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  std::vector<std::uint8_t> blob(64 * 1024);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  rpc::Response response = rpc::Response::success(rpc::Value(blob));
+  for (auto _ : state) {
+    std::string wire = rpc::serialize_response(protocol, response);
+    benchmark::DoNotOptimize(rpc::parse_response(protocol, wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+  state.SetLabel(rpc::to_string(protocol));
+}
+BENCHMARK(BM_BinaryPayload)->Arg(0)->Arg(1)->Arg(2)->Arg(3);

@@ -1,0 +1,107 @@
+// Ablation A5: session persistence. Clarens stores sessions in the
+// server-side database so clients survive restarts (§2, Architecture).
+// This measures the cost of that choice: in-memory vs journaled stores
+// for session create/lookup, journal replay (restart) latency, and
+// lookup under a large live-session population.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/session.hpp"
+#include "crypto/random.hpp"
+#include "db/store.hpp"
+
+using namespace clarens;
+
+namespace {
+
+std::string fresh_dir() {
+  std::string dir = "/tmp/clarens_bench_sessions_" + crypto::random_token(6);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+static void BM_CreateInMemory(benchmark::State& state) {
+  db::Store store;
+  core::SessionManager sessions(store);
+  for (auto _ : state) {
+    core::Session s = sessions.create("/O=bench/CN=User", false);
+    sessions.destroy(s.id);
+  }
+}
+BENCHMARK(BM_CreateInMemory);
+
+static void BM_CreateJournaled(benchmark::State& state) {
+  std::string dir = fresh_dir();
+  {
+    db::Store store(dir);
+    core::SessionManager sessions(store);
+    for (auto _ : state) {
+      core::Session s = sessions.create("/O=bench/CN=User", false);
+      sessions.destroy(s.id);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CreateJournaled);
+
+static void BM_LookupAmongN(benchmark::State& state) {
+  db::Store store;
+  core::SessionManager sessions(store);
+  int n = static_cast<int>(state.range(0));
+  std::string target;
+  for (int i = 0; i < n; ++i) {
+    target = sessions.create("/O=bench/CN=User" + std::to_string(i), false).id;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sessions.lookup(target));
+  }
+}
+BENCHMARK(BM_LookupAmongN)->Arg(10)->Arg(1000)->Arg(100000);
+
+// Restart cost: reopening the store replays the journal; this is the
+// price of "clients survive server restarts without re-authenticating".
+static void BM_RestartReplay(benchmark::State& state) {
+  std::string dir = fresh_dir();
+  int n = static_cast<int>(state.range(0));
+  std::string survivor;
+  {
+    db::Store store(dir);
+    core::SessionManager sessions(store);
+    for (int i = 0; i < n; ++i) {
+      survivor = sessions.create("/O=bench/CN=User" + std::to_string(i), false).id;
+    }
+  }
+  for (auto _ : state) {
+    db::Store store(dir);  // replay
+    core::SessionManager sessions(store);
+    benchmark::DoNotOptimize(sessions.lookup(survivor));
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RestartReplay)->Arg(100)->Arg(10000);
+
+// Compaction keeps replay bounded as sessions churn.
+static void BM_RestartAfterCompaction(benchmark::State& state) {
+  std::string dir = fresh_dir();
+  std::string survivor;
+  {
+    db::Store store(dir);
+    core::SessionManager sessions(store);
+    for (int i = 0; i < 10000; ++i) {
+      core::Session s = sessions.create("/O=bench/CN=Churn", false);
+      sessions.destroy(s.id);
+    }
+    survivor = sessions.create("/O=bench/CN=Keeper", false).id;
+    store.compact();
+  }
+  for (auto _ : state) {
+    db::Store store(dir);
+    core::SessionManager sessions(store);
+    benchmark::DoNotOptimize(sessions.lookup(survivor));
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RestartAfterCompaction);

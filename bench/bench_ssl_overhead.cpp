@@ -1,0 +1,72 @@
+// SSL/TLS overhead (§4): "Informal tests show [SSL/TLS-encrypted
+// connections] to reduce performance by up to 50%."
+//
+// This harness runs the same system.list_methods workload over a
+// plaintext connection and over the TLS-like channel (same server code,
+// encryption applied transparently by the transport exactly as the
+// paper's Apache does), and reports the throughput ratio. The handshake
+// happens once per connection; the steady-state cost is the per-record
+// ChaCha20 + HMAC work.
+//
+// Usage: bench_ssl_overhead [--calls N] [--connections N]
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "client/client.hpp"
+#include "util/clock.hpp"
+
+using namespace clarens;
+
+namespace {
+
+double measure_calls_per_second(core::ClarensServer& server, bool use_tls,
+                                std::uint64_t calls) {
+  const bench::BenchPki& pki = bench::BenchPki::instance();
+  client::ClientOptions options;
+  options.port = server.port();
+  options.credential = pki.user;
+  options.trust = &pki.trust;
+  options.use_tls = use_tls;
+  client::ClarensClient client(options);
+  client.connect();
+  client.authenticate();
+  // Warm-up outside the timed window.
+  for (int i = 0; i < 20; ++i) client.call("system.list_methods");
+  util::Stopwatch timer;
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    client.call("system.list_methods");
+  }
+  return static_cast<double>(calls) / timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t calls = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--calls") && i + 1 < argc) {
+      calls = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  std::printf("# SSL/TLS overhead (paper §4: encryption costs up to 50%%)\n");
+  std::printf("# method=system.list_methods, sequential calls on one "
+              "keep-alive connection\n");
+
+  core::ClarensServer plain_server(bench::paper_server_config(false));
+  plain_server.start();
+  double plain = measure_calls_per_second(plain_server, false, calls);
+  plain_server.stop();
+
+  core::ClarensServer tls_server(bench::paper_server_config(true));
+  tls_server.start();
+  double encrypted = measure_calls_per_second(tls_server, true, calls);
+  tls_server.stop();
+
+  std::printf("%-14s %-14s\n", "transport", "calls/sec");
+  std::printf("%-14s %-14.0f\n", "plaintext", plain);
+  std::printf("%-14s %-14.0f\n", "tls", encrypted);
+  std::printf("# encrypted/plaintext ratio: %.2f (paper: >= 0.5, i.e. up to "
+              "50%% reduction)\n", encrypted / plain);
+  return 0;
+}

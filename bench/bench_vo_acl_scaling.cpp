@@ -1,0 +1,109 @@
+// Ablation A4: VO membership and ACL evaluation scaling.
+//
+// The paper's VO design (§2.1) banks on two shortcuts: DN-prefix member
+// entries ("only the initial significant part of the DN need be
+// specified") and downward-inherited membership. This measures how
+// is_member behaves as group trees deepen and member lists grow, and how
+// ACL group resolution compounds on top.
+#include <benchmark/benchmark.h>
+
+#include "core/acl.hpp"
+#include "core/vo.hpp"
+#include "db/store.hpp"
+
+using namespace clarens;
+
+namespace {
+
+const char* kRoot = "/O=bench/CN=Root";
+
+pki::DistinguishedName root() { return pki::DistinguishedName::parse(kRoot); }
+
+pki::DistinguishedName user(int i) {
+  return pki::DistinguishedName::parse("/O=bench/OU=People/CN=User " +
+                                       std::to_string(i));
+}
+
+}  // namespace
+
+// Membership via one DN-prefix entry vs an explicit list of N DNs.
+static void BM_MembershipExplicitList(benchmark::State& state) {
+  db::Store store;
+  core::VoManager vo(store, {kRoot});
+  vo.create_group("g", root());
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    vo.add_member("g", user(i).str(), root());
+  }
+  pki::DistinguishedName last = user(n - 1);  // worst case: last entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vo.is_member("g", last));
+  }
+}
+BENCHMARK(BM_MembershipExplicitList)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+static void BM_MembershipDnPrefix(benchmark::State& state) {
+  db::Store store;
+  core::VoManager vo(store, {kRoot});
+  vo.create_group("g", root());
+  // One prefix entry covers every user (the paper's optimization).
+  vo.add_member("g", "/O=bench/OU=People", root());
+  pki::DistinguishedName someone = user(999);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vo.is_member("g", someone));
+  }
+}
+BENCHMARK(BM_MembershipDnPrefix);
+
+// Inherited membership: member of the top group, queried at depth D.
+static void BM_MembershipInheritedDepth(benchmark::State& state) {
+  db::Store store;
+  core::VoManager vo(store, {kRoot});
+  int depth = static_cast<int>(state.range(0));
+  std::string name = "g";
+  vo.create_group(name, root());
+  vo.add_member(name, user(0).str(), root());
+  for (int d = 1; d < depth; ++d) {
+    name += ".s";
+    vo.create_group(name, root());
+  }
+  pki::DistinguishedName member = user(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vo.is_member(name, member));
+  }
+}
+BENCHMARK(BM_MembershipInheritedDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ACL check resolving membership through groups of growing size.
+static void BM_AclCheckViaGroup(benchmark::State& state) {
+  db::Store store;
+  core::VoManager vo(store, {kRoot});
+  core::AclManager acl(store, vo, false);
+  vo.create_group("physicists", root());
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    vo.add_member("physicists", user(i).str(), root());
+  }
+  core::AclSpec spec;
+  spec.allow_groups = {"physicists"};
+  acl.set_method_acl("analysis", spec);
+  pki::DistinguishedName member = user(n - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acl.check_method("analysis.run", member));
+  }
+}
+BENCHMARK(BM_AclCheckViaGroup)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+// Group tree enumeration as the tree widens (admin UI path).
+static void BM_ListGroups(benchmark::State& state) {
+  db::Store store;
+  core::VoManager vo(store, {kRoot});
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    vo.create_group("g" + std::to_string(i), root());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vo.list_groups());
+  }
+}
+BENCHMARK(BM_ListGroups)->Arg(10)->Arg(100)->Arg(1000);

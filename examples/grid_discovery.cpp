@@ -1,0 +1,129 @@
+// Grid-wide service discovery — the Figure-3 architecture end to end.
+//
+// Three Clarens servers at two "farms" publish their service information
+// over UDP to station servers (the MonALISA analogue). A discovery
+// server subscribes to both stations, aggregates everything into its
+// local database, and a client then makes a *location-independent* call:
+// it asks discovery where the "echo" service lives, binds to the
+// returned URL at run time, and invokes it.
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "db/store.hpp"
+#include "discovery/discovery_server.hpp"
+#include "discovery/station.hpp"
+#include "pki/authority.hpp"
+
+using namespace clarens;
+
+int main() {
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=grid.org/CN=Grid CA"));
+  pki::Credential user = ca.issue_user(
+      pki::DistinguishedName::parse("/O=grid.org/OU=People/CN=Grid User"));
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate());
+
+  // --- station servers (MonALISA network) -------------------------------
+  discovery::StationServer station_west;
+  discovery::StationServer station_east;
+  std::printf("station servers on udp:%u and udp:%u\n", station_west.port(),
+              station_east.port());
+
+  // --- discovery server aggregating both stations ----------------------
+  db::Store discovery_db;
+  discovery::DiscoveryServer finder(discovery_db);
+  finder.subscribe("127.0.0.1", station_west.port());
+  finder.subscribe("127.0.0.1", station_east.port());
+
+  // --- three Clarens servers publishing to their local station ---------
+  auto make_server = [&](const std::string& farm, const std::string& node,
+                         std::uint16_t station_port) {
+    core::ClarensConfig config;
+    config.trust = trust;
+    core::AclSpec anyone;
+    anyone.allow_dns = {core::AclSpec::kAnyone};
+    config.initial_method_acls = {{"system", anyone}, {"echo", anyone},
+                                  {"discovery", anyone}};
+    config.farm = farm;
+    config.node = node;
+    config.station = {{"127.0.0.1", station_port}};
+    config.publish_interval_ms = 200;
+    auto server = std::make_unique<core::ClarensServer>(std::move(config));
+    server->start();
+    return server;
+  };
+  auto caltech1 = make_server("caltech-tier2", "clarens01", station_west.port());
+  auto caltech2 = make_server("caltech-tier2", "clarens02", station_west.port());
+  auto cern1 = make_server("cern-tier0", "lxclarens01", station_east.port());
+  // One server also answers discovery.* RPCs, backed by the aggregator.
+  caltech1->attach_discovery(finder);
+
+  std::printf("servers: %s, %s, %s\n", caltech1->url().c_str(),
+              caltech2->url().c_str(), cern1->url().c_str());
+
+  // Wait for publishes to propagate (station -> discovery ingestion).
+  std::size_t want = 3 * 7;  // 3 nodes x ~7 modules each
+  for (int i = 0; i < 200 && finder.record_count() < want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  std::printf("discovery aggregated %zu service records\n",
+              finder.record_count());
+
+  // --- a client uses discovery to bind at run time ---------------------
+  client::ClientOptions options;
+  options.port = caltech1->port();
+  options.credential = user;
+  options.trust = &trust;
+  client::ClarensClient client(options);
+  client.connect();
+  client.authenticate();
+
+  std::printf("\nservers known to discovery:\n");
+  rpc::Value servers = client.call("discovery.find_servers");
+  for (const auto& url : servers.as_array()) {
+    std::printf("    %s\n", url.as_string().c_str());
+  }
+
+  std::printf("\nservices matching 'file':\n");
+  rpc::Value records = client.call("discovery.find_services",
+                                   {rpc::Value("file")});
+  for (const auto& record : records.as_array()) {
+    std::printf("    %s/%s -> %s\n", record.at("farm").as_string().c_str(),
+                record.at("node").as_string().c_str(),
+                record.at("url").as_string().c_str());
+  }
+
+  // Location-independent call: resolve "echo", then invoke at the
+  // returned endpoint (paper: "binding to a location can occur in real
+  // time").
+  std::string url = client.call("discovery.locate", {rpc::Value("echo")})
+                        .as_string();
+  std::printf("\n'echo' service resolved to %s\n", url.c_str());
+  std::size_t colon = url.rfind(':');
+  std::size_t slash = url.find('/', colon);
+  auto port = static_cast<std::uint16_t>(
+      std::stoi(url.substr(colon + 1, slash - colon - 1)));
+  client::ClientOptions bound_options = options;
+  bound_options.port = port;
+  client::ClarensClient bound(bound_options);
+  bound.connect();
+  bound.authenticate();
+  rpc::Value reply = bound.call("echo.echo", {rpc::Value("routed via discovery")});
+  std::printf("call through discovered endpoint: %s\n",
+              reply.as_string().c_str());
+
+  // Servers that vanish stop being offered once their records expire
+  // (TTL-based liveness) — here we just show the slow-path agreement.
+  auto walked = finder.query_stations("echo");
+  std::printf("\nstation walk (slow path) sees %zu echo records; local DB "
+              "sees %zu\n", walked.size(), finder.find_services("echo").size());
+
+  caltech1->stop();
+  caltech2->stop();
+  cern1->stop();
+  return 0;
+}

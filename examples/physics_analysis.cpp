@@ -1,0 +1,126 @@
+// Physics analysis workflow — the paper's motivating scenario.
+//
+// A site serves CMS-style detector event files under a virtual root.
+// Read access is restricted to the "cms.analysis" VO group. A physicist
+//  1. discovers which runs exist (file.ls / file.find),
+//  2. checks integrity of a dataset (file.md5),
+//  3. fetches an event range for local analysis (file.read with offset),
+//  4. streams a whole file over HTTP GET (the sendfile fast path),
+// while an outsider's access is refused by the file ACL.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "client/client.hpp"
+#include "rpc/fault.hpp"
+#include "core/server.hpp"
+#include "crypto/md5.hpp"
+#include "pki/authority.hpp"
+
+using namespace clarens;
+
+int main() {
+  // --- site setup -------------------------------------------------------
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=cmsgrid.org/CN=CMS CA"));
+  pki::Credential physicist = ca.issue_user(pki::DistinguishedName::parse(
+      "/O=cmsgrid.org/OU=People/CN=Pat Physicist"));
+  pki::Credential outsider = ca.issue_user(pki::DistinguishedName::parse(
+      "/O=othervo.net/OU=People/CN=Oscar Outsider"));
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate());
+
+  // Synthetic event data: two runs of fixed-width "events".
+  std::string site_dir = "/tmp/clarens_example_physics";
+  std::filesystem::create_directories(site_dir + "/run2005A");
+  std::filesystem::create_directories(site_dir + "/run2005B");
+  auto write_events = [&](const std::string& rel, int count) {
+    std::ofstream out(site_dir + "/" + rel, std::ios::binary);
+    for (int i = 0; i < count; ++i) {
+      char event[32];
+      std::snprintf(event, sizeof(event), "EVT%08d:px=%+05d;py=%+05d\n", i,
+                    (i * 37) % 1000 - 500, (i * 91) % 1000 - 500);
+      out << event;
+    }
+  };
+  write_events("run2005A/muons.evt", 5000);
+  write_events("run2005A/electrons.evt", 3000);
+  write_events("run2005B/muons.evt", 7000);
+
+  core::ClarensConfig config;
+  config.trust = trust;
+  config.admins = {"/O=cmsgrid.org/OU=People/CN=Site Admin"};
+  config.file_roots = {{"/store", site_dir}};
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"file", anyone}};
+  // File ACL: only the cms.analysis group (seeded below) may read.
+  core::AclSpec cms_only;
+  cms_only.allow_groups = {"cms.analysis"};
+  core::FileAcl store_acl;
+  store_acl.read = cms_only;
+  store_acl.write = cms_only;
+  config.initial_file_acls = {{"/store", store_acl}};
+  core::ClarensServer server(std::move(config));
+
+  // VO: every /O=cmsgrid.org person is in cms.analysis via a DN prefix.
+  auto admin = pki::DistinguishedName::parse(
+      "/O=cmsgrid.org/OU=People/CN=Site Admin");
+  server.vo().create_group("cms", admin);
+  server.vo().create_group("cms.analysis", admin);
+  server.vo().add_member("cms.analysis", "/O=cmsgrid.org/OU=People", admin);
+
+  server.start();
+  std::printf("site serving /store at %s\n", server.url().c_str());
+
+  // --- the physicist's session ------------------------------------------
+  client::ClientOptions options;
+  options.port = server.port();
+  options.credential = physicist;
+  options.trust = &trust;
+  client::ClarensClient analysis(options);
+  analysis.connect();
+  analysis.authenticate();
+
+  std::printf("\n[1] discover runs:\n");
+  for (const auto& name : analysis.file_ls_names("/store")) {
+    std::printf("    /store/%s\n", name.c_str());
+  }
+  rpc::Value muon_files =
+      analysis.call("file.find", {rpc::Value("/store"), rpc::Value("muons")});
+  std::printf("    %zu muon datasets found\n", muon_files.as_array().size());
+
+  std::printf("\n[2] integrity check:\n");
+  std::string server_md5 = analysis.file_md5("/store/run2005A/muons.evt");
+  std::printf("    server md5: %s\n", server_md5.c_str());
+
+  std::printf("\n[3] fetch events 100-104 (offset reads):\n");
+  auto range = analysis.file_read("/store/run2005A/muons.evt", 100 * 28, 5 * 28);
+  std::printf("%s", std::string(range.begin(), range.end()).c_str());
+
+  std::printf("\n[4] bulk download over HTTP GET (sendfile path):\n");
+  http::Response download = analysis.get("/store/run2005A/muons.evt");
+  std::string local_md5 = crypto::Md5::hex(download.body);
+  std::printf("    %zu bytes, local md5 %s -> %s\n", download.body.size(),
+              local_md5.c_str(),
+              local_md5 == server_md5 ? "verified" : "MISMATCH");
+
+  // --- the outsider is stopped by the ACL ------------------------------
+  client::ClientOptions outsider_options = options;
+  outsider_options.credential = outsider;
+  client::ClarensClient blocked(outsider_options);
+  blocked.connect();
+  blocked.authenticate();
+  std::printf("\n[5] outsider (%s):\n",
+              outsider.certificate.subject().get("CN").c_str());
+  try {
+    blocked.file_read("/store/run2005A/muons.evt", 0, 28);
+    std::printf("    unexpectedly allowed!\n");
+  } catch (const rpc::Fault& fault) {
+    std::printf("    denied as expected: %s\n", fault.what());
+  }
+
+  server.stop();
+  std::filesystem::remove_all(site_dir);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Proxy certificates and delegation (§2.6), over TLS:
+//  1. Alice creates a short-lived proxy from her long-term credential
+//     and stores it on the server under a password;
+//  2. later she logs in from anywhere with just DN + password
+//     (proxy.logon) — no long-term key needed;
+//  3. a batch job she delegated to retrieves the proxy and authenticates
+//     *as Alice* over mutual TLS with the proxy chain;
+//  4. a browser-style session (CA cert, no proxy) attaches the stored
+//     proxy to gain delegation and renew itself.
+#include <cstdio>
+
+#include "client/client.hpp"
+#include "rpc/fault.hpp"
+#include "core/server.hpp"
+#include "pki/authority.hpp"
+
+using namespace clarens;
+
+int main() {
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=grid.org/CN=Grid CA"));
+  pki::Credential server_cred = ca.issue_server(
+      pki::DistinguishedName::parse("/O=grid.org/OU=Services/CN=host/gw.grid.org"));
+  pki::Credential alice = ca.issue_user(
+      pki::DistinguishedName::parse("/O=grid.org/OU=People/CN=Alice Analyst"));
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate());
+
+  core::ClarensConfig config;
+  config.trust = trust;
+  config.use_tls = true;
+  config.credential = server_cred;
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"proxy", anyone}};
+  core::ClarensServer server(std::move(config));
+  server.start();
+  std::printf("TLS server at %s\n", server.url().c_str());
+
+  std::printf("\n[1] Alice issues a 12-hour proxy and stores it:\n");
+  pki::Credential proxy = pki::issue_proxy(alice, 12 * 3600);
+  std::printf("    proxy subject: %s\n",
+              proxy.certificate.subject().str().c_str());
+  {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.use_tls = true;
+    options.credential = alice;
+    options.trust = &trust;
+    client::ClarensClient session(options);
+    session.connect();
+    session.authenticate();
+    session.call("proxy.store",
+                 {rpc::Value(proxy.encode()),
+                  rpc::Value(alice.certificate.encode()),
+                  rpc::Value("correct horse battery")});
+    std::printf("    stored under password protection\n");
+  }
+
+  std::printf("\n[2] proxy.logon: DN + password only (no private key):\n");
+  {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.use_tls = true;  // anonymous TLS client
+    options.trust = &trust;
+    client::ClarensClient anywhere(options);
+    anywhere.connect();
+    anywhere.proxy_logon(alice.dn().str(), "correct horse battery");
+    rpc::Value who = anywhere.call("system.whoami");
+    std::printf("    logged in as %s (via_proxy=%s)\n",
+                who.at("dn").as_string().c_str(),
+                who.at("via_proxy").as_bool() ? "true" : "false");
+  }
+
+  std::printf("\n[3] a delegated job authenticates with the proxy chain:\n");
+  {
+    // The job retrieved the proxy (it knows the password Alice gave it).
+    client::ClientOptions fetch_options;
+    fetch_options.port = server.port();
+    fetch_options.use_tls = true;
+    fetch_options.trust = &trust;
+    client::ClarensClient fetcher(fetch_options);
+    fetcher.connect();
+    fetcher.proxy_logon(alice.dn().str(), "correct horse battery");
+    rpc::Value stored = fetcher.call(
+        "proxy.retrieve",
+        {rpc::Value(alice.dn().str()), rpc::Value("correct horse battery")});
+    pki::Credential job_proxy =
+        pki::Credential::decode(stored.at("proxy").as_string());
+    pki::Certificate user_cert =
+        pki::Certificate::decode(stored.at("user_cert").as_string());
+
+    // Mutual TLS with [proxy, user-cert]: the server sees *Alice*.
+    client::ClientOptions job_options;
+    job_options.port = server.port();
+    job_options.use_tls = true;
+    job_options.credential = job_proxy;
+    job_options.chain = {user_cert};
+    job_options.trust = &trust;
+    client::ClarensClient job(job_options);
+    job.connect();
+    job.authenticate();
+    rpc::Value who = job.call("system.whoami");
+    std::printf("    job runs as %s (delegation)\n",
+                who.at("dn").as_string().c_str());
+  }
+
+  std::printf("\n[4] attach the proxy to an existing (non-proxy) session:\n");
+  {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.use_tls = true;
+    options.credential = alice;  // CA-issued cert, like a browser
+    options.trust = &trust;
+    client::ClarensClient browser(options);
+    browser.connect();
+    browser.authenticate();
+    rpc::Value before = browser.call("system.whoami");
+    browser.call("proxy.attach", {rpc::Value(alice.dn().str()),
+                                  rpc::Value("correct horse battery")});
+    rpc::Value after = browser.call("system.whoami");
+    std::printf("    via_proxy before=%s after=%s (session renewed to proxy "
+                "lifetime)\n",
+                before.at("via_proxy").as_bool() ? "true" : "false",
+                after.at("via_proxy").as_bool() ? "true" : "false");
+  }
+
+  std::printf("\n[5] a wrong password is useless:\n");
+  {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.use_tls = true;
+    options.trust = &trust;
+    client::ClarensClient thief(options);
+    thief.connect();
+    try {
+      thief.proxy_logon(alice.dn().str(), "guess");
+    } catch (const rpc::Fault& fault) {
+      std::printf("    %s\n", fault.what());
+    }
+  }
+
+  server.stop();
+  return 0;
+}

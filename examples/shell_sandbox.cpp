@@ -1,0 +1,115 @@
+// Shell service walkthrough (§2.5): DN -> system-user mapping via the
+// .clarens_user_map format, sandboxed execution, and the interplay with
+// the file service — upload inputs with file.write, process them with
+// shell commands, fetch results with file.read.
+#include <cstdio>
+#include <filesystem>
+
+#include "client/client.hpp"
+#include "rpc/fault.hpp"
+#include "util/strings.hpp"
+#include "core/server.hpp"
+#include "pki/authority.hpp"
+
+using namespace clarens;
+
+int main() {
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=grid.org/CN=Grid CA"));
+  pki::Credential joe = ca.issue_user(pki::DistinguishedName::parse(
+      "/DC=org/DC=doegrids/OU=People/CN=Joe User"));
+  pki::Credential eve = ca.issue_user(
+      pki::DistinguishedName::parse("/O=elsewhere/CN=Eve"));
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate());
+
+  std::string sandbox_base = "/tmp/clarens_example_sandboxes";
+  std::filesystem::remove_all(sandbox_base);
+
+  core::ClarensConfig config;
+  config.trust = trust;
+  config.sandbox_base = sandbox_base;
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"shell", anyone},
+                                {"file", anyone}};
+  core::FileAcl sandbox_acl;
+  sandbox_acl.read = anyone;
+  sandbox_acl.write = anyone;
+  config.initial_file_acls = {{"/sandbox", sandbox_acl}};
+  // The paper's .clarens_user_map: tuples of system user, DN list,
+  // group list, reserved.
+  config.user_map = core::parse_user_map(
+      "joe ; /DC=org/DC=doegrids/OU=People/CN=Joe User ; ;\n");
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  client::ClientOptions options;
+  options.port = server.port();
+  options.credential = joe;
+  options.trust = &trust;
+  client::ClarensClient client(options);
+  client.connect();
+  client.authenticate();
+
+  std::printf("[1] shell.cmd_info: who am I on this machine?\n");
+  rpc::Value info = client.call("shell.cmd_info");
+  std::string sandbox = info.at("sandbox").as_string();
+  std::printf("    mapped user: %s, sandbox: %s (visible to file.*)\n",
+              info.at("user").as_string().c_str(), sandbox.c_str());
+
+  std::printf("\n[2] upload an input file through the file service:\n");
+  client.call("file.write", {rpc::Value(sandbox + "/jobs.txt"),
+                             rpc::Value("reco-run2005A\nskim-muons\n"
+                                        "merge-ntuples\nreco-run2005B\n")});
+  std::printf("    wrote %s/jobs.txt\n", sandbox.c_str());
+
+  std::printf("\n[3] work in the sandbox with shell commands:\n");
+  auto run = [&](const std::string& command) {
+    rpc::Value result = client.call("shell.cmd", {rpc::Value(command)});
+    std::printf("    $ %s\n", command.c_str());
+    for (const auto& line :
+         util::split(result.at("stdout").as_string(), '\n')) {
+      if (!line.empty()) std::printf("      %s\n", line.c_str());
+    }
+    if (result.at("exit_code").as_int() != 0) {
+      std::printf("      (exit %lld: %s)\n",
+                  static_cast<long long>(result.at("exit_code").as_int()),
+                  util::trim(result.at("stderr").as_string()).data());
+    }
+    return result;
+  };
+  run("ls");
+  run("wc jobs.txt");
+  run("grep reco jobs.txt");
+  run("mkdir output");
+  run("cp jobs.txt output/completed.txt");
+  run("find .");
+
+  std::printf("\n[4] fetch results back through the file service:\n");
+  auto result = client.file_read(sandbox + "/output/completed.txt", 0, 1 << 16);
+  std::printf("    output/completed.txt (%zu bytes) retrieved\n", result.size());
+
+  std::printf("\n[5] sandbox confinement:\n");
+  rpc::Value escape = client.call("shell.cmd",
+                                  {rpc::Value("cat ../../../etc/passwd")});
+  std::printf("    escape attempt exit=%lld (%s)\n",
+              static_cast<long long>(escape.at("exit_code").as_int()),
+              util::trim(escape.at("stderr").as_string()).data());
+
+  std::printf("\n[6] unmapped DN is refused outright:\n");
+  client::ClientOptions eve_options = options;
+  eve_options.credential = eve;
+  client::ClarensClient blocked(eve_options);
+  blocked.connect();
+  blocked.authenticate();
+  try {
+    blocked.call("shell.cmd", {rpc::Value("id")});
+  } catch (const rpc::Fault& fault) {
+    std::printf("    %s\n", fault.what());
+  }
+
+  server.stop();
+  std::filesystem::remove_all(sandbox_base);
+  return 0;
+}

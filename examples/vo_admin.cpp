@@ -1,0 +1,134 @@
+// Virtual Organization administration — builds the paper's Figure-2 tree
+// over RPC and walks through the access-control rules of §2.1/§2.2:
+// root admins, per-branch group admins, DN-prefix membership, inherited
+// membership, and method ACLs that reference VO groups.
+#include <cstdio>
+
+#include "client/client.hpp"
+#include "rpc/fault.hpp"
+#include "core/server.hpp"
+#include "pki/authority.hpp"
+
+using namespace clarens;
+
+namespace {
+
+void show(const char* what, bool value) {
+  std::printf("    %-58s %s\n", what, value ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=grid.org/CN=Grid CA"));
+  pki::Credential root_admin = ca.issue_user(
+      pki::DistinguishedName::parse("/O=grid.org/OU=People/CN=Root Admin"));
+  pki::Credential branch_admin = ca.issue_user(
+      pki::DistinguishedName::parse("/O=grid.org/OU=People/CN=Branch Admin"));
+  pki::Credential member = ca.issue_user(
+      pki::DistinguishedName::parse("/O=grid.org/OU=People/CN=Plain Member"));
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate());
+
+  core::ClarensConfig config;
+  config.trust = trust;
+  config.admins = {"/O=grid.org/OU=People/CN=Root Admin"};
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"vo", anyone},
+                                {"acl", anyone}};
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  auto connect = [&](const pki::Credential& cred) {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.credential = cred;
+    options.trust = &trust;
+    auto client = std::make_unique<client::ClarensClient>(options);
+    client->connect();
+    client->authenticate();
+    return client;
+  };
+  auto root = connect(root_admin);
+  auto branch = connect(branch_admin);
+  auto plain = connect(member);
+
+  std::printf("[1] root admin builds the Figure-2 tree (A, B, C; A.1-A.3):\n");
+  for (const char* g : {"A", "B", "C"}) root->call("vo.create_group", {rpc::Value(g)});
+  for (const char* g : {"A.1", "A.2", "A.3"}) root->call("vo.create_group", {rpc::Value(g)});
+  rpc::Value groups = root->call("vo.groups");
+  std::printf("    groups:");
+  for (const auto& g : groups.as_array()) std::printf(" %s", g.as_string().c_str());
+  std::printf("\n");
+
+  std::printf("\n[2] delegate branch A to the branch admin:\n");
+  root->call("vo.add_admin", {rpc::Value("A"),
+                              rpc::Value(branch_admin.dn().str())});
+  // The branch admin may manage A and below...
+  branch->call("vo.add_member",
+               {rpc::Value("A.1"), rpc::Value(member.dn().str())});
+  std::printf("    branch admin added a member to A.1\n");
+  // ...but not other branches or the top level.
+  try {
+    branch->call("vo.create_group", {rpc::Value("D")});
+  } catch (const rpc::Fault& fault) {
+    std::printf("    creating top-level D refused: %s\n", fault.what());
+  }
+  try {
+    branch->call("vo.add_member", {rpc::Value("B"), rpc::Value(member.dn().str())});
+  } catch (const rpc::Fault& fault) {
+    std::printf("    touching branch B refused: %s\n", fault.what());
+  }
+
+  std::printf("\n[3] DN-prefix membership (\"only the initial significant "
+              "part\"):\n");
+  root->call("vo.add_member",
+             {rpc::Value("B"), rpc::Value("/O=grid.org/OU=People")});
+  auto is_member = [&](const char* group, const std::string& dn) {
+    return root
+        ->call("vo.is_member", {rpc::Value(group), rpc::Value(dn)})
+        .as_bool();
+  };
+  show("every /O=grid.org person is in B", is_member("B", member.dn().str()));
+  show("a service DN is NOT in B",
+       is_member("B", "/O=grid.org/OU=Services/CN=host/x.org"));
+
+  std::printf("\n[4] inherited membership (member of A.1 via A):\n");
+  root->call("vo.add_member", {rpc::Value("A"),
+                               rpc::Value(branch_admin.dn().str())});
+  show("branch admin (member of A) is member of A.1",
+       is_member("A.1", branch_admin.dn().str()));
+  show("plain member (in A.1 only) is member of A",
+       is_member("A", member.dn().str()));
+
+  std::printf("\n[5] method ACL referencing a VO group:\n");
+  // Root grants the (hypothetical) analysis module to members of A.
+  rpc::Value spec = rpc::Value::struct_();
+  spec.set("order", "allow,deny");
+  rpc::Value allow_groups = rpc::Value::array();
+  allow_groups.push("A");
+  spec.set("allow_dns", rpc::Value::array());
+  spec.set("allow_groups", allow_groups);
+  spec.set("deny_dns", rpc::Value::array());
+  spec.set("deny_groups", rpc::Value::array());
+  root->call("acl.set_method", {rpc::Value("analysis"), spec});
+  auto can_call = [&](const std::string& dn) {
+    return root
+        ->call("acl.check_method", {rpc::Value("analysis.run"), rpc::Value(dn)})
+        .as_bool();
+  };
+  show("A-member may call analysis.run", can_call(branch_admin.dn().str()));
+  show("non-member may call analysis.run", can_call(member.dn().str()));
+
+  std::printf("\n[6] plain members cannot administer:\n");
+  try {
+    plain->call("vo.create_group", {rpc::Value("E")});
+  } catch (const rpc::Fault& fault) {
+    std::printf("    refused: %s\n", fault.what());
+  }
+
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Clarens portal client: JSON-RPC over POST /clarens, session token in
+// the X-Clarens-Session header — the same wire contract every other
+// client uses (paper §3: the portal is "static web pages that embed
+// JavaScript scripts to handle communication and web service calls").
+'use strict';
+
+const portal = {
+  session: '',
+  nextId: 1,
+
+  async call(method, params) {
+    const response = await fetch('/clarens', {
+      method: 'POST',
+      headers: {
+        'Content-Type': 'application/json',
+        'X-Clarens-Session': this.session,
+      },
+      body: JSON.stringify({method, params: params || [], id: this.nextId++}),
+    });
+    const body = await response.json();
+    if (body.error) {
+      throw new Error(`fault ${body.error.code}: ${body.error.message}`);
+    }
+    return body.result;
+  },
+
+  setList(id, items, render) {
+    const list = document.getElementById(id);
+    list.innerHTML = '';
+    for (const item of items) {
+      const li = document.createElement('li');
+      li.textContent = render ? render(item) : String(item);
+      list.appendChild(li);
+    }
+  },
+
+  async init() {
+    try {
+      const info = await this.call('system.server_info');
+      document.getElementById('server-info').textContent =
+          `${info.framework} ${info.version} — farm ${info.farm}, ` +
+          `node ${info.node}, ${info.methods} methods, ` +
+          (info.encrypted ? 'TLS' : 'plaintext');
+    } catch (e) {
+      document.getElementById('server-info').textContent = String(e);
+    }
+  },
+
+  async useSession() {
+    this.session = document.getElementById('session-token').value.trim();
+    try {
+      const who = await this.call('system.whoami');
+      document.getElementById('whoami').textContent =
+          `${who.dn}${who.via_proxy ? ' (via proxy)' : ''}`;
+    } catch (e) {
+      document.getElementById('whoami').textContent = String(e);
+    }
+  },
+
+  async listMethods() {
+    this.setList('method-list', await this.call('system.list_methods'));
+  },
+
+  async browse() {
+    const path = document.getElementById('file-path').value;
+    const entries = await this.call('file.ls', [path]);
+    this.setList('file-list', entries, (e) =>
+        `${e.name}${e.is_directory ? '/' : ` (${e.size} bytes)`}`);
+  },
+
+  async findServices() {
+    const query = document.getElementById('discovery-query').value;
+    const records = await this.call('discovery.find_services', [query]);
+    this.setList('service-list', records, (r) =>
+        `${r.farm}/${r.node} ${r.service} -> ${r.url}`);
+  },
+
+  async submitJob() {
+    const command = document.getElementById('job-command').value;
+    await this.call('job.submit', [command]);
+    const jobs = await this.call('job.list');
+    this.setList('job-list', jobs, (j) =>
+        `${j.id} [${j.state}] ${j.command}`);
+  },
+};
+
+document.addEventListener('DOMContentLoaded', () => portal.init());

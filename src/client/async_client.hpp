@@ -1,0 +1,51 @@
+// Asynchronous multi-connection call driver — the paper's benchmark
+// client (§4): "a single process opening connections to the server and
+// completing requests asynchronously".
+//
+// N keep-alive connections are driven from one epoll loop; each
+// connection independently pipelines call → response → next call until a
+// shared call budget is exhausted. Used by bench_fig4_throughput to
+// reproduce Figure 4's throughput-vs-#clients curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/protocol.hpp"
+
+namespace clarens::client {
+
+struct AsyncRunResult {
+  std::uint64_t calls_completed = 0;
+  std::uint64_t faults = 0;
+  double elapsed_seconds = 0;
+
+  double calls_per_second() const {
+    return elapsed_seconds > 0 ? static_cast<double>(calls_completed) /
+                                     elapsed_seconds
+                               : 0;
+  }
+};
+
+class AsyncCallDriver {
+ public:
+  /// Every connection issues the same request, authenticated by
+  /// `session_token` (obtained once, out of band — matching the paper's
+  /// setup where login precedes the measured window).
+  AsyncCallDriver(std::string host, std::uint16_t port,
+                  std::string session_token, std::string method,
+                  std::vector<rpc::Value> params,
+                  rpc::Protocol protocol = rpc::Protocol::XmlRpc);
+
+  /// Open `connections` sockets and complete `total_calls` calls spread
+  /// across them. Connection setup happens before the timer starts.
+  AsyncRunResult run(std::size_t connections, std::uint64_t total_calls);
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  std::string request_wire_;  // pre-serialized request (identical per call)
+};
+
+}  // namespace clarens::client

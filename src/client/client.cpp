@@ -1,0 +1,161 @@
+#include "client/client.hpp"
+
+#include <array>
+
+#include "crypto/rsa.hpp"
+#include "rpc/fault.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace clarens::client {
+
+ClarensClient::ClarensClient(ClientOptions options)
+    : options_(std::move(options)) {}
+
+ClarensClient::~ClarensClient() { close(); }
+
+void ClarensClient::connect() {
+  close();
+  auto tcp = std::make_unique<net::TcpConnection>(
+      net::TcpConnection::connect(options_.host, options_.port));
+  if (options_.use_tls) {
+    if (!options_.trust) throw Error("TLS client requires a trust store");
+    tls::TlsConfig config;
+    config.credential = options_.credential;
+    config.chain = options_.chain;
+    config.trust = options_.trust;
+    stream_ = tls::SecureChannel::connect(std::move(tcp), config);
+  } else {
+    stream_ = std::move(tcp);
+  }
+  parser_ = http::ResponseParser();
+}
+
+void ClarensClient::close() {
+  if (stream_) {
+    stream_->close();
+    stream_.reset();
+  }
+}
+
+http::Response ClarensClient::roundtrip(const http::Request& request) {
+  if (!stream_) connect();
+  std::string wire = request.serialize();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      stream_->write_all(wire);
+      std::array<std::uint8_t, 64 * 1024> chunk;
+      for (;;) {
+        if (auto response = parser_.next()) return std::move(*response);
+        std::size_t n = stream_->read(chunk);
+        if (n == 0) throw SystemError("server closed connection");
+        parser_.feed(std::span<const std::uint8_t>(chunk.data(), n));
+      }
+    } catch (const SystemError&) {
+      // Keep-alive connection was torn down between calls; reconnect once.
+      if (attempt == 1) throw;
+      connect();
+    }
+  }
+  throw SystemError("unreachable");
+}
+
+rpc::Value ClarensClient::call(const std::string& method,
+                               const std::vector<rpc::Value>& params) {
+  rpc::Request rpc_request;
+  rpc_request.method = method;
+  rpc_request.params = params;
+  rpc_request.id = rpc::Value(static_cast<std::int64_t>(next_id_++));
+
+  http::Request request;
+  request.method = "POST";
+  request.target = options_.endpoint;
+  request.headers.set("Content-Type", rpc::content_type(options_.protocol));
+  request.headers.set("Host", options_.host);
+  if (!session_.empty()) {
+    request.headers.set("X-Clarens-Session", session_);
+  }
+  request.body = rpc::serialize_request(options_.protocol, rpc_request);
+
+  http::Response http_response = roundtrip(request);
+  if (http_response.status != 200) {
+    throw SystemError("HTTP " + std::to_string(http_response.status) + ": " +
+                      http_response.body);
+  }
+  rpc::Response response =
+      rpc::parse_response(options_.protocol, http_response.body);
+  if (response.is_fault) {
+    throw rpc::Fault(response.fault_code, response.fault_message);
+  }
+  return response.result;
+}
+
+std::string ClarensClient::authenticate() {
+  if (options_.use_tls && options_.credential) {
+    // The channel already proved our identity.
+    session_.clear();
+    session_ = call("system.auth").as_string();
+    return session_;
+  }
+  if (!options_.credential) {
+    throw AuthError("authenticate() requires a client credential");
+  }
+  session_.clear();
+  std::string nonce = call("system.challenge").as_string();
+  std::vector<std::uint8_t> signature =
+      crypto::rsa_sign(options_.credential->private_key, nonce);
+  rpc::Value chain = rpc::Value::array();
+  chain.push(options_.credential->certificate.encode());
+  for (const auto& cert : options_.chain) chain.push(cert.encode());
+  session_ = call("system.auth",
+                  {rpc::Value(nonce), chain,
+                   rpc::Value(util::base64_encode(signature))})
+                 .as_string();
+  return session_;
+}
+
+std::string ClarensClient::proxy_logon(const std::string& dn,
+                                       const std::string& password) {
+  session_.clear();
+  session_ = call("proxy.logon", {rpc::Value(dn), rpc::Value(password)})
+                 .as_string();
+  return session_;
+}
+
+http::Response ClarensClient::get(const std::string& path, std::int64_t offset,
+                                  std::int64_t length) {
+  http::Request request;
+  request.method = "GET";
+  std::string target = path;
+  if (offset != 0 || length >= 0) {
+    target += "?offset=" + std::to_string(offset);
+    if (length >= 0) target += "&length=" + std::to_string(length);
+  }
+  request.target = target;
+  request.headers.set("Host", options_.host);
+  if (!session_.empty()) request.headers.set("X-Clarens-Session", session_);
+  return roundtrip(request);
+}
+
+std::vector<std::uint8_t> ClarensClient::file_read(const std::string& path,
+                                                   std::int64_t offset,
+                                                   std::int64_t length) {
+  return call("file.read", {rpc::Value(path), rpc::Value(offset),
+                            rpc::Value(length)})
+      .as_binary();
+}
+
+std::string ClarensClient::file_md5(const std::string& path) {
+  return call("file.md5", {rpc::Value(path)}).as_string();
+}
+
+std::vector<std::string> ClarensClient::file_ls_names(const std::string& path) {
+  std::vector<std::string> out;
+  rpc::Value listing = call("file.ls", {rpc::Value(path)});
+  for (const auto& entry : listing.as_array()) {
+    out.push_back(entry.at("name").as_string());
+  }
+  return out;
+}
+
+}  // namespace clarens::client

@@ -1,0 +1,97 @@
+// Synchronous Clarens client.
+//
+// Speaks any of the three wire protocols over a keep-alive HTTP
+// connection, optionally TLS. Authentication mirrors the server's two
+// paths: over TLS the channel's client certificate *is* the identity;
+// over plaintext the client proves key possession by signing a
+// server-issued nonce (system.challenge / system.auth).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/parser.hpp"
+#include "net/socket.hpp"
+#include "pki/certificate.hpp"
+#include "pki/verify.hpp"
+#include "rpc/protocol.hpp"
+#include "tls/channel.hpp"
+
+namespace clarens::client {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  rpc::Protocol protocol = rpc::Protocol::XmlRpc;
+
+  /// Client credential: enables authenticate() on both transports, and
+  /// mutual TLS when `use_tls`.
+  std::optional<pki::Credential> credential;
+  /// Chain certificates (the user certificate when credential is a proxy).
+  std::vector<pki::Certificate> chain;
+
+  bool use_tls = false;
+  /// Trust anchors for verifying the server (required for TLS).
+  const pki::TrustStore* trust = nullptr;
+
+  /// RPC endpoint path.
+  std::string endpoint = "/clarens";
+};
+
+class ClarensClient {
+ public:
+  explicit ClarensClient(ClientOptions options);
+  ~ClarensClient();
+
+  ClarensClient(const ClarensClient&) = delete;
+  ClarensClient& operator=(const ClarensClient&) = delete;
+
+  /// Establish the connection (and TLS handshake if configured).
+  void connect();
+  void close();
+  bool connected() const { return stream_ != nullptr; }
+
+  /// Obtain a session. Over TLS: system.auth with the channel identity.
+  /// Over plaintext: challenge-response with the credential.
+  /// Returns the session token (also remembered for subsequent calls).
+  std::string authenticate();
+
+  /// Log in with a stored proxy: DN + password only (proxy.logon).
+  std::string proxy_logon(const std::string& dn, const std::string& password);
+
+  /// Use an existing session token (e.g. resumed after a server restart).
+  void set_session(std::string token) { session_ = std::move(token); }
+  const std::string& session() const { return session_; }
+
+  /// Invoke a method. Throws rpc::Fault on fault responses and
+  /// clarens::SystemError on transport failure. Reconnects transparently
+  /// if the server closed the keep-alive connection.
+  rpc::Value call(const std::string& method,
+                  const std::vector<rpc::Value>& params = {});
+
+  /// HTTP GET (file download). Returns the response; byte ranges via the
+  /// server's offset/length query parameters.
+  http::Response get(const std::string& path, std::int64_t offset = 0,
+                     std::int64_t length = -1);
+
+  // File-service conveniences.
+  std::vector<std::uint8_t> file_read(const std::string& path,
+                                      std::int64_t offset, std::int64_t length);
+  std::string file_md5(const std::string& path);
+  std::vector<std::string> file_ls_names(const std::string& path);
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  http::Response roundtrip(const http::Request& request);
+
+  ClientOptions options_;
+  std::unique_ptr<net::Stream> stream_;
+  http::ResponseParser parser_;
+  std::string session_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace clarens::client

@@ -1,0 +1,219 @@
+#include "core/acl.hpp"
+
+#include "core/vo.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::core {
+
+namespace {
+
+constexpr const char* kMethodTable = "acl_methods";
+constexpr const char* kFileTable = "acl_files";
+
+rpc::Value strings_to_value(const std::vector<std::string>& list) {
+  rpc::Value v = rpc::Value::array();
+  for (const auto& s : list) v.push(s);
+  return v;
+}
+
+std::vector<std::string> value_to_strings(const rpc::Value& v) {
+  std::vector<std::string> out;
+  for (const auto& s : v.as_array()) out.push_back(s.as_string());
+  return out;
+}
+
+rpc::Value spec_to_value(const AclSpec& spec) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("order", spec.order == AclSpec::Order::AllowDeny
+                     ? std::string("allow,deny")
+                     : std::string("deny,allow"));
+  v.set("allow_dns", strings_to_value(spec.allow_dns));
+  v.set("allow_groups", strings_to_value(spec.allow_groups));
+  v.set("deny_dns", strings_to_value(spec.deny_dns));
+  v.set("deny_groups", strings_to_value(spec.deny_groups));
+  return v;
+}
+
+AclSpec value_to_spec(const rpc::Value& v) {
+  AclSpec spec;
+  std::string order = v.at("order").as_string();
+  if (order == "allow,deny") {
+    spec.order = AclSpec::Order::AllowDeny;
+  } else if (order == "deny,allow") {
+    spec.order = AclSpec::Order::DenyAllow;
+  } else {
+    throw ParseError("invalid ACL order: '" + order + "'");
+  }
+  spec.allow_dns = value_to_strings(v.at("allow_dns"));
+  spec.allow_groups = value_to_strings(v.at("allow_groups"));
+  spec.deny_dns = value_to_strings(v.at("deny_dns"));
+  spec.deny_groups = value_to_strings(v.at("deny_groups"));
+  return spec;
+}
+
+bool dn_matches(const std::vector<std::string>& prefixes,
+                const pki::DistinguishedName& dn) {
+  for (const auto& prefix : prefixes) {
+    if (prefix == AclSpec::kAnyone) return true;
+    try {
+      if (pki::DistinguishedName::parse(prefix).is_prefix_of(dn)) return true;
+    } catch (const ParseError&) {
+    }
+  }
+  return false;
+}
+
+bool group_matches(const std::vector<std::string>& groups,
+                   const pki::DistinguishedName& dn, const VoManager& vo) {
+  for (const auto& group : groups) {
+    if (vo.is_member(group, dn)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AclDecision evaluate_spec(const AclSpec& spec, const pki::DistinguishedName& dn,
+                          const VoManager& vo) {
+  bool allowed = dn_matches(spec.allow_dns, dn) ||
+                 group_matches(spec.allow_groups, dn, vo);
+  bool denied = dn_matches(spec.deny_dns, dn) ||
+                group_matches(spec.deny_groups, dn, vo);
+  if (spec.order == AclSpec::Order::AllowDeny) {
+    // Deny list is evaluated last and overrides.
+    if (denied) return AclDecision::Deny;
+    if (allowed) return AclDecision::Allow;
+  } else {
+    // Allow list is evaluated last and overrides.
+    if (allowed) return AclDecision::Allow;
+    if (denied) return AclDecision::Deny;
+  }
+  return AclDecision::Unspecified;
+}
+
+std::string encode_spec(const AclSpec& spec) {
+  return rpc::jsonrpc::serialize_value(spec_to_value(spec));
+}
+
+AclSpec decode_spec(const std::string& text) {
+  return value_to_spec(rpc::jsonrpc::parse_value(text));
+}
+
+AclManager::AclManager(db::Store& store, VoManager& vo, bool default_allow)
+    : store_(store), vo_(vo), default_allow_(default_allow) {}
+
+std::vector<std::string> AclManager::method_chain(const std::string& method) {
+  // "a.b.c" -> {"a.b.c", "a.b", "a"}: lowest applicable level first.
+  std::vector<std::string> out;
+  std::string current = method;
+  for (;;) {
+    out.push_back(current);
+    std::size_t dot = current.rfind('.');
+    if (dot == std::string::npos) break;
+    current.resize(dot);
+  }
+  return out;
+}
+
+std::vector<std::string> AclManager::path_chain(const std::string& path) {
+  // "/a/b/c" -> {"/a/b/c", "/a/b", "/a", "/"}.
+  std::vector<std::string> out;
+  std::string current = path;
+  if (current.empty()) current = "/";
+  for (;;) {
+    out.push_back(current);
+    if (current == "/") break;
+    std::size_t slash = current.rfind('/');
+    if (slash == std::string::npos) break;
+    current = slash == 0 ? "/" : current.substr(0, slash);
+  }
+  return out;
+}
+
+void AclManager::set_method_acl(const std::string& method_path,
+                                const AclSpec& spec) {
+  store_.put(kMethodTable, method_path, encode_spec(spec));
+}
+
+std::optional<AclSpec> AclManager::get_method_acl(
+    const std::string& method_path) const {
+  auto text = store_.get(kMethodTable, method_path);
+  if (!text) return std::nullopt;
+  return decode_spec(*text);
+}
+
+void AclManager::remove_method_acl(const std::string& method_path) {
+  store_.erase(kMethodTable, method_path);
+}
+
+std::vector<std::string> AclManager::list_method_acls() const {
+  return store_.keys(kMethodTable);
+}
+
+bool AclManager::check_method(const std::string& method,
+                              const pki::DistinguishedName& dn) const {
+  for (const auto& level : method_chain(method)) {
+    auto text = store_.get(kMethodTable, level);
+    if (!text) continue;
+    switch (evaluate_spec(decode_spec(*text), dn, vo_)) {
+      case AclDecision::Allow: return true;
+      case AclDecision::Deny: return false;
+      case AclDecision::Unspecified: break;
+    }
+  }
+  return default_allow_;
+}
+
+void AclManager::set_file_acl(const std::string& path, const FileAcl& acl) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("read", spec_to_value(acl.read));
+  v.set("write", spec_to_value(acl.write));
+  store_.put(kFileTable, path, rpc::jsonrpc::serialize_value(v));
+}
+
+std::optional<FileAcl> AclManager::get_file_acl(const std::string& path) const {
+  auto text = store_.get(kFileTable, path);
+  if (!text) return std::nullopt;
+  rpc::Value v = rpc::jsonrpc::parse_value(*text);
+  FileAcl acl;
+  acl.read = value_to_spec(v.at("read"));
+  acl.write = value_to_spec(v.at("write"));
+  return acl;
+}
+
+void AclManager::remove_file_acl(const std::string& path) {
+  store_.erase(kFileTable, path);
+}
+
+std::vector<std::string> AclManager::list_file_acls() const {
+  return store_.keys(kFileTable);
+}
+
+bool AclManager::check_file(const std::string& path,
+                            const pki::DistinguishedName& dn, bool write) const {
+  for (const auto& level : path_chain(path)) {
+    auto acl = get_file_acl(level);
+    if (!acl) continue;
+    const AclSpec& spec = write ? acl->write : acl->read;
+    switch (evaluate_spec(spec, dn, vo_)) {
+      case AclDecision::Allow: return true;
+      case AclDecision::Deny: return false;
+      case AclDecision::Unspecified: break;
+    }
+  }
+  return default_allow_;
+}
+
+bool AclManager::check_file_read(const std::string& path,
+                                 const pki::DistinguishedName& dn) const {
+  return check_file(path, dn, /*write=*/false);
+}
+
+bool AclManager::check_file_write(const std::string& path,
+                                  const pki::DistinguishedName& dn) const {
+  return check_file(path, dn, /*write=*/true);
+}
+
+}  // namespace clarens::core

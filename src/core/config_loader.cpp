@@ -1,0 +1,138 @@
+#include "core/config_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::core {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SystemError("cannot read file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// "allow <path> <subject>" where subject is '*', a DN prefix, or
+/// "group:<name>".
+void apply_allow(AclSpec& spec, const std::string& subject) {
+  if (util::starts_with(subject, "group:")) {
+    spec.allow_groups.push_back(subject.substr(6));
+  } else {
+    spec.allow_dns.push_back(subject);
+  }
+}
+
+}  // namespace
+
+ClarensConfig config_from(const util::Config& config) {
+  ClarensConfig out;
+  out.host = config.get_or("host", out.host);
+  out.port = static_cast<std::uint16_t>(config.get_int_or("port", 0));
+  out.data_dir = config.get_or("data_dir", "");
+  out.admins = config.get_all("admin");
+  out.default_allow = config.get_bool_or("default_allow", false);
+  out.use_tls = config.get_bool_or("use_tls", false);
+  out.require_client_cert = config.get_bool_or("require_client_cert", false);
+  out.session_ttl = config.get_int_or("session_ttl", out.session_ttl);
+  out.challenge_ttl = config.get_int_or("challenge_ttl", out.challenge_ttl);
+  out.sandbox_base = config.get_or("sandbox_base", "");
+  out.portal_dir = config.get_or("portal_dir", "");
+  out.farm = config.get_or("farm", out.farm);
+  out.node = config.get_or("node", out.node);
+  out.max_connections = static_cast<std::size_t>(
+      config.get_int_or("max_connections", static_cast<std::int64_t>(out.max_connections)));
+  out.publish_interval_ms = static_cast<int>(
+      config.get_int_or("publish_interval_ms", out.publish_interval_ms));
+
+  if (auto path = config.get("credential_file")) {
+    out.credential = pki::Credential::decode(read_file(*path));
+  }
+  for (const auto& path : config.get_all("chain_file")) {
+    out.chain.push_back(pki::Certificate::decode(read_file(path)));
+  }
+  for (const auto& path : config.get_all("trust_file")) {
+    out.trust.add_authority(pki::Certificate::decode(read_file(path)));
+  }
+  if (auto path = config.get("user_map_file")) {
+    out.user_map = parse_user_map(read_file(*path));
+  }
+
+  // file_root <virtual> <real>
+  for (const auto& value : config.get_all("file_root")) {
+    auto parts = util::split_trimmed(value, ' ');
+    if (parts.size() != 2) {
+      throw ParseError("file_root expects '<virtual> <real>': '" + value + "'");
+    }
+    out.file_roots[parts[0]] = parts[1];
+  }
+
+  // allow <method-path> <subject>   (accumulates per path)
+  std::map<std::string, AclSpec> method_acls;
+  for (const auto& value : config.get_all("allow")) {
+    auto parts = util::split_trimmed(value, ' ');
+    if (parts.size() != 2) {
+      throw ParseError("allow expects '<method-path> <subject>': '" + value + "'");
+    }
+    apply_allow(method_acls[parts[0]], parts[1]);
+  }
+  for (auto& [path, spec] : method_acls) {
+    out.initial_method_acls.emplace_back(path, std::move(spec));
+  }
+
+  // file_allow <path> <subject>  (grants read and write)
+  std::map<std::string, FileAcl> file_acls;
+  for (const auto& value : config.get_all("file_allow")) {
+    auto parts = util::split_trimmed(value, ' ');
+    if (parts.size() != 2) {
+      throw ParseError("file_allow expects '<path> <subject>': '" + value + "'");
+    }
+    apply_allow(file_acls[parts[0]].read, parts[1]);
+    apply_allow(file_acls[parts[0]].write, parts[1]);
+  }
+  // file_allow_read / file_allow_write for finer grants.
+  for (const auto& value : config.get_all("file_allow_read")) {
+    auto parts = util::split_trimmed(value, ' ');
+    if (parts.size() != 2) {
+      throw ParseError("file_allow_read expects '<path> <subject>'");
+    }
+    apply_allow(file_acls[parts[0]].read, parts[1]);
+  }
+  for (const auto& value : config.get_all("file_allow_write")) {
+    auto parts = util::split_trimmed(value, ' ');
+    if (parts.size() != 2) {
+      throw ParseError("file_allow_write expects '<path> <subject>'");
+    }
+    apply_allow(file_acls[parts[0]].write, parts[1]);
+  }
+  for (auto& [path, acl] : file_acls) {
+    out.initial_file_acls.emplace_back(path, std::move(acl));
+  }
+
+  // station <host>:<port>
+  if (auto value = config.get("station")) {
+    std::size_t colon = value->rfind(':');
+    if (colon == std::string::npos) {
+      throw ParseError("station expects '<host>:<port>': '" + *value + "'");
+    }
+    out.station = {{value->substr(0, colon),
+                    static_cast<std::uint16_t>(
+                        util::parse_uint(value->substr(colon + 1)))}};
+  }
+
+  if (out.use_tls && !out.credential) {
+    throw ParseError("use_tls requires credential_file");
+  }
+  return out;
+}
+
+ClarensConfig load_config_file(const std::string& path) {
+  return config_from(util::Config::load(path));
+}
+
+}  // namespace clarens::core

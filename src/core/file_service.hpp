@@ -1,0 +1,102 @@
+// Remote file access (paper §2.3).
+//
+// Data in "big science" experiments lives in files; this service exposes
+// them under *virtual roots* — logical names mapped to server directories
+// via configuration — through both RPC methods (file.read and friends)
+// and HTTP GET. Every operation is subject to file ACLs (read/write), and
+// path resolution refuses to escape a root.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/acl.hpp"
+#include "pki/dn.hpp"
+
+namespace clarens::core {
+
+struct FileStat {
+  std::string name;
+  bool is_directory = false;
+  std::int64_t size = 0;
+  std::int64_t mtime = 0;  // unix seconds
+};
+
+class FileService {
+ public:
+  explicit FileService(AclManager& acl);
+
+  /// Map virtual path prefix "/data" to server directory `directory`.
+  void add_root(const std::string& virtual_prefix, const std::string& directory);
+
+  std::vector<std::string> roots() const;
+
+  /// All virtual paths below are absolute ("/data/run1/events.bin") and
+  /// resolved against the matching root. Operations throw:
+  ///   NotFoundError  — no root matches or file missing
+  ///   AccessError    — ACL denies, or the path escapes the root
+  ///   SystemError    — I/O failure
+
+  /// Read `length` bytes at `offset` (paper: file.read(name, offset, n)).
+  std::vector<std::uint8_t> read(const std::string& path, std::int64_t offset,
+                                 std::int64_t length,
+                                 const pki::DistinguishedName& who) const;
+
+  /// Directory listing (file.ls).
+  std::vector<FileStat> ls(const std::string& path,
+                           const pki::DistinguishedName& who) const;
+
+  /// File or directory information (file.stat).
+  FileStat stat(const std::string& path,
+                const pki::DistinguishedName& who) const;
+
+  /// Hex MD5 of the whole file (file.md5), streamed in bounded memory.
+  std::string md5(const std::string& path,
+                  const pki::DistinguishedName& who) const;
+
+  /// Recursive find: paths under `path` whose basename contains `pattern`
+  /// ('*' alone matches everything) (file.find).
+  std::vector<std::string> find(const std::string& path,
+                                const std::string& pattern,
+                                const pki::DistinguishedName& who) const;
+
+  std::int64_t size(const std::string& path,
+                    const pki::DistinguishedName& who) const;
+
+  /// Write (create/overwrite) a file — used by the shell sandbox upload
+  /// flow; requires write ACL.
+  void write(const std::string& path, std::span<const std::uint8_t> data,
+             const pki::DistinguishedName& who) const;
+
+  /// Append to (creating if needed) a file — the chunked-write primitive
+  /// the transfer service streams through; requires write ACL.
+  void append(const std::string& path, std::span<const std::uint8_t> data,
+              const pki::DistinguishedName& who) const;
+
+  void mkdir(const std::string& path, const pki::DistinguishedName& who) const;
+
+  void remove(const std::string& path, const pki::DistinguishedName& who) const;
+
+  /// Resolve a virtual path to a real filesystem path *after* the read
+  /// ACL check. Used by the HTTP GET handler to hand the region to
+  /// sendfile. Throws like read().
+  std::string resolve_for_read(const std::string& path,
+                               const pki::DistinguishedName& who) const;
+
+ private:
+  /// Split into (root-relative real path). Enforces containment.
+  std::string resolve(const std::string& path) const;
+  void require_read(const std::string& path,
+                    const pki::DistinguishedName& who) const;
+  void require_write(const std::string& path,
+                     const pki::DistinguishedName& who) const;
+
+  AclManager& acl_;
+  std::map<std::string, std::string> roots_;  // virtual prefix -> directory
+};
+
+}  // namespace clarens::core

@@ -1,0 +1,251 @@
+#include "core/job_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "crypto/random.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+
+namespace {
+
+constexpr const char* kTable = "jobs";
+
+JobState state_from(const std::string& name) {
+  if (name == "QUEUED") return JobState::Queued;
+  if (name == "RUNNING") return JobState::Running;
+  if (name == "DONE") return JobState::Done;
+  if (name == "FAILED") return JobState::Failed;
+  if (name == "CANCELLED") return JobState::Cancelled;
+  throw ParseError("unknown job state: '" + name + "'");
+}
+
+std::string encode(const Job& job) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("owner", job.owner);
+  v.set("command", job.command);
+  v.set("state", std::string(to_string(job.state)));
+  v.set("exit_code", static_cast<std::int64_t>(job.exit_code));
+  v.set("output", job.output);
+  v.set("error", job.error);
+  v.set("submitted", job.submitted);
+  v.set("finished", job.finished);
+  return rpc::jsonrpc::serialize_value(v);
+}
+
+Job decode(const std::string& id, const std::string& text) {
+  rpc::Value v = rpc::jsonrpc::parse_value(text);
+  Job job;
+  job.id = id;
+  job.owner = v.at("owner").as_string();
+  job.command = v.at("command").as_string();
+  job.state = state_from(v.at("state").as_string());
+  job.exit_code = static_cast<int>(v.at("exit_code").as_int());
+  job.output = v.at("output").as_string();
+  job.error = v.at("error").as_string();
+  job.submitted = v.at("submitted").as_int();
+  job.finished = v.at("finished").as_int();
+  return job;
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::Done || state == JobState::Failed ||
+         state == JobState::Cancelled;
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "QUEUED";
+    case JobState::Running: return "RUNNING";
+    case JobState::Done: return "DONE";
+    case JobState::Failed: return "FAILED";
+    case JobState::Cancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+JobService::JobService(db::Store& store, ShellService& shell, int workers)
+    : store_(store), shell_(shell) {
+  // Recover orphans: jobs mid-flight when the server died re-queue.
+  for (const auto& id : store_.keys(kTable)) {
+    if (auto text = store_.get(kTable, id)) {
+      Job job = decode(id, *text);
+      if (job.state == JobState::Running || job.state == JobState::Queued) {
+        job.state = JobState::Queued;
+        save(job);
+        queue_.push_back(id);
+      }
+    }
+  }
+  if (workers < 1) workers = 1;
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobService::~JobService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void JobService::save(const Job& job) { store_.put(kTable, job.id, encode(job)); }
+
+Job JobService::load(const std::string& job_id) const {
+  auto text = store_.get(kTable, job_id);
+  if (!text) throw NotFoundError("no such job: " + job_id);
+  return decode(job_id, *text);
+}
+
+std::string JobService::submit(const pki::DistinguishedName& owner,
+                               const std::string& command) {
+  if (!shell_.map_user(owner)) {
+    throw AccessError("no system user mapped for " + owner.str());
+  }
+  Job job;
+  job.id = crypto::random_token(10);
+  job.owner = owner.str();
+  job.command = command;
+  job.submitted = util::unix_now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    save(job);
+    queue_.push_back(job.id);
+  }
+  work_available_.notify_one();
+  return job.id;
+}
+
+void JobService::worker_loop() {
+  for (;;) {
+    std::string job_id;
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job_id = queue_.front();
+      queue_.pop_front();
+      try {
+        job = load(job_id);
+      } catch (const NotFoundError&) {
+        continue;  // purged while queued
+      }
+      if (job.state != JobState::Queued) continue;  // cancelled
+      job.state = JobState::Running;
+      save(job);
+    }
+    state_changed_.notify_all();
+
+    ShellResult result;
+    std::string failure;
+    try {
+      result = shell_.execute(pki::DistinguishedName::parse(job.owner),
+                              job.command);
+    } catch (const Error& e) {
+      failure = e.what();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      try {
+        job = load(job_id);
+      } catch (const NotFoundError&) {
+        continue;
+      }
+      if (!failure.empty()) {
+        job.state = JobState::Failed;
+        job.error = failure;
+        job.exit_code = -1;
+      } else {
+        job.state = result.exit_code == 0 ? JobState::Done : JobState::Failed;
+        job.exit_code = result.exit_code;
+        job.output = result.out;
+        job.error = result.err;
+      }
+      job.finished = util::unix_now();
+      save(job);
+    }
+    state_changed_.notify_all();
+  }
+}
+
+Job JobService::status(const std::string& job_id,
+                       const pki::DistinguishedName& who) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job job = load(job_id);
+  if (job.owner != who.str()) {
+    throw AccessError("job belongs to a different identity");
+  }
+  return job;
+}
+
+std::vector<Job> JobService::list(const pki::DistinguishedName& owner) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Job> out;
+  for (const auto& id : store_.keys(kTable)) {
+    if (auto text = store_.get(kTable, id)) {
+      Job job = decode(id, *text);
+      if (job.owner == owner.str()) out.push_back(std::move(job));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Job& a, const Job& b) {
+    return a.submitted > b.submitted;
+  });
+  return out;
+}
+
+bool JobService::cancel(const std::string& job_id,
+                        const pki::DistinguishedName& who) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job job = load(job_id);
+  if (job.owner != who.str()) {
+    throw AccessError("job belongs to a different identity");
+  }
+  if (job.state != JobState::Queued) return false;
+  job.state = JobState::Cancelled;
+  job.finished = util::unix_now();
+  save(job);
+  state_changed_.notify_all();
+  return true;
+}
+
+void JobService::purge(const std::string& job_id,
+                       const pki::DistinguishedName& who) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job job = load(job_id);
+  if (job.owner != who.str()) {
+    throw AccessError("job belongs to a different identity");
+  }
+  if (!is_terminal(job.state)) {
+    throw Error("cannot purge a job in state " +
+                std::string(to_string(job.state)));
+  }
+  store_.erase(kTable, job_id);
+}
+
+Job JobService::wait(const std::string& job_id,
+                     const pki::DistinguishedName& who, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Job job;
+  bool ok = state_changed_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        job = load(job_id);
+        return is_terminal(job.state);
+      });
+  if (!ok) throw SystemError("job did not finish in time");
+  if (job.owner != who.str()) {
+    throw AccessError("job belongs to a different identity");
+  }
+  return job;
+}
+
+}  // namespace clarens::core

@@ -1,0 +1,90 @@
+// Job submission service (paper §3 lists job submission among the portal
+// functionality; Clarens hosted the RunJob / Monte-Carlo Processing
+// Service workflows).
+//
+// Jobs are shell-service command lines executed asynchronously in the
+// submitter's sandbox by a small worker pool. Job records (state, exit
+// code, captured output) live in the database, so a submitter can
+// disconnect and query results later — the same survive-restart property
+// sessions have. States: QUEUED -> RUNNING -> DONE | FAILED; CANCELLED
+// is reachable from QUEUED only (the restricted interpreter runs
+// commands to completion).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/shell_service.hpp"
+#include "db/store.hpp"
+#include "pki/dn.hpp"
+
+namespace clarens::core {
+
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+
+const char* to_string(JobState state);
+
+struct Job {
+  std::string id;
+  std::string owner;  // DN string
+  std::string command;
+  JobState state = JobState::Queued;
+  int exit_code = 0;
+  std::string output;        // stdout
+  std::string error;         // stderr
+  std::int64_t submitted = 0;
+  std::int64_t finished = 0;  // 0 while not terminal
+};
+
+class JobService {
+ public:
+  JobService(db::Store& store, ShellService& shell, int workers = 2);
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Submit a command for `owner`; returns the job id immediately.
+  /// Throws AccessError if the owner maps to no system user.
+  std::string submit(const pki::DistinguishedName& owner,
+                     const std::string& command);
+
+  /// Job record; only the owner may query it (AccessError otherwise).
+  Job status(const std::string& job_id,
+             const pki::DistinguishedName& who) const;
+
+  /// All job ids of an owner, newest first.
+  std::vector<Job> list(const pki::DistinguishedName& owner) const;
+
+  /// Cancel a queued job; returns false when it already started.
+  bool cancel(const std::string& job_id, const pki::DistinguishedName& who);
+
+  /// Remove a terminal job record.
+  void purge(const std::string& job_id, const pki::DistinguishedName& who);
+
+  /// Block until the job reaches a terminal state (test convenience).
+  Job wait(const std::string& job_id, const pki::DistinguishedName& who,
+           int timeout_ms = 10000);
+
+ private:
+  void worker_loop();
+  void save(const Job& job);
+  Job load(const std::string& job_id) const;  // throws NotFoundError
+
+  db::Store& store_;
+  ShellService& shell_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable state_changed_;
+  std::deque<std::string> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace clarens::core

@@ -1,0 +1,157 @@
+#include "core/message_service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rpc/jsonrpc.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::core {
+
+namespace {
+
+constexpr const char* kMailboxTable = "mailboxes";
+constexpr const char* kChannelTable = "channels";
+constexpr const char* kCounterTable = "mailbox_counters";
+
+std::string encode(const Message& message) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("from", message.from);
+  v.set("to", message.to);
+  v.set("channel", message.channel);
+  v.set("subject", message.subject);
+  v.set("body", message.body);
+  v.set("sent", message.sent);
+  return rpc::jsonrpc::serialize_value(v);
+}
+
+Message decode(std::uint64_t id, const std::string& text) {
+  rpc::Value v = rpc::jsonrpc::parse_value(text);
+  Message message;
+  message.id = id;
+  message.from = v.at("from").as_string();
+  message.to = v.at("to").as_string();
+  message.channel = v.at("channel").as_string();
+  message.subject = v.at("subject").as_string();
+  message.body = v.at("body").as_string();
+  message.sent = v.at("sent").as_int();
+  return message;
+}
+
+}  // namespace
+
+MessageService::MessageService(db::Store& store, std::size_t max_mailbox)
+    : store_(store), max_mailbox_(max_mailbox) {}
+
+std::string MessageService::mailbox_key(const std::string& dn,
+                                        std::uint64_t id) {
+  // Fixed-width id keeps lexicographic order == arrival order for the
+  // prefix scan.
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(id));
+  return dn + "\n" + buf;
+}
+
+std::uint64_t MessageService::enqueue(Message message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Next id for this mailbox.
+  std::uint64_t id = 1;
+  if (auto counter = store_.get(kCounterTable, message.to)) {
+    id = util::parse_uint(*counter) + 1;
+  }
+  store_.put(kCounterTable, message.to, std::to_string(id));
+  message.id = id;
+  store_.put(kMailboxTable, mailbox_key(message.to, id), encode(message));
+
+  // Bound the mailbox: drop oldest beyond the cap.
+  auto entries = store_.scan_prefix(kMailboxTable, message.to + "\n");
+  if (entries.size() > max_mailbox_) {
+    std::size_t excess = entries.size() - max_mailbox_;
+    for (std::size_t i = 0; i < excess; ++i) {
+      store_.erase(kMailboxTable, entries[i].first);
+    }
+  }
+  return id;
+}
+
+std::uint64_t MessageService::send(const std::string& from_dn,
+                                   const std::string& to_dn,
+                                   const std::string& subject,
+                                   const std::string& body) {
+  if (to_dn.empty()) throw ParseError("message recipient must not be empty");
+  Message message;
+  message.from = from_dn;
+  message.to = to_dn;
+  message.subject = subject;
+  message.body = body;
+  message.sent = util::unix_now();
+  return enqueue(std::move(message));
+}
+
+void MessageService::subscribe(const std::string& channel,
+                               const std::string& dn) {
+  if (channel.empty()) throw ParseError("channel name must not be empty");
+  store_.put(kChannelTable, channel + "\n" + dn, "1");
+}
+
+void MessageService::unsubscribe(const std::string& channel,
+                                 const std::string& dn) {
+  store_.erase(kChannelTable, channel + "\n" + dn);
+}
+
+std::vector<std::string> MessageService::subscribers(
+    const std::string& channel) const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : store_.scan_prefix(kChannelTable, channel + "\n")) {
+    out.push_back(key.substr(channel.size() + 1));
+  }
+  return out;
+}
+
+std::size_t MessageService::publish(const std::string& from_dn,
+                                    const std::string& channel,
+                                    const std::string& subject,
+                                    const std::string& body) {
+  std::size_t delivered = 0;
+  for (const auto& dn : subscribers(channel)) {
+    Message message;
+    message.from = from_dn;
+    message.to = dn;
+    message.channel = channel;
+    message.subject = subject;
+    message.body = body;
+    message.sent = util::unix_now();
+    enqueue(std::move(message));
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::vector<Message> MessageService::peek(const std::string& dn,
+                                          std::size_t max) const {
+  std::vector<Message> out;
+  for (const auto& [key, value] : store_.scan_prefix(kMailboxTable, dn + "\n")) {
+    if (out.size() >= max) break;
+    std::uint64_t id = util::parse_uint(key.substr(dn.size() + 1));
+    out.push_back(decode(id, value));
+  }
+  return out;
+}
+
+std::vector<Message> MessageService::poll(const std::string& dn,
+                                          std::size_t max) {
+  std::vector<Message> out = peek(dn, max);
+  for (const auto& message : out) {
+    store_.erase(kMailboxTable, mailbox_key(dn, message.id));
+  }
+  return out;
+}
+
+std::size_t MessageService::pending(const std::string& dn) const {
+  return store_.scan_prefix(kMailboxTable, dn + "\n").size();
+}
+
+}  // namespace clarens::core

@@ -1,0 +1,76 @@
+// Message service — the paper's §6 "instant messaging architecture".
+//
+// Clarens' request/response model is "ill-suited for the asynchronous
+// bi-directional communication required for interactions between users
+// and the jobs they are running on private networks protected by NAT and
+// firewalls". The proposed fix is store-and-forward messaging: since
+// jobs can always *initiate* connections outward, they can send messages
+// and poll for replies, letting them "act as Clarens servers, or clients
+// sending information to monitoring systems or remote debugging tools".
+//
+// Model: a database-backed mailbox per identity DN, plus named channels
+// with per-DN subscriptions (publish fans out to every subscriber's
+// mailbox). Polling drains the caller's mailbox in arrival order. All
+// state lives in the store, so messages survive server restarts like
+// sessions do.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/store.hpp"
+
+namespace clarens::core {
+
+struct Message {
+  std::uint64_t id = 0;       // per-mailbox monotonically increasing
+  std::string from;           // sender DN
+  std::string to;             // recipient DN
+  std::string channel;        // "" for direct messages
+  std::string subject;
+  std::string body;
+  std::int64_t sent = 0;      // unix seconds
+};
+
+class MessageService {
+ public:
+  /// `max_mailbox` bounds each mailbox; the oldest message is dropped
+  /// when a send would exceed it (monitoring streams must not OOM the
+  /// server because one consumer went away).
+  explicit MessageService(db::Store& store, std::size_t max_mailbox = 1000);
+
+  /// Direct message to a DN. Returns the assigned message id.
+  std::uint64_t send(const std::string& from_dn, const std::string& to_dn,
+                     const std::string& subject, const std::string& body);
+
+  /// Channel pub/sub: publish fans out to all current subscribers
+  /// (returns how many mailboxes received it).
+  void subscribe(const std::string& channel, const std::string& dn);
+  void unsubscribe(const std::string& channel, const std::string& dn);
+  std::vector<std::string> subscribers(const std::string& channel) const;
+  std::size_t publish(const std::string& from_dn, const std::string& channel,
+                      const std::string& subject, const std::string& body);
+
+  /// Drain up to `max` messages for `dn`, oldest first (removes them).
+  std::vector<Message> poll(const std::string& dn, std::size_t max = 100);
+
+  /// Non-destructive look at the queue.
+  std::vector<Message> peek(const std::string& dn, std::size_t max = 100) const;
+
+  std::size_t pending(const std::string& dn) const;
+
+ private:
+  std::uint64_t enqueue(Message message);
+  static std::string mailbox_key(const std::string& dn, std::uint64_t id);
+
+  db::Store& store_;
+  std::size_t max_mailbox_;
+  /// Serializes the id-counter read-modify-write and the mailbox trim;
+  /// concurrent senders to one mailbox must not mint duplicate ids.
+  std::mutex mutex_;
+};
+
+}  // namespace clarens::core

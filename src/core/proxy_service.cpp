@@ -1,0 +1,142 @@
+#include "core/proxy_service.hpp"
+
+#include "core/session.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/random.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace clarens::core {
+
+namespace {
+
+constexpr const char* kTable = "proxies";
+
+// Envelope: salt(16) | nonce(12) | ciphertext | hmac(32).
+// key = HKDF(password | salt, "proxy-store", 64) -> cipher key + mac key.
+std::string seal(const std::string& plaintext, const std::string& password) {
+  auto salt = crypto::random_bytes(16);
+  auto nonce = crypto::random_bytes(12);
+  std::vector<std::uint8_t> ikm(password.begin(), password.end());
+  ikm.insert(ikm.end(), salt.begin(), salt.end());
+  auto material = crypto::derive_key(ikm, "proxy-store", 64);
+  std::span<const std::uint8_t> cipher_key(material.data(), 32);
+  std::span<const std::uint8_t> mac_key(material.data() + 32, 32);
+
+  std::vector<std::uint8_t> ct(plaintext.begin(), plaintext.end());
+  crypto::ChaCha20 cipher(cipher_key, nonce);
+  cipher.crypt(ct);
+
+  std::vector<std::uint8_t> mac_input = salt;
+  mac_input.insert(mac_input.end(), nonce.begin(), nonce.end());
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  auto mac = crypto::hmac_sha256(mac_key, mac_input);
+
+  std::vector<std::uint8_t> blob = std::move(mac_input);
+  blob.insert(blob.end(), mac.begin(), mac.end());
+  return util::base64_encode(blob);
+}
+
+std::string unseal(const std::string& sealed, const std::string& password) {
+  auto blob = util::base64_decode(sealed);
+  if (blob.size() < 16 + 12 + 32) throw AuthError("corrupt proxy record");
+  std::span<const std::uint8_t> salt(blob.data(), 16);
+  std::span<const std::uint8_t> nonce(blob.data() + 16, 12);
+  std::span<const std::uint8_t> ct(blob.data() + 28, blob.size() - 28 - 32);
+  std::span<const std::uint8_t> mac(blob.data() + blob.size() - 32, 32);
+
+  std::vector<std::uint8_t> ikm(password.begin(), password.end());
+  ikm.insert(ikm.end(), salt.begin(), salt.end());
+  auto material = crypto::derive_key(ikm, "proxy-store", 64);
+  std::span<const std::uint8_t> cipher_key(material.data(), 32);
+  std::span<const std::uint8_t> mac_key(material.data() + 32, 32);
+
+  std::vector<std::uint8_t> mac_input(blob.begin(),
+                                      blob.end() - 32);
+  auto expected = crypto::hmac_sha256(mac_key, mac_input);
+  if (!crypto::constant_time_equal(mac, expected)) {
+    throw AuthError("wrong password or corrupt proxy record");
+  }
+  std::vector<std::uint8_t> pt(ct.begin(), ct.end());
+  crypto::ChaCha20 cipher(cipher_key, nonce);
+  cipher.crypt(pt);
+  return std::string(pt.begin(), pt.end());
+}
+
+}  // namespace
+
+ProxyService::ProxyService(db::Store& store, SessionManager& sessions,
+                           const pki::TrustStore& trust)
+    : store_(store), sessions_(sessions), trust_(trust) {}
+
+void ProxyService::store(const pki::Credential& proxy,
+                         const pki::Certificate& user_cert,
+                         const std::string& password) {
+  if (password.empty()) throw ParseError("proxy password must not be empty");
+  auto verdict =
+      trust_.verify({proxy.certificate, user_cert}, util::unix_now());
+  if (!verdict.ok) throw AuthError("proxy chain rejected: " + verdict.error);
+
+  // Keyed by the *user* DN (the identity the proxy stands for).
+  rpc::Value v = rpc::Value::struct_();
+  v.set("proxy", proxy.encode());
+  v.set("user_cert", user_cert.encode());
+  std::string plaintext = rpc::jsonrpc::serialize_value(v);
+  store_.put(kTable, verdict.identity.str(), seal(plaintext, password));
+}
+
+ProxyService::StoredProxy ProxyService::retrieve(const std::string& dn,
+                                                 const std::string& password) const {
+  auto sealed = store_.get(kTable, dn);
+  if (!sealed) throw AuthError("no stored proxy for " + dn);
+  std::string plaintext = unseal(*sealed, password);
+  rpc::Value v = rpc::jsonrpc::parse_value(plaintext);
+  StoredProxy out{pki::Credential::decode(v.at("proxy").as_string()),
+                  pki::Certificate::decode(v.at("user_cert").as_string())};
+  if (!out.proxy.certificate.valid_at(util::unix_now())) {
+    throw AuthError("stored proxy has expired");
+  }
+  return out;
+}
+
+std::string ProxyService::logon(const std::string& dn,
+                                const std::string& password) {
+  StoredProxy stored = retrieve(dn, password);
+  auto verdict = trust_.verify({stored.proxy.certificate, stored.user_cert},
+                               util::unix_now());
+  if (!verdict.ok) throw AuthError("stored proxy no longer verifies: " + verdict.error);
+  Session session = sessions_.create(verdict.identity.str(), /*via_proxy=*/true);
+  sessions_.attach_proxy(session.id, stored.proxy.certificate.serial());
+  return session.id;
+}
+
+void ProxyService::attach(const std::string& session_id, const std::string& dn,
+                          const std::string& password) {
+  Session session = sessions_.lookup(session_id);
+  StoredProxy stored = retrieve(dn, password);
+  // The proxy must belong to the session's identity: attaching someone
+  // else's delegation is not renewal, it is impersonation.
+  if (session.identity != dn) {
+    throw AccessError("stored proxy DN does not match session identity");
+  }
+  sessions_.attach_proxy(session_id, stored.proxy.certificate.serial());
+  std::int64_t remaining =
+      stored.proxy.certificate.not_after() - util::unix_now();
+  if (remaining > 0) sessions_.renew(session_id, remaining);
+}
+
+bool ProxyService::exists(const std::string& dn) const {
+  return store_.contains(kTable, dn);
+}
+
+bool ProxyService::remove(const std::string& dn, const std::string& password) {
+  auto sealed = store_.get(kTable, dn);
+  if (!sealed) return false;
+  unseal(*sealed, password);  // throws on wrong password
+  return store_.erase(kTable, dn);
+}
+
+}  // namespace clarens::core

@@ -1,0 +1,67 @@
+// Proxy-certificate storage and delegation (paper §2.6).
+//
+// A proxy credential — short-lived certificate plus *unencrypted* private
+// key — can be stored on a Clarens server protected by a password. It can
+// later be:
+//   * retrieved by anyone holding the DN and the password (delegation);
+//   * used to log into the server knowing only DN + password
+//     (proxy.logon), which is how the paper lets users authenticate
+//     without typing their long-term key password repeatedly;
+//   * attached to an existing session (proxy.attach), renewing it or
+//     adding delegation to sessions initiated without a proxy — e.g.
+//     browser sessions opened with a CA-issued certificate.
+//
+// Storage encrypts the credential with a key derived from the password
+// (ChaCha20 + HMAC integrity, random salt), so the server's database
+// never holds a usable private key in the clear.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "db/store.hpp"
+#include "pki/certificate.hpp"
+#include "pki/verify.hpp"
+
+namespace clarens::core {
+
+class SessionManager;
+
+class ProxyService {
+ public:
+  ProxyService(db::Store& store, SessionManager& sessions,
+               const pki::TrustStore& trust);
+
+  /// Store (replacing any previous) a proxy for its subject DN. The proxy
+  /// chain must verify against the trust store. Throws AuthError on an
+  /// invalid chain, ParseError on an empty password.
+  void store(const pki::Credential& proxy, const pki::Certificate& user_cert,
+             const std::string& password);
+
+  /// Retrieve with DN + password. Throws AuthError on wrong password or
+  /// missing entry, and if the stored proxy has expired.
+  struct StoredProxy {
+    pki::Credential proxy;
+    pki::Certificate user_cert;
+  };
+  StoredProxy retrieve(const std::string& dn, const std::string& password) const;
+
+  /// Create a session authenticated as the proxy's *user* identity from
+  /// DN + password alone.
+  std::string logon(const std::string& dn, const std::string& password);
+
+  /// Attach the stored proxy to an existing session: marks the session
+  /// delegated and extends it to the proxy's remaining lifetime.
+  void attach(const std::string& session_id, const std::string& dn,
+              const std::string& password);
+
+  bool exists(const std::string& dn) const;
+  bool remove(const std::string& dn, const std::string& password);
+
+ private:
+  db::Store& store_;
+  SessionManager& sessions_;
+  const pki::TrustStore& trust_;
+};
+
+}  // namespace clarens::core

@@ -1,0 +1,190 @@
+// ClarensServer: the assembled Web Service framework of the paper.
+//
+// Wires together the HTTP server (Apache analogue), the RPC protocol
+// layer (XML-RPC / SOAP / JSON-RPC on one endpoint), the database-backed
+// session manager, VO and ACL management, the file / shell / proxy
+// services, the discovery publisher, and the browser portal page.
+//
+// Every RPC passes through the two access-control checks the paper's
+// performance section describes — session validity and method ACL — each
+// a database lookup, with no per-request caching.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/acl.hpp"
+#include "core/file_service.hpp"
+#include "core/job_service.hpp"
+#include "core/message_service.hpp"
+#include "core/proxy_service.hpp"
+#include "core/session.hpp"
+#include "core/transfer_service.hpp"
+#include "core/shell_service.hpp"
+#include "core/vo.hpp"
+#include "db/store.hpp"
+#include "discovery/discovery_server.hpp"
+#include "discovery/publisher.hpp"
+#include "http/server.hpp"
+#include "pki/certificate.hpp"
+#include "pki/verify.hpp"
+#include "rpc/registry.hpp"
+#include "storage/srm.hpp"
+
+namespace clarens::core {
+
+struct ClarensConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral
+
+  /// Persistent state directory; empty = in-memory database (sessions
+  /// then do NOT survive restarts — fine for tests and benchmarks).
+  std::string data_dir;
+
+  /// Root administrator DNs (populate the admins group at startup).
+  std::vector<std::string> admins;
+
+  /// ACL default when no ACL decides. Keep false in production.
+  bool default_allow = false;
+
+  /// Seed method ACLs applied at startup (path -> spec). The benchmark
+  /// setup grants "system" and "echo" to every authenticated identity.
+  std::vector<std::pair<std::string, AclSpec>> initial_method_acls;
+  std::vector<std::pair<std::string, FileAcl>> initial_file_acls;
+
+  /// Server credential and trust anchors. The credential is required
+  /// when TLS is on; the trust store is always required (plaintext
+  /// authentication also verifies certificate chains).
+  std::optional<pki::Credential> credential;
+  std::vector<pki::Certificate> chain;
+  pki::TrustStore trust;
+
+  bool use_tls = false;
+  bool require_client_cert = false;
+
+  /// Virtual file roots: virtual prefix -> server directory.
+  std::map<std::string, std::string> file_roots;
+
+  /// Shell sandbox base directory ("" disables the shell and job
+  /// services).
+  std::string sandbox_base;
+  std::vector<UserMapEntry> user_map;
+  /// Concurrent job-execution workers.
+  int job_workers = 2;
+  /// Concurrent third-party transfer streams; 0 disables transfer.*.
+  int transfer_workers = 2;
+
+  std::int64_t session_ttl = 24 * 3600;
+  std::int64_t challenge_ttl = 300;
+  /// Expired-session sweep period; <= 0 disables the reaper thread.
+  int session_reap_interval_s = 300;
+
+  /// Browser portal (§3): directory of static pages served on GET /
+  /// and /portal/* without authentication (they contain no data, only
+  /// the JavaScript UI that makes authenticated web-service calls).
+  /// Empty = serve a built-in placeholder page on "/".
+  std::string portal_dir;
+
+  /// Discovery: publish to this station server when set.
+  std::optional<std::pair<std::string, std::uint16_t>> station;
+  std::string farm = "local";
+  std::string node = "clarens";
+  int publish_interval_ms = 2000;
+
+  std::size_t max_connections = 1024;
+};
+
+class ClarensServer {
+ public:
+  explicit ClarensServer(ClarensConfig config);
+  ~ClarensServer();
+
+  ClarensServer(const ClarensServer&) = delete;
+  ClarensServer& operator=(const ClarensServer&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint16_t port() const;
+  std::string url() const;
+  bool encrypted() const { return config_.use_tls; }
+
+  /// Attach a discovery server: registers the discovery.* service
+  /// methods backed by it. Must outlive this server.
+  void attach_discovery(discovery::DiscoveryServer& discovery);
+
+  /// Attach an SRM storage manager: registers the srm.* methods and maps
+  /// the manager's disk cache as the "/srmcache" virtual file root so
+  /// staged files are readable via file.read / HTTP GET. Must outlive
+  /// this server.
+  void attach_storage(storage::SrmService& srm);
+
+  // Component access (embedding, tests, examples).
+  rpc::Registry& registry() { return registry_; }
+  SessionManager& sessions() { return *sessions_; }
+  VoManager& vo() { return *vo_; }
+  AclManager& acl() { return *acl_; }
+  FileService& files() { return *files_; }
+  MessageService& messages() { return *messages_; }
+  JobService& jobs() { return *jobs_; }
+  TransferService& transfers() { return *transfers_; }
+  ShellService& shell() { return *shell_; }
+  ProxyService& proxy() { return *proxy_; }
+  db::Store& store() { return *store_; }
+  const ClarensConfig& config() const { return config_; }
+
+  std::uint64_t requests_served() const {
+    return http_ ? http_->requests_served() : 0;
+  }
+
+  /// Test/bench backdoor: mint a session without the wire handshake.
+  Session direct_login(const std::string& identity_dn);
+
+ private:
+  http::Response handle(const http::Request& request, const http::Peer& peer);
+  http::Response handle_rpc(const http::Request& request,
+                            const http::Peer& peer);
+  http::Response handle_get(const http::Request& request,
+                            const http::Peer& peer);
+  http::Response serve_portal(const std::string& path) const;
+  void register_core_methods();
+  void start_publisher();
+
+  /// The paper's two per-request checks.
+  Session check_session(const std::string& session_id) const;
+  void check_acl(const std::string& method,
+                 const pki::DistinguishedName& dn) const;
+
+  ClarensConfig config_;
+  std::unique_ptr<db::Store> store_;
+  rpc::Registry registry_;
+  std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<VoManager> vo_;
+  std::unique_ptr<AclManager> acl_;
+  std::unique_ptr<FileService> files_;
+  std::unique_ptr<MessageService> messages_;
+  std::unique_ptr<JobService> jobs_;
+  std::unique_ptr<TransferService> transfers_;
+  std::unique_ptr<ShellService> shell_;
+  std::unique_ptr<ProxyService> proxy_;
+  std::unique_ptr<http::Server> http_;
+  std::unique_ptr<discovery::Publisher> publisher_;
+  discovery::DiscoveryServer* discovery_ = nullptr;
+  storage::SrmService* srm_ = nullptr;
+
+  // Lazy housekeeping: a reaper thread sweeps expired sessions so the
+  // session table stays bounded even when clients never log out.
+  std::thread reaper_;
+  std::mutex reaper_mutex_;
+  std::condition_variable reaper_stop_;
+  bool reaper_stopping_ = false;
+  std::int64_t started_at_ = 0;
+};
+
+}  // namespace clarens::core

@@ -1,0 +1,95 @@
+#include "core/session.hpp"
+
+#include "crypto/random.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+
+namespace {
+constexpr const char* kTable = "sessions";
+}
+
+SessionManager::SessionManager(db::Store& store, std::int64_t default_ttl)
+    : store_(store), default_ttl_(default_ttl) {}
+
+std::string SessionManager::encode(const Session& session) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("identity", session.identity);
+  v.set("via_proxy", session.via_proxy);
+  v.set("created", session.created);
+  v.set("expires", session.expires);
+  v.set("proxy_serial", session.attached_proxy_serial);
+  return rpc::jsonrpc::serialize_value(v);
+}
+
+Session SessionManager::decode(const std::string& id, const std::string& text) {
+  rpc::Value v = rpc::jsonrpc::parse_value(text);
+  Session session;
+  session.id = id;
+  session.identity = v.at("identity").as_string();
+  session.via_proxy = v.at("via_proxy").as_bool();
+  session.created = v.at("created").as_int();
+  session.expires = v.at("expires").as_int();
+  session.attached_proxy_serial = v.at("proxy_serial").as_string();
+  return session;
+}
+
+Session SessionManager::create(const std::string& identity, bool via_proxy) {
+  Session session;
+  session.id = crypto::random_token(16);
+  session.identity = identity;
+  session.via_proxy = via_proxy;
+  session.created = util::unix_now();
+  session.expires = session.created + default_ttl_;
+  store_.put(kTable, session.id, encode(session));
+  return session;
+}
+
+Session SessionManager::lookup(const std::string& id) const {
+  auto text = store_.get(kTable, id);
+  if (!text) throw AuthError("no such session");
+  Session session = decode(id, *text);
+  if (session.expires < util::unix_now()) {
+    store_.erase(kTable, id);
+    throw AuthError("session expired");
+  }
+  return session;
+}
+
+void SessionManager::renew(const std::string& id, std::int64_t extra_seconds) {
+  Session session = lookup(id);
+  session.expires = util::unix_now() + extra_seconds;
+  store_.put(kTable, id, encode(session));
+}
+
+void SessionManager::attach_proxy(const std::string& id,
+                                  const std::string& proxy_serial) {
+  Session session = lookup(id);
+  session.attached_proxy_serial = proxy_serial;
+  session.via_proxy = true;
+  store_.put(kTable, id, encode(session));
+}
+
+bool SessionManager::destroy(const std::string& id) {
+  return store_.erase(kTable, id);
+}
+
+std::size_t SessionManager::reap_expired() {
+  std::size_t reaped = 0;
+  std::int64_t now = util::unix_now();
+  for (const auto& id : store_.keys(kTable)) {
+    auto text = store_.get(kTable, id);
+    if (!text) continue;
+    if (decode(id, *text).expires < now) {
+      store_.erase(kTable, id);
+      ++reaped;
+    }
+  }
+  return reaped;
+}
+
+std::size_t SessionManager::active_count() const { return store_.size(kTable); }
+
+}  // namespace clarens::core

@@ -1,0 +1,62 @@
+// DB-backed sessions.
+//
+// HTTP is stateless, so Clarens stores session information persistently
+// on the server side (paper §1, end of Architecture): clients survive
+// server restarts without re-authenticating. Every RPC performs a session
+// lookup against the database — the first of the two per-request access
+// checks the Figure-4 benchmark measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "db/store.hpp"
+
+namespace clarens::core {
+
+struct Session {
+  std::string id;
+  std::string identity;  // DN string
+  bool via_proxy = false;
+  std::int64_t created = 0;
+  std::int64_t expires = 0;
+  /// Serial of an attached stored proxy, if any (proxy.attach).
+  std::string attached_proxy_serial;
+};
+
+class SessionManager {
+ public:
+  /// `store` must outlive the manager. `default_ttl` in seconds.
+  SessionManager(db::Store& store, std::int64_t default_ttl = 24 * 3600);
+
+  /// Mint a session for an authenticated identity.
+  Session create(const std::string& identity, bool via_proxy);
+
+  /// Validate and return the session; throws clarens::AuthError when the
+  /// token is unknown or expired (expired sessions are reaped lazily).
+  Session lookup(const std::string& id) const;
+
+  /// Extend the expiry of an existing session (proxy renewal semantics).
+  void renew(const std::string& id, std::int64_t extra_seconds);
+
+  /// Record an attached proxy (delegation onto an existing session).
+  void attach_proxy(const std::string& id, const std::string& proxy_serial);
+
+  /// Returns true if the session existed.
+  bool destroy(const std::string& id);
+
+  /// Remove all expired sessions; returns count reaped.
+  std::size_t reap_expired();
+
+  std::size_t active_count() const;
+
+ private:
+  static std::string encode(const Session& session);
+  static Session decode(const std::string& id, const std::string& text);
+
+  db::Store& store_;
+  std::int64_t default_ttl_;
+};
+
+}  // namespace clarens::core

@@ -1,0 +1,96 @@
+// Shell service (paper §2.5).
+//
+// Authorized clients execute commands on the server as a *designated
+// local system user*, chosen by a user-map file in the paper's
+// .clarens_user_map format:
+//
+//   joe  /DC=org/DC=doegrids/OU=People/CN=Joe User ; cms.users ;
+//
+// i.e. tuples of: system user, list of user DNs, list of VO group names,
+// and a reserved final list (fields ';'-separated, list items
+// ','-separated).
+//
+// Execution happens in a per-user *sandbox* directory, created on first
+// use and re-used for subsequent commands (visible to the file service,
+// so clients can upload inputs and fetch outputs via file.*). Commands
+// run through a restricted built-in interpreter rather than /bin/sh —
+// running as real Unix users needs root and is the unsafe part of the
+// original; the DN→user mapping, ACL gating, sandbox confinement and
+// file-service interop are what this module reproduces.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pki/dn.hpp"
+
+namespace clarens::core {
+
+class VoManager;
+
+struct ShellResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+struct UserMapEntry {
+  std::string system_user;
+  std::vector<std::string> dns;     // DN prefixes
+  std::vector<std::string> groups;  // VO group names
+  std::vector<std::string> reserved;
+};
+
+/// Parse the .clarens_user_map format. Lines: user; dn,dn; group,group; ...
+std::vector<UserMapEntry> parse_user_map(std::string_view text);
+
+class ShellService {
+ public:
+  /// `sandbox_base`: directory under which per-user sandboxes live.
+  ShellService(VoManager& vo, std::string sandbox_base);
+
+  void set_user_map(std::vector<UserMapEntry> entries);
+  void load_user_map_file(const std::string& path);
+
+  /// The designated local user for a DN, or nullopt if unmapped.
+  std::optional<std::string> map_user(const pki::DistinguishedName& dn) const;
+
+  /// Execute a command line for `dn`. Throws AccessError when the DN maps
+  /// to no system user. (Method-level ACLs are enforced by the server
+  /// before this is reached.)
+  ShellResult execute(const pki::DistinguishedName& dn,
+                      const std::string& command_line);
+
+  /// shell.cmd_info: the sandbox top directory for the caller, as a
+  /// virtual file-service path ("/sandbox/<user>"), creating it if needed.
+  std::string cmd_info(const pki::DistinguishedName& dn);
+
+  /// Real directory of a user's sandbox (for wiring into the file service).
+  std::string sandbox_dir(const std::string& system_user) const;
+  const std::string& sandbox_base() const { return sandbox_base_; }
+
+  /// Command names the interpreter understands (for shell.commands).
+  static std::vector<std::string> supported_commands();
+
+ private:
+  ShellResult run_builtin(const std::string& system_user,
+                          const std::vector<std::string>& argv);
+
+  VoManager& vo_;
+  std::string sandbox_base_;
+  /// Guards entries_ and cwd_: the job service workers and RPC threads
+  /// execute commands concurrently.
+  mutable std::mutex mutex_;
+  std::vector<UserMapEntry> entries_;
+  /// Per-user current working directory (relative to the sandbox root),
+  /// persisted across commands like an interactive shell.
+  std::map<std::string, std::string> cwd_;
+};
+
+/// Tokenize a command line with single/double quoting rules.
+std::vector<std::string> shell_tokenize(const std::string& line);
+
+}  // namespace clarens::core

@@ -1,0 +1,114 @@
+// Third-party file transfer (paper §6: "robust file transfer between
+// different mass storage facilities").
+//
+// A client asks the *destination* server to pull a file from a *source*
+// Clarens server. The destination authenticates to the source **as the
+// requesting user**, using the proxy credential the user previously
+// stored on the destination (proxy.store) — exactly the delegation use
+// case §2.6 describes ("allows the proxy to be used on behalf of the
+// user by others"). Both ends therefore enforce their own ACLs against
+// the user's identity: the source checks read access, the destination
+// checks write access.
+//
+// Robustness: DB-backed transfer records (survive restarts, orphans
+// re-queue), chunked streaming in bounded memory, and post-transfer MD5
+// verification against the source's file.md5().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/file_service.hpp"
+#include "core/proxy_service.hpp"
+#include "db/store.hpp"
+
+namespace clarens::core {
+
+enum class TransferState { Queued, Running, Done, Failed, Cancelled };
+
+const char* to_string(TransferState state);
+
+struct Transfer {
+  std::string id;
+  std::string owner;  // DN string (the delegated identity)
+  std::string source_host;
+  std::uint16_t source_port = 0;
+  bool source_tls = false;
+  std::string source_path;
+  std::string dest_path;
+  TransferState state = TransferState::Queued;
+  std::int64_t bytes = 0;
+  bool verified = false;  // md5 matched after completion
+  std::string error;
+  std::int64_t submitted = 0;
+  std::int64_t finished = 0;
+};
+
+class TransferService {
+ public:
+  /// `proxies` supplies delegated credentials; `files` is the local
+  /// (destination) file service; `trust` verifies the remote server.
+  TransferService(db::Store& store, FileService& files, ProxyService& proxies,
+                  const pki::TrustStore& trust, int workers = 2);
+  ~TransferService();
+
+  TransferService(const TransferService&) = delete;
+  TransferService& operator=(const TransferService&) = delete;
+
+  /// Queue a pull. `proxy_password` unlocks the owner's stored proxy;
+  /// it is used immediately to retrieve the credential and never stored.
+  /// Throws AuthError when no usable proxy exists.
+  std::string start(const pki::DistinguishedName& owner,
+                    const std::string& source_url,
+                    const std::string& source_path,
+                    const std::string& dest_path,
+                    const std::string& proxy_password);
+
+  Transfer status(const std::string& transfer_id,
+                  const pki::DistinguishedName& who) const;
+
+  std::vector<Transfer> list(const pki::DistinguishedName& owner) const;
+
+  bool cancel(const std::string& transfer_id,
+              const pki::DistinguishedName& who);
+
+  Transfer wait(const std::string& transfer_id,
+                const pki::DistinguishedName& who, int timeout_ms = 30000);
+
+  /// Streaming block size (bytes) for file.read pulls.
+  static constexpr std::int64_t kBlockSize = 1 << 20;
+
+ private:
+  void worker_loop();
+  void run_transfer(const std::string& transfer_id);
+  void save(const Transfer& transfer);
+  Transfer load(const std::string& transfer_id) const;
+
+  db::Store& store_;
+  FileService& files_;
+  ProxyService& proxies_;
+  const pki::TrustStore& trust_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable state_changed_;
+  std::deque<std::string> queue_;
+  /// Retrieved proxy credentials for queued transfers, keyed by id —
+  /// kept in memory only (never persisted; passwords are not retained).
+  std::map<std::string, ProxyService::StoredProxy> credentials_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Parse "http://host:port" / "https://host:port" into (host, port, tls).
+/// Throws clarens::ParseError.
+void parse_server_url(const std::string& url, std::string& host,
+                      std::uint16_t& port, bool& tls);
+
+}  // namespace clarens::core

@@ -1,0 +1,253 @@
+#include "core/vo.hpp"
+
+#include "rpc/jsonrpc.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::core {
+
+namespace {
+constexpr const char* kTable = "vo_groups";
+
+std::string encode(const GroupInfo& info) {
+  rpc::Value v = rpc::Value::struct_();
+  rpc::Value members = rpc::Value::array();
+  for (const auto& m : info.members) members.push(m);
+  rpc::Value admins = rpc::Value::array();
+  for (const auto& a : info.admins) admins.push(a);
+  v.set("members", members);
+  v.set("admins", admins);
+  return rpc::jsonrpc::serialize_value(v);
+}
+
+GroupInfo decode(const std::string& name, const std::string& text) {
+  rpc::Value v = rpc::jsonrpc::parse_value(text);
+  GroupInfo info;
+  info.name = name;
+  for (const auto& m : v.at("members").as_array()) {
+    info.members.push_back(m.as_string());
+  }
+  for (const auto& a : v.at("admins").as_array()) {
+    info.admins.push_back(a.as_string());
+  }
+  return info;
+}
+
+void validate_group_name(const std::string& group) {
+  if (group.empty() || group.front() == '.' || group.back() == '.') {
+    throw ParseError("invalid group name: '" + group + "'");
+  }
+  for (char c : group) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '_' &&
+        c != '-') {
+      throw ParseError("invalid character in group name: '" + group + "'");
+    }
+  }
+}
+
+}  // namespace
+
+VoManager::VoManager(db::Store& store, std::vector<std::string> root_admins)
+    : store_(store) {
+  // The admins group is (re)populated statically from configuration on
+  // each server restart — stale DB content for it is overwritten.
+  GroupInfo admins;
+  admins.name = kAdminsGroup;
+  admins.admins = std::move(root_admins);
+  save(admins);
+}
+
+GroupInfo VoManager::load(const std::string& group) const {
+  auto text = store_.get(kTable, group);
+  if (!text) throw NotFoundError("no such group: '" + group + "'");
+  return decode(group, *text);
+}
+
+void VoManager::save(const GroupInfo& info) {
+  store_.put(kTable, info.name, encode(info));
+}
+
+std::vector<std::string> VoManager::ancestors(const std::string& group) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = group.find('.', pos)) != std::string::npos) {
+    out.push_back(group.substr(0, pos));
+    ++pos;
+  }
+  return out;
+}
+
+bool VoManager::dn_list_matches(const std::vector<std::string>& prefixes,
+                                const pki::DistinguishedName& dn) {
+  for (const auto& prefix : prefixes) {
+    // Entries are DN prefixes (paper §2.1's "initial significant part").
+    try {
+      if (pki::DistinguishedName::parse(prefix).is_prefix_of(dn)) return true;
+    } catch (const ParseError&) {
+      // A malformed stored entry never matches.
+    }
+  }
+  return false;
+}
+
+bool VoManager::group_exists(const std::string& group) const {
+  return store_.contains(kTable, group);
+}
+
+GroupInfo VoManager::info(const std::string& group) const { return load(group); }
+
+std::vector<std::string> VoManager::list_groups() const {
+  return store_.keys(kTable);
+}
+
+bool VoManager::is_root_admin(const pki::DistinguishedName& dn) const {
+  auto text = store_.get(kTable, kAdminsGroup);
+  if (!text) return false;
+  GroupInfo admins = decode(kAdminsGroup, *text);
+  return dn_list_matches(admins.admins, dn) ||
+         dn_list_matches(admins.members, dn);
+}
+
+bool VoManager::is_member(const std::string& group,
+                          const pki::DistinguishedName& dn) const {
+  if (!group_exists(group)) return false;
+  // The group itself, then every ancestor in the same branch.
+  std::vector<std::string> lineage = ancestors(group);
+  lineage.push_back(group);
+  for (const auto& name : lineage) {
+    if (!group_exists(name)) continue;
+    GroupInfo info = load(name);
+    if (dn_list_matches(info.members, dn) || dn_list_matches(info.admins, dn)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool VoManager::is_admin(const std::string& group,
+                         const pki::DistinguishedName& dn) const {
+  if (is_root_admin(dn)) return true;
+  std::vector<std::string> lineage = ancestors(group);
+  lineage.push_back(group);
+  for (const auto& name : lineage) {
+    if (!group_exists(name)) continue;
+    if (dn_list_matches(load(name).admins, dn)) return true;
+  }
+  return false;
+}
+
+bool VoManager::can_administer(const std::string& group,
+                               const pki::DistinguishedName& actor) const {
+  if (is_root_admin(actor)) return true;
+  // Admin of the group itself or of any ancestor (lower levels of their
+  // branch are theirs to manage).
+  return is_admin(group, actor);
+}
+
+void VoManager::create_group(const std::string& group,
+                             const pki::DistinguishedName& actor) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  validate_group_name(group);
+  if (group == kAdminsGroup) {
+    throw AccessError("the admins group is configuration-managed");
+  }
+  if (group_exists(group)) throw Error("group already exists: '" + group + "'");
+  // Creating "A.1" requires authority over "A"; creating a top-level
+  // group requires root admin.
+  auto parents = ancestors(group);
+  if (parents.empty()) {
+    if (!is_root_admin(actor)) {
+      throw AccessError("only root administrators may create top-level groups");
+    }
+  } else {
+    const std::string& parent = parents.back();
+    if (!group_exists(parent)) {
+      throw NotFoundError("parent group does not exist: '" + parent + "'");
+    }
+    if (!can_administer(parent, actor)) {
+      throw AccessError("not an administrator of '" + parent + "'");
+    }
+  }
+  GroupInfo info;
+  info.name = group;
+  // The creator administers the new group.
+  info.admins.push_back(actor.str());
+  save(info);
+}
+
+void VoManager::delete_group(const std::string& group,
+                             const pki::DistinguishedName& actor) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (group == kAdminsGroup) {
+    throw AccessError("the admins group cannot be deleted");
+  }
+  if (!group_exists(group)) throw NotFoundError("no such group: '" + group + "'");
+  if (!can_administer(group, actor)) {
+    throw AccessError("not an administrator of '" + group + "'");
+  }
+  // Drop the group and every descendant.
+  std::string prefix = group + ".";
+  for (const auto& name : store_.keys(kTable)) {
+    if (name == group || util::starts_with(name, prefix)) {
+      store_.erase(kTable, name);
+    }
+  }
+}
+
+void VoManager::add_member(const std::string& group, const std::string& member_dn,
+                           const pki::DistinguishedName& actor) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  GroupInfo info = load(group);
+  if (!can_administer(group, actor)) {
+    throw AccessError("not an administrator of '" + group + "'");
+  }
+  pki::DistinguishedName::parse(member_dn);  // validate syntax
+  for (const auto& m : info.members) {
+    if (m == member_dn) return;  // idempotent
+  }
+  info.members.push_back(member_dn);
+  save(info);
+}
+
+void VoManager::remove_member(const std::string& group,
+                              const std::string& member_dn,
+                              const pki::DistinguishedName& actor) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  GroupInfo info = load(group);
+  if (!can_administer(group, actor)) {
+    throw AccessError("not an administrator of '" + group + "'");
+  }
+  std::erase(info.members, member_dn);
+  save(info);
+}
+
+void VoManager::add_admin(const std::string& group, const std::string& admin_dn,
+                          const pki::DistinguishedName& actor) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (group == kAdminsGroup && !is_root_admin(actor)) {
+    throw AccessError("only root administrators may modify the admins group");
+  }
+  GroupInfo info = load(group);
+  if (!can_administer(group, actor)) {
+    throw AccessError("not an administrator of '" + group + "'");
+  }
+  pki::DistinguishedName::parse(admin_dn);
+  for (const auto& a : info.admins) {
+    if (a == admin_dn) return;
+  }
+  info.admins.push_back(admin_dn);
+  save(info);
+}
+
+void VoManager::remove_admin(const std::string& group, const std::string& admin_dn,
+                             const pki::DistinguishedName& actor) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  GroupInfo info = load(group);
+  if (!can_administer(group, actor)) {
+    throw AccessError("not an administrator of '" + group + "'");
+  }
+  std::erase(info.admins, admin_dn);
+  save(info);
+}
+
+}  // namespace clarens::core

@@ -1,0 +1,90 @@
+// Virtual Organization management (paper §2.1).
+//
+// Each server manages a tree of groups rooted in `admins`, which is
+// populated from the server configuration at startup. A group holds two
+// DN lists — members and administrators. Semantics reproduced from the
+// paper:
+//   * the admins group may create and delete groups at all levels;
+//   * group administrators may add/delete members, and groups at lower
+//     levels of their branch;
+//   * membership is hierarchical downward: members of a higher-level
+//     group are automatically members of lower-level groups in the same
+//     branch (a member of A is a member of A.1);
+//   * a member entry is a DN *prefix*: "/O=doesciencegrid.org/OU=People"
+//     admits every person the DOE grid CA issued.
+//
+// Group names are dotted paths: "A", "A.1", "cms.analysis.users". All VO
+// state lives in the database.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/store.hpp"
+#include "pki/dn.hpp"
+
+namespace clarens::core {
+
+struct GroupInfo {
+  std::string name;
+  std::vector<std::string> members;  // DN prefixes
+  std::vector<std::string> admins;   // DN prefixes
+};
+
+class VoManager {
+ public:
+  /// `root_admins` seeds the admins group (config-provided, re-applied on
+  /// every construction = server restart, exactly as the paper states).
+  VoManager(db::Store& store, std::vector<std::string> root_admins);
+
+  /// Name of the root group.
+  static constexpr const char* kAdminsGroup = "admins";
+
+  // --- queries ------------------------------------------------------
+  bool group_exists(const std::string& group) const;
+  GroupInfo info(const std::string& group) const;  // throws NotFoundError
+  std::vector<std::string> list_groups() const;
+
+  /// Direct or inherited membership (walks ancestor groups, DN-prefix
+  /// matching on each entry). Admins of a group count as members.
+  bool is_member(const std::string& group, const pki::DistinguishedName& dn) const;
+
+  /// Administrator of the group, any ancestor group, or the root admins.
+  bool is_admin(const std::string& group, const pki::DistinguishedName& dn) const;
+
+  /// Root administrator?
+  bool is_root_admin(const pki::DistinguishedName& dn) const;
+
+  // --- mutations (authorization enforced; throw AccessError) ---------
+  void create_group(const std::string& group, const pki::DistinguishedName& actor);
+  void delete_group(const std::string& group, const pki::DistinguishedName& actor);
+  void add_member(const std::string& group, const std::string& member_dn,
+                  const pki::DistinguishedName& actor);
+  void remove_member(const std::string& group, const std::string& member_dn,
+                     const pki::DistinguishedName& actor);
+  void add_admin(const std::string& group, const std::string& admin_dn,
+                 const pki::DistinguishedName& actor);
+  void remove_admin(const std::string& group, const std::string& admin_dn,
+                    const pki::DistinguishedName& actor);
+
+ private:
+  GroupInfo load(const std::string& group) const;
+  void save(const GroupInfo& info);
+  /// "A.1.x" -> {"A", "A.1"} (nearest last).
+  static std::vector<std::string> ancestors(const std::string& group);
+  /// May `actor` administer `group` (admin of it or any ancestor)?
+  bool can_administer(const std::string& group,
+                      const pki::DistinguishedName& actor) const;
+  static bool dn_list_matches(const std::vector<std::string>& prefixes,
+                              const pki::DistinguishedName& dn);
+
+  db::Store& store_;
+  /// Serializes group mutations: add/remove operations are read-modify-
+  /// write over the stored group record, and concurrent administrators
+  /// must not lose each other's changes. Queries read the store directly
+  /// (it is internally thread-safe) and take no lock.
+  std::mutex write_mutex_;
+};
+
+}  // namespace clarens::core

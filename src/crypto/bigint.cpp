@@ -1,0 +1,517 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+
+#include "crypto/random.hpp"
+#include "util/error.hpp"
+
+namespace clarens::crypto {
+
+namespace {
+
+// Small primes for fast trial division before Miller-Rabin.
+constexpr std::uint32_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes(std::span<const std::uint8_t> be_bytes) {
+  BigInt out;
+  out.limbs_.assign((be_bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < be_bytes.size(); ++i) {
+    // Byte i from the end of the buffer is byte i of the integer.
+    std::size_t bi = be_bytes.size() - 1 - i;
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(be_bytes[bi]) << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes() const {
+  if (is_zero()) return {};
+  std::size_t bytes = (bit_length() + 7) / 8;
+  std::vector<std::uint8_t> out(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    std::uint32_t limb = limbs_[i / 4];
+    out[bytes - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  BigInt out;
+  for (char c : hex) {
+    int d = hex_digit(c);
+    if (d < 0) throw ParseError("invalid hex digit in bigint");
+    out = (out << 4) + BigInt(static_cast<std::uint64_t>(d));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool started = false;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      int d = (limbs_[i] >> shift) & 0xf;
+      if (!started && d == 0) continue;
+      started = true;
+      out.push_back(digits[d]);
+    }
+  }
+  return out;
+}
+
+BigInt BigInt::random_bits(std::size_t bits, Drbg& rng) {
+  if (bits == 0) return BigInt();
+  std::size_t bytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> buf = rng.bytes(bytes);
+  // Clear excess leading bits, then force the top bit so the result has
+  // exactly `bits` bits.
+  std::size_t excess = bytes * 8 - bits;
+  buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  buf[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return from_bytes(buf);
+}
+
+BigInt BigInt::random_below(const BigInt& bound, Drbg& rng) {
+  if (bound.is_zero()) throw Error("random_below: zero bound");
+  std::size_t bits = bound.bit_length();
+  std::size_t bytes = (bits + 7) / 8;
+  std::size_t excess = bytes * 8 - bits;
+  for (;;) {
+    std::vector<std::uint8_t> buf = rng.bytes(bytes);
+    buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt candidate = from_bytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigInt::compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  if (*this < o) throw Error("BigInt subtraction underflow");
+  BigInt out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t(1) << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + ai * o.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shift_limbs(const BigInt& x, std::size_t limbs) {
+  if (x.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs, 0);
+  out.limbs_.insert(out.limbs_.end(), x.limbs_.begin(), x.limbs_.end());
+  return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigInt();
+  BigInt out = shift_limbs(*this, bits / 32);
+  std::size_t rem = bits % 32;
+  if (rem == 0) return out;
+  std::uint32_t carry = 0;
+  for (auto& limb : out.limbs_) {
+    std::uint32_t next_carry = limb >> (32 - rem);
+    limb = (limb << rem) | carry;
+    carry = next_carry;
+  }
+  if (carry) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  std::size_t drop = bits / 32;
+  if (drop >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.begin() + static_cast<long>(drop), limbs_.end());
+  std::size_t rem = bits % 32;
+  if (rem) {
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+      out.limbs_[i] >>= rem;
+      if (i + 1 < out.limbs_.size()) {
+        out.limbs_[i] |= out.limbs_[i + 1] << (32 - rem);
+      }
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigIntDivMod BigInt::divmod(const BigInt& divisor) const {
+  if (divisor.is_zero()) throw Error("BigInt division by zero");
+  if (*this < divisor) return {BigInt(), *this};
+
+  // Binary long division: O(bit_length) shift/compare/subtract passes.
+  // Not the hot path (modexp uses Montgomery), so simplicity wins.
+  std::size_t shift = bit_length() - divisor.bit_length();
+  BigInt remainder = *this;
+  BigInt quotient;
+  quotient.limbs_.assign((shift + 32) / 32, 0);
+  BigInt shifted = divisor << shift;
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= shifted) {
+      remainder = remainder - shifted;
+      quotient.limbs_[i / 32] |= (std::uint32_t(1) << (i % 32));
+    }
+    shifted = shifted >> 1;
+  }
+  quotient.trim();
+  return {quotient, remainder};
+}
+
+BigInt BigInt::operator/(const BigInt& o) const { return divmod(o).quotient; }
+BigInt BigInt::operator%(const BigInt& o) const { return divmod(o).remainder; }
+
+namespace {
+
+// Montgomery context for an odd modulus n with R = 2^(32*k).
+class Montgomery {
+ public:
+  explicit Montgomery(const std::vector<std::uint32_t>& n) : n_(n) {
+    // n0inv = -n^{-1} mod 2^32 via Newton iteration.
+    std::uint32_t n0 = n_[0];
+    std::uint32_t inv = n0;  // correct to 3 bits since n0 is odd
+    for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;
+    n0inv_ = ~inv + 1;  // negate mod 2^32
+  }
+
+  std::size_t size() const { return n_.size(); }
+
+  // out = a * b * R^{-1} mod n (CIOS). a, b, out are k-limb vectors.
+  void mul(const std::vector<std::uint32_t>& a,
+           const std::vector<std::uint32_t>& b,
+           std::vector<std::uint32_t>& out) const {
+    const std::size_t k = n_.size();
+    std::vector<std::uint64_t> t(k + 2, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      // t += a[i] * b
+      std::uint64_t carry = 0;
+      std::uint64_t ai = a[i];
+      for (std::size_t j = 0; j < k; ++j) {
+        std::uint64_t cur = t[j] + ai * b[j] + carry;
+        t[j] = cur & 0xffffffffu;
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[k] + carry;
+      t[k] = cur & 0xffffffffu;
+      t[k + 1] += cur >> 32;
+
+      // m = t[0] * n0inv mod 2^32 ; t += m * n ; t >>= 32
+      std::uint32_t m = static_cast<std::uint32_t>(t[0]) * n0inv_;
+      carry = 0;
+      std::uint64_t m64 = m;
+      for (std::size_t j = 0; j < k; ++j) {
+        std::uint64_t cur2 = t[j] + m64 * n_[j] + carry;
+        t[j] = cur2 & 0xffffffffu;
+        carry = cur2 >> 32;
+      }
+      cur = t[k] + carry;
+      t[k] = cur & 0xffffffffu;
+      t[k + 1] += cur >> 32;
+      // shift down one limb
+      for (std::size_t j = 0; j < k + 1; ++j) t[j] = t[j + 1];
+      t[k + 1] = 0;
+    }
+
+    out.assign(k, 0);
+    for (std::size_t j = 0; j < k; ++j) out[j] = static_cast<std::uint32_t>(t[j]);
+    // Conditional subtract if out >= n (t[k] holds a possible overflow bit).
+    bool ge = t[k] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t j = k; j-- > 0;) {
+        if (out[j] != n_[j]) {
+          ge = out[j] > n_[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        std::int64_t diff = static_cast<std::int64_t>(out[j]) - n_[j] - borrow;
+        if (diff < 0) {
+          diff += (std::int64_t(1) << 32);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[j] = static_cast<std::uint32_t>(diff);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> n_;
+  std::uint32_t n0inv_;
+};
+
+}  // namespace
+
+BigInt BigInt::modexp(const BigInt& exponent, const BigInt& modulus) const {
+  if (modulus.is_zero() || modulus == BigInt(1)) {
+    throw Error("modexp: modulus must be > 1");
+  }
+  BigInt base = *this % modulus;
+  if (exponent.is_zero()) return BigInt(1);
+
+  if (modulus.is_odd()) {
+    // Montgomery ladder (left-to-right square-and-multiply).
+    const std::size_t k = modulus.limbs_.size();
+    std::vector<std::uint32_t> n = modulus.limbs_;
+    Montgomery mont(n);
+
+    auto to_limbs = [k](const BigInt& x) {
+      std::vector<std::uint32_t> v = x.limbs_;
+      v.resize(k, 0);
+      return v;
+    };
+
+    // R mod n and R^2 mod n via shifting.
+    BigInt r = BigInt(1) << (32 * k);
+    BigInt r_mod = r % modulus;
+    BigInt r2_mod = (r_mod * r_mod) % modulus;
+
+    std::vector<std::uint32_t> base_m;
+    mont.mul(to_limbs(base), to_limbs(r2_mod), base_m);  // base * R mod n
+    std::vector<std::uint32_t> acc = to_limbs(r_mod);    // 1 * R mod n
+
+    std::vector<std::uint32_t> tmp;
+    for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+      mont.mul(acc, acc, tmp);
+      acc.swap(tmp);
+      if (exponent.bit(i)) {
+        mont.mul(acc, base_m, tmp);
+        acc.swap(tmp);
+      }
+    }
+    // Convert out of Montgomery form: acc * 1 * R^{-1}.
+    std::vector<std::uint32_t> one(k, 0);
+    one[0] = 1;
+    mont.mul(acc, one, tmp);
+    BigInt out;
+    out.limbs_ = tmp;
+    out.trim();
+    return out;
+  }
+
+  // Generic path for even moduli (not used by RSA, kept for completeness).
+  BigInt result(1);
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    result = (result * result) % modulus;
+    if (exponent.bit(i)) result = (result * base) % modulus;
+  }
+  return result;
+}
+
+BigInt BigInt::modinv(const BigInt& modulus) const {
+  // Extended Euclid on (a, m) tracking only the coefficient of a, with
+  // signs managed explicitly since BigInt is unsigned.
+  if (modulus.is_zero()) throw Error("modinv: zero modulus");
+  BigInt a = *this % modulus;
+  if (a.is_zero()) throw Error("modinv: not invertible");
+
+  BigInt r0 = modulus, r1 = a;
+  BigInt s0 = BigInt(0), s1 = BigInt(1);
+  bool s0_neg = false, s1_neg = false;
+
+  while (!r1.is_zero()) {
+    BigIntDivMod qr = r0.divmod(r1);
+    BigInt r2 = qr.remainder;
+
+    // s2 = s0 - q * s1 with sign tracking.
+    BigInt qs1 = qr.quotient * s1;
+    BigInt s2;
+    bool s2_neg;
+    if (s0_neg == s1_neg) {
+      // s0 and q*s1 have the same sign: result sign depends on magnitude.
+      if (s0 >= qs1) {
+        s2 = s0 - qs1;
+        s2_neg = s0_neg;
+      } else {
+        s2 = qs1 - s0;
+        s2_neg = !s0_neg;
+      }
+    } else {
+      s2 = s0 + qs1;
+      s2_neg = s0_neg;
+    }
+
+    r0 = r1;
+    r1 = r2;
+    s0 = s1;
+    s0_neg = s1_neg;
+    s1 = s2;
+    s1_neg = s2_neg;
+  }
+
+  if (r0 != BigInt(1)) throw Error("modinv: not invertible");
+  if (s0_neg) return modulus - (s0 % modulus);
+  return s0 % modulus;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+bool BigInt::is_probable_prime(int rounds, Drbg& rng) const {
+  if (*this < BigInt(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (*this == bp) return true;
+    if ((*this % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  BigInt n_minus_1 = *this - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    BigInt a = BigInt(2) + random_below(*this - BigInt(3), rng);
+    BigInt x = a.modexp(d, *this);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = x.modexp(BigInt(2), *this);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::generate_prime(std::size_t bits, Drbg& rng) {
+  if (bits < 8) throw Error("generate_prime: need at least 8 bits");
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    // Force odd.
+    if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+    if (candidate.bit_length() != bits) continue;
+    if (candidate.is_probable_prime(24, rng)) return candidate;
+  }
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (limbs_.size() > 2) throw Error("BigInt too large for u64");
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+}  // namespace clarens::crypto

@@ -1,0 +1,37 @@
+// ChaCha20 stream cipher (RFC 8439 core), the symmetric cipher of the
+// TLS-like record layer and the engine behind the DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace clarens::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> nonce, std::uint32_t counter = 0);
+
+  /// XOR the keystream into `data` in place (encrypt == decrypt).
+  void crypt(std::span<std::uint8_t> data);
+
+  /// Convenience: out-of-place transform.
+  std::vector<std::uint8_t> crypt_copy(std::span<const std::uint8_t> data);
+
+  /// Produce raw keystream bytes (used by the DRBG).
+  void keystream(std::span<std::uint8_t> out);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // exhausted
+};
+
+}  // namespace clarens::crypto

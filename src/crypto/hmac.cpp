@@ -1,0 +1,74 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace clarens::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    Sha256::Digest d = Sha256::hash(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad, opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.update(data);
+  Sha256::Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(),
+                                             inner_digest.size()));
+  return outer.finish();
+}
+
+Sha256::Digest hmac_sha256(std::string_view key, std::string_view data) {
+  return hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::vector<std::uint8_t> derive_key(std::span<const std::uint8_t> ikm,
+                                     std::string_view label,
+                                     std::size_t length) {
+  std::vector<std::uint8_t> out;
+  out.reserve(length);
+  Sha256::Digest t{};
+  std::uint8_t counter = 1;
+  bool first = true;
+  while (out.size() < length) {
+    std::vector<std::uint8_t> msg;
+    if (!first) msg.insert(msg.end(), t.begin(), t.end());
+    msg.insert(msg.end(), label.begin(), label.end());
+    msg.push_back(counter);
+    t = hmac_sha256(ikm, msg);
+    std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+    first = false;
+  }
+  return out;
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace clarens::crypto

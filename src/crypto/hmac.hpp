@@ -1,0 +1,32 @@
+// HMAC-SHA256 (RFC 2104) and HKDF-style key derivation used by the TLS-like
+// record layer and session-token minting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace clarens::crypto {
+
+/// HMAC-SHA256 over `data` keyed by `key`.
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> data);
+
+Sha256::Digest hmac_sha256(std::string_view key, std::string_view data);
+
+/// Derive `length` bytes from input keying material with a label, an
+/// HKDF-expand-like construction: T(i) = HMAC(ikm, T(i-1) | label | i).
+std::vector<std::uint8_t> derive_key(std::span<const std::uint8_t> ikm,
+                                     std::string_view label,
+                                     std::size_t length);
+
+/// Constant-time comparison for MACs and password digests.
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+}  // namespace clarens::crypto

@@ -1,0 +1,49 @@
+// MD5 message digest (RFC 1321).
+//
+// The Clarens file service exposes file.md5() for integrity checking of
+// remotely served files; this is a from-scratch implementation with a
+// streaming interface so large files hash in bounded memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace clarens::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5();
+
+  /// Absorb more input.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+
+  /// Finish and return the digest. The object may be reused after reset().
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::string_view data);
+  /// Lowercase hex digest, the format file.md5() returns.
+  static std::string hex(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace clarens::crypto

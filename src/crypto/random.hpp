@@ -1,0 +1,49 @@
+// Cryptographic randomness: a ChaCha20-based DRBG seeded from the
+// operating system, with a thread-local instance for lock-free use.
+// Session tokens, RSA key generation, TLS nonces and proxy-certificate
+// serials all draw from here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clarens::crypto {
+
+class Drbg {
+ public:
+  /// Seeded from the OS (/dev/urandom; falls back to clock entropy mixing
+  /// only if the device is unavailable).
+  Drbg();
+
+  /// Deterministic DRBG for reproducible tests.
+  explicit Drbg(std::span<const std::uint8_t> seed);
+
+  void fill(std::span<std::uint8_t> out);
+
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Random lowercase-hex token of `bytes` entropy bytes.
+  std::string token(std::size_t bytes = 16);
+
+ private:
+  void reseed_block();
+
+  std::array<std::uint8_t, 32> key_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Thread-local process-wide DRBG.
+Drbg& system_drbg();
+
+/// Convenience wrappers over system_drbg().
+std::vector<std::uint8_t> random_bytes(std::size_t n);
+std::string random_token(std::size_t bytes = 16);
+
+}  // namespace clarens::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), the workhorse digest for certificate signatures,
+// HMAC record authentication, session-key derivation and the DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace clarens::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+
+  Digest finish();
+
+  void reset();
+
+  static Digest hash(std::string_view data);
+  static Digest hash(std::span<const std::uint8_t> data);
+  static std::string hex(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace clarens::crypto

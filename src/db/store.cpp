@@ -1,0 +1,274 @@
+#include "db/store.hpp"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace clarens::db {
+
+namespace {
+
+// Journal record layout:
+//   u8 op ('P' put / 'E' erase) | u32 tlen | u32 klen | u32 vlen |
+//   table | key | value | u32 fnv1a(checksum over everything before it)
+// Fixed-width little-endian lengths; the checksum detects torn tails.
+
+std::uint32_t fnv1a(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+constexpr std::uint32_t kFnvBasis = 2166136261u;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+bool read_exact(std::FILE* f, void* out, std::size_t len) {
+  return std::fread(out, 1, len, f) == len;
+}
+
+}  // namespace
+
+Store::Store() = default;
+
+Store::Store(const std::string& directory) : directory_(directory) {
+  std::filesystem::create_directories(directory_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  load_locked();
+}
+
+Store::~Store() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_) std::fclose(journal_);
+}
+
+void Store::append_journal(char op, const std::string& table,
+                           const std::string& key, const std::string& value) {
+  if (!journal_) return;
+  std::string record;
+  record.reserve(17 + table.size() + key.size() + value.size());
+  record.push_back(op);
+  put_u32(record, static_cast<std::uint32_t>(table.size()));
+  put_u32(record, static_cast<std::uint32_t>(key.size()));
+  put_u32(record, static_cast<std::uint32_t>(value.size()));
+  record.append(table);
+  record.append(key);
+  record.append(value);
+  put_u32(record, fnv1a(record.data(), record.size(), kFnvBasis));
+  std::fwrite(record.data(), 1, record.size(), journal_);
+  std::fflush(journal_);
+  journal_bytes_ += record.size();
+  if (journal_bytes_ >= compact_threshold_) {
+    write_snapshot_locked();
+  }
+}
+
+void Store::replay_file(std::FILE* f, bool tolerate_tear) {
+  for (;;) {
+    unsigned char header[13];
+    std::size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) return;  // clean EOF
+    if (got < sizeof(header)) {
+      if (tolerate_tear) return;
+      throw SystemError("corrupt store: truncated record header");
+    }
+    char op = static_cast<char>(header[0]);
+    std::uint32_t tlen, klen, vlen;
+    std::memcpy(&tlen, header + 1, 4);
+    std::memcpy(&klen, header + 5, 4);
+    std::memcpy(&vlen, header + 9, 4);
+    // Guard against absurd lengths from corruption.
+    if (tlen > (1u << 20) || klen > (1u << 24) || vlen > (1u << 28)) {
+      if (tolerate_tear) return;
+      throw SystemError("corrupt store: implausible record length");
+    }
+    std::string table(tlen, '\0'), key(klen, '\0'), value(vlen, '\0');
+    std::uint32_t checksum = 0;
+    if (!read_exact(f, table.data(), tlen) || !read_exact(f, key.data(), klen) ||
+        !read_exact(f, value.data(), vlen) ||
+        !read_exact(f, &checksum, sizeof(checksum))) {
+      if (tolerate_tear) return;
+      throw SystemError("corrupt store: truncated record body");
+    }
+    std::uint32_t h = fnv1a(header, sizeof(header), kFnvBasis);
+    h = fnv1a(table.data(), tlen, h);
+    h = fnv1a(key.data(), klen, h);
+    h = fnv1a(value.data(), vlen, h);
+    if (h != checksum) {
+      if (tolerate_tear) return;
+      throw SystemError("corrupt store: checksum mismatch");
+    }
+    if (op == 'P') {
+      tables_[table][key] = value;
+    } else if (op == 'E') {
+      auto it = tables_.find(table);
+      if (it != tables_.end()) {
+        it->second.erase(key);
+        if (it->second.empty()) tables_.erase(it);
+      }
+    } else {
+      if (tolerate_tear) return;
+      throw SystemError("corrupt store: unknown op");
+    }
+  }
+}
+
+void Store::load_locked() {
+  tables_.clear();
+  std::string snapshot_path = directory_ + "/snapshot.db";
+  std::string journal_path = directory_ + "/journal.log";
+
+  if (std::FILE* f = std::fopen(snapshot_path.c_str(), "rb")) {
+    // Snapshots are written atomically, so corruption is a hard error.
+    replay_file(f, /*tolerate_tear=*/false);
+    std::fclose(f);
+  }
+  if (std::FILE* f = std::fopen(journal_path.c_str(), "rb")) {
+    // The journal's final record may be torn by a crash; discard it.
+    replay_file(f, /*tolerate_tear=*/true);
+    std::fclose(f);
+  }
+  journal_ = std::fopen(journal_path.c_str(), "ab");
+  if (!journal_) throw SystemError("cannot open journal: " + journal_path);
+  long pos = std::ftell(journal_);
+  journal_bytes_ = pos > 0 ? static_cast<std::size_t>(pos) : 0;
+}
+
+void Store::write_snapshot_locked() {
+  if (directory_.empty()) return;
+  std::string tmp_path = directory_ + "/snapshot.tmp";
+  std::string snapshot_path = directory_ + "/snapshot.db";
+  std::string journal_path = directory_ + "/journal.log";
+
+  {
+    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+    if (!f) throw SystemError("cannot write snapshot: " + tmp_path);
+    for (const auto& [table, rows] : tables_) {
+      for (const auto& [key, value] : rows) {
+        std::string record;
+        record.push_back('P');
+        put_u32(record, static_cast<std::uint32_t>(table.size()));
+        put_u32(record, static_cast<std::uint32_t>(key.size()));
+        put_u32(record, static_cast<std::uint32_t>(value.size()));
+        record.append(table);
+        record.append(key);
+        record.append(value);
+        put_u32(record, fnv1a(record.data(), record.size(), kFnvBasis));
+        std::fwrite(record.data(), 1, record.size(), f);
+      }
+    }
+    std::fflush(f);
+    std::fclose(f);
+  }
+  std::filesystem::rename(tmp_path, snapshot_path);
+
+  if (journal_) std::fclose(journal_);
+  journal_ = std::fopen(journal_path.c_str(), "wb");
+  if (!journal_) throw SystemError("cannot truncate journal: " + journal_path);
+  journal_bytes_ = 0;
+}
+
+void Store::put(const std::string& table, const std::string& key,
+                const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_[table][key] = value;
+  append_journal('P', table, key, value);
+}
+
+std::optional<std::string> Store::get(const std::string& table,
+                                      const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return std::nullopt;
+  auto kit = it->second.find(key);
+  if (kit == it->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+bool Store::erase(const std::string& table, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end() || it->second.erase(key) == 0) return false;
+  if (it->second.empty()) tables_.erase(it);
+  append_journal('E', table, key, "");
+  return true;
+}
+
+bool Store::contains(const std::string& table, const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  return it != tables_.end() && it->second.count(key) != 0;
+}
+
+std::vector<std::string> Store::keys(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [key, _] : it->second) out.push_back(key);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
+    const std::string& table, const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return out;
+  for (auto kit = it->second.lower_bound(prefix); kit != it->second.end();
+       ++kit) {
+    if (kit->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(kit->first, kit->second);
+  }
+  return out;
+}
+
+std::size_t Store::drop_table(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return 0;
+  std::size_t n = it->second.size();
+  // Journal each erase so replay reproduces the drop.
+  for (const auto& [key, _] : it->second) append_journal('E', table, key, "");
+  tables_.erase(it);
+  return n;
+}
+
+std::vector<std::string> Store::tables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+std::size_t Store::size(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.size();
+}
+
+void Store::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_snapshot_locked();
+}
+
+void Store::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_) std::fflush(journal_);
+}
+
+}  // namespace clarens::db

@@ -1,0 +1,143 @@
+#include "discovery/discovery_server.hpp"
+
+#include <set>
+
+#include "rpc/jsonrpc.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace clarens::discovery {
+
+namespace {
+constexpr const char* kTable = "discovery_records";
+}
+
+DiscoveryServer::DiscoveryServer(db::Store& store, std::int64_t record_ttl)
+    : store_(store),
+      record_ttl_(record_ttl),
+      socket_(net::UdpSocket::bind(0)),
+      port_(socket_.local_port()) {
+  // Warm the in-memory cache from any persisted aggregation (restart).
+  for (const auto& key : store_.keys(kTable)) {
+    if (auto text = store_.get(kTable, key)) {
+      try {
+        cache_[key] =
+            ServiceRecord::from_value(rpc::jsonrpc::parse_value(*text));
+      } catch (const Error&) {
+        store_.erase(kTable, key);  // drop unreadable rows
+      }
+    }
+  }
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+DiscoveryServer::~DiscoveryServer() { stop(); }
+
+void DiscoveryServer::stop() {
+  if (!running_.exchange(false)) return;
+  try {
+    net::UdpSocket poke = net::UdpSocket::bind(0);
+    poke.send_to("127.0.0.1", port_, std::string("{}"));
+  } catch (const Error&) {
+  }
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void DiscoveryServer::subscribe(const std::string& station_host,
+                                std::uint16_t station_port) {
+  stations_.emplace_back(station_host, station_port);
+  Datagram datagram;
+  datagram.type = Datagram::Type::Subscribe;
+  datagram.reply_host = "127.0.0.1";
+  datagram.reply_port = port_;
+  socket_.send_to(station_host, station_port, datagram.encode());
+}
+
+void DiscoveryServer::receive_loop() {
+  while (running_.load()) {
+    auto wire = socket_.recv(250);
+    if (!wire) continue;
+    if (!running_.load()) return;
+    try {
+      Datagram datagram = Datagram::decode(*wire);
+      if (datagram.type == Datagram::Type::Records) {
+        ingest(datagram.records);
+      }
+    } catch (const Error& e) {
+      CLARENS_LOG(Debug) << "discovery: dropping bad datagram: " << e.what();
+    }
+  }
+}
+
+void DiscoveryServer::ingest(const std::vector<ServiceRecord>& records) {
+  for (const auto& record : records) {
+    store_.put(kTable, record.key(),
+               rpc::jsonrpc::serialize_value(record.to_value()));
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_[record.key()] = record;
+  }
+}
+
+std::vector<ServiceRecord> DiscoveryServer::find_services(
+    const std::string& query) const {
+  std::vector<ServiceRecord> out;
+  std::int64_t now = util::unix_now();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (const auto& [_, record] : cache_) {
+    if (now - record.heartbeat > record_ttl_) continue;
+    if (query.empty() || record.service.find(query) != std::string::npos) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DiscoveryServer::find_servers() const {
+  std::set<std::string> urls;
+  for (const auto& record : find_services("")) urls.insert(record.url);
+  return {urls.begin(), urls.end()};
+}
+
+std::optional<std::string> DiscoveryServer::locate(
+    const std::string& service) const {
+  for (const auto& record : find_services("")) {
+    if (record.service == service) return record.url;
+  }
+  return std::nullopt;
+}
+
+std::vector<ServiceRecord> DiscoveryServer::query_stations(
+    const std::string& query, int timeout_ms) const {
+  // Walk every station with a round-trip each — the pre-aggregation
+  // architecture the local DB replaced.
+  std::vector<ServiceRecord> out;
+  std::set<std::string> seen;
+  for (const auto& [host, port] : stations_) {
+    net::UdpSocket reply = net::UdpSocket::bind(0);
+    Datagram request;
+    request.type = Datagram::Type::Query;
+    request.query = query;
+    request.reply_host = "127.0.0.1";
+    request.reply_port = reply.local_port();
+    try {
+      reply.send_to(host, port, request.encode());
+      auto wire = reply.recv(timeout_ms);
+      if (!wire) continue;
+      Datagram response = Datagram::decode(*wire);
+      for (auto& record : response.records) {
+        if (seen.insert(record.key()).second) out.push_back(std::move(record));
+      }
+    } catch (const Error&) {
+      // A down station is skipped; discovery degrades, not fails.
+    }
+  }
+  return out;
+}
+
+std::size_t DiscoveryServer::record_count() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+}  // namespace clarens::discovery

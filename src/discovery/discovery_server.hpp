@@ -1,0 +1,74 @@
+// Discovery server: the JClarens JINI-client analogue of Figure 3.
+//
+// Subscribes to station servers, aggregates every republished record into
+// a local database table, and answers service searches from that local
+// copy — "consequently able to respond to service searches far more
+// rapidly" (paper §2.4) than walking the network. A direct-query slow
+// path is kept for the ablation benchmark.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/store.hpp"
+#include "discovery/glue.hpp"
+#include "net/socket.hpp"
+
+namespace clarens::discovery {
+
+class DiscoveryServer {
+ public:
+  /// `store` backs the local aggregation table; pass an in-memory Store
+  /// or the server's persistent one.
+  explicit DiscoveryServer(db::Store& store, std::int64_t record_ttl = 60);
+  ~DiscoveryServer();
+
+  DiscoveryServer(const DiscoveryServer&) = delete;
+  DiscoveryServer& operator=(const DiscoveryServer&) = delete;
+
+  /// Subscribe to a station server; its current table is bootstrapped and
+  /// all future publishes stream in.
+  void subscribe(const std::string& station_host, std::uint16_t station_port);
+
+  // --- fast path: local database -------------------------------------
+  /// Services whose name contains `query` ("" = all), live only.
+  std::vector<ServiceRecord> find_services(const std::string& query) const;
+  /// Distinct node URLs currently known.
+  std::vector<std::string> find_servers() const;
+  /// Resolve a service name to an endpoint URL (first live match) — the
+  /// location-independent binding step.
+  std::optional<std::string> locate(const std::string& service) const;
+
+  // --- slow path: walk the stations (ablation baseline) ---------------
+  std::vector<ServiceRecord> query_stations(const std::string& query,
+                                            int timeout_ms = 500) const;
+
+  std::size_t record_count() const;
+  void stop();
+
+ private:
+  void receive_loop();
+  void ingest(const std::vector<ServiceRecord>& records);
+
+  db::Store& store_;
+  std::int64_t record_ttl_;
+  net::UdpSocket socket_;
+  std::uint16_t port_;
+  std::atomic<bool> running_{true};
+  std::thread receiver_;
+  std::vector<std::pair<std::string, std::uint16_t>> stations_;
+  /// Decoded in-memory copy of the aggregation table. The DB row is the
+  /// persistent form (survives restarts); queries answer from here —
+  /// this is what makes the local path "far more rapid" than walking
+  /// the station network (§2.4).
+  mutable std::mutex cache_mutex_;
+  std::map<std::string, ServiceRecord> cache_;
+};
+
+}  // namespace clarens::discovery

@@ -1,0 +1,93 @@
+#include "discovery/glue.hpp"
+
+#include "rpc/jsonrpc.hpp"
+#include "util/error.hpp"
+
+namespace clarens::discovery {
+
+rpc::Value ServiceRecord::to_value() const {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("farm", farm);
+  v.set("node", node);
+  v.set("service", service);
+  v.set("url", url);
+  v.set("protocol", protocol);
+  v.set("version", version);
+  v.set("heartbeat", heartbeat);
+  rpc::Value m = rpc::Value::struct_();
+  for (const auto& [key, value] : metrics) m.set(key, value);
+  v.set("metrics", m);
+  return v;
+}
+
+ServiceRecord ServiceRecord::from_value(const rpc::Value& v) {
+  ServiceRecord r;
+  r.farm = v.at("farm").as_string();
+  r.node = v.at("node").as_string();
+  r.service = v.at("service").as_string();
+  r.url = v.at("url").as_string();
+  r.protocol = v.at("protocol").as_string();
+  r.version = v.at("version").as_string();
+  r.heartbeat = v.at("heartbeat").as_int();
+  if (const rpc::Value* m = v.find("metrics")) {
+    for (const auto& [key, value] : m->members()) {
+      r.metrics[key] = value.as_double();
+    }
+  }
+  return r;
+}
+
+bool ServiceRecord::operator==(const ServiceRecord& o) const {
+  return farm == o.farm && node == o.node && service == o.service &&
+         url == o.url && protocol == o.protocol && version == o.version &&
+         heartbeat == o.heartbeat && metrics == o.metrics;
+}
+
+namespace {
+
+const char* type_name(Datagram::Type type) {
+  switch (type) {
+    case Datagram::Type::Publish: return "publish";
+    case Datagram::Type::Subscribe: return "subscribe";
+    case Datagram::Type::Query: return "query";
+    case Datagram::Type::Records: return "records";
+  }
+  return "?";
+}
+
+Datagram::Type type_from(const std::string& name) {
+  if (name == "publish") return Datagram::Type::Publish;
+  if (name == "subscribe") return Datagram::Type::Subscribe;
+  if (name == "query") return Datagram::Type::Query;
+  if (name == "records") return Datagram::Type::Records;
+  throw ParseError("unknown datagram type: '" + name + "'");
+}
+
+}  // namespace
+
+std::string Datagram::encode() const {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("type", std::string(type_name(type)));
+  rpc::Value recs = rpc::Value::array();
+  for (const auto& r : records) recs.push(r.to_value());
+  v.set("records", recs);
+  v.set("reply_host", reply_host);
+  v.set("reply_port", static_cast<std::int64_t>(reply_port));
+  v.set("query", query);
+  return rpc::jsonrpc::serialize_value(v);
+}
+
+Datagram Datagram::decode(std::string_view wire) {
+  rpc::Value v = rpc::jsonrpc::parse_value(wire);
+  Datagram d;
+  d.type = type_from(v.at("type").as_string());
+  for (const auto& r : v.at("records").as_array()) {
+    d.records.push_back(ServiceRecord::from_value(r));
+  }
+  d.reply_host = v.at("reply_host").as_string();
+  d.reply_port = static_cast<std::uint16_t>(v.at("reply_port").as_int());
+  d.query = v.at("query").as_string();
+  return d;
+}
+
+}  // namespace clarens::discovery

@@ -1,0 +1,54 @@
+// GLUE-like service description records (paper §2.4).
+//
+// MonALISA arranges monitoring data roughly per the GLUE schema — a
+// hierarchy of servers, farms, nodes and key/value pairs. The paper notes
+// the schema "is not ideal for organizing service description data", but
+// the publish/subscribe network carries it anyway; service descriptions
+// ride in the key/value leaves. This module models that record shape and
+// its wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rpc/value.hpp"
+
+namespace clarens::discovery {
+
+struct ServiceRecord {
+  std::string farm;      // GLUE farm (site) name, e.g. "caltech-tier2"
+  std::string node;      // node within the farm, e.g. "clarens01"
+  std::string service;   // service (method module) name, e.g. "file"
+  std::string url;       // invocation endpoint, e.g. "http://host:port/"
+  std::string protocol;  // "xmlrpc", "soap", ...
+  std::string version;
+  std::int64_t heartbeat = 0;  // unix seconds of last publish
+  /// GLUE-style key/numerical-value pairs (load, capacity, ...).
+  std::map<std::string, double> metrics;
+
+  /// Unique key within the discovery network.
+  std::string key() const { return farm + "/" + node + "/" + service; }
+
+  rpc::Value to_value() const;
+  static ServiceRecord from_value(const rpc::Value& v);
+
+  bool operator==(const ServiceRecord& o) const;
+};
+
+/// Datagram envelope used on the UDP fabric between publishers, station
+/// servers and discovery servers.
+struct Datagram {
+  enum class Type { Publish, Subscribe, Query, Records };
+  Type type = Type::Publish;
+  std::vector<ServiceRecord> records;  // Publish / Records
+  std::string reply_host;              // Subscribe / Query
+  std::uint16_t reply_port = 0;        // Subscribe / Query
+  std::string query;                   // Query: service-name substring
+
+  std::string encode() const;
+  static Datagram decode(std::string_view wire);
+};
+
+}  // namespace clarens::discovery

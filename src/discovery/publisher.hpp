@@ -1,0 +1,45 @@
+// Publisher: the "UDP-based application" (paper §2.4) with which a
+// Clarens server pushes its service information to a station server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "discovery/glue.hpp"
+#include "net/socket.hpp"
+
+namespace clarens::discovery {
+
+class Publisher {
+ public:
+  Publisher(std::string station_host, std::uint16_t station_port);
+  ~Publisher();
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// Replace the advertised record set.
+  void set_records(std::vector<ServiceRecord> records);
+
+  /// Send one publish datagram now (heartbeats are stamped fresh).
+  void publish_once();
+
+  /// Re-publish every `interval_ms` until stopped (heartbeat keep-alive).
+  void start_periodic(int interval_ms);
+  void stop();
+
+ private:
+  std::string station_host_;
+  std::uint16_t station_port_;
+  net::UdpSocket socket_;
+  std::mutex mutex_;
+  std::vector<ServiceRecord> records_;
+  std::atomic<bool> running_{false};
+  std::thread ticker_;
+};
+
+}  // namespace clarens::discovery

@@ -1,0 +1,138 @@
+#include "discovery/station.hpp"
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace clarens::discovery {
+
+StationServer::StationServer(std::uint16_t port, std::int64_t record_ttl)
+    : socket_(net::UdpSocket::bind(port)),
+      port_(socket_.local_port()),
+      record_ttl_(record_ttl) {
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+StationServer::~StationServer() { stop(); }
+
+void StationServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Nudge the blocking recv with a self-addressed datagram.
+  try {
+    net::UdpSocket poke = net::UdpSocket::bind(0);
+    poke.send_to("127.0.0.1", port_, std::string("{}"));
+  } catch (const Error&) {
+  }
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void StationServer::add_subscriber(const std::string& host, std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.emplace_back(host, port);
+}
+
+std::vector<ServiceRecord> StationServer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ServiceRecord> out;
+  std::int64_t now = util::unix_now();
+  for (const auto& [_, record] : records_) {
+    if (now - record.heartbeat <= record_ttl_) out.push_back(record);
+  }
+  return out;
+}
+
+void StationServer::receive_loop() {
+  while (running_.load()) {
+    auto wire = socket_.recv(250);
+    if (!wire) continue;
+    if (!running_.load()) return;
+    try {
+      handle(Datagram::decode(*wire));
+    } catch (const Error& e) {
+      CLARENS_LOG(Debug) << "station: dropping bad datagram: " << e.what();
+    }
+  }
+}
+
+void StationServer::handle(const Datagram& datagram) {
+  switch (datagram.type) {
+    case Datagram::Type::Publish: {
+      std::vector<std::pair<std::string, std::uint16_t>> subscribers;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::int64_t now = util::unix_now();
+        for (const auto& record : datagram.records) {
+          records_[record.key()] = record;
+        }
+        expire_locked(now);
+        subscribers = subscribers_;
+      }
+      publishes_.fetch_add(1);
+      // Republish to the network (Fig. 3 arrows SS -> DS).
+      Datagram out;
+      out.type = Datagram::Type::Records;
+      out.records = datagram.records;
+      std::string wire = out.encode();
+      net::UdpSocket sender = net::UdpSocket::bind(0);
+      for (const auto& [host, port] : subscribers) {
+        try {
+          sender.send_to(host, port, wire);
+        } catch (const Error&) {
+          // Unreachable subscriber: discovery is best-effort by design.
+        }
+      }
+      break;
+    }
+    case Datagram::Type::Subscribe: {
+      add_subscriber(datagram.reply_host, datagram.reply_port);
+      // Bootstrap the new subscriber with the current table.
+      Datagram out;
+      out.type = Datagram::Type::Records;
+      out.records = records();
+      try {
+        net::UdpSocket sender = net::UdpSocket::bind(0);
+        sender.send_to(datagram.reply_host, datagram.reply_port, out.encode());
+      } catch (const Error&) {
+      }
+      break;
+    }
+    case Datagram::Type::Query: {
+      Datagram out;
+      out.type = Datagram::Type::Records;
+      for (const auto& record : records()) {
+        if (datagram.query.empty() ||
+            record.service.find(datagram.query) != std::string::npos) {
+          out.records.push_back(record);
+        }
+      }
+      try {
+        net::UdpSocket sender = net::UdpSocket::bind(0);
+        sender.send_to(datagram.reply_host, datagram.reply_port, out.encode());
+      } catch (const Error&) {
+      }
+      break;
+    }
+    case Datagram::Type::Records:
+      // Stations accept peer republications like publishes, minus the fanout
+      // (no re-republish, avoiding loops in station meshes).
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& record : datagram.records) {
+          records_[record.key()] = record;
+        }
+      }
+      break;
+  }
+}
+
+void StationServer::expire_locked(std::int64_t now) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (now - it->second.heartbeat > record_ttl_) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace clarens::discovery

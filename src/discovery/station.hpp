@@ -1,0 +1,65 @@
+// Station server: the MonALISA ingest node of Figure 3.
+//
+// Clarens servers publish service information over UDP to a station
+// server, which keeps the current registrations (with TTL expiry) and
+// republishes every update to its subscribers — the discovery servers
+// (JINI-client analogues) and, in larger deployments, other stations.
+// Stations also answer direct UDP queries; walking stations per-query is
+// the slow path that the discovery server's local aggregation replaces
+// (bench_discovery_query measures the difference).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "discovery/glue.hpp"
+#include "net/socket.hpp"
+
+namespace clarens::discovery {
+
+class StationServer {
+ public:
+  /// Binds a UDP socket on loopback (port 0 = ephemeral) and starts the
+  /// receive thread. `record_ttl` seconds without a refresh expires a
+  /// registration.
+  explicit StationServer(std::uint16_t port = 0, std::int64_t record_ttl = 60);
+  ~StationServer();
+
+  StationServer(const StationServer&) = delete;
+  StationServer& operator=(const StationServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Add a subscriber (discovery server / peer station) that receives a
+  /// Records datagram for every accepted publish.
+  void add_subscriber(const std::string& host, std::uint16_t port);
+
+  /// Current live (unexpired) records.
+  std::vector<ServiceRecord> records() const;
+
+  std::size_t publish_count() const { return publishes_.load(); }
+
+  void stop();
+
+ private:
+  void receive_loop();
+  void handle(const Datagram& datagram);
+  void expire_locked(std::int64_t now);
+
+  net::UdpSocket socket_;
+  std::uint16_t port_;
+  std::int64_t record_ttl_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::size_t> publishes_{0};
+  std::thread receiver_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ServiceRecord> records_;  // keyed by record.key()
+  std::vector<std::pair<std::string, std::uint16_t>> subscribers_;
+};
+
+}  // namespace clarens::discovery

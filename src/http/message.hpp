@@ -1,0 +1,82 @@
+// HTTP/1.1 request and response models.
+//
+// Clarens rides on plain HTTP: XML-RPC/SOAP/JSON-RPC POSTs to the service
+// endpoint, GETs for files and the browser portal (paper §2, §3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace clarens::http {
+
+/// Ordered, case-insensitive-lookup header list.
+class Headers {
+ public:
+  void add(std::string name, std::string value);
+  void set(std::string name, std::string value);  // replace or add
+  /// First value, case-insensitive name match.
+  std::optional<std::string> get(std::string_view name) const;
+  std::string get_or(std::string_view name, std::string fallback) const;
+  bool has(std::string_view name) const { return get(name).has_value(); }
+
+  const std::vector<std::pair<std::string, std::string>>& all() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+struct Request {
+  std::string method;   // GET, POST, ...
+  std::string target;   // raw request target: /path?query
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  /// Decoded path component (without query, %xx decoded).
+  std::string path() const;
+  /// Decoded query parameters.
+  std::map<std::string, std::string> query() const;
+
+  bool keep_alive() const;
+
+  /// Wire form.
+  std::string serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  /// When set, the server streams this file region as the body instead of
+  /// `body`, using sendfile(2) on plaintext connections. Content-Length is
+  /// set automatically.
+  struct FileRegion {
+    std::string path;
+    std::int64_t offset = 0;
+    std::int64_t length = -1;  // -1 = to EOF
+  };
+  std::optional<FileRegion> file;
+
+  static Response make(int status, std::string body,
+                       std::string content_type = "text/plain");
+
+  std::string serialize_head(std::size_t content_length) const;
+  std::string serialize() const;
+};
+
+const char* reason_phrase(int status);
+
+/// %xx-decode. Throws clarens::ParseError on malformed escapes.
+std::string url_decode(std::string_view s);
+std::string url_encode(std::string_view s);
+
+}  // namespace clarens::http

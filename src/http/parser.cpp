@@ -1,0 +1,168 @@
+#include "http/parser.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::http {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 256 * 1024 * 1024;
+
+/// Parse header block lines (after the start line) into `headers`.
+void parse_header_lines(std::string_view block, Headers& headers) {
+  for (const auto& line : util::split(block, '\n')) {
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    std::size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      throw ParseError("malformed header line: '" + std::string(line) + "'");
+    }
+    headers.add(std::string(util::trim(trimmed.substr(0, colon))),
+                std::string(util::trim(trimmed.substr(colon + 1))));
+  }
+}
+
+}  // namespace
+
+std::optional<std::pair<std::size_t, std::string>> extract_body(
+    const Headers& headers, std::string_view rest) {
+  std::string te = util::to_lower(headers.get_or("Transfer-Encoding", ""));
+  if (te.find("chunked") != std::string::npos) {
+    // Chunked: size-line CRLF data CRLF ... 0 CRLF CRLF.
+    std::string body;
+    std::size_t pos = 0;
+    for (;;) {
+      std::size_t line_end = rest.find("\r\n", pos);
+      if (line_end == std::string_view::npos) return std::nullopt;
+      std::string size_line(util::trim(rest.substr(pos, line_end - pos)));
+      // Ignore chunk extensions after ';'.
+      std::size_t semi = size_line.find(';');
+      if (semi != std::string::npos) size_line.resize(semi);
+      std::size_t chunk_size = 0;
+      try {
+        chunk_size = static_cast<std::size_t>(
+            std::stoull(size_line, nullptr, 16));
+      } catch (const std::exception&) {
+        throw ParseError("invalid chunk size: '" + size_line + "'");
+      }
+      std::size_t data_start = line_end + 2;
+      if (chunk_size == 0) {
+        // Trailer section: skip to the blank line.
+        std::size_t end = rest.find("\r\n", data_start);
+        if (end == std::string_view::npos) return std::nullopt;
+        // Allow optional trailers: find the terminating CRLF.
+        std::size_t cursor = data_start;
+        for (;;) {
+          std::size_t eol = rest.find("\r\n", cursor);
+          if (eol == std::string_view::npos) return std::nullopt;
+          if (eol == cursor) {  // blank line
+            return std::make_pair(eol + 2, std::move(body));
+          }
+          cursor = eol + 2;
+        }
+      }
+      if (body.size() + chunk_size > kMaxBodyBytes) {
+        throw ParseError("chunked body too large");
+      }
+      if (rest.size() < data_start + chunk_size + 2) return std::nullopt;
+      body.append(rest.substr(data_start, chunk_size));
+      if (rest.substr(data_start + chunk_size, 2) != "\r\n") {
+        throw ParseError("chunk not terminated by CRLF");
+      }
+      pos = data_start + chunk_size + 2;
+    }
+  }
+
+  auto length_header = headers.get("Content-Length");
+  if (!length_header) return std::make_pair(std::size_t{0}, std::string());
+  std::uint64_t length = util::parse_uint(*length_header);
+  if (length > kMaxBodyBytes) throw ParseError("body too large");
+  if (rest.size() < length) return std::nullopt;
+  return std::make_pair(static_cast<std::size_t>(length),
+                        std::string(rest.substr(0, length)));
+}
+
+void RequestParser::feed(std::string_view data) { buffer_.append(data); }
+
+std::optional<Request> RequestParser::next() {
+  std::size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      throw ParseError("request header block too large");
+    }
+    return std::nullopt;
+  }
+  std::string_view head(buffer_.data(), head_end);
+  std::size_t line_end = head.find("\r\n");
+  std::string_view start_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  auto parts = util::split_trimmed(start_line, ' ');
+  if (parts.size() != 3) {
+    throw ParseError("malformed request line: '" + std::string(start_line) + "'");
+  }
+  Request request;
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    throw ParseError("unsupported HTTP version: " + request.version);
+  }
+  if (line_end != std::string_view::npos) {
+    parse_header_lines(head.substr(line_end + 1), request.headers);
+  }
+
+  std::string_view rest(buffer_.data() + head_end + 4,
+                        buffer_.size() - head_end - 4);
+  auto body = extract_body(request.headers, rest);
+  if (!body) return std::nullopt;
+  request.body = std::move(body->second);
+  buffer_.erase(0, head_end + 4 + body->first);
+  return request;
+}
+
+void ResponseParser::feed(std::string_view data) { buffer_.append(data); }
+
+std::optional<Response> ResponseParser::next() {
+  std::size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      throw ParseError("response header block too large");
+    }
+    return std::nullopt;
+  }
+  std::string_view head(buffer_.data(), head_end);
+  std::size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "HTTP/1.1 200 OK" — reason may contain spaces.
+  std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    throw ParseError("malformed status line: '" + std::string(status_line) + "'");
+  }
+  std::size_t sp2 = status_line.find(' ', sp1 + 1);
+  Response response;
+  std::string_view code = status_line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                             : sp2 - sp1 - 1);
+  response.status = static_cast<int>(util::parse_int(util::trim(code)));
+  if (sp2 != std::string_view::npos) {
+    response.reason = std::string(util::trim(status_line.substr(sp2 + 1)));
+  }
+  if (line_end != std::string_view::npos) {
+    parse_header_lines(head.substr(line_end + 1), response.headers);
+  }
+
+  std::string_view rest(buffer_.data() + head_end + 4,
+                        buffer_.size() - head_end - 4);
+  auto body = extract_body(response.headers, rest);
+  if (!body) return std::nullopt;
+  response.body = std::move(body->second);
+  buffer_.erase(0, head_end + 4 + body->first);
+  return response;
+}
+
+}  // namespace clarens::http

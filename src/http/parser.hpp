@@ -1,0 +1,57 @@
+// Incremental HTTP/1.1 parsers for requests (server side) and responses
+// (client side). Fed arbitrary byte chunks; yields complete messages.
+// Supports Content-Length and chunked transfer-encoding bodies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "http/message.hpp"
+#include "util/buffer.hpp"
+
+namespace clarens::http {
+
+class RequestParser {
+ public:
+  /// Append raw bytes from the connection.
+  void feed(std::string_view data);
+  void feed(std::span<const std::uint8_t> data) {
+    feed(std::string_view(reinterpret_cast<const char*>(data.data()),
+                          data.size()));
+  }
+
+  /// Returns the next complete request, or nullopt if more bytes are
+  /// needed. Throws clarens::ParseError on malformed input.
+  std::optional<Request> next();
+
+  /// Bytes currently buffered (for overload protection).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+class ResponseParser {
+ public:
+  void feed(std::string_view data);
+  void feed(std::span<const std::uint8_t> data) {
+    feed(std::string_view(reinterpret_cast<const char*>(data.data()),
+                          data.size()));
+  }
+
+  std::optional<Response> next();
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Shared body-framing logic exposed for tests: given headers and the
+/// byte stream after the blank line, determine whether a complete body is
+/// present. Returns consumed byte count and the decoded body, or nullopt.
+std::optional<std::pair<std::size_t, std::string>> extract_body(
+    const Headers& headers, std::string_view rest);
+
+}  // namespace clarens::http

@@ -1,0 +1,209 @@
+#include "http/server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+
+#include "http/parser.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace clarens::http {
+
+Server::Server(ServerOptions options, HandlerFn handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  listener_ = net::TcpListener::listen(options_.port, options_.host);
+  port_ = listener_.local_port();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  // Signal first (shutdown leaves the fds intact for threads still using
+  // them), reclaim descriptors only after every thread has left.
+  listener_.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::unique_lock<std::mutex> lock(threads_mutex_);
+    all_done_.wait(lock, [this] { return live_count_ == 0; });
+  }
+  listener_.close();
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    net::TcpConnection tcp;
+    try {
+      tcp = listener_.accept();
+    } catch (const SystemError&) {
+      // Listener closed by stop(), or transient accept failure.
+      if (!running_.load()) return;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      if (live_count_ >= options_.max_connections) {
+        // Shed load: refuse politely and move on.
+        try {
+          tcp.write_all(Response::make(503, "server busy\n").serialize());
+        } catch (const SystemError&) {
+        }
+        continue;
+      }
+      ++live_count_;
+      live_fds_.insert(tcp.fd());
+      std::thread([this, conn = std::move(tcp)]() mutable {
+        int fd = conn.fd();
+        try {
+          serve_connection(std::move(conn));
+        } catch (...) {
+          // Connection threads never take the process down.
+        }
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        live_fds_.erase(fd);
+        --live_count_;
+        if (live_count_ == 0) all_done_.notify_all();
+      }).detach();
+    }
+  }
+}
+
+void Server::serve_connection(net::TcpConnection tcp) {
+  net::TcpConnection* plain_tcp = nullptr;
+  std::unique_ptr<net::Stream> stream;
+
+  if (options_.tls) {
+    try {
+      stream = tls::SecureChannel::accept(
+          std::make_unique<net::TcpConnection>(std::move(tcp)), *options_.tls);
+    } catch (const Error& e) {
+      CLARENS_LOG(Debug) << "TLS handshake failed: " << e.what();
+      return;
+    }
+  } else {
+    auto owned = std::make_unique<net::TcpConnection>(std::move(tcp));
+    plain_tcp = owned.get();
+    stream = std::move(owned);
+  }
+
+  Peer peer;
+  peer.encrypted = options_.tls.has_value();
+  if (auto* secure = dynamic_cast<tls::SecureChannel*>(stream.get())) {
+    peer.tls_identity = secure->peer();
+    peer.chain = secure->peer_chain();
+  }
+
+  RequestParser parser;
+  std::array<std::uint8_t, 64 * 1024> chunk;
+  bool alive = true;
+  while (alive && running_.load()) {
+    std::size_t n;
+    try {
+      n = stream->read(chunk);
+    } catch (const SystemError&) {
+      return;
+    }
+    if (n == 0) return;  // client closed
+    try {
+      parser.feed(std::span<const std::uint8_t>(chunk.data(), n));
+      std::optional<Request> request;
+      while (alive && (request = parser.next())) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        Response response;
+        try {
+          response = handler_(*request, peer);
+        } catch (const Error& e) {
+          response = Response::make(500, std::string(e.what()) + "\n");
+        } catch (const std::exception& e) {
+          response = Response::make(500, std::string(e.what()) + "\n");
+        }
+        if (!request->keep_alive()) {
+          response.headers.set("Connection", "close");
+          alive = false;
+        }
+        send_response(*stream, plain_tcp, *request, std::move(response));
+      }
+    } catch (const ParseError& e) {
+      try {
+        stream->write_all(Response::make(400, std::string(e.what()) + "\n")
+                              .serialize());
+      } catch (const SystemError&) {
+      }
+      return;
+    } catch (const SystemError&) {
+      return;  // peer vanished mid-write
+    }
+  }
+}
+
+void Server::send_response(net::Stream& stream, net::TcpConnection* plain_tcp,
+                           const Request& request, Response response) {
+  if (!response.file) {
+    std::string wire = response.serialize_head(response.body.size());
+    if (request.method != "HEAD") wire += response.body;
+    stream.write_all(wire);
+    return;
+  }
+
+  // File region responses: stat, fix up length, stream.
+  const auto& region = *response.file;
+  int fd = ::open(region.path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    stream.write_all(Response::make(404, "file not found\n").serialize());
+    return;
+  }
+  struct stat st{};
+  if (fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    stream.write_all(Response::make(404, "not a regular file\n").serialize());
+    return;
+  }
+  std::int64_t offset = region.offset;
+  std::int64_t length = region.length;
+  if (offset > st.st_size) offset = st.st_size;
+  if (length < 0 || offset + length > st.st_size) length = st.st_size - offset;
+
+  stream.write_all(response.serialize_head(static_cast<std::size_t>(length)));
+  if (request.method == "HEAD" || length == 0) {
+    ::close(fd);
+    return;
+  }
+
+  if (plain_tcp) {
+    // Zero-copy path.
+    plain_tcp->sendfile(fd, offset, static_cast<std::size_t>(length));
+  } else {
+    // Encrypted: read and push through the record layer.
+    if (::lseek(fd, offset, SEEK_SET) < 0) {
+      ::close(fd);
+      throw SystemError("lseek failed");
+    }
+    std::array<std::uint8_t, 64 * 1024> buf;
+    std::int64_t remaining = length;
+    while (remaining > 0) {
+      ssize_t n = ::read(fd, buf.data(),
+                         std::min<std::int64_t>(remaining,
+                                                static_cast<std::int64_t>(buf.size())));
+      if (n <= 0) break;
+      stream.write_all(std::span<const std::uint8_t>(buf.data(),
+                                                     static_cast<std::size_t>(n)));
+      remaining -= n;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace clarens::http

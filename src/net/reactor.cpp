@@ -1,0 +1,107 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace clarens::net {
+
+namespace {
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if (interest & Reactor::kRead) events |= EPOLLIN;
+  if (interest & Reactor::kWrite) events |= EPOLLOUT;
+  return events;
+}
+
+}  // namespace
+
+Reactor::Reactor() {
+  int efd = epoll_create1(0);
+  if (efd < 0) throw SystemError(std::string("epoll_create1: ") + std::strerror(errno));
+  epoll_fd_ = Fd(efd);
+
+  int wfd = eventfd(0, EFD_NONBLOCK);
+  if (wfd < 0) throw SystemError(std::string("eventfd: ") + std::strerror(errno));
+  wake_fd_ = Fd(wfd);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wfd;
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wfd, &ev);
+}
+
+Reactor::~Reactor() = default;
+
+void Reactor::add(int fd, std::uint32_t interest, Callback callback) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw SystemError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  callbacks_[fd] = std::move(callback);
+}
+
+void Reactor::modify(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw SystemError(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+  }
+}
+
+void Reactor::remove(int fd) {
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int Reactor::poll(int timeout_ms) {
+  std::array<epoll_event, 128> events;
+  int n = epoll_wait(epoll_fd_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw SystemError(std::string("epoll_wait: ") + std::strerror(errno));
+  }
+  int handled = 0;
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    if (fd == wake_fd_.get()) {
+      std::uint64_t v;
+      while (::read(wake_fd_.get(), &v, sizeof(v)) > 0) {
+      }
+      continue;
+    }
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;  // removed by an earlier callback
+    std::uint32_t ready = 0;
+    if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) ready |= kRead;
+    if (events[i].events & EPOLLOUT) ready |= kWrite;
+    // Copy the callback: it may remove itself from the reactor.
+    Callback cb = it->second;
+    cb(ready);
+    ++handled;
+  }
+  return handled;
+}
+
+void Reactor::run() {
+  stopping_.store(false);
+  while (!stopping_.load()) poll(100);
+}
+
+void Reactor::stop() {
+  stopping_.store(true);
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace clarens::net

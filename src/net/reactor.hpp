@@ -1,0 +1,53 @@
+// epoll reactor: single-threaded readiness dispatch used by the HTTP
+// server's accept/IO loop and by the asynchronous benchmark client.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/socket.hpp"
+
+namespace clarens::net {
+
+class Reactor {
+ public:
+  enum Interest : std::uint32_t {
+    kRead = 1,
+    kWrite = 2,
+  };
+
+  /// Callback receives the ready interest mask.
+  using Callback = std::function<void(std::uint32_t ready)>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  void add(int fd, std::uint32_t interest, Callback callback);
+  void modify(int fd, std::uint32_t interest);
+  void remove(int fd);
+  bool watching(int fd) const { return callbacks_.count(fd) != 0; }
+
+  /// Dispatch ready events; waits at most `timeout_ms` (-1 = forever).
+  /// Returns number of events handled.
+  int poll(int timeout_ms);
+
+  /// Run poll() until stop() is called.
+  void run();
+  void stop();
+
+  std::size_t watched() const { return callbacks_.size(); }
+
+ private:
+  Fd epoll_fd_;
+  Fd wake_fd_;  // eventfd to interrupt run()
+  std::map<int, Callback> callbacks_;
+  // stop() may be called from another thread while run() polls.
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace clarens::net

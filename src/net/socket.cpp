@@ -1,0 +1,251 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/sendfile.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace clarens::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SystemError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string h = (host == "localhost") ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+    throw SystemError("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+Fd::~Fd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+TcpConnection TcpConnection::connect(const std::string& host,
+                                     std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Fd owned(fd);
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  TcpConnection conn(std::move(owned));
+  conn.set_nodelay(true);
+  return conn;
+}
+
+std::size_t TcpConnection::read(std::span<std::uint8_t> out) {
+  for (;;) {
+    ssize_t n = ::read(fd_.get(), out.data(), out.size());
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+}
+
+void TcpConnection::write_all(std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd_.get(), data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpConnection::close() { fd_.reset(); }
+
+std::optional<std::size_t> TcpConnection::read_some(std::span<std::uint8_t> out) {
+  for (;;) {
+    ssize_t n = ::read(fd_.get(), out.data(), out.size());
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("read");
+  }
+}
+
+std::size_t TcpConnection::write_some(std::span<const std::uint8_t> data) {
+  for (;;) {
+    ssize_t n = ::write(fd_.get(), data.data(), data.size());
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("write");
+  }
+}
+
+void TcpConnection::set_nonblocking(bool on) {
+  int flags = fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd_.get(), F_SETFL, flags) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void TcpConnection::set_nodelay(bool on) {
+  int v = on ? 1 : 0;
+  if (setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+std::size_t TcpConnection::sendfile(int file_fd, std::int64_t offset,
+                                    std::size_t count) {
+  off_t off = static_cast<off_t>(offset);
+  std::size_t total = 0;
+  while (total < count) {
+    ssize_t n = ::sendfile(fd_.get(), file_fd, &off, count - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendfile");
+    }
+    if (n == 0) break;  // EOF on source file
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+TcpListener TcpListener::listen(std::uint16_t port, const std::string& host,
+                                int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  TcpListener listener;
+  listener.fd_ = Fd(fd);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) throw_errno("listen");
+  listener.port_ = bound_port(fd);
+  return listener;
+}
+
+TcpConnection TcpListener::accept() {
+  for (;;) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      TcpConnection conn{Fd(fd)};
+      conn.set_nodelay(true);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+void TcpListener::set_nonblocking(bool on) {
+  int flags = fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd_.get(), F_SETFL, flags) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+std::optional<TcpConnection> TcpListener::accept_nonblocking() {
+  for (;;) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      TcpConnection conn{Fd(fd)};
+      conn.set_nodelay(true);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("accept");
+  }
+}
+
+void TcpListener::shutdown() {
+  // ::shutdown() wakes a blocked accept() (plain close() does not on
+  // Linux) and leaves fd_ untouched, so concurrent readers are safe.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+void TcpListener::close() {
+  shutdown();
+  fd_.reset();
+}
+
+UdpSocket UdpSocket::bind(std::uint16_t port, const std::string& host) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw_errno("socket(udp)");
+  UdpSocket sock;
+  sock.fd_ = Fd(fd);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind udp " + host + ":" + std::to_string(port));
+  }
+  sock.port_ = bound_port(fd);
+  return sock;
+}
+
+void UdpSocket::send_to(const std::string& host, std::uint16_t port,
+                        std::span<const std::uint8_t> data) {
+  sockaddr_in addr = make_addr(host, port);
+  ssize_t n = ::sendto(fd_.get(), data.data(), data.size(), 0,
+                       reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) throw_errno("sendto");
+}
+
+std::optional<std::string> UdpSocket::recv(int timeout_ms) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) throw_errno("poll");
+  if (rc == 0) return std::nullopt;
+  char buf[65536];
+  ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0, nullptr, nullptr);
+  if (n < 0) throw_errno("recvfrom");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace clarens::net

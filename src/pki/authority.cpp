@@ -1,0 +1,63 @@
+#include "pki/authority.hpp"
+
+#include "crypto/random.hpp"
+#include "util/clock.hpp"
+
+namespace clarens::pki {
+
+namespace {
+
+std::string fresh_serial() { return crypto::random_token(8); }
+
+}  // namespace
+
+CertificateAuthority CertificateAuthority::create(
+    const DistinguishedName& dn, std::size_t key_bits,
+    std::int64_t lifetime_seconds) {
+  crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits, crypto::system_drbg());
+  std::int64_t now = util::unix_now();
+  Certificate cert(fresh_serial(), CertKind::Authority, dn, dn, now - 60,
+                   now + lifetime_seconds, keys.pub);
+  cert.sign_with(keys.priv);
+  return CertificateAuthority(Credential{std::move(cert), keys.priv}, key_bits);
+}
+
+CertificateAuthority::CertificateAuthority(Credential credential,
+                                           std::size_t key_bits)
+    : credential_(std::move(credential)), key_bits_(key_bits) {}
+
+Credential CertificateAuthority::issue(CertKind kind,
+                                       const DistinguishedName& subject,
+                                       std::int64_t lifetime_seconds) const {
+  crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, crypto::system_drbg());
+  std::int64_t now = util::unix_now();
+  Certificate cert(fresh_serial(), kind, subject,
+                   credential_.certificate.subject(), now - 60,
+                   now + lifetime_seconds, keys.pub);
+  cert.sign_with(credential_.private_key);
+  return {std::move(cert), keys.priv};
+}
+
+Credential CertificateAuthority::issue_user(const DistinguishedName& subject,
+                                            std::int64_t lifetime_seconds) const {
+  return issue(CertKind::User, subject, lifetime_seconds);
+}
+
+Credential CertificateAuthority::issue_server(
+    const DistinguishedName& subject, std::int64_t lifetime_seconds) const {
+  return issue(CertKind::Server, subject, lifetime_seconds);
+}
+
+Credential issue_proxy(const Credential& user, std::int64_t lifetime_seconds,
+                       std::size_t key_bits) {
+  crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits, crypto::system_drbg());
+  std::int64_t now = util::unix_now();
+  Certificate cert(fresh_serial(), CertKind::Proxy,
+                   user.certificate.subject().with("CN", "proxy"),
+                   user.certificate.subject(), now - 60, now + lifetime_seconds,
+                   keys.pub);
+  cert.sign_with(user.private_key);
+  return {std::move(cert), keys.priv};
+}
+
+}  // namespace clarens::pki

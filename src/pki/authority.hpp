@@ -1,0 +1,51 @@
+// Certificate authority: issues user/server certificates, and users issue
+// their own proxy certificates (delegation, paper §2.6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pki/certificate.hpp"
+
+namespace clarens::pki {
+
+class CertificateAuthority {
+ public:
+  /// Create a fresh self-signed CA. `key_bits` applies to the CA key and
+  /// to every key it generates for issued certificates.
+  static CertificateAuthority create(const DistinguishedName& dn,
+                                     std::size_t key_bits = 512,
+                                     std::int64_t lifetime_seconds =
+                                         10L * 365 * 24 * 3600);
+
+  /// Reconstruct from a stored credential.
+  explicit CertificateAuthority(Credential credential, std::size_t key_bits = 512);
+
+  const Certificate& certificate() const { return credential_.certificate; }
+  const Credential& credential() const { return credential_; }
+
+  /// Issue a user (person) credential: fresh key pair + signed cert.
+  Credential issue_user(const DistinguishedName& subject,
+                        std::int64_t lifetime_seconds = 365L * 24 * 3600) const;
+
+  /// Issue a server (host) credential.
+  Credential issue_server(const DistinguishedName& subject,
+                          std::int64_t lifetime_seconds = 365L * 24 * 3600) const;
+
+ private:
+  Credential issue(CertKind kind, const DistinguishedName& subject,
+                   std::int64_t lifetime_seconds) const;
+
+  Credential credential_;
+  std::size_t key_bits_;
+};
+
+/// Create a proxy credential from a user credential: a short-lived
+/// certificate over a fresh key pair, subject = user DN + /CN=proxy,
+/// signed by the *user's* key. The proxy's private key is intentionally
+/// part of the credential (unencrypted) — that is what enables delegation.
+Credential issue_proxy(const Credential& user,
+                       std::int64_t lifetime_seconds = 12 * 3600,
+                       std::size_t key_bits = 512);
+
+}  // namespace clarens::pki

@@ -1,0 +1,114 @@
+#include "pki/certificate.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::pki {
+
+std::string to_string(CertKind kind) {
+  switch (kind) {
+    case CertKind::Authority: return "authority";
+    case CertKind::User: return "user";
+    case CertKind::Server: return "server";
+    case CertKind::Proxy: return "proxy";
+  }
+  return "user";
+}
+
+CertKind cert_kind_from_string(std::string_view text) {
+  if (text == "authority") return CertKind::Authority;
+  if (text == "user") return CertKind::User;
+  if (text == "server") return CertKind::Server;
+  if (text == "proxy") return CertKind::Proxy;
+  throw ParseError("unknown certificate kind: '" + std::string(text) + "'");
+}
+
+std::string Certificate::to_be_signed() const {
+  std::ostringstream out;
+  out << "serial:" << serial_ << '\n'
+      << "kind:" << to_string(kind_) << '\n'
+      << "subject:" << subject_.str() << '\n'
+      << "issuer:" << issuer_.str() << '\n'
+      << "not-before:" << not_before_ << '\n'
+      << "not-after:" << not_after_ << '\n'
+      << "public-key:" << public_key_.encode() << '\n';
+  return out.str();
+}
+
+void Certificate::sign_with(const crypto::RsaPrivateKey& issuer_key) {
+  signature_ = crypto::rsa_sign(issuer_key, to_be_signed());
+}
+
+bool Certificate::check_signature(const crypto::RsaPublicKey& issuer_pub) const {
+  if (signature_.empty()) return false;
+  return crypto::rsa_verify(issuer_pub, to_be_signed(), signature_);
+}
+
+std::string Certificate::encode() const {
+  return to_be_signed() + "signature:" + util::base64_encode(signature_) + "\n";
+}
+
+Certificate Certificate::decode(std::string_view text) {
+  Certificate cert;
+  bool saw_serial = false, saw_key = false;
+  for (const auto& line : util::split(text, '\n')) {
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    std::size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      throw ParseError("invalid certificate line: '" + std::string(line) + "'");
+    }
+    std::string_view key = trimmed.substr(0, colon);
+    std::string_view value = trimmed.substr(colon + 1);
+    if (key == "serial") {
+      cert.serial_ = std::string(value);
+      saw_serial = true;
+    } else if (key == "kind") {
+      cert.kind_ = cert_kind_from_string(value);
+    } else if (key == "subject") {
+      cert.subject_ = DistinguishedName::parse(value);
+    } else if (key == "issuer") {
+      cert.issuer_ = DistinguishedName::parse(value);
+    } else if (key == "not-before") {
+      cert.not_before_ = util::parse_int(value);
+    } else if (key == "not-after") {
+      cert.not_after_ = util::parse_int(value);
+    } else if (key == "public-key") {
+      cert.public_key_ = crypto::RsaPublicKey::decode(value);
+      saw_key = true;
+    } else if (key == "signature") {
+      cert.signature_ = util::base64_decode(value);
+    } else {
+      throw ParseError("unknown certificate field: '" + std::string(key) + "'");
+    }
+  }
+  if (!saw_serial || !saw_key) {
+    throw ParseError("certificate missing required fields");
+  }
+  return cert;
+}
+
+std::string Credential::encode() const {
+  return certificate.encode() + "private-key:" + private_key.encode() + "\n";
+}
+
+Credential Credential::decode(std::string_view text) {
+  // The private-key line is ours; everything else belongs to the cert.
+  std::string cert_text;
+  std::string key_text;
+  for (const auto& line : util::split(text, '\n')) {
+    std::string_view trimmed = util::trim(line);
+    if (util::starts_with(trimmed, "private-key:")) {
+      key_text = std::string(trimmed.substr(std::string_view("private-key:").size()));
+    } else if (!trimmed.empty()) {
+      cert_text += std::string(trimmed) + "\n";
+    }
+  }
+  if (key_text.empty()) throw ParseError("credential missing private key");
+  return {Certificate::decode(cert_text), crypto::RsaPrivateKey::decode(key_text)};
+}
+
+}  // namespace clarens::pki

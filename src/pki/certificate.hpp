@@ -1,0 +1,95 @@
+// Certificates: the X.509 analogue of this framework.
+//
+// A certificate binds a subject DN to an RSA public key, signed by an
+// issuer. Proxy certificates (paper §2.6) are short-lived certificates
+// whose issuer is a *user* rather than a CA; their DN is the user's DN
+// with a trailing /CN=proxy component, and they travel together with an
+// unencrypted private key so they can act on the user's behalf
+// (delegation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "pki/dn.hpp"
+
+namespace clarens::pki {
+
+enum class CertKind { Authority, User, Server, Proxy };
+
+std::string to_string(CertKind kind);
+CertKind cert_kind_from_string(std::string_view text);
+
+class Certificate {
+ public:
+  Certificate() = default;
+  Certificate(std::string serial, CertKind kind, DistinguishedName subject,
+              DistinguishedName issuer, std::int64_t not_before,
+              std::int64_t not_after, crypto::RsaPublicKey public_key)
+      : serial_(std::move(serial)),
+        kind_(kind),
+        subject_(std::move(subject)),
+        issuer_(std::move(issuer)),
+        not_before_(not_before),
+        not_after_(not_after),
+        public_key_(std::move(public_key)) {}
+
+  const std::string& serial() const { return serial_; }
+  CertKind kind() const { return kind_; }
+  const DistinguishedName& subject() const { return subject_; }
+  const DistinguishedName& issuer() const { return issuer_; }
+  std::int64_t not_before() const { return not_before_; }
+  std::int64_t not_after() const { return not_after_; }
+  const crypto::RsaPublicKey& public_key() const { return public_key_; }
+  const std::vector<std::uint8_t>& signature() const { return signature_; }
+
+  bool is_ca() const { return kind_ == CertKind::Authority; }
+  bool is_proxy() const { return kind_ == CertKind::Proxy; }
+
+  bool valid_at(std::int64_t unix_time) const {
+    return unix_time >= not_before_ && unix_time <= not_after_;
+  }
+
+  /// The canonical byte string the signature covers.
+  std::string to_be_signed() const;
+
+  /// Attach a signature over to_be_signed() made with `issuer_key`.
+  void sign_with(const crypto::RsaPrivateKey& issuer_key);
+
+  /// Check this certificate's signature against the issuer public key.
+  bool check_signature(const crypto::RsaPublicKey& issuer_pub) const;
+
+  /// Text serialization (line-based; signature base64).
+  std::string encode() const;
+  static Certificate decode(std::string_view text);
+
+  bool operator==(const Certificate& o) const {
+    return encode() == o.encode();
+  }
+
+ private:
+  std::string serial_;
+  CertKind kind_ = CertKind::User;
+  DistinguishedName subject_;
+  DistinguishedName issuer_;
+  std::int64_t not_before_ = 0;
+  std::int64_t not_after_ = 0;
+  crypto::RsaPublicKey public_key_;
+  std::vector<std::uint8_t> signature_;
+};
+
+/// A certificate plus its private key: what a client or server wields.
+struct Credential {
+  Certificate certificate;
+  crypto::RsaPrivateKey private_key;
+
+  const DistinguishedName& dn() const { return certificate.subject(); }
+
+  std::string encode() const;
+  static Credential decode(std::string_view text);
+};
+
+}  // namespace clarens::pki

@@ -1,0 +1,70 @@
+#include "pki/dn.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::pki {
+
+DistinguishedName DistinguishedName::parse(std::string_view text) {
+  text = util::trim(text);
+  if (text.empty()) return DistinguishedName();
+  if (text.front() != '/') {
+    throw ParseError("DN must start with '/': '" + std::string(text) + "'");
+  }
+  std::vector<Attribute> attributes;
+  // Components are separated by '/'. A segment without '=' is part of the
+  // previous component's *value* — grid DNs legitimately contain slashes,
+  // e.g. the paper's server DN ".../CN=host/www.mysite.edu".
+  for (const auto& component : util::split(text.substr(1), '/')) {
+    std::size_t eq = component.find('=');
+    if (eq == std::string::npos && !attributes.empty()) {
+      attributes.back().second += "/" + component;
+      continue;
+    }
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError("invalid DN component: '" + component + "'");
+    }
+    std::string key(util::trim(std::string_view(component).substr(0, eq)));
+    std::string value(util::trim(std::string_view(component).substr(eq + 1)));
+    if (key.empty() || value.empty()) {
+      throw ParseError("empty key or value in DN component: '" + component + "'");
+    }
+    attributes.emplace_back(std::move(key), std::move(value));
+  }
+  return DistinguishedName(std::move(attributes));
+}
+
+std::string DistinguishedName::str() const {
+  std::string out;
+  for (const auto& [key, value] : attributes_) {
+    out.push_back('/');
+    out.append(key);
+    out.push_back('=');
+    out.append(value);
+  }
+  return out;
+}
+
+std::string DistinguishedName::get(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool DistinguishedName::is_prefix_of(const DistinguishedName& other) const {
+  if (attributes_.size() > other.attributes_.size()) return false;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] != other.attributes_[i]) return false;
+  }
+  return true;
+}
+
+DistinguishedName DistinguishedName::with(std::string key,
+                                          std::string value) const {
+  std::vector<Attribute> attributes = attributes_;
+  attributes.emplace_back(std::move(key), std::move(value));
+  return DistinguishedName(std::move(attributes));
+}
+
+}  // namespace clarens::pki

@@ -1,0 +1,59 @@
+// X.509-style Distinguished Names in the slash-separated form grid
+// certificate authorities use, e.g.
+//
+//   /O=doesciencegrid.org/OU=People/CN=John Smith 12345
+//
+// The paper's VO service exploits DN hierarchy: specifying only the
+// initial significant part of a DN ("/O=doesciencegrid.org/OU=People")
+// makes every DN with that prefix a member. is_prefix_of implements that
+// semantics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace clarens::pki {
+
+class DistinguishedName {
+ public:
+  using Attribute = std::pair<std::string, std::string>;  // e.g. {"CN","Jo"}
+
+  DistinguishedName() = default;
+  explicit DistinguishedName(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// Parse "/C=US/O=Caltech/CN=Frank". Empty components are rejected;
+  /// throws clarens::ParseError. An empty string parses to the empty DN.
+  static DistinguishedName parse(std::string_view text);
+
+  /// Canonical "/K=V/K=V" form.
+  std::string str() const;
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  bool empty() const { return attributes_.empty(); }
+  std::size_t size() const { return attributes_.size(); }
+
+  /// First value for an attribute key ("CN"), or "" if absent.
+  std::string get(std::string_view key) const;
+
+  /// True when this DN's attribute list is an ordered prefix of `other`
+  /// (or equal). The empty DN is a prefix of everything.
+  bool is_prefix_of(const DistinguishedName& other) const;
+
+  /// Append an attribute (used to derive proxy DNs: subject + /CN=proxy).
+  DistinguishedName with(std::string key, std::string value) const;
+
+  bool operator==(const DistinguishedName& o) const {
+    return attributes_ == o.attributes_;
+  }
+  bool operator!=(const DistinguishedName& o) const { return !(*this == o); }
+  /// Lexicographic on the canonical string, for ordered containers.
+  bool operator<(const DistinguishedName& o) const { return str() < o.str(); }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace clarens::pki

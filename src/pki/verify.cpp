@@ -1,0 +1,103 @@
+#include "pki/verify.hpp"
+
+#include "util/error.hpp"
+
+namespace clarens::pki {
+
+void TrustStore::add_authority(const Certificate& ca_cert) {
+  if (!ca_cert.is_ca()) {
+    throw Error("trust anchor must be an authority certificate");
+  }
+  if (ca_cert.subject() != ca_cert.issuer() ||
+      !ca_cert.check_signature(ca_cert.public_key())) {
+    throw Error("trust anchor must be validly self-signed");
+  }
+  anchors_[ca_cert.subject().str()] = ca_cert;
+}
+
+std::optional<Certificate> TrustStore::find_authority(
+    const DistinguishedName& dn) const {
+  auto it = anchors_.find(dn.str());
+  if (it == anchors_.end()) return std::nullopt;
+  return it->second;
+}
+
+TrustStore::Result TrustStore::verify_against_anchor(const Certificate& cert,
+                                                     std::int64_t now) const {
+  Result result;
+  auto anchor = find_authority(cert.issuer());
+  if (!anchor) {
+    result.error = "unknown issuer: " + cert.issuer().str();
+    return result;
+  }
+  if (!anchor->valid_at(now)) {
+    result.error = "issuing authority certificate expired";
+    return result;
+  }
+  if (!cert.valid_at(now)) {
+    result.error = "certificate outside validity window";
+    return result;
+  }
+  if (!cert.check_signature(anchor->public_key())) {
+    result.error = "bad certificate signature";
+    return result;
+  }
+  result.ok = true;
+  result.identity = cert.subject();
+  return result;
+}
+
+TrustStore::Result TrustStore::verify(const std::vector<Certificate>& chain,
+                                      std::int64_t now) const {
+  Result result;
+  if (chain.empty()) {
+    result.error = "empty certificate chain";
+    return result;
+  }
+  const Certificate& leaf = chain.front();
+
+  if (!leaf.is_proxy()) {
+    if (chain.size() != 1) {
+      result.error = "non-proxy chain must contain exactly one certificate";
+      return result;
+    }
+    return verify_against_anchor(leaf, now);
+  }
+
+  // Proxy chain: [proxy, user].
+  if (chain.size() != 2) {
+    result.error = "proxy chain must be [proxy, user]";
+    return result;
+  }
+  const Certificate& user = chain[1];
+  if (user.is_proxy()) {
+    result.error = "proxy chains may not be nested";
+    return result;
+  }
+  if (leaf.issuer() != user.subject()) {
+    result.error = "proxy issuer does not match user certificate subject";
+    return result;
+  }
+  if (!user.subject().is_prefix_of(leaf.subject())) {
+    result.error = "proxy DN must extend the user DN";
+    return result;
+  }
+  if (!leaf.valid_at(now)) {
+    result.error = "proxy certificate outside validity window";
+    return result;
+  }
+  if (!leaf.check_signature(user.public_key())) {
+    result.error = "bad proxy signature";
+    return result;
+  }
+  Result user_result = verify_against_anchor(user, now);
+  if (!user_result.ok) return user_result;
+
+  // Delegation: the proxy acts as the user.
+  result.ok = true;
+  result.identity = user.subject();
+  result.via_proxy = true;
+  return result;
+}
+
+}  // namespace clarens::pki

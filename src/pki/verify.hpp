@@ -1,0 +1,51 @@
+// Certificate chain verification against a set of trust anchors.
+//
+// A Clarens server trusts one or more CAs. A client presents either
+//   [user/server cert]                     — one hop to a CA, or
+//   [proxy cert, user cert]                — proxy signed by the user,
+//                                            user signed by a CA.
+// The *effective identity* of a verified proxy chain is the user's DN:
+// proxies act on the user's behalf (delegation), so VO and ACL decisions
+// are made against the user DN, never the /CN=proxy DN.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pki/certificate.hpp"
+
+namespace clarens::pki {
+
+class TrustStore {
+ public:
+  /// Register a CA certificate as a trust anchor. Rejects (throws
+  /// clarens::Error) certificates that are not self-signed authorities.
+  void add_authority(const Certificate& ca_cert);
+
+  /// Look up an anchor by subject DN.
+  std::optional<Certificate> find_authority(const DistinguishedName& dn) const;
+
+  std::size_t size() const { return anchors_.size(); }
+
+  struct Result {
+    bool ok = false;
+    /// DN that VO/ACL decisions should use (user DN for proxy chains).
+    DistinguishedName identity;
+    /// True when the presented leaf was a proxy certificate.
+    bool via_proxy = false;
+    std::string error;  // set when !ok
+  };
+
+  /// Verify `chain` (leaf first) at time `now`.
+  Result verify(const std::vector<Certificate>& chain, std::int64_t now) const;
+
+ private:
+  Result verify_against_anchor(const Certificate& cert, std::int64_t now) const;
+
+  std::map<std::string, Certificate> anchors_;  // keyed by subject DN string
+};
+
+}  // namespace clarens::pki

@@ -1,0 +1,238 @@
+#include "rpc/binrpc.hpp"
+
+#include <cstring>
+
+#include "rpc/fault.hpp"
+#include "util/buffer.hpp"
+#include "util/error.hpp"
+
+namespace clarens::rpc::binrpc {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kKindRequest = 1;
+constexpr std::uint8_t kKindResponse = 2;
+constexpr std::uint32_t kMaxLength = 1u << 28;
+
+enum Tag : std::uint8_t {
+  kNil = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kBinary = 5,
+  kDateTime = 6,
+  kArray = 7,
+  kStruct = 8,
+};
+
+void write_value(util::Buffer& out, const Value& value);
+
+void write_string(util::Buffer& out, std::string_view s) {
+  out.write_u32(static_cast<std::uint32_t>(s.size()));
+  out.write(s);
+}
+
+void write_value(util::Buffer& out, const Value& value) {
+  switch (value.type()) {
+    case Value::Type::Nil:
+      out.write_u8(kNil);
+      break;
+    case Value::Type::Bool:
+      out.write_u8(kBool);
+      out.write_u8(value.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::Int:
+      out.write_u8(kInt);
+      out.write_u64(static_cast<std::uint64_t>(value.as_int()));
+      break;
+    case Value::Type::Double: {
+      out.write_u8(kDouble);
+      double d = value.as_double();
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      out.write_u64(bits);
+      break;
+    }
+    case Value::Type::String:
+      out.write_u8(kString);
+      write_string(out, value.as_string());
+      break;
+    case Value::Type::Binary: {
+      out.write_u8(kBinary);
+      const auto& blob = value.as_binary();
+      out.write_u32(static_cast<std::uint32_t>(blob.size()));
+      out.write(blob);
+      break;
+    }
+    case Value::Type::DateTime:
+      out.write_u8(kDateTime);
+      out.write_u64(static_cast<std::uint64_t>(value.as_datetime().unix_seconds));
+      break;
+    case Value::Type::Array: {
+      out.write_u8(kArray);
+      const auto& array = value.as_array();
+      out.write_u32(static_cast<std::uint32_t>(array.size()));
+      for (const auto& element : array) write_value(out, element);
+      break;
+    }
+    case Value::Type::Struct: {
+      out.write_u8(kStruct);
+      const auto& members = value.members();
+      out.write_u32(static_cast<std::uint32_t>(members.size()));
+      for (const auto& [name, member] : members) {
+        write_string(out, name);
+        write_value(out, member);
+      }
+      break;
+    }
+  }
+}
+
+std::string read_string(util::Buffer& in) {
+  std::uint32_t length = in.read_u32();
+  if (length > kMaxLength) throw ParseError("binrpc string too long");
+  return in.read_string(length);
+}
+
+Value read_value(util::Buffer& in, int depth = 0) {
+  if (depth > 64) throw ParseError("binrpc value nesting too deep");
+  std::uint8_t tag = in.read_u8();
+  switch (tag) {
+    case kNil: return Value();
+    case kBool: return Value(in.read_u8() != 0);
+    case kInt: return Value(static_cast<std::int64_t>(in.read_u64()));
+    case kDouble: {
+      std::uint64_t bits = in.read_u64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kString: return Value(read_string(in));
+    case kBinary: {
+      std::uint32_t length = in.read_u32();
+      if (length > kMaxLength) throw ParseError("binrpc blob too long");
+      return Value(in.read(length));
+    }
+    case kDateTime:
+      return Value(DateTime{static_cast<std::int64_t>(in.read_u64())});
+    case kArray: {
+      std::uint32_t count = in.read_u32();
+      if (count > kMaxLength) throw ParseError("binrpc array too long");
+      Value out = Value::array();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        out.push(read_value(in, depth + 1));
+      }
+      return out;
+    }
+    case kStruct: {
+      std::uint32_t count = in.read_u32();
+      if (count > kMaxLength) throw ParseError("binrpc struct too long");
+      Value out = Value::struct_();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = read_string(in);
+        out.set(name, read_value(in, depth + 1));
+      }
+      return out;
+    }
+    default:
+      throw ParseError("binrpc: unknown value tag " + std::to_string(tag));
+  }
+}
+
+util::Buffer begin_frame(std::uint8_t kind) {
+  util::Buffer out;
+  out.write(std::string_view(kMagic, 4));
+  out.write_u8(kVersion);
+  out.write_u8(kind);
+  return out;
+}
+
+util::Buffer open_frame(std::string_view body, std::uint8_t expected_kind) {
+  util::Buffer in;
+  in.write(body);
+  if (in.readable() < 6) throw ParseError("binrpc frame too short");
+  std::string magic = in.read_string(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    throw ParseError("binrpc: bad magic");
+  }
+  std::uint8_t version = in.read_u8();
+  if (version != kVersion) {
+    throw ParseError("binrpc: unsupported version " + std::to_string(version));
+  }
+  std::uint8_t kind = in.read_u8();
+  if (kind != expected_kind) throw ParseError("binrpc: wrong frame kind");
+  return in;
+}
+
+std::string take(util::Buffer& out) {
+  auto bytes = out.peek();
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+}  // namespace
+
+std::string serialize_value(const Value& value) {
+  util::Buffer out;
+  write_value(out, value);
+  return take(out);
+}
+
+Value parse_value(std::string_view bytes) {
+  util::Buffer in;
+  in.write(bytes);
+  Value v = read_value(in);
+  if (!in.empty()) throw ParseError("binrpc: trailing bytes after value");
+  return v;
+}
+
+std::string serialize_request(const Request& request) {
+  util::Buffer out = begin_frame(kKindRequest);
+  write_value(out, Value(request.method));
+  Value params = Value::array();
+  for (const auto& p : request.params) params.push(p);
+  write_value(out, params);
+  write_value(out, request.id);
+  return take(out);
+}
+
+Request parse_request(std::string_view body) {
+  util::Buffer in = open_frame(body, kKindRequest);
+  Request request;
+  request.method = read_value(in).as_string();
+  if (request.method.empty()) throw ParseError("binrpc: empty method");
+  Value params = read_value(in);
+  request.params = params.as_array();
+  request.id = read_value(in);
+  return request;
+}
+
+std::string serialize_response(const Response& response) {
+  util::Buffer out = begin_frame(kKindResponse);
+  out.write_u8(response.is_fault ? 1 : 0);
+  if (response.is_fault) {
+    out.write_u32(static_cast<std::uint32_t>(response.fault_code));
+    write_value(out, Value(response.fault_message));
+  } else {
+    write_value(out, response.result);
+    write_value(out, response.id);
+  }
+  return take(out);
+}
+
+Response parse_response(std::string_view body) {
+  util::Buffer in = open_frame(body, kKindResponse);
+  Response response;
+  response.is_fault = in.read_u8() != 0;
+  if (response.is_fault) {
+    response.fault_code = static_cast<int>(in.read_u32());
+    response.fault_message = read_value(in).as_string();
+  } else {
+    response.result = read_value(in);
+    response.id = read_value(in);
+  }
+  return response;
+}
+
+}  // namespace clarens::rpc::binrpc

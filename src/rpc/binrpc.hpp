@@ -1,0 +1,38 @@
+// Binary RPC — the analogue of JClarens' Java-RMI transport (§2 lists
+// "Java RMI (only for JClarens)" among the supported protocols).
+//
+// RMI's advantage over the XML protocols was a compact binary encoding
+// with no text parsing; this codec provides that property on the same
+// HTTP endpoint. Wire format (all integers big-endian):
+//
+//   frame:   'C' 'R' 'P' 'C' | u8 version(1) | u8 kind (1 req / 2 resp)
+//   request: value(method string) | value(params array) | value(id)
+//   response:u8 is_fault | fault? (i32 code | value(message))
+//                        : value(result) | value(id)
+//   value:   u8 tag | payload
+//     0 nil | 1 bool(u8) | 2 int(i64) | 3 double(8B IEEE) |
+//     4 string(u32 len + bytes) | 5 binary(u32 len + bytes) |
+//     6 datetime(i64) | 7 array(u32 n + values) |
+//     8 struct(u32 n + (string name, value)*n)
+#pragma once
+
+#include <string>
+
+#include "rpc/xmlrpc.hpp"  // Request/Response structs
+
+namespace clarens::rpc::binrpc {
+
+/// Magic prefix used for transport sniffing.
+inline constexpr char kMagic[4] = {'C', 'R', 'P', 'C'};
+
+std::string serialize_request(const Request& request);
+Request parse_request(std::string_view body);
+
+std::string serialize_response(const Response& response);
+Response parse_response(std::string_view body);
+
+/// Bare value codec (exposed for tests).
+std::string serialize_value(const Value& value);
+Value parse_value(std::string_view bytes);
+
+}  // namespace clarens::rpc::binrpc

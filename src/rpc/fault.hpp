@@ -1,0 +1,33 @@
+// RPC faults: the error half of every protocol's response encoding.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clarens::rpc {
+
+/// Fault codes shared across protocols. Mirrors clarens::Error codes so
+/// server-side exceptions translate 1:1.
+enum FaultCode : int {
+  kFaultGeneric = 1,
+  kFaultParse = 2,
+  kFaultAuth = 3,
+  kFaultAccess = 4,
+  kFaultNotFound = 5,
+  kFaultSystem = 6,
+  kFaultType = 7,       // wrong parameter type
+  kFaultBadMethod = 8,  // no such method
+};
+
+class Fault : public std::runtime_error {
+ public:
+  Fault(int code, std::string message)
+      : std::runtime_error(std::move(message)), code_(code) {}
+
+  int code() const noexcept { return code_; }
+
+ private:
+  int code_;
+};
+
+}  // namespace clarens::rpc

@@ -1,0 +1,369 @@
+#include "rpc/jsonrpc.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "rpc/fault.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace clarens::rpc::jsonrpc {
+
+namespace {
+
+void write_json(std::string& out, const Value& value);
+
+void write_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_json(std::string& out, const Value& value) {
+  switch (value.type()) {
+    case Value::Type::Nil: out += "null"; break;
+    case Value::Type::Bool: out += value.as_bool() ? "true" : "false"; break;
+    case Value::Type::Int: out += std::to_string(value.as_int()); break;
+    case Value::Type::Double: {
+      double d = value.as_double();
+      if (!std::isfinite(d)) {
+        // JSON cannot express NaN/Inf; null is the conventional fallback.
+        out += "null";
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out += buf;
+      break;
+    }
+    case Value::Type::String: write_json_string(out, value.as_string()); break;
+    case Value::Type::Binary:
+      out += "{\"$base64\":";
+      write_json_string(out, util::base64_encode(value.as_binary()));
+      out.push_back('}');
+      break;
+    case Value::Type::DateTime:
+      out += "{\"$datetime\":";
+      write_json_string(out, util::iso8601(value.as_datetime().unix_seconds));
+      out.push_back('}');
+      break;
+    case Value::Type::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& element : value.as_array()) {
+        if (!first) out.push_back(',');
+        write_json(out, element);
+        first = false;
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Type::Struct: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [name, member] : value.members()) {
+        if (!first) out.push_back(',');
+        write_json_string(out, name);
+        out.push_back(':');
+        write_json(out, member);
+        first = false;
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+  Value parse_value() {
+    skip_space();
+    if (eof()) fail("unexpected end of input");
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      expect("null");
+      return Value::nil();
+    }
+    return parse_number();
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError("JSON parse error at offset " + std::to_string(pos_) +
+                     ": " + what);
+  }
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  void skip_space() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  void expect(std::string_view s) {
+    if (text_.substr(pos_, s.size()) != s) {
+      fail("expected '" + std::string(s) + "'");
+    }
+    pos_ += s.size();
+  }
+
+  Value parse_bool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return Value(true);
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return Value(false);
+    }
+    fail("invalid literal");
+  }
+
+  std::string parse_string() {
+    expect("\"");
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // UTF-8 encode (basic multilingual plane; surrogate pairs are
+          // passed through as-is, adequate for this framework's use).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    bool is_double = false;
+    while (!eof()) {
+      char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec == std::errc() && p == token.data() + token.size()) return Value(v);
+    }
+    try {
+      return Value(std::stod(std::string(token)));
+    } catch (const std::exception&) {
+      fail("invalid number '" + std::string(token) + "'");
+    }
+  }
+
+  Value parse_array() {
+    expect("[");
+    Value out = Value::array();
+    skip_space();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push(parse_value());
+      skip_space();
+      if (eof()) fail("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Value parse_object() {
+    expect("{");
+    Value out = Value::struct_();
+    skip_space();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return detag(std::move(out));
+    }
+    for (;;) {
+      skip_space();
+      std::string key = parse_string();
+      skip_space();
+      expect(":");
+      out.set(key, parse_value());
+      skip_space();
+      if (eof()) fail("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') return detag(std::move(out));
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  // Recognize the {"$base64": ...} / {"$datetime": ...} tagging convention.
+  static Value detag(Value object) {
+    if (object.size() == 1) {
+      if (const Value* b = object.find("$base64")) {
+        return Value(util::base64_decode(b->as_string()));
+      }
+      if (const Value* d = object.find("$datetime")) {
+        return Value(DateTime{util::parse_iso8601(d->as_string())});
+      }
+    }
+    return object;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_value(const Value& value) {
+  std::string out;
+  write_json(out, value);
+  return out;
+}
+
+Value parse_value(std::string_view json) {
+  JsonParser parser(json);
+  return parser.parse_document();
+}
+
+std::string serialize_request(const Request& request) {
+  std::string out = "{\"method\":";
+  write_json_string(out, request.method);
+  out += ",\"params\":";
+  Value params = Value::array();
+  for (const auto& p : request.params) params.push(p);
+  write_json(out, params);
+  out += ",\"id\":";
+  write_json(out, request.id);
+  out.push_back('}');
+  return out;
+}
+
+Request parse_request(std::string_view body) {
+  Value v = parse_value(body);
+  if (!v.is_struct()) throw ParseError("JSON-RPC request must be an object");
+  Request request;
+  request.method = v.at("method").as_string();
+  if (const Value* params = v.find("params")) {
+    if (params->type() == Value::Type::Array) {
+      request.params = params->as_array();
+    } else if (!params->is_nil()) {
+      throw ParseError("JSON-RPC params must be an array");
+    }
+  }
+  if (const Value* id = v.find("id")) request.id = *id;
+  return request;
+}
+
+std::string serialize_response(const Response& response) {
+  std::string out = "{\"result\":";
+  if (response.is_fault) {
+    out += "null,\"error\":{\"code\":";
+    out += std::to_string(response.fault_code);
+    out += ",\"message\":";
+    write_json_string(out, response.fault_message);
+    out += "}";
+  } else {
+    write_json(out, response.result);
+    out += ",\"error\":null";
+  }
+  out += ",\"id\":";
+  write_json(out, response.id);
+  out.push_back('}');
+  return out;
+}
+
+Response parse_response(std::string_view body) {
+  Value v = parse_value(body);
+  if (!v.is_struct()) throw ParseError("JSON-RPC response must be an object");
+  Response response;
+  const Value* error = v.find("error");
+  if (error && !error->is_nil()) {
+    response.is_fault = true;
+    response.fault_code = static_cast<int>(error->at("code").as_int());
+    response.fault_message = error->at("message").as_string();
+  } else {
+    const Value* result = v.find("result");
+    if (!result) throw ParseError("JSON-RPC response missing result");
+    response.result = *result;
+  }
+  if (const Value* id = v.find("id")) response.id = *id;
+  return response;
+}
+
+}  // namespace clarens::rpc::jsonrpc

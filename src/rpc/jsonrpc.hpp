@@ -1,0 +1,28 @@
+// JSON-RPC (1.0-style, per the metaparadigm json-rpc the paper cites):
+//   request  {"method": "m", "params": [...], "id": 1}
+//   response {"result": ..., "error": null, "id": 1}
+//   error    {"result": null, "error": {"code": c, "message": "..."}, "id": 1}
+//
+// JSON has no native binary or datetime, so those Value types round-trip
+// through tagged one-member objects: {"$base64": "..."} and
+// {"$datetime": "yyyyMMddTHH:mm:ss"} — the convention several 2000s-era
+// bridges used.
+#pragma once
+
+#include <string>
+
+#include "rpc/xmlrpc.hpp"  // Request/Response structs
+
+namespace clarens::rpc::jsonrpc {
+
+std::string serialize_request(const Request& request);
+Request parse_request(std::string_view body);
+
+std::string serialize_response(const Response& response);
+Response parse_response(std::string_view body);
+
+/// Bare JSON value codec (exposed for tests and the discovery wire format).
+std::string serialize_value(const Value& value);
+Value parse_value(std::string_view json);
+
+}  // namespace clarens::rpc::jsonrpc

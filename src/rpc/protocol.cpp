@@ -1,0 +1,93 @@
+#include "rpc/protocol.hpp"
+
+#include "rpc/binrpc.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "rpc/soap.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::rpc {
+
+const char* to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::XmlRpc: return "xmlrpc";
+    case Protocol::JsonRpc: return "jsonrpc";
+    case Protocol::Soap: return "soap";
+    case Protocol::Binary: return "binrpc";
+  }
+  return "?";
+}
+
+const char* content_type(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::XmlRpc: return "text/xml";
+    case Protocol::JsonRpc: return "application/json";
+    case Protocol::Soap: return "application/soap+xml";
+    case Protocol::Binary: return "application/x-clarens-binary";
+  }
+  return "application/octet-stream";
+}
+
+Protocol detect(std::string_view content_type_header, std::string_view body) {
+  // The binary frame is unambiguous: match its magic before anything else.
+  if (body.size() >= 4 && body.substr(0, 4) == std::string_view(binrpc::kMagic, 4)) {
+    return Protocol::Binary;
+  }
+  std::string ct = util::to_lower(util::trim(content_type_header));
+  if (ct.find("x-clarens-binary") != std::string::npos) return Protocol::Binary;
+  if (ct.find("json") != std::string::npos) return Protocol::JsonRpc;
+  if (ct.find("soap") != std::string::npos) return Protocol::Soap;
+  if (ct.find("xml") != std::string::npos) {
+    // Both XML-RPC and SOAP arrive as text/xml from old clients; sniff.
+    if (body.find("Envelope") != std::string_view::npos) return Protocol::Soap;
+    return Protocol::XmlRpc;
+  }
+  // Content-Type missing or generic: sniff the body.
+  std::string_view trimmed = util::trim(body);
+  if (!trimmed.empty() && (trimmed.front() == '{' || trimmed.front() == '[')) {
+    return Protocol::JsonRpc;
+  }
+  if (trimmed.find("Envelope") != std::string_view::npos) return Protocol::Soap;
+  return Protocol::XmlRpc;
+}
+
+std::string serialize_request(Protocol protocol, const Request& request) {
+  switch (protocol) {
+    case Protocol::XmlRpc: return xmlrpc::serialize_request(request);
+    case Protocol::JsonRpc: return jsonrpc::serialize_request(request);
+    case Protocol::Binary: return binrpc::serialize_request(request);
+    case Protocol::Soap: return soap::serialize_request(request);
+  }
+  return {};
+}
+
+Request parse_request(Protocol protocol, std::string_view body) {
+  switch (protocol) {
+    case Protocol::XmlRpc: return xmlrpc::parse_request(body);
+    case Protocol::JsonRpc: return jsonrpc::parse_request(body);
+    case Protocol::Binary: return binrpc::parse_request(body);
+    case Protocol::Soap: return soap::parse_request(body);
+  }
+  return {};
+}
+
+std::string serialize_response(Protocol protocol, const Response& response) {
+  switch (protocol) {
+    case Protocol::XmlRpc: return xmlrpc::serialize_response(response);
+    case Protocol::JsonRpc: return jsonrpc::serialize_response(response);
+    case Protocol::Binary: return binrpc::serialize_response(response);
+    case Protocol::Soap: return soap::serialize_response(response);
+  }
+  return {};
+}
+
+Response parse_response(Protocol protocol, std::string_view body) {
+  switch (protocol) {
+    case Protocol::XmlRpc: return xmlrpc::parse_response(body);
+    case Protocol::JsonRpc: return jsonrpc::parse_response(body);
+    case Protocol::Binary: return binrpc::parse_response(body);
+    case Protocol::Soap: return soap::parse_response(body);
+  }
+  return {};
+}
+
+}  // namespace clarens::rpc

@@ -1,0 +1,26 @@
+// Protocol selection: Clarens servers accept XML-RPC, SOAP and JSON-RPC
+// POSTs on the same endpoint, keyed by Content-Type with a body sniff as
+// fallback (2005-era clients were sloppy about Content-Type).
+#pragma once
+
+#include <string>
+
+#include "rpc/xmlrpc.hpp"
+
+namespace clarens::rpc {
+
+enum class Protocol { XmlRpc, JsonRpc, Soap, Binary };
+
+const char* to_string(Protocol protocol);
+/// MIME type for HTTP Content-Type.
+const char* content_type(Protocol protocol);
+
+/// Choose the protocol from a Content-Type header value and the body.
+Protocol detect(std::string_view content_type_header, std::string_view body);
+
+std::string serialize_request(Protocol protocol, const Request& request);
+Request parse_request(Protocol protocol, std::string_view body);
+std::string serialize_response(Protocol protocol, const Response& response);
+Response parse_response(Protocol protocol, std::string_view body);
+
+}  // namespace clarens::rpc

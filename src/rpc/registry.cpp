@@ -1,0 +1,71 @@
+#include "rpc/registry.hpp"
+
+#include "rpc/fault.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::rpc {
+
+void Registry::add(const std::string& name, Handler handler, std::string help,
+                   std::string signature) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  methods_[name] = Entry{std::move(handler),
+                         MethodInfo{name, std::move(help), std::move(signature)}};
+}
+
+void Registry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  methods_.erase(name);
+}
+
+bool Registry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return methods_.count(name) != 0;
+}
+
+std::vector<std::string> Registry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, _] : methods_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Registry::list_module(const std::string& module) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  std::string prefix = module + ".";
+  for (const auto& [name, _] : methods_) {
+    if (util::starts_with(name, prefix)) out.push_back(name);
+  }
+  return out;
+}
+
+MethodInfo Registry::info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = methods_.find(name);
+  if (it == methods_.end()) {
+    throw Fault(kFaultBadMethod, "no such method: " + name);
+  }
+  return it->second.info;
+}
+
+Value Registry::dispatch(const std::string& name, const CallContext& context,
+                         const std::vector<Value>& params) const {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = methods_.find(name);
+    if (it == methods_.end()) {
+      throw Fault(kFaultBadMethod, "no such method: " + name);
+    }
+    handler = it->second.handler;
+  }
+  return handler(context, params);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return methods_.size();
+}
+
+}  // namespace clarens::rpc

@@ -1,0 +1,75 @@
+// Method registry and dispatcher.
+//
+// Methods have hierarchical dotted names (module.method or
+// module.submodule.method, paper §2.2); the registry stores handlers
+// under those names and exposes the listing that system.list_methods —
+// the method the paper's Figure-4 benchmark calls — returns.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/value.hpp"
+
+namespace clarens::rpc {
+
+/// Per-call context threaded to every handler.
+struct CallContext {
+  /// Authenticated identity DN string; empty when unauthenticated.
+  std::string identity;
+  /// Session identifier; empty when no session established.
+  std::string session_id;
+  /// True when the identity was established via a proxy certificate.
+  bool via_proxy = false;
+  /// Wire protocol name ("xmlrpc", "jsonrpc", "soap") for diagnostics.
+  std::string protocol;
+};
+
+using Handler = std::function<Value(const CallContext&, const std::vector<Value>&)>;
+
+struct MethodInfo {
+  std::string name;
+  std::string help;       // one-line description
+  std::string signature;  // e.g. "string (string path, int offset, int len)"
+};
+
+class Registry {
+ public:
+  /// Register a handler; replaces any existing registration of `name`.
+  void add(const std::string& name, Handler handler, std::string help = "",
+           std::string signature = "");
+
+  void remove(const std::string& name);
+
+  bool has(const std::string& name) const;
+
+  /// Sorted method names. This is the >30-string array the paper's
+  /// benchmark serializes on every call.
+  std::vector<std::string> list() const;
+
+  /// Sorted names under a module prefix (e.g. "file").
+  std::vector<std::string> list_module(const std::string& module) const;
+
+  MethodInfo info(const std::string& name) const;  // throws NotFound fault
+
+  /// Look up and invoke. Throws Fault(kFaultBadMethod) for unknown names;
+  /// handler exceptions propagate.
+  Value dispatch(const std::string& name, const CallContext& context,
+                 const std::vector<Value>& params) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    Handler handler;
+    MethodInfo info;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> methods_;
+};
+
+}  // namespace clarens::rpc

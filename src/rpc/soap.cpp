@@ -1,0 +1,103 @@
+#include "rpc/soap.hpp"
+
+#include "rpc/fault.hpp"
+#include "rpc/xml.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::rpc::soap {
+
+namespace {
+
+constexpr const char* kEnvelopeOpen =
+    "<?xml version=\"1.0\"?>"
+    "<SOAP-ENV:Envelope "
+    "xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\" "
+    "xmlns:m=\"urn:clarens\">"
+    "<SOAP-ENV:Body>";
+constexpr const char* kEnvelopeClose = "</SOAP-ENV:Body></SOAP-ENV:Envelope>";
+
+// Method names contain dots (file.read); XML element names may contain
+// dots too, so they pass through unmodified.
+
+const XmlNode* find_body(const XmlNode& root) {
+  if (root.local_name() != "Envelope") {
+    throw ParseError("SOAP document root must be Envelope");
+  }
+  const XmlNode* body = root.child("Body");
+  if (!body) throw ParseError("SOAP Envelope missing Body");
+  return body;
+}
+
+}  // namespace
+
+std::string serialize_request(const Request& request) {
+  std::string out = kEnvelopeOpen;
+  out += "<m:" + request.method + ">";
+  for (const auto& param : request.params) {
+    out += "<param>";
+    out += xmlrpc::serialize_value(param);
+    out += "</param>";
+  }
+  out += "</m:" + request.method + ">";
+  out += kEnvelopeClose;
+  return out;
+}
+
+Request parse_request(std::string_view body_text) {
+  XmlNode root = xml_parse(body_text);
+  const XmlNode* body = find_body(root);
+  if (body->children.empty()) throw ParseError("SOAP Body is empty");
+  const XmlNode& call = body->children.front();
+  Request request;
+  request.method = call.local_name();
+  for (const auto& param : call.children) {
+    if (param.local_name() != "param") continue;
+    const XmlNode* value = param.child("value");
+    if (!value) throw ParseError("SOAP <param> missing <value>");
+    request.params.push_back(xmlrpc::parse_value_xml(*value));
+  }
+  return request;
+}
+
+std::string serialize_response(const Response& response) {
+  std::string out = kEnvelopeOpen;
+  if (response.is_fault) {
+    out += "<SOAP-ENV:Fault><faultcode>";
+    out += std::to_string(response.fault_code);
+    out += "</faultcode><faultstring>";
+    out += xml_escape(response.fault_message);
+    out += "</faultstring></SOAP-ENV:Fault>";
+  } else {
+    out += "<m:Response><param>";
+    out += xmlrpc::serialize_value(response.result);
+    out += "</param></m:Response>";
+  }
+  out += kEnvelopeClose;
+  return out;
+}
+
+Response parse_response(std::string_view body_text) {
+  XmlNode root = xml_parse(body_text);
+  const XmlNode* body = find_body(root);
+  if (body->children.empty()) throw ParseError("SOAP Body is empty");
+  const XmlNode& payload = body->children.front();
+  if (payload.local_name() == "Fault") {
+    const XmlNode* code = payload.child("faultcode");
+    const XmlNode* message = payload.child("faultstring");
+    if (!code || !message) throw ParseError("SOAP Fault missing fields");
+    Response response;
+    response.is_fault = true;
+    response.fault_code =
+        static_cast<int>(util::parse_int(util::trim(code->text)));
+    response.fault_message = message->text;
+    return response;
+  }
+  const XmlNode* param = payload.child("param");
+  if (!param) throw ParseError("SOAP response missing <param>");
+  const XmlNode* value = param->child("value");
+  if (!value) throw ParseError("SOAP response <param> missing <value>");
+  return Response::success(xmlrpc::parse_value_xml(*value));
+}
+
+}  // namespace clarens::rpc::soap

@@ -1,0 +1,21 @@
+// SOAP 1.1 subset: an Envelope/Body wrapping, rpc-style method element,
+// XML-RPC-compatible <value> parameter payloads, and SOAP Faults.
+//
+// Clarens exposed SOAP alongside XML-RPC so AXIS/Java clients could call
+// the same services; this codec preserves that duality — the registry and
+// handlers are identical, only the envelope differs.
+#pragma once
+
+#include <string>
+
+#include "rpc/xmlrpc.hpp"  // Request/Response structs
+
+namespace clarens::rpc::soap {
+
+std::string serialize_request(const Request& request);
+Request parse_request(std::string_view body);
+
+std::string serialize_response(const Response& response);
+Response parse_response(std::string_view body);
+
+}  // namespace clarens::rpc::soap

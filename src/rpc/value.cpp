@@ -1,0 +1,161 @@
+#include "rpc/value.hpp"
+
+#include <sstream>
+
+#include "rpc/fault.hpp"
+#include "util/hex.hpp"
+
+namespace clarens::rpc {
+
+Value::Type Value::type() const {
+  return static_cast<Type>(data_.index());
+}
+
+const char* Value::type_name() const {
+  switch (type()) {
+    case Type::Nil: return "nil";
+    case Type::Bool: return "boolean";
+    case Type::Int: return "int";
+    case Type::Double: return "double";
+    case Type::String: return "string";
+    case Type::Binary: return "base64";
+    case Type::DateTime: return "dateTime";
+    case Type::Array: return "array";
+    case Type::Struct: return "struct";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void type_fault(const char* want, const char* got) {
+  throw Fault(kFaultType, std::string("expected ") + want + ", got " + got);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (auto* v = std::get_if<bool>(&data_)) return *v;
+  type_fault("boolean", type_name());
+}
+
+std::int64_t Value::as_int() const {
+  if (auto* v = std::get_if<std::int64_t>(&data_)) return *v;
+  type_fault("int", type_name());
+}
+
+double Value::as_double() const {
+  if (auto* v = std::get_if<double>(&data_)) return *v;
+  if (auto* v = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*v);
+  type_fault("double", type_name());
+}
+
+const std::string& Value::as_string() const {
+  if (auto* v = std::get_if<std::string>(&data_)) return *v;
+  type_fault("string", type_name());
+}
+
+const std::vector<std::uint8_t>& Value::as_binary() const {
+  if (auto* v = std::get_if<std::vector<std::uint8_t>>(&data_)) return *v;
+  type_fault("base64", type_name());
+}
+
+DateTime Value::as_datetime() const {
+  if (auto* v = std::get_if<DateTime>(&data_)) return *v;
+  type_fault("dateTime", type_name());
+}
+
+const Array& Value::as_array() const {
+  if (auto* v = std::get_if<Array>(&data_)) return *v;
+  type_fault("array", type_name());
+}
+
+Array& Value::as_array() {
+  if (auto* v = std::get_if<Array>(&data_)) return *v;
+  type_fault("array", type_name());
+}
+
+const StructMembers& Value::members() const {
+  if (auto* v = std::get_if<StructMembers>(&data_)) return *v;
+  type_fault("struct", type_name());
+}
+
+Value& Value::set(const std::string& key, Value value) {
+  if (type() == Type::Nil) data_ = StructMembers{};
+  auto* m = std::get_if<StructMembers>(&data_);
+  if (!m) type_fault("struct", type_name());
+  for (auto& [k, v] : *m) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  m->emplace_back(key, std::move(value));
+  return m->back().second;
+}
+
+const Value* Value::find(const std::string& key) const {
+  auto* m = std::get_if<StructMembers>(&data_);
+  if (!m) return nullptr;
+  for (const auto& [k, v] : *m) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw Fault(kFaultType, "missing struct member '" + key + "'");
+  return *v;
+}
+
+void Value::push(Value v) {
+  if (type() == Type::Nil) data_ = Array{};
+  as_array().push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (auto* a = std::get_if<Array>(&data_)) return a->size();
+  if (auto* m = std::get_if<StructMembers>(&data_)) return m->size();
+  return 0;
+}
+
+std::string Value::debug_string() const {
+  std::ostringstream out;
+  switch (type()) {
+    case Type::Nil: out << "nil"; break;
+    case Type::Bool: out << (as_bool() ? "true" : "false"); break;
+    case Type::Int: out << as_int(); break;
+    case Type::Double: out << as_double(); break;
+    case Type::String: out << '"' << as_string() << '"'; break;
+    case Type::Binary:
+      out << "b64(" << util::hex_encode(as_binary()) << ')';
+      break;
+    case Type::DateTime: out << "dt(" << as_datetime().unix_seconds << ')'; break;
+    case Type::Array: {
+      out << '[';
+      bool first = true;
+      for (const auto& v : as_array()) {
+        if (!first) out << ", ";
+        out << v.debug_string();
+        first = false;
+      }
+      out << ']';
+      break;
+    }
+    case Type::Struct: {
+      out << '{';
+      bool first = true;
+      for (const auto& [k, v] : members()) {
+        if (!first) out << ", ";
+        out << k << ": " << v.debug_string();
+        first = false;
+      }
+      out << '}';
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace clarens::rpc

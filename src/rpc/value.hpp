@@ -1,0 +1,92 @@
+// The protocol-independent RPC value model.
+//
+// Clarens speaks several wire protocols (XML-RPC, SOAP, JSON-RPC); all of
+// them serialize the same value algebra, which is XML-RPC's: nil, boolean,
+// integer, double, string, base64 binary, datetime, array, struct.
+// Handlers operate on Value and never see the wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace clarens::rpc {
+
+class Value;
+
+/// Distinct wrapper so DateTime is not confused with Int in the variant.
+struct DateTime {
+  std::int64_t unix_seconds = 0;
+  bool operator==(const DateTime&) const = default;
+};
+
+using Array = std::vector<Value>;
+/// Order-preserving string→Value map (small; linear lookup).
+using StructMembers = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Type { Nil, Bool, Int, Double, String, Binary, DateTime, Array, Struct };
+
+  Value() : data_(std::monostate{}) {}
+  Value(bool v) : data_(v) {}                        // NOLINT
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::int64_t v) : data_(v) {}                // NOLINT
+  Value(double v) : data_(v) {}                      // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}    // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}      // NOLINT
+  Value(std::vector<std::uint8_t> v) : data_(std::move(v)) {}  // NOLINT
+  Value(DateTime v) : data_(v) {}                    // NOLINT
+  Value(Array v) : data_(std::move(v)) {}            // NOLINT
+
+  static Value nil() { return Value(); }
+  static Value struct_() {
+    Value v;
+    v.data_ = StructMembers{};
+    return v;
+  }
+  static Value array() { return Value(Array{}); }
+
+  Type type() const;
+  const char* type_name() const;
+
+  bool is_nil() const { return type() == Type::Nil; }
+
+  /// Typed accessors; throw clarens::rpc::Fault (type error) on mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  // accepts Int too
+  const std::string& as_string() const;
+  const std::vector<std::uint8_t>& as_binary() const;
+  DateTime as_datetime() const;
+  const Array& as_array() const;
+  Array& as_array();
+
+  /// Struct operations.
+  bool is_struct() const { return type() == Type::Struct; }
+  const StructMembers& members() const;
+  Value& set(const std::string& key, Value value);  // returns *this member
+  const Value* find(const std::string& key) const;  // nullptr if absent
+  const Value& at(const std::string& key) const;    // throws if absent
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+  /// Array convenience.
+  void push(Value v);
+  std::size_t size() const;  // array length or struct member count
+
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+
+  /// Debug rendering (not a wire format).
+  std::string debug_string() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               std::vector<std::uint8_t>, DateTime, Array, StructMembers>
+      data_;
+};
+
+}  // namespace clarens::rpc

@@ -1,0 +1,277 @@
+#include "rpc/xml.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace clarens::rpc {
+
+std::string XmlNode::local_name() const {
+  std::size_t colon = tag.find(':');
+  return colon == std::string::npos ? tag : tag.substr(colon + 1);
+}
+
+const XmlNode* XmlNode::child(std::string_view local) const {
+  for (const auto& c : children) {
+    if (c.local_name() == local) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view local) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c.local_name() == local) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return v;
+  }
+  return "";
+}
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    XmlNode root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError("XML parse error at offset " + std::to_string(pos_) +
+                     ": " + what);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char get() {
+    if (eof()) const_cast<Parser*>(this)->fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  bool consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view s) {
+    if (!consume(s)) fail("expected '" + std::string(s) + "'");
+  }
+  void skip_space() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  // Prolog, comments, whitespace between top-level constructs.
+  void skip_misc() {
+    for (;;) {
+      skip_space();
+      if (consume("<?")) {
+        std::size_t end = text_.find("?>", pos_);
+        if (end == std::string_view::npos) fail("unterminated processing instruction");
+        pos_ = end + 2;
+      } else if (consume("<!--")) {
+        std::size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    std::size_t start = pos_;
+    while (!eof()) {
+      char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.' || c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out.push_back('<');
+      else if (ent == "gt") out.push_back('>');
+      else if (ent == "amp") out.push_back('&');
+      else if (ent == "quot") out.push_back('"');
+      else if (ent == "apos") out.push_back('\'');
+      else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        // UTF-8 encode the code point.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+          out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+      } else {
+        fail("unknown entity '&" + std::string(ent) + ";'");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  XmlNode parse_element() {
+    expect("<");
+    XmlNode node;
+    node.tag = parse_name();
+    // Attributes.
+    for (;;) {
+      skip_space();
+      if (eof()) fail("unterminated start tag");
+      if (consume("/>")) return node;  // empty element
+      if (consume(">")) break;
+      std::string name = parse_name();
+      skip_space();
+      expect("=");
+      skip_space();
+      char quote = get();
+      if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+      std::size_t start = pos_;
+      while (!eof() && peek() != quote) ++pos_;
+      if (eof()) fail("unterminated attribute value");
+      std::string value = decode_entities(text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      node.attributes.emplace_back(std::move(name), std::move(value));
+    }
+    // Content.
+    for (;;) {
+      if (eof()) fail("unterminated element <" + node.tag + ">");
+      if (consume("<!--")) {
+        std::size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (consume("<![CDATA[")) {
+        std::size_t end = text_.find("]]>", pos_);
+        if (end == std::string_view::npos) fail("unterminated CDATA");
+        node.text.append(text_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        std::string closing = parse_name();
+        if (closing != node.tag) {
+          fail("mismatched closing tag: <" + node.tag + "> vs </" + closing + ">");
+        }
+        skip_space();
+        expect(">");
+        return node;
+      }
+      if (peek() == '<') {
+        node.children.push_back(parse_element());
+        continue;
+      }
+      // Character data up to the next '<'.
+      std::size_t start = pos_;
+      while (!eof() && peek() != '<') ++pos_;
+      node.text.append(decode_entities(text_.substr(start, pos_ - start)));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+XmlNode xml_parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+void XmlWriter::open(std::string_view tag) {
+  out_.push_back('<');
+  out_.append(tag);
+  out_.push_back('>');
+}
+
+void XmlWriter::open(
+    std::string_view tag,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        attributes) {
+  out_.push_back('<');
+  out_.append(tag);
+  for (const auto& [name, value] : attributes) {
+    out_.push_back(' ');
+    out_.append(name);
+    out_.append("=\"");
+    out_.append(xml_escape(value));
+    out_.push_back('"');
+  }
+  out_.push_back('>');
+}
+
+void XmlWriter::close(std::string_view tag) {
+  out_.append("</");
+  out_.append(tag);
+  out_.push_back('>');
+}
+
+void XmlWriter::text(std::string_view content) { out_.append(xml_escape(content)); }
+
+void XmlWriter::raw(std::string_view content) { out_.append(content); }
+
+void XmlWriter::element(std::string_view tag, std::string_view content) {
+  open(tag);
+  text(content);
+  close(tag);
+}
+
+}  // namespace clarens::rpc

@@ -1,0 +1,59 @@
+// Minimal XML reader/writer covering the subset XML-RPC and SOAP 1.1
+// payloads use: prolog, comments, elements with attributes, character
+// data with the five predefined entities, CDATA sections. No DTDs,
+// processing instructions beyond the prolog, or namespaces resolution
+// (namespace prefixes are kept verbatim in tag names; helpers strip them).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace clarens::rpc {
+
+struct XmlNode {
+  std::string tag;  // as written, possibly with "ns:" prefix
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;  // concatenated character data directly inside
+  std::vector<XmlNode> children;
+
+  /// Tag with any namespace prefix removed.
+  std::string local_name() const;
+
+  /// First child with the given local name; nullptr if absent.
+  const XmlNode* child(std::string_view local) const;
+
+  /// All children with the given local name.
+  std::vector<const XmlNode*> children_named(std::string_view local) const;
+
+  std::string attribute(std::string_view name) const;
+};
+
+/// Parse a document; returns the root element. Throws clarens::ParseError.
+XmlNode xml_parse(std::string_view text);
+
+/// Escape character data for element content.
+std::string xml_escape(std::string_view text);
+
+/// Incremental writer for the serializers.
+class XmlWriter {
+ public:
+  void open(std::string_view tag);
+  void open(std::string_view tag,
+            std::initializer_list<std::pair<std::string_view, std::string_view>>
+                attributes);
+  void close(std::string_view tag);
+  void text(std::string_view content);  // escaped
+  void raw(std::string_view content);   // verbatim
+  /// <tag>text</tag>
+  void element(std::string_view tag, std::string_view content);
+
+  std::string take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace clarens::rpc

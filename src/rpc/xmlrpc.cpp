@@ -1,0 +1,226 @@
+#include "rpc/xmlrpc.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "rpc/fault.hpp"
+#include "rpc/xml.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::rpc::xmlrpc {
+
+namespace {
+
+constexpr const char* kProlog = "<?xml version=\"1.0\"?>";
+
+void write_value(XmlWriter& w, const Value& value) {
+  w.open("value");
+  switch (value.type()) {
+    case Value::Type::Nil:
+      // <nil/> is the common XML-RPC extension.
+      w.raw("<nil/>");
+      break;
+    case Value::Type::Bool:
+      w.element("boolean", value.as_bool() ? "1" : "0");
+      break;
+    case Value::Type::Int:
+      w.element("int", std::to_string(value.as_int()));
+      break;
+    case Value::Type::Double: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.as_double());
+      w.element("double", buf);
+      break;
+    }
+    case Value::Type::String:
+      w.element("string", value.as_string());
+      break;
+    case Value::Type::Binary:
+      w.element("base64", util::base64_encode(value.as_binary()));
+      break;
+    case Value::Type::DateTime:
+      w.element("dateTime.iso8601",
+                util::iso8601(value.as_datetime().unix_seconds));
+      break;
+    case Value::Type::Array: {
+      w.open("array");
+      w.open("data");
+      for (const auto& element : value.as_array()) write_value(w, element);
+      w.close("data");
+      w.close("array");
+      break;
+    }
+    case Value::Type::Struct: {
+      w.open("struct");
+      for (const auto& [name, member] : value.members()) {
+        w.open("member");
+        w.element("name", name);
+        write_value(w, member);
+        w.close("member");
+      }
+      w.close("struct");
+      break;
+    }
+  }
+  w.close("value");
+}
+
+double parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("invalid XML-RPC double: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+Value parse_value_xml(const XmlNode& value_node) {
+  // A bare <value>text</value> is a string per the XML-RPC spec.
+  if (value_node.children.empty()) {
+    return Value(value_node.text);
+  }
+  const XmlNode& typed = value_node.children.front();
+  const std::string tag = typed.local_name();
+  if (tag == "nil") return Value::nil();
+  if (tag == "boolean") {
+    std::string t(util::trim(typed.text));
+    if (t == "1" || t == "true") return Value(true);
+    if (t == "0" || t == "false") return Value(false);
+    throw ParseError("invalid XML-RPC boolean: '" + typed.text + "'");
+  }
+  if (tag == "int" || tag == "i4" || tag == "i8") {
+    return Value(util::parse_int(util::trim(typed.text)));
+  }
+  if (tag == "double") {
+    return Value(parse_double(std::string(util::trim(typed.text))));
+  }
+  if (tag == "string") return Value(typed.text);
+  if (tag == "base64") return Value(util::base64_decode(typed.text));
+  if (tag == "dateTime.iso8601") {
+    return Value(DateTime{util::parse_iso8601(std::string(util::trim(typed.text)))});
+  }
+  if (tag == "array") {
+    const XmlNode* data = typed.child("data");
+    if (!data) throw ParseError("XML-RPC array missing <data>");
+    Value out = Value::array();
+    for (const auto& child : data->children) {
+      if (child.local_name() != "value") {
+        throw ParseError("XML-RPC array <data> may only contain <value>");
+      }
+      out.push(parse_value_xml(child));
+    }
+    return out;
+  }
+  if (tag == "struct") {
+    Value out = Value::struct_();
+    for (const auto& member : typed.children) {
+      if (member.local_name() != "member") continue;
+      const XmlNode* name = member.child("name");
+      const XmlNode* value = member.child("value");
+      if (!name || !value) {
+        throw ParseError("XML-RPC struct member missing name or value");
+      }
+      out.set(name->text, parse_value_xml(*value));
+    }
+    return out;
+  }
+  throw ParseError("unknown XML-RPC value type: <" + tag + ">");
+}
+
+std::string serialize_value(const Value& value) {
+  XmlWriter w;
+  write_value(w, value);
+  return w.take();
+}
+
+std::string serialize_request(const Request& request) {
+  XmlWriter w;
+  w.raw(kProlog);
+  w.open("methodCall");
+  w.element("methodName", request.method);
+  w.open("params");
+  for (const auto& param : request.params) {
+    w.open("param");
+    write_value(w, param);
+    w.close("param");
+  }
+  w.close("params");
+  w.close("methodCall");
+  return w.take();
+}
+
+Request parse_request(std::string_view body) {
+  XmlNode root = xml_parse(body);
+  if (root.local_name() != "methodCall") {
+    throw ParseError("expected <methodCall>, got <" + root.tag + ">");
+  }
+  const XmlNode* name = root.child("methodName");
+  if (!name) throw ParseError("methodCall missing <methodName>");
+  Request request;
+  request.method = std::string(util::trim(name->text));
+  if (request.method.empty()) throw ParseError("empty methodName");
+  if (const XmlNode* params = root.child("params")) {
+    for (const auto& param : params->children) {
+      if (param.local_name() != "param") continue;
+      const XmlNode* value = param.child("value");
+      if (!value) throw ParseError("<param> missing <value>");
+      request.params.push_back(parse_value_xml(*value));
+    }
+  }
+  return request;
+}
+
+std::string serialize_response(const Response& response) {
+  XmlWriter w;
+  w.raw(kProlog);
+  w.open("methodResponse");
+  if (response.is_fault) {
+    Value fault = Value::struct_();
+    fault.set("faultCode", Value(static_cast<std::int64_t>(response.fault_code)));
+    fault.set("faultString", Value(response.fault_message));
+    w.open("fault");
+    write_value(w, fault);
+    w.close("fault");
+  } else {
+    w.open("params");
+    w.open("param");
+    write_value(w, response.result);
+    w.close("param");
+    w.close("params");
+  }
+  w.close("methodResponse");
+  return w.take();
+}
+
+Response parse_response(std::string_view body) {
+  XmlNode root = xml_parse(body);
+  if (root.local_name() != "methodResponse") {
+    throw ParseError("expected <methodResponse>, got <" + root.tag + ">");
+  }
+  if (const XmlNode* fault = root.child("fault")) {
+    const XmlNode* value = fault->child("value");
+    if (!value) throw ParseError("<fault> missing <value>");
+    Value fv = parse_value_xml(*value);
+    Response response;
+    response.is_fault = true;
+    response.fault_code = static_cast<int>(fv.at("faultCode").as_int());
+    response.fault_message = fv.at("faultString").as_string();
+    return response;
+  }
+  const XmlNode* params = root.child("params");
+  if (!params || params->children.empty()) {
+    throw ParseError("methodResponse missing <params>");
+  }
+  const XmlNode* value = params->children.front().child("value");
+  if (!value) throw ParseError("response <param> missing <value>");
+  return Response::success(parse_value_xml(*value));
+}
+
+}  // namespace clarens::rpc::xmlrpc

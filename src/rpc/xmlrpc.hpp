@@ -1,0 +1,56 @@
+// XML-RPC (http://www.xmlrpc.com) — the primary Clarens wire protocol and
+// the one the paper's Figure-4 benchmark exercises.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpc/value.hpp"
+
+namespace clarens::rpc {
+
+struct XmlNode;
+
+struct Request {
+  std::string method;
+  std::vector<Value> params;
+  /// JSON-RPC correlates responses by id; XML-RPC/SOAP ignore it.
+  Value id;
+};
+
+struct Response {
+  bool is_fault = false;
+  Value result;       // when !is_fault
+  int fault_code = 0; // when is_fault
+  std::string fault_message;
+  Value id;
+
+  static Response success(Value result) {
+    Response r;
+    r.result = std::move(result);
+    return r;
+  }
+  static Response fault(int code, std::string message) {
+    Response r;
+    r.is_fault = true;
+    r.fault_code = code;
+    r.fault_message = std::move(message);
+    return r;
+  }
+};
+
+namespace xmlrpc {
+
+std::string serialize_request(const Request& request);
+Request parse_request(std::string_view body);
+
+std::string serialize_response(const Response& response);
+Response parse_response(std::string_view body);
+
+/// Single <value> element encoding/decoding (shared with SOAP's
+/// XML-RPC-compatible value payloads and exposed for tests).
+std::string serialize_value(const Value& value);
+Value parse_value_xml(const XmlNode& value_node);
+
+}  // namespace xmlrpc
+}  // namespace clarens::rpc

@@ -1,0 +1,214 @@
+#include "storage/mass_storage.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "crypto/sha256.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+
+namespace fs = std::filesystem;
+
+namespace clarens::storage {
+
+namespace {
+
+void validate_logical(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    throw ParseError("logical storage paths must be absolute: '" + path + "'");
+  }
+  if (path.find("..") != std::string::npos) {
+    throw AccessError("'..' not allowed in storage paths: '" + path + "'");
+  }
+}
+
+}  // namespace
+
+MassStorage::MassStorage(std::string tape_dir, std::string cache_dir,
+                         std::int64_t cache_capacity,
+                         std::int64_t stage_bytes_per_second)
+    : tape_dir_(std::move(tape_dir)),
+      cache_dir_(std::move(cache_dir)),
+      cache_capacity_(cache_capacity),
+      stage_rate_(stage_bytes_per_second) {
+  fs::create_directories(tape_dir_);
+  fs::create_directories(cache_dir_);
+}
+
+std::string MassStorage::tape_file(const std::string& logical_path) const {
+  validate_logical(logical_path);
+  return (fs::path(tape_dir_) / fs::path(logical_path).relative_path()).string();
+}
+
+void MassStorage::put(const std::string& logical_path, std::string_view data) {
+  std::string real = tape_file(logical_path);
+  fs::create_directories(fs::path(real).parent_path());
+  std::ofstream out(real, std::ios::binary | std::ios::trunc);
+  if (!out) throw SystemError("cannot write to tape: " + logical_path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+
+  // Invalidate any stale cached copy.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(logical_path);
+  if (it != cache_.end()) {
+    if (it->second.pins > 0) {
+      throw SystemError("cannot overwrite pinned cached file: " + logical_path);
+    }
+    fs::remove(it->second.cache_file);
+    used_ -= it->second.size;
+    cache_.erase(it);
+  }
+}
+
+bool MassStorage::exists(const std::string& logical_path) const {
+  return fs::exists(tape_file(logical_path));
+}
+
+std::int64_t MassStorage::size(const std::string& logical_path) const {
+  std::string real = tape_file(logical_path);
+  std::error_code ec;
+  auto s = fs::file_size(real, ec);
+  if (ec) throw NotFoundError("no such tape file: " + logical_path);
+  return static_cast<std::int64_t>(s);
+}
+
+std::vector<std::string> MassStorage::list(const std::string& logical_dir) const {
+  validate_logical(logical_dir);
+  fs::path base = fs::path(tape_dir_) / fs::path(logical_dir).relative_path();
+  std::error_code ec;
+  std::vector<std::string> out;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    fs::path rel = it->path().lexically_relative(tape_dir_);
+    out.push_back("/" + rel.string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MassStorage::remove(const std::string& logical_path) {
+  std::string real = tape_file(logical_path);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(logical_path);
+    if (it != cache_.end()) {
+      if (it->second.pins > 0) {
+        throw SystemError("cannot remove pinned file: " + logical_path);
+      }
+      fs::remove(it->second.cache_file);
+      used_ -= it->second.size;
+      cache_.erase(it);
+    }
+  }
+  if (!fs::remove(real)) {
+    throw NotFoundError("no such tape file: " + logical_path);
+  }
+}
+
+void MassStorage::make_room_locked(std::int64_t needed) {
+  if (needed > cache_capacity_) {
+    throw SystemError("file larger than the entire disk cache");
+  }
+  while (used_ + needed > cache_capacity_) {
+    // LRU among unpinned entries.
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.pins > 0) continue;
+      if (victim == cache_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) {
+      throw SystemError("disk cache exhausted by pinned files");
+    }
+    fs::remove(victim->second.cache_file);
+    used_ -= victim->second.size;
+    cache_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::string MassStorage::stage_and_pin(const std::string& logical_path) {
+  std::string real = tape_file(logical_path);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(logical_path);
+    if (it != cache_.end()) {
+      ++it->second.pins;
+      it->second.last_used = util::unix_now();
+      ++hits_;
+      return it->second.cache_file;
+    }
+  }
+
+  std::error_code ec;
+  auto file_size = fs::file_size(real, ec);
+  if (ec) throw NotFoundError("no such tape file: " + logical_path);
+
+  // Simulated tape latency, outside the lock: other requests proceed.
+  if (stage_rate_ > 0) {
+    auto millis = static_cast<std::int64_t>(file_size) * 1000 / stage_rate_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  }
+
+  // Cache filename derived from the logical path (stable, collision-free).
+  std::string name = util::hex_encode(crypto::Sha256::hash(logical_path));
+  std::string cache_file = (fs::path(cache_dir_) / name).string();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Another thread may have staged it while we slept.
+  auto it = cache_.find(logical_path);
+  if (it != cache_.end()) {
+    ++it->second.pins;
+    ++hits_;
+    return it->second.cache_file;
+  }
+  make_room_locked(static_cast<std::int64_t>(file_size));
+  fs::copy_file(real, cache_file, fs::copy_options::overwrite_existing, ec);
+  if (ec) throw SystemError("staging copy failed: " + ec.message());
+
+  CacheEntry entry;
+  entry.tape_path = logical_path;
+  entry.cache_file = cache_file;
+  entry.size = static_cast<std::int64_t>(file_size);
+  entry.pins = 1;
+  entry.last_used = util::unix_now();
+  used_ += entry.size;
+  cache_[logical_path] = std::move(entry);
+  ++stages_;
+  return cache_file;
+}
+
+void MassStorage::unpin(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(logical_path);
+  if (it == cache_.end()) {
+    throw NotFoundError("not cached: " + logical_path);
+  }
+  if (it->second.pins > 0) --it->second.pins;
+}
+
+bool MassStorage::is_cached(const std::string& logical_path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.count(logical_path) != 0;
+}
+
+std::int64_t MassStorage::cache_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::size_t MassStorage::cache_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace clarens::storage

@@ -1,0 +1,87 @@
+// Mass-storage simulation — the dCache analogue behind the SRM interface
+// (paper §6: "Work is under way to provide an SRM service interface to
+// dCache such that Clarens can support robust file transfer between
+// different mass storage facilities").
+//
+// Model: a *tape* namespace (slow, always complete) and a bounded *disk
+// cache* (fast, partial). Reads must be staged tape→cache first; staging
+// costs simulated latency proportional to file size (configurable;
+// tests use an instant rate). Cached copies can be pinned while in use;
+// unpinned copies are evicted LRU when the cache fills. Writes go
+// through the cache and are flushed to tape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clarens::storage {
+
+struct CacheEntry {
+  std::string tape_path;   // logical path, e.g. "/run2005A/muons.evt"
+  std::string cache_file;  // real file inside the cache directory
+  std::int64_t size = 0;
+  int pins = 0;
+  std::int64_t last_used = 0;  // unix seconds (LRU key)
+};
+
+class MassStorage {
+ public:
+  /// `tape_dir`/`cache_dir` are created if absent. `cache_capacity` in
+  /// bytes. `stage_bytes_per_second` simulates tape latency (0 = instant,
+  /// for tests; SC-era tape drives did ~30 MB/s).
+  MassStorage(std::string tape_dir, std::string cache_dir,
+              std::int64_t cache_capacity,
+              std::int64_t stage_bytes_per_second = 0);
+
+  // --- tape namespace --------------------------------------------------
+  /// Write a file to tape (via the cache). Overwrites.
+  void put(const std::string& logical_path, std::string_view data);
+  bool exists(const std::string& logical_path) const;
+  std::int64_t size(const std::string& logical_path) const;  // throws NotFound
+  std::vector<std::string> list(const std::string& logical_dir) const;
+  void remove(const std::string& logical_path);
+
+  // --- staging ----------------------------------------------------------
+  /// Ensure the file is on disk cache; blocks for the simulated staging
+  /// time on a miss; a hit is free. Returns the real cache-file path and
+  /// pins the entry (caller must unpin()).
+  std::string stage_and_pin(const std::string& logical_path);
+
+  void unpin(const std::string& logical_path);
+
+  bool is_cached(const std::string& logical_path) const;
+
+  // --- cache accounting --------------------------------------------------
+  std::int64_t cache_used() const;
+  std::int64_t cache_capacity() const { return cache_capacity_; }
+  std::size_t cache_entries() const;
+  std::uint64_t stage_count() const { return stages_; }
+  std::uint64_t hit_count() const { return hits_; }
+  std::uint64_t eviction_count() const { return evictions_; }
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string tape_file(const std::string& logical_path) const;
+  /// Evict LRU unpinned entries until `needed` bytes fit. Throws
+  /// clarens::SystemError when pinned entries block the eviction.
+  void make_room_locked(std::int64_t needed);
+
+  std::string tape_dir_;
+  std::string cache_dir_;
+  std::int64_t cache_capacity_;
+  std::int64_t stage_rate_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, CacheEntry> cache_;  // by logical path
+  std::int64_t used_ = 0;
+  std::uint64_t stages_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace clarens::storage

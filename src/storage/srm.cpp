@@ -1,0 +1,156 @@
+#include "storage/srm.hpp"
+
+#include <chrono>
+
+#include "crypto/random.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace clarens::storage {
+
+const char* to_string(SrmState state) {
+  switch (state) {
+    case SrmState::Queued: return "QUEUED";
+    case SrmState::Staging: return "STAGING";
+    case SrmState::Ready: return "READY";
+    case SrmState::Failed: return "FAILED";
+    case SrmState::Released: return "RELEASED";
+  }
+  return "?";
+}
+
+SrmService::SrmService(MassStorage& storage, int workers) : storage_(storage) {
+  if (workers < 1) workers = 1;
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SrmService::~SrmService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::string SrmService::prepare_to_get(const std::string& logical_path) {
+  SrmRequest request;
+  request.token = crypto::random_token(12);
+  request.logical_path = logical_path;
+  request.created = util::unix_now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    requests_[request.token] = request;
+    queue_.push_back(request.token);
+  }
+  work_available_.notify_one();
+  return request.token;
+}
+
+void SrmService::worker_loop() {
+  for (;;) {
+    std::string token;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      token = queue_.front();
+      queue_.pop_front();
+      auto it = requests_.find(token);
+      if (it == requests_.end()) continue;
+      it->second.state = SrmState::Staging;
+    }
+    state_changed_.notify_all();
+
+    // The staging copy (and its simulated tape latency) runs unlocked.
+    std::string logical_path;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      logical_path = requests_[token].logical_path;
+    }
+    std::string cache_file;
+    std::string error;
+    try {
+      cache_file = storage_.stage_and_pin(logical_path);
+    } catch (const Error& e) {
+      error = e.what();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = requests_.find(token);
+      if (it != requests_.end()) {
+        if (error.empty()) {
+          it->second.state = SrmState::Ready;
+          it->second.cache_file = cache_file;
+        } else {
+          it->second.state = SrmState::Failed;
+          it->second.error = error;
+        }
+      }
+    }
+    state_changed_.notify_all();
+  }
+}
+
+SrmRequest SrmService::status(const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = requests_.find(token);
+  if (it == requests_.end()) throw NotFoundError("unknown SRM token");
+  return it->second;
+}
+
+SrmRequest SrmService::wait(const std::string& token, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto done = [&]() -> bool {
+    auto it = requests_.find(token);
+    if (it == requests_.end()) return true;
+    return it->second.state != SrmState::Queued &&
+           it->second.state != SrmState::Staging;
+  };
+  if (!state_changed_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               done)) {
+    throw SystemError("SRM request did not complete in time");
+  }
+  auto it = requests_.find(token);
+  if (it == requests_.end()) throw NotFoundError("unknown SRM token");
+  return it->second;
+}
+
+void SrmService::release(const std::string& token) {
+  std::string logical_path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = requests_.find(token);
+    if (it == requests_.end()) throw NotFoundError("unknown SRM token");
+    if (it->second.state == SrmState::Released) return;
+    if (it->second.state != SrmState::Ready) {
+      throw Error("cannot release a request in state " +
+                  std::string(to_string(it->second.state)));
+    }
+    it->second.state = SrmState::Released;
+    logical_path = it->second.logical_path;
+  }
+  storage_.unpin(logical_path);
+  state_changed_.notify_all();
+}
+
+void SrmService::put(const std::string& logical_path, std::string_view data) {
+  storage_.put(logical_path, data);
+}
+
+std::vector<std::string> SrmService::ls(const std::string& logical_dir) const {
+  return storage_.list(logical_dir);
+}
+
+bool SrmService::exists(const std::string& logical_path) const {
+  return storage_.exists(logical_path);
+}
+
+std::int64_t SrmService::size(const std::string& logical_path) const {
+  return storage_.size(logical_path);
+}
+
+}  // namespace clarens::storage

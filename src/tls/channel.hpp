@@ -1,0 +1,105 @@
+// TLS-like secure channel (the SSL/TLS + X.509 substitution).
+//
+// Implements the properties the paper relies on, with this repository's
+// own primitives instead of OpenSSL:
+//   * server (and optionally client) certificate authentication against a
+//     trust store, including proxy-certificate chains;
+//   * an RSA key transport handshake establishing per-session keys;
+//   * an encrypted + MACed record layer (ChaCha20 + HMAC-SHA256) whose
+//     per-record cost reproduces the paper's "SSL reduces throughput by
+//     up to 50%" observation (bench_ssl_overhead measures it).
+//
+// Wire format. Records: u8 type | u32 length | payload.
+//   type 1 handshake (plaintext during negotiation)
+//   type 2 application data: ChaCha20(payload) || HMAC(seq | type | payload)
+//   type 3 alert (plaintext reason, connection terminates)
+// Handshake flow:
+//   C->S ClientHello   { client_random, client chain (may be empty) }
+//   S->C ServerHello   { server_random, server chain }
+//   C->S KeyExchange   { RSA_enc(server_pub, pre_master),
+//                        sig(client_key, transcript) if chain sent }
+//   C->S Finished      { HMAC(master, "client finished" | transcript) }
+//   S->C Finished      { HMAC(master, "server finished" | transcript) }
+// Keys: HKDF(master, direction label) -> 32-byte cipher key + 32-byte MAC
+// key per direction; record nonce = first 12 bytes of HMAC(mac_key, seq).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "pki/certificate.hpp"
+#include "pki/verify.hpp"
+#include "util/buffer.hpp"
+
+namespace clarens::tls {
+
+struct TlsConfig {
+  /// Local credential. Required for servers; optional for clients
+  /// (anonymous client, like a browser without a client certificate).
+  std::optional<pki::Credential> credential;
+  /// Extra chain certificates (the user certificate when `credential`
+  /// holds a proxy).
+  std::vector<pki::Certificate> chain;
+  /// Trust anchors for verifying the peer. Required.
+  const pki::TrustStore* trust = nullptr;
+  /// Servers: refuse clients that present no certificate.
+  bool require_peer_certificate = false;
+};
+
+/// An established encrypted channel. Implements net::Stream so HTTP can
+/// run over it unchanged.
+class SecureChannel : public net::Stream {
+ public:
+  /// Client side of the handshake over `transport`. Throws
+  /// clarens::AuthError / SystemError on failure.
+  static std::unique_ptr<SecureChannel> connect(
+      std::unique_ptr<net::Stream> transport, const TlsConfig& config);
+
+  /// Server side of the handshake.
+  static std::unique_ptr<SecureChannel> accept(
+      std::unique_ptr<net::Stream> transport, const TlsConfig& config);
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void write_all(std::span<const std::uint8_t> data) override;
+  using net::Stream::write_all;
+  void close() override;
+
+  /// Verified peer identity; nullopt when the peer was anonymous.
+  const std::optional<pki::TrustStore::Result>& peer() const { return peer_; }
+
+  /// Peer certificate chain as presented (leaf first); empty if anonymous.
+  const std::vector<pki::Certificate>& peer_chain() const { return peer_chain_; }
+
+ private:
+  SecureChannel(std::unique_ptr<net::Stream> transport, bool is_server);
+
+  struct Keys {
+    std::vector<std::uint8_t> cipher_key;
+    std::vector<std::uint8_t> mac_key;
+  };
+
+  void send_record(std::uint8_t type, std::span<const std::uint8_t> payload);
+  /// Reads one full record; returns {type, payload}.
+  std::pair<std::uint8_t, std::vector<std::uint8_t>> recv_record();
+
+  void send_encrypted(std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> recv_encrypted();
+
+  void derive_keys(std::span<const std::uint8_t> master);
+
+  std::unique_ptr<net::Stream> transport_;
+  bool is_server_;
+  Keys send_keys_;
+  Keys recv_keys_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  std::optional<pki::TrustStore::Result> peer_;
+  std::vector<pki::Certificate> peer_chain_;
+  util::Buffer plain_in_;  // decrypted bytes not yet read by the caller
+};
+
+}  // namespace clarens::tls

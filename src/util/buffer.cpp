@@ -1,0 +1,86 @@
+#include "util/buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace clarens::util {
+
+void Buffer::write(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  data_.insert(data_.end(), bytes, bytes + len);
+}
+
+void Buffer::write_u16(std::uint16_t v) {
+  write_u8(static_cast<std::uint8_t>(v >> 8));
+  write_u8(static_cast<std::uint8_t>(v));
+}
+
+void Buffer::write_u32(std::uint32_t v) {
+  write_u16(static_cast<std::uint16_t>(v >> 16));
+  write_u16(static_cast<std::uint16_t>(v));
+}
+
+void Buffer::write_u64(std::uint64_t v) {
+  write_u32(static_cast<std::uint32_t>(v >> 32));
+  write_u32(static_cast<std::uint32_t>(v));
+}
+
+void Buffer::require(std::size_t len) const {
+  if (readable() < len) {
+    throw ParseError("buffer underrun: need " + std::to_string(len) +
+                     " bytes, have " + std::to_string(readable()));
+  }
+}
+
+void Buffer::consume(std::size_t len) {
+  require(len);
+  read_pos_ += len;
+  if (read_pos_ == data_.size()) {
+    data_.clear();
+    read_pos_ = 0;
+  }
+}
+
+std::vector<std::uint8_t> Buffer::read(std::size_t len) {
+  require(len);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(read_pos_),
+                                data_.begin() + static_cast<long>(read_pos_ + len));
+  consume(len);
+  return out;
+}
+
+std::string Buffer::read_string(std::size_t len) {
+  require(len);
+  std::string out(reinterpret_cast<const char*>(data_.data()) + read_pos_, len);
+  consume(len);
+  return out;
+}
+
+std::uint8_t Buffer::read_u8() {
+  require(1);
+  std::uint8_t v = data_[read_pos_];
+  consume(1);
+  return v;
+}
+
+std::uint16_t Buffer::read_u16() {
+  std::uint16_t hi = read_u8();
+  return static_cast<std::uint16_t>((hi << 8) | read_u8());
+}
+
+std::uint32_t Buffer::read_u32() {
+  std::uint32_t hi = read_u16();
+  return (hi << 16) | read_u16();
+}
+
+std::uint64_t Buffer::read_u64() {
+  std::uint64_t hi = read_u32();
+  return (hi << 32) | read_u32();
+}
+
+void Buffer::compact() {
+  if (read_pos_ == 0) return;
+  data_.erase(data_.begin(), data_.begin() + static_cast<long>(read_pos_));
+  read_pos_ = 0;
+}
+
+}  // namespace clarens::util

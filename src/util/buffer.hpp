@@ -1,0 +1,68 @@
+// Growable byte buffer with separate read and write cursors, the working
+// unit for protocol parsing (HTTP, TLS records, RPC payloads).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clarens::util {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Bytes available to read.
+  std::size_t readable() const { return data_.size() - read_pos_; }
+  bool empty() const { return readable() == 0; }
+
+  /// Append raw bytes at the write end.
+  void write(const void* data, std::size_t len);
+  void write(std::string_view s) { write(s.data(), s.size()); }
+  void write(std::span<const std::uint8_t> s) { write(s.data(), s.size()); }
+  void write_u8(std::uint8_t v) { write(&v, 1); }
+  void write_u16(std::uint16_t v);  // big-endian
+  void write_u32(std::uint32_t v);  // big-endian
+  void write_u64(std::uint64_t v);  // big-endian
+
+  /// View of the unread region; invalidated by any write or consume.
+  std::span<const std::uint8_t> peek() const {
+    return {data_.data() + read_pos_, readable()};
+  }
+  std::string_view peek_view() const {
+    return {reinterpret_cast<const char*>(data_.data()) + read_pos_,
+            readable()};
+  }
+
+  /// Advance the read cursor by `len` (<= readable()).
+  void consume(std::size_t len);
+
+  /// Copy-and-consume `len` bytes. Throws clarens::ParseError if fewer
+  /// bytes are available.
+  std::vector<std::uint8_t> read(std::size_t len);
+  std::string read_string(std::size_t len);
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+
+  /// Drop consumed prefix to reclaim memory. Called periodically by
+  /// long-lived connections.
+  void compact();
+
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+ private:
+  void require(std::size_t len) const;
+
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace clarens::util

@@ -1,0 +1,42 @@
+#include "util/clock.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+#include "util/error.hpp"
+
+namespace clarens::util {
+
+std::string iso8601(std::int64_t unix_seconds) {
+  std::time_t t = static_cast<std::time_t>(unix_seconds);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[64];
+  // XML-RPC's dateTime.iso8601 uses the compact yyyyMMddTHH:mm:ss form.
+  std::snprintf(buf, sizeof(buf), "%04d%02d%02dT%02d:%02d:%02d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::int64_t parse_iso8601(const std::string& text) {
+  std::tm tm{};
+  int year = 0, mon = 0, day = 0, hour = 0, min = 0, sec = 0;
+  if (std::sscanf(text.c_str(), "%4d%2d%2dT%2d:%2d:%2d", &year, &mon, &day,
+                  &hour, &min, &sec) != 6) {
+    throw ParseError("invalid ISO-8601 datetime: '" + text + "'");
+  }
+  if (mon < 1 || mon > 12 || day < 1 || day > 31 || hour > 23 || min > 59 ||
+      sec > 60) {
+    throw ParseError("out-of-range ISO-8601 datetime: '" + text + "'");
+  }
+  tm.tm_year = year - 1900;
+  tm.tm_mon = mon - 1;
+  tm.tm_mday = day;
+  tm.tm_hour = hour;
+  tm.tm_min = min;
+  tm.tm_sec = sec;
+  return static_cast<std::int64_t>(timegm(&tm));
+}
+
+}  // namespace clarens::util

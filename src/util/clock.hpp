@@ -1,0 +1,41 @@
+// Time helpers: wall-clock seconds for certificate validity and session
+// expiry, and a steady stopwatch for benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace clarens::util {
+
+/// Seconds since the Unix epoch.
+inline std::int64_t unix_now() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ISO-8601 compact form used by XML-RPC <dateTime.iso8601>.
+std::string iso8601(std::int64_t unix_seconds);
+
+/// Parse XML-RPC ISO-8601 (yyyyMMddTHH:mm:ss). Throws clarens::ParseError.
+std::int64_t parse_iso8601(const std::string& text);
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace clarens::util

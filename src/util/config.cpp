@@ -1,0 +1,90 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clarens::util {
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::size_t sep = line.find_first_of(" \t");
+    if (sep == std::string_view::npos) {
+      throw ParseError("config line " + std::to_string(line_no) +
+                       ": missing value for key '" + std::string(line) + "'");
+    }
+    std::string key(line.substr(0, sep));
+    std::string value(trim(line.substr(sep + 1)));
+    config.add(key, std::move(value));
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SystemError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::string Config::get_or(const std::string& key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Config::get_int_or(const std::string& key,
+                                std::int64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  return parse_int(*v);
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::string s = to_lower(*v);
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  throw ParseError("config key '" + key + "': invalid boolean '" + *v + "'");
+}
+
+std::vector<std::string> Config::get_all(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return {};
+  return it->second;
+}
+
+void Config::add(const std::string& key, std::string value) {
+  values_[key].push_back(std::move(value));
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = {std::move(value)};
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, _] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace clarens::util

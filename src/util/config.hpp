@@ -1,0 +1,63 @@
+// Apache-style configuration files.
+//
+// The Clarens paper configures the server (admin DNs, virtual file roots,
+// ports) through the web-server configuration file. We use a simple
+// line-oriented format:
+//
+//   # comment
+//   key value with spaces
+//   section.key value
+//
+// Repeated keys accumulate (multi-valued keys such as admin DNs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clarens::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from file contents. Throws clarens::ParseError on malformed
+  /// lines (a non-comment line without a key).
+  static Config parse(std::string_view text);
+
+  /// Load from a file path. Throws clarens::SystemError if unreadable.
+  static Config load(const std::string& path);
+
+  /// First value for key, if present.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// First value or `fallback`.
+  std::string get_or(const std::string& key, std::string fallback) const;
+
+  /// Integer value or `fallback`; throws ParseError if present but invalid.
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+
+  /// Boolean value ("true/false/yes/no/on/off/1/0") or `fallback`.
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// All values for a repeated key, in file order.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  /// Set/append programmatically (used by tests and embedded servers).
+  void add(const std::string& key, std::string value);
+
+  /// Replace all values of key with a single value.
+  void set(const std::string& key, std::string value);
+
+  bool contains(const std::string& key) const;
+
+  /// All keys present, sorted.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+}  // namespace clarens::util

@@ -1,0 +1,57 @@
+// Error types shared across the Clarens libraries.
+//
+// Recoverable, caller-visible failures (bad input, missing file, denied
+// access) are reported with exceptions derived from clarens::Error so a
+// server dispatch loop can translate them into RPC faults uniformly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clarens {
+
+/// Root of the Clarens exception hierarchy. Carries a numeric code that
+/// maps onto an RPC fault code when the error crosses the wire.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message, int code = 1)
+      : std::runtime_error(std::move(message)), code_(code) {}
+
+  /// Fault code reported to RPC clients.
+  int code() const noexcept { return code_; }
+
+ private:
+  int code_;
+};
+
+/// Malformed input: unparsable request, bad config line, invalid DN, ...
+class ParseError : public Error {
+ public:
+  explicit ParseError(std::string message) : Error(std::move(message), 2) {}
+};
+
+/// Authentication failed or no valid session.
+class AuthError : public Error {
+ public:
+  explicit AuthError(std::string message) : Error(std::move(message), 3) {}
+};
+
+/// Authenticated but not authorized (ACL denied).
+class AccessError : public Error {
+ public:
+  explicit AccessError(std::string message) : Error(std::move(message), 4) {}
+};
+
+/// Requested entity (method, file, group, service) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(std::string message) : Error(std::move(message), 5) {}
+};
+
+/// Operating-system level failure (socket, file I/O).
+class SystemError : public Error {
+ public:
+  explicit SystemError(std::string message) : Error(std::move(message), 6) {}
+};
+
+}  // namespace clarens

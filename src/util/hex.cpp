@@ -1,0 +1,121 @@
+#include "util/hex.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace clarens::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// -1: invalid, -2: padding, -3: whitespace (skip)
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  if (c == '=') return -2;
+  if (std::isspace(static_cast<unsigned char>(c))) return -3;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t byte : data) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw ParseError("hex string has odd length");
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("invalid hex digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.push_back(kB64Digits[(v >> 6) & 63]);
+    out.push_back(kB64Digits[v & 63]);
+    i += 3;
+  }
+  std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.push_back(kB64Digits[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view b64) {
+  std::vector<std::uint8_t> out;
+  out.reserve(b64.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  bool seen_pad = false;
+  for (char c : b64) {
+    int v = b64_value(c);
+    if (v == -3) continue;  // whitespace
+    if (v == -2) {          // padding: only valid at the end
+      seen_pad = true;
+      continue;
+    }
+    if (v == -1) throw ParseError("invalid base64 character");
+    if (seen_pad) throw ParseError("base64 data after padding");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  // Any leftover bits must be zero padding bits from an encoder.
+  if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) {
+    throw ParseError("invalid base64 trailing bits");
+  }
+  return out;
+}
+
+}  // namespace clarens::util

@@ -1,0 +1,28 @@
+// Hex and base64 codecs. Base64 is needed for XML-RPC <base64> values and
+// for storing binary certificate material in text stores; hex is the wire
+// format for digests (file.md5) and identifiers (session keys).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clarens::util {
+
+/// Lowercase hex encoding of a byte span.
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Decode hex (upper or lower case). Throws clarens::ParseError on odd
+/// length or non-hex characters.
+std::vector<std::uint8_t> hex_decode(std::string_view hex);
+
+/// Standard base64 with padding.
+std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Decode base64; whitespace is ignored (XML-RPC senders wrap lines).
+/// Throws clarens::ParseError on invalid input.
+std::vector<std::uint8_t> base64_decode(std::string_view b64);
+
+}  // namespace clarens::util

@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace clarens::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_output_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+LogRecord::LogRecord(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    // Keep the prefix short: level, basename:line.
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << level_name(level_) << ' ' << base << ':' << line << "] ";
+  }
+}
+
+LogRecord::~LogRecord() {
+  if (!enabled_) return;
+  stream_ << '\n';
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::cerr << stream_.str();
+}
+
+}  // namespace clarens::util

@@ -1,0 +1,47 @@
+// Minimal thread-safe leveled logger.
+//
+// Servers log to stderr by default; tests silence logging by raising the
+// level. Formatting is plain printf-into-ostringstream via operator<<
+// composition at the call site:
+//
+//   CLARENS_LOG(Info) << "accepted connection from " << peer;
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace clarens::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Sink for one log record; flushes on destruction.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* file, int line);
+  ~LogRecord();
+
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace clarens::util
+
+#define CLARENS_LOG(severity)                                    \
+  ::clarens::util::LogRecord(::clarens::util::LogLevel::severity, \
+                             __FILE__, __LINE__)

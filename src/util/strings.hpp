@@ -1,0 +1,45 @@
+// Small string utilities used throughout the framework.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clarens::util {
+
+/// Split `s` on the single character `sep`. Empty fields are kept, so
+/// split("a,,b", ',') yields {"a", "", "b"}. An empty input yields {""}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty fields and trimming whitespace from
+/// each field. Convenient for config-file lists such as "a, b , c".
+std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive equality for ASCII strings (HTTP header names).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Parse a decimal signed integer; throws clarens::ParseError on trailing
+/// garbage, empty input, or overflow.
+std::int64_t parse_int(std::string_view s);
+
+/// Parse a decimal unsigned integer; throws clarens::ParseError.
+std::uint64_t parse_uint(std::string_view s);
+
+}  // namespace clarens::util

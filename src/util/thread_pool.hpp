@@ -1,0 +1,47 @@
+// Fixed-size worker pool used by the HTTP server to execute request
+// handlers off the reactor thread (the analogue of Apache's worker
+// processes in the paper's architecture).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clarens::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains nothing: pending tasks that have not started are discarded;
+  /// running tasks complete before the destructor returns.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace clarens::util

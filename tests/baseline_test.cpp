@@ -1,0 +1,95 @@
+// Tests for the HeavyGrid (GT3-model) baseline: functional correctness of
+// the per-call handshake path, and the structural property behind the
+// paper's footnote-4 comparison — per-call cost dominated by setup.
+#include <gtest/gtest.h>
+
+#include "baseline/heavygrid.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::baseline {
+namespace {
+
+using clarens::testing::TestPki;
+
+HeavyGridOptions options_with(const TestPki& pki) {
+  HeavyGridOptions options;
+  options.credential = pki.server;
+  options.trust = pki.trust;
+  options.gridmap = {
+      {pki.alice.certificate.subject().str(), "alice"},
+      {pki.bob.certificate.subject().str(), "bob"},
+  };
+  return options;
+}
+
+TEST(HeavyGrid, TrivialEchoCallSucceeds) {
+  const TestPki& pki = TestPki::instance();
+  HeavyGridServer server(options_with(pki));
+  server.start();
+
+  HeavyGridClient client("127.0.0.1", server.port(), pki.alice, pki.trust);
+  rpc::Value result = client.call("echo", {rpc::Value("ping")});
+  EXPECT_EQ(result.as_string(), "ping");
+  EXPECT_EQ(server.calls_served(), 1u);
+  server.stop();
+}
+
+TEST(HeavyGrid, EachCallIsIndependent) {
+  const TestPki& pki = TestPki::instance();
+  HeavyGridServer server(options_with(pki));
+  server.start();
+  HeavyGridClient client("127.0.0.1", server.port(), pki.alice, pki.trust);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.call("echo", {rpc::Value(i)}).as_int(), i);
+  }
+  EXPECT_EQ(server.calls_served(), 3u);
+  server.stop();
+}
+
+TEST(HeavyGrid, IdentityNotInGridmapRefused) {
+  const TestPki& pki = TestPki::instance();
+  HeavyGridOptions options = options_with(pki);
+  options.gridmap = {{pki.bob.certificate.subject().str(), "bob"}};
+  HeavyGridServer server(std::move(options));
+  server.start();
+  HeavyGridClient client("127.0.0.1", server.port(), pki.alice, pki.trust);
+  try {
+    client.call("echo", {rpc::Value(1)});
+    FAIL() << "expected access fault";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultAccess);
+  }
+  server.stop();
+}
+
+TEST(HeavyGrid, UntrustedClientRejectedAtHandshake) {
+  const TestPki& pki = TestPki::instance();
+  HeavyGridServer server(options_with(pki));
+  server.start();
+  auto rogue_ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=rogue/CN=CA"), 512);
+  auto mallory = rogue_ca.issue_user(
+      pki::DistinguishedName::parse("/O=rogue/CN=Mallory"));
+  HeavyGridClient client("127.0.0.1", server.port(), mallory, pki.trust);
+  EXPECT_THROW(client.call("echo", {rpc::Value(1)}), Error);
+  server.stop();
+}
+
+TEST(HeavyGrid, UnknownOperationFaults) {
+  const TestPki& pki = TestPki::instance();
+  HeavyGridServer server(options_with(pki));
+  server.start();
+  HeavyGridClient client("127.0.0.1", server.port(), pki.alice, pki.trust);
+  try {
+    client.call("launch_missiles", {});
+    FAIL();
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultBadMethod);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens::baseline

@@ -1,0 +1,188 @@
+// Tests for the client library: the synchronous client's transport
+// behaviour (keep-alive reuse, transparent reconnect, GET ranges) and
+// the asynchronous multi-connection driver used by the Figure-4 bench.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "client/async_client.hpp"
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::client {
+namespace {
+
+using testing::TempDir;
+using testing::TestPki;
+
+core::ClarensConfig open_config(const TestPki& pki) {
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"echo", anyone}};
+  return config;
+}
+
+ClientOptions options_for(const TestPki& pki, std::uint16_t port) {
+  ClientOptions options;
+  options.port = port;
+  options.credential = pki.alice;
+  options.trust = &pki.trust;
+  return options;
+}
+
+TEST(Client, KeepAliveReusesOneConnection) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  ClarensClient client(options_for(pki, server.port()));
+  client.connect();
+  client.authenticate();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(client.call("echo.echo", {rpc::Value(i)}).as_int(), i);
+  }
+  // 50 echos + challenge + auth = 52 requests, all on one connection.
+  EXPECT_EQ(server.requests_served(), 52u);
+  server.stop();
+}
+
+TEST(Client, ReconnectsAfterServerRestartWithPersistentSessions) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  core::ClarensConfig config = open_config(pki);
+  config.data_dir = tmp.sub("state");
+  auto server = std::make_unique<core::ClarensServer>(std::move(config));
+  server->start();
+  std::uint16_t port = server->port();
+
+  ClarensClient client(options_for(pki, port));
+  client.connect();
+  std::string session = client.authenticate();
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(1)}).as_int(), 1);
+
+  // Restart the server on the same port; the session store persists.
+  server->stop();
+  server.reset();
+  core::ClarensConfig config2 = open_config(pki);
+  config2.data_dir = tmp.path() + "/state";
+  config2.port = port;
+  core::ClarensServer restarted(std::move(config2));
+  restarted.start();
+
+  // The client notices the dead keep-alive connection and retries; the
+  // old session token still works (the paper's restart-survival claim).
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(2)}).as_int(), 2);
+  EXPECT_EQ(client.session(), session);
+  restarted.stop();
+}
+
+TEST(Client, AuthenticateWithoutCredentialFails) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  ClientOptions options;
+  options.port = server.port();
+  options.trust = &pki.trust;
+  ClarensClient client(options);
+  client.connect();
+  EXPECT_THROW(client.authenticate(), AuthError);
+  server.stop();
+}
+
+TEST(Client, WrongKeyChallengeRejected) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  // Credential whose certificate belongs to alice but whose key is bob's:
+  // the challenge signature will not verify.
+  pki::Credential frankenstein{pki.alice.certificate, pki.bob.private_key};
+  ClientOptions options;
+  options.port = server.port();
+  options.credential = frankenstein;
+  options.trust = &pki.trust;
+  ClarensClient client(options);
+  client.connect();
+  EXPECT_THROW(client.authenticate(), rpc::Fault);
+  server.stop();
+}
+
+TEST(Client, GetRangeRequests) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  std::string dir = tmp.sub("files");
+  {
+    std::ofstream out(dir + "/blob.bin", std::ios::binary);
+    out << "0123456789ABCDEF";
+  }
+  core::ClarensConfig config = open_config(pki);
+  config.file_roots = {{"/data", dir}};
+  core::FileAcl facl;
+  facl.read.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_file_acls = {{"/data", facl}};
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  ClarensClient client(options_for(pki, server.port()));
+  client.connect();
+  client.authenticate();
+  EXPECT_EQ(client.get("/data/blob.bin").body, "0123456789ABCDEF");
+  EXPECT_EQ(client.get("/data/blob.bin", 4, 4).body, "4567");
+  EXPECT_EQ(client.get("/data/blob.bin", 10, -1).body, "ABCDEF");
+  EXPECT_EQ(client.get("/data/ghost").status, 404);
+  server.stop();
+}
+
+TEST(AsyncDriver, CompletesExactCallBudget) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  std::string session = server.direct_login(
+      pki.alice.certificate.subject().str()).id;
+
+  AsyncCallDriver driver("127.0.0.1", server.port(), session,
+                         "system.list_methods", {});
+  AsyncRunResult result = driver.run(/*connections=*/8, /*total_calls=*/500);
+  EXPECT_EQ(result.calls_completed, 500u);
+  EXPECT_EQ(result.faults, 0u);
+  EXPECT_GT(result.calls_per_second(), 0.0);
+  server.stop();
+}
+
+TEST(AsyncDriver, SingleConnectionWorks) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  std::string session = server.direct_login(
+      pki.alice.certificate.subject().str()).id;
+  AsyncCallDriver driver("127.0.0.1", server.port(), session, "echo.echo",
+                         {rpc::Value(1)});
+  AsyncRunResult result = driver.run(1, 50);
+  EXPECT_EQ(result.calls_completed, 50u);
+  EXPECT_EQ(result.faults, 0u);
+  server.stop();
+}
+
+TEST(AsyncDriver, CountsFaultsWithoutStalling) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  // Bogus session: every call faults but the run still completes.
+  AsyncCallDriver driver("127.0.0.1", server.port(), "bogus-session",
+                         "system.list_methods", {});
+  AsyncRunResult result = driver.run(4, 100);
+  EXPECT_EQ(result.calls_completed, 100u);
+  EXPECT_EQ(result.faults, 100u);
+  server.stop();
+}
+
+TEST(AsyncDriver, RejectsZeroConnections) {
+  AsyncCallDriver driver("127.0.0.1", 1, "", "m", {});
+  EXPECT_THROW(driver.run(0, 10), Error);
+}
+
+}  // namespace
+}  // namespace clarens::client

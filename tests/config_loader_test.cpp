@@ -1,0 +1,140 @@
+// Tests for the configuration loader: every key, file references, and a
+// daemon-style boot from a generated config.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "client/client.hpp"
+#include "core/config_loader.hpp"
+#include "core/server.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+namespace {
+
+using clarens::testing::TempDir;
+using clarens::testing::TestPki;
+
+TEST(ConfigLoader, ParsesScalarsAndLists) {
+  util::Config config = util::Config::parse(
+      "host 0.0.0.0\n"
+      "port 8443\n"
+      "data_dir /var/lib/clarens\n"
+      "admin /O=a/CN=one\n"
+      "admin /O=a/CN=two\n"
+      "default_allow false\n"
+      "session_ttl 3600\n"
+      "sandbox_base /tmp/sb\n"
+      "farm caltech\n"
+      "node c01\n"
+      "max_connections 64\n");
+  ClarensConfig out = config_from(config);
+  EXPECT_EQ(out.host, "0.0.0.0");
+  EXPECT_EQ(out.port, 8443);
+  EXPECT_EQ(out.data_dir, "/var/lib/clarens");
+  EXPECT_EQ(out.admins.size(), 2u);
+  EXPECT_EQ(out.session_ttl, 3600);
+  EXPECT_EQ(out.sandbox_base, "/tmp/sb");
+  EXPECT_EQ(out.farm, "caltech");
+  EXPECT_EQ(out.max_connections, 64u);
+}
+
+TEST(ConfigLoader, FileRootsAndAcls) {
+  util::Config config = util::Config::parse(
+      "file_root /data /srv/data\n"
+      "file_root /scratch /srv/scratch\n"
+      "allow system *\n"
+      "allow system group:ops\n"
+      "allow file /O=grid/OU=People\n"
+      "file_allow /data *\n"
+      "file_allow_read /scratch /O=grid\n"
+      "file_allow_write /scratch group:writers\n");
+  ClarensConfig out = config_from(config);
+  EXPECT_EQ(out.file_roots.size(), 2u);
+  EXPECT_EQ(out.file_roots.at("/data"), "/srv/data");
+
+  ASSERT_EQ(out.initial_method_acls.size(), 2u);  // "file" and "system"
+  const auto& system_acl = out.initial_method_acls[1];
+  EXPECT_EQ(system_acl.first, "system");
+  EXPECT_EQ(system_acl.second.allow_dns, (std::vector<std::string>{"*"}));
+  EXPECT_EQ(system_acl.second.allow_groups, (std::vector<std::string>{"ops"}));
+
+  ASSERT_EQ(out.initial_file_acls.size(), 2u);
+  const auto& scratch = out.initial_file_acls[1];
+  EXPECT_EQ(scratch.first, "/scratch");
+  EXPECT_EQ(scratch.second.read.allow_dns, (std::vector<std::string>{"/O=grid"}));
+  EXPECT_EQ(scratch.second.write.allow_groups,
+            (std::vector<std::string>{"writers"}));
+}
+
+TEST(ConfigLoader, StationEndpoint) {
+  ClarensConfig out = config_from(util::Config::parse("station 10.0.0.1:9999\n"));
+  ASSERT_TRUE(out.station.has_value());
+  EXPECT_EQ(out.station->first, "10.0.0.1");
+  EXPECT_EQ(out.station->second, 9999);
+}
+
+TEST(ConfigLoader, MalformedEntriesThrow) {
+  EXPECT_THROW(config_from(util::Config::parse("file_root /only-one\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("allow justpath\n")), ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("station nocolon\n")), ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("use_tls true\n")), ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("credential_file /no/file\n")),
+               SystemError);
+}
+
+TEST(ConfigLoader, LoadsCredentialTrustAndUserMapFiles) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  std::string cred_path = tmp.path() + "/server.cred";
+  std::string ca_path = tmp.path() + "/ca.cert";
+  std::string map_path = tmp.path() + "/user_map";
+  std::ofstream(cred_path) << pki.server.encode();
+  std::ofstream(ca_path) << pki.ca.certificate().encode();
+  std::ofstream(map_path) << "joe ; /O=testgrid.org/OU=People ; ;\n";
+
+  util::Config config = util::Config::parse(
+      "use_tls true\n"
+      "credential_file " + cred_path + "\n" +
+      "trust_file " + ca_path + "\n" +
+      "user_map_file " + map_path + "\n");
+  ClarensConfig out = config_from(config);
+  ASSERT_TRUE(out.credential.has_value());
+  EXPECT_EQ(out.credential->certificate.subject(),
+            pki.server.certificate.subject());
+  EXPECT_EQ(out.trust.size(), 1u);
+  ASSERT_EQ(out.user_map.size(), 1u);
+  EXPECT_EQ(out.user_map[0].system_user, "joe");
+}
+
+// Boot a full server from a config file and make one authenticated call.
+TEST(ConfigLoader, BootsAServer) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  std::string ca_path = tmp.path() + "/ca.cert";
+  std::ofstream(ca_path) << pki.ca.certificate().encode();
+  std::string conf_path = tmp.path() + "/clarens.conf";
+  std::ofstream(conf_path) << "port 0\n"
+                           << "trust_file " << ca_path << "\n"
+                           << "allow system *\n"
+                           << "allow echo *\n";
+
+  ClarensServer server(load_config_file(conf_path));
+  server.start();
+
+  client::ClientOptions options;
+  options.port = server.port();
+  options.credential = pki.alice;
+  options.trust = &pki.trust;
+  client::ClarensClient client(options);
+  client.connect();
+  client.authenticate();
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value("booted")}).as_string(),
+            "booted");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens::core

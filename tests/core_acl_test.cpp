@@ -1,0 +1,216 @@
+// Unit tests for ACL management: Apache-order evaluation within one
+// spec, lowest-level-first walking across the hierarchy, group- and
+// DN-prefix matching, and the file read/write split.
+#include <gtest/gtest.h>
+
+#include "core/acl.hpp"
+#include "core/vo.hpp"
+#include "db/store.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+namespace {
+
+const char* kRoot = "/O=grid/CN=Root";
+const char* kAliceStr = "/O=grid/OU=People/CN=Alice";
+const char* kBobStr = "/O=grid/OU=People/CN=Bob";
+const char* kEveStr = "/O=evil/OU=People/CN=Eve";
+
+pki::DistinguishedName dn(const char* s) {
+  return pki::DistinguishedName::parse(s);
+}
+
+struct AclFixture : ::testing::Test {
+  db::Store store;
+  VoManager vo{store, {kRoot}};
+  AclManager acl{store, vo, /*default_allow=*/false};
+
+  AclFixture() {
+    vo.create_group("cms", dn(kRoot));
+    vo.create_group("cms.admins", dn(kRoot));
+    vo.add_member("cms", kAliceStr, dn(kRoot));
+    vo.add_member("cms.admins", kBobStr, dn(kRoot));
+  }
+};
+
+// ---------- evaluate_spec: Apache order semantics ----------
+
+TEST_F(AclFixture, AllowDenyOrderDenyOverrides) {
+  AclSpec spec;
+  spec.order = AclSpec::Order::AllowDeny;
+  spec.allow_dns = {"/O=grid"};
+  spec.deny_dns = {kAliceStr};
+  // Alice matches both lists: with allow,deny the deny wins.
+  EXPECT_EQ(evaluate_spec(spec, dn(kAliceStr), vo), AclDecision::Deny);
+  EXPECT_EQ(evaluate_spec(spec, dn(kBobStr), vo), AclDecision::Allow);
+  EXPECT_EQ(evaluate_spec(spec, dn(kEveStr), vo), AclDecision::Unspecified);
+}
+
+TEST_F(AclFixture, DenyAllowOrderAllowOverrides) {
+  AclSpec spec;
+  spec.order = AclSpec::Order::DenyAllow;
+  spec.deny_dns = {"/O=grid"};
+  spec.allow_dns = {kAliceStr};
+  // Alice matches both: with deny,allow the allow wins.
+  EXPECT_EQ(evaluate_spec(spec, dn(kAliceStr), vo), AclDecision::Allow);
+  EXPECT_EQ(evaluate_spec(spec, dn(kBobStr), vo), AclDecision::Deny);
+}
+
+TEST_F(AclFixture, GroupListsResolveThroughVo) {
+  AclSpec spec;
+  spec.allow_groups = {"cms"};
+  EXPECT_EQ(evaluate_spec(spec, dn(kAliceStr), vo), AclDecision::Allow);
+  EXPECT_EQ(evaluate_spec(spec, dn(kEveStr), vo), AclDecision::Unspecified);
+  AclSpec deny;
+  deny.deny_groups = {"cms.admins"};
+  EXPECT_EQ(evaluate_spec(deny, dn(kBobStr), vo), AclDecision::Deny);
+}
+
+TEST_F(AclFixture, WildcardMatchesAnyone) {
+  AclSpec spec;
+  spec.allow_dns = {AclSpec::kAnyone};
+  EXPECT_EQ(evaluate_spec(spec, dn(kEveStr), vo), AclDecision::Allow);
+}
+
+TEST_F(AclFixture, SpecEncodingRoundTrips) {
+  AclSpec spec;
+  spec.order = AclSpec::Order::DenyAllow;
+  spec.allow_dns = {"/O=a", "*"};
+  spec.allow_groups = {"g1", "g2"};
+  spec.deny_dns = {"/O=b"};
+  spec.deny_groups = {"g3"};
+  AclSpec decoded = decode_spec(encode_spec(spec));
+  EXPECT_EQ(decoded.order, spec.order);
+  EXPECT_EQ(decoded.allow_dns, spec.allow_dns);
+  EXPECT_EQ(decoded.allow_groups, spec.allow_groups);
+  EXPECT_EQ(decoded.deny_dns, spec.deny_dns);
+  EXPECT_EQ(decoded.deny_groups, spec.deny_groups);
+}
+
+// ---------- hierarchical method ACLs ----------
+
+TEST_F(AclFixture, HigherLevelGrantCoversLowerMethods) {
+  AclSpec spec;
+  spec.allow_dns = {kAliceStr};
+  acl.set_method_acl("file", spec);
+  EXPECT_TRUE(acl.check_method("file.read", dn(kAliceStr)));
+  EXPECT_TRUE(acl.check_method("file.sub.deep", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_method("file.read", dn(kBobStr)));
+  EXPECT_FALSE(acl.check_method("shell.cmd", dn(kAliceStr)));
+}
+
+TEST_F(AclFixture, LowerLevelDenyOverridesHigherGrant) {
+  // "A DN granted access to a higher level method automatically has
+  // access to a lower level method, unless specifically denied at the
+  // lower level." (§2.2)
+  AclSpec grant;
+  grant.allow_dns = {kAliceStr};
+  acl.set_method_acl("file", grant);
+  AclSpec revoke;
+  revoke.deny_dns = {kAliceStr};
+  acl.set_method_acl("file.rm", revoke);
+  EXPECT_TRUE(acl.check_method("file.read", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_method("file.rm", dn(kAliceStr)));
+}
+
+TEST_F(AclFixture, LowerLevelGrantDoesNotLeakUp) {
+  AclSpec grant;
+  grant.allow_dns = {kAliceStr};
+  acl.set_method_acl("file.read", grant);
+  EXPECT_TRUE(acl.check_method("file.read", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_method("file", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_method("file.rm", dn(kAliceStr)));
+}
+
+TEST_F(AclFixture, UnspecifiedAtAllLevelsUsesDefault) {
+  EXPECT_FALSE(acl.check_method("anything.at.all", dn(kAliceStr)));
+  AclManager open_acl(store, vo, /*default_allow=*/true);
+  EXPECT_TRUE(open_acl.check_method("anything.at.all", dn(kAliceStr)));
+}
+
+TEST_F(AclFixture, ThreeLevelMethodHierarchy) {
+  AclSpec module_grant;
+  module_grant.allow_groups = {"cms"};
+  acl.set_method_acl("analysis", module_grant);
+  AclSpec submodule_deny;
+  submodule_deny.deny_dns = {kAliceStr};
+  acl.set_method_acl("analysis.admin", submodule_deny);
+  // module.submodule.method evaluation from the lowest applicable level.
+  EXPECT_TRUE(acl.check_method("analysis.plot.histogram", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_method("analysis.admin.reset", dn(kAliceStr)));
+}
+
+TEST_F(AclFixture, RemoveMethodAclRestoresDefault) {
+  AclSpec spec;
+  spec.allow_dns = {kAliceStr};
+  acl.set_method_acl("m", spec);
+  EXPECT_TRUE(acl.check_method("m.f", dn(kAliceStr)));
+  acl.remove_method_acl("m");
+  EXPECT_FALSE(acl.check_method("m.f", dn(kAliceStr)));
+  EXPECT_FALSE(acl.get_method_acl("m").has_value());
+}
+
+TEST_F(AclFixture, ListMethodAcls) {
+  AclSpec spec;
+  acl.set_method_acl("a", spec);
+  acl.set_method_acl("b.c", spec);
+  EXPECT_EQ(acl.list_method_acls(), (std::vector<std::string>{"a", "b.c"}));
+}
+
+// ---------- file ACLs ----------
+
+TEST_F(AclFixture, FileReadWriteAreIndependent) {
+  FileAcl facl;
+  facl.read.allow_dns = {"/O=grid/OU=People"};
+  facl.write.allow_dns = {kBobStr};
+  acl.set_file_acl("/data", facl);
+  EXPECT_TRUE(acl.check_file_read("/data/run1/f.bin", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_file_write("/data/run1/f.bin", dn(kAliceStr)));
+  EXPECT_TRUE(acl.check_file_write("/data/run1/f.bin", dn(kBobStr)));
+  EXPECT_FALSE(acl.check_file_read("/data/x", dn(kEveStr)));
+}
+
+TEST_F(AclFixture, FilePathHierarchyLowestWins) {
+  FileAcl branch;
+  branch.read.allow_dns = {"/O=grid/OU=People"};
+  acl.set_file_acl("/data", branch);
+  FileAcl leaf;
+  leaf.read.deny_dns = {kBobStr};
+  leaf.read.order = AclSpec::Order::AllowDeny;
+  acl.set_file_acl("/data/private", leaf);
+  EXPECT_TRUE(acl.check_file_read("/data/public/a", dn(kBobStr)));
+  EXPECT_FALSE(acl.check_file_read("/data/private/a", dn(kBobStr)));
+  // Alice is unaffected by Bob's leaf deny; the branch grant applies.
+  EXPECT_TRUE(acl.check_file_read("/data/private/a", dn(kAliceStr)));
+}
+
+TEST_F(AclFixture, RootFileAclAppliesEverywhere) {
+  FileAcl facl;
+  facl.read.allow_groups = {"cms"};
+  acl.set_file_acl("/", facl);
+  EXPECT_TRUE(acl.check_file_read("/any/path/at/all", dn(kAliceStr)));
+  EXPECT_FALSE(acl.check_file_read("/any/path/at/all", dn(kEveStr)));
+}
+
+TEST_F(AclFixture, FileAclRoundTripThroughStore) {
+  FileAcl facl;
+  facl.read.allow_dns = {"/O=a"};
+  facl.write.deny_groups = {"cms"};
+  facl.write.order = AclSpec::Order::DenyAllow;
+  acl.set_file_acl("/p", facl);
+  auto loaded = acl.get_file_acl("/p");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->read.allow_dns, facl.read.allow_dns);
+  EXPECT_EQ(loaded->write.deny_groups, facl.write.deny_groups);
+  EXPECT_EQ(loaded->write.order, AclSpec::Order::DenyAllow);
+  acl.remove_file_acl("/p");
+  EXPECT_FALSE(acl.get_file_acl("/p").has_value());
+}
+
+TEST_F(AclFixture, MalformedStoredSpecRejected) {
+  EXPECT_THROW(decode_spec("{\"order\":\"sideways\"}"), Error);
+  EXPECT_THROW(decode_spec("not json"), ParseError);
+}
+
+}  // namespace
+}  // namespace clarens::core

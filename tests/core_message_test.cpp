@@ -1,0 +1,189 @@
+// Unit + integration tests for the message service (the paper's §6
+// asynchronous bi-directional communication for NAT-ed jobs).
+#include <gtest/gtest.h>
+
+#include "client/client.hpp"
+#include "core/message_service.hpp"
+#include "core/server.hpp"
+#include "db/store.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+namespace {
+
+using clarens::testing::TempDir;
+using clarens::testing::TestPki;
+
+const char* kUserDn = "/O=g/CN=user";
+const char* kJobDn = "/O=g/CN=job";
+
+TEST(Messages, SendAndPollInOrder) {
+  db::Store store;
+  MessageService messages(store);
+  messages.send(kUserDn, kJobDn, "cmd", "start");
+  messages.send(kUserDn, kJobDn, "cmd", "status?");
+  EXPECT_EQ(messages.pending(kJobDn), 2u);
+
+  auto inbox = messages.poll(kJobDn);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0].body, "start");       // oldest first
+  EXPECT_EQ(inbox[1].body, "status?");
+  EXPECT_EQ(inbox[0].from, kUserDn);
+  EXPECT_LT(inbox[0].id, inbox[1].id);
+  EXPECT_GT(inbox[0].sent, 0);
+  // Poll drains.
+  EXPECT_EQ(messages.pending(kJobDn), 0u);
+  EXPECT_TRUE(messages.poll(kJobDn).empty());
+}
+
+TEST(Messages, PeekDoesNotDrain) {
+  db::Store store;
+  MessageService messages(store);
+  messages.send(kUserDn, kJobDn, "s", "b");
+  EXPECT_EQ(messages.peek(kJobDn).size(), 1u);
+  EXPECT_EQ(messages.pending(kJobDn), 1u);
+}
+
+TEST(Messages, PollMaxLimitsBatch) {
+  db::Store store;
+  MessageService messages(store);
+  for (int i = 0; i < 10; ++i) {
+    messages.send(kUserDn, kJobDn, "s", std::to_string(i));
+  }
+  auto first = messages.poll(kJobDn, 3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[2].body, "2");
+  auto rest = messages.poll(kJobDn, 100);
+  EXPECT_EQ(rest.size(), 7u);
+  EXPECT_EQ(rest[0].body, "3");
+}
+
+TEST(Messages, MailboxesAreIsolated) {
+  db::Store store;
+  MessageService messages(store);
+  messages.send(kUserDn, kJobDn, "s", "for job");
+  messages.send(kJobDn, kUserDn, "s", "for user");
+  auto job_inbox = messages.poll(kJobDn);
+  ASSERT_EQ(job_inbox.size(), 1u);
+  EXPECT_EQ(job_inbox[0].body, "for job");
+  auto user_inbox = messages.poll(kUserDn);
+  ASSERT_EQ(user_inbox.size(), 1u);
+  EXPECT_EQ(user_inbox[0].body, "for user");
+}
+
+TEST(Messages, MailboxBoundDropsOldest) {
+  db::Store store;
+  MessageService messages(store, /*max_mailbox=*/5);
+  for (int i = 0; i < 8; ++i) {
+    messages.send(kUserDn, kJobDn, "s", std::to_string(i));
+  }
+  auto inbox = messages.poll(kJobDn, 100);
+  ASSERT_EQ(inbox.size(), 5u);
+  EXPECT_EQ(inbox[0].body, "3");  // 0..2 were dropped
+  EXPECT_EQ(inbox[4].body, "7");
+}
+
+TEST(Messages, ChannelsFanOutToSubscribers) {
+  db::Store store;
+  MessageService messages(store);
+  messages.subscribe("jobs.status", "/O=g/CN=a");
+  messages.subscribe("jobs.status", "/O=g/CN=b");
+  messages.subscribe("other", "/O=g/CN=c");
+  EXPECT_EQ(messages.subscribers("jobs.status").size(), 2u);
+
+  std::size_t delivered =
+      messages.publish(kJobDn, "jobs.status", "done", "exit 0");
+  EXPECT_EQ(delivered, 2u);
+  auto a = messages.poll("/O=g/CN=a");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].channel, "jobs.status");
+  EXPECT_EQ(a[0].from, kJobDn);
+  EXPECT_EQ(messages.pending("/O=g/CN=b"), 1u);
+  EXPECT_EQ(messages.pending("/O=g/CN=c"), 0u);
+
+  messages.unsubscribe("jobs.status", "/O=g/CN=b");
+  EXPECT_EQ(messages.publish(kJobDn, "jobs.status", "s", "x"), 1u);
+}
+
+TEST(Messages, ValidationErrors) {
+  db::Store store;
+  MessageService messages(store);
+  EXPECT_THROW(messages.send(kUserDn, "", "s", "b"), ParseError);
+  EXPECT_THROW(messages.subscribe("", kUserDn), ParseError);
+  EXPECT_EQ(messages.publish(kUserDn, "empty-channel", "s", "b"), 0u);
+}
+
+TEST(Messages, SurviveStoreReopen) {
+  TempDir tmp;
+  {
+    db::Store store(tmp.path());
+    MessageService messages(store);
+    messages.send(kUserDn, kJobDn, "persist", "me");
+  }
+  db::Store store(tmp.path());
+  MessageService messages(store);
+  auto inbox = messages.poll(kJobDn);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].subject, "persist");
+}
+
+// End-to-end: a "user" and a NAT-ed "job" converse through the server,
+// both acting purely as HTTP clients (the paper's motivation).
+TEST(Messages, UserAndJobConverseOverRpc) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"message", anyone}};
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  auto connect = [&](const pki::Credential& cred) {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.credential = cred;
+    options.trust = &pki.trust;
+    auto c = std::make_unique<client::ClarensClient>(options);
+    c->connect();
+    c->authenticate();
+    return c;
+  };
+  auto user = connect(pki.alice);
+  auto job = connect(pki.bob);
+  std::string alice_dn = pki.alice.certificate.subject().str();
+  std::string bob_dn = pki.bob.certificate.subject().str();
+
+  // User instructs the job; the job polls, works, replies.
+  user->call("message.send",
+             {rpc::Value(bob_dn), rpc::Value("control"),
+              rpc::Value("dump histogram 42")});
+  rpc::Value inbox = job->call("message.poll");
+  ASSERT_EQ(inbox.as_array().size(), 1u);
+  const rpc::Value& order = inbox.as_array()[0];
+  EXPECT_EQ(order.at("from").as_string(), alice_dn);
+  EXPECT_EQ(order.at("body").as_string(), "dump histogram 42");
+
+  job->call("message.send", {rpc::Value(order.at("from").as_string()),
+                             rpc::Value("re: control"),
+                             rpc::Value("histogram 42 attached")});
+  EXPECT_EQ(user->call("message.pending").as_int(), 1);
+  rpc::Value reply = user->call("message.poll", {rpc::Value(10)});
+  EXPECT_EQ(reply.as_array()[0].at("body").as_string(),
+            "histogram 42 attached");
+
+  // Channel: the job publishes monitoring data; the user subscribed.
+  user->call("message.subscribe", {rpc::Value("monitor")});
+  rpc::Value delivered = job->call(
+      "message.publish", {rpc::Value("monitor"), rpc::Value("load"),
+                          rpc::Value("cpu=0.93")});
+  EXPECT_EQ(delivered.as_int(), 1);
+  rpc::Value monitor = user->call("message.poll");
+  EXPECT_EQ(monitor.as_array()[0].at("channel").as_string(), "monitor");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens::core

@@ -1,0 +1,110 @@
+// Unit tests for proxy-certificate storage and delegation (§2.6).
+#include <gtest/gtest.h>
+
+#include "core/proxy_service.hpp"
+#include "core/session.hpp"
+#include "pki/authority.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+namespace {
+
+using clarens::testing::TestPki;
+
+struct ProxyFixture : ::testing::Test {
+  const TestPki& pki = TestPki::instance();
+  db::Store store;
+  SessionManager sessions{store};
+  ProxyService proxies{store, sessions, pki.trust};
+  pki::Credential proxy = pki::issue_proxy(pki.alice);
+  std::string alice_dn = pki.alice.certificate.subject().str();
+};
+
+TEST_F(ProxyFixture, StoreAndRetrieve) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  EXPECT_TRUE(proxies.exists(alice_dn));
+  auto stored = proxies.retrieve(alice_dn, "pw");
+  EXPECT_EQ(stored.proxy.certificate, proxy.certificate);
+  EXPECT_EQ(stored.user_cert, pki.alice.certificate);
+  // The retrieved key works (delegation is usable).
+  auto sig = crypto::rsa_sign(stored.proxy.private_key, "probe");
+  EXPECT_TRUE(crypto::rsa_verify(stored.proxy.certificate.public_key(),
+                                 "probe", sig));
+}
+
+TEST_F(ProxyFixture, WrongPasswordRejected) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  EXPECT_THROW(proxies.retrieve(alice_dn, "wrong"), AuthError);
+  EXPECT_THROW(proxies.retrieve("/O=no/CN=body", "pw"), AuthError);
+  EXPECT_THROW(proxies.store(proxy, pki.alice.certificate, ""), ParseError);
+}
+
+TEST_F(ProxyFixture, InvalidChainRefusedAtStore) {
+  // Proxy signed by alice presented with bob's certificate.
+  EXPECT_THROW(proxies.store(proxy, pki.bob.certificate, "pw"), AuthError);
+}
+
+TEST_F(ProxyFixture, ExpiredProxyRefusedAtRetrieve) {
+  pki::Credential brief = pki::issue_proxy(pki.alice, /*lifetime=*/-10);
+  // Store-time verification also fails for an already-expired proxy.
+  EXPECT_THROW(proxies.store(brief, pki.alice.certificate, "pw"), AuthError);
+}
+
+TEST_F(ProxyFixture, LogonCreatesDelegatedSession) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  std::string session_id = proxies.logon(alice_dn, "pw");
+  Session session = sessions.lookup(session_id);
+  EXPECT_EQ(session.identity, alice_dn);  // user identity, not /CN=proxy
+  EXPECT_TRUE(session.via_proxy);
+  EXPECT_EQ(session.attached_proxy_serial, proxy.certificate.serial());
+}
+
+TEST_F(ProxyFixture, AttachRenewsSessionToProxyLifetime) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  // Short-lived session: attaching the 12-hour proxy extends it.
+  SessionManager brief_sessions(store, /*default_ttl=*/60);
+  Session session = brief_sessions.create(alice_dn, false);
+  proxies.attach(session.id, alice_dn, "pw");
+  Session updated = sessions.lookup(session.id);
+  EXPECT_TRUE(updated.via_proxy);
+  EXPECT_EQ(updated.attached_proxy_serial, proxy.certificate.serial());
+  // The session now tracks the proxy certificate's remaining lifetime.
+  EXPECT_GT(updated.expires, session.expires);
+  EXPECT_LE(updated.expires, proxy.certificate.not_after() + 5);
+}
+
+TEST_F(ProxyFixture, AttachToForeignSessionRefused) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  Session bob_session =
+      sessions.create(pki.bob.certificate.subject().str(), false);
+  EXPECT_THROW(proxies.attach(bob_session.id, alice_dn, "pw"), AccessError);
+}
+
+TEST_F(ProxyFixture, RemoveRequiresPassword) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  EXPECT_THROW(proxies.remove(alice_dn, "wrong"), AuthError);
+  EXPECT_TRUE(proxies.remove(alice_dn, "pw"));
+  EXPECT_FALSE(proxies.exists(alice_dn));
+  EXPECT_FALSE(proxies.remove(alice_dn, "pw"));
+}
+
+TEST_F(ProxyFixture, StoredBlobIsNotPlaintext) {
+  proxies.store(proxy, pki.alice.certificate, "pw");
+  auto raw = store.get("proxies", alice_dn);
+  ASSERT_TRUE(raw.has_value());
+  // The private key hex must not appear in the stored record.
+  EXPECT_EQ(raw->find(proxy.private_key.d.to_hex()), std::string::npos);
+}
+
+TEST_F(ProxyFixture, ReplacingProxyOverwrites) {
+  proxies.store(proxy, pki.alice.certificate, "pw1");
+  pki::Credential proxy2 = pki::issue_proxy(pki.alice);
+  proxies.store(proxy2, pki.alice.certificate, "pw2");
+  EXPECT_THROW(proxies.retrieve(alice_dn, "pw1"), AuthError);
+  EXPECT_EQ(proxies.retrieve(alice_dn, "pw2").proxy.certificate,
+            proxy2.certificate);
+}
+
+}  // namespace
+}  // namespace clarens::core

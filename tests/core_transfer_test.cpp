@@ -1,0 +1,217 @@
+// Tests for third-party transfers: URL parsing, the full delegated pull
+// between two live servers (source read ACL + destination write ACL both
+// enforced against the user), MD5 verification, and failure modes.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "core/transfer_service.hpp"
+#include "crypto/md5.hpp"
+#include "pki/authority.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+namespace {
+
+using clarens::testing::TempDir;
+using clarens::testing::TestPki;
+
+TEST(TransferUrl, Parsing) {
+  std::string host;
+  std::uint16_t port = 0;
+  bool tls = false;
+  parse_server_url("http://10.0.0.1:8080", host, port, tls);
+  EXPECT_EQ(host, "10.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_FALSE(tls);
+  parse_server_url("https://grid.example.org:8443/clarens", host, port, tls);
+  EXPECT_EQ(host, "grid.example.org");
+  EXPECT_EQ(port, 8443);
+  EXPECT_TRUE(tls);
+  EXPECT_THROW(parse_server_url("ftp://x:1", host, port, tls), ParseError);
+  EXPECT_THROW(parse_server_url("http://noport", host, port, tls), ParseError);
+  EXPECT_THROW(parse_server_url("http://:8080", host, port, tls), ParseError);
+}
+
+struct TwoSites {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  std::unique_ptr<ClarensServer> source;
+  std::unique_ptr<ClarensServer> dest;
+  std::string source_data;
+  std::string dest_data;
+  std::string bob_dn;
+
+  explicit TwoSites(bool restrict_source_read = false) {
+    bob_dn = pki.bob.certificate.subject().str();
+    AclSpec anyone;
+    anyone.allow_dns = {AclSpec::kAnyone};
+
+    // Source site holds the dataset.
+    source_data = tmp.sub("source-data");
+    {
+      std::ofstream out(source_data + "/events.dat", std::ios::binary);
+      for (int i = 0; i < 300000; ++i) out.put(static_cast<char>(i * 31));
+    }
+    ClarensConfig source_config;
+    source_config.trust = pki.trust;
+    source_config.file_roots = {{"/data", source_data}};
+    FileAcl source_acl;
+    if (restrict_source_read) {
+      source_acl.read.allow_dns = {
+          pki.alice.certificate.subject().str()};  // bob locked out
+    } else {
+      source_acl.read = anyone;
+    }
+    source_config.initial_file_acls = {{"/data", source_acl}};
+    source_config.initial_method_acls = {{"system", anyone}, {"file", anyone}};
+    source = std::make_unique<ClarensServer>(std::move(source_config));
+    source->start();
+
+    // Destination site accepts the pull.
+    dest_data = tmp.sub("dest-data");
+    ClarensConfig dest_config;
+    dest_config.trust = pki.trust;
+    dest_config.file_roots = {{"/replica", dest_data}};
+    FileAcl dest_acl;
+    dest_acl.read = anyone;
+    dest_acl.write = anyone;
+    dest_config.initial_file_acls = {{"/replica", dest_acl}};
+    dest_config.initial_method_acls = {{"system", anyone}, {"file", anyone},
+                                       {"proxy", anyone}, {"transfer", anyone}};
+    dest = std::make_unique<ClarensServer>(std::move(dest_config));
+    dest->start();
+  }
+
+  ~TwoSites() {
+    dest->stop();
+    source->stop();
+  }
+
+  std::unique_ptr<client::ClarensClient> connect_bob(ClarensServer& server) {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.credential = pki.bob;
+    options.trust = &pki.trust;
+    auto client = std::make_unique<client::ClarensClient>(options);
+    client->connect();
+    client->authenticate();
+    return client;
+  }
+
+  /// Bob stores a proxy on the destination (enabling delegation).
+  void store_proxy(const std::string& password) {
+    pki::Credential proxy = pki::issue_proxy(pki.bob);
+    auto client = connect_bob(*dest);
+    client->call("proxy.store", {rpc::Value(proxy.encode()),
+                                rpc::Value(pki.bob.certificate.encode()),
+                                rpc::Value(password)});
+  }
+};
+
+TEST(Transfer, DelegatedPullBetweenServers) {
+  TwoSites sites;
+  sites.store_proxy("tr4nsfer");
+  auto bob = sites.connect_bob(*sites.dest);
+
+  std::string id =
+      bob->call("transfer.start",
+               {rpc::Value("http://127.0.0.1:" +
+                           std::to_string(sites.source->port())),
+                rpc::Value("/data/events.dat"),
+                rpc::Value("/replica/events.dat"), rpc::Value("tr4nsfer")})
+          .as_string();
+
+  Transfer done = sites.dest->transfers().wait(
+      id, pki::DistinguishedName::parse(sites.bob_dn));
+  EXPECT_EQ(done.state, TransferState::Done) << done.error;
+  EXPECT_EQ(done.bytes, 300000);
+  EXPECT_TRUE(done.verified);
+
+  // The replica is byte-identical (verify locally).
+  std::ifstream a(sites.source_data + "/events.dat", std::ios::binary);
+  std::ifstream b(sites.dest_data + "/events.dat", std::ios::binary);
+  std::string content_a((std::istreambuf_iterator<char>(a)),
+                        std::istreambuf_iterator<char>());
+  std::string content_b((std::istreambuf_iterator<char>(b)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(crypto::Md5::hex(content_a), crypto::Md5::hex(content_b));
+
+  // RPC status view agrees.
+  rpc::Value status = bob->call("transfer.status", {rpc::Value(id)});
+  EXPECT_EQ(status.at("state").as_string(), "DONE");
+  EXPECT_TRUE(status.at("verified").as_bool());
+  EXPECT_EQ(bob->call("transfer.list").as_array().size(), 1u);
+}
+
+TEST(Transfer, SourceAclEnforcedAgainstDelegatedIdentity) {
+  TwoSites sites(/*restrict_source_read=*/true);
+  sites.store_proxy("pw");
+  auto bob = sites.connect_bob(*sites.dest);
+  std::string id =
+      bob->call("transfer.start",
+               {rpc::Value("http://127.0.0.1:" +
+                           std::to_string(sites.source->port())),
+                rpc::Value("/data/events.dat"),
+                rpc::Value("/replica/events.dat"), rpc::Value("pw")})
+          .as_string();
+  Transfer done = sites.dest->transfers().wait(
+      id, pki::DistinguishedName::parse(sites.bob_dn));
+  // The source denies bob, so the delegated pull fails — the destination
+  // cannot launder access through its own identity.
+  EXPECT_EQ(done.state, TransferState::Failed);
+  EXPECT_NE(done.error.find("denied"), std::string::npos);
+}
+
+TEST(Transfer, WrongProxyPasswordRefusedAtStart) {
+  TwoSites sites;
+  sites.store_proxy("right");
+  auto bob = sites.connect_bob(*sites.dest);
+  EXPECT_THROW(
+      bob->call("transfer.start",
+               {rpc::Value("http://127.0.0.1:1"), rpc::Value("/data/x"),
+                rpc::Value("/replica/x"), rpc::Value("wrong")}),
+      rpc::Fault);
+}
+
+TEST(Transfer, MissingSourceFileFails) {
+  TwoSites sites;
+  sites.store_proxy("pw");
+  auto bob = sites.connect_bob(*sites.dest);
+  std::string id =
+      bob->call("transfer.start",
+               {rpc::Value("http://127.0.0.1:" +
+                           std::to_string(sites.source->port())),
+                rpc::Value("/data/ghost.dat"),
+                rpc::Value("/replica/ghost.dat"), rpc::Value("pw")})
+          .as_string();
+  Transfer done = sites.dest->transfers().wait(
+      id, pki::DistinguishedName::parse(sites.bob_dn));
+  EXPECT_EQ(done.state, TransferState::Failed);
+  EXPECT_FALSE(done.error.empty());
+}
+
+TEST(Transfer, OwnershipIsolation) {
+  TwoSites sites;
+  sites.store_proxy("pw");
+  auto bob = sites.connect_bob(*sites.dest);
+  std::string id =
+      bob->call("transfer.start",
+               {rpc::Value("http://127.0.0.1:" +
+                           std::to_string(sites.source->port())),
+                rpc::Value("/data/events.dat"),
+                rpc::Value("/replica/events.dat"), rpc::Value("pw")})
+          .as_string();
+  EXPECT_THROW(
+      sites.dest->transfers().status(
+          id, sites.pki.alice.certificate.subject()),
+      AccessError);
+  sites.dest->transfers().wait(id, pki::DistinguishedName::parse(sites.bob_dn));
+}
+
+}  // namespace
+}  // namespace clarens::core

@@ -1,0 +1,144 @@
+// Unit tests for Virtual Organization management: the Fig.-2 group tree,
+// hierarchical membership, DN-prefix member entries, and the
+// authorization rules on every mutation.
+#include <gtest/gtest.h>
+
+#include "core/vo.hpp"
+#include "db/store.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core {
+namespace {
+
+const char* kRoot = "/O=grid/OU=People/CN=Root Admin";
+const char* kAliceStr = "/O=grid/OU=People/CN=Alice";
+const char* kBobStr = "/O=grid/OU=People/CN=Bob";
+
+pki::DistinguishedName dn(const char* s) {
+  return pki::DistinguishedName::parse(s);
+}
+
+struct VoFixture : ::testing::Test {
+  db::Store store;
+  VoManager vo{store, {kRoot}};
+};
+
+TEST_F(VoFixture, AdminsGroupSeededFromConfig) {
+  EXPECT_TRUE(vo.group_exists(VoManager::kAdminsGroup));
+  EXPECT_TRUE(vo.is_root_admin(dn(kRoot)));
+  EXPECT_FALSE(vo.is_root_admin(dn(kAliceStr)));
+}
+
+TEST_F(VoFixture, AdminsGroupRepopulatedOnRestart) {
+  vo.add_member(VoManager::kAdminsGroup, kAliceStr, dn(kRoot));
+  EXPECT_TRUE(vo.is_root_admin(dn(kAliceStr)));
+  // "Restart" with a different configured list: stale DB state replaced.
+  VoManager restarted(store, {kBobStr});
+  EXPECT_TRUE(restarted.is_root_admin(dn(kBobStr)));
+  EXPECT_FALSE(restarted.is_root_admin(dn(kAliceStr)));
+  EXPECT_FALSE(restarted.is_root_admin(dn(kRoot)));
+}
+
+TEST_F(VoFixture, PaperFigure2Tree) {
+  // Top-level A, B, C with second level A.1, A.2, A.3.
+  for (const char* g : {"A", "B", "C"}) vo.create_group(g, dn(kRoot));
+  for (const char* g : {"A.1", "A.2", "A.3"}) vo.create_group(g, dn(kRoot));
+  auto groups = vo.list_groups();
+  EXPECT_EQ(groups.size(), 7u);  // + admins
+  EXPECT_TRUE(vo.group_exists("A.2"));
+}
+
+TEST_F(VoFixture, HigherLevelMembersAreMembersBelow) {
+  vo.create_group("A", dn(kRoot));
+  vo.create_group("A.1", dn(kRoot));
+  vo.add_member("A", kAliceStr, dn(kRoot));
+  EXPECT_TRUE(vo.is_member("A", dn(kAliceStr)));
+  EXPECT_TRUE(vo.is_member("A.1", dn(kAliceStr)));  // inherited downward
+  // Not the other way around.
+  vo.add_member("A.1", kBobStr, dn(kRoot));
+  EXPECT_TRUE(vo.is_member("A.1", dn(kBobStr)));
+  EXPECT_FALSE(vo.is_member("A", dn(kBobStr)));
+}
+
+TEST_F(VoFixture, DnPrefixMembership) {
+  vo.create_group("physicists", dn(kRoot));
+  // The paper's optimization: add all DOE People with one prefix entry.
+  vo.add_member("physicists", "/O=grid/OU=People", dn(kRoot));
+  EXPECT_TRUE(vo.is_member("physicists", dn(kAliceStr)));
+  EXPECT_TRUE(vo.is_member("physicists", dn(kBobStr)));
+  EXPECT_FALSE(vo.is_member("physicists",
+                            dn("/O=grid/OU=Services/CN=host/x.org")));
+  EXPECT_FALSE(vo.is_member("physicists", dn("/O=other/OU=People/CN=Eve")));
+}
+
+TEST_F(VoFixture, MembershipOfUnknownGroupIsFalse) {
+  EXPECT_FALSE(vo.is_member("ghost", dn(kAliceStr)));
+}
+
+TEST_F(VoFixture, OnlyRootCreatesTopLevel) {
+  EXPECT_THROW(vo.create_group("X", dn(kAliceStr)), AccessError);
+  vo.create_group("X", dn(kRoot));
+  EXPECT_TRUE(vo.group_exists("X"));
+}
+
+TEST_F(VoFixture, GroupAdminManagesLowerLevels) {
+  vo.create_group("A", dn(kRoot));
+  vo.add_admin("A", kAliceStr, dn(kRoot));
+  // Alice (admin of A) can create and manage subgroups of A...
+  vo.create_group("A.sub", dn(kAliceStr));
+  vo.add_member("A.sub", kBobStr, dn(kAliceStr));
+  EXPECT_TRUE(vo.is_member("A.sub", dn(kBobStr)));
+  vo.remove_member("A.sub", kBobStr, dn(kAliceStr));
+  EXPECT_FALSE(vo.is_member("A.sub", dn(kBobStr)));
+  // ...but not create top-level groups or manage other branches.
+  EXPECT_THROW(vo.create_group("B", dn(kAliceStr)), AccessError);
+  vo.create_group("B", dn(kRoot));
+  EXPECT_THROW(vo.add_member("B", kBobStr, dn(kAliceStr)), AccessError);
+}
+
+TEST_F(VoFixture, AdminsOfGroupCountAsMembers) {
+  vo.create_group("A", dn(kRoot));
+  vo.add_admin("A", kAliceStr, dn(kRoot));
+  EXPECT_TRUE(vo.is_member("A", dn(kAliceStr)));
+}
+
+TEST_F(VoFixture, CreatorBecomesAdminOfNewGroup) {
+  vo.create_group("A", dn(kRoot));
+  vo.add_admin("A", kAliceStr, dn(kRoot));
+  vo.create_group("A.x", dn(kAliceStr));
+  EXPECT_TRUE(vo.is_admin("A.x", dn(kAliceStr)));
+}
+
+TEST_F(VoFixture, DeleteGroupRemovesDescendants) {
+  vo.create_group("A", dn(kRoot));
+  vo.create_group("A.1", dn(kRoot));
+  vo.create_group("A.1.x", dn(kRoot));
+  vo.create_group("AB", dn(kRoot));  // shares the "A" prefix but not branch
+  vo.delete_group("A", dn(kRoot));
+  EXPECT_FALSE(vo.group_exists("A"));
+  EXPECT_FALSE(vo.group_exists("A.1"));
+  EXPECT_FALSE(vo.group_exists("A.1.x"));
+  EXPECT_TRUE(vo.group_exists("AB"));
+}
+
+TEST_F(VoFixture, GuardRails) {
+  EXPECT_THROW(vo.create_group("admins", dn(kRoot)), AccessError);
+  EXPECT_THROW(vo.delete_group("admins", dn(kRoot)), AccessError);
+  EXPECT_THROW(vo.create_group(".bad", dn(kRoot)), ParseError);
+  EXPECT_THROW(vo.create_group("sp ace", dn(kRoot)), ParseError);
+  vo.create_group("A", dn(kRoot));
+  EXPECT_THROW(vo.create_group("A", dn(kRoot)), Error);  // duplicate
+  EXPECT_THROW(vo.create_group("Z.orphan", dn(kRoot)), NotFoundError);
+  EXPECT_THROW(vo.add_member("A", "not-a-dn", dn(kRoot)), ParseError);
+  EXPECT_THROW(vo.info("ghost"), NotFoundError);
+}
+
+TEST_F(VoFixture, AddMemberIsIdempotent) {
+  vo.create_group("A", dn(kRoot));
+  vo.add_member("A", kAliceStr, dn(kRoot));
+  vo.add_member("A", kAliceStr, dn(kRoot));
+  EXPECT_EQ(vo.info("A").members.size(), 1u);
+}
+
+}  // namespace
+}  // namespace clarens::core

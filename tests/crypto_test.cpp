@@ -1,0 +1,396 @@
+// Unit tests for clarens::crypto against published test vectors (MD5:
+// RFC 1321; SHA-256: FIPS 180-4 / NIST; HMAC: RFC 4231; ChaCha20:
+// RFC 8439) plus property tests for the bignum and RSA.
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/random.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace clarens::crypto {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// ---------- MD5 (RFC 1321 appendix A.5) ----------
+
+struct DigestCase {
+  const char* input;
+  const char* digest;
+};
+
+class Md5Vectors : public ::testing::TestWithParam<DigestCase> {};
+
+TEST_P(Md5Vectors, Matches) {
+  EXPECT_EQ(Md5::hex(GetParam().input), GetParam().digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc1321, Md5Vectors,
+    ::testing::Values(
+        DigestCase{"", "d41d8cd98f00b204e9800998ecf8427e"},
+        DigestCase{"a", "0cc175b9c0f1b6a831c399e269772661"},
+        DigestCase{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+        DigestCase{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+        DigestCase{"abcdefghijklmnopqrstuvwxyz",
+                   "c3fcd3d76192e4007dfb496cca67e13b"},
+        DigestCase{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01234"
+                   "56789",
+                   "d174ab98d277d9f5a5611c2c9f419d9f"},
+        DigestCase{"1234567890123456789012345678901234567890123456789012345678"
+                   "9012345678901234567890",
+                   "57edf4a22be3c955ac49da2e2107b67a"}));
+
+TEST(Md5, StreamingEqualsOneShot) {
+  std::string data(100000, 'x');
+  Md5 streaming;
+  // Feed in awkward chunk sizes to cross block boundaries.
+  std::size_t offset = 0;
+  std::size_t sizes[] = {1, 63, 64, 65, 127, 1000, 4096};
+  std::size_t i = 0;
+  while (offset < data.size()) {
+    std::size_t take = std::min(sizes[i++ % 7], data.size() - offset);
+    streaming.update(std::string_view(data).substr(offset, take));
+    offset += take;
+  }
+  EXPECT_EQ(streaming.finish(), Md5::hash(data));
+}
+
+// ---------- SHA-256 ----------
+
+class Sha256Vectors : public ::testing::TestWithParam<DigestCase> {};
+
+TEST_P(Sha256Vectors, Matches) {
+  EXPECT_EQ(Sha256::hex(GetParam().input), GetParam().digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fips180, Sha256Vectors,
+    ::testing::Values(
+        DigestCase{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+        DigestCase{"abc",
+                   "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+        DigestCase{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                   "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"}));
+
+TEST(Sha256, MillionAs) {
+  Sha256 sha;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.update(chunk);
+  EXPECT_EQ(util::hex_encode(sha.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// ---------- HMAC-SHA256 (RFC 4231) ----------
+
+TEST(Hmac, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(util::hex_encode(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  auto mac = hmac_sha256(bytes_of("Jefe"),
+                         bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(util::hex_encode(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  std::vector<std::uint8_t> key(131, 0xaa);  // longer than the block size
+  auto mac = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(util::hex_encode(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DeriveKeyDeterministicAndLabelSeparated) {
+  std::vector<std::uint8_t> ikm = {1, 2, 3, 4};
+  auto a = derive_key(ikm, "label-a", 48);
+  auto b = derive_key(ikm, "label-a", 48);
+  auto c = derive_key(ikm, "label-b", 48);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 48u);
+  // Prefix property: shorter derivation is a prefix of longer.
+  auto shorter = derive_key(ikm, "label-a", 16);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), a.begin()));
+}
+
+TEST(Hmac, ConstantTimeEqual) {
+  std::vector<std::uint8_t> a = {1, 2, 3}, b = {1, 2, 3}, c = {1, 2, 4};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, std::vector<std::uint8_t>{1, 2}));
+}
+
+// ---------- ChaCha20 (RFC 8439 §2.4.2) ----------
+
+TEST(ChaCha20, Rfc8439Vector) {
+  std::vector<std::uint8_t> key(32);
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> nonce =
+      util::hex_decode("000000000000004a00000000");
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  ChaCha20 cipher(key, nonce, 1);
+  std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+  cipher.crypt(data);
+  EXPECT_EQ(util::hex_encode(std::span<const std::uint8_t>(data.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  // Decrypting restores the plaintext.
+  ChaCha20 decipher(key, nonce, 1);
+  decipher.crypt(data);
+  EXPECT_EQ(std::string(data.begin(), data.end()), plaintext);
+}
+
+TEST(ChaCha20, RejectsBadKeyAndNonceSizes) {
+  std::vector<std::uint8_t> short_key(16), nonce(12), key(32), short_nonce(8);
+  EXPECT_THROW(ChaCha20(short_key, nonce), Error);
+  EXPECT_THROW(ChaCha20(key, short_nonce), Error);
+}
+
+TEST(ChaCha20, StreamingMatchesOneShot) {
+  std::vector<std::uint8_t> key(32, 7), nonce(12, 9);
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  ChaCha20 one(key, nonce);
+  auto expected = one.crypt_copy(data);
+
+  ChaCha20 stream(key, nonce);
+  std::vector<std::uint8_t> copy = data;
+  // 7-byte pieces force mid-block keystream positions.
+  for (std::size_t off = 0; off < copy.size(); off += 7) {
+    std::size_t take = std::min<std::size_t>(7, copy.size() - off);
+    stream.crypt(std::span<std::uint8_t>(copy.data() + off, take));
+  }
+  EXPECT_EQ(copy, expected);
+}
+
+// ---------- DRBG ----------
+
+TEST(Drbg, DeterministicWithSeed) {
+  std::vector<std::uint8_t> seed = {1, 2, 3};
+  Drbg a(seed), b(seed);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  // Different seeds diverge.
+  std::vector<std::uint8_t> seed2 = {1, 2, 4};
+  Drbg c(seed2);
+  EXPECT_NE(Drbg(seed).bytes(64), c.bytes(64));
+}
+
+TEST(Drbg, UniformStaysBelowBound) {
+  Drbg rng(std::vector<std::uint8_t>{42});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Drbg, TokenIsHexOfRequestedLength) {
+  std::string token = random_token(16);
+  EXPECT_EQ(token.size(), 32u);
+  EXPECT_NO_THROW(util::hex_decode(token));
+  EXPECT_NE(random_token(16), random_token(16));
+}
+
+// ---------- BigInt ----------
+
+TEST(BigInt, HexRoundTrip) {
+  EXPECT_EQ(BigInt::from_hex("0").to_hex(), "0");
+  EXPECT_EQ(BigInt::from_hex("ff").to_hex(), "ff");
+  EXPECT_EQ(BigInt::from_hex("deadbeefcafebabe0123456789abcdef").to_hex(),
+            "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(BigInt(0xdeadbeefull).to_hex(), "deadbeef");
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt x = BigInt::from_bytes(bytes);
+  EXPECT_EQ(x.to_bytes(), bytes);
+  EXPECT_EQ(x.to_hex(), "102030405");
+  // Leading zeros are not preserved (canonical form).
+  std::vector<std::uint8_t> padded = {0x00, 0x00, 0x01};
+  EXPECT_EQ(BigInt::from_bytes(padded).to_bytes(),
+            (std::vector<std::uint8_t>{0x01}));
+}
+
+TEST(BigInt, Arithmetic) {
+  BigInt a = BigInt::from_hex("ffffffffffffffff");  // 2^64-1
+  BigInt b(1);
+  EXPECT_EQ((a + b).to_hex(), "10000000000000000");
+  EXPECT_EQ(((a + b) - b).to_hex(), "ffffffffffffffff");
+  EXPECT_EQ((a * a).to_hex(), "fffffffffffffffe0000000000000001");
+  EXPECT_THROW(b - a, Error);
+}
+
+TEST(BigInt, Shifts) {
+  BigInt one(1);
+  EXPECT_EQ((one << 100).bit_length(), 101u);
+  EXPECT_EQ(((one << 100) >> 100), one);
+  EXPECT_EQ((BigInt::from_hex("ff") << 4).to_hex(), "ff0");
+  EXPECT_EQ((BigInt::from_hex("ff0") >> 4).to_hex(), "ff");
+  EXPECT_TRUE((one >> 1).is_zero());
+}
+
+TEST(BigInt, DivMod) {
+  BigInt a = BigInt::from_hex("123456789abcdef0123456789abcdef");
+  BigInt b = BigInt::from_hex("fedcba987");
+  auto [q, r] = a.divmod(b);
+  EXPECT_EQ((q * b + r), a);
+  EXPECT_TRUE(r < b);
+  EXPECT_THROW(a.divmod(BigInt(0)), Error);
+  // Small sanity: 100 / 7 = 14 r 2
+  auto [q2, r2] = BigInt(100).divmod(BigInt(7));
+  EXPECT_EQ(q2.to_u64(), 14u);
+  EXPECT_EQ(r2.to_u64(), 2u);
+}
+
+TEST(BigInt, ModExpKnownValues) {
+  // 5^3 mod 13 = 8
+  EXPECT_EQ(BigInt(5).modexp(BigInt(3), BigInt(13)).to_u64(), 8u);
+  // Fermat: a^(p-1) = 1 mod p for prime p, gcd(a,p)=1
+  BigInt p(1000003);
+  EXPECT_EQ(BigInt(12345).modexp(p - BigInt(1), p).to_u64(), 1u);
+  // Even modulus path.
+  EXPECT_EQ(BigInt(7).modexp(BigInt(5), BigInt(10)).to_u64(), 7u);
+  // x^0 = 1
+  EXPECT_EQ(BigInt(99).modexp(BigInt(0), BigInt(7)).to_u64(), 1u);
+}
+
+TEST(BigInt, ModExpMatchesNaive) {
+  Drbg rng(std::vector<std::uint8_t>{9});
+  for (int trial = 0; trial < 20; ++trial) {
+    BigInt base = BigInt::random_bits(96, rng);
+    BigInt exp = BigInt::random_bits(16, rng);
+    BigInt mod = BigInt::random_bits(96, rng);
+    if (!mod.is_odd()) mod = mod + BigInt(1);  // exercise Montgomery
+    // Naive square-and-multiply using divmod only.
+    BigInt naive(1);
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      naive = (naive * naive) % mod;
+      if (exp.bit(i)) naive = (naive * base) % mod;
+    }
+    EXPECT_EQ(base.modexp(exp, mod), naive) << "trial " << trial;
+  }
+}
+
+TEST(BigInt, ModInv) {
+  BigInt p(1000003);
+  BigInt a(123456);
+  BigInt inv = a.modinv(p);
+  EXPECT_EQ((a * inv) % p, BigInt(1));
+  // Non-invertible.
+  EXPECT_THROW(BigInt(6).modinv(BigInt(9)), Error);
+  EXPECT_THROW(BigInt(0).modinv(BigInt(7)), Error);
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(36)).to_u64(), 12u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_u64(), 5u);
+}
+
+TEST(BigInt, PrimalityKnownPrimesAndComposites) {
+  Drbg rng(std::vector<std::uint8_t>{7});
+  for (std::uint64_t p : {2ull, 3ull, 65537ull, 1000003ull, 4294967291ull}) {
+    EXPECT_TRUE(BigInt(p).is_probable_prime(16, rng)) << p;
+  }
+  for (std::uint64_t c : {1ull, 4ull, 65535ull, 1000001ull, 4294967295ull}) {
+    EXPECT_FALSE(BigInt(c).is_probable_prime(16, rng)) << c;
+  }
+  // Carmichael number 561 = 3*11*17 must be detected composite.
+  EXPECT_FALSE(BigInt(561).is_probable_prime(16, rng));
+}
+
+TEST(BigInt, GeneratePrimeHasExactBitLength) {
+  Drbg rng(std::vector<std::uint8_t>{11});
+  BigInt p = BigInt::generate_prime(64, rng);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(p.is_odd());
+}
+
+// ---------- RSA ----------
+
+class RsaFixture : public ::testing::Test {
+ protected:
+  // One 512-bit key pair for the whole suite (keygen is the slow part).
+  static RsaKeyPair& keys() {
+    static RsaKeyPair kp = [] {
+      Drbg rng(std::vector<std::uint8_t>{13});
+      return rsa_generate(512, rng);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(RsaFixture, SignVerifyRoundTrip) {
+  auto sig = rsa_sign(keys().priv, "the quick brown fox");
+  EXPECT_EQ(sig.size(), keys().pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(keys().pub, "the quick brown fox", sig));
+  EXPECT_FALSE(rsa_verify(keys().pub, "the quick brown fax", sig));
+}
+
+TEST_F(RsaFixture, TamperedSignatureRejected) {
+  auto sig = rsa_sign(keys().priv, "message");
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(keys().pub, "message", sig));
+  // Wrong-size signature.
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(keys().pub, "message", sig));
+}
+
+TEST_F(RsaFixture, EncryptDecryptRoundTrip) {
+  Drbg rng(std::vector<std::uint8_t>{17});
+  std::vector<std::uint8_t> message = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+  auto ct = rsa_encrypt(keys().pub, message, rng);
+  auto pt = rsa_decrypt(keys().priv, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, message);
+}
+
+TEST_F(RsaFixture, DecryptRejectsGarbage) {
+  std::vector<std::uint8_t> garbage(keys().pub.modulus_bytes(), 0x5a);
+  auto pt = rsa_decrypt(keys().priv, garbage);
+  EXPECT_FALSE(pt.has_value());
+  // Wrong length.
+  std::vector<std::uint8_t> short_ct(10);
+  EXPECT_FALSE(rsa_decrypt(keys().priv, short_ct).has_value());
+}
+
+TEST_F(RsaFixture, PlaintextTooLongThrows) {
+  Drbg rng(std::vector<std::uint8_t>{19});
+  std::vector<std::uint8_t> huge(keys().pub.modulus_bytes());
+  EXPECT_THROW(rsa_encrypt(keys().pub, huge, rng), Error);
+}
+
+TEST_F(RsaFixture, KeyEncodingRoundTrip) {
+  RsaPublicKey pub = RsaPublicKey::decode(keys().pub.encode());
+  EXPECT_EQ(pub, keys().pub);
+  RsaPrivateKey priv = RsaPrivateKey::decode(keys().priv.encode());
+  auto sig = rsa_sign(priv, "encoded key");
+  EXPECT_TRUE(rsa_verify(pub, "encoded key", sig));
+  EXPECT_THROW(RsaPublicKey::decode("onlyonefield"), ParseError);
+}
+
+TEST(Rsa, DifferentKeysDontVerify) {
+  Drbg rng(std::vector<std::uint8_t>{23});
+  RsaKeyPair a = rsa_generate(512, rng);
+  RsaKeyPair b = rsa_generate(512, rng);
+  auto sig = rsa_sign(a.priv, "cross");
+  EXPECT_FALSE(rsa_verify(b.pub, "cross", sig));
+}
+
+}  // namespace
+}  // namespace clarens::crypto

@@ -1,0 +1,180 @@
+// Unit tests for the embedded store: CRUD, prefix scans, persistence
+// across reopen, torn-tail crash recovery, and snapshot compaction.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "db/store.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::db {
+namespace {
+
+using clarens::testing::TempDir;
+
+TEST(Store, InMemoryCrud) {
+  Store store;
+  EXPECT_FALSE(store.persistent());
+  store.put("t", "k1", "v1");
+  store.put("t", "k2", "v2");
+  EXPECT_EQ(store.get("t", "k1"), "v1");
+  EXPECT_FALSE(store.get("t", "missing").has_value());
+  EXPECT_FALSE(store.get("other", "k1").has_value());
+  EXPECT_TRUE(store.contains("t", "k2"));
+  EXPECT_EQ(store.size("t"), 2u);
+  EXPECT_TRUE(store.erase("t", "k1"));
+  EXPECT_FALSE(store.erase("t", "k1"));  // second erase reports absence
+  EXPECT_EQ(store.size("t"), 1u);
+}
+
+TEST(Store, OverwriteReplacesValue) {
+  Store store;
+  store.put("t", "k", "old");
+  store.put("t", "k", "new");
+  EXPECT_EQ(store.get("t", "k"), "new");
+  EXPECT_EQ(store.size("t"), 1u);
+}
+
+TEST(Store, KeysSortedAndPrefixScan) {
+  Store store;
+  store.put("t", "b", "2");
+  store.put("t", "a", "1");
+  store.put("t", "ab", "3");
+  store.put("t", "c", "4");
+  EXPECT_EQ(store.keys("t"), (std::vector<std::string>{"a", "ab", "b", "c"}));
+  auto scan = store.scan_prefix("t", "a");
+  ASSERT_EQ(scan.size(), 2u);
+  EXPECT_EQ(scan[0].first, "a");
+  EXPECT_EQ(scan[1].first, "ab");
+  EXPECT_TRUE(store.scan_prefix("t", "zzz").empty());
+}
+
+TEST(Store, DropTable) {
+  Store store;
+  store.put("a", "k", "v");
+  store.put("b", "k", "v");
+  EXPECT_EQ(store.drop_table("a"), 1u);
+  EXPECT_EQ(store.drop_table("a"), 0u);
+  EXPECT_EQ(store.tables(), (std::vector<std::string>{"b"}));
+}
+
+TEST(Store, BinarySafeKeysAndValues) {
+  Store store;
+  std::string key("k\0ey", 4);
+  std::string value("v\0al\xff", 5);
+  store.put("t", key, value);
+  EXPECT_EQ(store.get("t", key), value);
+}
+
+TEST(Store, PersistsAcrossReopen) {
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    EXPECT_TRUE(store.persistent());
+    store.put("sessions", "s1", "alice");
+    store.put("sessions", "s2", "bob");
+    store.erase("sessions", "s1");
+  }
+  {
+    Store store(tmp.path());
+    EXPECT_FALSE(store.get("sessions", "s1").has_value());
+    EXPECT_EQ(store.get("sessions", "s2"), "bob");
+  }
+}
+
+TEST(Store, TornTailIsDiscarded) {
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    store.put("t", "complete", "yes");
+  }
+  // Simulate a crash mid-write: append half a record to the journal.
+  {
+    std::ofstream journal(tmp.path() + "/journal.log",
+                          std::ios::binary | std::ios::app);
+    journal.write("P\x05\x00\x00", 4);  // truncated header
+  }
+  Store store(tmp.path());
+  EXPECT_EQ(store.get("t", "complete"), "yes");
+  // The store remains writable after recovery.
+  store.put("t", "after", "crash");
+  EXPECT_EQ(store.get("t", "after"), "crash");
+}
+
+TEST(Store, CorruptChecksumTailDiscarded) {
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    store.put("t", "good", "1");
+    store.put("t", "bad", "2");
+  }
+  // Flip a byte in the final record's value region.
+  std::string path = tmp.path() + "/journal.log";
+  auto size = std::filesystem::file_size(path);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<long>(size) - 6);
+    f.put('\x7e');
+  }
+  Store store(tmp.path());
+  EXPECT_EQ(store.get("t", "good"), "1");
+  EXPECT_FALSE(store.get("t", "bad").has_value());
+}
+
+TEST(Store, CompactionPreservesContentAndShrinksJournal) {
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    // Many overwrites bloat the journal with dead records.
+    for (int i = 0; i < 500; ++i) {
+      store.put("t", "hot", "value-" + std::to_string(i));
+    }
+    store.put("t", "cold", "stable");
+    auto before = std::filesystem::file_size(tmp.path() + "/journal.log");
+    store.compact();
+    auto after = std::filesystem::file_size(tmp.path() + "/journal.log");
+    EXPECT_EQ(after, 0u);
+    EXPECT_GT(before, 1000u);
+    EXPECT_EQ(store.get("t", "hot"), "value-499");
+  }
+  Store store(tmp.path());
+  EXPECT_EQ(store.get("t", "hot"), "value-499");
+  EXPECT_EQ(store.get("t", "cold"), "stable");
+}
+
+TEST(Store, WritesAfterCompactionSurviveReopen) {
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    store.put("t", "a", "1");
+    store.compact();
+    store.put("t", "b", "2");
+    store.erase("t", "a");
+  }
+  Store store(tmp.path());
+  EXPECT_FALSE(store.get("t", "a").has_value());
+  EXPECT_EQ(store.get("t", "b"), "2");
+}
+
+TEST(Store, ConcurrentWritersDontCorrupt) {
+  Store store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string(t) + "-" + std::to_string(i);
+        store.put("t", key, "v");
+        EXPECT_EQ(store.get("t", key), "v");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size("t"), 8u * 500u);
+}
+
+}  // namespace
+}  // namespace clarens::db

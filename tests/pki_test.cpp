@@ -1,0 +1,239 @@
+// Unit tests for clarens::pki — DN algebra, certificates, the CA, proxy
+// issuance and chain verification (including the delegation semantics the
+// paper's proxy service relies on).
+#include <gtest/gtest.h>
+
+#include "pki/authority.hpp"
+#include "pki/certificate.hpp"
+#include "pki/dn.hpp"
+#include "pki/verify.hpp"
+#include "test_fixtures.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace clarens::pki {
+namespace {
+
+using clarens::testing::TestPki;
+
+// ---------- DistinguishedName ----------
+
+TEST(Dn, ParseAndRender) {
+  auto dn = DistinguishedName::parse(
+      "/O=doesciencegrid.org/OU=People/CN=John Smith 12345");
+  EXPECT_EQ(dn.size(), 3u);
+  EXPECT_EQ(dn.get("O"), "doesciencegrid.org");
+  EXPECT_EQ(dn.get("OU"), "People");
+  EXPECT_EQ(dn.get("CN"), "John Smith 12345");
+  EXPECT_EQ(dn.str(), "/O=doesciencegrid.org/OU=People/CN=John Smith 12345");
+}
+
+TEST(Dn, SlashInsideValue) {
+  // The paper's own server DN example.
+  auto dn = DistinguishedName::parse(
+      "/O=doesciencegrid.org/OU=Services/CN=host/www.mysite.edu");
+  EXPECT_EQ(dn.size(), 3u);
+  EXPECT_EQ(dn.get("CN"), "host/www.mysite.edu");
+  // Round-trips.
+  EXPECT_EQ(DistinguishedName::parse(dn.str()), dn);
+}
+
+TEST(Dn, EmptyAndInvalid) {
+  EXPECT_TRUE(DistinguishedName::parse("").empty());
+  EXPECT_THROW(DistinguishedName::parse("no-slash"), ParseError);
+  EXPECT_THROW(DistinguishedName::parse("/=value"), ParseError);
+  EXPECT_THROW(DistinguishedName::parse("/KEY="), ParseError);
+  EXPECT_THROW(DistinguishedName::parse("/orphan"), ParseError);
+}
+
+TEST(Dn, PrefixMatching) {
+  auto org = DistinguishedName::parse("/O=doesciencegrid.org/OU=People");
+  auto person = DistinguishedName::parse(
+      "/O=doesciencegrid.org/OU=People/CN=John Smith 12345");
+  auto service = DistinguishedName::parse(
+      "/O=doesciencegrid.org/OU=Services/CN=host/www.mysite.edu");
+  EXPECT_TRUE(org.is_prefix_of(person));
+  EXPECT_FALSE(org.is_prefix_of(service));  // OU differs
+  EXPECT_FALSE(person.is_prefix_of(org));   // longer cannot prefix shorter
+  EXPECT_TRUE(person.is_prefix_of(person)); // reflexive
+  EXPECT_TRUE(DistinguishedName().is_prefix_of(person));  // empty prefixes all
+}
+
+TEST(Dn, WithAppendsAttribute) {
+  auto user = DistinguishedName::parse("/O=x/CN=alice");
+  auto proxy = user.with("CN", "proxy");
+  EXPECT_EQ(proxy.str(), "/O=x/CN=alice/CN=proxy");
+  EXPECT_TRUE(user.is_prefix_of(proxy));
+}
+
+TEST(Dn, OrderMattersForEquality) {
+  auto a = DistinguishedName::parse("/O=x/CN=y");
+  auto b = DistinguishedName::parse("/CN=y/O=x");
+  EXPECT_NE(a, b);
+}
+
+// ---------- Certificates ----------
+
+TEST(Certificate, EncodeDecodeRoundTrip) {
+  const TestPki& pki = TestPki::instance();
+  const Certificate& cert = pki.alice.certificate;
+  Certificate decoded = Certificate::decode(cert.encode());
+  EXPECT_EQ(decoded, cert);
+  EXPECT_EQ(decoded.subject(), cert.subject());
+  EXPECT_EQ(decoded.kind(), CertKind::User);
+  EXPECT_TRUE(decoded.check_signature(pki.ca.certificate().public_key()));
+}
+
+TEST(Certificate, DecodeRejectsMissingFields) {
+  EXPECT_THROW(Certificate::decode("kind:user\n"), ParseError);
+  EXPECT_THROW(Certificate::decode("garbage without colon\n"), ParseError);
+  EXPECT_THROW(Certificate::decode("serial:x\nkind:bogus\n"), ParseError);
+}
+
+TEST(Certificate, SignatureCoversEveryField) {
+  const TestPki& pki = TestPki::instance();
+  // Re-encode with a flipped validity and check the signature breaks.
+  std::string text = pki.alice.certificate.encode();
+  std::string tampered = text;
+  auto pos = tampered.find("not-after:");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos + 10] = '9';
+  Certificate cert = Certificate::decode(tampered);
+  EXPECT_FALSE(cert.check_signature(pki.ca.certificate().public_key()));
+}
+
+TEST(Certificate, ValidityWindow) {
+  const TestPki& pki = TestPki::instance();
+  const Certificate& cert = pki.alice.certificate;
+  EXPECT_TRUE(cert.valid_at(util::unix_now()));
+  EXPECT_FALSE(cert.valid_at(cert.not_before() - 10));
+  EXPECT_FALSE(cert.valid_at(cert.not_after() + 10));
+}
+
+TEST(Credential, EncodeDecodeRoundTrip) {
+  const TestPki& pki = TestPki::instance();
+  Credential decoded = Credential::decode(pki.bob.encode());
+  EXPECT_EQ(decoded.certificate, pki.bob.certificate);
+  // The decoded private key still signs correctly.
+  auto sig = crypto::rsa_sign(decoded.private_key, "probe");
+  EXPECT_TRUE(crypto::rsa_verify(decoded.certificate.public_key(), "probe", sig));
+  EXPECT_THROW(Credential::decode(pki.bob.certificate.encode()), ParseError);
+}
+
+// ---------- CertificateAuthority ----------
+
+TEST(Authority, IssuesVerifiableCertificates) {
+  const TestPki& pki = TestPki::instance();
+  EXPECT_TRUE(pki.ca.certificate().is_ca());
+  EXPECT_EQ(pki.ca.certificate().subject(), pki.ca.certificate().issuer());
+  EXPECT_TRUE(pki.ca.certificate().check_signature(
+      pki.ca.certificate().public_key()));
+  EXPECT_TRUE(pki.alice.certificate.check_signature(
+      pki.ca.certificate().public_key()));
+  EXPECT_EQ(pki.alice.certificate.issuer(), pki.ca.certificate().subject());
+  EXPECT_EQ(pki.server.certificate.kind(), CertKind::Server);
+}
+
+TEST(Authority, SerialsAreUnique) {
+  const TestPki& pki = TestPki::instance();
+  EXPECT_NE(pki.alice.certificate.serial(), pki.bob.certificate.serial());
+}
+
+// ---------- Proxy issuance ----------
+
+TEST(Proxy, SubjectExtendsUserAndSignedByUser) {
+  const TestPki& pki = TestPki::instance();
+  Credential proxy = issue_proxy(pki.alice, 3600);
+  EXPECT_TRUE(proxy.certificate.is_proxy());
+  EXPECT_EQ(proxy.certificate.issuer(), pki.alice.certificate.subject());
+  EXPECT_TRUE(pki.alice.certificate.subject().is_prefix_of(
+      proxy.certificate.subject()));
+  EXPECT_EQ(proxy.certificate.subject().str(),
+            pki.alice.certificate.subject().str() + "/CN=proxy");
+  EXPECT_TRUE(
+      proxy.certificate.check_signature(pki.alice.certificate.public_key()));
+}
+
+// ---------- TrustStore ----------
+
+TEST(TrustStore, RejectsNonCaAnchors) {
+  const TestPki& pki = TestPki::instance();
+  TrustStore store;
+  EXPECT_THROW(store.add_authority(pki.alice.certificate), Error);
+}
+
+TEST(TrustStore, VerifiesDirectUserChain) {
+  const TestPki& pki = TestPki::instance();
+  auto result = pki.trust.verify({pki.alice.certificate}, util::unix_now());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.identity, pki.alice.certificate.subject());
+  EXPECT_FALSE(result.via_proxy);
+}
+
+TEST(TrustStore, RejectsUnknownIssuer) {
+  const TestPki& pki = TestPki::instance();
+  auto other_ca = CertificateAuthority::create(
+      DistinguishedName::parse("/O=rogue/CN=Rogue CA"), 512);
+  auto mallory = other_ca.issue_user(DistinguishedName::parse("/O=rogue/CN=M"));
+  auto result = pki.trust.verify({mallory.certificate}, util::unix_now());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown issuer"), std::string::npos);
+}
+
+TEST(TrustStore, RejectsExpiredCertificate) {
+  const TestPki& pki = TestPki::instance();
+  auto shortlived = pki.ca.issue_user(
+      DistinguishedName::parse("/O=testgrid.org/OU=People/CN=Flash"), 1);
+  auto result = pki.trust.verify({shortlived.certificate},
+                                 util::unix_now() + 3600);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(TrustStore, ProxyChainYieldsUserIdentity) {
+  const TestPki& pki = TestPki::instance();
+  Credential proxy = issue_proxy(pki.alice);
+  auto result = pki.trust.verify({proxy.certificate, pki.alice.certificate},
+                                 util::unix_now());
+  EXPECT_TRUE(result.ok) << result.error;
+  // Delegation: the effective identity is Alice, not /CN=proxy.
+  EXPECT_EQ(result.identity, pki.alice.certificate.subject());
+  EXPECT_TRUE(result.via_proxy);
+}
+
+TEST(TrustStore, ProxySignedByWrongUserRejected) {
+  const TestPki& pki = TestPki::instance();
+  Credential proxy = issue_proxy(pki.alice);
+  // Present Bob's certificate as the middle link: subject mismatch.
+  auto result = pki.trust.verify({proxy.certificate, pki.bob.certificate},
+                                 util::unix_now());
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(TrustStore, ExpiredProxyRejected) {
+  const TestPki& pki = TestPki::instance();
+  Credential proxy = issue_proxy(pki.alice, 1);
+  auto result = pki.trust.verify({proxy.certificate, pki.alice.certificate},
+                                 util::unix_now() + 7200);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(TrustStore, MalformedChainsRejected) {
+  const TestPki& pki = TestPki::instance();
+  Credential proxy = issue_proxy(pki.alice);
+  EXPECT_FALSE(pki.trust.verify({}, util::unix_now()).ok);
+  // Proxy without the user certificate.
+  EXPECT_FALSE(pki.trust.verify({proxy.certificate}, util::unix_now()).ok);
+  // Non-proxy chain with extra certificates.
+  EXPECT_FALSE(pki.trust
+                   .verify({pki.alice.certificate, pki.bob.certificate},
+                           util::unix_now())
+                   .ok);
+  // Nested proxies are refused.
+  Credential proxy2 = issue_proxy(proxy);
+  EXPECT_FALSE(
+      pki.trust.verify({proxy2.certificate, proxy.certificate}, util::unix_now())
+          .ok);
+}
+
+}  // namespace
+}  // namespace clarens::pki

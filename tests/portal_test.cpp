@@ -1,0 +1,142 @@
+// Tests for the browser-portal serving path (§3): built-in page, static
+// pages from portal_dir with content types, containment, and the
+// JSON-RPC contract the portal JavaScript relies on.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "test_fixtures.hpp"
+
+namespace clarens::core {
+namespace {
+
+using clarens::testing::TempDir;
+using clarens::testing::TestPki;
+
+ClarensConfig base_config(const TestPki& pki) {
+  ClarensConfig config;
+  config.trust = pki.trust;
+  AclSpec anyone;
+  anyone.allow_dns = {AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}};
+  return config;
+}
+
+client::ClarensClient make_client(const TestPki& pki, std::uint16_t port) {
+  client::ClientOptions options;
+  options.port = port;
+  options.trust = &pki.trust;
+  return client::ClarensClient(options);
+}
+
+TEST(Portal, BuiltInPageWhenUnconfigured) {
+  const TestPki& pki = TestPki::instance();
+  ClarensServer server(base_config(pki));
+  server.start();
+  auto client = make_client(pki, server.port());
+  client.connect();
+  http::Response root = client.get("/");
+  EXPECT_EQ(root.status, 200);
+  EXPECT_NE(root.body.find("Clarens Web Service Framework"), std::string::npos);
+  EXPECT_EQ(root.headers.get_or("Content-Type", ""), "text/html");
+  // Without portal_dir, arbitrary portal paths are 404.
+  EXPECT_EQ(client.get("/portal/app.js").status, 404);
+  server.stop();
+}
+
+TEST(Portal, ServesStaticDirectoryWithContentTypes) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  std::string dir = tmp.sub("portal");
+  std::ofstream(dir + "/index.html") << "<html>grid portal</html>";
+  std::ofstream(dir + "/portal.js") << "const portal = {};";
+  std::ofstream(dir + "/portal.css") << "body {}";
+
+  ClarensConfig config = base_config(pki);
+  config.portal_dir = dir;
+  ClarensServer server(std::move(config));
+  server.start();
+  auto client = make_client(pki, server.port());
+  client.connect();
+
+  http::Response index = client.get("/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_EQ(index.body, "<html>grid portal</html>");
+  EXPECT_EQ(index.headers.get_or("Content-Type", ""), "text/html");
+
+  http::Response js = client.get("/portal/portal.js");
+  EXPECT_EQ(js.status, 200);
+  EXPECT_EQ(js.headers.get_or("Content-Type", ""), "application/javascript");
+  http::Response css = client.get("/portal/portal.css");
+  EXPECT_EQ(css.headers.get_or("Content-Type", ""), "text/css");
+
+  EXPECT_EQ(client.get("/portal/missing.html").status, 404);
+  EXPECT_EQ(client.get("/portal/../secret").status, 403);
+  server.stop();
+}
+
+TEST(Portal, ShippedPortalAssetsServe) {
+  // The repository's share/portal pages serve as-is. Resolve the
+  // directory relative to the repo root or the build directory.
+  std::string portal_dir;
+  for (const char* candidate : {"share/portal", "../share/portal"}) {
+    if (std::filesystem::exists(std::string(candidate) + "/index.html")) {
+      portal_dir = candidate;
+      break;
+    }
+  }
+  if (portal_dir.empty()) {
+    GTEST_SKIP() << "share/portal not found relative to the working directory";
+  }
+  const TestPki& pki = TestPki::instance();
+  ClarensConfig config = base_config(pki);
+  config.portal_dir = portal_dir;
+  ClarensServer server(std::move(config));
+  server.start();
+  auto client = make_client(pki, server.port());
+  client.connect();
+  http::Response index = client.get("/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("Clarens Grid Portal"), std::string::npos);
+  http::Response js = client.get("/portal/portal.js");
+  EXPECT_EQ(js.status, 200);
+  EXPECT_NE(js.body.find("X-Clarens-Session"), std::string::npos);
+  server.stop();
+}
+
+// The portal's wire contract: JSON-RPC POST with the session header.
+TEST(Portal, JsonRpcContractWorksUnauthenticatedForPublicMethods) {
+  const TestPki& pki = TestPki::instance();
+  ClarensServer server(base_config(pki));
+  server.start();
+  auto client = make_client(pki, server.port());
+  client.connect();
+
+  http::Request request;
+  request.method = "POST";
+  request.target = "/clarens";
+  request.headers.set("Content-Type", "application/json");
+  request.body = R"({"method":"system.ping","params":[],"id":1})";
+  // Reuse the client's GET transport for a raw POST round-trip.
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  conn.write_all(request.serialize());
+  http::ResponseParser parser;
+  std::array<std::uint8_t, 8192> buf;
+  std::optional<http::Response> response;
+  while (!response) {
+    std::size_t n = conn.read(buf);
+    ASSERT_GT(n, 0u);
+    parser.feed(std::span<const std::uint8_t>(buf.data(), n));
+    response = parser.next();
+  }
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("\"result\":\"pong\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"id\":1"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens::core

@@ -1,0 +1,233 @@
+// Randomized property tests, seeded (deterministic) via the DRBG:
+//  * arbitrary Value trees survive every wire codec;
+//  * DN parse/render is idempotent;
+//  * BigInt arithmetic satisfies ring identities;
+//  * codecs (hex/base64/XML escaping) round-trip arbitrary bytes/text.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/bigint.hpp"
+#include "crypto/random.hpp"
+#include "pki/dn.hpp"
+#include "rpc/binrpc.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "rpc/soap.hpp"
+#include "rpc/xml.hpp"
+#include "rpc/xmlrpc.hpp"
+#include "util/hex.hpp"
+
+namespace clarens {
+namespace {
+
+using crypto::Drbg;
+
+// ---------- random Value generator ----------
+
+std::string random_text(Drbg& rng, std::size_t max_len) {
+  // Printable ASCII plus the XML/JSON special characters and some UTF-8.
+  static const char* alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 <>&\"'{}[]\\/\n\t.,;:!?-_";
+  std::size_t len = rng.uniform(max_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng.uniform(std::strlen(alphabet))]);
+  }
+  return out;
+}
+
+rpc::Value random_value(Drbg& rng, int depth) {
+  // Containers get rarer with depth; leaves dominate at the bottom.
+  std::uint64_t kind = rng.uniform(depth > 0 ? 9 : 7);
+  switch (kind) {
+    case 0: return rpc::Value();
+    case 1: return rpc::Value(rng.uniform(2) == 1);
+    case 2: return rpc::Value(static_cast<std::int64_t>(rng.next_u64()));
+    case 3: {
+      // Doubles from a bit pattern constrained to finite values.
+      double d = static_cast<double>(static_cast<std::int64_t>(rng.next_u64())) /
+                 1048576.0;
+      return rpc::Value(d);
+    }
+    case 4: return rpc::Value(random_text(rng, 40));
+    case 5: return rpc::Value(rng.bytes(rng.uniform(64)));
+    case 6:
+      return rpc::Value(rpc::DateTime{
+          static_cast<std::int64_t>(rng.uniform(4102444800ull))});
+    case 7: {
+      rpc::Value array = rpc::Value::array();
+      std::uint64_t n = rng.uniform(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        array.push(random_value(rng, depth - 1));
+      }
+      return array;
+    }
+    default: {
+      rpc::Value object = rpc::Value::struct_();
+      std::uint64_t n = rng.uniform(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        // Unique-ish keys; struct keys must be non-clashing for equality.
+        object.set("k" + std::to_string(i) + random_text(rng, 6),
+                   random_value(rng, depth - 1));
+      }
+      return object;
+    }
+  }
+}
+
+class ValueRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueRoundTrip, SurvivesEveryCodec) {
+  Drbg rng(std::vector<std::uint8_t>{static_cast<std::uint8_t>(GetParam())});
+  for (int trial = 0; trial < 20; ++trial) {
+    rpc::Value original = random_value(rng, 3);
+    rpc::Response response = rpc::Response::success(original);
+
+    rpc::Response via_xml =
+        rpc::xmlrpc::parse_response(rpc::xmlrpc::serialize_response(response));
+    EXPECT_EQ(via_xml.result, original) << "xmlrpc trial " << trial;
+
+    rpc::Response via_json = rpc::jsonrpc::parse_response(
+        rpc::jsonrpc::serialize_response(response));
+    EXPECT_EQ(via_json.result, original) << "jsonrpc trial " << trial;
+
+    rpc::Response via_soap =
+        rpc::soap::parse_response(rpc::soap::serialize_response(response));
+    EXPECT_EQ(via_soap.result, original) << "soap trial " << trial;
+
+    rpc::Response via_bin =
+        rpc::binrpc::parse_response(rpc::binrpc::serialize_response(response));
+    EXPECT_EQ(via_bin.result, original) << "binrpc trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueRoundTrip, ::testing::Range(0, 8));
+
+// Cross-codec transitivity: xml -> value -> json -> value -> binary -> value.
+TEST(ValueRoundTrip, CrossCodecChain) {
+  Drbg rng(std::vector<std::uint8_t>{42});
+  for (int trial = 0; trial < 20; ++trial) {
+    rpc::Value original = random_value(rng, 3);
+    rpc::Response r = rpc::Response::success(original);
+    r = rpc::jsonrpc::parse_response(rpc::jsonrpc::serialize_response(r));
+    r = rpc::xmlrpc::parse_response(rpc::xmlrpc::serialize_response(r));
+    r = rpc::binrpc::parse_response(rpc::binrpc::serialize_response(r));
+    r = rpc::soap::parse_response(rpc::soap::serialize_response(r));
+    EXPECT_EQ(r.result, original) << "trial " << trial;
+  }
+}
+
+// ---------- DN properties ----------
+
+class DnProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnProperties, ParseRenderIdempotent) {
+  Drbg rng(std::vector<std::uint8_t>{static_cast<std::uint8_t>(GetParam()), 1});
+  static const char* keys[] = {"C", "ST", "L", "O", "OU", "CN", "DC"};
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<pki::DistinguishedName::Attribute> attributes;
+    std::uint64_t n = 1 + rng.uniform(6);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Values: alnum + spaces + dots (no '=' — DN values exclude it).
+      std::string value;
+      std::size_t len = 1 + rng.uniform(12);
+      static const char* value_alphabet =
+          "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .";
+      for (std::size_t j = 0; j < len; ++j) {
+        value.push_back(value_alphabet[rng.uniform(std::strlen(value_alphabet))]);
+      }
+      // Trim-stable values only (parse trims whitespace at edges).
+      while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      while (!value.empty() && value.back() == ' ') value.pop_back();
+      if (value.empty()) value = "x";
+      attributes.emplace_back(keys[rng.uniform(7)], value);
+    }
+    pki::DistinguishedName dn(attributes);
+    pki::DistinguishedName reparsed = pki::DistinguishedName::parse(dn.str());
+    EXPECT_EQ(reparsed, dn) << dn.str();
+    // Prefix reflexivity and anti-symmetry with a strict prefix.
+    EXPECT_TRUE(dn.is_prefix_of(dn));
+    if (dn.size() > 1) {
+      pki::DistinguishedName shorter(
+          {attributes.begin(), attributes.end() - 1});
+      EXPECT_TRUE(shorter.is_prefix_of(dn));
+      EXPECT_FALSE(dn.is_prefix_of(shorter));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnProperties, ::testing::Range(0, 4));
+
+// ---------- BigInt ring identities ----------
+
+class BigIntProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntProperties, RingIdentities) {
+  Drbg rng(std::vector<std::uint8_t>{static_cast<std::uint8_t>(GetParam()), 2});
+  using crypto::BigInt;
+  for (int trial = 0; trial < 10; ++trial) {
+    BigInt a = BigInt::random_bits(1 + rng.uniform(192), rng);
+    BigInt b = BigInt::random_bits(1 + rng.uniform(192), rng);
+    BigInt c = BigInt::random_bits(1 + rng.uniform(64), rng);
+
+    // Commutativity and associativity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Subtraction inverts addition.
+    EXPECT_EQ((a + b) - b, a);
+    // Division identity.
+    auto [q, r] = (a * b + c).divmod(b);
+    EXPECT_EQ(q * b + r, a * b + c);
+    EXPECT_TRUE(r < b);
+    // Shifts are multiplication/division by powers of two.
+    EXPECT_EQ(a << 17, a * (BigInt(1) << 17));
+    EXPECT_EQ((a << 17) >> 17, a);
+    // Bytes and hex round-trips.
+    EXPECT_EQ(BigInt::from_bytes(a.to_bytes()), a);
+    EXPECT_EQ(BigInt::from_hex(a.to_hex()), a);
+  }
+}
+
+TEST_P(BigIntProperties, ModExpHomomorphism) {
+  Drbg rng(std::vector<std::uint8_t>{static_cast<std::uint8_t>(GetParam()), 3});
+  using crypto::BigInt;
+  for (int trial = 0; trial < 5; ++trial) {
+    BigInt n = BigInt::random_bits(128, rng);
+    if (!n.is_odd()) n = n + BigInt(1);  // Montgomery path
+    BigInt a = BigInt::random_below(n, rng);
+    BigInt b = BigInt::random_below(n, rng);
+    BigInt e = BigInt::random_bits(24, rng);
+    // (a*b)^e == a^e * b^e (mod n)
+    EXPECT_EQ((a * b).modexp(e, n), (a.modexp(e, n) * b.modexp(e, n)) % n);
+    // a^(e+1) == a^e * a (mod n)
+    EXPECT_EQ(a.modexp(e + BigInt(1), n), (a.modexp(e, n) * a) % n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntProperties, ::testing::Range(0, 4));
+
+// ---------- codec round-trips over random bytes/text ----------
+
+class CodecProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecProperties, BytesAndTextRoundTrips) {
+  Drbg rng(std::vector<std::uint8_t>{static_cast<std::uint8_t>(GetParam()), 4});
+  for (int trial = 0; trial < 50; ++trial) {
+    auto blob = rng.bytes(rng.uniform(200));
+    EXPECT_EQ(util::hex_decode(util::hex_encode(blob)), blob);
+    EXPECT_EQ(util::base64_decode(util::base64_encode(blob)), blob);
+
+    std::string text = random_text(rng, 120);
+    rpc::XmlNode node = rpc::xml_parse("<r>" + rpc::xml_escape(text) + "</r>");
+    EXPECT_EQ(node.text, text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperties, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace clarens

@@ -1,0 +1,225 @@
+// Tests for the mass-storage simulation and the SRM request lifecycle
+// (paper §6 future work: SRM interface to dCache-like storage), plus the
+// end-to-end flow: srm.prepare_to_get -> poll -> read staged copy via
+// the file service -> srm.release.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "rpc/fault.hpp"
+#include "storage/mass_storage.hpp"
+#include "storage/srm.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens::storage {
+namespace {
+
+using clarens::testing::TempDir;
+using clarens::testing::TestPki;
+
+struct StorageFixture : ::testing::Test {
+  TempDir tmp;
+  MassStorage storage{tmp.sub("tape"), tmp.sub("cache"),
+                      /*cache_capacity=*/1000};
+};
+
+TEST_F(StorageFixture, PutExistsSizeListRemove) {
+  storage.put("/run1/a.evt", "aaaa");
+  storage.put("/run1/b.evt", "bbbbbbbb");
+  storage.put("/run2/c.evt", "cc");
+  EXPECT_TRUE(storage.exists("/run1/a.evt"));
+  EXPECT_FALSE(storage.exists("/run1/ghost"));
+  EXPECT_EQ(storage.size("/run1/b.evt"), 8);
+  EXPECT_THROW(storage.size("/nope"), NotFoundError);
+  EXPECT_EQ(storage.list("/run1"),
+            (std::vector<std::string>{"/run1/a.evt", "/run1/b.evt"}));
+  EXPECT_EQ(storage.list("/").size(), 3u);
+  storage.remove("/run1/a.evt");
+  EXPECT_FALSE(storage.exists("/run1/a.evt"));
+  EXPECT_THROW(storage.remove("/run1/a.evt"), NotFoundError);
+}
+
+TEST_F(StorageFixture, PathValidation) {
+  EXPECT_THROW(storage.put("relative", "x"), ParseError);
+  EXPECT_THROW(storage.put("/a/../b", "x"), AccessError);
+}
+
+TEST_F(StorageFixture, StagePinPreventsEviction) {
+  storage.put("/big1", std::string(400, 'x'));
+  storage.put("/big2", std::string(400, 'y'));
+  storage.put("/big3", std::string(400, 'z'));
+
+  std::string c1 = storage.stage_and_pin("/big1");
+  EXPECT_TRUE(storage.is_cached("/big1"));
+  EXPECT_EQ(storage.cache_used(), 400);
+  // Staged copy has the right content.
+  std::ifstream in(c1, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, std::string(400, 'x'));
+
+  storage.stage_and_pin("/big2");
+  // Third file does not fit with both pinned.
+  EXPECT_THROW(storage.stage_and_pin("/big3"), SystemError);
+  // Releasing big1 lets big3 in by evicting it (LRU unpinned).
+  storage.unpin("/big1");
+  storage.stage_and_pin("/big3");
+  EXPECT_FALSE(storage.is_cached("/big1"));
+  EXPECT_EQ(storage.eviction_count(), 1u);
+}
+
+TEST_F(StorageFixture, CacheHitsCountedAndPinned) {
+  storage.put("/f", "data");
+  storage.stage_and_pin("/f");
+  storage.stage_and_pin("/f");  // hit
+  EXPECT_EQ(storage.stage_count(), 1u);
+  EXPECT_EQ(storage.hit_count(), 1u);
+  storage.unpin("/f");
+  storage.unpin("/f");
+  EXPECT_THROW(storage.unpin("/ghost"), NotFoundError);
+}
+
+TEST_F(StorageFixture, OverwriteInvalidatesCache) {
+  storage.put("/f", "old");
+  storage.stage_and_pin("/f");
+  storage.unpin("/f");
+  storage.put("/f", "new!");
+  EXPECT_FALSE(storage.is_cached("/f"));
+  std::string staged = storage.stage_and_pin("/f");
+  std::ifstream in(staged, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "new!");
+}
+
+TEST_F(StorageFixture, FileLargerThanCacheRefused) {
+  storage.put("/huge", std::string(2000, 'x'));
+  EXPECT_THROW(storage.stage_and_pin("/huge"), SystemError);
+}
+
+TEST(Srm, RequestLifecycle) {
+  TempDir tmp;
+  MassStorage storage(tmp.sub("tape"), tmp.sub("cache"), 1 << 20);
+  SrmService srm(storage);
+  srm.put("/exp/events.dat", "event data");
+
+  std::string token = srm.prepare_to_get("/exp/events.dat");
+  SrmRequest done = srm.wait(token);
+  EXPECT_EQ(done.state, SrmState::Ready);
+  EXPECT_FALSE(done.cache_file.empty());
+  EXPECT_TRUE(storage.is_cached("/exp/events.dat"));
+
+  srm.release(token);
+  EXPECT_EQ(srm.status(token).state, SrmState::Released);
+  srm.release(token);  // idempotent
+  // Pin dropped: the cached copy is now evictable.
+  storage.put("/filler", std::string((1 << 20) - 5, 'f'));
+  storage.stage_and_pin("/filler");
+  EXPECT_FALSE(storage.is_cached("/exp/events.dat"));
+}
+
+TEST(Srm, MissingFileFails) {
+  TempDir tmp;
+  MassStorage storage(tmp.sub("tape"), tmp.sub("cache"), 1 << 20);
+  SrmService srm(storage);
+  std::string token = srm.prepare_to_get("/no/such/file");
+  SrmRequest done = srm.wait(token);
+  EXPECT_EQ(done.state, SrmState::Failed);
+  EXPECT_FALSE(done.error.empty());
+  EXPECT_THROW(srm.release(token), Error);
+  EXPECT_THROW(srm.status("bogus-token"), NotFoundError);
+}
+
+TEST(Srm, SimulatedTapeLatencyIsAsync) {
+  TempDir tmp;
+  // 10 KB at 100 KB/s ≈ 100 ms staging time.
+  MassStorage storage(tmp.sub("tape"), tmp.sub("cache"), 1 << 20,
+                      /*stage_bytes_per_second=*/100 * 1024);
+  SrmService srm(storage);
+  srm.put("/slow.dat", std::string(10 * 1024, 's'));
+  std::string token = srm.prepare_to_get("/slow.dat");
+  // Immediately after the request the file cannot be ready yet.
+  SrmState early = srm.status(token).state;
+  EXPECT_TRUE(early == SrmState::Queued || early == SrmState::Staging);
+  SrmRequest done = srm.wait(token, 5000);
+  EXPECT_EQ(done.state, SrmState::Ready);
+}
+
+TEST(Srm, ConcurrentRequestsForSameFileShareOneStage) {
+  TempDir tmp;
+  MassStorage storage(tmp.sub("tape"), tmp.sub("cache"), 1 << 20);
+  SrmService srm(storage, /*workers=*/4);
+  srm.put("/shared.dat", "shared");
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 6; ++i) tokens.push_back(srm.prepare_to_get("/shared.dat"));
+  for (const auto& token : tokens) {
+    EXPECT_EQ(srm.wait(token).state, SrmState::Ready);
+  }
+  // One copy staged; the rest were hits (pins stack).
+  EXPECT_EQ(storage.stage_count(), 1u);
+  EXPECT_EQ(storage.hit_count(), 5u);
+  for (const auto& token : tokens) srm.release(token);
+}
+
+// End-to-end over RPC: stage, read the cached copy via file.read, release.
+TEST(Srm, EndToEndThroughClarens) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  MassStorage storage(tmp.sub("tape"), tmp.sub("cache"), 1 << 20);
+  SrmService srm(storage);
+  srm.put("/exp/run9/events.dat", "EVTDATA-0123456789");
+
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"srm", anyone},
+                                {"file", anyone}};
+  core::FileAcl cache_acl;
+  cache_acl.read = anyone;
+  config.initial_file_acls = {{"/srmcache", cache_acl}};
+  core::ClarensServer server(std::move(config));
+  server.attach_storage(srm);
+  server.start();
+
+  client::ClientOptions options;
+  options.port = server.port();
+  options.credential = pki.alice;
+  options.trust = &pki.trust;
+  client::ClarensClient client(options);
+  client.connect();
+  client.authenticate();
+
+  // Namespace browse, then request staging.
+  rpc::Value listing = client.call("srm.ls", {rpc::Value("/exp")});
+  ASSERT_EQ(listing.as_array().size(), 1u);
+  EXPECT_EQ(client.call("srm.size", {rpc::Value("/exp/run9/events.dat")}).as_int(),
+            18);
+
+  std::string token =
+      client.call("srm.prepare_to_get", {rpc::Value("/exp/run9/events.dat")})
+          .as_string();
+  // Poll until READY (bounded).
+  rpc::Value status;
+  for (int i = 0; i < 200; ++i) {
+    status = client.call("srm.status", {rpc::Value(token)});
+    if (status.at("state").as_string() == "READY") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(status.at("state").as_string(), "READY");
+
+  // Read the staged copy through the ordinary file service.
+  std::string cache_path = status.at("cache_path").as_string();
+  auto bytes = client.file_read(cache_path, 0, 100);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "EVTDATA-0123456789");
+
+  EXPECT_TRUE(client.call("srm.release", {rpc::Value(token)}).as_bool());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens::storage

@@ -1,0 +1,205 @@
+// Concurrency stress: many clients hammering one server across threads,
+// mixed RPC + file traffic, connection churn, and overload shedding.
+// These exercise the thread-per-connection server under the conditions
+// the paper's §4 test creates (tens of concurrent keep-alive clients).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "net/socket.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens {
+namespace {
+
+using testing::TempDir;
+using testing::TestPki;
+
+core::ClarensConfig open_config(const TestPki& pki) {
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  core::AclSpec anyone;
+  anyone.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_method_acls = {{"system", anyone}, {"echo", anyone},
+                                {"file", anyone}, {"message", anyone}};
+  return config;
+}
+
+TEST(Stress, ManyThreadsSharedServer) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+
+  constexpr int kThreads = 16;
+  constexpr int kCallsPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        client::ClientOptions options;
+        options.port = server.port();
+        options.credential = pki.alice;
+        options.trust = &pki.trust;
+        client::ClarensClient client(options);
+        client.connect();
+        client.authenticate();
+        for (int i = 0; i < kCallsPerThread; ++i) {
+          std::int64_t v = t * 1000 + i;
+          if (client.call("echo.echo", {rpc::Value(v)}).as_int() != v) {
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // kThreads * (challenge + auth + calls)
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kThreads) * (kCallsPerThread + 2));
+  server.stop();
+}
+
+TEST(Stress, ConnectionChurn) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+  // One session, many short-lived connections (worst-case accept load).
+  std::string session =
+      server.direct_login(pki.alice.certificate.subject().str()).id;
+  for (int i = 0; i < 100; ++i) {
+    client::ClientOptions options;
+    options.port = server.port();
+    options.trust = &pki.trust;
+    client::ClarensClient client(options);
+    client.connect();
+    client.set_session(session);
+    EXPECT_EQ(client.call("echo.echo", {rpc::Value(i)}).as_int(), i);
+    client.close();
+  }
+  server.stop();
+}
+
+TEST(Stress, MixedRpcAndFileTraffic) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  std::string dir = tmp.sub("files");
+  {
+    std::ofstream out(dir + "/shared.bin", std::ios::binary);
+    for (int i = 0; i < 100000; ++i) out.put(static_cast<char>(i));
+  }
+  core::ClarensConfig config = open_config(pki);
+  config.file_roots = {{"/data", dir}};
+  core::FileAcl facl;
+  facl.read.allow_dns = {core::AclSpec::kAnyone};
+  config.initial_file_acls = {{"/data", facl}};
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        client::ClientOptions options;
+        options.port = server.port();
+        options.credential = pki.bob;
+        options.trust = &pki.trust;
+        client::ClarensClient client(options);
+        client.connect();
+        client.authenticate();
+        for (int i = 0; i < 50; ++i) {
+          if (t % 2 == 0) {
+            auto bytes = client.file_read("/data/shared.bin", i * 100, 100);
+            if (bytes.size() != 100) failures.fetch_add(1);
+          } else {
+            auto body = client.get("/data/shared.bin", i * 100, 100).body;
+            if (body.size() != 100) failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(Stress, OverloadShedsWith503) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensConfig config = open_config(pki);
+  config.max_connections = 4;
+  core::ClarensServer server(std::move(config));
+  server.start();
+
+  // Saturate the connection budget with idle keep-alive connections.
+  std::vector<net::TcpConnection> held;
+  for (int i = 0; i < 4; ++i) {
+    held.push_back(net::TcpConnection::connect("127.0.0.1", server.port()));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The next connection is refused politely.
+  net::TcpConnection extra =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  std::string got;
+  std::array<std::uint8_t, 1024> buf;
+  for (;;) {
+    std::size_t n = extra.read(buf);
+    if (n == 0) break;
+    got.append(buf.begin(), buf.begin() + n);
+  }
+  EXPECT_NE(got.find("503"), std::string::npos);
+
+  for (auto& conn : held) conn.close();
+  server.stop();
+}
+
+TEST(Stress, ConcurrentMessagingIsLossless) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(open_config(pki));
+  server.start();
+
+  constexpr int kSenders = 8;
+  constexpr int kPerSender = 50;
+  std::string inbox_dn = pki.alice.certificate.subject().str();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSenders; ++t) {
+    threads.emplace_back([&, t] {
+      client::ClientOptions options;
+      options.port = server.port();
+      options.credential = pki.bob;
+      options.trust = &pki.trust;
+      client::ClarensClient client(options);
+      client.connect();
+      client.authenticate();
+      for (int i = 0; i < kPerSender; ++i) {
+        client.call("message.send",
+                    {rpc::Value(inbox_dn), rpc::Value("s"),
+                     rpc::Value(std::to_string(t * 1000 + i))});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(server.messages().pending(inbox_dn),
+            static_cast<std::size_t>(kSenders * kPerSender));
+  auto all = server.messages().poll(inbox_dn, kSenders * kPerSender);
+  std::set<std::string> bodies;
+  for (const auto& m : all) bodies.insert(m.body);
+  EXPECT_EQ(bodies.size(), static_cast<std::size_t>(kSenders * kPerSender));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens

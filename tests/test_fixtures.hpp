@@ -1,0 +1,69 @@
+// Shared test fixtures: a lazily-created PKI (one CA, a few users, a
+// server credential) reused across test binaries to keep RSA keygen off
+// the per-test path, plus temp-directory helpers.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "crypto/random.hpp"
+#include "pki/authority.hpp"
+#include "pki/certificate.hpp"
+#include "pki/verify.hpp"
+
+namespace clarens::testing {
+
+struct TestPki {
+  pki::CertificateAuthority ca;
+  pki::Credential server;
+  pki::Credential alice;  // /O=testgrid.org/OU=People/CN=Alice Able
+  pki::Credential bob;    // /O=testgrid.org/OU=People/CN=Bob Baker
+  pki::Credential carol;  // /O=othergrid.net/OU=People/CN=Carol Cole
+  pki::TrustStore trust;
+
+  static const TestPki& instance() {
+    static TestPki* pki = [] {
+      auto* p = new TestPki{
+          pki::CertificateAuthority::create(
+              pki::DistinguishedName::parse("/O=testgrid.org/CN=Test CA"), 512),
+          {}, {}, {}, {}, {}};
+      p->server = p->ca.issue_server(pki::DistinguishedName::parse(
+          "/O=testgrid.org/OU=Services/CN=host/test.example.org"));
+      p->alice = p->ca.issue_user(pki::DistinguishedName::parse(
+          "/O=testgrid.org/OU=People/CN=Alice Able"));
+      p->bob = p->ca.issue_user(pki::DistinguishedName::parse(
+          "/O=testgrid.org/OU=People/CN=Bob Baker"));
+      p->carol = p->ca.issue_user(pki::DistinguishedName::parse(
+          "/O=othergrid.net/OU=People/CN=Carol Cole"));
+      p->trust.add_authority(p->ca.certificate());
+      return p;
+    }();
+    return *pki;
+  }
+};
+
+/// Unique temp directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("clarens_test_" + crypto::random_token(8)))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  std::string sub(const std::string& name) const {
+    std::string p = path_ + "/" + name;
+    std::filesystem::create_directories(p);
+    return p;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace clarens::testing

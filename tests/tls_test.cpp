@@ -1,0 +1,206 @@
+// Unit tests for the TLS-like secure channel: handshake success and
+// failure modes, mutual authentication, proxy chains, data transfer, and
+// record tampering.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+
+#include "net/socket.hpp"
+#include "pki/authority.hpp"
+#include "test_fixtures.hpp"
+#include "tls/channel.hpp"
+#include "util/error.hpp"
+
+namespace clarens::tls {
+namespace {
+
+using clarens::testing::TestPki;
+
+struct ChannelPair {
+  std::unique_ptr<SecureChannel> client;
+  std::unique_ptr<SecureChannel> server;
+};
+
+/// Run both halves of the handshake over a loopback socket pair.
+ChannelPair handshake(const TlsConfig& client_config,
+                      const TlsConfig& server_config) {
+  net::TcpListener listener = net::TcpListener::listen(0);
+  std::unique_ptr<SecureChannel> server_channel;
+  std::exception_ptr server_error;
+  std::thread server_thread([&] {
+    try {
+      auto conn = std::make_unique<net::TcpConnection>(listener.accept());
+      server_channel = SecureChannel::accept(std::move(conn), server_config);
+    } catch (...) {
+      server_error = std::current_exception();
+    }
+  });
+
+  std::unique_ptr<SecureChannel> client_channel;
+  std::exception_ptr client_error;
+  try {
+    auto conn = std::make_unique<net::TcpConnection>(
+        net::TcpConnection::connect("127.0.0.1", listener.local_port()));
+    client_channel = SecureChannel::connect(std::move(conn), client_config);
+  } catch (...) {
+    client_error = std::current_exception();
+  }
+  server_thread.join();
+  if (client_error) std::rethrow_exception(client_error);
+  if (server_error) std::rethrow_exception(server_error);
+  return {std::move(client_channel), std::move(server_channel)};
+}
+
+TlsConfig server_config(const TestPki& pki) {
+  TlsConfig config;
+  config.credential = pki.server;
+  config.trust = &pki.trust;
+  return config;
+}
+
+TlsConfig client_config(const TestPki& pki,
+                        std::optional<pki::Credential> credential) {
+  TlsConfig config;
+  config.credential = std::move(credential);
+  config.trust = &pki.trust;
+  return config;
+}
+
+TEST(Tls, MutualHandshakeExchangesIdentities) {
+  const TestPki& pki = TestPki::instance();
+  ChannelPair pair = handshake(client_config(pki, pki.alice), server_config(pki));
+
+  ASSERT_TRUE(pair.client->peer().has_value());
+  EXPECT_EQ(pair.client->peer()->identity, pki.server.certificate.subject());
+  ASSERT_TRUE(pair.server->peer().has_value());
+  EXPECT_EQ(pair.server->peer()->identity, pki.alice.certificate.subject());
+}
+
+TEST(Tls, AnonymousClientAllowedUnlessRequired) {
+  const TestPki& pki = TestPki::instance();
+  ChannelPair pair =
+      handshake(client_config(pki, std::nullopt), server_config(pki));
+  EXPECT_FALSE(pair.server->peer().has_value());
+
+  TlsConfig strict = server_config(pki);
+  strict.require_peer_certificate = true;
+  EXPECT_THROW(handshake(client_config(pki, std::nullopt), strict), AuthError);
+}
+
+TEST(Tls, DataRoundTripBothDirections) {
+  const TestPki& pki = TestPki::instance();
+  ChannelPair pair = handshake(client_config(pki, pki.alice), server_config(pki));
+
+  pair.client->write_all(std::string_view("from client"));
+  std::array<std::uint8_t, 64> buf;
+  std::size_t n = pair.server->read(buf);
+  EXPECT_EQ(std::string(buf.begin(), buf.begin() + n), "from client");
+
+  pair.server->write_all(std::string_view("from server"));
+  n = pair.client->read(buf);
+  EXPECT_EQ(std::string(buf.begin(), buf.begin() + n), "from server");
+}
+
+TEST(Tls, LargeTransferSpansManyRecords) {
+  const TestPki& pki = TestPki::instance();
+  ChannelPair pair = handshake(client_config(pki, pki.alice), server_config(pki));
+
+  // > 16 KiB forces multiple records.
+  std::string big(100 * 1024, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 26));
+  }
+  std::thread writer([&] { pair.client->write_all(big); });
+  std::string got;
+  std::array<std::uint8_t, 8192> buf;
+  while (got.size() < big.size()) {
+    std::size_t n = pair.server->read(buf);
+    ASSERT_GT(n, 0u);
+    got.append(buf.begin(), buf.begin() + n);
+  }
+  writer.join();
+  EXPECT_EQ(got, big);
+}
+
+TEST(Tls, ClientRejectsUntrustedServer) {
+  const TestPki& pki = TestPki::instance();
+  // Server with a credential from a CA the client does not trust.
+  auto rogue_ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=rogue/CN=Rogue CA"), 512);
+  auto rogue_server = rogue_ca.issue_server(
+      pki::DistinguishedName::parse("/O=rogue/CN=host/evil.example"));
+  pki::TrustStore rogue_trust;
+  rogue_trust.add_authority(rogue_ca.certificate());
+
+  TlsConfig server;
+  server.credential = rogue_server;
+  server.trust = &rogue_trust;  // server trusts its own CA
+  EXPECT_THROW(handshake(client_config(pki, pki.alice), server), AuthError);
+}
+
+TEST(Tls, ServerRejectsUntrustedClient) {
+  const TestPki& pki = TestPki::instance();
+  auto rogue_ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=rogue/CN=Rogue CA"), 512);
+  auto mallory =
+      rogue_ca.issue_user(pki::DistinguishedName::parse("/O=rogue/CN=M"));
+
+  // Client trusts the real CA (to accept the server) but presents a
+  // certificate from the rogue CA.
+  TlsConfig client;
+  client.credential = mallory;
+  client.trust = &pki.trust;
+  EXPECT_THROW(handshake(client, server_config(pki)), AuthError);
+}
+
+TEST(Tls, ProxyChainAuthenticatesAsUser) {
+  const TestPki& pki = TestPki::instance();
+  pki::Credential proxy = pki::issue_proxy(pki.alice);
+  TlsConfig client;
+  client.credential = proxy;
+  client.chain = {pki.alice.certificate};
+  client.trust = &pki.trust;
+  ChannelPair pair = handshake(client, server_config(pki));
+  ASSERT_TRUE(pair.server->peer().has_value());
+  EXPECT_EQ(pair.server->peer()->identity, pki.alice.certificate.subject());
+  EXPECT_TRUE(pair.server->peer()->via_proxy);
+}
+
+TEST(Tls, TamperedRecordDetected) {
+  const TestPki& pki = TestPki::instance();
+  // Manual wiring so we can corrupt bytes in flight.
+  net::TcpListener listener = net::TcpListener::listen(0);
+  std::unique_ptr<SecureChannel> server_channel;
+  std::thread server_thread([&] {
+    auto conn = std::make_unique<net::TcpConnection>(listener.accept());
+    server_channel = SecureChannel::accept(std::move(conn), server_config(pki));
+  });
+  auto raw = std::make_unique<net::TcpConnection>(
+      net::TcpConnection::connect("127.0.0.1", listener.local_port()));
+  net::TcpConnection* raw_ptr = raw.get();
+  auto client = SecureChannel::connect(std::move(raw), client_config(pki, pki.alice));
+  server_thread.join();
+
+  // Build a syntactically valid data record with garbage ciphertext:
+  // type=2, length=40, payload=junk (8 data bytes + 32 "MAC").
+  std::array<std::uint8_t, 45> forged{};
+  forged[0] = 2;
+  forged[4] = 40;
+  raw_ptr->write_all(std::span<const std::uint8_t>(forged.data(), forged.size()));
+
+  std::array<std::uint8_t, 16> buf;
+  EXPECT_THROW(server_channel->read(buf), AuthError);
+  client->close();
+}
+
+TEST(Tls, ReadReturnsZeroAfterPeerClose) {
+  const TestPki& pki = TestPki::instance();
+  ChannelPair pair = handshake(client_config(pki, pki.alice), server_config(pki));
+  pair.client->close();
+  std::array<std::uint8_t, 8> buf;
+  EXPECT_EQ(pair.server->read(buf), 0u);
+}
+
+}  // namespace
+}  // namespace clarens::tls

@@ -1,0 +1,176 @@
+// End-to-end tests of the command-line tools: clarens_keygen produces a
+// usable PKI, clarensd boots from a config file, and clarens_call talks
+// to it — the full deployment path a site operator follows.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "client/client.hpp"
+#include "pki/certificate.hpp"
+#include "pki/verify.hpp"
+#include "test_fixtures.hpp"
+#include "util/clock.hpp"
+
+namespace clarens {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::TempDir;
+
+/// Directory holding the tool binaries: <build>/tools next to our own
+/// <build>/tests.
+fs::path tools_dir() {
+  return fs::canonical("/proc/self/exe").parent_path().parent_path() / "tools";
+}
+
+/// Run a tool synchronously; returns its exit code.
+int run_tool(const std::vector<std::string>& argv) {
+  std::string command;
+  for (const auto& arg : argv) {
+    command += "'" + arg + "' ";
+  }
+  command += "> /dev/null 2>&1";
+  int rc = std::system(command.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+TEST(Tools, KeygenProducesVerifiablePki) {
+  TempDir tmp;
+  fs::path keygen = tools_dir() / "clarens_keygen";
+  ASSERT_TRUE(fs::exists(keygen)) << keygen;
+
+  std::string ca_cred = tmp.path() + "/ca.cred";
+  std::string user_cred = tmp.path() + "/user.cred";
+  std::string server_cred = tmp.path() + "/server.cred";
+  std::string proxy_cred = tmp.path() + "/proxy.cred";
+  std::string ca_cert = tmp.path() + "/ca.cert";
+
+  ASSERT_EQ(run_tool({keygen.string(), "ca", "/O=tools.org/CN=Tool CA",
+                      ca_cred}),
+            0);
+  ASSERT_EQ(run_tool({keygen.string(), "user", ca_cred,
+                      "/O=tools.org/OU=People/CN=Toolsmith", user_cred}),
+            0);
+  ASSERT_EQ(run_tool({keygen.string(), "server", ca_cred,
+                      "/O=tools.org/OU=Services/CN=host/t.org", server_cred}),
+            0);
+  ASSERT_EQ(run_tool({keygen.string(), "proxy", user_cred, proxy_cred, "6"}),
+            0);
+  ASSERT_EQ(run_tool({keygen.string(), "export-cert", ca_cred, ca_cert}), 0);
+  ASSERT_EQ(run_tool({keygen.string(), "show", user_cred}), 0);
+
+  // The generated material verifies as a coherent PKI.
+  pki::Credential ca = pki::Credential::decode(read_file(ca_cred));
+  pki::Credential user = pki::Credential::decode(read_file(user_cred));
+  pki::Credential proxy = pki::Credential::decode(read_file(proxy_cred));
+  pki::Certificate exported = pki::Certificate::decode(read_file(ca_cert));
+  EXPECT_EQ(exported, ca.certificate);
+  // The exported certificate must not leak the private key.
+  EXPECT_EQ(read_file(ca_cert).find("private-key:"), std::string::npos);
+
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate);
+  EXPECT_TRUE(trust.verify({user.certificate}, util::unix_now()).ok);
+  auto delegated = trust.verify({proxy.certificate, user.certificate},
+                                util::unix_now());
+  EXPECT_TRUE(delegated.ok);
+  EXPECT_TRUE(delegated.via_proxy);
+
+  // Invalid invocations fail with a usage error, not a crash.
+  EXPECT_NE(run_tool({keygen.string(), "ca"}), 0);
+  EXPECT_NE(run_tool({keygen.string(), "bogus", "x", "y"}), 0);
+}
+
+TEST(Tools, DaemonBootsAndServesCalls) {
+  TempDir tmp;
+  fs::path keygen = tools_dir() / "clarens_keygen";
+  fs::path daemon = tools_dir() / "clarensd";
+  fs::path call = tools_dir() / "clarens_call";
+  ASSERT_TRUE(fs::exists(daemon));
+  ASSERT_TRUE(fs::exists(call));
+
+  std::string ca_cred = tmp.path() + "/ca.cred";
+  std::string user_cred = tmp.path() + "/user.cred";
+  std::string ca_cert = tmp.path() + "/ca.cert";
+  ASSERT_EQ(run_tool({keygen.string(), "ca", "/O=d.org/CN=CA", ca_cred}), 0);
+  ASSERT_EQ(run_tool({keygen.string(), "user", ca_cred,
+                      "/O=d.org/OU=People/CN=Op", user_cred}),
+            0);
+  ASSERT_EQ(run_tool({keygen.string(), "export-cert", ca_cred, ca_cert}), 0);
+
+  // Pick a port deterministically-ish from the pid to avoid collisions.
+  int port = 20000 + (getpid() % 20000);
+  std::string conf = tmp.path() + "/clarens.conf";
+  {
+    std::ofstream out(conf);
+    out << "port " << port << "\n"
+        << "trust_file " << ca_cert << "\n"
+        << "allow system *\n"
+        << "allow echo *\n";
+  }
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    execl(daemon.c_str(), "clarensd", conf.c_str(), nullptr);
+    _exit(127);
+  }
+
+  // Wait for the daemon to come up, then exercise it with the C++ client.
+  pki::Credential ca = pki::Credential::decode(read_file(ca_cred));
+  pki::Credential user = pki::Credential::decode(read_file(user_cred));
+  pki::TrustStore trust;
+  trust.add_authority(ca.certificate);
+
+  client::ClientOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.credential = user;
+  options.trust = &trust;
+  bool connected = false;
+  for (int i = 0; i < 100 && !connected; ++i) {
+    try {
+      client::ClarensClient probe(options);
+      probe.connect();
+      probe.authenticate();
+      rpc::Value who = probe.call("system.whoami");
+      EXPECT_EQ(who.at("dn").as_string(), "/O=d.org/OU=People/CN=Op");
+      connected = true;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(connected);
+
+  // The CLI client works against the daemon too.
+  if (connected) {
+    std::string cli = "'" + call.string() + "' --port " + std::to_string(port) +
+                      " --ca '" + ca_cert + "' --credential '" + user_cred +
+                      "' echo.echo '[\"cli works\"]' > " + tmp.path() +
+                      "/cli.out 2>/dev/null";
+    EXPECT_EQ(WEXITSTATUS(std::system(cli.c_str())), 0);
+    EXPECT_NE(read_file(tmp.path() + "/cli.out").find("cli works"),
+              std::string::npos);
+  }
+
+  kill(child, SIGTERM);
+  int status = 0;
+  waitpid(child, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);  // clean shutdown on SIGTERM
+}
+
+}  // namespace
+}  // namespace clarens

@@ -1,0 +1,279 @@
+// Unit tests for clarens::util — strings, codecs, config, buffer, clock,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/buffer.hpp"
+#include "util/clock.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clarens::util {
+namespace {
+
+// ---------- strings ----------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitTrimmedDropsEmptyAndTrims) {
+  EXPECT_EQ(split_trimmed(" a, b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_trimmed("  ,  ", ',').empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, CaseInsensitiveEquals) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(Strings, PrefixSuffix) {
+  EXPECT_TRUE(starts_with("file.read", "file."));
+  EXPECT_FALSE(starts_with("file", "file."));
+  EXPECT_TRUE(ends_with("data.bin", ".bin"));
+  EXPECT_FALSE(ends_with("bin", "data.bin"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "/"), "a/b/c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(Strings, ParseIntValid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("9223372036854775807"), INT64_MAX);
+}
+
+TEST(Strings, ParseIntInvalid) {
+  EXPECT_THROW(parse_int(""), ParseError);
+  EXPECT_THROW(parse_int("12x"), ParseError);
+  EXPECT_THROW(parse_int("x12"), ParseError);
+  EXPECT_THROW(parse_int("99999999999999999999999"), ParseError);
+}
+
+TEST(Strings, ParseUintRejectsNegative) {
+  EXPECT_EQ(parse_uint("123"), 123u);
+  EXPECT_THROW(parse_uint("-1"), ParseError);
+}
+
+// ---------- hex / base64 ----------
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = hex_encode(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  EXPECT_EQ(hex_decode(hex), data);
+  EXPECT_EQ(hex_decode("0001ABFF7F"), data);  // uppercase accepted
+}
+
+TEST(Hex, Invalid) {
+  EXPECT_THROW(hex_decode("abc"), ParseError);   // odd length
+  EXPECT_THROW(hex_decode("zz"), ParseError);    // non-hex
+}
+
+TEST(Base64, KnownVectors) {
+  auto enc = [](std::string_view s) {
+    return base64_encode(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  };
+  // RFC 4648 vectors.
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "Zg==");
+  EXPECT_EQ(enc("fo"), "Zm8=");
+  EXPECT_EQ(enc("foo"), "Zm9v");
+  EXPECT_EQ(enc("foob"), "Zm9vYg==");
+  EXPECT_EQ(enc("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(enc("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeIgnoresWhitespace) {
+  auto out = base64_decode("Zm9v\nYmFy");
+  EXPECT_EQ(std::string(out.begin(), out.end()), "foobar");
+}
+
+TEST(Base64, DecodeRejectsGarbage) {
+  EXPECT_THROW(base64_decode("!!!!"), ParseError);
+  EXPECT_THROW(base64_decode("Zg==Zg"), ParseError);  // data after padding
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, RandomBlobs) {
+  std::vector<std::uint8_t> data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>((i * 131 + 7) & 0xff);
+  }
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+  EXPECT_EQ(hex_decode(hex_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 63, 64, 65, 255,
+                                           256, 1000, 4096));
+
+// ---------- config ----------
+
+TEST(Config, ParseBasics) {
+  Config config = Config::parse(
+      "# a comment\n"
+      "port 8080\n"
+      "host  grid.example.org\n"
+      "\n"
+      "admin /O=x/CN=a\n"
+      "admin /O=x/CN=b\n");
+  EXPECT_EQ(config.get_int_or("port", 0), 8080);
+  EXPECT_EQ(config.get_or("host", ""), "grid.example.org");
+  EXPECT_EQ(config.get_all("admin").size(), 2u);
+  EXPECT_FALSE(config.get("missing").has_value());
+  EXPECT_EQ(config.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(Config, ValuesMayContainSpaces) {
+  Config config = Config::parse("banner Welcome to the grid\n");
+  EXPECT_EQ(config.get_or("banner", ""), "Welcome to the grid");
+}
+
+TEST(Config, MissingValueIsError) {
+  EXPECT_THROW(Config::parse("orphankey\n"), clarens::ParseError);
+}
+
+TEST(Config, Booleans) {
+  Config config = Config::parse("a yes\nb off\nc 1\nd false\n");
+  EXPECT_TRUE(config.get_bool_or("a", false));
+  EXPECT_FALSE(config.get_bool_or("b", true));
+  EXPECT_TRUE(config.get_bool_or("c", false));
+  EXPECT_FALSE(config.get_bool_or("d", true));
+  EXPECT_TRUE(config.get_bool_or("missing", true));
+  Config bad = Config::parse("x maybe\n");
+  EXPECT_THROW(bad.get_bool_or("x", false), clarens::ParseError);
+}
+
+TEST(Config, SetReplacesAddAccumulates) {
+  Config config;
+  config.add("k", "1");
+  config.add("k", "2");
+  EXPECT_EQ(config.get_all("k").size(), 2u);
+  config.set("k", "3");
+  EXPECT_EQ(config.get_all("k"), (std::vector<std::string>{"3"}));
+}
+
+// ---------- buffer ----------
+
+TEST(Buffer, WriteReadIntegers) {
+  Buffer buffer;
+  buffer.write_u8(0xab);
+  buffer.write_u16(0x1234);
+  buffer.write_u32(0xdeadbeef);
+  buffer.write_u64(0x0102030405060708ull);
+  EXPECT_EQ(buffer.readable(), 15u);
+  EXPECT_EQ(buffer.read_u8(), 0xab);
+  EXPECT_EQ(buffer.read_u16(), 0x1234);
+  EXPECT_EQ(buffer.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(buffer.read_u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Buffer, UnderrunThrows) {
+  Buffer buffer;
+  buffer.write_u8(1);
+  EXPECT_THROW(buffer.read_u16(), clarens::ParseError);
+}
+
+TEST(Buffer, ConsumeAndCompact) {
+  Buffer buffer;
+  buffer.write(std::string_view("hello world"));
+  buffer.consume(6);
+  EXPECT_EQ(buffer.peek_view(), "world");
+  buffer.compact();
+  EXPECT_EQ(buffer.peek_view(), "world");
+  EXPECT_EQ(buffer.read_string(5), "world");
+  EXPECT_TRUE(buffer.empty());
+}
+
+// ---------- clock ----------
+
+TEST(Clock, Iso8601RoundTrip) {
+  std::int64_t t = 1120000000;  // 2005-06-28, the Clarens era
+  std::string text = iso8601(t);
+  EXPECT_EQ(text, "20050628T23:06:40");
+  EXPECT_EQ(parse_iso8601(text), t);
+}
+
+TEST(Clock, Iso8601Invalid) {
+  EXPECT_THROW(parse_iso8601("not-a-date"), clarens::ParseError);
+  EXPECT_THROW(parse_iso8601("20051350T00:00:00"), clarens::ParseError);
+}
+
+class Iso8601RoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Iso8601RoundTrip, Identity) {
+  EXPECT_EQ(parse_iso8601(iso8601(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, Iso8601RoundTrip,
+                         ::testing::Values(0, 1, 86399, 86400, 1120000000,
+                                           1751932800, 2147483647));
+
+// ---------- thread pool ----------
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace clarens::util

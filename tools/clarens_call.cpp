@@ -1,0 +1,130 @@
+// clarens_call — command-line RPC client.
+//
+// Usage:
+//   clarens_call [options] <method> [json-params]
+//
+// Options:
+//   --host H            server host (default 127.0.0.1)
+//   --port P            server port (required)
+//   --credential FILE   client credential for authentication
+//   --chain FILE        extra chain certificate (user cert for proxies)
+//   --ca FILE           trusted CA certificate (required for auth/TLS)
+//   --tls               encrypt the connection
+//   --session TOKEN     reuse an existing session instead of logging in
+//   --protocol NAME     xmlrpc | jsonrpc | soap | binrpc (default xmlrpc)
+//
+// Parameters are given as a JSON array; the result prints as JSON:
+//   clarens_call --port 8080 --ca ca.cert --credential me.cred
+//       file.read '["/data/events.dat", 0, 1024]'
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "client/client.hpp"
+#include "rpc/fault.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "util/error.hpp"
+
+using namespace clarens;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SystemError("cannot read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: clarens_call --port P [--host H] [--ca FILE]\n"
+               "         [--credential FILE] [--chain FILE] [--tls]\n"
+               "         [--session TOKEN] [--protocol NAME]\n"
+               "         <method> [json-params]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  client::ClientOptions options;
+  pki::TrustStore trust;
+  std::string session;
+  std::string method;
+  std::string params_json = "[]";
+  bool have_ca = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw ParseError("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--host") {
+        options.host = next();
+      } else if (arg == "--port") {
+        options.port = static_cast<std::uint16_t>(std::atoi(next()));
+      } else if (arg == "--credential") {
+        options.credential = pki::Credential::decode(read_file(next()));
+      } else if (arg == "--chain") {
+        options.chain.push_back(pki::Certificate::decode(read_file(next())));
+      } else if (arg == "--ca") {
+        trust.add_authority(pki::Certificate::decode(read_file(next())));
+        have_ca = true;
+      } else if (arg == "--tls") {
+        options.use_tls = true;
+      } else if (arg == "--session") {
+        session = next();
+      } else if (arg == "--protocol") {
+        std::string name = next();
+        if (name == "xmlrpc") options.protocol = rpc::Protocol::XmlRpc;
+        else if (name == "jsonrpc") options.protocol = rpc::Protocol::JsonRpc;
+        else if (name == "soap") options.protocol = rpc::Protocol::Soap;
+        else if (name == "binrpc") options.protocol = rpc::Protocol::Binary;
+        else throw ParseError("unknown protocol: " + name);
+      } else if (method.empty()) {
+        method = arg;
+      } else {
+        params_json = arg;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "clarens_call: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (method.empty() || options.port == 0) return usage();
+
+  try {
+    if (have_ca) options.trust = &trust;
+    client::ClarensClient client(options);
+    client.connect();
+    if (!session.empty()) {
+      client.set_session(session);
+    } else if (options.credential) {
+      client.authenticate();
+      std::fprintf(stderr, "session: %s\n", client.session().c_str());
+    }
+
+    rpc::Value params_value = rpc::jsonrpc::parse_value(params_json);
+    std::vector<rpc::Value> params;
+    if (params_value.type() == rpc::Value::Type::Array) {
+      params = params_value.as_array();
+    } else if (!params_value.is_nil()) {
+      throw ParseError("params must be a JSON array");
+    }
+
+    rpc::Value result = client.call(method, params);
+    std::printf("%s\n", rpc::jsonrpc::serialize_value(result).c_str());
+    return 0;
+  } catch (const rpc::Fault& fault) {
+    std::fprintf(stderr, "fault %d: %s\n", fault.code(), fault.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clarens_call: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,109 @@
+// clarens_keygen — create and manage the PKI material the framework uses.
+//
+// Usage:
+//   clarens_keygen ca     <dn> <out.cred>                 new self-signed CA
+//   clarens_keygen user   <ca.cred> <dn> <out.cred>       issue a user credential
+//   clarens_keygen server <ca.cred> <dn> <out.cred>       issue a server credential
+//   clarens_keygen proxy  <user.cred> <out.cred> [hours]  issue a proxy
+//   clarens_keygen export-cert <in.cred> <out.cert>       strip the private key
+//   clarens_keygen show   <file>                          print certificate fields
+//
+// Credentials (certificate + private key) use the framework's text
+// encoding; guard them like any private key file.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "pki/authority.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+using namespace clarens;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SystemError("cannot read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SystemError("cannot write: " + path);
+  out << content;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: clarens_keygen ca <dn> <out.cred>\n"
+               "       clarens_keygen user <ca.cred> <dn> <out.cred>\n"
+               "       clarens_keygen server <ca.cred> <dn> <out.cred>\n"
+               "       clarens_keygen proxy <user.cred> <out.cred> [hours]\n"
+               "       clarens_keygen export-cert <in.cred> <out.cert>\n"
+               "       clarens_keygen show <file>\n");
+  return 2;
+}
+
+void show(const pki::Certificate& cert) {
+  std::printf("subject:    %s\n", cert.subject().str().c_str());
+  std::printf("issuer:     %s\n", cert.issuer().str().c_str());
+  std::printf("kind:       %s\n", pki::to_string(cert.kind()).c_str());
+  std::printf("serial:     %s\n", cert.serial().c_str());
+  std::printf("not-before: %s\n", util::iso8601(cert.not_before()).c_str());
+  std::printf("not-after:  %s\n", util::iso8601(cert.not_after()).c_str());
+  std::printf("key bits:   %zu\n", cert.public_key().n.bit_length());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string command = argv[1];
+  try {
+    if (command == "ca" && argc == 4) {
+      auto ca = pki::CertificateAuthority::create(
+          pki::DistinguishedName::parse(argv[2]));
+      write_file(argv[3], ca.credential().encode());
+      std::printf("wrote CA credential %s\n", argv[3]);
+      show(ca.certificate());
+    } else if ((command == "user" || command == "server") && argc == 5) {
+      pki::CertificateAuthority ca(pki::Credential::decode(read_file(argv[2])));
+      pki::Credential cred =
+          command == "user"
+              ? ca.issue_user(pki::DistinguishedName::parse(argv[3]))
+              : ca.issue_server(pki::DistinguishedName::parse(argv[3]));
+      write_file(argv[4], cred.encode());
+      std::printf("wrote %s credential %s\n", command.c_str(), argv[4]);
+      show(cred.certificate);
+    } else if (command == "proxy" && (argc == 4 || argc == 5)) {
+      pki::Credential user = pki::Credential::decode(read_file(argv[2]));
+      long hours = argc == 5 ? std::strtol(argv[4], nullptr, 10) : 12;
+      pki::Credential proxy = pki::issue_proxy(user, hours * 3600);
+      write_file(argv[3], proxy.encode());
+      std::printf("wrote proxy credential %s (%ld h)\n", argv[3], hours);
+      show(proxy.certificate);
+    } else if (command == "export-cert" && argc == 4) {
+      pki::Credential cred = pki::Credential::decode(read_file(argv[2]));
+      write_file(argv[3], cred.certificate.encode());
+      std::printf("wrote certificate %s (no private key)\n", argv[3]);
+    } else if (command == "show" && argc == 3) {
+      std::string text = read_file(argv[2]);
+      if (text.find("private-key:") != std::string::npos) {
+        show(pki::Credential::decode(text).certificate);
+        std::printf("(credential: includes private key)\n");
+      } else {
+        show(pki::Certificate::decode(text));
+      }
+    } else {
+      return usage();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clarens_keygen: %s\n", e.what());
+    return 1;
+  }
+}

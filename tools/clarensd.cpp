@@ -1,0 +1,64 @@
+// clarensd — the standalone Clarens server daemon.
+//
+// Usage: clarensd <config-file>
+//
+// Loads the configuration (see src/core/config_loader.hpp for the keys),
+// starts the server, optionally wires a discovery station/SRM backend,
+// and runs until SIGINT/SIGTERM.
+//
+// A minimal deployment:
+//   clarens_keygen ca "/O=site.org/CN=Site CA" ca.cred
+//   clarens_keygen server ca.cred "/O=site.org/OU=Services/CN=host/node1" server.cred
+//   clarens_keygen export-cert ca.cred ca.cert
+//   cat > clarens.conf <<EOF
+//   port 8080
+//   credential_file server.cred
+//   trust_file ca.cert
+//   admin /O=site.org/OU=People/CN=Admin
+//   allow system *
+//   EOF
+//   clarensd clarens.conf
+#include <csignal>
+#include <cstdio>
+#include <semaphore>
+
+#include "core/config_loader.hpp"
+#include "core/server.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+std::binary_semaphore g_shutdown(0);
+
+void handle_signal(int) { g_shutdown.release(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: clarensd <config-file>\n");
+    return 2;
+  }
+  clarens::util::set_log_level(clarens::util::LogLevel::Info);
+  try {
+    clarens::core::ClarensConfig config =
+        clarens::core::load_config_file(argv[1]);
+    clarens::core::ClarensServer server(std::move(config));
+    server.start();
+    std::printf("clarensd: serving at %s (%zu methods)\n",
+                server.url().c_str(), server.registry().size());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    g_shutdown.acquire();
+
+    std::printf("clarensd: shutting down (%llu requests served)\n",
+                static_cast<unsigned long long>(server.requests_served()));
+    server.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clarensd: %s\n", e.what());
+    return 1;
+  }
+}
