@@ -73,7 +73,64 @@ bool group_matches(const std::vector<std::string>& groups,
   return false;
 }
 
+bool compiled_dn_matches(bool anyone,
+                         const std::vector<pki::DistinguishedName>& prefixes,
+                         const pki::DistinguishedName& dn) {
+  if (anyone) return true;
+  for (const auto& prefix : prefixes) {
+    if (prefix.is_prefix_of(dn)) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+CompiledAclSpec compile_spec(const AclSpec& spec) {
+  CompiledAclSpec out;
+  out.order = spec.order;
+  for (const auto& prefix : spec.allow_dns) {
+    if (prefix == AclSpec::kAnyone) {
+      out.allow_anyone = true;
+      continue;
+    }
+    try {
+      out.allow_dns.push_back(pki::DistinguishedName::parse(prefix));
+    } catch (const ParseError&) {
+      // A malformed prefix can never match; dropping it preserves the
+      // interpreted semantics of dn_matches above.
+    }
+  }
+  for (const auto& prefix : spec.deny_dns) {
+    if (prefix == AclSpec::kAnyone) {
+      out.deny_anyone = true;
+      continue;
+    }
+    try {
+      out.deny_dns.push_back(pki::DistinguishedName::parse(prefix));
+    } catch (const ParseError&) {
+    }
+  }
+  out.allow_groups = spec.allow_groups;
+  out.deny_groups = spec.deny_groups;
+  return out;
+}
+
+AclDecision evaluate_compiled(const CompiledAclSpec& spec,
+                              const pki::DistinguishedName& dn,
+                              const VoManager& vo) {
+  bool allowed = compiled_dn_matches(spec.allow_anyone, spec.allow_dns, dn) ||
+                 group_matches(spec.allow_groups, dn, vo);
+  bool denied = compiled_dn_matches(spec.deny_anyone, spec.deny_dns, dn) ||
+                group_matches(spec.deny_groups, dn, vo);
+  if (spec.order == AclSpec::Order::AllowDeny) {
+    if (denied) return AclDecision::Deny;
+    if (allowed) return AclDecision::Allow;
+  } else {
+    if (allowed) return AclDecision::Allow;
+    if (denied) return AclDecision::Deny;
+  }
+  return AclDecision::Unspecified;
+}
 
 AclDecision evaluate_spec(const AclSpec& spec, const pki::DistinguishedName& dn,
                           const VoManager& vo) {
@@ -135,6 +192,9 @@ std::vector<std::string> AclManager::path_chain(const std::string& path) {
 void AclManager::set_method_acl(const std::string& method_path,
                                 const AclSpec& spec) {
   store_.put(kMethodTable, method_path, encode_spec(spec));
+  // Invalidate after the store holds the new spec: any check that starts
+  // once this returns observes the bumped generation and re-reads.
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 std::optional<AclSpec> AclManager::get_method_acl(
@@ -146,22 +206,51 @@ std::optional<AclSpec> AclManager::get_method_acl(
 
 void AclManager::remove_method_acl(const std::string& method_path) {
   store_.erase(kMethodTable, method_path);
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<std::string> AclManager::list_method_acls() const {
   return store_.keys(kMethodTable);
 }
 
+std::shared_ptr<const CompiledAclSpec> AclManager::compiled_level(
+    const std::string& level) const {
+  std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  Shard& shard = shards_[std::hash<std::string>{}(level) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.stamp != gen) {
+    shard.entries.clear();
+    shard.stamp = gen;
+  }
+  auto it = shard.entries.find(level);
+  if (it != shard.entries.end()) return it->second;
+  auto text = store_.get(kMethodTable, level);
+  std::shared_ptr<const CompiledAclSpec> compiled;
+  if (text) {
+    compiled =
+        std::make_shared<const CompiledAclSpec>(compile_spec(decode_spec(*text)));
+  }
+  // A mutation may have raced our store read; the entry is then stamped
+  // with the older generation and swept on the next lookup.
+  shard.entries.emplace(level, compiled);
+  return compiled;
+}
+
 bool AclManager::check_method(const std::string& method,
                               const pki::DistinguishedName& dn) const {
-  for (const auto& level : method_chain(method)) {
-    auto text = store_.get(kMethodTable, level);
-    if (!text) continue;
-    switch (evaluate_spec(decode_spec(*text), dn, vo_)) {
-      case AclDecision::Allow: return true;
-      case AclDecision::Deny: return false;
-      case AclDecision::Unspecified: break;
+  // Walk "a.b.c" -> "a.b" -> "a" in place (no per-call chain vector).
+  std::string level = method;
+  for (;;) {
+    if (auto spec = compiled_level(level)) {
+      switch (evaluate_compiled(*spec, dn, vo_)) {
+        case AclDecision::Allow: return true;
+        case AclDecision::Deny: return false;
+        case AclDecision::Unspecified: break;
+      }
     }
+    std::size_t dot = level.rfind('.');
+    if (dot == std::string::npos) break;
+    level.resize(dot);
   }
   return default_allow_;
 }

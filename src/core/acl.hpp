@@ -11,10 +11,24 @@
 // unless specifically denied there. Each level yields Allow, Deny, or
 // Unspecified; the first decisive level wins. If no level decides, the
 // manager's default policy applies.
+//
+// Method ACLs are the second per-request access check, so check_method
+// runs off a sharded cache of *compiled* specs: the stored JSON is
+// decoded once and its DN prefixes pre-parsed, keyed by hierarchy level
+// (absent levels cache as negative entries). A single generation counter
+// bumped by every method-ACL mutation invalidates the whole cache —
+// mutations are administrative and rare, so correctness is bought with
+// one atomic increment and there is no per-entry staleness to reason
+// about. File ACLs are not on the RPC hot path and stay uncached.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/store.hpp"
@@ -45,6 +59,24 @@ enum class AclDecision { Allow, Deny, Unspecified };
 ///   deny,allow: a matching allow wins over a matching deny.
 AclDecision evaluate_spec(const AclSpec& spec, const pki::DistinguishedName& dn,
                           const VoManager& vo);
+
+/// An AclSpec decoded for repeated evaluation: DN prefixes parsed once
+/// (malformed entries dropped — they can never match) and the anyone
+/// wildcard lifted out.
+struct CompiledAclSpec {
+  AclSpec::Order order = AclSpec::Order::AllowDeny;
+  bool allow_anyone = false;
+  bool deny_anyone = false;
+  std::vector<pki::DistinguishedName> allow_dns;
+  std::vector<pki::DistinguishedName> deny_dns;
+  std::vector<std::string> allow_groups;
+  std::vector<std::string> deny_groups;
+};
+
+CompiledAclSpec compile_spec(const AclSpec& spec);
+AclDecision evaluate_compiled(const CompiledAclSpec& spec,
+                              const pki::DistinguishedName& dn,
+                              const VoManager& vo);
 
 struct FileAcl {
   AclSpec read;
@@ -84,14 +116,32 @@ class AclManager {
   bool default_allow() const { return default_allow_; }
 
  private:
+  static constexpr std::size_t kShards = 8;
+
+  /// nullptr value = negative entry (no ACL stored at that level).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::uint64_t stamp = 0;  // generation the contents belong to
+    std::unordered_map<std::string, std::shared_ptr<const CompiledAclSpec>>
+        entries;
+  };
+
   bool check_file(const std::string& path, const pki::DistinguishedName& dn,
                   bool write) const;
   static std::vector<std::string> method_chain(const std::string& method);
   static std::vector<std::string> path_chain(const std::string& path);
 
+  /// Cached compiled spec for one hierarchy level (nullptr when none).
+  std::shared_ptr<const CompiledAclSpec> compiled_level(
+      const std::string& level) const;
+
   db::Store& store_;
   VoManager& vo_;
   bool default_allow_;
+  // Bumped after every method-ACL mutation reaches the store, so by the
+  // time a setter returns no check can serve the previous spec.
+  std::atomic<std::uint64_t> generation_{1};
+  mutable Shard shards_[kShards];
 };
 
 /// Serialization (DB storage format + RPC surface).

@@ -185,18 +185,20 @@ Session ClarensServer::direct_login(const std::string& identity_dn) {
   return sessions_->create(identity_dn, /*via_proxy=*/false);
 }
 
-Session ClarensServer::check_session(const std::string& session_id) const {
+std::shared_ptr<const Session> ClarensServer::check_session(
+    const std::string& session_id) const {
   if (session_id.empty()) throw AuthError("no session token supplied");
-  return sessions_->lookup(session_id);
+  return sessions_->lookup_shared(session_id);
 }
 
 void ClarensServer::check_acl(const std::string& method,
                               const pki::DistinguishedName& dn) const {
-  // Root administrators bypass method ACLs (they own the ACL tables).
+  // ACL first: the common case is an explicit allow, and the root-admin
+  // bypass (root administrators own the ACL tables) only matters when
+  // the ACL chain would deny.
+  if (acl_->check_method(method, dn)) return;
   if (vo_->is_root_admin(dn)) return;
-  if (!acl_->check_method(method, dn)) {
-    throw AccessError("access denied to method '" + method + "'");
-  }
+  throw AccessError("access denied to method '" + method + "'");
 }
 
 void ClarensServer::start_publisher() {
@@ -256,15 +258,15 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
         context.via_proxy = peer.tls_identity->via_proxy;
       }
     } else {
-      // Check 1: session lookup (database).
+      // Check 1: session lookup (cache, write-through to the database).
       std::string token = request.headers.get_or(kSessionHeader, "");
-      Session session = check_session(token);
-      context.identity = session.identity;
-      context.session_id = session.id;
-      context.via_proxy = session.via_proxy;
-      // Check 2: method ACL (database).
-      check_acl(rpc_request.method,
-                pki::DistinguishedName::parse(session.identity));
+      std::shared_ptr<const Session> session = check_session(token);
+      context.identity = session->identity;
+      context.session_id = session->id;
+      context.via_proxy = session->via_proxy;
+      // Check 2: method ACL (compiled-spec cache; DN pre-parsed at
+      // session decode time).
+      check_acl(rpc_request.method, session->identity_dn);
     }
 
     rpc::Value result =
@@ -350,7 +352,7 @@ http::Response ClarensServer::handle_get(const http::Request& request,
     identity = peer.tls_identity->identity;
   } else if (auto token = request.headers.get(kSessionHeader)) {
     try {
-      identity = pki::DistinguishedName::parse(sessions_->lookup(*token).identity);
+      identity = sessions_->lookup_shared(*token)->identity_dn;
     } catch (const AuthError&) {
       return http::Response::make(401, "invalid session\n");
     }

@@ -156,8 +156,10 @@ class ClarensServer {
   void register_core_methods();
   void start_publisher();
 
-  /// The paper's two per-request checks.
-  Session check_session(const std::string& session_id) const;
+  /// The paper's two per-request checks. Both are served from the
+  /// session / compiled-ACL caches when warm — no store access.
+  std::shared_ptr<const Session> check_session(
+      const std::string& session_id) const;
   void check_acl(const std::string& method,
                  const pki::DistinguishedName& dn) const;
 

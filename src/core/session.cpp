@@ -1,5 +1,7 @@
 #include "core/session.hpp"
 
+#include <functional>
+
 #include "crypto/random.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "util/clock.hpp"
@@ -29,6 +31,7 @@ Session SessionManager::decode(const std::string& id, const std::string& text) {
   Session session;
   session.id = id;
   session.identity = v.at("identity").as_string();
+  session.identity_dn = pki::DistinguishedName::parse(session.identity);
   session.via_proxy = v.at("via_proxy").as_bool();
   session.created = v.at("created").as_int();
   session.expires = v.at("expires").as_int();
@@ -36,24 +39,70 @@ Session SessionManager::decode(const std::string& id, const std::string& text) {
   return session;
 }
 
+SessionManager::Shard& SessionManager::shard_for(const std::string& id) const {
+  return shards_[std::hash<std::string>{}(id) % kShards];
+}
+
+void SessionManager::cache_put(const Session& session) const {
+  Shard& shard = shard_for(session.id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.entries.size() >= kShardCap) shard.entries.clear();
+  shard.entries[session.id] = std::make_shared<const Session>(session);
+}
+
+void SessionManager::cache_erase(const std::string& id) const {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries.erase(id);
+}
+
 Session SessionManager::create(const std::string& identity, bool via_proxy) {
   Session session;
   session.id = crypto::random_token(16);
   session.identity = identity;
+  session.identity_dn = pki::DistinguishedName::parse(identity);
   session.via_proxy = via_proxy;
   session.created = util::unix_now();
   session.expires = session.created + default_ttl_;
   store_.put(kTable, session.id, encode(session));
+  cache_put(session);
   return session;
 }
 
 Session SessionManager::lookup(const std::string& id) const {
+  return *lookup_shared(id);
+}
+
+std::shared_ptr<const Session> SessionManager::lookup_shared(
+    const std::string& id) const {
+  Shard& shard = shard_for(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(id);
+    if (it != shard.entries.end()) {
+      std::shared_ptr<const Session> session = it->second;
+      if (session->expires < util::unix_now()) {
+        // Lazy expiry: drop the cache entry only. The database copy is
+        // left for reap_expired() — lookup is a read, not a mutation.
+        shard.entries.erase(it);
+        throw AuthError("session expired");
+      }
+      return session;
+    }
+  }
+
+  // Miss: read through to the store. Record the invalidation generation
+  // first — if a destroy lands between our read and our insert, skip the
+  // insert rather than cache a deleted session.
+  std::uint64_t gen = invalidations_.load(std::memory_order_acquire);
   auto text = store_.get(kTable, id);
   if (!text) throw AuthError("no such session");
-  Session session = decode(id, *text);
-  if (session.expires < util::unix_now()) {
-    store_.erase(kTable, id);
-    throw AuthError("session expired");
+  auto session = std::make_shared<const Session>(decode(id, *text));
+  if (session->expires < util::unix_now()) throw AuthError("session expired");
+  if (invalidations_.load(std::memory_order_acquire) == gen) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.entries.size() >= kShardCap) shard.entries.clear();
+    shard.entries[id] = session;
   }
   return session;
 }
@@ -62,6 +111,7 @@ void SessionManager::renew(const std::string& id, std::int64_t extra_seconds) {
   Session session = lookup(id);
   session.expires = util::unix_now() + extra_seconds;
   store_.put(kTable, id, encode(session));
+  cache_put(session);
 }
 
 void SessionManager::attach_proxy(const std::string& id,
@@ -70,20 +120,28 @@ void SessionManager::attach_proxy(const std::string& id,
   session.attached_proxy_serial = proxy_serial;
   session.via_proxy = true;
   store_.put(kTable, id, encode(session));
+  cache_put(session);
 }
 
 bool SessionManager::destroy(const std::string& id) {
-  return store_.erase(kTable, id);
+  // Bump the generation before touching the store so an in-flight miss
+  // that already read the old row cannot re-populate the cache.
+  invalidations_.fetch_add(1, std::memory_order_release);
+  bool existed = store_.erase(kTable, id);
+  cache_erase(id);
+  return existed;
 }
 
 std::size_t SessionManager::reap_expired() {
   std::size_t reaped = 0;
   std::int64_t now = util::unix_now();
+  invalidations_.fetch_add(1, std::memory_order_release);
   for (const auto& id : store_.keys(kTable)) {
     auto text = store_.get(kTable, id);
     if (!text) continue;
     if (decode(id, *text).expires < now) {
       store_.erase(kTable, id);
+      cache_erase(id);
       ++reaped;
     }
   }

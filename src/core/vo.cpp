@@ -65,6 +65,8 @@ GroupInfo VoManager::load(const std::string& group) const {
 
 void VoManager::save(const GroupInfo& info) {
   store_.put(kTable, info.name, encode(info));
+  // Invalidate after the store holds the update (see root_cache_).
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<std::string> VoManager::ancestors(const std::string& group) {
@@ -101,11 +103,31 @@ std::vector<std::string> VoManager::list_groups() const {
 }
 
 bool VoManager::is_root_admin(const pki::DistinguishedName& dn) const {
-  auto text = store_.get(kTable, kAdminsGroup);
-  if (!text) return false;
-  GroupInfo admins = decode(kAdminsGroup, *text);
-  return dn_list_matches(admins.admins, dn) ||
-         dn_list_matches(admins.members, dn);
+  std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(root_cache_mutex_);
+  if (root_cache_.stamp != gen) {
+    root_cache_.prefixes.clear();
+    if (auto text = store_.get(kTable, kAdminsGroup)) {
+      GroupInfo admins = decode(kAdminsGroup, *text);
+      auto parse_into = [this](const std::vector<std::string>& prefixes) {
+        for (const auto& prefix : prefixes) {
+          try {
+            root_cache_.prefixes.push_back(
+                pki::DistinguishedName::parse(prefix));
+          } catch (const ParseError&) {
+            // Malformed entries never match (dn_list_matches semantics).
+          }
+        }
+      };
+      parse_into(admins.admins);
+      parse_into(admins.members);
+    }
+    root_cache_.stamp = gen;
+  }
+  for (const auto& prefix : root_cache_.prefixes) {
+    if (prefix.is_prefix_of(dn)) return true;
+  }
+  return false;
 }
 
 bool VoManager::is_member(const std::string& group,
@@ -192,6 +214,7 @@ void VoManager::delete_group(const std::string& group,
       store_.erase(kTable, name);
     }
   }
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 void VoManager::add_member(const std::string& group, const std::string& member_dn,

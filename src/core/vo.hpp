@@ -17,6 +17,8 @@
 // state lives in the database.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -85,6 +87,17 @@ class VoManager {
   /// must not lose each other's changes. Queries read the store directly
   /// (it is internally thread-safe) and take no lock.
   std::mutex write_mutex_;
+
+  // is_root_admin() runs on the ACL evaluation path (group-based specs,
+  // deny fallback), so the admins group is cached pre-parsed. Every
+  // group mutation bumps the generation; the cache reloads lazily.
+  struct RootAdminCache {
+    std::uint64_t stamp = 0;
+    std::vector<pki::DistinguishedName> prefixes;  // admins + members
+  };
+  std::atomic<std::uint64_t> generation_{1};
+  mutable std::mutex root_cache_mutex_;
+  mutable RootAdminCache root_cache_;
 };
 
 }  // namespace clarens::core

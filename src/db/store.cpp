@@ -182,6 +182,7 @@ void Store::write_snapshot_locked() {
 
 void Store::put(const std::string& table, const std::string& key,
                 const std::string& value) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   tables_[table][key] = value;
   append_journal('P', table, key, value);
@@ -189,6 +190,7 @@ void Store::put(const std::string& table, const std::string& key,
 
 std::optional<std::string> Store::get(const std::string& table,
                                       const std::string& key) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return std::nullopt;
@@ -198,6 +200,7 @@ std::optional<std::string> Store::get(const std::string& table,
 }
 
 bool Store::erase(const std::string& table, const std::string& key) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end() || it->second.erase(key) == 0) return false;
@@ -207,12 +210,14 @@ bool Store::erase(const std::string& table, const std::string& key) {
 }
 
 bool Store::contains(const std::string& table, const std::string& key) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(table);
   return it != tables_.end() && it->second.count(key) != 0;
 }
 
 std::vector<std::string> Store::keys(const std::string& table) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   auto it = tables_.find(table);
@@ -224,6 +229,7 @@ std::vector<std::string> Store::keys(const std::string& table) const {
 
 std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
     const std::string& table, const std::string& prefix) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, std::string>> out;
   auto it = tables_.find(table);
@@ -237,6 +243,7 @@ std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
 }
 
 std::size_t Store::drop_table(const std::string& table) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return 0;
@@ -248,6 +255,7 @@ std::size_t Store::drop_table(const std::string& table) {
 }
 
 std::vector<std::string> Store::tables() const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
@@ -256,6 +264,7 @@ std::vector<std::string> Store::tables() const {
 }
 
 std::size_t Store::size(const std::string& table) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(table);
   return it == tables_.end() ? 0 : it->second.size();

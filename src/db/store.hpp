@@ -13,6 +13,8 @@
 // request, far below contention range (bench_acl_session_cost measures it).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <mutex>
@@ -73,6 +75,14 @@ class Store {
 
   bool persistent() const { return !directory_.empty(); }
 
+  /// Total store operations since construction (every public accessor or
+  /// mutator counts one). Lets tests and benchmarks assert that cached
+  /// hot paths really bypass the store — the warm authenticated RPC path
+  /// must leave this counter untouched.
+  std::uint64_t operations() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Table = std::map<std::string, std::string>;
 
@@ -83,6 +93,7 @@ class Store {
   void replay_file(std::FILE* f, bool tolerate_tear);
 
   mutable std::mutex mutex_;
+  mutable std::atomic<std::uint64_t> ops_{0};
   std::map<std::string, Table> tables_;
   std::string directory_;
   std::FILE* journal_ = nullptr;

@@ -23,84 +23,308 @@ void Server::start() {
   if (running_.exchange(true)) return;
   listener_ = net::TcpListener::listen(options_.port, options_.host);
   port_ = listener_.local_port();
-  acceptor_ = std::thread([this] { accept_loop(); });
+  listener_.set_nonblocking(true);
+
+  std::size_t workers = options_.worker_threads;
+  if (workers == 0) {
+    // The reactor thread occupies one core; handlers get the rest. On a
+    // single-core host one worker minimizes scheduler churn between the
+    // reader and the handler.
+    std::size_t cores = std::thread::hardware_concurrency();
+    workers = cores > 1 ? cores - 1 : 1;
+  }
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+  reactor_ = std::make_unique<net::Reactor>();
+  reactor_->add(listener_.fd(), net::Reactor::kRead,
+                [this](std::uint32_t) { on_acceptable(); });
+  reactor_thread_ = std::thread([this] { reactor_->run(); });
 }
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
-  // Signal first (shutdown leaves the fds intact for threads still using
-  // them), reclaim descriptors only after every thread has left.
+  // Quiesce the reactor first: once it has joined, no thread reads
+  // connection fds or dispatches new work, so the teardown below cannot
+  // race with accepts or parser feeds.
   listener_.shutdown();
+  reactor_->stop();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+
+  // Signal every live connection (shutdown leaves the fds intact for
+  // workers mid-write; their next write fails and they bail out).
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_RDWR);
   }
-  if (acceptor_.joinable()) acceptor_.join();
   {
-    std::unique_lock<std::mutex> lock(threads_mutex_);
-    all_done_.wait(lock, [this] { return live_count_ == 0; });
+    std::lock_guard<std::mutex> lock(tls_mutex_);
+    for (int fd : tls_fds_) ::shutdown(fd, SHUT_RDWR);
   }
+
+  // Join handler workers (their posted close tasks are now no-ops), then
+  // the TLS connection threads.
+  pool_.reset();
+  join_tls_threads();
+
+  // Nothing references the connections any more; RAII closes the fds.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.clear();
+  }
+  reactor_.reset();
   listener_.close();
 }
 
-void Server::accept_loop() {
-  while (running_.load()) {
-    net::TcpConnection tcp;
+std::size_t Server::live_connections() {
+  std::size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    n = conns_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(tls_mutex_);
+    n += tls_fds_.size();
+  }
+  return n;
+}
+
+void Server::on_acceptable() {
+  for (;;) {
+    std::optional<net::TcpConnection> tcp;
     try {
-      tcp = listener_.accept();
+      tcp = listener_.accept_nonblocking();
     } catch (const SystemError&) {
-      // Listener closed by stop(), or transient accept failure.
-      if (!running_.load()) return;
-      continue;
+      return;  // listener shut down, or transient accept failure
     }
-    {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
-      if (live_count_ >= options_.max_connections) {
-        // Shed load: refuse politely and move on.
-        try {
-          tcp.write_all(Response::make(503, "server busy\n").serialize());
-        } catch (const SystemError&) {
-        }
-        continue;
+    if (!tcp) return;
+    if (!running_.load()) return;
+
+    if (live_connections() >= options_.max_connections) {
+      // Shed load. Best-effort and non-blocking, with no server lock
+      // held: a slow or hostile client must not stall the accept path.
+      try {
+        tcp->set_nonblocking(true);
+        std::string wire = Response::make(503, "server busy\n").serialize();
+        tcp->write_some(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+      } catch (const SystemError&) {
       }
-      ++live_count_;
-      live_fds_.insert(tcp.fd());
-      std::thread([this, conn = std::move(tcp)]() mutable {
-        int fd = conn.fd();
-        try {
-          serve_connection(std::move(conn));
-        } catch (...) {
-          // Connection threads never take the process down.
-        }
-        std::lock_guard<std::mutex> lock(threads_mutex_);
-        live_fds_.erase(fd);
-        --live_count_;
-        if (live_count_ == 0) all_done_.notify_all();
-      }).detach();
+      continue;  // destructor closes; client sees 503 then EOF
+    }
+
+    if (options_.tls) {
+      spawn_tls(std::move(*tcp));
+    } else {
+      admit(std::move(*tcp));
     }
   }
 }
 
-void Server::serve_connection(net::TcpConnection tcp) {
-  net::TcpConnection* plain_tcp = nullptr;
-  std::unique_ptr<net::Stream> stream;
+void Server::admit(net::TcpConnection tcp) {
+  try {
+    tcp.set_nonblocking(true);
+    // RPC traffic is small request/response pairs; never batch them
+    // behind Nagle while the peer sits on a delayed ACK.
+    tcp.set_nodelay(true);
+  } catch (const SystemError&) {
+    return;
+  }
+  auto conn = std::make_shared<Conn>(std::move(tcp));
+  conn->peer.encrypted = false;
+  int fd = conn->tcp.fd();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_[fd] = conn;
+  }
+  reactor_->add(fd, net::Reactor::kRead,
+                [this, conn](std::uint32_t) { on_readable(conn); });
+}
 
-  if (options_.tls) {
+void Server::on_readable(const std::shared_ptr<Conn>& conn) {
+  bool eof = false;
+  bool bad = false;
+  std::vector<Request> parsed;
+  std::array<std::uint8_t, 64 * 1024> chunk;
+  for (;;) {
+    std::optional<std::size_t> n;
     try {
-      stream = tls::SecureChannel::accept(
-          std::make_unique<net::TcpConnection>(std::move(tcp)), *options_.tls);
-    } catch (const Error& e) {
-      CLARENS_LOG(Debug) << "TLS handshake failed: " << e.what();
-      return;
+      n = conn->tcp.read_some(chunk);
+    } catch (const SystemError&) {
+      eof = true;
+      break;
     }
-  } else {
-    auto owned = std::make_unique<net::TcpConnection>(std::move(tcp));
-    plain_tcp = owned.get();
-    stream = std::move(owned);
+    if (!n) break;  // drained the socket buffer
+    if (*n == 0) {
+      eof = true;  // client closed
+      break;
+    }
+    try {
+      conn->parser.feed(std::span<const std::uint8_t>(chunk.data(), *n));
+      std::optional<Request> request;
+      while ((request = conn->parser.next())) {
+        parsed.push_back(std::move(*request));
+      }
+    } catch (const ParseError&) {
+      bad = true;
+      eof = true;
+      break;
+    }
+    // A short read almost always means the buffer is drained; skip the
+    // EAGAIN probe. Level-triggered epoll re-reports any residue.
+    if (*n < chunk.size()) break;
+  }
+
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closing) return;  // a worker already sealed this connection
+    for (auto& request : parsed) conn->ready.push_back(std::move(request));
+    if (bad) conn->bad = true;
+    if (eof) conn->closing = true;
+    if (!conn->busy && !conn->ready.empty()) {
+      conn->busy = true;
+      pool_->submit([this, conn] { worker_drain(conn); });
+    } else if (!conn->busy && conn->closing) {
+      close_now = true;
+    }
+  }
+  if (close_now) {
+    if (bad) {
+      // Malformed first request and no worker to answer: refuse inline,
+      // best-effort (never block the reactor on a full socket buffer).
+      std::string wire = Response::make(400, "malformed request\n").serialize();
+      try {
+        conn->tcp.write_some(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+      } catch (const SystemError&) {
+      }
+    }
+    close_conn(conn);
+  }
+}
+
+void Server::worker_drain(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    Request request;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->ready.empty()) {
+        if (!conn->closing) {
+          conn->busy = false;  // reactor will redispatch on new input
+          return;
+        }
+        break;  // drained a closing connection: finish below
+      }
+      request = std::move(conn->ready.front());
+      conn->ready.pop_front();
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    try {
+      response = handler_(request, conn->peer);
+    } catch (const std::exception& e) {
+      response = Response::make(500, std::string(e.what()) + "\n");
+    }
+    bool close_after = false;
+    if (!request.keep_alive()) {
+      response.headers.set("Connection", "close");
+      close_after = true;
+    }
+    try {
+      send_response(conn->tcp, &conn->tcp, request, std::move(response));
+    } catch (const SystemError&) {
+      close_after = true;  // peer vanished mid-write
+    }
+    if (close_after) {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->closing = true;
+      conn->ready.clear();
+      break;
+    }
+  }
+
+  // Finishing a closing connection. `busy` is still held, so the
+  // reactor cannot close the fd underneath the 400 write below.
+  bool bad;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    bad = conn->bad;
+  }
+  if (bad) {
+    try {
+      conn->tcp.write_all(
+          Response::make(400, "malformed request\n").serialize());
+    } catch (const SystemError&) {
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->busy = false;
+  }
+  request_close(conn);
+}
+
+void Server::request_close(const std::shared_ptr<Conn>& conn) {
+  reactor_->post([this, conn] { close_conn(conn); });
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& conn) {
+  if (!conn->tcp.valid()) return;  // already torn down (idempotent)
+  int fd = conn->tcp.fd();
+  if (reactor_->watching(fd)) reactor_->remove(fd);
+  conn->tcp.close();
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  conns_.erase(fd);
+}
+
+void Server::spawn_tls(net::TcpConnection tcp) {
+  std::lock_guard<std::mutex> lock(tls_mutex_);
+  std::uint64_t id = ++tls_seq_;
+  int fd = tcp.fd();
+  tls_fds_.insert(fd);
+  // The body blocks on tls_mutex_ until the emplace below completes, so
+  // it always finds its own handle in tls_threads_.
+  std::thread thread([this, id, fd, conn = std::move(tcp)]() mutable {
+    try {
+      serve_tls(std::move(conn));
+    } catch (...) {
+      // Connection threads never take the process down.
+    }
+    std::lock_guard<std::mutex> lk(tls_mutex_);
+    tls_fds_.erase(fd);
+    auto it = tls_threads_.find(id);
+    if (it != tls_threads_.end()) {
+      tls_finished_.push_back(std::move(it->second));
+      tls_threads_.erase(it);
+    }
+    tls_done_.notify_all();
+  });
+  tls_threads_.emplace(id, std::move(thread));
+  // Reap threads that finished earlier (they only parked their handles;
+  // joining is instant or near-instant).
+  for (auto& finished : tls_finished_) finished.join();
+  tls_finished_.clear();
+}
+
+void Server::join_tls_threads() {
+  std::unique_lock<std::mutex> lock(tls_mutex_);
+  tls_done_.wait(lock, [this] { return tls_threads_.empty(); });
+  for (auto& finished : tls_finished_) finished.join();
+  tls_finished_.clear();
+}
+
+void Server::serve_tls(net::TcpConnection tcp) {
+  std::unique_ptr<net::Stream> stream;
+  try {
+    stream = tls::SecureChannel::accept(
+        std::make_unique<net::TcpConnection>(std::move(tcp)), *options_.tls);
+  } catch (const Error& e) {
+    CLARENS_LOG(Debug) << "TLS handshake failed: " << e.what();
+    return;
   }
 
   Peer peer;
-  peer.encrypted = options_.tls.has_value();
+  peer.encrypted = true;
   if (auto* secure = dynamic_cast<tls::SecureChannel*>(stream.get())) {
     peer.tls_identity = secure->peer();
     peer.chain = secure->peer_chain();
@@ -125,8 +349,6 @@ void Server::serve_connection(net::TcpConnection tcp) {
         Response response;
         try {
           response = handler_(*request, peer);
-        } catch (const Error& e) {
-          response = Response::make(500, std::string(e.what()) + "\n");
         } catch (const std::exception& e) {
           response = Response::make(500, std::string(e.what()) + "\n");
         }
@@ -134,12 +356,12 @@ void Server::serve_connection(net::TcpConnection tcp) {
           response.headers.set("Connection", "close");
           alive = false;
         }
-        send_response(*stream, plain_tcp, *request, std::move(response));
+        send_response(*stream, nullptr, *request, std::move(response));
       }
     } catch (const ParseError& e) {
       try {
-        stream->write_all(Response::make(400, std::string(e.what()) + "\n")
-                              .serialize());
+        stream->write_all(
+            Response::make(400, std::string(e.what()) + "\n").serialize());
       } catch (const SystemError&) {
       }
       return;

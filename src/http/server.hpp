@@ -1,27 +1,45 @@
-// HTTP server: accept loop + connection threads with keep-alive.
+// HTTP server: epoll reactor front end + worker-pool request execution.
 //
-// The paper's PClarens runs inside Apache's prefork worker pool; this
-// server mirrors that shape with a thread per connection (the paper's
-// Figure-4 workload is 1-79 long-lived keep-alive connections). TLS is
-// applied per-connection when configured, reproducing the architecture's
-// "SSL handled transparently by the web server" property: handlers never
-// see encryption. GET file responses use sendfile(2) on plaintext
-// connections, the zero-copy path §2.3 credits for file throughput.
+// The paper's PClarens runs inside Apache's event-driven front end with a
+// pool of worker processes; this server mirrors that shape directly:
+//
+//   * a single reactor thread owns the listening socket and every
+//     plaintext connection fd (non-blocking), accepts, reads, and feeds
+//     the incremental request parser;
+//   * complete requests are queued per connection and drained — in
+//     order — by `util::ThreadPool` workers that run the handler and
+//     write the response (keep-alive pipelining preserved);
+//   * connection teardown is always executed on the reactor thread
+//     (workers schedule it via Reactor::post), so an fd is never closed
+//     while the reactor might still act on it;
+//   * TLS connections keep a blocking per-connection model (the record
+//     layer reads synchronously) on *tracked* threads that stop() joins —
+//     nothing is detached anywhere.
+//
+// GET file responses use sendfile(2) on plaintext connections, the
+// zero-copy path §2.3 credits for file throughput.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "tls/channel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace clarens::http {
 
@@ -41,6 +59,9 @@ struct ServerOptions {
   std::uint16_t port = 0;  // 0 = ephemeral
   std::optional<tls::TlsConfig> tls;
   std::size_t max_connections = 1024;
+  /// Handler worker threads; 0 = hardware_concurrency - 1 (min 1), the
+  /// reactor thread taking the remaining core.
+  std::size_t worker_threads = 0;
 };
 
 class Server {
@@ -51,7 +72,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen and spawn the acceptor. Throws on bind failure.
+  /// Bind, listen and spawn the reactor + worker pool. Throws on bind
+  /// failure.
   void start();
 
   /// Close the listener and all live connections; join every thread.
@@ -64,8 +86,38 @@ class Server {
   std::uint64_t requests_served() const { return requests_.load(); }
 
  private:
-  void accept_loop();
-  void serve_connection(net::TcpConnection tcp);
+  /// Per-connection state (plaintext reactor path). The reactor thread
+  /// owns `tcp` reads and `parser`; at most one worker at a time owns
+  /// writes while draining `ready`.
+  struct Conn {
+    explicit Conn(net::TcpConnection c) : tcp(std::move(c)) {}
+    net::TcpConnection tcp;
+    Peer peer;
+    RequestParser parser;  // reactor thread only
+
+    std::mutex mutex;           // guards everything below
+    std::deque<Request> ready;  // parsed, not yet handled
+    bool busy = false;          // a worker is draining `ready`
+    bool closing = false;       // drain then close; no new dispatch
+    bool bad = false;           // malformed stream: answer 400 when drained
+  };
+
+  // Reactor-thread handlers.
+  void on_acceptable();
+  void admit(net::TcpConnection tcp);
+  void on_readable(const std::shared_ptr<Conn>& conn);
+  void close_conn(const std::shared_ptr<Conn>& conn);  // reactor thread only
+
+  // Worker-side.
+  void worker_drain(std::shared_ptr<Conn> conn);
+  void request_close(const std::shared_ptr<Conn>& conn);
+
+  // Tracked blocking threads for TLS connections.
+  void spawn_tls(net::TcpConnection tcp);
+  void serve_tls(net::TcpConnection tcp);
+  void join_tls_threads();
+
+  std::size_t live_connections();
   void send_response(net::Stream& stream, net::TcpConnection* plain_tcp,
                      const Request& request, Response response);
 
@@ -75,14 +127,23 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_{0};
-  std::thread acceptor_;
 
-  // Connection threads run detached; stop() waits for live_count_ to
-  // reach zero after shutting down every live socket.
-  std::mutex threads_mutex_;
-  std::condition_variable all_done_;
-  std::set<int> live_fds_;
-  std::size_t live_count_ = 0;
+  std::unique_ptr<net::Reactor> reactor_;
+  std::thread reactor_thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::mutex conns_mutex_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  // TLS connection threads, keyed by a sequence id. A finishing thread
+  // parks its handle in tls_finished_ (a thread cannot join itself);
+  // the acceptor and stop() reap those.
+  std::mutex tls_mutex_;
+  std::condition_variable tls_done_;
+  std::map<std::uint64_t, std::thread> tls_threads_;
+  std::vector<std::thread> tls_finished_;
+  std::set<int> tls_fds_;
+  std::uint64_t tls_seq_ = 0;
 };
 
 }  // namespace clarens::http

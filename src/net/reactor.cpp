@@ -46,6 +46,7 @@ void Reactor::add(int fd, std::uint32_t interest, Callback callback) {
   if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
     throw SystemError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   callbacks_[fd] = std::move(callback);
 }
 
@@ -60,7 +61,31 @@ void Reactor::modify(int fd, std::uint32_t interest) {
 
 void Reactor::remove(int fd) {
   epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
   callbacks_.erase(fd);
+}
+
+bool Reactor::watching(int fd) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return callbacks_.count(fd) != 0;
+}
+
+std::size_t Reactor::watched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return callbacks_.size();
+}
+
+void Reactor::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void Reactor::wake() {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
 }
 
 int Reactor::poll(int timeout_ms) {
@@ -80,28 +105,40 @@ int Reactor::poll(int timeout_ms) {
       }
       continue;
     }
-    auto it = callbacks_.find(fd);
-    if (it == callbacks_.end()) continue;  // removed by an earlier callback
     std::uint32_t ready = 0;
     if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) ready |= kRead;
     if (events[i].events & EPOLLOUT) ready |= kWrite;
-    // Copy the callback: it may remove itself from the reactor.
-    Callback cb = it->second;
+    // Copy the callback: it may remove itself (or be removed) while
+    // running, and the lock is never held across the call.
+    Callback cb;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // removed by an earlier callback
+      cb = it->second;
+    }
     cb(ready);
     ++handled;
   }
+  // Posted tasks run after fd dispatch so they observe a settled table.
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
   return handled;
 }
 
 void Reactor::run() {
-  stopping_.store(false);
+  // Do not reset stopping_ here: stop() may legitimately arrive before
+  // the spawned thread reaches run(), and that request must stick.
   while (!stopping_.load()) poll(100);
 }
 
 void Reactor::stop() {
   stopping_.store(true);
-  std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  wake();
 }
 
 }  // namespace clarens::net

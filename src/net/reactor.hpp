@@ -1,11 +1,18 @@
-// epoll reactor: single-threaded readiness dispatch used by the HTTP
-// server's accept/IO loop and by the asynchronous benchmark client.
+// epoll reactor: readiness dispatch used by the HTTP server's accept/IO
+// loop and by the asynchronous benchmark client.
+//
+// The callback table is mutex-guarded so fds may be added/removed from
+// other threads (the HTTP worker pool schedules connection teardown onto
+// the reactor thread via post()). Callbacks themselves always run on the
+// thread calling poll()/run().
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <vector>
 
 #include "net/socket.hpp"
 
@@ -30,22 +37,32 @@ class Reactor {
   void add(int fd, std::uint32_t interest, Callback callback);
   void modify(int fd, std::uint32_t interest);
   void remove(int fd);
-  bool watching(int fd) const { return callbacks_.count(fd) != 0; }
+  bool watching(int fd) const;
 
-  /// Dispatch ready events; waits at most `timeout_ms` (-1 = forever).
-  /// Returns number of events handled.
+  /// Enqueue a task to run on the polling thread after the current (or
+  /// next) dispatch round. Thread-safe; wakes a blocked poll().
+  void post(std::function<void()> task);
+
+  /// Dispatch ready events and posted tasks; waits at most `timeout_ms`
+  /// (-1 = forever). Returns number of fd events handled.
   int poll(int timeout_ms);
 
   /// Run poll() until stop() is called.
   void run();
   void stop();
 
-  std::size_t watched() const { return callbacks_.size(); }
+  std::size_t watched() const;
 
  private:
+  void wake();
+
   Fd epoll_fd_;
   Fd wake_fd_;  // eventfd to interrupt run()
+  // Guards callbacks_ and tasks_; add/remove/post may race with poll()
+  // on another thread. Never held while a callback or task executes.
+  mutable std::mutex mutex_;
   std::map<int, Callback> callbacks_;
+  std::vector<std::function<void()>> tasks_;
   // stop() may be called from another thread while run() polls.
   std::atomic<bool> stopping_{false};
 };

@@ -96,9 +96,27 @@ void TcpConnection::write_all(std::span<const std::uint8_t> data) {
     ssize_t n = ::write(fd_.get(), data.data() + sent, data.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full socket buffer: wait for drainage so
+        // write_all keeps its full-span contract on reactor-owned fds.
+        wait_writable(-1);
+        continue;
+      }
       throw_errno("write");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpConnection::wait_writable(int timeout_ms) {
+  pollfd pfd{fd_.get(), POLLOUT, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return rc > 0;
   }
 }
 
@@ -146,6 +164,10 @@ std::size_t TcpConnection::sendfile(int file_fd, std::int64_t offset,
     ssize_t n = ::sendfile(fd_.get(), file_fd, &off, count - total);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_writable(-1);
+        continue;
+      }
       throw_errno("sendfile");
     }
     if (n == 0) break;  // EOF on source file

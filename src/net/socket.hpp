@@ -76,12 +76,16 @@ class TcpConnection : public Stream {
   void set_nonblocking(bool on);
   void set_nodelay(bool on);
 
+  /// Block until the socket is writable (or `timeout_ms` elapses;
+  /// -1 = forever). Returns true when writable.
+  bool wait_writable(int timeout_ms);
+
   int fd() const { return fd_.get(); }
   bool valid() const { return fd_.valid(); }
 
   /// Zero-copy transfer from a file descriptor using sendfile(2) — the
   /// syscall the paper credits for low-CPU high-throughput file serving.
-  /// Returns bytes sent. Requires a blocking socket.
+  /// Returns bytes sent. Polls for writability on non-blocking sockets.
   std::size_t sendfile(int file_fd, std::int64_t offset, std::size_t count);
 
  private:

@@ -34,8 +34,11 @@ TEST(Sessions, ExpiredSessionRejectedAndReaped) {
   SessionManager sessions(store, /*default_ttl=*/-1);  // born expired
   Session s = sessions.create("/O=x/CN=a", false);
   EXPECT_THROW(sessions.lookup(s.id), AuthError);
-  // The lazy reap removed it from the store.
+  // lookup is a read: the expired row stays in the store until reaped.
+  EXPECT_EQ(sessions.active_count(), 1u);
+  EXPECT_EQ(sessions.reap_expired(), 1u);
   EXPECT_EQ(sessions.active_count(), 0u);
+  EXPECT_THROW(sessions.lookup(s.id), AuthError);
 }
 
 TEST(Sessions, RenewExtendsExpiry) {

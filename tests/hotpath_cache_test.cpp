@@ -1,0 +1,219 @@
+// The authenticated-RPC hot path is served from two write-through
+// caches: decoded sessions (SessionManager) and compiled method ACLs
+// (AclManager). These tests pin down the two properties the caches must
+// never trade away:
+//
+//   1. no stale window — an ACL change or session destroy is visible to
+//      the very next check once the mutating call returns;
+//   2. the warm path really is store-free — a run of authenticated RPCs
+//      performs zero db::Store operations (asserted via the store's
+//      operation counter).
+#include <gtest/gtest.h>
+
+#include "client/client.hpp"
+#include "core/acl.hpp"
+#include "core/server.hpp"
+#include "core/session.hpp"
+#include "core/vo.hpp"
+#include "db/store.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace clarens {
+namespace {
+
+using testing::TestPki;
+
+core::AclSpec allow_anyone() {
+  core::AclSpec spec;
+  spec.allow_dns = {core::AclSpec::kAnyone};
+  return spec;
+}
+
+core::AclSpec deny_anyone() {
+  core::AclSpec spec;
+  spec.deny_dns = {core::AclSpec::kAnyone};
+  return spec;
+}
+
+core::ClarensConfig base_config(const TestPki& pki) {
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  config.admins = {"/O=testgrid.org/OU=People/CN=Alice Able"};
+  config.initial_method_acls = {{"system", allow_anyone()},
+                                {"echo", allow_anyone()}};
+  return config;
+}
+
+client::ClientOptions client_options(const TestPki& pki,
+                                     const pki::Credential& who,
+                                     std::uint16_t port) {
+  client::ClientOptions options;
+  options.port = port;
+  options.credential = who;
+  options.trust = &pki.trust;
+  return options;
+}
+
+// ---------- manager-level -----------------------------------------------
+
+TEST(AclCache, SetMethodAclVisibleToNextCheckNoStaleWindow) {
+  db::Store store;
+  core::VoManager vo(store, {});
+  core::AclManager acl(store, vo);
+  auto dn = pki::DistinguishedName::parse("/O=x/OU=p/CN=alice");
+
+  acl.set_method_acl("echo", allow_anyone());
+  // Warm the compiled cache thoroughly.
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(acl.check_method("echo.echo", dn));
+
+  acl.set_method_acl("echo", deny_anyone());
+  // The very next check must see the new spec.
+  EXPECT_FALSE(acl.check_method("echo.echo", dn));
+
+  acl.remove_method_acl("echo");
+  // Default policy is closed; removing the deny must not resurrect the
+  // cached allow.
+  EXPECT_FALSE(acl.check_method("echo.echo", dn));
+
+  acl.set_method_acl("echo", allow_anyone());
+  EXPECT_TRUE(acl.check_method("echo.echo", dn));
+}
+
+TEST(AclCache, HierarchyLevelsCachedIndependently) {
+  db::Store store;
+  core::VoManager vo(store, {});
+  core::AclManager acl(store, vo);
+  auto dn = pki::DistinguishedName::parse("/O=x/CN=u");
+
+  acl.set_method_acl("a", allow_anyone());
+  EXPECT_TRUE(acl.check_method("a.b.c", dn));  // resolved at the "a" level
+  // A more specific deny must take precedence as soon as it is set.
+  acl.set_method_acl("a.b", deny_anyone());
+  EXPECT_FALSE(acl.check_method("a.b.c", dn));
+  EXPECT_TRUE(acl.check_method("a.other", dn));
+  acl.remove_method_acl("a.b");
+  EXPECT_TRUE(acl.check_method("a.b.c", dn));
+}
+
+TEST(SessionCache, DestroyInvalidatesWarmLookup) {
+  db::Store store;
+  core::SessionManager sessions(store);
+  core::Session s = sessions.create("/O=x/CN=a", false);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sessions.lookup(s.id).identity, s.identity);
+  ASSERT_TRUE(sessions.destroy(s.id));
+  EXPECT_THROW(sessions.lookup(s.id), AuthError);
+  EXPECT_THROW(sessions.lookup_shared(s.id), AuthError);
+}
+
+TEST(SessionCache, WarmLookupHitsNoStoreOps) {
+  db::Store store;
+  core::SessionManager sessions(store);
+  core::Session s = sessions.create("/O=x/CN=a", false);
+  sessions.lookup(s.id);  // populate (create already did; belt and braces)
+  std::uint64_t before = store.operations();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sessions.lookup_shared(s.id)->identity, "/O=x/CN=a");
+  }
+  EXPECT_EQ(store.operations(), before) << "warm session lookups hit the store";
+}
+
+TEST(SessionCache, ExpiredLookupIsReadOnlyReapDeletes) {
+  db::Store store;
+  core::SessionManager sessions(store, /*default_ttl=*/-1);  // born expired
+  core::Session s = sessions.create("/O=x/CN=a", false);
+  EXPECT_THROW(sessions.lookup(s.id), AuthError);
+  // The store row survives a rejected lookup (lookup is const)...
+  EXPECT_TRUE(store.contains("sessions", s.id));
+  // ...and is reclaimed by the explicit reaper.
+  EXPECT_EQ(sessions.reap_expired(), 1u);
+  EXPECT_FALSE(store.contains("sessions", s.id));
+}
+
+TEST(VoCache, RootAdminChangesVisibleImmediately) {
+  db::Store store;
+  core::VoManager vo(store, {"/O=x/CN=root"});
+  auto root = pki::DistinguishedName::parse("/O=x/CN=root");
+  auto alice = pki::DistinguishedName::parse("/O=x/CN=alice");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(vo.is_root_admin(root));
+    EXPECT_FALSE(vo.is_root_admin(alice));
+  }
+  vo.add_admin(core::VoManager::kAdminsGroup, "/O=x/CN=alice", root);
+  EXPECT_TRUE(vo.is_root_admin(alice));
+  vo.remove_admin(core::VoManager::kAdminsGroup, "/O=x/CN=alice", root);
+  EXPECT_FALSE(vo.is_root_admin(alice));
+}
+
+// ---------- server-level (full RPC stack over real sockets) -------------
+
+TEST(HotPathCache, AclChangeDeniesNextRpc) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(base_config(pki));
+  server.start();
+
+  client::ClarensClient client(client_options(pki, pki.bob, server.port()));
+  client.connect();
+  client.authenticate();
+  // Warm the hot path.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(client.call("echo.echo", {rpc::Value(i)}).as_int(), i);
+  }
+  // Flip the echo ACL to deny; the next call must fault — no stale window.
+  server.acl().set_method_acl("echo", deny_anyone());
+  try {
+    client.call("echo.echo", {rpc::Value(99)});
+    FAIL() << "expected access fault after ACL change";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultAccess);
+  }
+  // And back.
+  server.acl().set_method_acl("echo", allow_anyone());
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(7)}).as_int(), 7);
+  server.stop();
+}
+
+TEST(HotPathCache, SessionDestroyInvalidatesNextRpc) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(base_config(pki));
+  server.start();
+
+  client::ClarensClient client(client_options(pki, pki.bob, server.port()));
+  client.connect();
+  std::string session = client.authenticate();
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(1)}).as_int(), 1);
+  // Destroy server-side (as system.logout does); the cached session must
+  // not keep the token alive.
+  ASSERT_TRUE(server.sessions().destroy(session));
+  try {
+    client.call("echo.echo", {rpc::Value(2)});
+    FAIL() << "expected auth fault after destroy";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultAuth);
+  }
+  server.stop();
+}
+
+TEST(HotPathCache, WarmAuthenticatedRpcDoesZeroStoreOps) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(base_config(pki));
+  server.start();
+
+  client::ClarensClient client(client_options(pki, pki.bob, server.port()));
+  client.connect();
+  client.authenticate();
+  // Warm both caches (session + every ACL level "echo.echo"/"echo").
+  for (int i = 0; i < 3; ++i) client.call("echo.echo", {rpc::Value(i)});
+
+  std::uint64_t before = server.store().operations();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client.call("echo.echo", {rpc::Value(i)}).as_int(), i);
+  }
+  EXPECT_EQ(server.store().operations(), before)
+      << "warm authenticated RPCs must not touch db::Store";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens

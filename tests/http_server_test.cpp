@@ -1,0 +1,218 @@
+// Reactor/worker-pool server behaviours that the basic end-to-end tests
+// in http_test.cpp do not pin down: keep-alive pipelining (multiple
+// requests in one TCP segment, responses in order), requests arriving in
+// arbitrary partial pieces, Connection: close semantics, the non-blocking
+// 503 load-shed path, many concurrent keep-alive connections, and prompt
+// stop() with idle connections still open.
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "http/server.hpp"
+#include "net/socket.hpp"
+
+namespace clarens::http {
+namespace {
+
+Server make_echo_server(ServerOptions options = {}) {
+  return Server(std::move(options), [](const Request& request, const Peer&) {
+    return Response::make(200, "echo:" + request.body);
+  });
+}
+
+/// Read responses off `conn` until `count` have parsed (or EOF).
+std::vector<Response> read_responses(net::TcpConnection& conn,
+                                     std::size_t count) {
+  std::vector<Response> out;
+  ResponseParser parser;
+  std::array<std::uint8_t, 8192> buf;
+  while (out.size() < count) {
+    while (auto response = parser.next()) {
+      out.push_back(std::move(*response));
+      if (out.size() == count) return out;
+    }
+    std::size_t n = conn.read(buf);
+    if (n == 0) break;
+    parser.feed(std::span<const std::uint8_t>(buf.data(), n));
+  }
+  while (auto response = parser.next()) out.push_back(std::move(*response));
+  return out;
+}
+
+std::string post(const std::string& body) {
+  return "POST / HTTP/1.1\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\n\r\n" + body;
+}
+
+TEST(ServerPipelining, TwoRequestsInOneSegmentAnsweredInOrder) {
+  Server server = make_echo_server();
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  // One write_all → very likely one TCP segment; either way both requests
+  // sit in the parser before the first response is produced.
+  conn.write_all(post("one") + post("two"));
+  std::vector<Response> responses = read_responses(conn, 2);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].body, "echo:one");
+  EXPECT_EQ(responses[1].body, "echo:two");
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+}
+
+TEST(ServerPipelining, DeepPipelineStaysOrdered) {
+  Server server = make_echo_server();
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  std::string wire;
+  for (int i = 0; i < 20; ++i) wire += post("r" + std::to_string(i));
+  conn.write_all(wire);
+  std::vector<Response> responses = read_responses(conn, 20);
+  ASSERT_EQ(responses.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(responses[i].body, "echo:r" + std::to_string(i));
+  }
+  server.stop();
+}
+
+TEST(ServerPipelining, PartialRequestAcrossManyWrites) {
+  Server server = make_echo_server();
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  std::string wire = post("split-fed body");
+  // Dribble the request a few bytes at a time; the reactor must keep the
+  // parser state across reads and only dispatch once it completes.
+  for (std::size_t i = 0; i < wire.size(); i += 5) {
+    conn.write_all(std::string_view(wire).substr(i, 5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<Response> responses = read_responses(conn, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "echo:split-fed body");
+  server.stop();
+}
+
+TEST(ServerPipelining, ConnectionCloseHonored) {
+  Server server = make_echo_server();
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  conn.write_all(std::string_view(
+      "POST / HTTP/1.1\r\nConnection: close\r\nContent-Length: 3\r\n\r\nbye"));
+  std::vector<Response> responses = read_responses(conn, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "echo:bye");
+  EXPECT_EQ(responses[0].headers.get_or("Connection", ""), "close");
+  // Server closes: the next read reaches EOF rather than blocking.
+  std::array<std::uint8_t, 64> buf;
+  EXPECT_EQ(conn.read(buf), 0u);
+  server.stop();
+}
+
+TEST(ServerPipelining, Http10ImpliesClose) {
+  Server server = make_echo_server();
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  conn.write_all(std::string_view("GET / HTTP/1.0\r\n\r\n"));
+  std::vector<Response> responses = read_responses(conn, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  std::array<std::uint8_t, 64> buf;
+  EXPECT_EQ(conn.read(buf), 0u);
+  server.stop();
+}
+
+TEST(ServerLoadShed, OverLimitConnectionGets503WithoutBlocking) {
+  ServerOptions options;
+  options.max_connections = 1;
+  Server server = make_echo_server(std::move(options));
+  server.start();
+
+  // Complete a request on the first connection so it is fully admitted
+  // before the second one arrives.
+  net::TcpConnection first =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  first.write_all(post("hold"));
+  ASSERT_EQ(read_responses(first, 1).size(), 1u);
+
+  net::TcpConnection second =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  std::vector<Response> responses = read_responses(second, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 503);
+  // Shed connections are closed right after the refusal.
+  std::array<std::uint8_t, 64> buf;
+  EXPECT_EQ(second.read(buf), 0u);
+
+  // The admitted connection keeps working.
+  first.write_all(post("still here"));
+  std::vector<Response> again = read_responses(first, 1);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].body, "echo:still here");
+  server.stop();
+}
+
+TEST(ServerConcurrency, ManyKeepAliveConnectionsInParallel) {
+  Server server = make_echo_server();
+  server.start();
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        net::TcpConnection conn =
+            net::TcpConnection::connect("127.0.0.1", server.port());
+        for (int i = 0; i < kRequestsEach; ++i) {
+          std::string body = std::to_string(c) + ":" + std::to_string(i);
+          conn.write_all(post(body));
+          std::vector<Response> responses = read_responses(conn, 1);
+          if (responses.size() != 1 || responses[0].body != "echo:" + body) {
+            ++failures;
+            return;
+          }
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kClients * kRequestsEach));
+  server.stop();
+}
+
+TEST(ServerStop, ReturnsPromptlyWithIdleConnectionOpen) {
+  Server server = make_echo_server();
+  server.start();
+  net::TcpConnection idle =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  // Serve one request so the connection is definitely registered.
+  idle.write_all(post("x"));
+  ASSERT_EQ(read_responses(idle, 1).size(), 1u);
+
+  auto begin = std::chrono::steady_clock::now();
+  server.stop();
+  auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  // The idle connection was torn down, not leaked to a detached thread.
+  std::array<std::uint8_t, 64> buf;
+  EXPECT_EQ(idle.read(buf), 0u);
+}
+
+}  // namespace
+}  // namespace clarens::http
