@@ -4,10 +4,12 @@
 // strings) and on a struct-heavy file.ls-style payload.
 #include <benchmark/benchmark.h>
 
+#include "http/message.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/soap.hpp"
 #include "rpc/xmlrpc.hpp"
+#include "util/buffer.hpp"
 
 using namespace clarens;
 
@@ -62,6 +64,24 @@ static void BM_SerializeResponse(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializeResponse)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// The server hot path: serialize into a reused arena Buffer (no wire
+// string allocation at all once the arena is warm).
+static void BM_SerializeResponseArena(benchmark::State& state) {
+  auto protocol = static_cast<rpc::Protocol>(state.range(0));
+  rpc::Response response = list_methods_response();
+  util::Buffer arena;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    arena.clear();
+    rpc::serialize_response(protocol, response, arena);
+    bytes = arena.readable();
+    benchmark::DoNotOptimize(arena.peek_view().data());
+  }
+  state.SetLabel(std::string(rpc::to_string(protocol)) + " " +
+                 std::to_string(bytes) + "B");
+}
+BENCHMARK(BM_SerializeResponseArena)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 static void BM_ParseResponse(benchmark::State& state) {
   auto protocol = static_cast<rpc::Protocol>(state.range(0));
   std::string wire = rpc::serialize_response(protocol, list_methods_response());
@@ -102,6 +122,26 @@ static void BM_RequestRoundTrip(benchmark::State& state) {
   state.SetLabel(rpc::to_string(protocol));
 }
 BENCHMARK(BM_RequestRoundTrip)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Header lookups run on every request (Content-Type, session token,
+// Connection); they must not allocate lowercase temporaries.
+static void BM_HeaderLookup(benchmark::State& state) {
+  http::Headers headers;
+  headers.add("Host", "localhost:8080");
+  headers.add("User-Agent", "clarens-bench/1.0");
+  headers.add("Accept", "*/*");
+  headers.add("Content-Type", "text/xml");
+  headers.add("Content-Length", "512");
+  headers.add("X-Clarens-Session", "0123456789abcdef0123456789abcdef");
+  headers.add("Connection", "keep-alive");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(headers.find("content-type"));
+    benchmark::DoNotOptimize(headers.find("X-CLARENS-SESSION"));
+    benchmark::DoNotOptimize(headers.find("connection"));
+    benchmark::DoNotOptimize(headers.find("authorization"));  // miss
+  }
+}
+BENCHMARK(BM_HeaderLookup);
 
 // Binary payload cost: base64 dominates XML/JSON transports for
 // file.read responses.

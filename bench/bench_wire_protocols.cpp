@@ -6,7 +6,8 @@
 // complete round-trips — HTTP + both access checks + dispatch + codec —
 // to show how much of the request budget the codec actually is.
 //
-// Usage: bench_wire_protocols [--calls N]
+// Usage: bench_wire_protocols [--calls N] [--json FILE]
+//   --json writes machine-readable results (consumed by BENCH_wire.json).
 #include <cstring>
 
 #include "bench_common.hpp"
@@ -17,9 +18,12 @@ using namespace clarens;
 
 int main(int argc, char** argv) {
   std::uint64_t calls = 2000;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--calls") && i + 1 < argc) {
       calls = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
   const bench::BenchPki& pki = bench::BenchPki::instance();
@@ -31,6 +35,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(calls));
   std::printf("%-12s %-14s %-16s\n", "protocol", "calls/sec", "us/call");
 
+  std::string json = "{\n  \"bench\": \"wire_protocols\",\n  \"calls\": " +
+                     std::to_string(calls) + ",\n  \"protocols\": {\n";
+  bool first = true;
   for (rpc::Protocol protocol :
        {rpc::Protocol::XmlRpc, rpc::Protocol::Soap, rpc::Protocol::JsonRpc,
         rpc::Protocol::Binary}) {
@@ -48,8 +55,26 @@ int main(int argc, char** argv) {
       client.call("system.list_methods");
     }
     double seconds = timer.seconds();
-    std::printf("%-12s %-14.0f %-16.1f\n", rpc::to_string(protocol),
-                calls / seconds, seconds * 1e6 / calls);
+    double cps = calls / seconds;
+    double us = seconds * 1e6 / calls;
+    std::printf("%-12s %-14.0f %-16.1f\n", rpc::to_string(protocol), cps, us);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "%s    \"%s\": {\"calls_per_sec\": %.0f, \"us_per_call\": "
+                  "%.2f}",
+                  first ? "" : ",\n", rpc::to_string(protocol), cps, us);
+    json += row;
+    first = false;
+  }
+  json += "\n  }\n}\n";
+  if (json_path) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
   }
   std::printf("# shape: binary < json < xml/soap in per-call cost; the\n"
               "# spread narrows vs the codec-only bench because HTTP and\n"

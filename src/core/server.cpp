@@ -8,6 +8,7 @@
 #include "rpc/fault.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "rpc/protocol.hpp"
+#include "util/buffer.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
@@ -243,7 +244,8 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
   rpc::Response rpc_response;
   rpc::Value request_id;
   try {
-    protocol = rpc::detect(request.headers.get_or("Content-Type", ""),
+    const std::string* content_type = request.headers.find("Content-Type");
+    protocol = rpc::detect(content_type ? *content_type : std::string_view(),
                            request.body);
     rpc::Request rpc_request = rpc::parse_request(protocol, request.body);
     request_id = rpc_request.id;
@@ -259,8 +261,10 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
       }
     } else {
       // Check 1: session lookup (cache, write-through to the database).
-      std::string token = request.headers.get_or(kSessionHeader, "");
-      std::shared_ptr<const Session> session = check_session(token);
+      static const std::string kNoToken;
+      const std::string* token = request.headers.find(kSessionHeader);
+      std::shared_ptr<const Session> session =
+          check_session(token ? *token : kNoToken);
       context.identity = session->identity;
       context.session_id = session->id;
       context.via_proxy = session->via_proxy;
@@ -281,9 +285,20 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
   }
   rpc_response.id = request_id;
 
-  http::Response response = http::Response::make(
-      200, rpc::serialize_response(protocol, rpc_response),
-      rpc::content_type(protocol));
+  // Serialize into a per-worker arena and hand the HTTP layer a view of
+  // it: the worker that runs this handler also performs the vectored
+  // write, so no heap copy of the body is ever made. The arena is
+  // compacted after pathological responses so a one-off huge payload
+  // doesn't pin its allocation.
+  thread_local util::Buffer arena;
+  arena.clear();
+  arena.compact();
+  rpc::serialize_response(protocol, rpc_response, arena);
+  http::Response response;
+  response.status = 200;
+  response.reason = http::reason_phrase(200);
+  response.headers.set("Content-Type", rpc::content_type(protocol));
+  response.body_view = arena.peek_view();
   return response;
 }
 

@@ -1,7 +1,6 @@
 #include "http/message.hpp"
 
-#include <sstream>
-
+#include "util/buffer.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -21,15 +20,21 @@ void Headers::set(std::string name, std::string value) {
   add(std::move(name), std::move(value));
 }
 
-std::optional<std::string> Headers::get(std::string_view name) const {
+const std::string* Headers::find(std::string_view name) const {
   for (const auto& [n, v] : items_) {
-    if (util::iequals(n, name)) return v;
+    if (util::iequals(n, name)) return &v;
   }
+  return nullptr;
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  const std::string* v = find(name);
+  if (v) return *v;
   return std::nullopt;
 }
 
 std::string Headers::get_or(std::string_view name, std::string fallback) const {
-  auto v = get(name);
+  const std::string* v = find(name);
   return v ? *v : std::move(fallback);
 }
 
@@ -55,24 +60,32 @@ std::map<std::string, std::string> Request::query() const {
 }
 
 bool Request::keep_alive() const {
-  std::string conn = util::to_lower(headers.get_or("Connection", ""));
-  if (version == "HTTP/1.0") return conn == "keep-alive";
-  return conn != "close";
+  const std::string* conn = headers.find("Connection");
+  if (version == "HTTP/1.0") {
+    return conn && util::iequals(util::trim(*conn), "keep-alive");
+  }
+  return !(conn && util::iequals(util::trim(*conn), "close"));
 }
 
 std::string Request::serialize() const {
-  std::ostringstream out;
-  out << method << ' ' << target << ' ' << version << "\r\n";
+  std::string out;
+  out.reserve(method.size() + target.size() + version.size() + 64 +
+              body.size());
+  out.append(method).push_back(' ');
+  out.append(target).push_back(' ');
+  out.append(version).append("\r\n");
   bool has_length = false;
   for (const auto& [name, value] : headers.all()) {
-    out << name << ": " << value << "\r\n";
+    out.append(name).append(": ").append(value).append("\r\n");
     if (util::iequals(name, "Content-Length")) has_length = true;
   }
   if (!has_length && (!body.empty() || method == "POST" || method == "PUT")) {
-    out << "Content-Length: " << body.size() << "\r\n";
+    out.append("Content-Length: ");
+    out.append(std::to_string(body.size()));
+    out.append("\r\n");
   }
-  out << "\r\n" << body;
-  return out.str();
+  out.append("\r\n").append(body);
+  return out;
 }
 
 Response Response::make(int status, std::string body, std::string content_type) {
@@ -84,22 +97,42 @@ Response Response::make(int status, std::string body, std::string content_type) 
   return r;
 }
 
-std::string Response::serialize_head(std::size_t content_length) const {
-  std::ostringstream out;
-  out << "HTTP/1.1 " << status << ' '
-      << (reason.empty() ? reason_phrase(status) : reason) << "\r\n";
+void Response::serialize_head_into(util::Buffer& out,
+                                   std::size_t content_length) const {
+  out.write("HTTP/1.1 ");
+  util::append_int(out, status);
+  out.write_u8(' ');
+  out.write(reason.empty() ? std::string_view(reason_phrase(status))
+                           : std::string_view(reason));
+  out.write("\r\n");
   bool has_length = false;
   for (const auto& [name, value] : headers.all()) {
-    out << name << ": " << value << "\r\n";
+    out.write(name);
+    out.write(": ");
+    out.write(value);
+    out.write("\r\n");
     if (util::iequals(name, "Content-Length")) has_length = true;
   }
-  if (!has_length) out << "Content-Length: " << content_length << "\r\n";
-  out << "\r\n";
-  return out.str();
+  if (!has_length) {
+    out.write("Content-Length: ");
+    util::append_uint(out, content_length);
+    out.write("\r\n");
+  }
+  out.write("\r\n");
+}
+
+std::string Response::serialize_head(std::size_t content_length) const {
+  util::Buffer out;
+  serialize_head_into(out, content_length);
+  return std::string(out.peek_view());
 }
 
 std::string Response::serialize() const {
-  return serialize_head(body.size()) + body;
+  util::Buffer out;
+  std::string_view b = effective_body();
+  serialize_head_into(out, b.size());
+  out.write(b);
+  return std::string(out.peek_view());
 }
 
 const char* reason_phrase(int status) {

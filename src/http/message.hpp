@@ -12,9 +12,12 @@
 #include <utility>
 #include <vector>
 
+#include "util/buffer.hpp"
+
 namespace clarens::http {
 
-/// Ordered, case-insensitive-lookup header list.
+/// Ordered, case-insensitive-lookup header list. Lookups compare names
+/// char-by-char (util::iequals) — no lowercase temporaries.
 class Headers {
  public:
   void add(std::string name, std::string value);
@@ -22,7 +25,9 @@ class Headers {
   /// First value, case-insensitive name match.
   std::optional<std::string> get(std::string_view name) const;
   std::string get_or(std::string_view name, std::string fallback) const;
-  bool has(std::string_view name) const { return get(name).has_value(); }
+  /// Allocation-free lookup: pointer to the stored value, or nullptr.
+  const std::string* find(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != nullptr; }
 
   const std::vector<std::pair<std::string, std::string>>& all() const {
     return items_;
@@ -56,6 +61,16 @@ struct Response {
   Headers headers;
   std::string body;
 
+  /// When set, the body bytes live in an external arena (e.g. the worker's
+  /// reusable serialization buffer) and `body` is ignored. The referenced
+  /// storage must stay alive and unmodified until the response is written;
+  /// the server writes it in the same worker turn that produced it.
+  std::optional<std::string_view> body_view;
+
+  std::string_view effective_body() const {
+    return body_view ? *body_view : std::string_view(body);
+  }
+
   /// When set, the server streams this file region as the body instead of
   /// `body`, using sendfile(2) on plaintext connections. Content-Length is
   /// set automatically.
@@ -70,6 +85,9 @@ struct Response {
                        std::string content_type = "text/plain");
 
   std::string serialize_head(std::size_t content_length) const;
+  /// Append the status line + headers + blank line to `out` without
+  /// intermediate strings (the server's vectored-write hot path).
+  void serialize_head_into(util::Buffer& out, std::size_t content_length) const;
   std::string serialize() const;
 };
 

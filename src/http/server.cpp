@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "http/parser.hpp"
+#include "util/buffer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -374,9 +375,17 @@ void Server::serve_tls(net::TcpConnection tcp) {
 void Server::send_response(net::Stream& stream, net::TcpConnection* plain_tcp,
                            const Request& request, Response response) {
   if (!response.file) {
-    std::string wire = response.serialize_head(response.body.size());
-    if (request.method != "HEAD") wire += response.body;
-    stream.write_all(wire);
+    // Head into a per-worker scratch buffer, then one vectored write of
+    // {head, body}: the body (often a view of the handler's serialization
+    // arena) is never copied into a combined wire string.
+    std::string_view body = response.effective_body();
+    thread_local util::Buffer head;
+    head.clear();
+    response.serialize_head_into(head, body.size());
+    std::array<std::string_view, 2> chunks = {
+        head.peek_view(),
+        request.method != "HEAD" ? body : std::string_view()};
+    stream.write_vec(chunks);
     return;
   }
 

@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/sendfile.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -105,6 +106,60 @@ void TcpConnection::write_all(std::span<const std::uint8_t> data) {
       throw_errno("write");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Stream::write_vec(std::span<const std::string_view> chunks) {
+  for (std::string_view chunk : chunks) write_all(chunk);
+}
+
+void TcpConnection::write_vec(std::span<const std::string_view> chunks) {
+  // One writev(2) in the common case: header + body leave the process in
+  // a single syscall without gluing them into a temporary string.
+  iovec iov[8];
+  std::size_t count = 0;
+  std::size_t total = 0;
+  for (std::string_view chunk : chunks) {
+    if (chunk.empty()) continue;
+    if (count == std::size(iov)) {  // overflow: flush what we have
+      break;
+    }
+    iov[count].iov_base = const_cast<char*>(chunk.data());
+    iov[count].iov_len = chunk.size();
+    total += chunk.size();
+    ++count;
+  }
+  if (count == 0) return;
+  std::size_t sent = 0;
+  std::size_t first = 0;
+  while (sent < total) {
+    ssize_t n = ::writev(fd_.get(), iov + first, static_cast<int>(count - first));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_writable(-1);
+        continue;
+      }
+      throw_errno("writev");
+    }
+    sent += static_cast<std::size_t>(n);
+    // Skip fully-sent iovecs; trim a partially-sent one.
+    std::size_t done = static_cast<std::size_t>(n);
+    while (first < count && done >= iov[first].iov_len) {
+      done -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < count && done > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + done;
+      iov[first].iov_len -= done;
+    }
+  }
+  // Chunks beyond the iovec window (rare: >8 non-empty chunks) fall back.
+  std::size_t consumed = 0;
+  for (std::string_view chunk : chunks) {
+    if (chunk.empty()) continue;
+    if (consumed == std::size(iov)) write_all(chunk);
+    else ++consumed;
   }
 }
 

@@ -46,6 +46,12 @@ class Stream {
   /// Blocking write of the full span.
   virtual void write_all(std::span<const std::uint8_t> data) = 0;
 
+  /// Scatter-gather write of all chunks, in order. The base implementation
+  /// loops write_all (TLS streams must encrypt per record anyway); the TCP
+  /// stream overrides it with a single writev(2) so a response's header and
+  /// body leave in one syscall without being glued into a temporary.
+  virtual void write_vec(std::span<const std::string_view> chunks);
+
   virtual void close() = 0;
 
   void write_all(std::string_view s) {
@@ -65,6 +71,7 @@ class TcpConnection : public Stream {
   std::size_t read(std::span<std::uint8_t> out) override;
   void write_all(std::span<const std::uint8_t> data) override;
   using Stream::write_all;
+  void write_vec(std::span<const std::string_view> chunks) override;
   void close() override;
 
   /// Non-blocking variants for the async client/reactor:

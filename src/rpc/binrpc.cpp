@@ -3,7 +3,6 @@
 #include <cstring>
 
 #include "rpc/fault.hpp"
-#include "util/buffer.hpp"
 #include "util/error.hpp"
 
 namespace clarens::rpc::binrpc {
@@ -25,6 +24,49 @@ enum Tag : std::uint8_t {
   kDateTime = 6,
   kArray = 7,
   kStruct = 8,
+};
+
+/// Cursor over the request bytes; no staging copy of the body.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool empty() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  const char* require(std::size_t n) {
+    if (remaining() < n) throw ParseError("binrpc: truncated frame");
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::uint8_t read_u8() {
+    return static_cast<std::uint8_t>(*require(1));
+  }
+  std::uint32_t read_u32() {
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(require(4));
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+  }
+  std::uint64_t read_u64() {
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(require(8));
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+    return v;
+  }
+  std::string_view read_view(std::size_t n) {
+    const char* p = require(n);
+    return {p, n};
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
 };
 
 void write_value(util::Buffer& out, const Value& value);
@@ -90,13 +132,13 @@ void write_value(util::Buffer& out, const Value& value) {
   }
 }
 
-std::string read_string(util::Buffer& in) {
+std::string_view read_string_view(Reader& in) {
   std::uint32_t length = in.read_u32();
   if (length > kMaxLength) throw ParseError("binrpc string too long");
-  return in.read_string(length);
+  return in.read_view(length);
 }
 
-Value read_value(util::Buffer& in, int depth = 0) {
+Value read_value(Reader& in, int depth = 0) {
   if (depth > 64) throw ParseError("binrpc value nesting too deep");
   std::uint8_t tag = in.read_u8();
   switch (tag) {
@@ -109,11 +151,13 @@ Value read_value(util::Buffer& in, int depth = 0) {
       std::memcpy(&d, &bits, sizeof(d));
       return Value(d);
     }
-    case kString: return Value(read_string(in));
+    case kString: return Value(std::string(read_string_view(in)));
     case kBinary: {
       std::uint32_t length = in.read_u32();
       if (length > kMaxLength) throw ParseError("binrpc blob too long");
-      return Value(in.read(length));
+      std::string_view bytes = in.read_view(length);
+      const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+      return Value(std::vector<std::uint8_t>(p, p + bytes.size()));
     }
     case kDateTime:
       return Value(DateTime{static_cast<std::int64_t>(in.read_u64())});
@@ -131,7 +175,7 @@ Value read_value(util::Buffer& in, int depth = 0) {
       if (count > kMaxLength) throw ParseError("binrpc struct too long");
       Value out = Value::struct_();
       for (std::uint32_t i = 0; i < count; ++i) {
-        std::string name = read_string(in);
+        std::string name(read_string_view(in));
         out.set(name, read_value(in, depth + 1));
       }
       return out;
@@ -141,19 +185,16 @@ Value read_value(util::Buffer& in, int depth = 0) {
   }
 }
 
-util::Buffer begin_frame(std::uint8_t kind) {
-  util::Buffer out;
+void write_frame_header(util::Buffer& out, std::uint8_t kind) {
   out.write(std::string_view(kMagic, 4));
   out.write_u8(kVersion);
   out.write_u8(kind);
-  return out;
 }
 
-util::Buffer open_frame(std::string_view body, std::uint8_t expected_kind) {
-  util::Buffer in;
-  in.write(body);
-  if (in.readable() < 6) throw ParseError("binrpc frame too short");
-  std::string magic = in.read_string(4);
+Reader open_frame(std::string_view body, std::uint8_t expected_kind) {
+  if (body.size() < 6) throw ParseError("binrpc frame too short");
+  Reader in(body);
+  std::string_view magic = in.read_view(4);
   if (std::memcmp(magic.data(), kMagic, 4) != 0) {
     throw ParseError("binrpc: bad magic");
   }
@@ -166,39 +207,39 @@ util::Buffer open_frame(std::string_view body, std::uint8_t expected_kind) {
   return in;
 }
 
-std::string take(util::Buffer& out) {
-  auto bytes = out.peek();
-  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-}
-
 }  // namespace
 
 std::string serialize_value(const Value& value) {
   util::Buffer out;
   write_value(out, value);
-  return take(out);
+  return std::string(out.peek_view());
 }
 
 Value parse_value(std::string_view bytes) {
-  util::Buffer in;
-  in.write(bytes);
+  Reader in(bytes);
   Value v = read_value(in);
   if (!in.empty()) throw ParseError("binrpc: trailing bytes after value");
   return v;
 }
 
-std::string serialize_request(const Request& request) {
-  util::Buffer out = begin_frame(kKindRequest);
-  write_value(out, Value(request.method));
-  Value params = Value::array();
-  for (const auto& p : request.params) params.push(p);
-  write_value(out, params);
+void serialize_request(const Request& request, util::Buffer& out) {
+  write_frame_header(out, kKindRequest);
+  out.write_u8(kString);
+  write_string(out, request.method);
+  out.write_u8(kArray);
+  out.write_u32(static_cast<std::uint32_t>(request.params.size()));
+  for (const auto& p : request.params) write_value(out, p);
   write_value(out, request.id);
-  return take(out);
+}
+
+std::string serialize_request(const Request& request) {
+  util::Buffer out;
+  serialize_request(request, out);
+  return std::string(out.peek_view());
 }
 
 Request parse_request(std::string_view body) {
-  util::Buffer in = open_frame(body, kKindRequest);
+  Reader in = open_frame(body, kKindRequest);
   Request request;
   request.method = read_value(in).as_string();
   if (request.method.empty()) throw ParseError("binrpc: empty method");
@@ -208,8 +249,8 @@ Request parse_request(std::string_view body) {
   return request;
 }
 
-std::string serialize_response(const Response& response) {
-  util::Buffer out = begin_frame(kKindResponse);
+void serialize_response(const Response& response, util::Buffer& out) {
+  write_frame_header(out, kKindResponse);
   out.write_u8(response.is_fault ? 1 : 0);
   if (response.is_fault) {
     out.write_u32(static_cast<std::uint32_t>(response.fault_code));
@@ -218,11 +259,16 @@ std::string serialize_response(const Response& response) {
     write_value(out, response.result);
     write_value(out, response.id);
   }
-  return take(out);
+}
+
+std::string serialize_response(const Response& response) {
+  util::Buffer out;
+  serialize_response(response, out);
+  return std::string(out.peek_view());
 }
 
 Response parse_response(std::string_view body) {
-  util::Buffer in = open_frame(body, kKindResponse);
+  Reader in = open_frame(body, kKindResponse);
   Response response;
   response.is_fault = in.read_u8() != 0;
   if (response.is_fault) {

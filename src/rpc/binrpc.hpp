@@ -14,16 +14,24 @@
 //     4 string(u32 len + bytes) | 5 binary(u32 len + bytes) |
 //     6 datetime(i64) | 7 array(u32 n + values) |
 //     8 struct(u32 n + (string name, value)*n)
+//
+// Parsing reads straight off the request string_view (no staging copy);
+// serialization appends into a caller-owned util::Buffer.
 #pragma once
 
 #include <string>
 
 #include "rpc/xmlrpc.hpp"  // Request/Response structs
+#include "util/buffer.hpp"
 
 namespace clarens::rpc::binrpc {
 
 /// Magic prefix used for transport sniffing.
 inline constexpr char kMagic[4] = {'C', 'R', 'P', 'C'};
+
+/// Append the wire form to `out` (no intermediate strings).
+void serialize_request(const Request& request, util::Buffer& out);
+void serialize_response(const Response& response, util::Buffer& out);
 
 std::string serialize_request(const Request& request);
 Request parse_request(std::string_view body);

@@ -1,9 +1,9 @@
 #include "rpc/jsonrpc.hpp"
 
+#include <array>
 #include <cctype>
 #include <charconv>
 #include <cmath>
-#include <cstdio>
 
 #include "rpc/fault.hpp"
 #include "util/clock.hpp"
@@ -14,82 +14,98 @@ namespace clarens::rpc::jsonrpc {
 
 namespace {
 
-void write_json(std::string& out, const Value& value);
+void write_json(util::Buffer& out, const Value& value);
 
-void write_json_string(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (unsigned char c : s) {
+constexpr std::array<bool, 256> make_escape_table() {
+  std::array<bool, 256> t{};
+  for (int c = 0; c < 0x20; ++c) t[static_cast<std::size_t>(c)] = true;
+  t['"'] = true;
+  t['\\'] = true;
+  return t;
+}
+constexpr std::array<bool, 256> kNeedsEscape = make_escape_table();
+
+void write_json_string(util::Buffer& out, std::string_view s) {
+  out.write_u8('"');
+  // Emit maximal clean runs in one memcpy; escape the rare byte between.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (!kNeedsEscape[c]) continue;
+    out.write(s.data() + start, i - start);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(static_cast<char>(c));
-        }
+      case '"': out.write("\\\""); break;
+      case '\\': out.write("\\\\"); break;
+      case '\b': out.write("\\b"); break;
+      case '\f': out.write("\\f"); break;
+      case '\n': out.write("\\n"); break;
+      case '\r': out.write("\\r"); break;
+      case '\t': out.write("\\t"); break;
+      default: {
+        constexpr char kHex[] = "0123456789abcdef";
+        char buf[6] = {'\\', 'u', '0', '0', kHex[(c >> 4) & 0xf],
+                       kHex[c & 0xf]};
+        out.write(buf, sizeof(buf));
+      }
     }
+    start = i + 1;
   }
-  out.push_back('"');
+  out.write(s.data() + start, s.size() - start);
+  out.write_u8('"');
 }
 
-void write_json(std::string& out, const Value& value) {
+void write_json(util::Buffer& out, const Value& value) {
   switch (value.type()) {
-    case Value::Type::Nil: out += "null"; break;
-    case Value::Type::Bool: out += value.as_bool() ? "true" : "false"; break;
-    case Value::Type::Int: out += std::to_string(value.as_int()); break;
+    case Value::Type::Nil: out.write("null"); break;
+    case Value::Type::Bool:
+      out.write(value.as_bool() ? std::string_view("true")
+                                : std::string_view("false"));
+      break;
+    case Value::Type::Int: util::append_int(out, value.as_int()); break;
     case Value::Type::Double: {
       double d = value.as_double();
       if (!std::isfinite(d)) {
         // JSON cannot express NaN/Inf; null is the conventional fallback.
-        out += "null";
+        out.write("null");
         break;
       }
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.17g", d);
-      out += buf;
+      util::append_double(out, d);
       break;
     }
     case Value::Type::String: write_json_string(out, value.as_string()); break;
-    case Value::Type::Binary:
-      out += "{\"$base64\":";
-      write_json_string(out, util::base64_encode(value.as_binary()));
-      out.push_back('}');
+    case Value::Type::Binary: {
+      out.write("{\"$base64\":\"");
+      util::base64_encode_append(out, value.as_binary());
+      out.write("\"}");
       break;
+    }
     case Value::Type::DateTime:
-      out += "{\"$datetime\":";
+      out.write("{\"$datetime\":");
       write_json_string(out, util::iso8601(value.as_datetime().unix_seconds));
-      out.push_back('}');
+      out.write_u8('}');
       break;
     case Value::Type::Array: {
-      out.push_back('[');
+      out.write_u8('[');
       bool first = true;
       for (const auto& element : value.as_array()) {
-        if (!first) out.push_back(',');
+        if (!first) out.write_u8(',');
         write_json(out, element);
         first = false;
       }
-      out.push_back(']');
+      out.write_u8(']');
       break;
     }
     case Value::Type::Struct: {
-      out.push_back('{');
+      out.write_u8('{');
       bool first = true;
       for (const auto& [name, member] : value.members()) {
-        if (!first) out.push_back(',');
+        if (!first) out.write_u8(',');
         write_json_string(out, name);
-        out.push_back(':');
+        out.write_u8(':');
         write_json(out, member);
         first = false;
       }
-      out.push_back('}');
+      out.write_u8('}');
       break;
     }
   }
@@ -152,7 +168,16 @@ class JsonParser {
 
   std::string parse_string() {
     expect("\"");
-    std::string out;
+    // Fast path: most strings have no escapes — one find, one copy.
+    std::size_t end = text_.find_first_of("\"\\", pos_);
+    if (end == std::string_view::npos) fail("unterminated string");
+    if (text_[end] == '"') {
+      std::string out(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+      return out;
+    }
+    std::string out(text_.substr(pos_, end - pos_));
+    pos_ = end;
     for (;;) {
       if (eof()) fail("unterminated string");
       char c = text_[pos_++];
@@ -224,11 +249,12 @@ class JsonParser {
       auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
       if (ec == std::errc() && p == token.data() + token.size()) return Value(v);
     }
-    try {
-      return Value(std::stod(std::string(token)));
-    } catch (const std::exception&) {
+    double d = 0;
+    auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || p != token.data() + token.size()) {
       fail("invalid number '" + std::string(token) + "'");
     }
+    return Value(d);
   }
 
   Value parse_array() {
@@ -290,10 +316,14 @@ class JsonParser {
 
 }  // namespace
 
-std::string serialize_value(const Value& value) {
-  std::string out;
+void serialize_value(const Value& value, util::Buffer& out) {
   write_json(out, value);
-  return out;
+}
+
+std::string serialize_value(const Value& value) {
+  util::Buffer out;
+  write_json(out, value);
+  return std::string(out.peek_view());
 }
 
 Value parse_value(std::string_view json) {
@@ -301,17 +331,25 @@ Value parse_value(std::string_view json) {
   return parser.parse_document();
 }
 
-std::string serialize_request(const Request& request) {
-  std::string out = "{\"method\":";
+void serialize_request(const Request& request, util::Buffer& out) {
+  out.write("{\"method\":");
   write_json_string(out, request.method);
-  out += ",\"params\":";
-  Value params = Value::array();
-  for (const auto& p : request.params) params.push(p);
-  write_json(out, params);
-  out += ",\"id\":";
+  out.write(",\"params\":[");
+  bool first = true;
+  for (const auto& p : request.params) {
+    if (!first) out.write_u8(',');
+    write_json(out, p);
+    first = false;
+  }
+  out.write("],\"id\":");
   write_json(out, request.id);
-  out.push_back('}');
-  return out;
+  out.write_u8('}');
+}
+
+std::string serialize_request(const Request& request) {
+  util::Buffer out;
+  serialize_request(request, out);
+  return std::string(out.peek_view());
 }
 
 Request parse_request(std::string_view body) {
@@ -330,22 +368,27 @@ Request parse_request(std::string_view body) {
   return request;
 }
 
-std::string serialize_response(const Response& response) {
-  std::string out = "{\"result\":";
+void serialize_response(const Response& response, util::Buffer& out) {
+  out.write("{\"result\":");
   if (response.is_fault) {
-    out += "null,\"error\":{\"code\":";
-    out += std::to_string(response.fault_code);
-    out += ",\"message\":";
+    out.write("null,\"error\":{\"code\":");
+    util::append_int(out, response.fault_code);
+    out.write(",\"message\":");
     write_json_string(out, response.fault_message);
-    out += "}";
+    out.write_u8('}');
   } else {
     write_json(out, response.result);
-    out += ",\"error\":null";
+    out.write(",\"error\":null");
   }
-  out += ",\"id\":";
+  out.write(",\"id\":");
   write_json(out, response.id);
-  out.push_back('}');
-  return out;
+  out.write_u8('}');
+}
+
+std::string serialize_response(const Response& response) {
+  util::Buffer out;
+  serialize_response(response, out);
+  return std::string(out.peek_view());
 }
 
 Response parse_response(std::string_view body) {

@@ -12,8 +12,13 @@
 #include <string>
 
 #include "rpc/xmlrpc.hpp"  // Request/Response structs
+#include "util/buffer.hpp"
 
 namespace clarens::rpc::jsonrpc {
+
+/// Append the wire form to `out` (no intermediate strings).
+void serialize_request(const Request& request, util::Buffer& out);
+void serialize_response(const Response& response, util::Buffer& out);
 
 std::string serialize_request(const Request& request);
 Request parse_request(std::string_view body);
@@ -23,6 +28,7 @@ Response parse_response(std::string_view body);
 
 /// Bare JSON value codec (exposed for tests and the discovery wire format).
 std::string serialize_value(const Value& value);
+void serialize_value(const Value& value, util::Buffer& out);
 Value parse_value(std::string_view json);
 
 }  // namespace clarens::rpc::jsonrpc

@@ -32,11 +32,11 @@ Protocol detect(std::string_view content_type_header, std::string_view body) {
   if (body.size() >= 4 && body.substr(0, 4) == std::string_view(binrpc::kMagic, 4)) {
     return Protocol::Binary;
   }
-  std::string ct = util::to_lower(util::trim(content_type_header));
-  if (ct.find("x-clarens-binary") != std::string::npos) return Protocol::Binary;
-  if (ct.find("json") != std::string::npos) return Protocol::JsonRpc;
-  if (ct.find("soap") != std::string::npos) return Protocol::Soap;
-  if (ct.find("xml") != std::string::npos) {
+  std::string_view ct = util::trim(content_type_header);
+  if (util::icontains(ct, "x-clarens-binary")) return Protocol::Binary;
+  if (util::icontains(ct, "json")) return Protocol::JsonRpc;
+  if (util::icontains(ct, "soap")) return Protocol::Soap;
+  if (util::icontains(ct, "xml")) {
     // Both XML-RPC and SOAP arrive as text/xml from old clients; sniff.
     if (body.find("Envelope") != std::string_view::npos) return Protocol::Soap;
     return Protocol::XmlRpc;
@@ -78,6 +78,26 @@ std::string serialize_response(Protocol protocol, const Response& response) {
     case Protocol::Soap: return soap::serialize_response(response);
   }
   return {};
+}
+
+void serialize_request(Protocol protocol, const Request& request,
+                       util::Buffer& out) {
+  switch (protocol) {
+    case Protocol::XmlRpc: xmlrpc::serialize_request(request, out); return;
+    case Protocol::JsonRpc: jsonrpc::serialize_request(request, out); return;
+    case Protocol::Binary: binrpc::serialize_request(request, out); return;
+    case Protocol::Soap: soap::serialize_request(request, out); return;
+  }
+}
+
+void serialize_response(Protocol protocol, const Response& response,
+                        util::Buffer& out) {
+  switch (protocol) {
+    case Protocol::XmlRpc: xmlrpc::serialize_response(response, out); return;
+    case Protocol::JsonRpc: jsonrpc::serialize_response(response, out); return;
+    case Protocol::Binary: binrpc::serialize_response(response, out); return;
+    case Protocol::Soap: soap::serialize_response(response, out); return;
+  }
 }
 
 Response parse_response(Protocol protocol, std::string_view body) {

@@ -23,4 +23,12 @@ Request parse_request(Protocol protocol, std::string_view body);
 std::string serialize_response(Protocol protocol, const Response& response);
 Response parse_response(Protocol protocol, std::string_view body);
 
+/// Arena variants: append the wire form to `out` with no intermediate
+/// strings (the server hot path serializes into a reusable per-worker
+/// buffer and sends it with a vectored write).
+void serialize_request(Protocol protocol, const Request& request,
+                       util::Buffer& out);
+void serialize_response(Protocol protocol, const Response& response,
+                        util::Buffer& out);
+
 }  // namespace clarens::rpc

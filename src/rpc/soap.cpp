@@ -9,93 +9,109 @@ namespace clarens::rpc::soap {
 
 namespace {
 
-constexpr const char* kEnvelopeOpen =
+constexpr std::string_view kEnvelopeOpen =
     "<?xml version=\"1.0\"?>"
     "<SOAP-ENV:Envelope "
     "xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\" "
     "xmlns:m=\"urn:clarens\">"
     "<SOAP-ENV:Body>";
-constexpr const char* kEnvelopeClose = "</SOAP-ENV:Body></SOAP-ENV:Envelope>";
+constexpr std::string_view kEnvelopeClose =
+    "</SOAP-ENV:Body></SOAP-ENV:Envelope>";
 
 // Method names contain dots (file.read); XML element names may contain
 // dots too, so they pass through unmodified.
 
-const XmlNode* find_body(const XmlNode& root) {
+const XmlSlice* find_body(const XmlSlice& root) {
   if (root.local_name() != "Envelope") {
     throw ParseError("SOAP document root must be Envelope");
   }
-  const XmlNode* body = root.child("Body");
+  const XmlSlice* body = root.child("Body");
   if (!body) throw ParseError("SOAP Envelope missing Body");
   return body;
 }
 
 }  // namespace
 
-std::string serialize_request(const Request& request) {
-  std::string out = kEnvelopeOpen;
-  out += "<m:" + request.method + ">";
+void serialize_request(const Request& request, util::Buffer& out) {
+  out.write(kEnvelopeOpen);
+  out.write("<m:");
+  out.write(request.method);
+  out.write(">");
   for (const auto& param : request.params) {
-    out += "<param>";
-    out += xmlrpc::serialize_value(param);
-    out += "</param>";
+    out.write("<param>");
+    xmlrpc::serialize_value(param, out);
+    out.write("</param>");
   }
-  out += "</m:" + request.method + ">";
-  out += kEnvelopeClose;
-  return out;
+  out.write("</m:");
+  out.write(request.method);
+  out.write(">");
+  out.write(kEnvelopeClose);
+}
+
+std::string serialize_request(const Request& request) {
+  util::Buffer out;
+  serialize_request(request, out);
+  return std::string(out.peek_view());
 }
 
 Request parse_request(std::string_view body_text) {
-  XmlNode root = xml_parse(body_text);
-  const XmlNode* body = find_body(root);
+  XmlSlice root = xml_parse_slices(body_text);
+  const XmlSlice* body = find_body(root);
   if (body->children.empty()) throw ParseError("SOAP Body is empty");
-  const XmlNode& call = body->children.front();
+  const XmlSlice& call = body->children.front();
   Request request;
-  request.method = call.local_name();
+  request.method = std::string(call.local_name());
   for (const auto& param : call.children) {
     if (param.local_name() != "param") continue;
-    const XmlNode* value = param.child("value");
+    const XmlSlice* value = param.child("value");
     if (!value) throw ParseError("SOAP <param> missing <value>");
     request.params.push_back(xmlrpc::parse_value_xml(*value));
   }
   return request;
 }
 
-std::string serialize_response(const Response& response) {
-  std::string out = kEnvelopeOpen;
+void serialize_response(const Response& response, util::Buffer& out) {
+  out.write(kEnvelopeOpen);
   if (response.is_fault) {
-    out += "<SOAP-ENV:Fault><faultcode>";
-    out += std::to_string(response.fault_code);
-    out += "</faultcode><faultstring>";
-    out += xml_escape(response.fault_message);
-    out += "</faultstring></SOAP-ENV:Fault>";
+    out.write("<SOAP-ENV:Fault><faultcode>");
+    util::append_int(out, response.fault_code);
+    out.write("</faultcode><faultstring>");
+    xml_escape_append(out, response.fault_message);
+    out.write("</faultstring></SOAP-ENV:Fault>");
   } else {
-    out += "<m:Response><param>";
-    out += xmlrpc::serialize_value(response.result);
-    out += "</param></m:Response>";
+    out.write("<m:Response><param>");
+    xmlrpc::serialize_value(response.result, out);
+    out.write("</param></m:Response>");
   }
-  out += kEnvelopeClose;
-  return out;
+  out.write(kEnvelopeClose);
+}
+
+std::string serialize_response(const Response& response) {
+  util::Buffer out;
+  serialize_response(response, out);
+  return std::string(out.peek_view());
 }
 
 Response parse_response(std::string_view body_text) {
-  XmlNode root = xml_parse(body_text);
-  const XmlNode* body = find_body(root);
+  XmlSlice root = xml_parse_slices(body_text);
+  const XmlSlice* body = find_body(root);
   if (body->children.empty()) throw ParseError("SOAP Body is empty");
-  const XmlNode& payload = body->children.front();
+  const XmlSlice& payload = body->children.front();
   if (payload.local_name() == "Fault") {
-    const XmlNode* code = payload.child("faultcode");
-    const XmlNode* message = payload.child("faultstring");
+    const XmlSlice* code = payload.child("faultcode");
+    const XmlSlice* message = payload.child("faultstring");
     if (!code || !message) throw ParseError("SOAP Fault missing fields");
     Response response;
     response.is_fault = true;
+    std::string code_text = code->text();
     response.fault_code =
-        static_cast<int>(util::parse_int(util::trim(code->text)));
-    response.fault_message = message->text;
+        static_cast<int>(util::parse_int(util::trim(code_text)));
+    response.fault_message = message->text();
     return response;
   }
-  const XmlNode* param = payload.child("param");
+  const XmlSlice* param = payload.child("param");
   if (!param) throw ParseError("SOAP response missing <param>");
-  const XmlNode* value = param->child("value");
+  const XmlSlice* value = param->child("value");
   if (!value) throw ParseError("SOAP response <param> missing <value>");
   return Response::success(xmlrpc::parse_value_xml(*value));
 }

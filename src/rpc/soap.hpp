@@ -9,8 +9,13 @@
 #include <string>
 
 #include "rpc/xmlrpc.hpp"  // Request/Response structs
+#include "util/buffer.hpp"
 
 namespace clarens::rpc::soap {
+
+/// Append the wire form to `out` (no intermediate strings).
+void serialize_request(const Request& request, util::Buffer& out);
+void serialize_response(const Response& response, util::Buffer& out);
 
 std::string serialize_request(const Request& request);
 Request parse_request(std::string_view body);

@@ -1,19 +1,128 @@
 #include "rpc/xml.hpp"
 
+#include <array>
 #include <cctype>
+#include <charconv>
+#include <cstring>
 
 #include "util/error.hpp"
 
 namespace clarens::rpc {
 
-std::string XmlNode::local_name() const {
+namespace {
+
+constexpr std::string_view kXmlSpecial = "<>&\"'";
+
+std::string_view entity_for(char c) {
+  switch (c) {
+    case '<': return "&lt;";
+    case '>': return "&gt;";
+    case '&': return "&amp;";
+    case '"': return "&quot;";
+    case '\'': return "&apos;";
+  }
+  return {};
+}
+
+void escape_into(std::string& out, std::string_view text, std::size_t first) {
+  std::size_t i = 0;
+  std::size_t pos = first;
+  for (;;) {
+    out.append(text.substr(i, pos - i));
+    out.append(entity_for(text[pos]));
+    i = pos + 1;
+    pos = text.find_first_of(kXmlSpecial, i);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(i));
+      return;
+    }
+  }
+}
+
+void utf8_append(std::string& out, long code) {
+  if (code < 0x80) {
+    out.push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  }
+}
+
+void unescape_append(std::string& out, std::string_view raw) {
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t amp = raw.find('&', i);
+    if (amp == std::string_view::npos) {
+      out.append(raw.substr(i));
+      return;
+    }
+    out.append(raw.substr(i, amp - i));
+    std::size_t semi = raw.find(';', amp);
+    if (semi == std::string_view::npos) {
+      throw ParseError("XML parse error: unterminated entity");
+    }
+    std::string_view ent = raw.substr(amp + 1, semi - amp - 1);
+    if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      std::string_view digits = ent.substr(1);
+      int base = 10;
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits.remove_prefix(1);
+      }
+      long code = 0;
+      auto [p, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), code, base);
+      if (ec != std::errc() || p != digits.data() + digits.size() ||
+          digits.empty() || code < 0) {
+        throw ParseError("XML parse error: invalid character reference '&" +
+                         std::string(ent) + ";'");
+      }
+      utf8_append(out, code);
+    } else {
+      throw ParseError("XML parse error: unknown entity '&" + std::string(ent) +
+                       ";'");
+    }
+    i = semi + 1;
+  }
+}
+
+/// Decode only when an ampersand is actually present.
+void maybe_unescape_append(std::string& out, std::string_view raw) {
+  if (raw.find('&') == std::string_view::npos) {
+    out.append(raw);
+  } else {
+    unescape_append(out, raw);
+  }
+}
+
+std::string_view strip_prefix(std::string_view tag) {
   std::size_t colon = tag.find(':');
-  return colon == std::string::npos ? tag : tag.substr(colon + 1);
+  return colon == std::string_view::npos ? tag : tag.substr(colon + 1);
+}
+
+}  // namespace
+
+std::string XmlNode::local_name() const {
+  return std::string(strip_prefix(tag));
 }
 
 const XmlNode* XmlNode::child(std::string_view local) const {
   for (const auto& c : children) {
-    if (c.local_name() == local) return &c;
+    if (strip_prefix(c.tag) == local) return &c;
   }
   return nullptr;
 }
@@ -21,7 +130,7 @@ const XmlNode* XmlNode::child(std::string_view local) const {
 std::vector<const XmlNode*> XmlNode::children_named(std::string_view local) const {
   std::vector<const XmlNode*> out;
   for (const auto& c : children) {
-    if (c.local_name() == local) out.push_back(&c);
+    if (strip_prefix(c.tag) == local) out.push_back(&c);
   }
   return out;
 }
@@ -34,163 +143,208 @@ std::string XmlNode::attribute(std::string_view name) const {
 }
 
 std::string xml_escape(std::string_view text) {
+  std::size_t first = text.find_first_of(kXmlSpecial);
+  if (first == std::string_view::npos) return std::string(text);
   std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '&': out += "&amp;"; break;
-      case '"': out += "&quot;"; break;
-      case '\'': out += "&apos;"; break;
-      default: out.push_back(c);
-    }
-  }
+  out.reserve(text.size() + 8);
+  escape_into(out, text, first);
   return out;
 }
 
+std::string_view xml_escape(std::string_view text, std::string& scratch) {
+  std::size_t first = text.find_first_of(kXmlSpecial);
+  if (first == std::string_view::npos) return text;
+  scratch.clear();
+  scratch.reserve(text.size() + 8);
+  escape_into(scratch, text, first);
+  return scratch;
+}
+
+void xml_escape_append(util::Buffer& out, std::string_view text) {
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t pos = text.find_first_of(kXmlSpecial, i);
+    if (pos == std::string_view::npos) {
+      out.write(text.substr(i));
+      return;
+    }
+    out.write(text.substr(i, pos - i));
+    out.write(entity_for(text[pos]));
+    i = pos + 1;
+  }
+}
+
+std::string xml_unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  unescape_append(out, raw);
+  return out;
+}
+
+// ---------- pull parser ----------
+
 namespace {
 
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
+inline bool is_xml_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
 
-  XmlNode parse_document() {
-    skip_misc();
-    XmlNode root = parse_element();
-    skip_misc();
-    if (pos_ != text_.size()) fail("trailing content after root element");
-    return root;
-  }
+// Characters allowed in a (simplified) XML name: alnum plus _ - . :
+constexpr std::array<bool, 256> make_name_table() {
+  std::array<bool, 256> t{};
+  for (int c = '0'; c <= '9'; ++c) t[static_cast<std::size_t>(c)] = true;
+  for (int c = 'a'; c <= 'z'; ++c) t[static_cast<std::size_t>(c)] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) t[static_cast<std::size_t>(c)] = true;
+  t[static_cast<std::size_t>('_')] = true;
+  t[static_cast<std::size_t>('-')] = true;
+  t[static_cast<std::size_t>('.')] = true;
+  t[static_cast<std::size_t>(':')] = true;
+  return t;
+}
+constexpr std::array<bool, 256> kNameChar = make_name_table();
 
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw ParseError("XML parse error at offset " + std::to_string(pos_) +
-                     ": " + what);
-  }
+}  // namespace
 
-  bool eof() const { return pos_ >= text_.size(); }
-  char peek() const { return text_[pos_]; }
-  char get() {
-    if (eof()) const_cast<Parser*>(this)->fail("unexpected end of input");
-    return text_[pos_++];
+void XmlPullParser::fail(const std::string& what) const {
+  throw ParseError("XML parse error at offset " + std::to_string(pos_) + ": " +
+                   what);
+}
+
+bool XmlPullParser::consume(std::string_view s) {
+  if (text_.substr(pos_, s.size()) == s) {
+    pos_ += s.size();
+    return true;
   }
-  bool consume(std::string_view s) {
-    if (text_.substr(pos_, s.size()) == s) {
-      pos_ += s.size();
-      return true;
+  return false;
+}
+
+void XmlPullParser::expect(std::string_view s) {
+  if (!consume(s)) fail("expected '" + std::string(s) + "'");
+}
+
+void XmlPullParser::skip_space() {
+  while (!eof() && is_xml_ws(peek())) ++pos_;
+}
+
+// Prolog, comments, whitespace between top-level constructs.
+void XmlPullParser::skip_misc() {
+  for (;;) {
+    skip_space();
+    if (consume("<?")) {
+      std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated processing instruction");
+      pos_ = end + 2;
+    } else if (consume("<!--")) {
+      std::size_t end = text_.find("-->", pos_);
+      if (end == std::string_view::npos) fail("unterminated comment");
+      pos_ = end + 3;
+    } else {
+      return;
     }
-    return false;
   }
-  void expect(std::string_view s) {
-    if (!consume(s)) fail("expected '" + std::string(s) + "'");
-  }
-  void skip_space() {
-    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
-  }
+}
 
-  // Prolog, comments, whitespace between top-level constructs.
-  void skip_misc() {
-    for (;;) {
-      skip_space();
-      if (consume("<?")) {
-        std::size_t end = text_.find("?>", pos_);
-        if (end == std::string_view::npos) fail("unterminated processing instruction");
-        pos_ = end + 2;
-      } else if (consume("<!--")) {
-        std::size_t end = text_.find("-->", pos_);
-        if (end == std::string_view::npos) fail("unterminated comment");
-        pos_ = end + 3;
-      } else {
-        return;
-      }
+std::string_view XmlPullParser::parse_name() {
+  std::size_t start = pos_;
+  while (!eof() && kNameChar[static_cast<unsigned char>(peek())]) ++pos_;
+  if (pos_ == start) fail("expected name");
+  return text_.substr(start, pos_ - start);
+}
+
+XmlPullParser::Event XmlPullParser::parse_start_tag() {
+  ++pos_;  // the '<' both call sites already matched
+  name_ = parse_name();
+  // Fast path: attribute-free tag (every tag XML-RPC emits).
+  if (!eof() && peek() == '>') {
+    ++pos_;
+    if (!attributes_.empty()) attributes_.clear();
+    open_tags_.push_back(name_);
+    return Event::StartTag;
+  }
+  attributes_.clear();
+  for (;;) {
+    skip_space();
+    if (eof()) fail("unterminated start tag");
+    if (consume("/>")) {
+      open_tags_.push_back(name_);
+      pending_end_ = true;  // next() will emit the matching EndTag
+      return Event::StartTag;
     }
-  }
-
-  std::string parse_name() {
+    if (consume(">")) {
+      open_tags_.push_back(name_);
+      return Event::StartTag;
+    }
+    std::string_view attr_name = parse_name();
+    skip_space();
+    expect("=");
+    skip_space();
+    if (eof()) fail("unterminated start tag");
+    char quote = text_[pos_++];
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
     std::size_t start = pos_;
-    while (!eof()) {
-      char c = peek();
-      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
-          c == '.' || c == ':') {
+    while (!eof() && peek() != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    attributes_.emplace_back(attr_name, text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+  }
+}
+
+XmlPullParser::Event XmlPullParser::next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    name_ = open_tags_.back();
+    open_tags_.pop_back();
+    if (open_tags_.empty()) root_seen_ = true;
+    return Event::EndTag;
+  }
+  for (;;) {
+    if (open_tags_.empty()) {
+      // Document level: before the root element or after it closed.
+      skip_misc();
+      if (root_seen_) {
+        if (pos_ != text_.size()) fail("trailing content after root element");
+        return Event::Eof;
+      }
+      if (eof()) fail("unexpected end of input");
+      if (peek() != '<') fail("expected '<'");
+      return parse_start_tag();
+    }
+    if (eof()) {
+      fail("unterminated element <" + std::string(open_tags_.back()) + ">");
+    }
+    if (peek() != '<') {
+      // Character data up to the next '<'; remember whether any entity
+      // reference appeared so decoding can be skipped for clean runs.
+      std::size_t end = text_.find('<', pos_);
+      if (end == std::string_view::npos) end = text_.size();
+      chardata_ = text_.substr(pos_, end - pos_);
+      chardata_escaped_ =
+          std::memchr(chardata_.data(), '&', chardata_.size()) != nullptr;
+      pos_ = end;
+      return Event::Text;
+    }
+    // Dispatch on the character after '<': '/' end tag, '!' comment or
+    // CDATA, anything else a start tag.
+    char kind = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+    if (kind == '/') {
+      pos_ += 2;
+      std::string_view closing = parse_name();
+      if (closing != open_tags_.back()) {
+        fail("mismatched closing tag: <" + std::string(open_tags_.back()) +
+             "> vs </" + std::string(closing) + ">");
+      }
+      if (!eof() && peek() == '>') {
         ++pos_;
       } else {
-        break;
+        skip_space();
+        expect(">");
       }
+      name_ = closing;
+      open_tags_.pop_back();
+      if (open_tags_.empty()) root_seen_ = true;
+      return Event::EndTag;
     }
-    if (pos_ == start) fail("expected name");
-    return std::string(text_.substr(start, pos_ - start));
-  }
-
-  std::string decode_entities(std::string_view raw) {
-    std::string out;
-    out.reserve(raw.size());
-    std::size_t i = 0;
-    while (i < raw.size()) {
-      if (raw[i] != '&') {
-        out.push_back(raw[i++]);
-        continue;
-      }
-      std::size_t semi = raw.find(';', i);
-      if (semi == std::string_view::npos) fail("unterminated entity");
-      std::string_view ent = raw.substr(i + 1, semi - i - 1);
-      if (ent == "lt") out.push_back('<');
-      else if (ent == "gt") out.push_back('>');
-      else if (ent == "amp") out.push_back('&');
-      else if (ent == "quot") out.push_back('"');
-      else if (ent == "apos") out.push_back('\'');
-      else if (!ent.empty() && ent[0] == '#') {
-        long code = 0;
-        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-        } else {
-          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
-        }
-        // UTF-8 encode the code point.
-        if (code < 0x80) {
-          out.push_back(static_cast<char>(code));
-        } else if (code < 0x800) {
-          out.push_back(static_cast<char>(0xc0 | (code >> 6)));
-          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-        } else {
-          out.push_back(static_cast<char>(0xe0 | (code >> 12)));
-          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
-          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-        }
-      } else {
-        fail("unknown entity '&" + std::string(ent) + ";'");
-      }
-      i = semi + 1;
-    }
-    return out;
-  }
-
-  XmlNode parse_element() {
-    expect("<");
-    XmlNode node;
-    node.tag = parse_name();
-    // Attributes.
-    for (;;) {
-      skip_space();
-      if (eof()) fail("unterminated start tag");
-      if (consume("/>")) return node;  // empty element
-      if (consume(">")) break;
-      std::string name = parse_name();
-      skip_space();
-      expect("=");
-      skip_space();
-      char quote = get();
-      if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
-      std::size_t start = pos_;
-      while (!eof() && peek() != quote) ++pos_;
-      if (eof()) fail("unterminated attribute value");
-      std::string value = decode_entities(text_.substr(start, pos_ - start));
-      ++pos_;  // closing quote
-      node.attributes.emplace_back(std::move(name), std::move(value));
-    }
-    // Content.
-    for (;;) {
-      if (eof()) fail("unterminated element <" + node.tag + ">");
+    if (kind == '!') {
       if (consume("<!--")) {
         std::size_t end = text_.find("-->", pos_);
         if (end == std::string_view::npos) fail("unterminated comment");
@@ -200,77 +354,197 @@ class Parser {
       if (consume("<![CDATA[")) {
         std::size_t end = text_.find("]]>", pos_);
         if (end == std::string_view::npos) fail("unterminated CDATA");
-        node.text.append(text_.substr(pos_, end - pos_));
+        chardata_ = text_.substr(pos_, end - pos_);
+        chardata_escaped_ = false;
         pos_ = end + 3;
-        continue;
+        return Event::Text;
       }
-      if (text_.substr(pos_, 2) == "</") {
-        pos_ += 2;
-        std::string closing = parse_name();
-        if (closing != node.tag) {
-          fail("mismatched closing tag: <" + node.tag + "> vs </" + closing + ">");
-        }
-        skip_space();
-        expect(">");
-        return node;
-      }
-      if (peek() == '<') {
-        node.children.push_back(parse_element());
-        continue;
-      }
-      // Character data up to the next '<'.
-      std::size_t start = pos_;
-      while (!eof() && peek() != '<') ++pos_;
-      node.text.append(decode_entities(text_.substr(start, pos_ - start)));
+      fail("unsupported markup");
+    }
+    return parse_start_tag();
+  }
+}
+
+std::string_view XmlPullParser::local_name() const { return strip_prefix(name_); }
+
+std::string XmlPullParser::text() const {
+  std::string out;
+  out.reserve(chardata_.size());
+  text_append(out);
+  return out;
+}
+
+void XmlPullParser::text_append(std::string& out) const {
+  if (chardata_escaped_) {
+    unescape_append(out, chardata_);
+  } else {
+    out.append(chardata_);
+  }
+}
+
+// ---------- slice tree ----------
+
+std::string_view XmlSlice::local_name() const { return strip_prefix(tag); }
+
+const XmlSlice* XmlSlice::child(std::string_view local) const {
+  for (const auto& c : children) {
+    if (c.local_name() == local) return &c;
+  }
+  return nullptr;
+}
+
+bool XmlSlice::text_is_view() const {
+  return text_segments.empty() ||
+         (text_segments.size() == 1 && !text_segments[0].escaped);
+}
+
+std::string_view XmlSlice::text_view() const {
+  return text_segments.empty() ? std::string_view() : text_segments[0].raw;
+}
+
+std::string XmlSlice::text() const {
+  std::string out;
+  for (const TextSeg& seg : text_segments) {
+    if (seg.escaped) {
+      unescape_append(out, seg.raw);
+    } else {
+      out.append(seg.raw);
     }
   }
+  return out;
+}
 
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+std::string XmlSlice::attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) {
+      std::string out;
+      maybe_unescape_append(out, v);
+      return out;
+    }
+  }
+  return "";
+}
+
+namespace {
+
+void fill_slice(XmlSlice& node, XmlPullParser& parser) {
+  node.tag = parser.name();
+  node.attributes = parser.attributes();
+  for (;;) {
+    switch (parser.next()) {
+      case XmlPullParser::Event::StartTag:
+        fill_slice(node.children.emplace_back(), parser);
+        break;
+      case XmlPullParser::Event::Text:
+        node.text_segments.push_back(
+            {parser.text_raw(), parser.text_needs_unescape()});
+        break;
+      case XmlPullParser::Event::EndTag:
+        return;
+      case XmlPullParser::Event::Eof:
+        return;  // unreachable: the parser throws on unterminated elements
+    }
+  }
+}
+
+void fill_node(XmlNode& node, XmlPullParser& parser) {
+  node.tag = std::string(parser.name());
+  for (const auto& [k, v] : parser.attributes()) {
+    std::string value;
+    maybe_unescape_append(value, v);
+    node.attributes.emplace_back(std::string(k), std::move(value));
+  }
+  for (;;) {
+    switch (parser.next()) {
+      case XmlPullParser::Event::StartTag:
+        fill_node(node.children.emplace_back(), parser);
+        break;
+      case XmlPullParser::Event::Text:
+        if (parser.text_needs_unescape()) {
+          unescape_append(node.text, parser.text_raw());
+        } else {
+          node.text.append(parser.text_raw());
+        }
+        break;
+      case XmlPullParser::Event::EndTag:
+        return;
+      case XmlPullParser::Event::Eof:
+        return;  // unreachable
+    }
+  }
+}
 
 }  // namespace
 
-XmlNode xml_parse(std::string_view text) {
-  Parser parser(text);
-  return parser.parse_document();
+XmlSlice xml_parse_slices(std::string_view text) {
+  XmlPullParser parser(text);
+  parser.next();  // StartTag of the root, or throws
+  XmlSlice root;
+  fill_slice(root, parser);
+  parser.next();  // enforces no trailing content
+  return root;
 }
 
+XmlNode xml_parse(std::string_view text) {
+  XmlPullParser parser(text);
+  parser.next();
+  XmlNode root;
+  fill_node(root, parser);
+  parser.next();
+  return root;
+}
+
+// ---------- writer ----------
+
 void XmlWriter::open(std::string_view tag) {
-  out_.push_back('<');
-  out_.append(tag);
-  out_.push_back('>');
+  out_.write_u8('<');
+  out_.write(tag);
+  out_.write_u8('>');
 }
 
 void XmlWriter::open(
     std::string_view tag,
     std::initializer_list<std::pair<std::string_view, std::string_view>>
         attributes) {
-  out_.push_back('<');
-  out_.append(tag);
+  out_.write_u8('<');
+  out_.write(tag);
   for (const auto& [name, value] : attributes) {
-    out_.push_back(' ');
-    out_.append(name);
-    out_.append("=\"");
-    out_.append(xml_escape(value));
-    out_.push_back('"');
+    out_.write_u8(' ');
+    out_.write(name);
+    out_.write("=\"");
+    xml_escape_append(out_, value);
+    out_.write_u8('"');
   }
-  out_.push_back('>');
+  out_.write_u8('>');
 }
 
 void XmlWriter::close(std::string_view tag) {
-  out_.append("</");
-  out_.append(tag);
-  out_.push_back('>');
+  out_.write("</");
+  out_.write(tag);
+  out_.write_u8('>');
 }
 
-void XmlWriter::text(std::string_view content) { out_.append(xml_escape(content)); }
+void XmlWriter::text(std::string_view content) {
+  xml_escape_append(out_, content);
+}
 
-void XmlWriter::raw(std::string_view content) { out_.append(content); }
+void XmlWriter::raw(std::string_view content) { out_.write(content); }
 
 void XmlWriter::element(std::string_view tag, std::string_view content) {
   open(tag);
   text(content);
+  close(tag);
+}
+
+void XmlWriter::element_int(std::string_view tag, std::int64_t v) {
+  open(tag);
+  util::append_int(out_, v);
+  close(tag);
+}
+
+void XmlWriter::element_double(std::string_view tag, double v) {
+  open(tag);
+  util::append_double(out_, v);
   close(tag);
 }
 

@@ -3,12 +3,23 @@
 // data with the five predefined entities, CDATA sections. No DTDs,
 // processing instructions beyond the prolog, or namespaces resolution
 // (namespace prefixes are kept verbatim in tag names; helpers strip them).
+//
+// Two parsing front ends share one tokenizer:
+//   * XmlPullParser — streaming events over the input string_view, zero
+//     allocation per token; the XML-RPC codec builds rpc::Value directly
+//     from it without materializing a tree.
+//   * xml_parse_slices — an XmlSlice tree whose tags/attributes/text are
+//     string_views into the caller's buffer (which must outlive the
+//     tree); entity decoding is deferred until text()/attribute() ask
+//     for it. xml_parse keeps the legacy owned-string XmlNode tree.
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/buffer.hpp"
 
 namespace clarens::rpc {
 
@@ -33,12 +44,111 @@ struct XmlNode {
 /// Parse a document; returns the root element. Throws clarens::ParseError.
 XmlNode xml_parse(std::string_view text);
 
-/// Escape character data for element content.
+/// Slice-based node: every string_view points into the parsed input,
+/// which must outlive the tree. Entities stay encoded until asked for.
+struct XmlSlice {
+  std::string_view tag;
+  /// Attribute values are raw (entities undecoded); use attribute().
+  std::vector<std::pair<std::string_view, std::string_view>> attributes;
+  struct TextSeg {
+    std::string_view raw;
+    bool escaped;  // may contain entity references (false for CDATA)
+  };
+  std::vector<TextSeg> text_segments;  // character data in document order
+  std::vector<XmlSlice> children;
+
+  std::string_view local_name() const;
+  const XmlSlice* child(std::string_view local) const;
+
+  /// True when the character data is a single entity-free run, i.e.
+  /// text_view() is valid and no decode copy is needed.
+  bool text_is_view() const;
+  std::string_view text_view() const;  // only valid when text_is_view()
+  /// Decoded character data; copies only when entities/CDATA force it.
+  std::string text() const;
+  std::string attribute(std::string_view name) const;  // decoded
+};
+
+/// Parse a document into slices backed by `text`. Throws ParseError.
+XmlSlice xml_parse_slices(std::string_view text);
+
+/// Streaming pull parser. Usage:
+///   XmlPullParser p(body);
+///   for (auto ev = p.next(); ev != Event::Eof; ev = p.next()) ...
+/// A self-closing element yields StartTag followed by EndTag. Comments
+/// and the prolog are skipped. Well-formedness (tag matching, single
+/// root, no trailing content) is enforced; errors throw ParseError.
+class XmlPullParser {
+ public:
+  enum class Event { StartTag, EndTag, Text, Eof };
+
+  explicit XmlPullParser(std::string_view text) : text_(text) {}
+
+  Event next();
+
+  /// Tag name of the current Start/End event, as written.
+  std::string_view name() const { return name_; }
+  std::string_view local_name() const;
+  /// Raw character data of a Text event (CDATA content is raw too).
+  std::string_view text_raw() const { return chardata_; }
+  /// Whether the Text event may contain entity references to decode.
+  bool text_needs_unescape() const { return chardata_escaped_; }
+  std::string text() const;  // decoded
+  /// Append the decoded text of a Text event to `out` (no temporary).
+  void text_append(std::string& out) const;
+  /// Attributes of the current StartTag (raw values).
+  const std::vector<std::pair<std::string_view, std::string_view>>&
+  attributes() const {
+    return attributes_;
+  }
+
+  /// Byte offset of the parse cursor (for error messages).
+  std::size_t offset() const { return pos_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(std::string_view s);
+  void expect(std::string_view s);
+  void skip_space();
+  void skip_misc();
+  std::string_view parse_name();
+  Event parse_start_tag();
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string_view name_;
+  std::string_view chardata_;
+  bool chardata_escaped_ = false;
+  std::vector<std::pair<std::string_view, std::string_view>> attributes_;
+  std::vector<std::string_view> open_tags_;
+  bool pending_end_ = false;  // self-closing: EndTag already due
+  bool root_seen_ = false;
+};
+
+/// Escape character data for element content. The no-escape common case
+/// costs one scan and one allocation for the returned copy; use the
+/// two-argument overload or xml_escape_append to avoid even that.
 std::string xml_escape(std::string_view text);
 
-/// Incremental writer for the serializers.
+/// Allocation-free variant: returns `text` itself when nothing needs
+/// escaping, else fills `scratch` and returns a view of it.
+std::string_view xml_escape(std::string_view text, std::string& scratch);
+
+/// Append the escaped form of `text` to `out`.
+void xml_escape_append(util::Buffer& out, std::string_view text);
+
+/// Decode the five predefined entities and numeric character references.
+/// Throws ParseError on malformed or unknown references.
+std::string xml_unescape(std::string_view raw);
+
+/// Incremental writer for the serializers; writes into a caller-owned
+/// util::Buffer so responses build directly in the connection arena.
 class XmlWriter {
  public:
+  explicit XmlWriter(util::Buffer& out) : out_(out) {}
+
   void open(std::string_view tag);
   void open(std::string_view tag,
             std::initializer_list<std::pair<std::string_view, std::string_view>>
@@ -48,12 +158,14 @@ class XmlWriter {
   void raw(std::string_view content);   // verbatim
   /// <tag>text</tag>
   void element(std::string_view tag, std::string_view content);
+  /// <tag>N</tag> formatted in place with std::to_chars.
+  void element_int(std::string_view tag, std::int64_t v);
+  void element_double(std::string_view tag, double v);
 
-  std::string take() { return std::move(out_); }
-  const std::string& str() const { return out_; }
+  util::Buffer& buffer() { return out_; }
 
  private:
-  std::string out_;
+  util::Buffer& out_;
 };
 
 }  // namespace clarens::rpc

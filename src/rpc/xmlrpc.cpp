@@ -1,7 +1,7 @@
 #include "rpc/xmlrpc.hpp"
 
 #include <charconv>
-#include <cstdio>
+#include <optional>
 
 #include "rpc/fault.hpp"
 #include "rpc/xml.hpp"
@@ -14,100 +14,410 @@ namespace clarens::rpc::xmlrpc {
 
 namespace {
 
-constexpr const char* kProlog = "<?xml version=\"1.0\"?>";
+using Event = XmlPullParser::Event;
 
+// Adjacent constant markup is fused into single literals: a scalar value
+// costs two buffer appends plus its payload, not one per tag.
 void write_value(XmlWriter& w, const Value& value) {
-  w.open("value");
+  util::Buffer& out = w.buffer();
   switch (value.type()) {
     case Value::Type::Nil:
       // <nil/> is the common XML-RPC extension.
-      w.raw("<nil/>");
+      out.write("<value><nil/></value>");
       break;
     case Value::Type::Bool:
-      w.element("boolean", value.as_bool() ? "1" : "0");
+      out.write(value.as_bool() ? "<value><boolean>1</boolean></value>"
+                                : "<value><boolean>0</boolean></value>");
       break;
     case Value::Type::Int:
-      w.element("int", std::to_string(value.as_int()));
+      out.write("<value><int>");
+      util::append_int(out, value.as_int());
+      out.write("</int></value>");
       break;
-    case Value::Type::Double: {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.17g", value.as_double());
-      w.element("double", buf);
+    case Value::Type::Double:
+      out.write("<value><double>");
+      util::append_double(out, value.as_double());
+      out.write("</double></value>");
       break;
-    }
     case Value::Type::String:
-      w.element("string", value.as_string());
+      out.write("<value><string>");
+      xml_escape_append(out, value.as_string());
+      out.write("</string></value>");
       break;
     case Value::Type::Binary:
-      w.element("base64", util::base64_encode(value.as_binary()));
+      out.write("<value><base64>");
+      util::base64_encode_append(out, value.as_binary());
+      out.write("</base64></value>");
       break;
     case Value::Type::DateTime:
-      w.element("dateTime.iso8601",
-                util::iso8601(value.as_datetime().unix_seconds));
+      out.write("<value><dateTime.iso8601>");
+      out.write(util::iso8601(value.as_datetime().unix_seconds));
+      out.write("</dateTime.iso8601></value>");
       break;
     case Value::Type::Array: {
-      w.open("array");
-      w.open("data");
+      out.write("<value><array><data>");
       for (const auto& element : value.as_array()) write_value(w, element);
-      w.close("data");
-      w.close("array");
+      out.write("</data></array></value>");
       break;
     }
     case Value::Type::Struct: {
-      w.open("struct");
+      out.write("<value><struct>");
       for (const auto& [name, member] : value.members()) {
-        w.open("member");
-        w.element("name", name);
+        out.write("<member><name>");
+        xml_escape_append(out, name);
+        out.write("</name>");
         write_value(w, member);
-        w.close("member");
+        out.write("</member>");
       }
-      w.close("struct");
+      out.write("</struct></value>");
       break;
     }
   }
-  w.close("value");
 }
 
-double parse_double(const std::string& text) {
-  try {
-    std::size_t used = 0;
-    double v = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument("trailing");
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError("invalid XML-RPC double: '" + text + "'");
+double parse_double(std::string_view text) {
+  double v = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || p != text.data() + text.size() || text.empty()) {
+    throw ParseError("invalid XML-RPC double: '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+/// Consume events until the EndTag matching the StartTag just read.
+void skip_subtree(XmlPullParser& p) {
+  int depth = 1;
+  while (depth > 0) {
+    switch (p.next()) {
+      case Event::StartTag: ++depth; break;
+      case Event::EndTag: --depth; break;
+      default: break;
+    }
+  }
+}
+
+/// Character data of the current element (decoded), up to its EndTag.
+std::string collect_text(XmlPullParser& p) {
+  std::string out;
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        p.text_append(out);
+        break;
+      case Event::EndTag:
+        return out;
+      case Event::StartTag:
+        throw ParseError("unexpected element <" + std::string(p.name()) +
+                         "> inside scalar XML-RPC value");
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+void parse_value_into(XmlPullParser& p, Value& out);
+
+Value parse_array_pull(XmlPullParser& p) {
+  Value out = Value::array();
+  bool have_data = false;
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        if (!have_data) throw ParseError("XML-RPC array missing <data>");
+        return out;
+      case Event::StartTag:
+        if (!have_data && p.local_name() == "data") {
+          have_data = true;
+          for (bool in_data = true; in_data;) {
+            switch (p.next()) {
+              case Event::Text:
+                break;
+              case Event::EndTag:
+                in_data = false;
+                break;
+              case Event::StartTag: {
+                if (p.local_name() != "value") {
+                  throw ParseError("XML-RPC array <data> may only contain <value>");
+                }
+                Array& items = out.as_array();
+                items.emplace_back();
+                parse_value_into(p, items.back());
+                break;
+              }
+              case Event::Eof:
+                throw ParseError("unexpected end of document");
+            }
+          }
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+void parse_member_pull(XmlPullParser& p, Value& out) {
+  std::optional<std::string> name;
+  std::optional<Value> value;
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        if (!name || !value) {
+          throw ParseError("XML-RPC struct member missing name or value");
+        }
+        out.set(*name, std::move(*value));
+        return;
+      case Event::StartTag:
+        if (!name && p.local_name() == "name") {
+          name = collect_text(p);
+        } else if (!value && p.local_name() == "value") {
+          value = parse_value_pull(p);
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+Value parse_struct_pull(XmlPullParser& p) {
+  Value out = Value::struct_();
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        return out;
+      case Event::StartTag:
+        if (p.local_name() == "member") {
+          parse_member_pull(p, out);
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+/// Typed element inside <value>; positioned just past its StartTag.
+/// Dispatches on the first tag character so the common scalars cost one
+/// or two name compares, not a walk of the whole chain.
+Value parse_typed_pull(XmlPullParser& p, std::string_view tag) {
+  switch (tag.empty() ? '\0' : tag.front()) {
+    case 's':
+      if (tag == "string") return Value(collect_text(p));
+      if (tag == "struct") return parse_struct_pull(p);
+      break;
+    case 'i':
+      if (tag == "int" || tag == "i4" || tag == "i8") {
+        std::string text = collect_text(p);
+        return Value(util::parse_int(util::trim(text)));
+      }
+      break;
+    case 'a':
+      if (tag == "array") return parse_array_pull(p);
+      break;
+    case 'b':
+      if (tag == "boolean") {
+        std::string text = collect_text(p);
+        std::string_view t = util::trim(text);
+        if (t == "1" || t == "true") return Value(true);
+        if (t == "0" || t == "false") return Value(false);
+        throw ParseError("invalid XML-RPC boolean: '" + text + "'");
+      }
+      if (tag == "base64") {
+        std::string text = collect_text(p);
+        return Value(util::base64_decode(text));
+      }
+      break;
+    case 'd':
+      if (tag == "double") {
+        std::string text = collect_text(p);
+        return Value(parse_double(util::trim(text)));
+      }
+      if (tag == "dateTime.iso8601") {
+        std::string text = collect_text(p);
+        return Value(DateTime{util::parse_iso8601(std::string(util::trim(text)))});
+      }
+      break;
+    case 'n':
+      if (tag == "nil") {
+        collect_text(p);
+        return Value::nil();
+      }
+      break;
+    default:
+      break;
+  }
+  throw ParseError("unknown XML-RPC value type: <" + std::string(tag) + ">");
+}
+
+/// First <value> child of the current element, if any; consumes through
+/// the element's EndTag.
+std::optional<Value> parse_param_value(XmlPullParser& p) {
+  std::optional<Value> value;
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        return value;
+      case Event::StartTag:
+        if (!value && p.local_name() == "value") {
+          value = parse_value_pull(p);
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+void parse_params_pull(XmlPullParser& p, std::vector<Value>& out) {
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        return;
+      case Event::StartTag:
+        if (p.local_name() == "param") {
+          std::optional<Value> value = parse_param_value(p);
+          if (!value) throw ParseError("<param> missing <value>");
+          out.push_back(std::move(*value));
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+Response parse_fault_pull(XmlPullParser& p) {
+  std::optional<Value> fault_value = parse_param_value(p);
+  if (!fault_value) throw ParseError("<fault> missing <value>");
+  Response response;
+  response.is_fault = true;
+  response.fault_code = static_cast<int>(fault_value->at("faultCode").as_int());
+  response.fault_message = fault_value->at("faultString").as_string();
+  return response;
+}
+
+Response parse_response_params_pull(XmlPullParser& p) {
+  bool have_param = false;
+  std::optional<Value> value;
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        if (!have_param) throw ParseError("methodResponse missing <params>");
+        if (!value) throw ParseError("response <param> missing <value>");
+        return Response::success(std::move(*value));
+      case Event::StartTag:
+        if (!have_param) {
+          have_param = true;
+          value = parse_param_value(p);
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
   }
 }
 
 }  // namespace
 
-Value parse_value_xml(const XmlNode& value_node) {
+namespace {
+
+// In-place variant of parse_value_pull: assigns into `out` so array and
+// struct parsing build elements directly in their containers instead of
+// moving a Value through several return slots.
+void parse_value_into(XmlPullParser& p, Value& out) {
+  // Positioned inside <value>: bare character data means string; a child
+  // element carries the typed encoding.
+  std::string bare;
+  bool typed = false;
+  for (;;) {
+    switch (p.next()) {
+      case Event::Text:
+        if (!typed) p.text_append(bare);
+        break;
+      case Event::StartTag:
+        if (!typed) {
+          typed = true;
+          out = parse_typed_pull(p, p.local_name());
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::EndTag:
+        if (!typed) out = Value(std::move(bare));
+        return;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
+  }
+}
+
+}  // namespace
+
+Value parse_value_pull(XmlPullParser& p) {
+  Value result;
+  parse_value_into(p, result);
+  return result;
+}
+
+Value parse_value_xml(const XmlSlice& value_node) {
   // A bare <value>text</value> is a string per the XML-RPC spec.
   if (value_node.children.empty()) {
-    return Value(value_node.text);
+    return Value(value_node.text());
   }
-  const XmlNode& typed = value_node.children.front();
-  const std::string tag = typed.local_name();
+  const XmlSlice& typed = value_node.children.front();
+  std::string_view tag = typed.local_name();
   if (tag == "nil") return Value::nil();
   if (tag == "boolean") {
-    std::string t(util::trim(typed.text));
+    std::string text = typed.text();
+    std::string_view t = util::trim(text);
     if (t == "1" || t == "true") return Value(true);
     if (t == "0" || t == "false") return Value(false);
-    throw ParseError("invalid XML-RPC boolean: '" + typed.text + "'");
+    throw ParseError("invalid XML-RPC boolean: '" + text + "'");
   }
   if (tag == "int" || tag == "i4" || tag == "i8") {
-    return Value(util::parse_int(util::trim(typed.text)));
+    std::string text = typed.text();
+    return Value(util::parse_int(util::trim(text)));
   }
   if (tag == "double") {
-    return Value(parse_double(std::string(util::trim(typed.text))));
+    std::string text = typed.text();
+    return Value(parse_double(util::trim(text)));
   }
-  if (tag == "string") return Value(typed.text);
-  if (tag == "base64") return Value(util::base64_decode(typed.text));
+  if (tag == "string") return Value(typed.text());
+  if (tag == "base64") {
+    if (typed.text_is_view()) return Value(util::base64_decode(typed.text_view()));
+    return Value(util::base64_decode(typed.text()));
+  }
   if (tag == "dateTime.iso8601") {
-    return Value(DateTime{util::parse_iso8601(std::string(util::trim(typed.text)))});
+    std::string text = typed.text();
+    return Value(DateTime{util::parse_iso8601(std::string(util::trim(text)))});
   }
   if (tag == "array") {
-    const XmlNode* data = typed.child("data");
+    const XmlSlice* data = typed.child("data");
     if (!data) throw ParseError("XML-RPC array missing <data>");
     Value out = Value::array();
     for (const auto& child : data->children) {
@@ -122,105 +432,141 @@ Value parse_value_xml(const XmlNode& value_node) {
     Value out = Value::struct_();
     for (const auto& member : typed.children) {
       if (member.local_name() != "member") continue;
-      const XmlNode* name = member.child("name");
-      const XmlNode* value = member.child("value");
+      const XmlSlice* name = member.child("name");
+      const XmlSlice* value = member.child("value");
       if (!name || !value) {
         throw ParseError("XML-RPC struct member missing name or value");
       }
-      out.set(name->text, parse_value_xml(*value));
+      out.set(name->text(), parse_value_xml(*value));
     }
     return out;
   }
-  throw ParseError("unknown XML-RPC value type: <" + tag + ">");
+  throw ParseError("unknown XML-RPC value type: <" + std::string(tag) + ">");
+}
+
+void serialize_value(const Value& value, util::Buffer& out) {
+  XmlWriter w(out);
+  write_value(w, value);
 }
 
 std::string serialize_value(const Value& value) {
-  XmlWriter w;
-  write_value(w, value);
-  return w.take();
+  util::Buffer out;
+  serialize_value(value, out);
+  return std::string(out.peek_view());
+}
+
+void serialize_request(const Request& request, util::Buffer& out) {
+  XmlWriter w(out);
+  out.write("<?xml version=\"1.0\"?><methodCall><methodName>");
+  xml_escape_append(out, request.method);
+  out.write("</methodName><params>");
+  for (const auto& param : request.params) {
+    out.write("<param>");
+    write_value(w, param);
+    out.write("</param>");
+  }
+  out.write("</params></methodCall>");
 }
 
 std::string serialize_request(const Request& request) {
-  XmlWriter w;
-  w.raw(kProlog);
-  w.open("methodCall");
-  w.element("methodName", request.method);
-  w.open("params");
-  for (const auto& param : request.params) {
-    w.open("param");
-    write_value(w, param);
-    w.close("param");
-  }
-  w.close("params");
-  w.close("methodCall");
-  return w.take();
+  util::Buffer out;
+  serialize_request(request, out);
+  return std::string(out.peek_view());
 }
 
 Request parse_request(std::string_view body) {
-  XmlNode root = xml_parse(body);
-  if (root.local_name() != "methodCall") {
-    throw ParseError("expected <methodCall>, got <" + root.tag + ">");
+  XmlPullParser p(body);
+  p.next();  // root StartTag, or throws
+  if (p.local_name() != "methodCall") {
+    throw ParseError("expected <methodCall>, got <" + std::string(p.name()) + ">");
   }
-  const XmlNode* name = root.child("methodName");
-  if (!name) throw ParseError("methodCall missing <methodName>");
   Request request;
-  request.method = std::string(util::trim(name->text));
-  if (request.method.empty()) throw ParseError("empty methodName");
-  if (const XmlNode* params = root.child("params")) {
-    for (const auto& param : params->children) {
-      if (param.local_name() != "param") continue;
-      const XmlNode* value = param.child("value");
-      if (!value) throw ParseError("<param> missing <value>");
-      request.params.push_back(parse_value_xml(*value));
+  bool saw_method = false;
+  bool saw_params = false;
+  for (bool done = false; !done;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        done = true;
+        break;
+      case Event::StartTag:
+        if (!saw_method && p.local_name() == "methodName") {
+          saw_method = true;
+          std::string text = collect_text(p);
+          request.method = std::string(util::trim(text));
+        } else if (!saw_params && p.local_name() == "params") {
+          saw_params = true;
+          parse_params_pull(p, request.params);
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
     }
   }
+  p.next();  // enforce no trailing content
+  if (!saw_method) throw ParseError("methodCall missing <methodName>");
+  if (request.method.empty()) throw ParseError("empty methodName");
   return request;
 }
 
-std::string serialize_response(const Response& response) {
-  XmlWriter w;
-  w.raw(kProlog);
-  w.open("methodResponse");
+void serialize_response(const Response& response, util::Buffer& out) {
+  XmlWriter w(out);
+  out.write("<?xml version=\"1.0\"?><methodResponse>");
   if (response.is_fault) {
     Value fault = Value::struct_();
     fault.set("faultCode", Value(static_cast<std::int64_t>(response.fault_code)));
     fault.set("faultString", Value(response.fault_message));
-    w.open("fault");
+    out.write("<fault>");
     write_value(w, fault);
-    w.close("fault");
+    out.write("</fault>");
   } else {
-    w.open("params");
-    w.open("param");
+    out.write("<params><param>");
     write_value(w, response.result);
-    w.close("param");
-    w.close("params");
+    out.write("</param></params>");
   }
-  w.close("methodResponse");
-  return w.take();
+  out.write("</methodResponse>");
+}
+
+std::string serialize_response(const Response& response) {
+  util::Buffer out;
+  serialize_response(response, out);
+  return std::string(out.peek_view());
 }
 
 Response parse_response(std::string_view body) {
-  XmlNode root = xml_parse(body);
-  if (root.local_name() != "methodResponse") {
-    throw ParseError("expected <methodResponse>, got <" + root.tag + ">");
+  XmlPullParser p(body);
+  p.next();
+  if (p.local_name() != "methodResponse") {
+    throw ParseError("expected <methodResponse>, got <" + std::string(p.name()) +
+                     ">");
   }
-  if (const XmlNode* fault = root.child("fault")) {
-    const XmlNode* value = fault->child("value");
-    if (!value) throw ParseError("<fault> missing <value>");
-    Value fv = parse_value_xml(*value);
-    Response response;
-    response.is_fault = true;
-    response.fault_code = static_cast<int>(fv.at("faultCode").as_int());
-    response.fault_message = fv.at("faultString").as_string();
-    return response;
+  std::optional<Response> response;
+  for (bool done = false; !done;) {
+    switch (p.next()) {
+      case Event::Text:
+        break;
+      case Event::EndTag:
+        done = true;
+        break;
+      case Event::StartTag:
+        if (!response && p.local_name() == "fault") {
+          response = parse_fault_pull(p);
+        } else if (!response && p.local_name() == "params") {
+          response = parse_response_params_pull(p);
+        } else {
+          skip_subtree(p);
+        }
+        break;
+      case Event::Eof:
+        throw ParseError("unexpected end of document");
+    }
   }
-  const XmlNode* params = root.child("params");
-  if (!params || params->children.empty()) {
-    throw ParseError("methodResponse missing <params>");
-  }
-  const XmlNode* value = params->children.front().child("value");
-  if (!value) throw ParseError("response <param> missing <value>");
-  return Response::success(parse_value_xml(*value));
+  p.next();
+  if (!response) throw ParseError("methodResponse missing <params>");
+  return std::move(*response);
 }
 
 }  // namespace clarens::rpc::xmlrpc

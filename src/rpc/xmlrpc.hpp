@@ -1,15 +1,22 @@
 // XML-RPC (http://www.xmlrpc.com) — the primary Clarens wire protocol and
 // the one the paper's Figure-4 benchmark exercises.
+//
+// The codec is built for the server hot path: parsing streams rpc::Value
+// straight out of the request buffer with XmlPullParser (no intermediate
+// XML tree), and serialization appends into a caller-owned util::Buffer
+// (typically the connection's reusable response arena).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "rpc/value.hpp"
+#include "util/buffer.hpp"
 
 namespace clarens::rpc {
 
-struct XmlNode;
+struct XmlSlice;
+class XmlPullParser;
 
 struct Request {
   std::string method;
@@ -41,6 +48,10 @@ struct Response {
 
 namespace xmlrpc {
 
+/// Append the wire form to `out` (no intermediate strings).
+void serialize_request(const Request& request, util::Buffer& out);
+void serialize_response(const Response& response, util::Buffer& out);
+
 std::string serialize_request(const Request& request);
 Request parse_request(std::string_view body);
 
@@ -48,9 +59,16 @@ std::string serialize_response(const Response& response);
 Response parse_response(std::string_view body);
 
 /// Single <value> element encoding/decoding (shared with SOAP's
-/// XML-RPC-compatible value payloads and exposed for tests).
+/// XML-RPC-compatible value payloads).
 std::string serialize_value(const Value& value);
-Value parse_value_xml(const XmlNode& value_node);
+void serialize_value(const Value& value, util::Buffer& out);
+
+/// Decode a <value> slice node (SOAP rides on these).
+Value parse_value_xml(const XmlSlice& value_node);
+
+/// Decode a <value> from a pull parser positioned just past the
+/// StartTag("value") event; consumes through the matching EndTag.
+Value parse_value_pull(XmlPullParser& parser);
 
 }  // namespace xmlrpc
 }  // namespace clarens::rpc

@@ -1,12 +1,23 @@
 #include "util/buffer.hpp"
 
+#include <charconv>
+
 #include "util/error.hpp"
 
 namespace clarens::util {
 
-void Buffer::write(const void* data, std::size_t len) {
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  data_.insert(data_.end(), bytes, bytes + len);
+std::span<char> Buffer::write_reserve(std::size_t n) {
+  std::size_t old = data_.size();
+  data_.resize(old + n);
+  reserve_base_ = old;
+  return {data_.data() + old, n};
+}
+
+void Buffer::commit(std::size_t n) {
+  if (n > data_.size() - reserve_base_) {
+    throw ParseError("buffer commit beyond reserved region");
+  }
+  data_.resize(reserve_base_ + n);
 }
 
 void Buffer::write_u16(std::uint16_t v) {
@@ -42,22 +53,23 @@ void Buffer::consume(std::size_t len) {
 
 std::vector<std::uint8_t> Buffer::read(std::size_t len) {
   require(len);
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(read_pos_),
-                                data_.begin() + static_cast<long>(read_pos_ + len));
+  const auto* base =
+      reinterpret_cast<const std::uint8_t*>(data_.data()) + read_pos_;
+  std::vector<std::uint8_t> out(base, base + len);
   consume(len);
   return out;
 }
 
 std::string Buffer::read_string(std::size_t len) {
   require(len);
-  std::string out(reinterpret_cast<const char*>(data_.data()) + read_pos_, len);
+  std::string out(data_.data() + read_pos_, len);
   consume(len);
   return out;
 }
 
 std::uint8_t Buffer::read_u8() {
   require(1);
-  std::uint8_t v = data_[read_pos_];
+  auto v = static_cast<std::uint8_t>(data_[read_pos_]);
   consume(1);
   return v;
 }
@@ -78,9 +90,37 @@ std::uint64_t Buffer::read_u64() {
 }
 
 void Buffer::compact() {
-  if (read_pos_ == 0) return;
-  data_.erase(data_.begin(), data_.begin() + static_cast<long>(read_pos_));
-  read_pos_ = 0;
+  if (read_pos_ != 0) {
+    data_.erase(0, read_pos_);
+    read_pos_ = 0;
+  }
+  // A 64 KiB floor keeps steady-state connections from bouncing their
+  // allocation; beyond it, capacity more than 4x the live data is a
+  // leftover spike worth returning to the allocator.
+  constexpr std::size_t kShrinkFloor = 64 * 1024;
+  if (data_.capacity() > kShrinkFloor && data_.capacity() / 4 > data_.size()) {
+    data_.shrink_to_fit();
+  }
+}
+
+void append_int(Buffer& out, std::int64_t v) {
+  std::span<char> span = out.write_reserve(24);
+  auto [p, ec] = std::to_chars(span.data(), span.data() + span.size(), v);
+  out.commit(static_cast<std::size_t>(p - span.data()));
+}
+
+void append_uint(Buffer& out, std::uint64_t v) {
+  std::span<char> span = out.write_reserve(24);
+  auto [p, ec] = std::to_chars(span.data(), span.data() + span.size(), v);
+  out.commit(static_cast<std::size_t>(p - span.data()));
+}
+
+void append_double(Buffer& out, double v) {
+  // Shortest representation that round-trips; 32 bytes covers every
+  // double (max ~24 chars incl. sign, 17 digits, exponent).
+  std::span<char> span = out.write_reserve(32);
+  auto [p, ec] = std::to_chars(span.data(), span.data() + span.size(), v);
+  out.commit(static_cast<std::size_t>(p - span.data()));
 }
 
 }  // namespace clarens::util

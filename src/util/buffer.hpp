@@ -1,5 +1,9 @@
 // Growable byte buffer with separate read and write cursors, the working
 // unit for protocol parsing (HTTP, TLS records, RPC payloads).
+//
+// Appends are inline on std::string storage: the common small append
+// (a tag name, a formatted integer) must not pay an out-of-line call —
+// serializers issue dozens of them per response.
 #pragma once
 
 #include <cstdint>
@@ -20,21 +24,33 @@ class Buffer {
   bool empty() const { return readable() == 0; }
 
   /// Append raw bytes at the write end.
-  void write(const void* data, std::size_t len);
-  void write(std::string_view s) { write(s.data(), s.size()); }
-  void write(std::span<const std::uint8_t> s) { write(s.data(), s.size()); }
-  void write_u8(std::uint8_t v) { write(&v, 1); }
+  void write(const void* data, std::size_t len) {
+    data_.append(static_cast<const char*>(data), len);
+  }
+  void write(std::string_view s) { data_.append(s.data(), s.size()); }
+  void write(std::span<const std::uint8_t> s) {
+    data_.append(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+  void write_u8(std::uint8_t v) { data_.push_back(static_cast<char>(v)); }
+
+  /// Span-based append: reserve `n` writable bytes at the write end and
+  /// return them so callers (serializers, std::to_chars) can format in
+  /// place, then commit(m <= n) to make the first m bytes visible. The
+  /// span is invalidated by any other Buffer call. Reserved-but-uncommitted
+  /// bytes are discarded by the next operation that grows the buffer.
+  std::span<char> write_reserve(std::size_t n);
+  void commit(std::size_t n);
   void write_u16(std::uint16_t v);  // big-endian
   void write_u32(std::uint32_t v);  // big-endian
   void write_u64(std::uint64_t v);  // big-endian
 
   /// View of the unread region; invalidated by any write or consume.
   std::span<const std::uint8_t> peek() const {
-    return {data_.data() + read_pos_, readable()};
+    return {reinterpret_cast<const std::uint8_t*>(data_.data()) + read_pos_,
+            readable()};
   }
   std::string_view peek_view() const {
-    return {reinterpret_cast<const char*>(data_.data()) + read_pos_,
-            readable()};
+    return {data_.data() + read_pos_, readable()};
   }
 
   /// Advance the read cursor by `len` (<= readable()).
@@ -49,7 +65,9 @@ class Buffer {
   std::uint32_t read_u32();
   std::uint64_t read_u64();
 
-  /// Drop consumed prefix to reclaim memory. Called periodically by
+  /// Drop consumed prefix to reclaim memory, and release pathologically
+  /// over-grown capacity (a one-off huge payload must not pin its
+  /// allocation for the life of the connection). Called periodically by
   /// long-lived connections.
   void compact();
 
@@ -58,11 +76,20 @@ class Buffer {
     read_pos_ = 0;
   }
 
+  std::size_t capacity() const { return data_.capacity(); }
+
  private:
   void require(std::size_t len) const;
 
-  std::vector<std::uint8_t> data_;
+  std::string data_;
   std::size_t read_pos_ = 0;
+  std::size_t reserve_base_ = 0;  // write end before the last write_reserve
 };
+
+/// Append a decimal integer / shortest round-trip double, formatted in
+/// place with std::to_chars (no temporary strings).
+void append_int(Buffer& out, std::int64_t v);
+void append_uint(Buffer& out, std::uint64_t v);
+void append_double(Buffer& out, double v);
 
 }  // namespace clarens::util

@@ -89,6 +89,39 @@ std::string base64_encode(std::span<const std::uint8_t> data) {
   return out;
 }
 
+void base64_encode_append(Buffer& out, std::span<const std::uint8_t> data) {
+  std::size_t encoded = (data.size() + 2) / 3 * 4;
+  std::span<char> dst = out.write_reserve(encoded);
+  char* p = dst.data();
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    *p++ = kB64Digits[(v >> 18) & 63];
+    *p++ = kB64Digits[(v >> 12) & 63];
+    *p++ = kB64Digits[(v >> 6) & 63];
+    *p++ = kB64Digits[v & 63];
+    i += 3;
+  }
+  std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    *p++ = kB64Digits[(v >> 18) & 63];
+    *p++ = kB64Digits[(v >> 12) & 63];
+    *p++ = '=';
+    *p++ = '=';
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    *p++ = kB64Digits[(v >> 18) & 63];
+    *p++ = kB64Digits[(v >> 12) & 63];
+    *p++ = kB64Digits[(v >> 6) & 63];
+    *p++ = '=';
+  }
+  out.commit(static_cast<std::size_t>(p - dst.data()));
+}
+
 std::vector<std::uint8_t> base64_decode(std::string_view b64) {
   std::vector<std::uint8_t> out;
   out.reserve(b64.size() / 4 * 3);

@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/buffer.hpp"
+
 namespace clarens::util {
 
 /// Lowercase hex encoding of a byte span.
@@ -20,6 +22,10 @@ std::vector<std::uint8_t> hex_decode(std::string_view hex);
 
 /// Standard base64 with padding.
 std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Append the base64 encoding of `data` to `out`, formatted in place in
+/// the buffer (no temporary string) — the file.read hot path.
+void base64_encode_append(Buffer& out, std::span<const std::uint8_t> data);
 
 /// Decode base64; whitespace is ignored (XML-RPC senders wrap lines).
 /// Throws clarens::ParseError on invalid input.

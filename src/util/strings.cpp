@@ -58,6 +58,19 @@ bool iequals(std::string_view a, std::string_view b) {
   return true;
 }
 
+std::size_t ifind(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return 0;
+  if (needle.size() > haystack.size()) return std::string_view::npos;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (iequals(haystack.substr(i, needle.size()), needle)) return i;
+  }
+  return std::string_view::npos;
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+  return ifind(haystack, needle) != std::string_view::npos;
+}
+
 std::string to_lower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

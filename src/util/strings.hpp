@@ -25,6 +25,10 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// Case-insensitive equality for ASCII strings (HTTP header names).
 bool iequals(std::string_view a, std::string_view b);
 
+/// Case-insensitive substring search; npos when absent. No allocation.
+std::size_t ifind(std::string_view haystack, std::string_view needle);
+bool icontains(std::string_view haystack, std::string_view needle);
+
 /// Lowercase an ASCII string.
 std::string to_lower(std::string_view s);
 

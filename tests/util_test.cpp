@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 
 #include "util/buffer.hpp"
 #include "util/clock.hpp"
@@ -185,6 +186,15 @@ TEST(Config, SetReplacesAddAccumulates) {
   EXPECT_EQ(config.get_all("k"), (std::vector<std::string>{"3"}));
 }
 
+TEST(Strings, CaseInsensitiveFind) {
+  EXPECT_TRUE(icontains("Application/SOAP+xml", "soap"));
+  EXPECT_TRUE(icontains("text/XML; charset=utf-8", "xml"));
+  EXPECT_FALSE(icontains("application/json", "xml"));
+  EXPECT_EQ(ifind("Content-TYPE", "type"), 8u);
+  EXPECT_EQ(ifind("abc", "abcd"), std::string_view::npos);
+  EXPECT_EQ(ifind("anything", ""), 0u);
+}
+
 // ---------- buffer ----------
 
 TEST(Buffer, WriteReadIntegers) {
@@ -216,6 +226,41 @@ TEST(Buffer, ConsumeAndCompact) {
   EXPECT_EQ(buffer.peek_view(), "world");
   EXPECT_EQ(buffer.read_string(5), "world");
   EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Buffer, WriteReserveCommit) {
+  Buffer buffer;
+  buffer.write(std::string_view("n="));
+  auto span = buffer.write_reserve(24);
+  ASSERT_GE(span.size(), 24u);
+  std::memcpy(span.data(), "12345", 5);
+  buffer.commit(5);
+  EXPECT_EQ(buffer.peek_view(), "n=12345");
+  // Committing more than was reserved is a bug in the caller.
+  buffer.write_reserve(4);
+  EXPECT_THROW(buffer.commit(5), clarens::ParseError);
+}
+
+TEST(Buffer, AppendNumericFormatting) {
+  Buffer buffer;
+  append_int(buffer, -42);
+  buffer.write_u8(' ');
+  append_uint(buffer, 18446744073709551615ull);
+  buffer.write_u8(' ');
+  append_double(buffer, 0.25);
+  EXPECT_EQ(buffer.peek_view(), "-42 18446744073709551615 0.25");
+}
+
+TEST(Buffer, CompactShrinksOvergrownCapacity) {
+  Buffer buffer;
+  std::string big(1 << 20, 'x');  // 1 MiB grows capacity well past the floor
+  buffer.write(big);
+  buffer.read_string(big.size() - 16);  // leave a small tail
+  std::size_t grown = buffer.capacity();
+  ASSERT_GT(grown, 64u * 1024);
+  buffer.compact();
+  EXPECT_EQ(buffer.peek_view(), std::string_view(big).substr(big.size() - 16));
+  EXPECT_LT(buffer.capacity(), grown);
 }
 
 // ---------- clock ----------
