@@ -1,0 +1,121 @@
+// acl.* — access-control management (paper §2.2). Mutations are
+// root-administrator only.
+#include "core/bindings/bindings.hpp"
+
+#include "core/acl.hpp"
+#include "core/vo.hpp"
+#include "rpc/fault.hpp"
+#include "rpc/jsonrpc.hpp"
+#include "util/error.hpp"
+
+namespace clarens::core::bindings {
+
+namespace {
+
+rpc::Value spec_value(const AclSpec& spec) {
+  return rpc::jsonrpc::parse_value(encode_spec(spec));
+}
+
+AclSpec spec_from(const rpc::Value& v) {
+  return decode_spec(rpc::jsonrpc::serialize_value(v));
+}
+
+void require_root(const VoManager& vo, const rpc::CallContext& context) {
+  if (!vo.is_root_admin(caller_dn(context))) {
+    throw AccessError("ACL management requires root administrator");
+  }
+}
+
+}  // namespace
+
+void register_acl_methods(AclManager& acl, VoManager& vo,
+                          rpc::Registry& registry) {
+  AclManager* a = &acl;
+  VoManager* v = &vo;
+
+  registry.bind(
+      "acl.set_method",
+      [a, v](const rpc::CallContext& context, const std::string& path,
+             rpc::StructArg spec) {
+        require_root(*v, context);
+        a->set_method_acl(path, spec_from(spec.value()));
+        return true;
+      },
+      {.help = "Attach an ACL to a method path", .params = {"path", "spec"}});
+
+  registry.bind(
+      "acl.get_method",
+      [a](const std::string& path) {
+        auto spec = a->get_method_acl(path);
+        if (!spec) throw rpc::Fault(rpc::kFaultNotFound, "no ACL at this path");
+        return rpc::StructResult{spec_value(*spec)};
+      },
+      {.help = "Fetch the ACL attached to a method path", .params = {"path"}});
+
+  registry.bind(
+      "acl.del_method",
+      [a, v](const rpc::CallContext& context, const std::string& path) {
+        require_root(*v, context);
+        a->remove_method_acl(path);
+        return true;
+      },
+      {.help = "Remove the ACL at a method path", .params = {"path"}});
+
+  registry.bind(
+      "acl.list",
+      [a] {
+        rpc::Value out = rpc::Value::struct_();
+        rpc::Value methods = rpc::Value::array();
+        for (const auto& p : a->list_method_acls()) methods.push(p);
+        out.set("methods", std::move(methods));
+        rpc::Value files = rpc::Value::array();
+        for (const auto& p : a->list_file_acls()) files.push(p);
+        out.set("files", std::move(files));
+        return rpc::StructResult{std::move(out)};
+      },
+      {.help = "All paths carrying ACLs"});
+
+  registry.bind(
+      "acl.check_method",
+      [a](const std::string& method, const std::string& dn) {
+        return a->check_method(method, pki::DistinguishedName::parse(dn));
+      },
+      {.help = "Evaluate method access for a DN", .params = {"method", "dn"}});
+
+  registry.bind(
+      "acl.set_file",
+      [a, v](const rpc::CallContext& context, const std::string& path,
+             rpc::StructArg spec) {
+        require_root(*v, context);
+        FileAcl facl;
+        facl.read = spec_from(spec.at("read"));
+        facl.write = spec_from(spec.at("write"));
+        a->set_file_acl(path, facl);
+        return true;
+      },
+      {.help = "Attach a read/write ACL to a file path",
+       .params = {"path", "spec"}});
+
+  registry.bind(
+      "acl.get_file",
+      [a](const std::string& path) {
+        auto facl = a->get_file_acl(path);
+        if (!facl) throw rpc::Fault(rpc::kFaultNotFound, "no ACL at this path");
+        rpc::Value out = rpc::Value::struct_();
+        out.set("read", spec_value(facl->read));
+        out.set("write", spec_value(facl->write));
+        return rpc::StructResult{std::move(out)};
+      },
+      {.help = "Fetch the file ACL at a path", .params = {"path"}});
+
+  registry.bind(
+      "acl.del_file",
+      [a, v](const rpc::CallContext& context, const std::string& path) {
+        require_root(*v, context);
+        a->remove_file_acl(path);
+        return true;
+      },
+      {.help = "Remove the file ACL at a path", .params = {"path"}});
+}
+
+}  // namespace clarens::core::bindings

@@ -1,0 +1,62 @@
+// Per-service method-binding units.
+//
+// Each register_* function attaches one service module's methods to the
+// registry through the typed binding layer (rpc/binding.hpp): handlers
+// declare C++ parameter types, signatures are derived from them, and
+// per-method metadata (help, public flag, ACL path) lives next to the
+// handler instead of in server-side name lists. ClarensServer calls
+// these from its constructor / attach_* hooks and keeps only wiring,
+// auth and HTTP handling for itself.
+#pragma once
+
+#include "pki/dn.hpp"
+#include "rpc/registry.hpp"
+
+namespace clarens::discovery {
+class DiscoveryServer;
+}
+namespace clarens::storage {
+class SrmService;
+}
+
+namespace clarens::core {
+
+class AclManager;
+class ClarensServer;
+class FileService;
+class JobService;
+class MessageService;
+class ProxyService;
+class ShellService;
+class TransferService;
+class VoManager;
+
+namespace bindings {
+
+/// The authenticated caller as a parsed DN (handlers receive the DN
+/// string in the call context; services want the parsed form).
+inline pki::DistinguishedName caller_dn(const rpc::CallContext& context) {
+  return pki::DistinguishedName::parse(context.identity);
+}
+
+// system.* (+ echo.echo) touch server-wide state — sessions, the
+// challenge table, config, the registry itself — so they take the server.
+void register_system_methods(ClarensServer& server);
+
+void register_vo_methods(VoManager& vo, rpc::Registry& registry);
+void register_acl_methods(AclManager& acl, VoManager& vo,
+                          rpc::Registry& registry);
+void register_file_methods(FileService& files, rpc::Registry& registry);
+void register_shell_methods(ShellService& shell, rpc::Registry& registry);
+void register_job_methods(JobService& jobs, rpc::Registry& registry);
+void register_proxy_methods(ProxyService& proxy, rpc::Registry& registry);
+void register_message_methods(MessageService& messages,
+                              rpc::Registry& registry);
+void register_transfer_methods(TransferService& transfers,
+                               rpc::Registry& registry);
+void register_discovery_methods(discovery::DiscoveryServer& discovery,
+                                rpc::Registry& registry);
+void register_srm_methods(storage::SrmService& srm, rpc::Registry& registry);
+
+}  // namespace bindings
+}  // namespace clarens::core

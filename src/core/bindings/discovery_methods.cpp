@@ -1,0 +1,43 @@
+// discovery.* — aggregated service discovery (paper §5).
+#include "core/bindings/bindings.hpp"
+
+#include "discovery/discovery_server.hpp"
+#include "rpc/fault.hpp"
+
+namespace clarens::core::bindings {
+
+void register_discovery_methods(discovery::DiscoveryServer& discovery,
+                                rpc::Registry& registry) {
+  discovery::DiscoveryServer* d = &discovery;
+
+  registry.bind(
+      "discovery.find_services",
+      [d](std::optional<std::string> query) {
+        rpc::Array out;
+        for (const auto& record : d->find_services(query.value_or(""))) {
+          out.push_back(record.to_value());
+        }
+        return out;
+      },
+      {.help = "Search aggregated service records by service-name substring",
+       .params = {"query"}});
+
+  registry.bind(
+      "discovery.find_servers",
+      [d] { return d->find_servers(); },
+      {.help = "List distinct server endpoints known to discovery"});
+
+  registry.bind(
+      "discovery.locate",
+      [d](const std::string& service) {
+        auto url = d->locate(service);
+        if (!url) {
+          throw rpc::Fault(rpc::kFaultNotFound, "no live endpoint for service");
+        }
+        return *url;
+      },
+      {.help = "Resolve a service name to a live endpoint URL",
+       .params = {"service"}});
+}
+
+}  // namespace clarens::core::bindings

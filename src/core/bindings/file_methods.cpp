@@ -1,0 +1,104 @@
+// file.* — remote file access under virtual roots (paper §2.3).
+#include "core/bindings/bindings.hpp"
+
+#include "core/file_service.hpp"
+
+namespace clarens::core::bindings {
+
+namespace {
+
+rpc::Value stat_value(const FileStat& st) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("name", st.name);
+  v.set("is_directory", st.is_directory);
+  v.set("size", st.size);
+  v.set("mtime", rpc::DateTime{st.mtime});
+  return v;
+}
+
+}  // namespace
+
+void register_file_methods(FileService& files, rpc::Registry& registry) {
+  FileService* f = &files;
+
+  registry.bind(
+      "file.read",
+      [f](const rpc::CallContext& context, const std::string& path,
+          std::int64_t offset, std::int64_t length) {
+        return f->read(path, offset, length, caller_dn(context));
+      },
+      {.help = "Read a byte range of a remote file",
+       .params = {"path", "offset", "length"}});
+
+  registry.bind(
+      "file.write",
+      [f](const rpc::CallContext& context, const std::string& path,
+          rpc::Blob data) {
+        f->write(path, data.bytes, caller_dn(context));
+        return true;
+      },
+      {.help = "Create or overwrite a remote file",
+       .params = {"path", "data"}});
+
+  registry.bind(
+      "file.ls",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        rpc::Array out;
+        for (const auto& st : f->ls(path, caller_dn(context))) {
+          out.push_back(stat_value(st));
+        }
+        return out;
+      },
+      {.help = "Directory listing", .params = {"path"}});
+
+  registry.bind(
+      "file.stat",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        return rpc::StructResult{stat_value(f->stat(path, caller_dn(context)))};
+      },
+      {.help = "File or directory information", .params = {"path"}});
+
+  registry.bind(
+      "file.md5",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        return f->md5(path, caller_dn(context));
+      },
+      {.help = "MD5 integrity hash of a file", .params = {"path"}});
+
+  registry.bind(
+      "file.size",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        return f->size(path, caller_dn(context));
+      },
+      {.help = "Size of a file in bytes", .params = {"path"}});
+
+  registry.bind(
+      "file.find",
+      [f](const rpc::CallContext& context, const std::string& path,
+          const std::string& pattern) {
+        return f->find(path, pattern, caller_dn(context));
+      },
+      {.help = "Recursive filename search", .params = {"path", "pattern"}});
+
+  registry.bind(
+      "file.mkdir",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        f->mkdir(path, caller_dn(context));
+        return true;
+      },
+      {.help = "Create a directory", .params = {"path"}});
+
+  registry.bind(
+      "file.rm",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        f->remove(path, caller_dn(context));
+        return true;
+      },
+      {.help = "Remove a file or directory tree", .params = {"path"}});
+
+  registry.bind(
+      "file.roots", [f] { return f->roots(); },
+      {.help = "Configured virtual root prefixes"});
+}
+
+}  // namespace clarens::core::bindings

@@ -1,0 +1,73 @@
+// job.* — asynchronous job submission into the caller's sandbox (§3).
+#include "core/bindings/bindings.hpp"
+
+#include "core/job_service.hpp"
+
+namespace clarens::core::bindings {
+
+namespace {
+
+rpc::Value job_value(const Job& job) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("id", job.id);
+  v.set("command", job.command);
+  v.set("state", std::string(to_string(job.state)));
+  v.set("exit_code", static_cast<std::int64_t>(job.exit_code));
+  v.set("output", job.output);
+  v.set("error", job.error);
+  v.set("submitted", rpc::DateTime{job.submitted});
+  if (job.finished > 0) v.set("finished", rpc::DateTime{job.finished});
+  return v;
+}
+
+}  // namespace
+
+void register_job_methods(JobService& jobs, rpc::Registry& registry) {
+  JobService* j = &jobs;
+
+  registry.bind(
+      "job.submit",
+      [j](const rpc::CallContext& context, const std::string& command) {
+        return j->submit(caller_dn(context), command);
+      },
+      {.help = "Queue a sandboxed command for asynchronous execution",
+       .params = {"command"}});
+
+  registry.bind(
+      "job.status",
+      [j](const rpc::CallContext& context, const std::string& job_id) {
+        return rpc::StructResult{
+            job_value(j->status(job_id, caller_dn(context)))};
+      },
+      {.help = "State, exit code and captured output of a job",
+       .params = {"job_id"}});
+
+  registry.bind(
+      "job.list",
+      [j](const rpc::CallContext& context) {
+        rpc::Array out;
+        for (const auto& job : j->list(caller_dn(context))) {
+          out.push_back(job_value(job));
+        }
+        return out;
+      },
+      {.help = "The caller's jobs, newest first"});
+
+  registry.bind(
+      "job.cancel",
+      [j](const rpc::CallContext& context, const std::string& job_id) {
+        return j->cancel(job_id, caller_dn(context));
+      },
+      {.help = "Cancel a queued job (false if it already started)",
+       .params = {"job_id"}});
+
+  registry.bind(
+      "job.purge",
+      [j](const rpc::CallContext& context, const std::string& job_id) {
+        j->purge(job_id, caller_dn(context));
+        return true;
+      },
+      {.help = "Delete a finished job record", .params = {"job_id"}});
+}
+
+}  // namespace clarens::core::bindings

@@ -1,0 +1,77 @@
+// message.* — asynchronous bi-directional communication (paper §6).
+#include "core/bindings/bindings.hpp"
+
+#include "core/message_service.hpp"
+
+namespace clarens::core::bindings {
+
+void register_message_methods(MessageService& messages,
+                              rpc::Registry& registry) {
+  MessageService* m = &messages;
+
+  registry.bind(
+      "message.send",
+      [m](const rpc::CallContext& context, const std::string& to_dn,
+          const std::string& subject, const std::string& body) {
+        return static_cast<std::int64_t>(
+            m->send(context.identity, to_dn, subject, body));
+      },
+      {.help = "Queue a direct message for another identity",
+       .params = {"to_dn", "subject", "body"}});
+
+  registry.bind(
+      "message.poll",
+      [m](const rpc::CallContext& context, std::optional<std::int64_t> max) {
+        std::size_t limit =
+            max && *max > 0 ? static_cast<std::size_t>(*max) : 100;
+        rpc::Array out;
+        for (const auto& msg : m->poll(context.identity, limit)) {
+          rpc::Value v = rpc::Value::struct_();
+          v.set("id", static_cast<std::int64_t>(msg.id));
+          v.set("from", msg.from);
+          v.set("channel", msg.channel);
+          v.set("subject", msg.subject);
+          v.set("body", msg.body);
+          v.set("sent", rpc::DateTime{msg.sent});
+          out.push_back(std::move(v));
+        }
+        return out;
+      },
+      {.help = "Drain queued messages for the calling identity (oldest first)",
+       .params = {"max"}});
+
+  registry.bind(
+      "message.pending",
+      [m](const rpc::CallContext& context) {
+        return static_cast<std::int64_t>(m->pending(context.identity));
+      },
+      {.help = "Number of queued messages for the caller"});
+
+  registry.bind(
+      "message.subscribe",
+      [m](const rpc::CallContext& context, const std::string& channel) {
+        m->subscribe(channel, context.identity);
+        return true;
+      },
+      {.help = "Subscribe the caller to a channel", .params = {"channel"}});
+
+  registry.bind(
+      "message.unsubscribe",
+      [m](const rpc::CallContext& context, const std::string& channel) {
+        m->unsubscribe(channel, context.identity);
+        return true;
+      },
+      {.help = "Unsubscribe the caller from a channel", .params = {"channel"}});
+
+  registry.bind(
+      "message.publish",
+      [m](const rpc::CallContext& context, const std::string& channel,
+          const std::string& subject, const std::string& body) {
+        return static_cast<std::int64_t>(
+            m->publish(context.identity, channel, subject, body));
+      },
+      {.help = "Publish to every subscriber of a channel; returns deliveries",
+       .params = {"channel", "subject", "body"}});
+}
+
+}  // namespace clarens::core::bindings

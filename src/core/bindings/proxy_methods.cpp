@@ -1,0 +1,68 @@
+// proxy.* — proxy-certificate storage and delegation (§2.6).
+#include "core/bindings/bindings.hpp"
+
+#include "core/proxy_service.hpp"
+#include "pki/certificate.hpp"
+
+namespace clarens::core::bindings {
+
+void register_proxy_methods(ProxyService& proxy, rpc::Registry& registry) {
+  ProxyService* p = &proxy;
+
+  registry.bind(
+      "proxy.store",
+      [p](const std::string& proxy_credential, const std::string& user_cert,
+          const std::string& password) {
+        p->store(pki::Credential::decode(proxy_credential),
+                 pki::Certificate::decode(user_cert), password);
+        return true;
+      },
+      {.help = "Store a password-protected proxy credential",
+       .params = {"proxy_credential", "user_cert", "password"}});
+
+  registry.bind(
+      "proxy.retrieve",
+      [p](const std::string& dn, const std::string& password) {
+        auto stored = p->retrieve(dn, password);
+        rpc::Value v = rpc::Value::struct_();
+        v.set("proxy", stored.proxy.encode());
+        v.set("user_cert", stored.user_cert.encode());
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "Retrieve a stored proxy (delegation)",
+       .params = {"dn", "password"}});
+
+  registry.bind(
+      "proxy.logon",
+      [p](const std::string& dn, const std::string& password) {
+        return p->logon(dn, password);
+      },
+      {.help = "Open a session knowing only DN and proxy password",
+       .params = {"dn", "password"},
+       .is_public = true});
+
+  registry.bind(
+      "proxy.attach",
+      [p](const rpc::CallContext& context, const std::string& dn,
+          const std::string& password) {
+        p->attach(context.session_id, dn, password);
+        return true;
+      },
+      {.help = "Attach/renew a stored proxy on the calling session",
+       .params = {"dn", "password"}});
+
+  registry.bind(
+      "proxy.exists",
+      [p](const std::string& dn) { return p->exists(dn); },
+      {.help = "Does a stored proxy exist for this DN?", .params = {"dn"}});
+
+  registry.bind(
+      "proxy.remove",
+      [p](const std::string& dn, const std::string& password) {
+        return p->remove(dn, password);
+      },
+      {.help = "Delete a stored proxy (password required)",
+       .params = {"dn", "password"}});
+}
+
+}  // namespace clarens::core::bindings

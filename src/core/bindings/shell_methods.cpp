@@ -1,0 +1,41 @@
+// shell.* — sandboxed command execution as a mapped system user (§2.5).
+#include "core/bindings/bindings.hpp"
+
+#include "core/shell_service.hpp"
+
+namespace clarens::core::bindings {
+
+void register_shell_methods(ShellService& shell, rpc::Registry& registry) {
+  ShellService* s = &shell;
+
+  registry.bind(
+      "shell.cmd",
+      [s](const rpc::CallContext& context, const std::string& command) {
+        ShellResult result = s->execute(caller_dn(context), command);
+        rpc::Value v = rpc::Value::struct_();
+        v.set("exit_code", static_cast<std::int64_t>(result.exit_code));
+        v.set("stdout", result.out);
+        v.set("stderr", result.err);
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "Execute a sandboxed command as the mapped system user",
+       .params = {"command"}});
+
+  registry.bind(
+      "shell.cmd_info",
+      [s](const rpc::CallContext& context) {
+        pki::DistinguishedName who = caller_dn(context);
+        rpc::Value v = rpc::Value::struct_();
+        v.set("sandbox", s->cmd_info(who));
+        auto user = s->map_user(who);
+        v.set("user", user ? *user : std::string());
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "Sandbox directory (file-service visible) and mapped user"});
+
+  registry.bind(
+      "shell.commands", [] { return ShellService::supported_commands(); },
+      {.help = "Commands the restricted interpreter supports"});
+}
+
+}  // namespace clarens::core::bindings

@@ -1,0 +1,69 @@
+// srm.* — storage-resource-manager staging frontend (paper §7).
+#include "core/bindings/bindings.hpp"
+
+#include "storage/srm.hpp"
+
+namespace clarens::core::bindings {
+
+void register_srm_methods(storage::SrmService& srm, rpc::Registry& registry) {
+  storage::SrmService* s = &srm;
+
+  registry.bind(
+      "srm.prepare_to_get",
+      [s](const std::string& logical_path) {
+        return s->prepare_to_get(logical_path);
+      },
+      {.help = "Request staging of a tape file; returns a request token",
+       .params = {"logical_path"}});
+
+  registry.bind(
+      "srm.status",
+      [s](const std::string& token) {
+        storage::SrmRequest request = s->status(token);
+        rpc::Value v = rpc::Value::struct_();
+        v.set("token", request.token);
+        v.set("path", request.logical_path);
+        v.set("state", std::string(storage::to_string(request.state)));
+        if (request.state == storage::SrmState::Ready) {
+          // Virtual path of the staged copy (basename inside the cache).
+          std::string name = request.cache_file;
+          std::size_t slash = name.rfind('/');
+          if (slash != std::string::npos) name = name.substr(slash + 1);
+          v.set("cache_path", "/srmcache/" + name);
+        }
+        if (!request.error.empty()) v.set("error", request.error);
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "State of a staging request (QUEUED/STAGING/READY/FAILED)",
+       .params = {"token"}});
+
+  registry.bind(
+      "srm.release",
+      [s](const std::string& token) {
+        s->release(token);
+        return true;
+      },
+      {.help = "Release (unpin) a READY staging request", .params = {"token"}});
+
+  registry.bind(
+      "srm.put",
+      [s](const std::string& logical_path, rpc::Blob data) {
+        s->put(logical_path, data.view());
+        return true;
+      },
+      {.help = "Write a file through the cache to tape",
+       .params = {"logical_path", "data"}});
+
+  registry.bind(
+      "srm.ls",
+      [s](const std::string& logical_dir) { return s->ls(logical_dir); },
+      {.help = "List the tape namespace below a logical directory",
+       .params = {"logical_dir"}});
+
+  registry.bind(
+      "srm.size",
+      [s](const std::string& logical_path) { return s->size(logical_path); },
+      {.help = "Size of a tape file in bytes", .params = {"logical_path"}});
+}
+
+}  // namespace clarens::core::bindings

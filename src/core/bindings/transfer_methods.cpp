@@ -1,0 +1,70 @@
+// transfer.* — third-party file pulls via delegation (paper §6).
+#include "core/bindings/bindings.hpp"
+
+#include "core/transfer_service.hpp"
+
+namespace clarens::core::bindings {
+
+namespace {
+
+rpc::Value transfer_value(const Transfer& t) {
+  rpc::Value v = rpc::Value::struct_();
+  v.set("id", t.id);
+  v.set("source",
+        t.source_host + ":" + std::to_string(t.source_port) + t.source_path);
+  v.set("dest", t.dest_path);
+  v.set("state", std::string(to_string(t.state)));
+  v.set("bytes", t.bytes);
+  v.set("verified", t.verified);
+  if (!t.error.empty()) v.set("error", t.error);
+  return v;
+}
+
+}  // namespace
+
+void register_transfer_methods(TransferService& transfers,
+                               rpc::Registry& registry) {
+  TransferService* t = &transfers;
+
+  registry.bind(
+      "transfer.start",
+      [t](const rpc::CallContext& context, const std::string& source_url,
+          const std::string& source_path, const std::string& dest_path,
+          const std::string& proxy_password) {
+        return t->start(caller_dn(context), source_url, source_path, dest_path,
+                        proxy_password);
+      },
+      {.help = "Pull a file from another Clarens server using the caller's "
+               "stored proxy (delegation)",
+       .params = {"source_url", "source_path", "dest_path",
+                  "proxy_password"}});
+
+  registry.bind(
+      "transfer.status",
+      [t](const rpc::CallContext& context, const std::string& transfer_id) {
+        return rpc::StructResult{
+            transfer_value(t->status(transfer_id, caller_dn(context)))};
+      },
+      {.help = "State, byte count and verification result of a transfer",
+       .params = {"transfer_id"}});
+
+  registry.bind(
+      "transfer.list",
+      [t](const rpc::CallContext& context) {
+        rpc::Array out;
+        for (const auto& transfer : t->list(caller_dn(context))) {
+          out.push_back(transfer_value(transfer));
+        }
+        return out;
+      },
+      {.help = "The caller's transfers, newest first"});
+
+  registry.bind(
+      "transfer.cancel",
+      [t](const rpc::CallContext& context, const std::string& transfer_id) {
+        return t->cancel(transfer_id, caller_dn(context));
+      },
+      {.help = "Cancel a queued transfer", .params = {"transfer_id"}});
+}
+
+}  // namespace clarens::core::bindings

@@ -1,0 +1,96 @@
+// vo.* — Virtual Organization management (paper §2.1).
+#include "core/bindings/bindings.hpp"
+
+#include "core/vo.hpp"
+
+namespace clarens::core::bindings {
+
+void register_vo_methods(VoManager& vo, rpc::Registry& registry) {
+  VoManager* v = &vo;
+
+  registry.bind(
+      "vo.groups", [v] { return v->list_groups(); },
+      {.help = "List all VO groups"});
+
+  registry.bind(
+      "vo.info",
+      [v](const std::string& group) {
+        GroupInfo info = v->info(group);
+        rpc::Value out = rpc::Value::struct_();
+        out.set("name", info.name);
+        rpc::Value members = rpc::Value::array();
+        for (const auto& m : info.members) members.push(m);
+        out.set("members", std::move(members));
+        rpc::Value admins = rpc::Value::array();
+        for (const auto& a : info.admins) admins.push(a);
+        out.set("admins", std::move(admins));
+        return rpc::StructResult{std::move(out)};
+      },
+      {.help = "Members and administrators of a group", .params = {"group"}});
+
+  registry.bind(
+      "vo.create_group",
+      [v](const rpc::CallContext& context, const std::string& group) {
+        v->create_group(group, caller_dn(context));
+        return true;
+      },
+      {.help = "Create a group (admins of the parent branch only)",
+       .params = {"group"}});
+
+  registry.bind(
+      "vo.delete_group",
+      [v](const rpc::CallContext& context, const std::string& group) {
+        v->delete_group(group, caller_dn(context));
+        return true;
+      },
+      {.help = "Delete a group and its descendants", .params = {"group"}});
+
+  registry.bind(
+      "vo.add_member",
+      [v](const rpc::CallContext& context, const std::string& group,
+          const std::string& dn) {
+        v->add_member(group, dn, caller_dn(context));
+        return true;
+      },
+      {.help = "Add a member DN (prefix) to a group",
+       .params = {"group", "dn"}});
+
+  registry.bind(
+      "vo.remove_member",
+      [v](const rpc::CallContext& context, const std::string& group,
+          const std::string& dn) {
+        v->remove_member(group, dn, caller_dn(context));
+        return true;
+      },
+      {.help = "Remove a member DN from a group", .params = {"group", "dn"}});
+
+  registry.bind(
+      "vo.add_admin",
+      [v](const rpc::CallContext& context, const std::string& group,
+          const std::string& dn) {
+        v->add_admin(group, dn, caller_dn(context));
+        return true;
+      },
+      {.help = "Add an administrator DN to a group",
+       .params = {"group", "dn"}});
+
+  registry.bind(
+      "vo.remove_admin",
+      [v](const rpc::CallContext& context, const std::string& group,
+          const std::string& dn) {
+        v->remove_admin(group, dn, caller_dn(context));
+        return true;
+      },
+      {.help = "Remove an administrator DN from a group",
+       .params = {"group", "dn"}});
+
+  registry.bind(
+      "vo.is_member",
+      [v](const std::string& group, const std::string& dn) {
+        return v->is_member(group, pki::DistinguishedName::parse(dn));
+      },
+      {.help = "Test (inherited, prefix-matched) group membership",
+       .params = {"group", "dn"}});
+}
+
+}  // namespace clarens::core::bindings

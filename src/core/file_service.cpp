@@ -85,12 +85,23 @@ std::vector<std::uint8_t> FileService::read(const std::string& path,
                                             const pki::DistinguishedName& who) const {
   require_read(path, who);
   if (offset < 0 || length < 0) throw ParseError("negative offset or length");
+  if (length > max_read_chunk_) {
+    throw ParseError("read length " + std::to_string(length) +
+                     " exceeds maximum chunk of " +
+                     std::to_string(max_read_chunk_) + " bytes");
+  }
   std::string real = resolve(path);
   std::ifstream in(real, std::ios::binary);
   if (!in) throw NotFoundError("cannot open file: '" + path + "'");
+  // The length arrives from the wire; size the buffer by what the file
+  // can actually yield, never by the request alone.
+  in.seekg(0, std::ios::end);
+  std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+  std::int64_t remaining = file_size > offset ? file_size - offset : 0;
+  std::int64_t to_read = std::min(length, remaining);
   in.seekg(offset);
-  std::vector<std::uint8_t> out(static_cast<std::size_t>(length));
-  in.read(reinterpret_cast<char*>(out.data()), length);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(to_read));
+  in.read(reinterpret_cast<char*>(out.data()), to_read);
   out.resize(static_cast<std::size_t>(in.gcount()));
   return out;
 }

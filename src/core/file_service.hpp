@@ -33,6 +33,12 @@ class FileService {
   /// Map virtual path prefix "/data" to server directory `directory`.
   void add_root(const std::string& virtual_prefix, const std::string& directory);
 
+  /// Largest `length` a single read() accepts. The length arrives from
+  /// the wire and sizes a buffer, so it must be bounded server-side;
+  /// larger requests are rejected (callers chunk, as transfer.* does).
+  void set_max_read_chunk(std::int64_t bytes) { max_read_chunk_ = bytes; }
+  std::int64_t max_read_chunk() const { return max_read_chunk_; }
+
   std::vector<std::string> roots() const;
 
   /// All virtual paths below are absolute ("/data/run1/events.bin") and
@@ -97,6 +103,7 @@ class FileService {
 
   AclManager& acl_;
   std::map<std::string, std::string> roots_;  // virtual prefix -> directory
+  std::int64_t max_read_chunk_ = 8 * 1024 * 1024;
 };
 
 }  // namespace clarens::core

@@ -4,69 +4,19 @@
 #include <filesystem>
 #include <set>
 
-#include "crypto/random.hpp"
+#include "core/bindings/bindings.hpp"
 #include "rpc/fault.hpp"
-#include "rpc/jsonrpc.hpp"
 #include "rpc/protocol.hpp"
 #include "util/buffer.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
-#include "util/hex.hpp"
-#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace clarens::core {
 
 namespace {
 
-constexpr const char* kChallengeTable = "challenges";
 constexpr const char* kSessionHeader = "X-Clarens-Session";
-
-// Methods callable without an established session (they *create* the
-// session, or are pure liveness probes).
-bool is_public_method(const std::string& name) {
-  return name == "system.challenge" || name == "system.auth" ||
-         name == "system.ping" || name == "proxy.logon";
-}
-
-const rpc::Value& arg(const std::vector<rpc::Value>& params, std::size_t i) {
-  if (i >= params.size()) {
-    throw rpc::Fault(rpc::kFaultType,
-                     "missing parameter " + std::to_string(i));
-  }
-  return params[i];
-}
-
-std::string arg_string(const std::vector<rpc::Value>& params, std::size_t i) {
-  return arg(params, i).as_string();
-}
-
-std::int64_t arg_int(const std::vector<rpc::Value>& params, std::size_t i) {
-  return arg(params, i).as_int();
-}
-
-rpc::Value strings_value(const std::vector<std::string>& list) {
-  rpc::Value v = rpc::Value::array();
-  for (const auto& s : list) v.push(s);
-  return v;
-}
-
-rpc::Value spec_value(const AclSpec& spec) {
-  return rpc::jsonrpc::parse_value(encode_spec(spec));
-}
-
-AclSpec spec_from(const rpc::Value& v) {
-  return decode_spec(rpc::jsonrpc::serialize_value(v));
-}
-
-rpc::Value stat_value(const FileStat& st) {
-  rpc::Value v = rpc::Value::struct_();
-  v.set("name", st.name);
-  v.set("is_directory", st.is_directory);
-  v.set("size", st.size);
-  v.set("mtime", rpc::DateTime{st.mtime});
-  return v;
-}
 
 // Minimal browser portal (paper §3): a static page whose JavaScript would
 // issue the web-service calls; served to satisfy HTTP GET on "/".
@@ -96,6 +46,7 @@ ClarensServer::ClarensServer(ClarensConfig config)
   vo_ = std::make_unique<VoManager>(*store_, config_.admins);
   acl_ = std::make_unique<AclManager>(*store_, *vo_, config_.default_allow);
   files_ = std::make_unique<FileService>(*acl_);
+  files_->set_max_read_chunk(config_.max_read_chunk);
   for (const auto& [prefix, dir] : config_.file_roots) {
     files_->add_root(prefix, dir);
   }
@@ -126,6 +77,34 @@ ClarensServer::ClarensServer(ClarensConfig config)
 }
 
 ClarensServer::~ClarensServer() { stop(); }
+
+// Method registration is decomposed into per-service binding units
+// (core/bindings/): each attaches one service module's typed handlers,
+// signatures and metadata. This server only decides which services exist.
+void ClarensServer::register_core_methods() {
+  bindings::register_system_methods(*this);
+  bindings::register_vo_methods(*vo_, registry_);
+  bindings::register_acl_methods(*acl_, *vo_, registry_);
+  bindings::register_file_methods(*files_, registry_);
+  if (shell_) bindings::register_shell_methods(*shell_, registry_);
+  if (jobs_) bindings::register_job_methods(*jobs_, registry_);
+  bindings::register_proxy_methods(*proxy_, registry_);
+  bindings::register_message_methods(*messages_, registry_);
+  if (transfers_) bindings::register_transfer_methods(*transfers_, registry_);
+}
+
+void ClarensServer::attach_discovery(discovery::DiscoveryServer& discovery) {
+  discovery_ = &discovery;
+  bindings::register_discovery_methods(discovery, registry_);
+}
+
+void ClarensServer::attach_storage(storage::SrmService& srm) {
+  srm_ = &srm;
+  // Staged copies live in the SRM disk cache; exposing it as a virtual
+  // root lets clients read READY files through file.read / HTTP GET.
+  files_->add_root("/srmcache", srm.storage().cache_dir());
+  bindings::register_srm_methods(srm, registry_);
+}
 
 void ClarensServer::start() {
   http::ServerOptions options;
@@ -250,11 +229,21 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
     rpc::Request rpc_request = rpc::parse_request(protocol, request.body);
     request_id = rpc_request.id;
 
+    // One registry lookup serves the pre-dispatch metadata checks and
+    // the dispatch itself.
+    std::shared_ptr<const rpc::Method> method =
+        registry_.find(rpc_request.method);
+    if (!method) {
+      throw rpc::Fault(rpc::kFaultBadMethod,
+                       "no such method: " + rpc_request.method);
+    }
+
     rpc::CallContext context;
     context.protocol = rpc::to_string(protocol);
 
-    if (is_public_method(rpc_request.method)) {
-      // TLS-verified identity is available even pre-session.
+    if (method->info.is_public) {
+      // Public methods create the session or are liveness probes; a
+      // TLS-verified identity is still available pre-session.
       if (peer.tls_identity && peer.tls_identity->ok) {
         context.identity = peer.tls_identity->identity.str();
         context.via_proxy = peer.tls_identity->via_proxy;
@@ -269,12 +258,14 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
       context.session_id = session->id;
       context.via_proxy = session->via_proxy;
       // Check 2: method ACL (compiled-spec cache; DN pre-parsed at
-      // session decode time).
-      check_acl(rpc_request.method, session->identity_dn);
+      // session decode time). Methods may carry an explicit ACL path;
+      // the default is the method name itself.
+      check_acl(method->info.acl_path.empty() ? rpc_request.method
+                                              : method->info.acl_path,
+                session->identity_dn);
     }
 
-    rpc::Value result =
-        registry_.dispatch(rpc_request.method, context, rpc_request.params);
+    rpc::Value result = method->handler(context, rpc_request.params);
     rpc_response = rpc::Response::success(std::move(result));
   } catch (const rpc::Fault& fault) {
     rpc_response = rpc::Response::fault(fault.code(), fault.what());
@@ -402,791 +393,6 @@ http::Response ClarensServer::handle_get(const http::Request& request,
   } catch (const NotFoundError& e) {
     return http::Response::make(404, std::string(e.what()) + "\n");
   }
-}
-
-void ClarensServer::attach_discovery(discovery::DiscoveryServer& discovery) {
-  discovery_ = &discovery;
-  registry_.add(
-      "discovery.find_services",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        std::string query = params.empty() ? "" : params[0].as_string();
-        rpc::Value out = rpc::Value::array();
-        for (const auto& record : discovery_->find_services(query)) {
-          out.push(record.to_value());
-        }
-        return out;
-      },
-      "Search aggregated service records by service-name substring",
-      "array (string query)");
-  registry_.add(
-      "discovery.find_servers",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        return strings_value(discovery_->find_servers());
-      },
-      "List distinct server endpoints known to discovery", "array ()");
-  registry_.add(
-      "discovery.locate",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        auto url = discovery_->locate(arg_string(params, 0));
-        if (!url) {
-          throw rpc::Fault(rpc::kFaultNotFound,
-                           "no live endpoint for service");
-        }
-        return rpc::Value(*url);
-      },
-      "Resolve a service name to a live endpoint URL",
-      "string (string service)");
-}
-
-void ClarensServer::attach_storage(storage::SrmService& srm) {
-  srm_ = &srm;
-  // Staged copies live in the SRM disk cache; exposing it as a virtual
-  // root lets clients read READY files through file.read / HTTP GET.
-  files_->add_root("/srmcache", srm.storage().cache_dir());
-
-  registry_.add(
-      "srm.prepare_to_get",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(srm_->prepare_to_get(arg_string(params, 0)));
-      },
-      "Request staging of a tape file; returns a request token",
-      "string (string logical_path)");
-  registry_.add(
-      "srm.status",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        storage::SrmRequest request = srm_->status(arg_string(params, 0));
-        rpc::Value v = rpc::Value::struct_();
-        v.set("token", request.token);
-        v.set("path", request.logical_path);
-        v.set("state", std::string(storage::to_string(request.state)));
-        if (request.state == storage::SrmState::Ready) {
-          // Virtual path of the staged copy (basename inside the cache).
-          std::string name = request.cache_file;
-          std::size_t slash = name.rfind('/');
-          if (slash != std::string::npos) name = name.substr(slash + 1);
-          v.set("cache_path", "/srmcache/" + name);
-        }
-        if (!request.error.empty()) v.set("error", request.error);
-        return v;
-      },
-      "State of a staging request (QUEUED/STAGING/READY/FAILED)",
-      "struct (string token)");
-  registry_.add(
-      "srm.release",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        srm_->release(arg_string(params, 0));
-        return rpc::Value(true);
-      },
-      "Release (unpin) a READY staging request", "boolean (string token)");
-  registry_.add(
-      "srm.put",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        const rpc::Value& data = arg(params, 1);
-        if (data.type() == rpc::Value::Type::Binary) {
-          const auto& blob = data.as_binary();
-          srm_->put(arg_string(params, 0),
-                    std::string_view(reinterpret_cast<const char*>(blob.data()),
-                                     blob.size()));
-        } else {
-          srm_->put(arg_string(params, 0), data.as_string());
-        }
-        return rpc::Value(true);
-      },
-      "Write a file through the cache to tape",
-      "boolean (string logical_path, base64|string data)");
-  registry_.add(
-      "srm.ls",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return strings_value(srm_->ls(arg_string(params, 0)));
-      },
-      "List the tape namespace below a logical directory",
-      "array (string logical_dir)");
-  registry_.add(
-      "srm.size",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(srm_->size(arg_string(params, 0)));
-      },
-      "Size of a tape file in bytes", "int (string logical_path)");
-}
-
-void ClarensServer::register_core_methods() {
-  // ---- system ---------------------------------------------------------
-  registry_.add(
-      "system.list_methods",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        return strings_value(registry_.list());
-      },
-      "List every method registered on this server", "array ()");
-  registry_.add(
-      "system.method_help",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(registry_.info(arg_string(params, 0)).help);
-      },
-      "One-line description of a method", "string (string method)");
-  registry_.add(
-      "system.method_signature",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(registry_.info(arg_string(params, 0)).signature);
-      },
-      "Type signature of a method", "string (string method)");
-  registry_.add(
-      "system.ping",
-      [](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        return rpc::Value(std::string("pong"));
-      },
-      "Liveness probe (no session required)", "string ()");
-  registry_.add(
-      "system.whoami",
-      [](const rpc::CallContext& context, const std::vector<rpc::Value>&) {
-        rpc::Value v = rpc::Value::struct_();
-        v.set("dn", context.identity);
-        v.set("via_proxy", context.via_proxy);
-        v.set("protocol", context.protocol);
-        return v;
-      },
-      "Authenticated identity of the caller", "struct ()");
-  registry_.add(
-      "system.server_info",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        rpc::Value v = rpc::Value::struct_();
-        v.set("framework", std::string("clarens-cpp"));
-        v.set("version", std::string("1.0"));
-        v.set("methods", static_cast<std::int64_t>(registry_.size()));
-        v.set("encrypted", config_.use_tls);
-        v.set("farm", config_.farm);
-        v.set("node", config_.node);
-        return v;
-      },
-      "Server identification and capabilities", "struct ()");
-  registry_.add(
-      "system.stats",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        rpc::Value v = rpc::Value::struct_();
-        v.set("requests_served",
-              static_cast<std::int64_t>(requests_served()));
-        v.set("active_sessions",
-              static_cast<std::int64_t>(sessions_->active_count()));
-        v.set("uptime_seconds", util::unix_now() - started_at_);
-        v.set("methods", static_cast<std::int64_t>(registry_.size()));
-        return v;
-      },
-      "Operational counters (requests, sessions, uptime)", "struct ()");
-  registry_.add(
-      "system.challenge",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        std::string nonce = crypto::random_token(24);
-        rpc::Value v = rpc::Value::struct_();
-        v.set("expires", util::unix_now() + config_.challenge_ttl);
-        store_->put(kChallengeTable, nonce, rpc::jsonrpc::serialize_value(v));
-        return rpc::Value(nonce);
-      },
-      "Issue a single-use authentication nonce", "string ()");
-  registry_.add(
-      "system.auth",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        if (params.empty()) {
-          // TLS path: the channel already verified the client chain.
-          if (context.identity.empty()) {
-            throw rpc::Fault(rpc::kFaultAuth,
-                             "no certificate presented on this connection");
-          }
-          Session session =
-              sessions_->create(context.identity, context.via_proxy);
-          return rpc::Value(session.id);
-        }
-        // Challenge path (plaintext connections):
-        //   params = [nonce, chain (array of certificate strings),
-        //             signature (base64 of sig over the nonce)].
-        std::string nonce = arg_string(params, 0);
-        auto challenge = store_->get(kChallengeTable, nonce);
-        if (!challenge) throw rpc::Fault(rpc::kFaultAuth, "unknown challenge");
-        store_->erase(kChallengeTable, nonce);  // single use
-        rpc::Value cv = rpc::jsonrpc::parse_value(*challenge);
-        if (cv.at("expires").as_int() < util::unix_now()) {
-          throw rpc::Fault(rpc::kFaultAuth, "challenge expired");
-        }
-        std::vector<pki::Certificate> chain;
-        for (const auto& cert_text : arg(params, 1).as_array()) {
-          chain.push_back(pki::Certificate::decode(cert_text.as_string()));
-        }
-        if (chain.empty()) throw rpc::Fault(rpc::kFaultAuth, "empty chain");
-        auto verdict = config_.trust.verify(chain, util::unix_now());
-        if (!verdict.ok) {
-          throw rpc::Fault(rpc::kFaultAuth,
-                           "certificate rejected: " + verdict.error);
-        }
-        std::vector<std::uint8_t> signature =
-            util::base64_decode(arg_string(params, 2));
-        if (!crypto::rsa_verify(chain.front().public_key(), nonce, signature)) {
-          throw rpc::Fault(rpc::kFaultAuth, "challenge signature invalid");
-        }
-        Session session =
-            sessions_->create(verdict.identity.str(), verdict.via_proxy);
-        return rpc::Value(session.id);
-      },
-      "Authenticate with a certificate chain; returns a session token",
-      "string (string nonce, array chain, string signature)");
-  registry_.add(
-      "system.logout",
-      [this](const rpc::CallContext& context, const std::vector<rpc::Value>&) {
-        return rpc::Value(sessions_->destroy(context.session_id));
-      },
-      "Destroy the calling session", "boolean ()");
-
-  // ---- echo (the trivial method of the Globus comparison) -------------
-  registry_.add(
-      "echo.echo",
-      [](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return params.empty() ? rpc::Value() : params[0];
-      },
-      "Return the first parameter unchanged", "any (any value)");
-
-  // ---- vo --------------------------------------------------------------
-  auto actor_of = [](const rpc::CallContext& context) {
-    return pki::DistinguishedName::parse(context.identity);
-  };
-  registry_.add(
-      "vo.groups",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        return strings_value(vo_->list_groups());
-      },
-      "List all VO groups", "array ()");
-  registry_.add(
-      "vo.info",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        GroupInfo info = vo_->info(arg_string(params, 0));
-        rpc::Value v = rpc::Value::struct_();
-        v.set("name", info.name);
-        v.set("members", strings_value(info.members));
-        v.set("admins", strings_value(info.admins));
-        return v;
-      },
-      "Members and administrators of a group", "struct (string group)");
-  registry_.add(
-      "vo.create_group",
-      [this, actor_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-        vo_->create_group(arg_string(params, 0), actor_of(context));
-        return rpc::Value(true);
-      },
-      "Create a group (admins of the parent branch only)",
-      "boolean (string group)");
-  registry_.add(
-      "vo.delete_group",
-      [this, actor_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-        vo_->delete_group(arg_string(params, 0), actor_of(context));
-        return rpc::Value(true);
-      },
-      "Delete a group and its descendants", "boolean (string group)");
-  registry_.add(
-      "vo.add_member",
-      [this, actor_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-        vo_->add_member(arg_string(params, 0), arg_string(params, 1),
-                        actor_of(context));
-        return rpc::Value(true);
-      },
-      "Add a member DN (prefix) to a group",
-      "boolean (string group, string dn)");
-  registry_.add(
-      "vo.remove_member",
-      [this, actor_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-        vo_->remove_member(arg_string(params, 0), arg_string(params, 1),
-                           actor_of(context));
-        return rpc::Value(true);
-      },
-      "Remove a member DN from a group", "boolean (string group, string dn)");
-  registry_.add(
-      "vo.add_admin",
-      [this, actor_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-        vo_->add_admin(arg_string(params, 0), arg_string(params, 1),
-                       actor_of(context));
-        return rpc::Value(true);
-      },
-      "Add an administrator DN to a group",
-      "boolean (string group, string dn)");
-  registry_.add(
-      "vo.remove_admin",
-      [this, actor_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-        vo_->remove_admin(arg_string(params, 0), arg_string(params, 1),
-                          actor_of(context));
-        return rpc::Value(true);
-      },
-      "Remove an administrator DN from a group",
-      "boolean (string group, string dn)");
-  registry_.add(
-      "vo.is_member",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(vo_->is_member(
-            arg_string(params, 0),
-            pki::DistinguishedName::parse(arg_string(params, 1))));
-      },
-      "Test (inherited, prefix-matched) group membership",
-      "boolean (string group, string dn)");
-
-  // ---- acl --------------------------------------------------------------
-  auto require_root = [this, actor_of](const rpc::CallContext& context) {
-    if (!vo_->is_root_admin(actor_of(context))) {
-      throw AccessError("ACL management requires root administrator");
-    }
-  };
-  registry_.add(
-      "acl.set_method",
-      [this, require_root](const rpc::CallContext& context,
-                           const std::vector<rpc::Value>& params) {
-        require_root(context);
-        acl_->set_method_acl(arg_string(params, 0), spec_from(arg(params, 1)));
-        return rpc::Value(true);
-      },
-      "Attach an ACL to a method path", "boolean (string path, struct spec)");
-  registry_.add(
-      "acl.get_method",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        auto spec = acl_->get_method_acl(arg_string(params, 0));
-        if (!spec) throw rpc::Fault(rpc::kFaultNotFound, "no ACL at this path");
-        return spec_value(*spec);
-      },
-      "Fetch the ACL attached to a method path", "struct (string path)");
-  registry_.add(
-      "acl.del_method",
-      [this, require_root](const rpc::CallContext& context,
-                           const std::vector<rpc::Value>& params) {
-        require_root(context);
-        acl_->remove_method_acl(arg_string(params, 0));
-        return rpc::Value(true);
-      },
-      "Remove the ACL at a method path", "boolean (string path)");
-  registry_.add(
-      "acl.list",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        rpc::Value v = rpc::Value::struct_();
-        v.set("methods", strings_value(acl_->list_method_acls()));
-        v.set("files", strings_value(acl_->list_file_acls()));
-        return v;
-      },
-      "All paths carrying ACLs", "struct ()");
-  registry_.add(
-      "acl.check_method",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(acl_->check_method(
-            arg_string(params, 0),
-            pki::DistinguishedName::parse(arg_string(params, 1))));
-      },
-      "Evaluate method access for a DN", "boolean (string method, string dn)");
-  registry_.add(
-      "acl.set_file",
-      [this, require_root](const rpc::CallContext& context,
-                           const std::vector<rpc::Value>& params) {
-        require_root(context);
-        FileAcl facl;
-        facl.read = spec_from(arg(params, 1).at("read"));
-        facl.write = spec_from(arg(params, 1).at("write"));
-        acl_->set_file_acl(arg_string(params, 0), facl);
-        return rpc::Value(true);
-      },
-      "Attach a read/write ACL to a file path",
-      "boolean (string path, struct {read, write})");
-  registry_.add(
-      "acl.get_file",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        auto facl = acl_->get_file_acl(arg_string(params, 0));
-        if (!facl) throw rpc::Fault(rpc::kFaultNotFound, "no ACL at this path");
-        rpc::Value v = rpc::Value::struct_();
-        v.set("read", spec_value(facl->read));
-        v.set("write", spec_value(facl->write));
-        return v;
-      },
-      "Fetch the file ACL at a path", "struct (string path)");
-  registry_.add(
-      "acl.del_file",
-      [this, require_root](const rpc::CallContext& context,
-                           const std::vector<rpc::Value>& params) {
-        require_root(context);
-        acl_->remove_file_acl(arg_string(params, 0));
-        return rpc::Value(true);
-      },
-      "Remove the file ACL at a path", "boolean (string path)");
-
-  // ---- file --------------------------------------------------------------
-  auto who_of = [](const rpc::CallContext& context) {
-    return pki::DistinguishedName::parse(context.identity);
-  };
-  registry_.add(
-      "file.read",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        return rpc::Value(files_->read(arg_string(params, 0),
-                                       arg_int(params, 1), arg_int(params, 2),
-                                       who_of(context)));
-      },
-      "Read a byte range of a remote file",
-      "base64 (string path, int offset, int length)");
-  registry_.add(
-      "file.write",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        const rpc::Value& data = arg(params, 1);
-        if (data.type() == rpc::Value::Type::Binary) {
-          files_->write(arg_string(params, 0), data.as_binary(), who_of(context));
-        } else {
-          const std::string& s = data.as_string();
-          files_->write(arg_string(params, 0),
-                        std::span<const std::uint8_t>(
-                            reinterpret_cast<const std::uint8_t*>(s.data()),
-                            s.size()),
-                        who_of(context));
-        }
-        return rpc::Value(true);
-      },
-      "Create or overwrite a remote file",
-      "boolean (string path, base64|string data)");
-  registry_.add(
-      "file.ls",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        rpc::Value out = rpc::Value::array();
-        for (const auto& st : files_->ls(arg_string(params, 0), who_of(context))) {
-          out.push(stat_value(st));
-        }
-        return out;
-      },
-      "Directory listing", "array (string path)");
-  registry_.add(
-      "file.stat",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        return stat_value(files_->stat(arg_string(params, 0), who_of(context)));
-      },
-      "File or directory information", "struct (string path)");
-  registry_.add(
-      "file.md5",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        return rpc::Value(files_->md5(arg_string(params, 0), who_of(context)));
-      },
-      "MD5 integrity hash of a file", "string (string path)");
-  registry_.add(
-      "file.size",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        return rpc::Value(files_->size(arg_string(params, 0), who_of(context)));
-      },
-      "Size of a file in bytes", "int (string path)");
-  registry_.add(
-      "file.find",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        return strings_value(files_->find(arg_string(params, 0),
-                                          arg_string(params, 1),
-                                          who_of(context)));
-      },
-      "Recursive filename search", "array (string path, string pattern)");
-  registry_.add(
-      "file.mkdir",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        files_->mkdir(arg_string(params, 0), who_of(context));
-        return rpc::Value(true);
-      },
-      "Create a directory", "boolean (string path)");
-  registry_.add(
-      "file.rm",
-      [this, who_of](const rpc::CallContext& context,
-                     const std::vector<rpc::Value>& params) {
-        files_->remove(arg_string(params, 0), who_of(context));
-        return rpc::Value(true);
-      },
-      "Remove a file or directory tree", "boolean (string path)");
-  registry_.add(
-      "file.roots",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-        return strings_value(files_->roots());
-      },
-      "Configured virtual root prefixes", "array ()");
-
-  // ---- shell --------------------------------------------------------------
-  if (shell_) {
-    registry_.add(
-        "shell.cmd",
-        [this, who_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-          ShellResult result =
-              shell_->execute(who_of(context), arg_string(params, 0));
-          rpc::Value v = rpc::Value::struct_();
-          v.set("exit_code", static_cast<std::int64_t>(result.exit_code));
-          v.set("stdout", result.out);
-          v.set("stderr", result.err);
-          return v;
-        },
-        "Execute a sandboxed command as the mapped system user",
-        "struct (string command)");
-    registry_.add(
-        "shell.cmd_info",
-        [this, who_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>&) {
-          rpc::Value v = rpc::Value::struct_();
-          v.set("sandbox", shell_->cmd_info(who_of(context)));
-          auto user = shell_->map_user(who_of(context));
-          v.set("user", user ? *user : std::string());
-          return v;
-        },
-        "Sandbox directory (file-service visible) and mapped user",
-        "struct ()");
-    registry_.add(
-        "shell.commands",
-        [](const rpc::CallContext&, const std::vector<rpc::Value>&) {
-          return strings_value(ShellService::supported_commands());
-        },
-        "Commands the restricted interpreter supports", "array ()");
-
-    // ---- job submission (portal functionality, paper §3) ----------------
-    auto job_value = [](const Job& job) {
-      rpc::Value v = rpc::Value::struct_();
-      v.set("id", job.id);
-      v.set("command", job.command);
-      v.set("state", std::string(to_string(job.state)));
-      v.set("exit_code", static_cast<std::int64_t>(job.exit_code));
-      v.set("output", job.output);
-      v.set("error", job.error);
-      v.set("submitted", rpc::DateTime{job.submitted});
-      if (job.finished > 0) v.set("finished", rpc::DateTime{job.finished});
-      return v;
-    };
-    registry_.add(
-        "job.submit",
-        [this, who_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-          return rpc::Value(
-              jobs_->submit(who_of(context), arg_string(params, 0)));
-        },
-        "Queue a sandboxed command for asynchronous execution",
-        "string (string command)");
-    registry_.add(
-        "job.status",
-        [this, who_of, job_value](const rpc::CallContext& context,
-                                  const std::vector<rpc::Value>& params) {
-          return job_value(jobs_->status(arg_string(params, 0), who_of(context)));
-        },
-        "State, exit code and captured output of a job",
-        "struct (string job_id)");
-    registry_.add(
-        "job.list",
-        [this, who_of, job_value](const rpc::CallContext& context,
-                                  const std::vector<rpc::Value>&) {
-          rpc::Value out = rpc::Value::array();
-          for (const auto& job : jobs_->list(who_of(context))) {
-            out.push(job_value(job));
-          }
-          return out;
-        },
-        "The caller's jobs, newest first", "array ()");
-    registry_.add(
-        "job.cancel",
-        [this, who_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-          return rpc::Value(
-              jobs_->cancel(arg_string(params, 0), who_of(context)));
-        },
-        "Cancel a queued job (false if it already started)",
-        "boolean (string job_id)");
-    registry_.add(
-        "job.purge",
-        [this, who_of](const rpc::CallContext& context,
-                       const std::vector<rpc::Value>& params) {
-          jobs_->purge(arg_string(params, 0), who_of(context));
-          return rpc::Value(true);
-        },
-        "Delete a finished job record", "boolean (string job_id)");
-  }
-
-  // ---- proxy --------------------------------------------------------------
-  registry_.add(
-      "proxy.store",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        pki::Credential proxy =
-            pki::Credential::decode(arg_string(params, 0));
-        pki::Certificate user_cert =
-            pki::Certificate::decode(arg_string(params, 1));
-        proxy_->store(proxy, user_cert, arg_string(params, 2));
-        return rpc::Value(true);
-      },
-      "Store a password-protected proxy credential",
-      "boolean (string proxy_credential, string user_cert, string password)");
-  registry_.add(
-      "proxy.retrieve",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        auto stored =
-            proxy_->retrieve(arg_string(params, 0), arg_string(params, 1));
-        rpc::Value v = rpc::Value::struct_();
-        v.set("proxy", stored.proxy.encode());
-        v.set("user_cert", stored.user_cert.encode());
-        return v;
-      },
-      "Retrieve a stored proxy (delegation)",
-      "struct (string dn, string password)");
-  registry_.add(
-      "proxy.logon",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(
-            proxy_->logon(arg_string(params, 0), arg_string(params, 1)));
-      },
-      "Open a session knowing only DN and proxy password",
-      "string (string dn, string password)");
-  registry_.add(
-      "proxy.attach",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        proxy_->attach(context.session_id, arg_string(params, 0),
-                       arg_string(params, 1));
-        return rpc::Value(true);
-      },
-      "Attach/renew a stored proxy on the calling session",
-      "boolean (string dn, string password)");
-  registry_.add(
-      "proxy.exists",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(proxy_->exists(arg_string(params, 0)));
-      },
-      "Does a stored proxy exist for this DN?", "boolean (string dn)");
-  registry_.add(
-      "proxy.remove",
-      [this](const rpc::CallContext&, const std::vector<rpc::Value>& params) {
-        return rpc::Value(
-            proxy_->remove(arg_string(params, 0), arg_string(params, 1)));
-      },
-      "Delete a stored proxy (password required)",
-      "boolean (string dn, string password)");
-
-  // ---- transfer (third-party file pulls via delegation, paper §6) ------
-  if (transfers_) {
-    auto transfer_value = [](const Transfer& t) {
-      rpc::Value v = rpc::Value::struct_();
-      v.set("id", t.id);
-      v.set("source", t.source_host + ":" + std::to_string(t.source_port) +
-                          t.source_path);
-      v.set("dest", t.dest_path);
-      v.set("state", std::string(to_string(t.state)));
-      v.set("bytes", t.bytes);
-      v.set("verified", t.verified);
-      if (!t.error.empty()) v.set("error", t.error);
-      return v;
-    };
-    auto who_of2 = [](const rpc::CallContext& context) {
-      return pki::DistinguishedName::parse(context.identity);
-    };
-    registry_.add(
-        "transfer.start",
-        [this, who_of2](const rpc::CallContext& context,
-                        const std::vector<rpc::Value>& params) {
-          return rpc::Value(transfers_->start(
-              who_of2(context), arg_string(params, 0), arg_string(params, 1),
-              arg_string(params, 2), arg_string(params, 3)));
-        },
-        "Pull a file from another Clarens server using the caller's "
-        "stored proxy (delegation)",
-        "string (string source_url, string source_path, string dest_path, "
-        "string proxy_password)");
-    registry_.add(
-        "transfer.status",
-        [this, who_of2, transfer_value](const rpc::CallContext& context,
-                                        const std::vector<rpc::Value>& params) {
-          return transfer_value(
-              transfers_->status(arg_string(params, 0), who_of2(context)));
-        },
-        "State, byte count and verification result of a transfer",
-        "struct (string transfer_id)");
-    registry_.add(
-        "transfer.list",
-        [this, who_of2, transfer_value](const rpc::CallContext& context,
-                                        const std::vector<rpc::Value>&) {
-          rpc::Value out = rpc::Value::array();
-          for (const auto& t : transfers_->list(who_of2(context))) {
-            out.push(transfer_value(t));
-          }
-          return out;
-        },
-        "The caller's transfers, newest first", "array ()");
-    registry_.add(
-        "transfer.cancel",
-        [this, who_of2](const rpc::CallContext& context,
-                        const std::vector<rpc::Value>& params) {
-          return rpc::Value(
-              transfers_->cancel(arg_string(params, 0), who_of2(context)));
-        },
-        "Cancel a queued transfer", "boolean (string transfer_id)");
-  }
-
-  // ---- message (async bi-directional communication, paper §6) ---------
-  registry_.add(
-      "message.send",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        return rpc::Value(static_cast<std::int64_t>(
-            messages_->send(context.identity, arg_string(params, 0),
-                            arg_string(params, 1), arg_string(params, 2))));
-      },
-      "Queue a direct message for another identity",
-      "int (string to_dn, string subject, string body)");
-  registry_.add(
-      "message.poll",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        std::size_t max = params.empty()
-                              ? 100
-                              : static_cast<std::size_t>(arg_int(params, 0));
-        rpc::Value out = rpc::Value::array();
-        for (const auto& m : messages_->poll(context.identity, max)) {
-          rpc::Value v = rpc::Value::struct_();
-          v.set("id", static_cast<std::int64_t>(m.id));
-          v.set("from", m.from);
-          v.set("channel", m.channel);
-          v.set("subject", m.subject);
-          v.set("body", m.body);
-          v.set("sent", rpc::DateTime{m.sent});
-          out.push(v);
-        }
-        return out;
-      },
-      "Drain queued messages for the calling identity (oldest first)",
-      "array (int max)");
-  registry_.add(
-      "message.pending",
-      [this](const rpc::CallContext& context, const std::vector<rpc::Value>&) {
-        return rpc::Value(
-            static_cast<std::int64_t>(messages_->pending(context.identity)));
-      },
-      "Number of queued messages for the caller", "int ()");
-  registry_.add(
-      "message.subscribe",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        messages_->subscribe(arg_string(params, 0), context.identity);
-        return rpc::Value(true);
-      },
-      "Subscribe the caller to a channel", "boolean (string channel)");
-  registry_.add(
-      "message.unsubscribe",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        messages_->unsubscribe(arg_string(params, 0), context.identity);
-        return rpc::Value(true);
-      },
-      "Unsubscribe the caller from a channel", "boolean (string channel)");
-  registry_.add(
-      "message.publish",
-      [this](const rpc::CallContext& context,
-             const std::vector<rpc::Value>& params) {
-        return rpc::Value(static_cast<std::int64_t>(
-            messages_->publish(context.identity, arg_string(params, 0),
-                               arg_string(params, 1), arg_string(params, 2))));
-      },
-      "Publish to every subscriber of a channel; returns deliveries",
-      "int (string channel, string subject, string body)");
 }
 
 }  // namespace clarens::core

@@ -82,6 +82,9 @@ struct ClarensConfig {
 
   std::int64_t session_ttl = 24 * 3600;
   std::int64_t challenge_ttl = 300;
+  /// Largest file.read chunk a client may request in one call. The
+  /// wire-supplied length sizes a server buffer, so it is clamped.
+  std::int64_t max_read_chunk = 8 * 1024 * 1024;
   /// Expired-session sweep period; <= 0 disables the reaper thread.
   int session_reap_interval_s = 300;
 
@@ -142,6 +145,9 @@ class ClarensServer {
   std::uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
   }
+
+  /// Unix time start() completed; 0 before the first start().
+  std::int64_t started_at() const { return started_at_; }
 
   /// Test/bench backdoor: mint a session without the wire handshake.
   Session direct_login(const std::string& identity_dn);

@@ -1,0 +1,442 @@
+// Typed method binding: value-conversion traits over rpc::Value and the
+// variadic Registry::bind() implementation.
+//
+// A bound handler is an ordinary C++ callable:
+//
+//   registry.bind("file.read",
+//       [&](const CallContext& ctx, const std::string& path,
+//           std::int64_t offset, std::int64_t length) {
+//         return files.read(path, offset, length, dn_of(ctx));
+//       },
+//       {.help = "Read a byte range of a remote file",
+//        .params = {"path", "offset", "length"}});
+//
+// The binding layer
+//   * unmarshals each wire parameter into the declared C++ type and
+//     reports mismatches / missing parameters as kFaultType faults with
+//     the 1-based parameter index;
+//   * derives the wire signature string ("base64 (string path, int
+//     offset, int length)") from the C++ signature, so introspection can
+//     never drift from the code;
+//   * marshals the typed return value back into a Value.
+//
+// Supported parameter types (by decayed type):
+//   bool, std::int64_t, double, std::string (bound by const& — no copy),
+//   std::vector<std::uint8_t> (base64), DateTime, Value (any),
+//   Array (= std::vector<Value>), std::vector<std::string> (array of
+//   strings), Blob (base64-or-string payload, zero-copy view), StructArg
+//   (requires a struct), and std::optional<T> of any of these for
+//   trailing optional parameters.
+// Supported return types: the same scalars/containers, plus StructResult
+// (a struct-typed Value that derives "struct" instead of "any").
+//
+// An optional leading `const CallContext&` parameter receives the call
+// context; handlers that ignore it may simply omit it.
+#pragma once
+
+#include "rpc/registry.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "rpc/fault.hpp"
+
+namespace clarens::rpc {
+
+/// Parameter wrapper: a binary payload clients may send as either base64
+/// or string (the wire protocols differ in what their ecosystems favor).
+/// Holds a view into the parameter — no copy is made.
+struct Blob {
+  std::span<const std::uint8_t> bytes;
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+  }
+};
+
+/// Parameter wrapper: requires a struct-typed value ("struct" in the
+/// derived signature, where a plain Value parameter would derive "any").
+struct StructArg {
+  const Value* ptr = nullptr;
+  const Value& value() const { return *ptr; }
+  const Value& at(const std::string& key) const { return ptr->at(key); }
+};
+
+/// Return wrapper: a struct-typed Value ("struct" in the derived
+/// signature, where returning Value directly would derive "any").
+struct StructResult {
+  Value value;
+};
+
+namespace binding_detail {
+
+[[noreturn]] inline void bad_param(std::size_t index, const char* want,
+                                   const Value& got) {
+  throw Fault(kFaultType, "parameter " + std::to_string(index + 1) +
+                              ": expected " + want + ", got " +
+                              got.type_name());
+}
+
+template <typename T>
+struct ParamTraits;  // undefined primary: unsupported parameter type
+
+template <>
+struct ParamTraits<bool> {
+  static constexpr const char* kName = "boolean";
+  static bool get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::Bool) bad_param(i, kName, v);
+    return v.as_bool();
+  }
+};
+
+template <>
+struct ParamTraits<std::int64_t> {
+  static constexpr const char* kName = "int";
+  static std::int64_t get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::Int) bad_param(i, kName, v);
+    return v.as_int();
+  }
+};
+
+template <>
+struct ParamTraits<double> {
+  static constexpr const char* kName = "double";
+  static double get(const Value& v, std::size_t i) {
+    // Mirror Value::as_double: an int parameter satisfies a double slot.
+    if (v.type() != Value::Type::Double && v.type() != Value::Type::Int) {
+      bad_param(i, kName, v);
+    }
+    return v.as_double();
+  }
+};
+
+template <>
+struct ParamTraits<std::string> {
+  static constexpr const char* kName = "string";
+  static const std::string& get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::String) bad_param(i, kName, v);
+    return v.as_string();
+  }
+};
+
+template <>
+struct ParamTraits<std::vector<std::uint8_t>> {
+  static constexpr const char* kName = "base64";
+  static const std::vector<std::uint8_t>& get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::Binary) bad_param(i, kName, v);
+    return v.as_binary();
+  }
+};
+
+template <>
+struct ParamTraits<DateTime> {
+  static constexpr const char* kName = "dateTime";
+  static DateTime get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::DateTime) bad_param(i, kName, v);
+    return v.as_datetime();
+  }
+};
+
+template <>
+struct ParamTraits<Value> {
+  static constexpr const char* kName = "any";
+  static const Value& get(const Value& v, std::size_t) { return v; }
+};
+
+template <>
+struct ParamTraits<Array> {
+  static constexpr const char* kName = "array";
+  static const Array& get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::Array) bad_param(i, kName, v);
+    return v.as_array();
+  }
+};
+
+template <>
+struct ParamTraits<std::vector<std::string>> {
+  static constexpr const char* kName = "array";
+  static std::vector<std::string> get(const Value& v, std::size_t i) {
+    if (v.type() != Value::Type::Array) bad_param(i, kName, v);
+    std::vector<std::string> out;
+    out.reserve(v.as_array().size());
+    for (const Value& e : v.as_array()) {
+      if (e.type() != Value::Type::String) bad_param(i, "array of strings", v);
+      out.push_back(e.as_string());
+    }
+    return out;
+  }
+};
+
+template <>
+struct ParamTraits<Blob> {
+  static constexpr const char* kName = "base64|string";
+  static Blob get(const Value& v, std::size_t i) {
+    if (v.type() == Value::Type::Binary) {
+      return Blob{std::span<const std::uint8_t>(v.as_binary())};
+    }
+    if (v.type() == Value::Type::String) {
+      const std::string& s = v.as_string();
+      return Blob{std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(s.data()), s.size())};
+    }
+    bad_param(i, kName, v);
+  }
+};
+
+template <>
+struct ParamTraits<StructArg> {
+  static constexpr const char* kName = "struct";
+  static StructArg get(const Value& v, std::size_t i) {
+    if (!v.is_struct()) bad_param(i, kName, v);
+    return StructArg{&v};
+  }
+};
+
+template <typename T>
+struct is_optional : std::false_type {};
+template <typename T>
+struct is_optional<std::optional<T>> : std::true_type {};
+
+/// Wire type name of a (possibly optional) parameter type.
+template <typename T>
+constexpr const char* param_wire_name() {
+  if constexpr (is_optional<T>::value) {
+    return ParamTraits<typename T::value_type>::kName;
+  } else {
+    return ParamTraits<T>::kName;
+  }
+}
+
+/// Extract parameter `i` as decayed type T. Optionals tolerate a missing
+/// or nil parameter; everything else assumes i < params.size() (the
+/// invoker checked the required count).
+template <typename T>
+decltype(auto) extract(const std::vector<Value>& params, std::size_t i) {
+  if constexpr (is_optional<T>::value) {
+    using U = typename T::value_type;
+    if (i >= params.size() || params[i].is_nil()) return T{};
+    return T{ParamTraits<U>::get(params[i], i)};
+  } else {
+    return ParamTraits<T>::get(params[i], i);
+  }
+}
+
+template <typename T>
+struct ResultTraits;  // undefined primary: unsupported return type
+
+template <>
+struct ResultTraits<bool> {
+  static constexpr const char* kName = "boolean";
+  static Value to_value(bool v) { return Value(v); }
+};
+template <>
+struct ResultTraits<std::int64_t> {
+  static constexpr const char* kName = "int";
+  static Value to_value(std::int64_t v) { return Value(v); }
+};
+template <>
+struct ResultTraits<int> {
+  static constexpr const char* kName = "int";
+  static Value to_value(int v) { return Value(static_cast<std::int64_t>(v)); }
+};
+template <>
+struct ResultTraits<double> {
+  static constexpr const char* kName = "double";
+  static Value to_value(double v) { return Value(v); }
+};
+template <>
+struct ResultTraits<std::string> {
+  static constexpr const char* kName = "string";
+  static Value to_value(std::string v) { return Value(std::move(v)); }
+};
+template <>
+struct ResultTraits<std::vector<std::uint8_t>> {
+  static constexpr const char* kName = "base64";
+  static Value to_value(std::vector<std::uint8_t> v) {
+    return Value(std::move(v));
+  }
+};
+template <>
+struct ResultTraits<DateTime> {
+  static constexpr const char* kName = "dateTime";
+  static Value to_value(DateTime v) { return Value(v); }
+};
+template <>
+struct ResultTraits<Array> {
+  static constexpr const char* kName = "array";
+  static Value to_value(Array v) { return Value(std::move(v)); }
+};
+template <>
+struct ResultTraits<std::vector<std::string>> {
+  static constexpr const char* kName = "array";
+  static Value to_value(const std::vector<std::string>& list) {
+    Value out = Value::array();
+    for (const auto& s : list) out.push(s);
+    return out;
+  }
+};
+template <>
+struct ResultTraits<Value> {
+  static constexpr const char* kName = "any";
+  static Value to_value(Value v) { return v; }
+};
+template <>
+struct ResultTraits<StructResult> {
+  static constexpr const char* kName = "struct";
+  static Value to_value(StructResult v) { return std::move(v.value); }
+};
+
+/// Optionals must form a suffix of the parameter list: a required
+/// parameter after an optional one could never be addressed on the wire.
+template <typename... Ts>
+constexpr bool optionals_trailing() {
+  bool seen_optional = false;
+  bool ok = true;
+  ((ok = ok && (!seen_optional || is_optional<Ts>::value),
+    seen_optional = seen_optional || is_optional<Ts>::value),
+   ...);
+  return ok;
+}
+
+// --- callable introspection --------------------------------------------
+
+template <typename F>
+struct CallableTraits : CallableTraits<decltype(&F::operator())> {};
+
+template <typename R, typename... A>
+struct CallableTraits<R (*)(A...)> {
+  using Ret = R;
+  using Args = std::tuple<A...>;
+};
+template <typename R, typename... A>
+struct CallableTraits<R (*)(A...) noexcept> : CallableTraits<R (*)(A...)> {};
+template <typename C, typename R, typename... A>
+struct CallableTraits<R (C::*)(A...)> : CallableTraits<R (*)(A...)> {};
+template <typename C, typename R, typename... A>
+struct CallableTraits<R (C::*)(A...) const> : CallableTraits<R (*)(A...)> {};
+template <typename C, typename R, typename... A>
+struct CallableTraits<R (C::*)(A...) noexcept> : CallableTraits<R (*)(A...)> {};
+template <typename C, typename R, typename... A>
+struct CallableTraits<R (C::*)(A...) const noexcept>
+    : CallableTraits<R (*)(A...)> {};
+
+/// Strip a leading `const CallContext&` from the argument tuple.
+template <typename Tuple>
+struct StripContext {
+  using Params = Tuple;
+  static constexpr bool kTakesContext = false;
+};
+template <typename T0, typename... Ts>
+struct StripContext<std::tuple<T0, Ts...>> {
+  static constexpr bool kTakesContext =
+      std::is_same_v<std::decay_t<T0>, CallContext>;
+  using Params = std::conditional_t<kTakesContext, std::tuple<Ts...>,
+                                    std::tuple<T0, Ts...>>;
+};
+
+// --- signature derivation + invocation ---------------------------------
+
+template <typename Ret, typename ParamsTuple>
+struct Signature;
+
+template <typename Ret, typename... Ps>
+struct Signature<Ret, std::tuple<Ps...>> {
+  static std::string derive(const std::vector<std::string>& names) {
+    std::string sig = ResultTraits<std::decay_t<Ret>>::kName;
+    sig += " (";
+    std::size_t j = 0;
+    auto append = [&](const char* type_name, bool optional) {
+      if (j) sig += ", ";
+      sig += type_name;
+      if (j < names.size() && !names[j].empty()) {
+        sig += ' ';
+        sig += names[j];
+      }
+      if (optional) sig += '?';
+      ++j;
+    };
+    (append(param_wire_name<std::decay_t<Ps>>(),
+            is_optional<std::decay_t<Ps>>::value),
+     ...);
+    sig += ')';
+    return sig;
+  }
+};
+
+template <typename F, typename Ret, bool TakesContext, typename ParamsTuple>
+struct Invoker;
+
+template <typename F, typename Ret, bool TakesContext, typename... Ps>
+struct Invoker<F, Ret, TakesContext, std::tuple<Ps...>> {
+  static_assert(!std::is_void_v<Ret>,
+                "bound handlers must return a value (e.g. bool for "
+                "acknowledge-only methods)");
+  static_assert(optionals_trailing<std::decay_t<Ps>...>(),
+                "optional parameters must be trailing");
+
+  static constexpr std::size_t kRequired =
+      ((is_optional<std::decay_t<Ps>>::value ? 0u : 1u) + ... + 0u);
+
+  static Value invoke(const F& fn, const std::string& name,
+                      const CallContext& context,
+                      const std::vector<Value>& params) {
+    if (params.size() < kRequired) {
+      throw Fault(kFaultType,
+                  name + " expects at least " + std::to_string(kRequired) +
+                      " parameter(s), got " + std::to_string(params.size()));
+    }
+    // Extra parameters are tolerated (ignored), matching the lenient
+    // behavior of the hand-written unpackers this layer replaced.
+    return apply(fn, context, params, std::index_sequence_for<Ps...>{});
+  }
+
+ private:
+  template <std::size_t... I>
+  static Value apply(const F& fn, const CallContext& context,
+                     const std::vector<Value>& params,
+                     std::index_sequence<I...>) {
+    if constexpr (TakesContext) {
+      return ResultTraits<std::decay_t<Ret>>::to_value(
+          fn(context, extract<std::decay_t<Ps>>(params, I)...));
+    } else {
+      (void)context;
+      return ResultTraits<std::decay_t<Ret>>::to_value(
+          fn(extract<std::decay_t<Ps>>(params, I)...));
+    }
+  }
+};
+
+}  // namespace binding_detail
+
+template <typename F>
+void Registry::bind(const std::string& name, F fn, BindSpec spec) {
+  using Traits = binding_detail::CallableTraits<std::remove_reference_t<F>>;
+  using Strip = binding_detail::StripContext<typename Traits::Args>;
+  using Params = typename Strip::Params;
+  using Ret = typename Traits::Ret;
+  using Invoker =
+      binding_detail::Invoker<std::decay_t<F>, Ret, Strip::kTakesContext,
+                              Params>;
+
+  MethodInfo info;
+  info.name = name;
+  info.help = std::move(spec.help);
+  info.signature = binding_detail::Signature<Ret, Params>::derive(spec.params);
+  info.is_public = spec.is_public;
+  info.acl_path = std::move(spec.acl_path);
+
+  add(name,
+      [fn = std::move(fn), name](const CallContext& context,
+                                 const std::vector<Value>& params) {
+        return Invoker::invoke(fn, name, context, params);
+      },
+      std::move(info));
+}
+
+}  // namespace clarens::rpc

@@ -7,9 +7,18 @@ namespace clarens::rpc {
 
 void Registry::add(const std::string& name, Handler handler, std::string help,
                    std::string signature) {
+  MethodInfo info;
+  info.name = name;
+  info.help = std::move(help);
+  info.signature = std::move(signature);
+  add(name, std::move(handler), std::move(info));
+}
+
+void Registry::add(const std::string& name, Handler handler, MethodInfo info) {
+  auto method =
+      std::make_shared<const Method>(Method{std::move(handler), std::move(info)});
   std::lock_guard<std::mutex> lock(mutex_);
-  methods_[name] = Entry{std::move(handler),
-                         MethodInfo{name, std::move(help), std::move(signature)}};
+  methods_[name] = std::move(method);
 }
 
 void Registry::remove(const std::string& name) {
@@ -41,26 +50,22 @@ std::vector<std::string> Registry::list_module(const std::string& module) const 
 }
 
 MethodInfo Registry::info(const std::string& name) const {
+  std::shared_ptr<const Method> method = find(name);
+  if (!method) throw Fault(kFaultBadMethod, "no such method: " + name);
+  return method->info;
+}
+
+std::shared_ptr<const Method> Registry::find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = methods_.find(name);
-  if (it == methods_.end()) {
-    throw Fault(kFaultBadMethod, "no such method: " + name);
-  }
-  return it->second.info;
+  return it == methods_.end() ? nullptr : it->second;
 }
 
 Value Registry::dispatch(const std::string& name, const CallContext& context,
                          const std::vector<Value>& params) const {
-  Handler handler;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = methods_.find(name);
-    if (it == methods_.end()) {
-      throw Fault(kFaultBadMethod, "no such method: " + name);
-    }
-    handler = it->second.handler;
-  }
-  return handler(context, params);
+  std::shared_ptr<const Method> method = find(name);
+  if (!method) throw Fault(kFaultBadMethod, "no such method: " + name);
+  return method->handler(context, params);
 }
 
 std::size_t Registry::size() const {

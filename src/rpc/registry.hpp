@@ -4,10 +4,25 @@
 // module.submodule.method, paper §2.2); the registry stores handlers
 // under those names and exposes the listing that system.list_methods —
 // the method the paper's Figure-4 benchmark calls — returns.
+//
+// Two registration paths exist:
+//   * add()  — raw: a Handler working on untyped Value vectors, with
+//     hand-written help/signature strings (tests, ad-hoc embedding);
+//   * bind() — typed: a C++ callable whose parameters are unmarshalled
+//     from the wire values by the binding layer (rpc/binding.hpp). The
+//     signature string is *derived* from the C++ parameter types so
+//     system.method_signature can never drift from the code, and type
+//     mismatches surface uniformly as kFaultType faults.
+//
+// Every entry carries per-method metadata (MethodInfo) that drives the
+// server's pre-dispatch checks: is_public marks methods callable without
+// a session (they create the session, or are pure liveness probes), and
+// acl_path overrides the path used for the method-ACL walk.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -30,17 +45,50 @@ struct CallContext {
 
 using Handler = std::function<Value(const CallContext&, const std::vector<Value>&)>;
 
+/// Per-method metadata. For bound methods the signature is derived from
+/// the handler's C++ types; is_public / acl_path drive the server's
+/// pre-dispatch session and ACL checks.
 struct MethodInfo {
   std::string name;
   std::string help;       // one-line description
   std::string signature;  // e.g. "string (string path, int offset, int len)"
+  bool is_public = false;  // callable without a session (auth bootstrap)
+  std::string acl_path;    // ACL walk path; empty = the method name itself
+};
+
+/// Registration options for Registry::bind().
+struct BindSpec {
+  std::string help;
+  /// Display names for the derived signature, positionally. Types come
+  /// from the C++ handler; only the names are supplied here.
+  std::vector<std::string> params;
+  bool is_public = false;
+  std::string acl_path;
+};
+
+/// An immutable registered method: what Registry::find() hands the
+/// dispatch loop (one lookup covers metadata checks and the call).
+struct Method {
+  Handler handler;
+  MethodInfo info;
 };
 
 class Registry {
  public:
-  /// Register a handler; replaces any existing registration of `name`.
+  /// Register a raw handler; replaces any existing registration of `name`.
   void add(const std::string& name, Handler handler, std::string help = "",
            std::string signature = "");
+
+  /// Register a raw handler with full metadata.
+  void add(const std::string& name, Handler handler, MethodInfo info);
+
+  /// Register a typed callable. Parameters are unmarshalled from the wire
+  /// values (mismatch => kFaultType fault), the signature string is
+  /// derived from the C++ types, and `spec` supplies help text, display
+  /// parameter names and the pre-dispatch metadata. Defined in
+  /// rpc/binding.hpp.
+  template <typename F>
+  void bind(const std::string& name, F fn, BindSpec spec = {});
 
   void remove(const std::string& name);
 
@@ -55,6 +103,10 @@ class Registry {
 
   MethodInfo info(const std::string& name) const;  // throws NotFound fault
 
+  /// Single-lookup access to handler + metadata (the RPC hot path does
+  /// this once per request). Returns nullptr for unknown names.
+  std::shared_ptr<const Method> find(const std::string& name) const;
+
   /// Look up and invoke. Throws Fault(kFaultBadMethod) for unknown names;
   /// handler exceptions propagate.
   Value dispatch(const std::string& name, const CallContext& context,
@@ -63,13 +115,12 @@ class Registry {
   std::size_t size() const;
 
  private:
-  struct Entry {
-    Handler handler;
-    MethodInfo info;
-  };
-
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> methods_;
+  std::map<std::string, std::shared_ptr<const Method>> methods_;
 };
 
 }  // namespace clarens::rpc
+
+// Defines Registry::bind (traits + invoker live there; the include is at
+// the bottom so the binding layer sees the full Registry declaration).
+#include "rpc/binding.hpp"

@@ -57,6 +57,18 @@ TEST_F(FileFixture, ReadWholeAndPartial) {
   EXPECT_THROW(files.read("/data/hello.txt", -1, 5, alice()), ParseError);
 }
 
+TEST_F(FileFixture, ReadLengthIsClamped) {
+  // The length arrives from the wire: beyond the configured chunk cap it
+  // must be rejected before any allocation happens.
+  files.set_max_read_chunk(64);
+  EXPECT_THROW(files.read("/data/hello.txt", 0, 65, alice()), ParseError);
+  auto ok = files.read("/data/hello.txt", 0, 64, alice());
+  EXPECT_EQ(std::string(ok.begin(), ok.end()), "hello world");
+  // Within the cap, the buffer is sized by the file, not the request:
+  // a 64-byte ask on an 11-byte file returns 11 bytes.
+  EXPECT_EQ(ok.size(), 11u);
+}
+
 TEST_F(FileFixture, LsSortedWithTypes) {
   auto listing = files.ls("/data", alice());
   ASSERT_EQ(listing.size(), 2u);

@@ -1,0 +1,286 @@
+// The typed method-binding layer (rpc/binding.hpp): parameter
+// unmarshalling, derived signatures, per-method metadata, kFaultType
+// faults for wrong-typed / missing parameters — at the registry level
+// and end-to-end over all four wire protocols.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+#include "rpc/fault.hpp"
+#include "rpc/registry.hpp"
+#include "test_fixtures.hpp"
+
+namespace clarens {
+namespace {
+
+using testing::TestPki;
+
+rpc::CallContext context_of(const std::string& dn) {
+  rpc::CallContext context;
+  context.identity = dn;
+  return context;
+}
+
+// ---- unmarshalling ------------------------------------------------------
+
+TEST(MethodBinding, TypedParametersReachTheHandler) {
+  rpc::Registry registry;
+  registry.bind("t.concat",
+                [](const std::string& s, std::int64_t n, bool flag) {
+                  return s + "/" + std::to_string(n) + (flag ? "/y" : "/n");
+                });
+  rpc::Value out = registry.dispatch(
+      "t.concat", {}, {rpc::Value("a"), rpc::Value(7), rpc::Value(true)});
+  EXPECT_EQ(out.as_string(), "a/7/y");
+}
+
+TEST(MethodBinding, ContextIsInjectedWhenDeclared) {
+  rpc::Registry registry;
+  registry.bind("t.who", [](const rpc::CallContext& context) {
+    return context.identity;
+  });
+  rpc::Value out = registry.dispatch("t.who", context_of("/CN=X"), {});
+  EXPECT_EQ(out.as_string(), "/CN=X");
+}
+
+TEST(MethodBinding, WrongTypeFaultsWithTypeCodeAndIndex) {
+  rpc::Registry registry;
+  registry.bind("t.take_int", [](std::int64_t n) { return n; });
+  try {
+    registry.dispatch("t.take_int", {}, {rpc::Value("five")});
+    FAIL() << "expected a fault";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultType);
+    EXPECT_NE(std::string(fault.what()).find("parameter 1"), std::string::npos);
+    EXPECT_NE(std::string(fault.what()).find("expected int"),
+              std::string::npos);
+  }
+}
+
+TEST(MethodBinding, MissingRequiredParameterFaultsWithTypeCode) {
+  rpc::Registry registry;
+  registry.bind("t.pair", [](const std::string&, const std::string&) {
+    return true;
+  });
+  try {
+    registry.dispatch("t.pair", {}, {rpc::Value("only-one")});
+    FAIL() << "expected a fault";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultType);
+    EXPECT_NE(std::string(fault.what()).find("at least 2"), std::string::npos);
+  }
+}
+
+TEST(MethodBinding, TrailingOptionalTolerantOfMissingAndNil) {
+  rpc::Registry registry;
+  registry.bind("t.opt",
+                [](const std::string& s, std::optional<std::int64_t> n) {
+                  return s + ":" + (n ? std::to_string(*n) : "none");
+                });
+  EXPECT_EQ(registry.dispatch("t.opt", {}, {rpc::Value("a")}).as_string(),
+            "a:none");
+  EXPECT_EQ(registry.dispatch("t.opt", {}, {rpc::Value("a"), rpc::Value::nil()})
+                .as_string(),
+            "a:none");
+  EXPECT_EQ(
+      registry.dispatch("t.opt", {}, {rpc::Value("a"), rpc::Value(3)})
+          .as_string(),
+      "a:3");
+  // A *present but wrong-typed* optional still faults.
+  try {
+    registry.dispatch("t.opt", {}, {rpc::Value("a"), rpc::Value("x")});
+    FAIL() << "expected a fault";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultType);
+  }
+}
+
+TEST(MethodBinding, ExtraParametersAreIgnored) {
+  rpc::Registry registry;
+  registry.bind("t.one", [](std::int64_t n) { return n; });
+  rpc::Value out =
+      registry.dispatch("t.one", {}, {rpc::Value(1), rpc::Value("ignored")});
+  EXPECT_EQ(out.as_int(), 1);
+}
+
+TEST(MethodBinding, BlobAcceptsBinaryAndString) {
+  rpc::Registry registry;
+  registry.bind("t.len", [](rpc::Blob data) {
+    return static_cast<std::int64_t>(data.bytes.size());
+  });
+  std::vector<std::uint8_t> raw = {1, 2, 3};
+  EXPECT_EQ(registry.dispatch("t.len", {}, {rpc::Value(raw)}).as_int(), 3);
+  EXPECT_EQ(registry.dispatch("t.len", {}, {rpc::Value("abcd")}).as_int(), 4);
+  EXPECT_THROW(registry.dispatch("t.len", {}, {rpc::Value(1)}), rpc::Fault);
+}
+
+TEST(MethodBinding, StructArgRequiresStruct) {
+  rpc::Registry registry;
+  registry.bind("t.pick", [](rpc::StructArg s) {
+    return s.at("k").as_string();
+  });
+  rpc::Value arg = rpc::Value::struct_();
+  arg.set("k", std::string("v"));
+  EXPECT_EQ(registry.dispatch("t.pick", {}, {arg}).as_string(), "v");
+  try {
+    registry.dispatch("t.pick", {}, {rpc::Value("not-a-struct")});
+    FAIL() << "expected a fault";
+  } catch (const rpc::Fault& fault) {
+    EXPECT_EQ(fault.code(), rpc::kFaultType);
+    EXPECT_NE(std::string(fault.what()).find("expected struct"),
+              std::string::npos);
+  }
+}
+
+// ---- derived signatures & metadata -------------------------------------
+
+TEST(MethodBinding, SignatureDerivedFromCppTypes) {
+  rpc::Registry registry;
+  registry.bind(
+      "t.read",
+      [](const rpc::CallContext&, const std::string&, std::int64_t,
+         std::int64_t) { return std::vector<std::uint8_t>{}; },
+      {.params = {"path", "offset", "length"}});
+  EXPECT_EQ(registry.info("t.read").signature,
+            "base64 (string path, int offset, int length)");
+
+  registry.bind("t.opt", [](const std::string&, std::optional<std::int64_t>) {
+    return rpc::Array{};
+  });
+  // Optionals are marked; unnamed parameters print bare types.
+  EXPECT_EQ(registry.info("t.opt").signature, "array (string, int?)");
+
+  registry.bind("t.blob", [](rpc::Blob) { return rpc::StructResult{}; });
+  EXPECT_EQ(registry.info("t.blob").signature, "struct (base64|string)");
+
+  registry.bind("t.any", [](const rpc::Value& v) { return v; });
+  EXPECT_EQ(registry.info("t.any").signature, "any (any)");
+}
+
+TEST(MethodBinding, MetadataCarriedThroughFind) {
+  rpc::Registry registry;
+  registry.bind(
+      "t.pub", [] { return true; },
+      {.help = "a public probe", .is_public = true, .acl_path = "other.path"});
+  auto method = registry.find("t.pub");
+  ASSERT_NE(method, nullptr);
+  EXPECT_TRUE(method->info.is_public);
+  EXPECT_EQ(method->info.acl_path, "other.path");
+  EXPECT_EQ(method->info.help, "a public probe");
+  EXPECT_EQ(registry.find("t.absent"), nullptr);
+}
+
+// ---- end-to-end: introspection + faults over every protocol -------------
+
+core::AclSpec allow_anyone() {
+  core::AclSpec spec;
+  spec.allow_dns = {core::AclSpec::kAnyone};
+  return spec;
+}
+
+core::ClarensConfig base_config(const TestPki& pki) {
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  config.admins = {"/O=testgrid.org/OU=People/CN=Alice Able"};
+  config.initial_method_acls = {{"system", allow_anyone()},
+                                {"echo", allow_anyone()}};
+  return config;
+}
+
+client::ClientOptions client_options(const TestPki& pki,
+                                     const pki::Credential& who,
+                                     std::uint16_t port) {
+  client::ClientOptions options;
+  options.port = port;
+  options.credential = who;
+  options.trust = &pki.trust;
+  return options;
+}
+
+TEST(MethodBindingIntrospection, WireIntrospectionMatchesRegistry) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(base_config(pki));
+  server.start();
+
+  client::ClarensClient client(client_options(pki, pki.bob, server.port()));
+  client.connect();
+  client.authenticate();
+
+  rpc::Value methods = client.call("system.list_methods");
+  ASSERT_EQ(methods.as_array().size(), server.registry().size());
+  for (const rpc::Value& name : methods.as_array()) {
+    rpc::MethodInfo info = server.registry().info(name.as_string());
+    rpc::Value signature =
+        client.call("system.method_signature", {name});
+    rpc::Value help = client.call("system.method_help", {name});
+    EXPECT_EQ(signature.as_string(), info.signature) << name.as_string();
+    EXPECT_EQ(help.as_string(), info.help) << name.as_string();
+    // Every bound method has a derived, well-formed signature.
+    EXPECT_NE(info.signature.find(" ("), std::string::npos)
+        << name.as_string();
+    EXPECT_EQ(info.signature.back(), ')') << name.as_string();
+    EXPECT_FALSE(info.help.empty()) << name.as_string();
+  }
+  server.stop();
+}
+
+TEST(MethodBindingIntrospection, FileReadSignatureIsDerived) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(base_config(pki));
+  EXPECT_EQ(server.registry().info("file.read").signature,
+            "base64 (string path, int offset, int length)");
+  EXPECT_EQ(server.registry().info("system.auth").signature,
+            "string (string nonce?, array chain?, string signature?)");
+  // Metadata replaced the hardcoded public-method name list.
+  EXPECT_TRUE(server.registry().find("system.ping")->info.is_public);
+  EXPECT_TRUE(server.registry().find("proxy.logon")->info.is_public);
+  EXPECT_FALSE(server.registry().find("system.logout")->info.is_public);
+}
+
+TEST(MethodBindingFaults, WrongTypeFaultsOnEveryProtocol) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensServer server(base_config(pki));
+  server.start();
+
+  const rpc::Protocol protocols[] = {rpc::Protocol::XmlRpc,
+                                     rpc::Protocol::JsonRpc,
+                                     rpc::Protocol::Soap,
+                                     rpc::Protocol::Binary};
+  for (rpc::Protocol protocol : protocols) {
+    client::ClientOptions options =
+        client_options(pki, pki.bob, server.port());
+    options.protocol = protocol;
+    client::ClarensClient client(options);
+    client.connect();
+    client.authenticate();
+
+    // system.method_help expects a string; send an int.
+    try {
+      client.call("system.method_help", {rpc::Value(5)});
+      FAIL() << "expected a type fault on protocol "
+             << static_cast<int>(protocol);
+    } catch (const rpc::Fault& fault) {
+      EXPECT_EQ(fault.code(), rpc::kFaultType)
+          << "protocol " << static_cast<int>(protocol);
+      EXPECT_NE(std::string(fault.what()).find("expected string"),
+                std::string::npos);
+    }
+
+    // Missing required parameter is the same fault class.
+    try {
+      client.call("system.method_help");
+      FAIL() << "expected a missing-parameter fault";
+    } catch (const rpc::Fault& fault) {
+      EXPECT_EQ(fault.code(), rpc::kFaultType);
+    }
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clarens
