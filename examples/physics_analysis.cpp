@@ -37,7 +37,7 @@ int main() {
   auto write_events = [&](const std::string& rel, int count) {
     std::ofstream out(site_dir + "/" + rel, std::ios::binary);
     for (int i = 0; i < count; ++i) {
-      char event[32];
+      char event[48];  // worst-case formatted width, not the record width
       std::snprintf(event, sizeof(event), "EVT%08d:px=%+05d;py=%+05d\n", i,
                     (i * 37) % 1000 - 500, (i * 91) % 1000 - 500);
       out << event;

@@ -47,17 +47,21 @@ void HeavyGridServer::start() {
   if (running_.exchange(true)) return;
   listener_ = net::TcpListener::listen(options_.port, options_.host);
   port_ = listener_.local_port();
-  acceptor_ = std::thread([this] { accept_loop(); });
+  acceptor_ = util::Thread([this] { accept_loop(); });
 }
 
 void HeavyGridServer::stop() {
   if (!running_.exchange(false)) return;
   listener_.shutdown();
   if (acceptor_.joinable()) acceptor_.join();
+  std::vector<util::Thread> finished;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return live_ == 0; });
+    util::UniqueLock lock(mutex_);
+    while (!conn_threads_.empty()) all_done_.wait(lock);
+    finished = std::move(finished_);
+    finished_.clear();
   }
+  for (auto& thread : finished) thread.join();
   listener_.close();
 }
 
@@ -70,19 +74,27 @@ void HeavyGridServer::accept_loop() {
       if (!running_.load()) return;
       continue;
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++live_;
-    }
-    std::thread([this, conn = std::move(tcp)]() mutable {
+    util::LockGuard lock(mutex_);
+    std::uint64_t id = ++conn_seq_;
+    // The body blocks on mutex_ until the emplace below completes, so it
+    // always finds its own handle in conn_threads_.
+    util::Thread thread([this, id, conn = std::move(tcp)]() mutable {
       try {
         serve_one(std::move(conn));
       } catch (...) {
       }
-      std::lock_guard<std::mutex> lock(mutex_);
-      --live_;
-      if (live_ == 0) all_done_.notify_all();
-    }).detach();
+      util::LockGuard lk(mutex_);
+      auto it = conn_threads_.find(id);
+      if (it != conn_threads_.end()) {
+        finished_.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+      all_done_.notify_all();
+    });
+    conn_threads_.emplace(id, std::move(thread));
+    // Reap handles parked by connections that already finished.
+    for (auto& done : finished_) done.join();
+    finished_.clear();
   }
 }
 

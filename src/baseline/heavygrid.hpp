@@ -16,16 +16,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "net/socket.hpp"
+#include "util/sync.hpp"
 #include "pki/certificate.hpp"
 #include "pki/verify.hpp"
 #include "rpc/value.hpp"
@@ -68,10 +67,16 @@ class HeavyGridServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> calls_{0};
-  std::thread acceptor_;
-  std::mutex mutex_;
-  std::condition_variable all_done_;
-  std::size_t live_ = 0;
+  util::Thread acceptor_;
+  /// Leaf lock guarding the per-connection thread table. Connection
+  /// threads park their own handles in `finished_` when done; the
+  /// acceptor and stop() join the parked handles.
+  util::Mutex mutex_;
+  util::CondVar all_done_;
+  std::map<std::uint64_t, util::Thread> conn_threads_
+      CLARENS_GUARDED_BY(mutex_);
+  std::vector<util::Thread> finished_ CLARENS_GUARDED_BY(mutex_);
+  std::uint64_t conn_seq_ CLARENS_GUARDED_BY(mutex_) = 0;
 };
 
 class HeavyGridClient {

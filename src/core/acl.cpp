@@ -217,7 +217,8 @@ std::shared_ptr<const CompiledAclSpec> AclManager::compiled_level(
     const std::string& level) const {
   std::uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = shards_[std::hash<std::string>{}(level) % kShards];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  // lock-order: core.acl.shard -> db.store
+  util::LockGuard lock(shard.mutex);
   if (shard.stamp != gen) {
     shard.entries.clear();
     shard.stamp = gen;

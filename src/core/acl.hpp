@@ -25,7 +25,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -33,6 +32,7 @@
 
 #include "db/store.hpp"
 #include "pki/dn.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -119,11 +119,14 @@ class AclManager {
   static constexpr std::size_t kShards = 8;
 
   /// nullptr value = negative entry (no ACL stored at that level).
+  /// compiled_level() reads the store while holding the shard lock, so
+  /// the hierarchy is `core.acl.shard` -> `db.store`.
   struct Shard {
-    mutable std::mutex mutex;
-    std::uint64_t stamp = 0;  // generation the contents belong to
+    mutable util::Mutex mutex;
+    /// Generation the contents belong to.
+    std::uint64_t stamp CLARENS_GUARDED_BY(mutex) = 0;
     std::unordered_map<std::string, std::shared_ptr<const CompiledAclSpec>>
-        entries;
+        entries CLARENS_GUARDED_BY(mutex);
   };
 
   bool check_file(const std::string& path, const pki::DistinguishedName& dn,

@@ -90,7 +90,7 @@ JobService::JobService(db::Store& store, ShellService& shell, int workers)
 
 JobService::~JobService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -116,7 +116,8 @@ std::string JobService::submit(const pki::DistinguishedName& owner,
   job.command = command;
   job.submitted = util::unix_now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // lock-order: core.job -> db.store
+    util::LockGuard lock(mutex_);
     save(job);
     queue_.push_back(job.id);
   }
@@ -129,8 +130,9 @@ void JobService::worker_loop() {
     std::string job_id;
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // lock-order: core.job -> db.store
+      util::UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (stopping_) return;
       job_id = queue_.front();
       queue_.pop_front();
@@ -155,7 +157,8 @@ void JobService::worker_loop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      // lock-order: core.job -> db.store
+      util::LockGuard lock(mutex_);
       try {
         job = load(job_id);
       } catch (const NotFoundError&) {
@@ -180,7 +183,8 @@ void JobService::worker_loop() {
 
 Job JobService::status(const std::string& job_id,
                        const pki::DistinguishedName& who) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.job -> db.store
+  util::LockGuard lock(mutex_);
   Job job = load(job_id);
   if (job.owner != who.str()) {
     throw AccessError("job belongs to a different identity");
@@ -189,7 +193,8 @@ Job JobService::status(const std::string& job_id,
 }
 
 std::vector<Job> JobService::list(const pki::DistinguishedName& owner) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.job -> db.store
+  util::LockGuard lock(mutex_);
   std::vector<Job> out;
   for (const auto& id : store_.keys(kTable)) {
     if (auto text = store_.get(kTable, id)) {
@@ -205,7 +210,8 @@ std::vector<Job> JobService::list(const pki::DistinguishedName& owner) const {
 
 bool JobService::cancel(const std::string& job_id,
                         const pki::DistinguishedName& who) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.job -> db.store
+  util::LockGuard lock(mutex_);
   Job job = load(job_id);
   if (job.owner != who.str()) {
     throw AccessError("job belongs to a different identity");
@@ -220,7 +226,8 @@ bool JobService::cancel(const std::string& job_id,
 
 void JobService::purge(const std::string& job_id,
                        const pki::DistinguishedName& who) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.job -> db.store
+  util::LockGuard lock(mutex_);
   Job job = load(job_id);
   if (job.owner != who.str()) {
     throw AccessError("job belongs to a different identity");
@@ -234,14 +241,18 @@ void JobService::purge(const std::string& job_id,
 
 Job JobService::wait(const std::string& job_id,
                      const pki::DistinguishedName& who, int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  Job job;
-  bool ok = state_changed_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [&] {
-        job = load(job_id);
-        return is_terminal(job.state);
-      });
-  if (!ok) throw SystemError("job did not finish in time");
+  // lock-order: core.job -> db.store
+  util::UniqueLock lock(mutex_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  Job job = load(job_id);
+  while (!is_terminal(job.state)) {
+    bool timed_out =
+        state_changed_.wait_until(lock, deadline) == std::cv_status::timeout;
+    job = load(job_id);
+    if (is_terminal(job.state)) break;
+    if (timed_out) throw SystemError("job did not finish in time");
+  }
   if (job.owner != who.str()) {
     throw AccessError("job belongs to a different identity");
   }

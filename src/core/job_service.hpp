@@ -12,17 +12,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/shell_service.hpp"
 #include "db/store.hpp"
 #include "pki/dn.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -79,12 +77,14 @@ class JobService {
 
   db::Store& store_;
   ShellService& shell_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable state_changed_;
-  std::deque<std::string> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  /// Held across store reads/writes of job records (atomic state
+  /// transitions): hierarchy `core.job` -> `db.store`.
+  mutable util::Mutex mutex_;
+  util::CondVar work_available_;
+  util::CondVar state_changed_;
+  std::deque<std::string> queue_ CLARENS_GUARDED_BY(mutex_);
+  bool stopping_ CLARENS_GUARDED_BY(mutex_) = false;
+  std::vector<util::Thread> workers_;  // written once in the constructor
 };
 
 }  // namespace clarens::core

@@ -56,7 +56,8 @@ std::string MessageService::mailbox_key(const std::string& dn,
 }
 
 std::uint64_t MessageService::enqueue(Message message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.message -> db.store
+  util::LockGuard lock(mutex_);
   // Next id for this mailbox.
   std::uint64_t id = 1;
   if (auto counter = store_.get(kCounterTable, message.to)) {

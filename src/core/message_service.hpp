@@ -16,12 +16,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "db/store.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -70,7 +70,8 @@ class MessageService {
   std::size_t max_mailbox_;
   /// Serializes the id-counter read-modify-write and the mailbox trim;
   /// concurrent senders to one mailbox must not mint duplicate ids.
-  std::mutex mutex_;
+  /// Held across store calls: hierarchy `core.message` -> `db.store`.
+  util::Mutex mutex_;
 };
 
 }  // namespace clarens::core

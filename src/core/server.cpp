@@ -131,12 +131,20 @@ void ClarensServer::start() {
   started_at_ = util::unix_now();
   if (config_.station) start_publisher();
   if (config_.session_reap_interval_s > 0) {
-    reaper_stopping_ = false;
-    reaper_ = std::thread([this] {
-      std::unique_lock<std::mutex> lock(reaper_mutex_);
-      while (!reaper_stop_.wait_for(
-          lock, std::chrono::seconds(config_.session_reap_interval_s),
-          [this] { return reaper_stopping_; })) {
+    {
+      util::LockGuard lock(reaper_mutex_);
+      reaper_stopping_ = false;
+    }
+    reaper_ = util::Thread([this] {
+      // The sweep below takes session-shard and store locks while the
+      // reaper lock is held.
+      // lock-order: core.server.reaper -> core.session.shard
+      // lock-order: core.server.reaper -> db.store
+      util::UniqueLock lock(reaper_mutex_);
+      while (!reaper_stopping_) {
+        reaper_stop_.wait_for(
+            lock, std::chrono::seconds(config_.session_reap_interval_s));
+        if (reaper_stopping_) break;
         sessions_->reap_expired();
       }
     });
@@ -145,7 +153,7 @@ void ClarensServer::start() {
 
 void ClarensServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(reaper_mutex_);
+    util::LockGuard lock(reaper_mutex_);
     reaper_stopping_ = true;
   }
   reaper_stop_.notify_all();

@@ -10,13 +10,10 @@
 // a database lookup, with no per-request caching.
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/acl.hpp"
@@ -36,6 +33,7 @@
 #include "pki/verify.hpp"
 #include "rpc/registry.hpp"
 #include "storage/srm.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -188,10 +186,10 @@ class ClarensServer {
 
   // Lazy housekeeping: a reaper thread sweeps expired sessions so the
   // session table stays bounded even when clients never log out.
-  std::thread reaper_;
-  std::mutex reaper_mutex_;
-  std::condition_variable reaper_stop_;
-  bool reaper_stopping_ = false;
+  util::Thread reaper_;
+  util::Mutex reaper_mutex_;
+  util::CondVar reaper_stop_;
+  bool reaper_stopping_ CLARENS_GUARDED_BY(reaper_mutex_) = false;
   std::int64_t started_at_ = 0;
 };
 

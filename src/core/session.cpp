@@ -45,14 +45,14 @@ SessionManager::Shard& SessionManager::shard_for(const std::string& id) const {
 
 void SessionManager::cache_put(const Session& session) const {
   Shard& shard = shard_for(session.id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::LockGuard lock(shard.mutex);
   if (shard.entries.size() >= kShardCap) shard.entries.clear();
   shard.entries[session.id] = std::make_shared<const Session>(session);
 }
 
 void SessionManager::cache_erase(const std::string& id) const {
   Shard& shard = shard_for(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::LockGuard lock(shard.mutex);
   shard.entries.erase(id);
 }
 
@@ -77,7 +77,7 @@ std::shared_ptr<const Session> SessionManager::lookup_shared(
     const std::string& id) const {
   Shard& shard = shard_for(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::LockGuard lock(shard.mutex);
     auto it = shard.entries.find(id);
     if (it != shard.entries.end()) {
       std::shared_ptr<const Session> session = it->second;
@@ -100,7 +100,7 @@ std::shared_ptr<const Session> SessionManager::lookup_shared(
   auto session = std::make_shared<const Session>(decode(id, *text));
   if (session->expires < util::unix_now()) throw AuthError("session expired");
   if (invalidations_.load(std::memory_order_acquire) == gen) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::LockGuard lock(shard.mutex);
     if (shard.entries.size() >= kShardCap) shard.entries.clear();
     shard.entries[id] = session;
   }

@@ -20,13 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "db/store.hpp"
 #include "pki/dn.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -79,9 +79,13 @@ class SessionManager {
   static constexpr std::size_t kShards = 16;
   static constexpr std::size_t kShardCap = 4096;  // bound memory, not an LRU
 
+  /// Shard locks are leaves: store reads on the miss path happen before
+  /// the insert lock is taken, never under it (docs/CONCURRENCY.md,
+  /// level `core.session.shard`).
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, std::shared_ptr<const Session>> entries;
+    mutable util::Mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const Session>> entries
+        CLARENS_GUARDED_BY(mutex);
   };
 
   static std::string encode(const Session& session);

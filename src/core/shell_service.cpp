@@ -75,7 +75,7 @@ ShellService::ShellService(VoManager& vo, std::string sandbox_base)
 }
 
 void ShellService::set_user_map(std::vector<UserMapEntry> entries) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   entries_ = std::move(entries);
 }
 
@@ -89,7 +89,9 @@ void ShellService::load_user_map_file(const std::string& path) {
 
 std::optional<std::string> ShellService::map_user(
     const pki::DistinguishedName& dn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // VO membership checks below read the store while we hold the map lock.
+  // lock-order: core.shell -> db.store
+  util::LockGuard lock(mutex_);
   for (const auto& entry : entries_) {
     for (const auto& prefix : entry.dns) {
       try {
@@ -164,7 +166,7 @@ ShellResult ShellService::run_builtin(const std::string& system_user,
   const fs::path sandbox = sandbox_dir(system_user);
   // One command at a time per service: commands mutate the shared cwd_
   // map and the filesystem; the restricted commands are all short.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::string& cwd = cwd_[system_user];  // "" = sandbox root
   const std::string& cmd = argv[0];
   ShellResult result;

@@ -20,12 +20,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "pki/dn.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -82,12 +82,13 @@ class ShellService {
   VoManager& vo_;
   std::string sandbox_base_;
   /// Guards entries_ and cwd_: the job service workers and RPC threads
-  /// execute commands concurrently.
-  mutable std::mutex mutex_;
-  std::vector<UserMapEntry> entries_;
+  /// execute commands concurrently. Hierarchy level `core.shell` (leaf:
+  /// the interpreter only touches the filesystem under it).
+  mutable util::Mutex mutex_;
+  std::vector<UserMapEntry> entries_ CLARENS_GUARDED_BY(mutex_);
   /// Per-user current working directory (relative to the sandbox root),
   /// persisted across commands like an interactive shell.
-  std::map<std::string, std::string> cwd_;
+  std::map<std::string, std::string> cwd_ CLARENS_GUARDED_BY(mutex_);
 };
 
 /// Tokenize a command line with single/double quoting rules.

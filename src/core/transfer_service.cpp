@@ -128,7 +128,7 @@ TransferService::TransferService(db::Store& store, FileService& files,
 
 TransferService::~TransferService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -163,7 +163,8 @@ std::string TransferService::start(const pki::DistinguishedName& owner,
       proxies_.retrieve(owner.str(), proxy_password);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // lock-order: core.transfer -> db.store
+    util::LockGuard lock(mutex_);
     save(t);
     credentials_[t.id] = std::move(credential);
     queue_.push_back(t.id);
@@ -176,8 +177,9 @@ void TransferService::worker_loop() {
   for (;;) {
     std::string transfer_id;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // lock-order: core.transfer -> db.store
+      util::UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (stopping_) return;
       transfer_id = queue_.front();
       queue_.pop_front();
@@ -205,7 +207,8 @@ void TransferService::run_transfer(const std::string& transfer_id) {
   Transfer t;
   ProxyService::StoredProxy credential;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // lock-order: core.transfer -> db.store
+    util::LockGuard lock(mutex_);
     t = load(transfer_id);
     auto it = credentials_.find(transfer_id);
     if (it == credentials_.end()) {
@@ -254,7 +257,8 @@ void TransferService::run_transfer(const std::string& transfer_id) {
     error = e.what();
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.transfer -> db.store
+  util::LockGuard lock(mutex_);
   t = load(transfer_id);
   t.bytes = bytes;
   t.verified = verified;
@@ -267,7 +271,8 @@ void TransferService::run_transfer(const std::string& transfer_id) {
 
 Transfer TransferService::status(const std::string& transfer_id,
                                  const pki::DistinguishedName& who) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.transfer -> db.store
+  util::LockGuard lock(mutex_);
   Transfer t = load(transfer_id);
   if (t.owner != who.str()) {
     throw AccessError("transfer belongs to a different identity");
@@ -277,7 +282,8 @@ Transfer TransferService::status(const std::string& transfer_id,
 
 std::vector<Transfer> TransferService::list(
     const pki::DistinguishedName& owner) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.transfer -> db.store
+  util::LockGuard lock(mutex_);
   std::vector<Transfer> out;
   for (const auto& id : store_.keys(kTable)) {
     if (auto text = store_.get(kTable, id)) {
@@ -293,7 +299,8 @@ std::vector<Transfer> TransferService::list(
 
 bool TransferService::cancel(const std::string& transfer_id,
                              const pki::DistinguishedName& who) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // lock-order: core.transfer -> db.store
+  util::LockGuard lock(mutex_);
   Transfer t = load(transfer_id);
   if (t.owner != who.str()) {
     throw AccessError("transfer belongs to a different identity");
@@ -310,14 +317,18 @@ bool TransferService::cancel(const std::string& transfer_id,
 Transfer TransferService::wait(const std::string& transfer_id,
                                const pki::DistinguishedName& who,
                                int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  Transfer t;
-  bool ok = state_changed_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [&] {
-        t = load(transfer_id);
-        return is_terminal(t.state);
-      });
-  if (!ok) throw SystemError("transfer did not finish in time");
+  // lock-order: core.transfer -> db.store
+  util::UniqueLock lock(mutex_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  Transfer t = load(transfer_id);
+  while (!is_terminal(t.state)) {
+    bool timed_out =
+        state_changed_.wait_until(lock, deadline) == std::cv_status::timeout;
+    t = load(transfer_id);
+    if (is_terminal(t.state)) break;
+    if (timed_out) throw SystemError("transfer did not finish in time");
+  }
   if (t.owner != who.str()) {
     throw AccessError("transfer belongs to a different identity");
   }

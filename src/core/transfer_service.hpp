@@ -15,18 +15,16 @@
 // verification against the source's file.md5().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/file_service.hpp"
 #include "core/proxy_service.hpp"
 #include "db/store.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -95,15 +93,18 @@ class TransferService {
   ProxyService& proxies_;
   const pki::TrustStore& trust_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable state_changed_;
-  std::deque<std::string> queue_;
+  /// Held across store reads/writes of transfer records: hierarchy
+  /// `core.transfer` -> `db.store`.
+  mutable util::Mutex mutex_;
+  util::CondVar work_available_;
+  util::CondVar state_changed_;
+  std::deque<std::string> queue_ CLARENS_GUARDED_BY(mutex_);
   /// Retrieved proxy credentials for queued transfers, keyed by id —
   /// kept in memory only (never persisted; passwords are not retained).
-  std::map<std::string, ProxyService::StoredProxy> credentials_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  std::map<std::string, ProxyService::StoredProxy> credentials_
+      CLARENS_GUARDED_BY(mutex_);
+  bool stopping_ CLARENS_GUARDED_BY(mutex_) = false;
+  std::vector<util::Thread> workers_;  // written once in the constructor
 };
 
 /// Parse "http://host:port" / "https://host:port" into (host, port, tls).

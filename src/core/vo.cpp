@@ -104,7 +104,8 @@ std::vector<std::string> VoManager::list_groups() const {
 
 bool VoManager::is_root_admin(const pki::DistinguishedName& dn) const {
   std::uint64_t gen = generation_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lock(root_cache_mutex_);
+  // lock-order: core.vo.root_cache -> db.store
+  util::LockGuard lock(root_cache_mutex_);
   if (root_cache_.stamp != gen) {
     root_cache_.prefixes.clear();
     if (auto text = store_.get(kTable, kAdminsGroup)) {
@@ -168,7 +169,8 @@ bool VoManager::can_administer(const std::string& group,
 
 void VoManager::create_group(const std::string& group,
                              const pki::DistinguishedName& actor) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  // lock-order: core.vo.write -> db.store
+  util::LockGuard lock(write_mutex_);
   validate_group_name(group);
   if (group == kAdminsGroup) {
     throw AccessError("the admins group is configuration-managed");
@@ -199,7 +201,8 @@ void VoManager::create_group(const std::string& group,
 
 void VoManager::delete_group(const std::string& group,
                              const pki::DistinguishedName& actor) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  // lock-order: core.vo.write -> db.store
+  util::LockGuard lock(write_mutex_);
   if (group == kAdminsGroup) {
     throw AccessError("the admins group cannot be deleted");
   }
@@ -219,7 +222,8 @@ void VoManager::delete_group(const std::string& group,
 
 void VoManager::add_member(const std::string& group, const std::string& member_dn,
                            const pki::DistinguishedName& actor) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  // lock-order: core.vo.write -> db.store
+  util::LockGuard lock(write_mutex_);
   GroupInfo info = load(group);
   if (!can_administer(group, actor)) {
     throw AccessError("not an administrator of '" + group + "'");
@@ -235,7 +239,8 @@ void VoManager::add_member(const std::string& group, const std::string& member_d
 void VoManager::remove_member(const std::string& group,
                               const std::string& member_dn,
                               const pki::DistinguishedName& actor) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  // lock-order: core.vo.write -> db.store
+  util::LockGuard lock(write_mutex_);
   GroupInfo info = load(group);
   if (!can_administer(group, actor)) {
     throw AccessError("not an administrator of '" + group + "'");
@@ -246,7 +251,8 @@ void VoManager::remove_member(const std::string& group,
 
 void VoManager::add_admin(const std::string& group, const std::string& admin_dn,
                           const pki::DistinguishedName& actor) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  // lock-order: core.vo.write -> db.store
+  util::LockGuard lock(write_mutex_);
   if (group == kAdminsGroup && !is_root_admin(actor)) {
     throw AccessError("only root administrators may modify the admins group");
   }
@@ -264,7 +270,8 @@ void VoManager::add_admin(const std::string& group, const std::string& admin_dn,
 
 void VoManager::remove_admin(const std::string& group, const std::string& admin_dn,
                              const pki::DistinguishedName& actor) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  // lock-order: core.vo.write -> db.store
+  util::LockGuard lock(write_mutex_);
   GroupInfo info = load(group);
   if (!can_administer(group, actor)) {
     throw AccessError("not an administrator of '" + group + "'");

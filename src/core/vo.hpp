@@ -19,12 +19,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "db/store.hpp"
 #include "pki/dn.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::core {
 
@@ -85,19 +85,22 @@ class VoManager {
   /// Serializes group mutations: add/remove operations are read-modify-
   /// write over the stored group record, and concurrent administrators
   /// must not lose each other's changes. Queries read the store directly
-  /// (it is internally thread-safe) and take no lock.
-  std::mutex write_mutex_;
+  /// (it is internally thread-safe) and take no lock. Held across store
+  /// calls: hierarchy `core.vo.write` -> `db.store`.
+  util::Mutex write_mutex_;
 
   // is_root_admin() runs on the ACL evaluation path (group-based specs,
   // deny fallback), so the admins group is cached pre-parsed. Every
-  // group mutation bumps the generation; the cache reloads lazily.
+  // group mutation bumps the generation; the cache reloads lazily (the
+  // reload reads the store under the lock: `core.vo.root_cache` ->
+  // `db.store`).
   struct RootAdminCache {
     std::uint64_t stamp = 0;
     std::vector<pki::DistinguishedName> prefixes;  // admins + members
   };
   std::atomic<std::uint64_t> generation_{1};
-  mutable std::mutex root_cache_mutex_;
-  mutable RootAdminCache root_cache_;
+  mutable util::Mutex root_cache_mutex_;
+  mutable RootAdminCache root_cache_ CLARENS_GUARDED_BY(root_cache_mutex_);
 };
 
 }  // namespace clarens::core

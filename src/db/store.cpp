@@ -45,12 +45,12 @@ Store::Store() = default;
 
 Store::Store(const std::string& directory) : directory_(directory) {
   std::filesystem::create_directories(directory_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   load_locked();
 }
 
 Store::~Store() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (journal_) std::fclose(journal_);
 }
 
@@ -183,7 +183,7 @@ void Store::write_snapshot_locked() {
 void Store::put(const std::string& table, const std::string& key,
                 const std::string& value) {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   tables_[table][key] = value;
   append_journal('P', table, key, value);
 }
@@ -191,7 +191,7 @@ void Store::put(const std::string& table, const std::string& key,
 std::optional<std::string> Store::get(const std::string& table,
                                       const std::string& key) const {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return std::nullopt;
   auto kit = it->second.find(key);
@@ -201,7 +201,7 @@ std::optional<std::string> Store::get(const std::string& table,
 
 bool Store::erase(const std::string& table, const std::string& key) {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end() || it->second.erase(key) == 0) return false;
   if (it->second.empty()) tables_.erase(it);
@@ -211,14 +211,14 @@ bool Store::erase(const std::string& table, const std::string& key) {
 
 bool Store::contains(const std::string& table, const std::string& key) const {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = tables_.find(table);
   return it != tables_.end() && it->second.count(key) != 0;
 }
 
 std::vector<std::string> Store::keys(const std::string& table) const {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<std::string> out;
   auto it = tables_.find(table);
   if (it == tables_.end()) return out;
@@ -230,7 +230,7 @@ std::vector<std::string> Store::keys(const std::string& table) const {
 std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
     const std::string& table, const std::string& prefix) const {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<std::pair<std::string, std::string>> out;
   auto it = tables_.find(table);
   if (it == tables_.end()) return out;
@@ -244,7 +244,7 @@ std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
 
 std::size_t Store::drop_table(const std::string& table) {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return 0;
   std::size_t n = it->second.size();
@@ -256,7 +256,7 @@ std::size_t Store::drop_table(const std::string& table) {
 
 std::vector<std::string> Store::tables() const {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, _] : tables_) out.push_back(name);
@@ -265,18 +265,18 @@ std::vector<std::string> Store::tables() const {
 
 std::size_t Store::size(const std::string& table) const {
   ops_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = tables_.find(table);
   return it == tables_.end() ? 0 : it->second.size();
 }
 
 void Store::compact() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   write_snapshot_locked();
 }
 
 void Store::sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (journal_) std::fflush(journal_);
 }
 

@@ -17,10 +17,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace clarens::db {
 
@@ -87,17 +88,21 @@ class Store {
   using Table = std::map<std::string, std::string>;
 
   void append_journal(char op, const std::string& table,
-                      const std::string& key, const std::string& value);
-  void load_locked();
-  void write_snapshot_locked();
-  void replay_file(std::FILE* f, bool tolerate_tear);
+                      const std::string& key, const std::string& value)
+      CLARENS_REQUIRES(mutex_);
+  void load_locked() CLARENS_REQUIRES(mutex_);
+  void write_snapshot_locked() CLARENS_REQUIRES(mutex_);
+  void replay_file(std::FILE* f, bool tolerate_tear) CLARENS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  // The store mutex is the innermost lock in the server: services hold
+  // their own locks while calling in here, never the other way round
+  // (docs/CONCURRENCY.md hierarchy level `db.store`).
+  mutable util::Mutex mutex_;
   mutable std::atomic<std::uint64_t> ops_{0};
-  std::map<std::string, Table> tables_;
+  std::map<std::string, Table> tables_ CLARENS_GUARDED_BY(mutex_);
   std::string directory_;
-  std::FILE* journal_ = nullptr;
-  std::size_t journal_bytes_ = 0;
+  std::FILE* journal_ CLARENS_GUARDED_BY(mutex_) = nullptr;
+  std::size_t journal_bytes_ CLARENS_GUARDED_BY(mutex_) = 0;
   std::size_t compact_threshold_ = 8 * 1024 * 1024;
 };
 

@@ -29,7 +29,7 @@ DiscoveryServer::DiscoveryServer(db::Store& store, std::int64_t record_ttl)
       }
     }
   }
-  receiver_ = std::thread([this] { receive_loop(); });
+  receiver_ = util::Thread([this] { receive_loop(); });
 }
 
 DiscoveryServer::~DiscoveryServer() { stop(); }
@@ -74,7 +74,7 @@ void DiscoveryServer::ingest(const std::vector<ServiceRecord>& records) {
   for (const auto& record : records) {
     store_.put(kTable, record.key(),
                rpc::jsonrpc::serialize_value(record.to_value()));
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::LockGuard lock(cache_mutex_);
     cache_[record.key()] = record;
   }
 }
@@ -83,7 +83,7 @@ std::vector<ServiceRecord> DiscoveryServer::find_services(
     const std::string& query) const {
   std::vector<ServiceRecord> out;
   std::int64_t now = util::unix_now();
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::LockGuard lock(cache_mutex_);
   for (const auto& [_, record] : cache_) {
     if (now - record.heartbeat > record_ttl_) continue;
     if (query.empty() || record.service.find(query) != std::string::npos) {
@@ -136,7 +136,7 @@ std::vector<ServiceRecord> DiscoveryServer::query_stations(
 }
 
 std::size_t DiscoveryServer::record_count() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::LockGuard lock(cache_mutex_);
   return cache_.size();
 }
 

@@ -10,15 +10,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "db/store.hpp"
 #include "discovery/glue.hpp"
 #include "net/socket.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::discovery {
 
@@ -61,14 +60,14 @@ class DiscoveryServer {
   net::UdpSocket socket_;
   std::uint16_t port_;
   std::atomic<bool> running_{true};
-  std::thread receiver_;
+  util::Thread receiver_;
   std::vector<std::pair<std::string, std::uint16_t>> stations_;
   /// Decoded in-memory copy of the aggregation table. The DB row is the
   /// persistent form (survives restarts); queries answer from here —
   /// this is what makes the local path "far more rapid" than walking
   /// the station network (§2.4).
-  mutable std::mutex cache_mutex_;
-  std::map<std::string, ServiceRecord> cache_;
+  mutable util::Mutex cache_mutex_;
+  std::map<std::string, ServiceRecord> cache_ CLARENS_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace clarens::discovery

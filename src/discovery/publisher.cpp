@@ -14,7 +14,7 @@ Publisher::Publisher(std::string station_host, std::uint16_t station_port)
 Publisher::~Publisher() { stop(); }
 
 void Publisher::set_records(std::vector<ServiceRecord> records) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   records_ = std::move(records);
 }
 
@@ -22,7 +22,7 @@ void Publisher::publish_once() {
   Datagram datagram;
   datagram.type = Datagram::Type::Publish;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     datagram.records = records_;
   }
   std::int64_t now = util::unix_now();
@@ -32,7 +32,7 @@ void Publisher::publish_once() {
 
 void Publisher::start_periodic(int interval_ms) {
   if (running_.exchange(true)) return;
-  ticker_ = std::thread([this, interval_ms] {
+  ticker_ = util::Thread([this, interval_ms] {
     while (running_.load()) {
       publish_once();
       for (int waited = 0; waited < interval_ms && running_.load(); waited += 50) {

@@ -4,13 +4,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "discovery/glue.hpp"
 #include "net/socket.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::discovery {
 
@@ -36,10 +35,10 @@ class Publisher {
   std::string station_host_;
   std::uint16_t station_port_;
   net::UdpSocket socket_;
-  std::mutex mutex_;
-  std::vector<ServiceRecord> records_;
+  util::Mutex mutex_;
+  std::vector<ServiceRecord> records_ CLARENS_GUARDED_BY(mutex_);
   std::atomic<bool> running_{false};
-  std::thread ticker_;
+  util::Thread ticker_;
 };
 
 }  // namespace clarens::discovery

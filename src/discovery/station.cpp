@@ -10,7 +10,7 @@ StationServer::StationServer(std::uint16_t port, std::int64_t record_ttl)
     : socket_(net::UdpSocket::bind(port)),
       port_(socket_.local_port()),
       record_ttl_(record_ttl) {
-  receiver_ = std::thread([this] { receive_loop(); });
+  receiver_ = util::Thread([this] { receive_loop(); });
 }
 
 StationServer::~StationServer() { stop(); }
@@ -27,12 +27,12 @@ void StationServer::stop() {
 }
 
 void StationServer::add_subscriber(const std::string& host, std::uint16_t port) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   subscribers_.emplace_back(host, port);
 }
 
 std::vector<ServiceRecord> StationServer::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<ServiceRecord> out;
   std::int64_t now = util::unix_now();
   for (const auto& [_, record] : records_) {
@@ -59,7 +59,7 @@ void StationServer::handle(const Datagram& datagram) {
     case Datagram::Type::Publish: {
       std::vector<std::pair<std::string, std::uint16_t>> subscribers;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::LockGuard lock(mutex_);
         std::int64_t now = util::unix_now();
         for (const auto& record : datagram.records) {
           records_[record.key()] = record;
@@ -116,7 +116,7 @@ void StationServer::handle(const Datagram& datagram) {
       // Stations accept peer republications like publishes, minus the fanout
       // (no re-republish, avoiding loops in station meshes).
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::LockGuard lock(mutex_);
         for (const auto& record : datagram.records) {
           records_[record.key()] = record;
         }

@@ -12,12 +12,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "discovery/glue.hpp"
 #include "net/socket.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::discovery {
 
@@ -48,18 +47,22 @@ class StationServer {
  private:
   void receive_loop();
   void handle(const Datagram& datagram);
-  void expire_locked(std::int64_t now);
+  void expire_locked(std::int64_t now) CLARENS_REQUIRES(mutex_);
 
   net::UdpSocket socket_;
   std::uint16_t port_;
   std::int64_t record_ttl_;
   std::atomic<bool> running_{true};
   std::atomic<std::size_t> publishes_{0};
-  std::thread receiver_;
+  util::Thread receiver_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, ServiceRecord> records_;  // keyed by record.key()
-  std::vector<std::pair<std::string, std::uint16_t>> subscribers_;
+  /// Leaf lock: held only around the record/subscriber tables, never
+  /// across socket sends.
+  mutable util::Mutex mutex_;
+  std::map<std::string, ServiceRecord> records_
+      CLARENS_GUARDED_BY(mutex_);  // keyed by record.key()
+  std::vector<std::pair<std::string, std::uint16_t>> subscribers_
+      CLARENS_GUARDED_BY(mutex_);
 };
 
 }  // namespace clarens::discovery

@@ -31,14 +31,14 @@ void Server::start() {
     // The reactor thread occupies one core; handlers get the rest. On a
     // single-core host one worker minimizes scheduler churn between the
     // reader and the handler.
-    std::size_t cores = std::thread::hardware_concurrency();
+    std::size_t cores = util::Thread::hardware_concurrency();
     workers = cores > 1 ? cores - 1 : 1;
   }
   pool_ = std::make_unique<util::ThreadPool>(workers);
   reactor_ = std::make_unique<net::Reactor>();
   reactor_->add(listener_.fd(), net::Reactor::kRead,
                 [this](std::uint32_t) { on_acceptable(); });
-  reactor_thread_ = std::thread([this] { reactor_->run(); });
+  reactor_thread_ = util::Thread([this] { reactor_->run(); });
 }
 
 void Server::stop() {
@@ -53,11 +53,11 @@ void Server::stop() {
   // Signal every live connection (shutdown leaves the fds intact for
   // workers mid-write; their next write fails and they bail out).
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    util::LockGuard lock(conns_mutex_);
     for (auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_RDWR);
   }
   {
-    std::lock_guard<std::mutex> lock(tls_mutex_);
+    util::LockGuard lock(tls_mutex_);
     for (int fd : tls_fds_) ::shutdown(fd, SHUT_RDWR);
   }
 
@@ -68,7 +68,7 @@ void Server::stop() {
 
   // Nothing references the connections any more; RAII closes the fds.
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    util::LockGuard lock(conns_mutex_);
     conns_.clear();
   }
   reactor_.reset();
@@ -78,11 +78,11 @@ void Server::stop() {
 std::size_t Server::live_connections() {
   std::size_t n = 0;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    util::LockGuard lock(conns_mutex_);
     n = conns_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(tls_mutex_);
+    util::LockGuard lock(tls_mutex_);
     n += tls_fds_.size();
   }
   return n;
@@ -133,7 +133,7 @@ void Server::admit(net::TcpConnection tcp) {
   conn->peer.encrypted = false;
   int fd = conn->tcp.fd();
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    util::LockGuard lock(conns_mutex_);
     conns_[fd] = conn;
   }
   reactor_->add(fd, net::Reactor::kRead,
@@ -176,7 +176,7 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
 
   bool close_now = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    util::LockGuard lock(conn->mutex);
     if (conn->closing) return;  // a worker already sealed this connection
     for (auto& request : parsed) conn->ready.push_back(std::move(request));
     if (bad) conn->bad = true;
@@ -207,7 +207,7 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
   for (;;) {
     Request request;
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      util::LockGuard lock(conn->mutex);
       if (conn->ready.empty()) {
         if (!conn->closing) {
           conn->busy = false;  // reactor will redispatch on new input
@@ -237,7 +237,7 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
       close_after = true;  // peer vanished mid-write
     }
     if (close_after) {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      util::LockGuard lock(conn->mutex);
       conn->closing = true;
       conn->ready.clear();
       break;
@@ -248,7 +248,7 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
   // reactor cannot close the fd underneath the 400 write below.
   bool bad;
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    util::LockGuard lock(conn->mutex);
     bad = conn->bad;
   }
   if (bad) {
@@ -259,7 +259,7 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    util::LockGuard lock(conn->mutex);
     conn->busy = false;
   }
   request_close(conn);
@@ -274,24 +274,24 @@ void Server::close_conn(const std::shared_ptr<Conn>& conn) {
   int fd = conn->tcp.fd();
   if (reactor_->watching(fd)) reactor_->remove(fd);
   conn->tcp.close();
-  std::lock_guard<std::mutex> lock(conns_mutex_);
+  util::LockGuard lock(conns_mutex_);
   conns_.erase(fd);
 }
 
 void Server::spawn_tls(net::TcpConnection tcp) {
-  std::lock_guard<std::mutex> lock(tls_mutex_);
+  util::LockGuard lock(tls_mutex_);
   std::uint64_t id = ++tls_seq_;
   int fd = tcp.fd();
   tls_fds_.insert(fd);
   // The body blocks on tls_mutex_ until the emplace below completes, so
   // it always finds its own handle in tls_threads_.
-  std::thread thread([this, id, fd, conn = std::move(tcp)]() mutable {
+  util::Thread thread([this, id, fd, conn = std::move(tcp)]() mutable {
     try {
       serve_tls(std::move(conn));
     } catch (...) {
       // Connection threads never take the process down.
     }
-    std::lock_guard<std::mutex> lk(tls_mutex_);
+    util::LockGuard lk(tls_mutex_);
     tls_fds_.erase(fd);
     auto it = tls_threads_.find(id);
     if (it != tls_threads_.end()) {
@@ -308,8 +308,8 @@ void Server::spawn_tls(net::TcpConnection tcp) {
 }
 
 void Server::join_tls_threads() {
-  std::unique_lock<std::mutex> lock(tls_mutex_);
-  tls_done_.wait(lock, [this] { return tls_threads_.empty(); });
+  util::UniqueLock lock(tls_mutex_);
+  while (!tls_threads_.empty()) tls_done_.wait(lock);
   for (auto& finished : tls_finished_) finished.join();
   tls_finished_.clear();
 }

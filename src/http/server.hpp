@@ -21,16 +21,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +36,7 @@
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "tls/channel.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clarens::http {
@@ -95,11 +93,15 @@ class Server {
     Peer peer;
     RequestParser parser;  // reactor thread only
 
-    std::mutex mutex;           // guards everything below
-    std::deque<Request> ready;  // parsed, not yet handled
-    bool busy = false;          // a worker is draining `ready`
-    bool closing = false;       // drain then close; no new dispatch
-    bool bad = false;           // malformed stream: answer 400 when drained
+    util::Mutex mutex;
+    /// Parsed, not yet handled.
+    std::deque<Request> ready CLARENS_GUARDED_BY(mutex);
+    /// A worker is draining `ready`.
+    bool busy CLARENS_GUARDED_BY(mutex) = false;
+    /// Drain then close; no new dispatch.
+    bool closing CLARENS_GUARDED_BY(mutex) = false;
+    /// Malformed stream: answer 400 when drained.
+    bool bad CLARENS_GUARDED_BY(mutex) = false;
   };
 
   // Reactor-thread handlers.
@@ -129,21 +131,23 @@ class Server {
   std::atomic<std::uint64_t> requests_{0};
 
   std::unique_ptr<net::Reactor> reactor_;
-  std::thread reactor_thread_;
+  util::Thread reactor_thread_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  std::mutex conns_mutex_;
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  util::Mutex conns_mutex_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_
+      CLARENS_GUARDED_BY(conns_mutex_);
 
   // TLS connection threads, keyed by a sequence id. A finishing thread
   // parks its handle in tls_finished_ (a thread cannot join itself);
   // the acceptor and stop() reap those.
-  std::mutex tls_mutex_;
-  std::condition_variable tls_done_;
-  std::map<std::uint64_t, std::thread> tls_threads_;
-  std::vector<std::thread> tls_finished_;
-  std::set<int> tls_fds_;
-  std::uint64_t tls_seq_ = 0;
+  util::Mutex tls_mutex_;
+  util::CondVar tls_done_;
+  std::map<std::uint64_t, util::Thread> tls_threads_
+      CLARENS_GUARDED_BY(tls_mutex_);
+  std::vector<util::Thread> tls_finished_ CLARENS_GUARDED_BY(tls_mutex_);
+  std::set<int> tls_fds_ CLARENS_GUARDED_BY(tls_mutex_);
+  std::uint64_t tls_seq_ CLARENS_GUARDED_BY(tls_mutex_) = 0;
 };
 
 }  // namespace clarens::http

@@ -46,7 +46,7 @@ void Reactor::add(int fd, std::uint32_t interest, Callback callback) {
   if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
     throw SystemError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   callbacks_[fd] = std::move(callback);
 }
 
@@ -61,23 +61,23 @@ void Reactor::modify(int fd, std::uint32_t interest) {
 
 void Reactor::remove(int fd) {
   epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   callbacks_.erase(fd);
 }
 
 bool Reactor::watching(int fd) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return callbacks_.count(fd) != 0;
 }
 
 std::size_t Reactor::watched() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return callbacks_.size();
 }
 
 void Reactor::post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   wake();
@@ -112,7 +112,7 @@ int Reactor::poll(int timeout_ms) {
     // running, and the lock is never held across the call.
     Callback cb;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       auto it = callbacks_.find(fd);
       if (it == callbacks_.end()) continue;  // removed by an earlier callback
       cb = it->second;
@@ -123,7 +123,7 @@ int Reactor::poll(int timeout_ms) {
   // Posted tasks run after fd dispatch so they observe a settled table.
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     tasks.swap(tasks_);
   }
   for (auto& task : tasks) task();

@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "net/socket.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::net {
 
@@ -60,9 +60,9 @@ class Reactor {
   Fd wake_fd_;  // eventfd to interrupt run()
   // Guards callbacks_ and tasks_; add/remove/post may race with poll()
   // on another thread. Never held while a callback or task executes.
-  mutable std::mutex mutex_;
-  std::map<int, Callback> callbacks_;
-  std::vector<std::function<void()>> tasks_;
+  mutable util::Mutex mutex_;
+  std::map<int, Callback> callbacks_ CLARENS_GUARDED_BY(mutex_);
+  std::vector<std::function<void()>> tasks_ CLARENS_GUARDED_BY(mutex_);
   // stop() may be called from another thread while run() polls.
   std::atomic<bool> stopping_{false};
 };

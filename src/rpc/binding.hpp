@@ -351,7 +351,8 @@ struct Signature<Ret, std::tuple<Ps...>> {
     std::string sig = ResultTraits<std::decay_t<Ret>>::kName;
     sig += " (";
     std::size_t j = 0;
-    auto append = [&](const char* type_name, bool optional) {
+    // [[maybe_unused]]: the fold below is empty for nullary methods.
+    [[maybe_unused]] auto append = [&](const char* type_name, bool optional) {
       if (j) sig += ", ";
       sig += type_name;
       if (j < names.size() && !names[j].empty()) {

@@ -259,10 +259,14 @@ class JsonParser {
 
   Value parse_array() {
     expect("[");
+    // parse_value recurses through containers; cap attacker-controlled
+    // depth before it becomes stack depth.
+    if (++depth_ > kMaxDepth) fail("value nesting too deep");
     Value out = Value::array();
     skip_space();
     if (!eof() && peek() == ']') {
       ++pos_;
+      --depth_;
       return out;
     }
     for (;;) {
@@ -270,17 +274,22 @@ class JsonParser {
       skip_space();
       if (eof()) fail("unterminated array");
       char c = text_[pos_++];
-      if (c == ']') return out;
+      if (c == ']') {
+        --depth_;
+        return out;
+      }
       if (c != ',') fail("expected ',' or ']'");
     }
   }
 
   Value parse_object() {
     expect("{");
+    if (++depth_ > kMaxDepth) fail("value nesting too deep");
     Value out = Value::struct_();
     skip_space();
     if (!eof() && peek() == '}') {
       ++pos_;
+      --depth_;
       return detag(std::move(out));
     }
     for (;;) {
@@ -292,7 +301,10 @@ class JsonParser {
       skip_space();
       if (eof()) fail("unterminated object");
       char c = text_[pos_++];
-      if (c == '}') return detag(std::move(out));
+      if (c == '}') {
+        --depth_;
+        return detag(std::move(out));
+      }
       if (c != ',') fail("expected ',' or '}'");
     }
   }
@@ -310,8 +322,11 @@ class JsonParser {
     return object;
   }
 
+  static constexpr int kMaxDepth = 128;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

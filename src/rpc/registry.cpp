@@ -17,22 +17,22 @@ void Registry::add(const std::string& name, Handler handler, std::string help,
 void Registry::add(const std::string& name, Handler handler, MethodInfo info) {
   auto method =
       std::make_shared<const Method>(Method{std::move(handler), std::move(info)});
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriteLock lock(mutex_);
   methods_[name] = std::move(method);
 }
 
 void Registry::remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriteLock lock(mutex_);
   methods_.erase(name);
 }
 
 bool Registry::has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReadLock lock(mutex_);
   return methods_.count(name) != 0;
 }
 
 std::vector<std::string> Registry::list() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReadLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(methods_.size());
   for (const auto& [name, _] : methods_) out.push_back(name);
@@ -40,7 +40,7 @@ std::vector<std::string> Registry::list() const {
 }
 
 std::vector<std::string> Registry::list_module(const std::string& module) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReadLock lock(mutex_);
   std::vector<std::string> out;
   std::string prefix = module + ".";
   for (const auto& [name, _] : methods_) {
@@ -56,7 +56,7 @@ MethodInfo Registry::info(const std::string& name) const {
 }
 
 std::shared_ptr<const Method> Registry::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReadLock lock(mutex_);
   auto it = methods_.find(name);
   return it == methods_.end() ? nullptr : it->second;
 }
@@ -69,7 +69,7 @@ Value Registry::dispatch(const std::string& name, const CallContext& context,
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReadLock lock(mutex_);
   return methods_.size();
 }
 

@@ -23,11 +23,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "rpc/value.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::rpc {
 
@@ -115,8 +115,13 @@ class Registry {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const Method>> methods_;
+  // Reader/writer split: every RPC does a find() (shared), while add()/
+  // bind()/remove() are registration-time or administrative (exclusive).
+  // Entries are immutable shared_ptr<const Method>, so a looked-up method
+  // stays valid across a concurrent rebind of the same name.
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, std::shared_ptr<const Method>> methods_
+      CLARENS_GUARDED_BY(mutex_);
 };
 
 }  // namespace clarens::rpc

@@ -254,6 +254,11 @@ std::string_view XmlPullParser::parse_name() {
 XmlPullParser::Event XmlPullParser::parse_start_tag() {
   ++pos_;  // the '<' both call sites already matched
   name_ = parse_name();
+  // The tree builders (fill_node, parse_value_into, ...) recurse once per
+  // open element, so unbounded depth is a stack-overflow vector for
+  // attacker-supplied documents. RPC payloads nest values, not documents:
+  // 128 is far beyond anything a legitimate envelope produces.
+  if (open_tags_.size() >= kMaxDepth) fail("element nesting too deep");
   // Fast path: attribute-free tag (every tag XML-RPC emits).
   if (!eof() && peek() == '>') {
     ++pos_;

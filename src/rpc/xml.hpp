@@ -82,6 +82,11 @@ class XmlPullParser {
  public:
   enum class Event { StartTag, EndTag, Text, Eof };
 
+  /// Maximum open-element depth; deeper documents throw ParseError. The
+  /// consumers build trees with one stack frame per level, so this bound
+  /// is what keeps a nesting bomb from overflowing the stack.
+  static constexpr std::size_t kMaxDepth = 128;
+
   explicit XmlPullParser(std::string_view text) : text_(text) {}
 
   Event next();

@@ -53,7 +53,7 @@ void MassStorage::put(const std::string& logical_path, std::string_view data) {
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
 
   // Invalidate any stale cached copy.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = cache_.find(logical_path);
   if (it != cache_.end()) {
     if (it->second.pins > 0) {
@@ -96,7 +96,7 @@ std::vector<std::string> MassStorage::list(const std::string& logical_dir) const
 void MassStorage::remove(const std::string& logical_path) {
   std::string real = tape_file(logical_path);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = cache_.find(logical_path);
     if (it != cache_.end()) {
       if (it->second.pins > 0) {
@@ -139,7 +139,7 @@ void MassStorage::make_room_locked(std::int64_t needed) {
 std::string MassStorage::stage_and_pin(const std::string& logical_path) {
   std::string real = tape_file(logical_path);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = cache_.find(logical_path);
     if (it != cache_.end()) {
       ++it->second.pins;
@@ -163,7 +163,7 @@ std::string MassStorage::stage_and_pin(const std::string& logical_path) {
   std::string name = util::hex_encode(crypto::Sha256::hash(logical_path));
   std::string cache_file = (fs::path(cache_dir_) / name).string();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   // Another thread may have staged it while we slept.
   auto it = cache_.find(logical_path);
   if (it != cache_.end()) {
@@ -188,7 +188,7 @@ std::string MassStorage::stage_and_pin(const std::string& logical_path) {
 }
 
 void MassStorage::unpin(const std::string& logical_path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = cache_.find(logical_path);
   if (it == cache_.end()) {
     throw NotFoundError("not cached: " + logical_path);
@@ -197,17 +197,17 @@ void MassStorage::unpin(const std::string& logical_path) {
 }
 
 bool MassStorage::is_cached(const std::string& logical_path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return cache_.count(logical_path) != 0;
 }
 
 std::int64_t MassStorage::cache_used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return used_;
 }
 
 std::size_t MassStorage::cache_entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return cache_.size();
 }
 

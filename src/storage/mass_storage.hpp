@@ -13,10 +13,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace clarens::storage {
 
@@ -69,19 +70,22 @@ class MassStorage {
   std::string tape_file(const std::string& logical_path) const;
   /// Evict LRU unpinned entries until `needed` bytes fit. Throws
   /// clarens::SystemError when pinned entries block the eviction.
-  void make_room_locked(std::int64_t needed);
+  void make_room_locked(std::int64_t needed) CLARENS_REQUIRES(mutex_);
 
   std::string tape_dir_;
   std::string cache_dir_;
   std::int64_t cache_capacity_;
   std::int64_t stage_rate_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, CacheEntry> cache_;  // by logical path
-  std::int64_t used_ = 0;
-  std::uint64_t stages_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Hierarchy level `storage.mass` (leaf; staging I/O and the simulated
+  /// tape latency run with the lock dropped).
+  mutable util::Mutex mutex_;
+  std::map<std::string, CacheEntry> cache_
+      CLARENS_GUARDED_BY(mutex_);  // by logical path
+  std::int64_t used_ CLARENS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t stages_ CLARENS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ CLARENS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ CLARENS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace clarens::storage

@@ -28,7 +28,7 @@ SrmService::SrmService(MassStorage& storage, int workers) : storage_(storage) {
 
 SrmService::~SrmService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -41,7 +41,7 @@ std::string SrmService::prepare_to_get(const std::string& logical_path) {
   request.logical_path = logical_path;
   request.created = util::unix_now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     requests_[request.token] = request;
     queue_.push_back(request.token);
   }
@@ -53,8 +53,8 @@ void SrmService::worker_loop() {
   for (;;) {
     std::string token;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (stopping_) return;
       token = queue_.front();
       queue_.pop_front();
@@ -67,7 +67,7 @@ void SrmService::worker_loop() {
     // The staging copy (and its simulated tape latency) runs unlocked.
     std::string logical_path;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       logical_path = requests_[token].logical_path;
     }
     std::string cache_file;
@@ -79,7 +79,7 @@ void SrmService::worker_loop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       auto it = requests_.find(token);
       if (it != requests_.end()) {
         if (error.empty()) {
@@ -96,33 +96,38 @@ void SrmService::worker_loop() {
 }
 
 SrmRequest SrmService::status(const std::string& token) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = requests_.find(token);
   if (it == requests_.end()) throw NotFoundError("unknown SRM token");
   return it->second;
 }
 
 SrmRequest SrmService::wait(const std::string& token, int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto done = [&]() -> bool {
+  util::UniqueLock lock(mutex_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
     auto it = requests_.find(token);
-    if (it == requests_.end()) return true;
-    return it->second.state != SrmState::Queued &&
-           it->second.state != SrmState::Staging;
-  };
-  if (!state_changed_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                               done)) {
-    throw SystemError("SRM request did not complete in time");
+    if (it == requests_.end()) throw NotFoundError("unknown SRM token");
+    if (it->second.state != SrmState::Queued &&
+        it->second.state != SrmState::Staging) {
+      return it->second;
+    }
+    if (state_changed_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      it = requests_.find(token);
+      if (it != requests_.end() && it->second.state != SrmState::Queued &&
+          it->second.state != SrmState::Staging) {
+        return it->second;
+      }
+      throw SystemError("SRM request did not complete in time");
+    }
   }
-  auto it = requests_.find(token);
-  if (it == requests_.end()) throw NotFoundError("unknown SRM token");
-  return it->second;
 }
 
 void SrmService::release(const std::string& token) {
   std::string logical_path;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = requests_.find(token);
     if (it == requests_.end()) throw NotFoundError("unknown SRM token");
     if (it->second.state == SrmState::Released) return;

@@ -13,17 +13,15 @@
 // plus write-through put and namespace listing.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "storage/mass_storage.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::storage {
 
@@ -74,13 +72,15 @@ class SrmService {
   void worker_loop();
 
   MassStorage& storage_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable state_changed_;
-  std::map<std::string, SrmRequest> requests_;
-  std::deque<std::string> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  /// Request-table lock; never held across staging (`storage.mass`
+  /// locking is independent — workers stage unlocked).
+  mutable util::Mutex mutex_;
+  util::CondVar work_available_;
+  util::CondVar state_changed_;
+  std::map<std::string, SrmRequest> requests_ CLARENS_GUARDED_BY(mutex_);
+  std::deque<std::string> queue_ CLARENS_GUARDED_BY(mutex_);
+  bool stopping_ CLARENS_GUARDED_BY(mutex_) = false;
+  std::vector<util::Thread> workers_;  // written once in the constructor
 };
 
 }  // namespace clarens::storage

@@ -201,6 +201,7 @@ std::unique_ptr<SecureChannel> SecureChannel::connect(
     std::unique_ptr<net::Stream> transport, const TlsConfig& config) {
   if (!config.trust) throw Error("TLS config requires a trust store");
   auto chan = std::unique_ptr<SecureChannel>(
+      // clarens-lint: allow(raw-new): private constructor, unreachable by make_unique; ownership taken on this line.
       new SecureChannel(std::move(transport), /*is_server=*/false));
 
   // ClientHello
@@ -281,6 +282,7 @@ std::unique_ptr<SecureChannel> SecureChannel::accept(
   if (!config.trust) throw Error("TLS config requires a trust store");
   if (!config.credential) throw Error("TLS server requires a credential");
   auto chan = std::unique_ptr<SecureChannel>(
+      // clarens-lint: allow(raw-new): private constructor, unreachable by make_unique; ownership taken on this line.
       new SecureChannel(std::move(transport), /*is_server=*/true));
 
   // ClientHello

@@ -5,12 +5,14 @@
 #include <cstdio>
 #include <iostream>
 
+#include "util/sync.hpp"
+
 namespace clarens::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_output_mutex;
+Mutex g_output_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -43,7 +45,7 @@ LogRecord::LogRecord(LogLevel level, const char* file, int line)
 LogRecord::~LogRecord() {
   if (!enabled_) return;
   stream_ << '\n';
-  std::lock_guard<std::mutex> lock(g_output_mutex);
+  LockGuard lock(g_output_mutex);
   std::cerr << stream_.str();
 }
 

@@ -1,0 +1,239 @@
+// Annotated synchronization layer — the ONLY place raw std:: sync
+// primitives may appear (clarens_lint rule raw-sync; util/thread_pool.hpp
+// holds a legacy exemption).
+//
+// Every lock in the tree is one of the wrappers below, so that under
+// clang (-DCLARENS_THREAD_SAFETY=ON, the build-tidy preset) the whole
+// server compiles with -Wthread-safety -Werror=thread-safety: guarded
+// fields are declared with CLARENS_GUARDED_BY, private *_locked helpers
+// carry CLARENS_REQUIRES, and a forgotten lock is a compile error rather
+// than a TSan report on whichever path the tests happened to exercise.
+// Under GCC all annotations expand to nothing and the wrappers are
+// zero-cost forwarding shims.
+//
+// The lock *hierarchy* (which mutex may be acquired while holding which)
+// is documented in docs/CONCURRENCY.md and enforced structurally by
+// clarens_lint's lock-order rule against `// lock-order:` comments at
+// every nested-acquisition site.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety attribute macros. GCC defines none of these, so the
+// whole vocabulary expands to nothing there; clang performs the full
+// capability analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#if defined(__clang__)
+#define CLARENS_TS_ATTR__(x) __attribute__((x))
+#else
+#define CLARENS_TS_ATTR__(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CLARENS_CAPABILITY(x) CLARENS_TS_ATTR__(capability(x))
+/// Declares an RAII type that acquires in its constructor, releases in
+/// its destructor.
+#define CLARENS_SCOPED_CAPABILITY CLARENS_TS_ATTR__(scoped_lockable)
+/// Field may only be read/written while holding the given mutex.
+#define CLARENS_GUARDED_BY(x) CLARENS_TS_ATTR__(guarded_by(x))
+/// Pointee (not the pointer itself) is guarded by the given mutex.
+#define CLARENS_PT_GUARDED_BY(x) CLARENS_TS_ATTR__(pt_guarded_by(x))
+/// Function requires the mutex(es) to be held on entry (does not
+/// acquire or release) — the annotation for *_locked helpers.
+#define CLARENS_REQUIRES(...) \
+  CLARENS_TS_ATTR__(requires_capability(__VA_ARGS__))
+#define CLARENS_REQUIRES_SHARED(...) \
+  CLARENS_TS_ATTR__(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) and holds them on return.
+#define CLARENS_ACQUIRE(...) CLARENS_TS_ATTR__(acquire_capability(__VA_ARGS__))
+#define CLARENS_ACQUIRE_SHARED(...) \
+  CLARENS_TS_ATTR__(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the mutex(es) held on entry.
+#define CLARENS_RELEASE(...) CLARENS_TS_ATTR__(release_capability(__VA_ARGS__))
+#define CLARENS_RELEASE_SHARED(...) \
+  CLARENS_TS_ATTR__(release_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex iff it returns the given value.
+#define CLARENS_TRY_ACQUIRE(...) \
+  CLARENS_TS_ATTR__(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the mutex(es) — deadlock/lock-order documentation
+/// the analysis enforces.
+#define CLARENS_EXCLUDES(...) CLARENS_TS_ATTR__(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define CLARENS_RETURN_CAPABILITY(x) CLARENS_TS_ATTR__(lock_returned(x))
+/// Opt a function out of the analysis (init/teardown special cases; every
+/// use needs a comment saying why).
+#define CLARENS_NO_THREAD_SAFETY_ANALYSIS \
+  CLARENS_TS_ATTR__(no_thread_safety_analysis)
+
+namespace clarens::util {
+
+class CondVar;
+
+/// std::mutex with the capability attribute. Prefer LockGuard/UniqueLock
+/// over calling lock()/unlock() directly.
+class CLARENS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CLARENS_ACQUIRE() { m_.lock(); }
+  void unlock() CLARENS_RELEASE() { m_.unlock(); }
+  bool try_lock() CLARENS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex m_;
+};
+
+/// std::shared_mutex with the capability attribute: exclusive writers,
+/// concurrent readers. Use WriteLock / ReadLock.
+class CLARENS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CLARENS_ACQUIRE() { m_.lock(); }
+  void unlock() CLARENS_RELEASE() { m_.unlock(); }
+  void lock_shared() CLARENS_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() CLARENS_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// RAII exclusive lock over Mutex (std::lock_guard analogue).
+class CLARENS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) CLARENS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() CLARENS_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII exclusive lock usable with CondVar::wait (std::unique_lock
+/// analogue). Always holds the mutex from construction to destruction
+/// from the analysis' point of view — condition-variable waits release
+/// and reacquire internally, which the static analysis (correctly, for
+/// the code before/after the wait) treats as continuously held.
+class CLARENS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) CLARENS_ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~UniqueLock() CLARENS_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class CLARENS_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex& mutex) CLARENS_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriteLock() CLARENS_RELEASE() { mutex_.unlock(); }
+
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class CLARENS_SCOPED_CAPABILITY ReadLock {
+ public:
+  explicit ReadLock(SharedMutex& mutex) CLARENS_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  // Destructor releases generically (the analysis knows a scoped lock
+  // releases whatever it acquired).
+  ~ReadLock() CLARENS_RELEASE() { mutex_.unlock_shared(); }
+
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable for UniqueLock. Predicate overloads are deliberately
+/// absent: a predicate lambda is a separate function to the thread-safety
+/// analysis and its guarded-field reads would escape checking. Write the
+/// `while (!cond) cv.wait(lock);` loop in the annotated caller instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Joinable thread handle. Deliberately narrower than std::thread: there
+/// is no detach() — every Clarens thread is joined by an owner
+/// (clarens_lint's detach rule backs this up textually). Destruction
+/// while joinable terminates, exactly like std::thread, so ownership
+/// bugs fail loudly instead of leaking runaway threads.
+class Thread {
+ public:
+  Thread() noexcept = default;
+  template <typename Fn>
+  explicit Thread(Fn&& fn) : t_(std::forward<Fn>(fn)) {}
+
+  Thread(Thread&&) noexcept = default;
+  Thread& operator=(Thread&& other) noexcept = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() = default;
+
+  bool joinable() const noexcept { return t_.joinable(); }
+  void join() { t_.join(); }
+  std::thread::id get_id() const noexcept { return t_.get_id(); }
+
+  static unsigned hardware_concurrency() noexcept {
+    return std::thread::hardware_concurrency();
+  }
+
+ private:
+  std::thread t_;
+};
+
+}  // namespace clarens::util

@@ -3,12 +3,11 @@
 // processes in the paper's architecture).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace clarens::util {
 
@@ -25,23 +24,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Safe from any thread, including workers.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) CLARENS_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() CLARENS_EXCLUDES(mutex_);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() CLARENS_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ CLARENS_GUARDED_BY(mutex_);
+  std::size_t active_ CLARENS_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CLARENS_GUARDED_BY(mutex_) = false;
+  std::vector<Thread> workers_;  // written once in the constructor
 };
 
 }  // namespace clarens::util

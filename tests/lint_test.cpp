@@ -1,0 +1,247 @@
+// clarens_lint rule engine: every rule exercised with in-memory fixture
+// sources, one passing and one failing case per rule, plus the allow()
+// escape hatch and the lexer's literal/comment handling.
+
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace clarens::lint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Violation>& violations) {
+  std::vector<std::string> out;
+  for (const auto& violation : violations) out.push_back(violation.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<Violation>& violations,
+              const std::string& rule) {
+  return std::any_of(
+      violations.begin(), violations.end(),
+      [&](const Violation& violation) { return violation.rule == rule; });
+}
+
+// --- raw-sync ---------------------------------------------------------
+
+TEST(LintRawSync, FlagsRawPrimitives) {
+  auto found = lint_content("src/core/x.cpp",
+                            "std::mutex m;\n"
+                            "std::condition_variable cv;\n"
+                            "std::shared_mutex sm;\n"
+                            "std::lock_guard<std::mutex> g(m);\n"
+                            "std::thread t;\n");
+  // lock_guard line carries two tokens (lock_guard + mutex).
+  EXPECT_EQ(found.size(), 6u);
+  for (const auto& violation : found) EXPECT_EQ(violation.rule, "raw-sync");
+}
+
+TEST(LintRawSync, WrapperAndNestedTypesPass) {
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           "util::Mutex m;\n"
+                           "util::Thread t;\n"
+                           "std::thread::id tid;\n"
+                           "std::thread::hardware_concurrency();\n")
+                  .empty());
+}
+
+TEST(LintRawSync, SyncHeaderIsExempt) {
+  EXPECT_TRUE(
+      lint_content("src/util/sync.hpp", "std::mutex impl_;\n").empty());
+  EXPECT_TRUE(lint_content("src/util/thread_pool.hpp", "std::thread t;\n")
+                  .empty());
+  // ...but only those files, not the rest of util/.
+  EXPECT_TRUE(has_rule(lint_content("src/util/other.hpp", "std::mutex m;\n"),
+                       "raw-sync"));
+}
+
+TEST(LintRawSync, IgnoresStringsAndComments) {
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           "const char* s = \"std::mutex\";\n"
+                           "// std::mutex in prose\n"
+                           "/* std::thread t; */\n")
+                  .empty());
+}
+
+// --- detach -----------------------------------------------------------
+
+TEST(LintDetach, FlagsDetachCalls) {
+  EXPECT_TRUE(has_rule(lint_content("src/a.cpp", "t.detach();\n"), "detach"));
+  EXPECT_TRUE(
+      has_rule(lint_content("src/a.cpp", "worker->detach ();\n"), "detach"));
+}
+
+TEST(LintDetach, PlainIdentifierPasses) {
+  EXPECT_TRUE(lint_content("src/a.cpp", "bool detach = false;\n").empty());
+}
+
+// --- net-blocking -----------------------------------------------------
+
+TEST(LintNetBlocking, FlagsSleepsInNet) {
+  auto found = lint_content(
+      "src/net/reactor.cpp",
+      "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "usleep(100);\n"
+      "sleep(1);\n");
+  EXPECT_EQ(rules_of(found),
+            (std::vector<std::string>{"net-blocking", "net-blocking",
+                                      "net-blocking"}));
+}
+
+TEST(LintNetBlocking, OutsideNetPasses) {
+  EXPECT_TRUE(lint_content("src/storage/mass_storage.cpp",
+                           "std::this_thread::sleep_for(ms);\n")
+                  .empty());
+}
+
+TEST(LintNetBlocking, NonBlockingNetCodePasses) {
+  EXPECT_TRUE(lint_content("src/net/reactor.cpp",
+                           "int n = epoll_wait(fd, events, 64, timeout);\n")
+                  .empty());
+}
+
+// --- layering ---------------------------------------------------------
+
+TEST(LintLayering, RpcAndUtilMustNotReachUp) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/rpc/x.cpp", "#include \"core/server.hpp\"\n"),
+      "layering"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/util/x.cpp", "#include \"http/server.hpp\"\n"),
+      "layering"));
+}
+
+TEST(LintLayering, DownwardAndExternalIncludesPass) {
+  EXPECT_TRUE(lint_content("src/rpc/x.cpp",
+                           "#include \"util/buffer.hpp\"\n"
+                           "#include <string>\n")
+                  .empty());
+  // core/ may include anything.
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           "#include \"http/server.hpp\"\n"
+                           "#include \"core/acl.hpp\"\n")
+                  .empty());
+}
+
+// --- raw-new ----------------------------------------------------------
+
+TEST(LintRawNew, FlagsNewAndDelete) {
+  EXPECT_TRUE(
+      has_rule(lint_content("src/a.cpp", "auto* p = new Foo();\n"), "raw-new"));
+  EXPECT_TRUE(has_rule(lint_content("src/a.cpp", "delete p;\n"), "raw-new"));
+}
+
+TEST(LintRawNew, PlacementDeletedAndOperatorPass) {
+  EXPECT_TRUE(lint_content("src/a.cpp",
+                           "new (arena) Foo();\n"
+                           "Foo(const Foo&) = delete;\n"
+                           "void* operator new(std::size_t);\n"
+                           "void operator delete(void*) noexcept;\n"
+                           "sessions_.renew(id, extra);\n")
+                  .empty());
+}
+
+// --- lock-order -------------------------------------------------------
+
+TEST(LintLockOrder, DeclaredEdgePasses) {
+  EXPECT_TRUE(
+      lint_content("src/core/x.cpp", "// lock-order: core.job -> db.store\n")
+          .empty());
+}
+
+TEST(LintLockOrder, InvertedEdgeFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.cpp", "// lock-order: db.store -> core.job\n"),
+      "lock-order"));
+}
+
+TEST(LintLockOrder, SameRankFlagged) {
+  // Two level-20 locks: neither may nest inside the other.
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.cpp",
+                   "// lock-order: core.job -> core.transfer\n"),
+      "lock-order"));
+}
+
+TEST(LintLockOrder, UnknownLevelFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.cpp", "// lock-order: core.job -> bogus\n"),
+      "lock-order"));
+}
+
+TEST(LintLockOrder, MalformedFlagged) {
+  EXPECT_TRUE(has_rule(lint_content("src/core/x.cpp",
+                                    "// lock-order: core.job db.store\n"),
+                       "lock-order"));
+}
+
+TEST(LintLockOrder, ProseMentionIgnored) {
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           "// checked against `// lock-order:` comments\n")
+                  .empty());
+}
+
+// --- allow escape hatch -----------------------------------------------
+
+TEST(LintAllow, SuppressesOnOwnAndNextLine) {
+  EXPECT_TRUE(lint_content("src/a.cpp",
+                           "// clarens-lint: allow(raw-new): ctor private.\n"
+                           "auto* p = new Foo();\n")
+                  .empty());
+  EXPECT_TRUE(lint_content("src/a.cpp",
+                           "auto* p = new Foo();  "
+                           "// clarens-lint: allow(raw-new): ctor private.\n")
+                  .empty());
+}
+
+TEST(LintAllow, DoesNotLeakPastNextLine) {
+  auto found = lint_content("src/a.cpp",
+                            "// clarens-lint: allow(raw-new): reason.\n"
+                            "int x = 0;\n"
+                            "auto* p = new Foo();\n");
+  EXPECT_TRUE(has_rule(found, "raw-new"));
+}
+
+TEST(LintAllow, OnlyNamedRuleSuppressed) {
+  auto found = lint_content("src/a.cpp",
+                            "// clarens-lint: allow(raw-new): reason.\n"
+                            "std::mutex m;\n");
+  EXPECT_TRUE(has_rule(found, "raw-sync"));
+}
+
+TEST(LintAllow, MissingJustificationFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/a.cpp", "// clarens-lint: allow(raw-new)\n"),
+      "bad-allow"));
+}
+
+TEST(LintAllow, UnknownRuleFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/a.cpp", "// clarens-lint: allow(nonsense): x.\n"),
+      "bad-allow"));
+}
+
+// --- output format ----------------------------------------------------
+
+TEST(LintFormat, FileLineRuleMessage) {
+  Violation violation{"src/a.cpp", 12, "raw-new", "bare new"};
+  EXPECT_EQ(format(violation), "src/a.cpp:12: raw-new: bare new");
+}
+
+TEST(LintHierarchy, StoreIsInnermost) {
+  int store_rank = -1;
+  for (const auto& [level, rank] : lock_hierarchy()) {
+    if (level == "db.store") store_rank = rank;
+  }
+  ASSERT_GE(store_rank, 0);
+  for (const auto& [level, rank] : lock_hierarchy()) {
+    EXPECT_LE(rank, store_rank) << level << " outranks db.store";
+  }
+}
+
+}  // namespace
+}  // namespace clarens::lint

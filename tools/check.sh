@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Full verification matrix for the tree. Runs every leg even when an
+# earlier one fails and prints one PASS/FAIL line per leg at the end:
+#
+#   release   RelWithDebInfo, -Werror, full ctest suite (incl. lint)
+#   lint      structural lint only (fast re-check; subset of release)
+#   asan      AddressSanitizer build + full suite
+#   ubsan     UndefinedBehaviorSanitizer build + full suite
+#   tsan      ThreadSanitizer build + full suite
+#   tidy      clang -Wthread-safety over the annotated lock layer
+#             (compile only; skipped when clang++ is not installed)
+#
+# Usage: tools/check.sh [leg...]     (default: all legs)
+# Environment: JOBS=N parallelism (default: nproc).
+
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+LOG_DIR=build-logs
+mkdir -p "$LOG_DIR"
+
+RESULTS=()
+FAILED=0
+
+note() { printf '== %s\n' "$*"; }
+
+record() { # record <status> <leg> [detail]
+  RESULTS+=("$(printf '%-5s %-8s %s' "$1" "$2" "${3:-}")")
+  [ "$1" = FAIL ] && FAILED=1
+}
+
+# build_and_test <leg> <preset> <builddir> [extra cmake args...]
+build_and_test() {
+  local leg="$1" preset="$2" dir="$3"
+  shift 3
+  local log="$LOG_DIR/$leg.log"
+  note "$leg: configure + build + ctest ($dir)"
+  if cmake --preset "$preset" "$@" >"$log" 2>&1 &&
+     cmake --build "$dir" -j "$JOBS" >>"$log" 2>&1 &&
+     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" >>"$log" 2>&1; then
+    record PASS "$leg"
+  else
+    record FAIL "$leg" "(log: $log)"
+  fi
+}
+
+leg_release() { build_and_test release default build -DCLARENS_WERROR=ON; }
+leg_asan()    { build_and_test asan  asan  build-asan;  }
+leg_ubsan()   { build_and_test ubsan ubsan build-ubsan; }
+leg_tsan()    { build_and_test tsan  tsan  build-tsan;  }
+
+leg_lint() {
+  local log="$LOG_DIR/lint.log"
+  note "lint: structural lint over src/"
+  if cmake --preset default >"$log" 2>&1 &&
+     cmake --build build -j "$JOBS" --target clarens_lint >>"$log" 2>&1 &&
+     ./build/tools/clarens_lint src >>"$log" 2>&1; then
+    record PASS lint
+  else
+    record FAIL lint "(log: $log)"
+  fi
+}
+
+leg_tidy() {
+  local log="$LOG_DIR/tidy.log"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    record SKIP tidy "(clang++ not installed)"
+    return
+  fi
+  note "tidy: clang -Wthread-safety (compile only)"
+  if cmake --preset tidy >"$log" 2>&1 &&
+     cmake --build build-tidy -j "$JOBS" >>"$log" 2>&1; then
+    record PASS tidy
+  else
+    record FAIL tidy "(log: $log)"
+  fi
+}
+
+LEGS=("$@")
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(release lint asan ubsan tsan tidy)
+
+for leg in "${LEGS[@]}"; do
+  case "$leg" in
+    release|lint|asan|ubsan|tsan|tidy) "leg_$leg" ;;
+    *) record FAIL "$leg" "(unknown leg)" ;;
+  esac
+done
+
+printf '\n===== check.sh summary =====\n'
+for line in "${RESULTS[@]}"; do printf '%s\n' "$line"; done
+exit $FAILED

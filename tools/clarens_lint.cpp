@@ -1,0 +1,33 @@
+// Structural linter driver; see tools/lint/lint.hpp for the rule set.
+//
+// Usage: clarens_lint <file-or-directory>...
+// Prints `file:line: rule-id: message` per violation; exit 1 when any.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: clarens_lint <file-or-directory>...\n");
+    std::fprintf(stderr, "\nlock hierarchy (outer rank < inner rank):\n");
+    for (const auto& [level, rank] : clarens::lint::lock_hierarchy()) {
+      std::fprintf(stderr, "  %-22s %d\n", level.c_str(), rank);
+    }
+    return 2;
+  }
+  std::size_t total = 0;
+  for (int i = 1; i < argc; ++i) {
+    for (const auto& violation : clarens::lint::lint_tree(argv[i])) {
+      std::printf("%s\n", clarens::lint::format(violation).c_str());
+      ++total;
+    }
+  }
+  if (total) {
+    std::fprintf(stderr, "clarens_lint: %zu violation(s)\n", total);
+    return 1;
+  }
+  return 0;
+}

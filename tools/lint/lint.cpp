@@ -1,0 +1,513 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace clarens::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Lexer: split a translation unit into per-line code and comment text.
+// String and character literal *contents* are blanked in the code view
+// (the quotes stay) so token rules never fire inside literals; comment
+// text is collected separately because two rules (lock-order, the allow
+// escape hatch) read comments.
+// ---------------------------------------------------------------------
+
+struct LineInfo {
+  std::string code;
+  std::string comment;
+  std::string raw;
+};
+
+std::vector<LineInfo> lex(const std::string& content) {
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  std::vector<LineInfo> lines(1);
+  State state = State::Code;
+  std::string raw_delim;  // raw-string delimiter, ")delim" form
+  std::size_t i = 0;
+  while (i < content.size()) {
+    char c = content[i];
+    LineInfo& line = lines.back();
+    if (c != '\n') line.raw += c;
+    switch (state) {
+      case State::Code:
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::LineComment;
+          ++i;  // skip the second slash; comment text starts after it
+          line.raw += '/';
+        } else if (c == '/' && i + 1 < content.size() &&
+                   content[i + 1] == '*') {
+          state = State::BlockComment;
+          ++i;
+          line.raw += '*';
+          line.code += "  ";
+        } else if (c == '"') {
+          // Raw string? look back for R / u8R / LR / uR / UR prefix.
+          bool raw = i > 0 && content[i - 1] == 'R' &&
+                     (i < 2 || !(std::isalnum(static_cast<unsigned char>(
+                                     content[i - 2])) ||
+                                 content[i - 2] == '_') ||
+                      content[i - 2] == '8' || content[i - 2] == 'u' ||
+                      content[i - 2] == 'U' || content[i - 2] == 'L');
+          if (raw) {
+            std::size_t open = content.find('(', i + 1);
+            raw_delim = ")";
+            if (open != std::string::npos) {
+              raw_delim += content.substr(i + 1, open - i - 1);
+            }
+            raw_delim += '"';
+            state = State::Raw;
+          } else {
+            state = State::String;
+          }
+          line.code += '"';
+        } else if (c == '\'') {
+          state = State::Char;
+          line.code += '\'';
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Code;
+        } else {
+          line.comment += c;
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::Code;
+          ++i;
+          line.raw += '/';
+        } else if (c != '\n') {
+          line.comment += c;
+        }
+        break;
+      case State::String:
+        if (c == '\\' && i + 1 < content.size()) {
+          ++i;
+          if (content[i] != '\n') line.raw += content[i];
+        } else if (c == '"') {
+          state = State::Code;
+          line.code += '"';
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && i + 1 < content.size()) {
+          ++i;
+          if (content[i] != '\n') line.raw += content[i];
+        } else if (c == '\'') {
+          state = State::Code;
+          line.code += '\'';
+        }
+        break;
+      case State::Raw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          line.raw += raw_delim.substr(1);
+          line.code += '"';
+          state = State::Code;
+        }
+        break;
+    }
+    if (c == '\n') lines.emplace_back();
+    ++i;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Position of `token` in `code` with identifier boundaries on both
+/// sides, from `from`; npos when absent.
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from = 0) {
+  for (std::size_t pos = code.find(token, from); pos != std::string::npos;
+       pos = code.find(token, pos + 1)) {
+    if (pos > 0 && ident_char(code[pos - 1])) continue;
+    std::size_t end = pos + token.size();
+    if (end < code.size() && ident_char(code[end])) continue;
+    return pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  std::size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+bool path_in(const std::string& path, const std::string& dir) {
+  // Matches "src/<dir>/..." whether `path` is absolute or relative.
+  std::string needle = "/" + dir + "/";
+  if (path.find(needle) != std::string::npos) return true;
+  return path.rfind(dir + "/", 0) == 0;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "raw-sync", "detach",  "net-blocking",
+      "layering", "raw-new", "lock-order",
+  };
+  return rules;
+}
+
+// ---------------------------------------------------------------------
+// The allow() escape hatch.
+// ---------------------------------------------------------------------
+
+struct Allows {
+  /// line -> rules suppressed on that line.
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Violation> bad;
+};
+
+Allows collect_allows(const std::string& path,
+                      const std::vector<LineInfo>& lines) {
+  Allows allows;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    std::string comment = trim(lines[n].comment);
+    if (comment.rfind("clarens-lint:", 0) != 0) continue;
+    int line = static_cast<int>(n) + 1;
+    std::size_t pos = skip_spaces(comment, std::string("clarens-lint:").size());
+    if (comment.compare(pos, 6, "allow(") != 0) {
+      allows.bad.push_back({path, line, "bad-allow",
+                            "expected `clarens-lint: allow(<rule>): "
+                            "<justification>`"});
+      continue;
+    }
+    std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) {
+      allows.bad.push_back({path, line, "bad-allow", "unclosed allow("});
+      continue;
+    }
+    std::string rule = trim(comment.substr(pos + 6, close - pos - 6));
+    if (!known_rules().count(rule)) {
+      allows.bad.push_back(
+          {path, line, "bad-allow", "unknown rule '" + rule + "'"});
+      continue;
+    }
+    std::size_t just = skip_spaces(comment, close + 1);
+    if (just >= comment.size() || comment[just] != ':' ||
+        trim(comment.substr(just + 1)).empty()) {
+      allows.bad.push_back({path, line, "bad-allow",
+                            "allow(" + rule +
+                                ") needs a justification: `allow(" + rule +
+                                "): <why>`"});
+      continue;
+    }
+    // The pragma covers its own line and the line below it.
+    allows.by_line[line].insert(rule);
+    allows.by_line[line + 1].insert(rule);
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------
+
+void check_raw_sync(const std::string& path, const std::vector<LineInfo>& lines,
+                    std::vector<Violation>& out) {
+  // The wrapper itself and the pool it predates are the only homes for
+  // raw primitives.
+  if (path_ends_with(path, "util/sync.hpp") ||
+      path_ends_with(path, "util/thread_pool.hpp")) {
+    return;
+  }
+  static const char* kTokens[] = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",   "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::thread",         "std::jthread",
+  };
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    for (const char* token : kTokens) {
+      std::size_t pos = find_token(code, token);
+      if (pos == std::string::npos) continue;
+      if (std::string(token) == "std::thread") {
+        // std::thread::id / std::thread::hardware_concurrency are types
+        // and constants, not thread ownership.
+        std::size_t after = pos + std::string(token).size();
+        if (code.compare(after, 2, "::") == 0) continue;
+      }
+      out.push_back({path, static_cast<int>(n) + 1, "raw-sync",
+                     std::string(token) +
+                         " outside src/util/sync.hpp; use the annotated "
+                         "util:: wrappers"});
+    }
+  }
+}
+
+void check_detach(const std::string& path, const std::vector<LineInfo>& lines,
+                  std::vector<Violation>& out) {
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    for (std::size_t pos = find_token(code, "detach"); pos != std::string::npos;
+         pos = find_token(code, "detach", pos + 1)) {
+      std::size_t after = skip_spaces(code, pos + 6);
+      if (after < code.size() && code[after] == '(') {
+        out.push_back({path, static_cast<int>(n) + 1, "detach",
+                       "detached threads race teardown; keep the handle "
+                       "and join it (util::Thread has no detach)"});
+      }
+    }
+  }
+}
+
+void check_net_blocking(const std::string& path,
+                        const std::vector<LineInfo>& lines,
+                        std::vector<Violation>& out) {
+  if (!path_in(path, "net")) return;
+  static const char* kTokens[] = {"sleep_for", "sleep_until", "usleep",
+                                  "nanosleep", "sleep"};
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    bool hit = false;
+    for (const char* token : kTokens) {
+      std::size_t pos = find_token(code, token);
+      if (pos == std::string::npos) continue;
+      std::size_t after = skip_spaces(code, pos + std::string(token).size());
+      if (after < code.size() && code[after] == '(') {
+        out.push_back({path, static_cast<int>(n) + 1, "net-blocking",
+                       std::string(token) +
+                           "() blocks the reactor thread; every connection "
+                           "stalls behind it"});
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && code.find("std::this_thread") != std::string::npos) {
+      out.push_back({path, static_cast<int>(n) + 1, "net-blocking",
+                     "std::this_thread in reactor code is a blocking "
+                     "smell; the reactor must never wait"});
+    }
+  }
+}
+
+void check_layering(const std::string& path, const std::vector<LineInfo>& lines,
+                    std::vector<Violation>& out) {
+  bool scoped = path_in(path, "rpc") || path_in(path, "util");
+  if (!scoped) return;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& raw = lines[n].raw;
+    std::size_t pos = skip_spaces(raw, 0);
+    if (pos >= raw.size() || raw[pos] != '#') continue;
+    pos = skip_spaces(raw, pos + 1);
+    if (raw.compare(pos, 7, "include") != 0) continue;
+    pos = skip_spaces(raw, pos + 7);
+    if (pos >= raw.size() || raw[pos] != '"') continue;
+    for (const char* layer : {"core/", "http/"}) {
+      if (raw.compare(pos + 1, std::string(layer).size(), layer) == 0) {
+        out.push_back({path, static_cast<int>(n) + 1, "layering",
+                       "dependency direction is util <- rpc <- http <- "
+                       "core; this layer must not include " +
+                           std::string(layer)});
+      }
+    }
+  }
+}
+
+void check_raw_new(const std::string& path, const std::vector<LineInfo>& lines,
+                   std::vector<Violation>& out) {
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    for (std::size_t pos = find_token(code, "new"); pos != std::string::npos;
+         pos = find_token(code, "new", pos + 1)) {
+      std::size_t after = skip_spaces(code, pos + 3);
+      // Placement new (`new (arena) T`) is the sanctioned form.
+      if (after < code.size() && code[after] == '(') continue;
+      // `operator new` declarations describe allocation, don't perform it.
+      std::size_t before = code.find_last_not_of(" \t", pos == 0 ? 0 : pos - 1);
+      if (before != std::string::npos && before >= 7 &&
+          code.compare(before - 7, 8, "operator") == 0) {
+        continue;
+      }
+      out.push_back({path, static_cast<int>(n) + 1, "raw-new",
+                     "bare new; own memory via containers or "
+                     "std::make_unique/std::make_shared"});
+    }
+    for (std::size_t pos = find_token(code, "delete"); pos != std::string::npos;
+         pos = find_token(code, "delete", pos + 1)) {
+      // `= delete` (deleted functions) and `operator delete`.
+      std::size_t before =
+          pos == 0 ? std::string::npos : code.find_last_not_of(" \t", pos - 1);
+      if (before != std::string::npos && code[before] == '=') continue;
+      if (before != std::string::npos && before >= 7 &&
+          code.compare(before - 7, 8, "operator") == 0) {
+        continue;
+      }
+      out.push_back({path, static_cast<int>(n) + 1, "raw-new",
+                     "bare delete; the matching allocation should live in "
+                     "a smart pointer"});
+    }
+  }
+}
+
+void check_lock_order(const std::string& path,
+                      const std::vector<LineInfo>& lines,
+                      std::vector<Violation>& out) {
+  std::map<std::string, int> rank;
+  for (const auto& [level, r] : lock_hierarchy()) rank[level] = r;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    std::string comment = trim(lines[n].comment);
+    if (comment.rfind("lock-order:", 0) != 0) continue;
+    int line = static_cast<int>(n) + 1;
+    std::string spec = trim(comment.substr(std::string("lock-order:").size()));
+    std::size_t arrow = spec.find("->");
+    if (arrow == std::string::npos) {
+      out.push_back({path, line, "lock-order",
+                     "malformed declaration; expected `lock-order: "
+                     "<outer> -> <inner>`"});
+      continue;
+    }
+    std::string outer = trim(spec.substr(0, arrow));
+    std::string inner = trim(spec.substr(arrow + 2));
+    bool ok = true;
+    for (const std::string& level : {outer, inner}) {
+      if (!rank.count(level)) {
+        out.push_back({path, line, "lock-order",
+                       "unknown lock level '" + level +
+                           "'; declare it in the hierarchy table "
+                           "(tools/lint/lint.cpp) and docs/CONCURRENCY.md"});
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    if (rank[outer] >= rank[inner]) {
+      out.push_back({path, line, "lock-order",
+                     "'" + outer + "' -> '" + inner +
+                         "' inverts the declared hierarchy (" + outer +
+                         " rank " + std::to_string(rank[outer]) + ", " +
+                         inner + " rank " + std::to_string(rank[inner]) +
+                         "); deadlock risk"});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, int>>& lock_hierarchy() {
+  // Outer locks have lower ranks; a thread may only acquire downward.
+  // Keep in sync with docs/CONCURRENCY.md.
+  static const std::vector<std::pair<std::string, int>> hierarchy = {
+      {"core.server.reaper", 10},  // session-reaper wakeup lock
+      {"core.vo.write", 20},       // VO group read-modify-write
+      {"core.vo.root_cache", 20},  // root-admins compiled cache
+      {"core.acl.shard", 20},      // compiled method-ACL cache shard
+      {"core.shell", 20},          // shell session table
+      {"core.job", 20},            // job table + queue
+      {"core.transfer", 20},       // transfer table + queue
+      {"core.message", 20},        // mailbox table
+      {"core.srm", 20},            // SRM request table
+      {"core.session.shard", 30},  // session cache shard (leaf w.r.t. db)
+      {"db.store", 40},            // innermost: store internals
+      {"storage.mass", 40},        // leaf: disk-cache bookkeeping
+  };
+  return hierarchy;
+}
+
+std::string format(const Violation& violation) {
+  std::ostringstream out;
+  out << violation.file << ":" << violation.line << ": " << violation.rule
+      << ": " << violation.message;
+  return out.str();
+}
+
+std::vector<Violation> lint_content(const std::string& path,
+                                    const std::string& content) {
+  std::vector<LineInfo> lines = lex(content);
+  Allows allows = collect_allows(path, lines);
+  std::vector<Violation> found;
+  check_raw_sync(path, lines, found);
+  check_detach(path, lines, found);
+  check_net_blocking(path, lines, found);
+  check_layering(path, lines, found);
+  check_raw_new(path, lines, found);
+  check_lock_order(path, lines, found);
+  std::vector<Violation> out = std::move(allows.bad);
+  for (auto& violation : found) {
+    auto it = allows.by_line.find(violation.line);
+    if (it != allows.by_line.end() && it->second.count(violation.rule)) {
+      continue;
+    }
+    out.push_back(std::move(violation));
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Violation> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_content(path, buffer.str());
+}
+
+std::vector<Violation> lint_tree(const std::string& root) {
+  std::vector<std::string> files;
+  if (fs::is_regular_file(root)) {
+    files.push_back(root);
+  } else {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+  std::vector<Violation> out;
+  for (const std::string& file : files) {
+    std::vector<Violation> found = lint_file(file);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+}  // namespace clarens::lint

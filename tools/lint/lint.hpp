@@ -1,0 +1,70 @@
+// clarens_lint: structural analyzer for the Clarens source tree.
+//
+// The clang thread-safety analysis (src/util/sync.hpp) checks lock
+// *usage*; this linter checks lock *discipline* and a handful of
+// structural invariants the compiler cannot see:
+//
+//   raw-sync      std::mutex / std::condition_variable / std::thread &
+//                 friends outside the annotated wrappers in
+//                 src/util/sync.hpp. Raw primitives carry no capability
+//                 attributes, so any state they guard silently escapes
+//                 the thread-safety analysis.
+//   detach        .detach() anywhere. Detached threads outlive their
+//                 owner's destructor and race teardown; util::Thread
+//                 deliberately has no detach().
+//   net-blocking  sleeps (and std::this_thread) inside src/net/ — the
+//                 reactor thread services every connection, so one
+//                 blocking call stalls the whole server.
+//   layering      src/rpc/ and src/util/ including core/ or http/
+//                 headers (dependency direction: util <- rpc <- http
+//                 <- core).
+//   raw-new       new / delete expressions. The tree owns memory through
+//                 containers and smart pointers; a bare new is either a
+//                 leak-in-waiting or needs an allow() with a reason.
+//   lock-order    `// lock-order: outer -> inner` comments checked
+//                 against the declared hierarchy (docs/CONCURRENCY.md).
+//                 Unknown level names and inverted edges are errors.
+//   bad-allow     a `// clarens-lint: allow(rule)` escape hatch without
+//                 a justification, or naming an unknown rule.
+//
+// Escape hatch: `// clarens-lint: allow(<rule>): <justification>` on the
+// violating line or the line immediately above suppresses <rule> there.
+// The justification text is mandatory.
+//
+// Violations print as `file:line: rule-id: message`, one per line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clarens::lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// `file:line: rule-id: message`.
+std::string format(const Violation& violation);
+
+/// The declared lock hierarchy: level name -> rank. A `lock-order:
+/// A -> B` comment is legal iff rank(A) < rank(B) (outer locks have
+/// lower ranks). Exposed for tests and for the usage message.
+const std::vector<std::pair<std::string, int>>& lock_hierarchy();
+
+/// Lint one in-memory translation unit. `path` decides the path-scoped
+/// rules (net-blocking, layering, raw-sync exemptions) and is matched by
+/// suffix, so both absolute and repo-relative paths work.
+std::vector<Violation> lint_content(const std::string& path,
+                                    const std::string& content);
+
+/// Lint one file on disk.
+std::vector<Violation> lint_file(const std::string& path);
+
+/// Recursively lint every *.hpp / *.cpp under `root` (or `root` itself
+/// when it is a file). Results are ordered by path, then line.
+std::vector<Violation> lint_tree(const std::string& root);
+
+}  // namespace clarens::lint
