@@ -16,16 +16,24 @@
 // the dual-Xeon testbed.
 //
 // Usage: bench_fig4_throughput [--full] [--batches N] [--calls N]
-//                               [--persistent]
+//                               [--persistent] [--inline on|off]
+//                               [--json FILE]
 //   --full        sweep every client count 1..79 (default: subset)
 //   --batches     batches of calls per point         (default 3)
 //   --calls       calls per batch                    (default 1000)
 //   --persistent  journal sessions/ACLs to disk like the paper's
 //                 database-backed deployment (default: in-memory store)
+//   --inline      adaptive inline dispatch on the reactor (default on);
+//                 off is the ablation: every request takes the
+//                 reactor->worker handoff
+//   --json        write machine-readable results (consumed by
+//                 BENCH_hotpath.json, same convention as
+//                 bench_wire_protocols)
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -37,8 +45,10 @@ using namespace clarens;
 int main(int argc, char** argv) {
   bool full = false;
   bool persistent = false;
+  bool inline_dispatch = true;
   int batches = 3;
   std::uint64_t calls_per_batch = 1000;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) full = true;
     if (!std::strcmp(argv[i], "--persistent")) persistent = true;
@@ -48,10 +58,17 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--calls") && i + 1 < argc) {
       calls_per_batch = std::strtoull(argv[++i], nullptr, 10);
     }
+    if (!std::strcmp(argv[i], "--inline") && i + 1 < argc) {
+      inline_dispatch = std::strcmp(argv[++i], "off") != 0;
+    }
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    }
   }
 
   const bench::BenchPki& pki = bench::BenchPki::instance();
   core::ClarensConfig config = bench::paper_server_config();
+  config.inline_dispatch = inline_dispatch;
   std::string data_dir;
   if (persistent) {
     data_dir = "/tmp/clarens_fig4_state";
@@ -79,8 +96,10 @@ int main(int argc, char** argv) {
   std::printf("# checks per request: session lookup + method ACL (cached, "
               "write-through to %s)\n",
               persistent ? "journaled store" : "in-memory store");
-  std::printf("# calls per batch: %llu, batches per point: %d\n",
-              static_cast<unsigned long long>(calls_per_batch), batches);
+  std::printf("# calls per batch: %llu, batches per point: %d, inline "
+              "dispatch: %s\n",
+              static_cast<unsigned long long>(calls_per_batch), batches,
+              inline_dispatch ? "on" : "off");
   std::printf("%-8s %-14s %-14s %-10s\n", "clients", "calls/sec", "ms/batch",
               "faults");
 
@@ -92,6 +111,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<double> rates;
+  std::string json_points;
   std::uint64_t store_ops_before = server.store().operations();
   double measured_calls = 0;
   for (std::size_t clients : sweep) {
@@ -112,6 +132,10 @@ int main(int argc, char** argv) {
                 1000.0 * total_seconds / batches,
                 static_cast<unsigned long long>(faults));
     std::fflush(stdout);
+    char row[96];
+    std::snprintf(row, sizeof(row), "%s    \"%zu\": %.0f",
+                  json_points.empty() ? "" : ",\n", clients, rate);
+    json_points += row;
   }
 
   double mean = std::accumulate(rates.begin(), rates.end(), 0.0) /
@@ -132,6 +156,39 @@ int main(int argc, char** argv) {
   std::printf("# db store ops during measured sweep: %llu over %.0f calls "
               "(warm-path target: 0 per call)\n",
               static_cast<unsigned long long>(store_ops), measured_calls);
+  std::uint64_t inlined = server.requests_inlined();
+  std::printf("# requests dispatched inline on the reactor: %llu of %llu\n",
+              static_cast<unsigned long long>(inlined),
+              static_cast<unsigned long long>(server.requests_served()));
+
+  if (json_path) {
+    char summary[512];
+    std::snprintf(
+        summary, sizeof(summary),
+        "{\n  \"bench\": \"fig4_throughput\",\n"
+        "  \"inline_dispatch\": %s,\n"
+        "  \"calls_per_batch\": %llu,\n  \"batches\": %d,\n"
+        "  \"points\": {\n",
+        inline_dispatch ? "true" : "false",
+        static_cast<unsigned long long>(calls_per_batch), batches);
+    std::string json = summary;
+    json += json_points;
+    std::snprintf(
+        summary, sizeof(summary),
+        "\n  },\n  \"summary\": {\"one_client\": %.0f, "
+        "\"sweep_average\": %.0f, \"peak\": %.0f},\n"
+        "  \"requests_inlined\": %llu,\n  \"requests_served\": %llu\n}\n",
+        ramp, mean, plateau, static_cast<unsigned long long>(inlined),
+        static_cast<unsigned long long>(server.requests_served()));
+    json += summary;
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+  }
   server.stop();
   if (!data_dir.empty()) std::filesystem::remove_all(data_dir);
   return 0;

@@ -24,7 +24,22 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.read",
       [f](const rpc::CallContext& context, const std::string& path,
-          std::int64_t offset, std::int64_t length) {
+          std::int64_t offset, std::int64_t length)
+          -> std::vector<std::uint8_t> {
+        // When the transport can stream a file region zero-copy and the
+        // request is large enough to be worth it, hand back the resolved
+        // range instead of materializing the bytes; the dispatcher
+        // splices it into the response framing with sendfile(2). The
+        // empty return value is discarded.
+        std::int64_t threshold = f->sendfile_threshold();
+        if (context.offer_file_region && threshold >= 0 &&
+            length >= threshold) {
+          FileService::ResolvedRegion region =
+              f->read_region(path, offset, length, caller_dn(context));
+          context.file_region = {region.real_path, region.offset,
+                                 region.length};
+          return {};
+        }
         return f->read(path, offset, length, caller_dn(context));
       },
       {.help = "Read a byte range of a remote file",

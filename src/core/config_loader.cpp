@@ -41,6 +41,11 @@ ClarensConfig config_from(const util::Config& config) {
   out.require_client_cert = config.get_bool_or("require_client_cert", false);
   out.session_ttl = config.get_int_or("session_ttl", out.session_ttl);
   out.challenge_ttl = config.get_int_or("challenge_ttl", out.challenge_ttl);
+  out.max_read_chunk = config.get_int_or("max_read_chunk", out.max_read_chunk);
+  out.inline_dispatch =
+      config.get_bool_or("inline_dispatch", out.inline_dispatch);
+  out.sendfile_threshold =
+      config.get_int_or("sendfile_threshold", out.sendfile_threshold);
   out.sandbox_base = config.get_or("sandbox_base", "");
   out.portal_dir = config.get_or("portal_dir", "");
   out.farm = config.get_or("farm", out.farm);

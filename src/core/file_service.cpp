@@ -106,6 +106,28 @@ std::vector<std::uint8_t> FileService::read(const std::string& path,
   return out;
 }
 
+FileService::ResolvedRegion FileService::read_region(
+    const std::string& path, std::int64_t offset, std::int64_t length,
+    const pki::DistinguishedName& who) const {
+  require_read(path, who);
+  if (offset < 0 || length < 0) throw ParseError("negative offset or length");
+  if (length > max_read_chunk_) {
+    throw ParseError("read length " + std::to_string(length) +
+                     " exceeds maximum chunk of " +
+                     std::to_string(max_read_chunk_) + " bytes");
+  }
+  ResolvedRegion region;
+  region.real_path = resolve(path);
+  std::error_code ec;
+  auto file_size =
+      static_cast<std::int64_t>(fs::file_size(region.real_path, ec));
+  if (ec) throw NotFoundError("cannot open file: '" + path + "'");
+  std::int64_t remaining = file_size > offset ? file_size - offset : 0;
+  region.offset = offset;
+  region.length = std::min(length, remaining);
+  return region;
+}
+
 std::vector<FileStat> FileService::ls(const std::string& path,
                                       const pki::DistinguishedName& who) const {
   require_read(path, who);

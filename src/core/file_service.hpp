@@ -52,6 +52,26 @@ class FileService {
                                  std::int64_t length,
                                  const pki::DistinguishedName& who) const;
 
+  /// A resolved, ACL-checked, clamped byte range — read()'s access and
+  /// bounds semantics without materializing the bytes. The transport
+  /// streams the range straight from the file (sendfile(2)), so large
+  /// file.read responses never pass through a user-space buffer.
+  struct ResolvedRegion {
+    std::string real_path;
+    std::int64_t offset = 0;
+    std::int64_t length = 0;  // clamped to what the file can yield
+  };
+  ResolvedRegion read_region(const std::string& path, std::int64_t offset,
+                             std::int64_t length,
+                             const pki::DistinguishedName& who) const;
+
+  /// file.read responses of at least this many bytes are offered to the
+  /// transport as zero-copy regions; < 0 disables the bypass.
+  void set_sendfile_threshold(std::int64_t bytes) {
+    sendfile_threshold_ = bytes;
+  }
+  std::int64_t sendfile_threshold() const { return sendfile_threshold_; }
+
   /// Directory listing (file.ls).
   std::vector<FileStat> ls(const std::string& path,
                            const pki::DistinguishedName& who) const;
@@ -104,6 +124,7 @@ class FileService {
   AclManager& acl_;
   std::map<std::string, std::string> roots_;  // virtual prefix -> directory
   std::int64_t max_read_chunk_ = 8 * 1024 * 1024;
+  std::int64_t sendfile_threshold_ = 64 * 1024;
 };
 
 }  // namespace clarens::core

@@ -1,10 +1,12 @@
 #include "core/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <set>
 
 #include "core/bindings/bindings.hpp"
+#include "rpc/binrpc.hpp"
 #include "rpc/fault.hpp"
 #include "rpc/protocol.hpp"
 #include "util/buffer.hpp"
@@ -47,6 +49,7 @@ ClarensServer::ClarensServer(ClarensConfig config)
   acl_ = std::make_unique<AclManager>(*store_, *vo_, config_.default_allow);
   files_ = std::make_unique<FileService>(*acl_);
   files_->set_max_read_chunk(config_.max_read_chunk);
+  files_->set_sendfile_threshold(config_.sendfile_threshold);
   for (const auto& [prefix, dir] : config_.file_roots) {
     files_->add_root(prefix, dir);
   }
@@ -111,6 +114,27 @@ void ClarensServer::start() {
   options.host = config_.host;
   options.port = config_.port;
   options.max_connections = config_.max_connections;
+  options.dispatch.inline_dispatch = config_.inline_dispatch;
+  // The dispatch-cost key (DESIGN.md "Dispatch policy"): a cheap method
+  // peek before the full parse. Only modules whose handlers are
+  // in-memory and store-read-only are inline-eligible; the auth
+  // handshake methods do crypto and write the session store, so they
+  // always take a worker.
+  options.dispatch.cost_key = [](const http::Request& request) -> std::string {
+    if (request.method != "POST") return {};
+    const std::string* content_type = request.headers.find("Content-Type");
+    rpc::Protocol protocol = rpc::detect(
+        content_type ? *content_type : std::string_view(), request.body);
+    std::string name = rpc::peek_method(protocol, request.body);
+    std::string_view module =
+        std::string_view(name).substr(0, std::min(name.find('.'), name.size()));
+    if (module != "system" && module != "echo") return {};
+    if (name == "system.auth" || name == "system.challenge" ||
+        name == "system.logout") {
+      return {};
+    }
+    return name;
+  };
   if (config_.use_tls) {
     if (!config_.credential) {
       throw Error("TLS requires a server credential");
@@ -248,6 +272,10 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
 
     rpc::CallContext context;
     context.protocol = rpc::to_string(protocol);
+    // Binary responses can carry a raw byte range spliced in by the
+    // transport (sendfile); offer that path to handlers that support it.
+    context.offer_file_region =
+        protocol == rpc::Protocol::Binary && config_.sendfile_threshold >= 0;
 
     if (method->info.is_public) {
       // Public methods create the session or are liveness probes; a
@@ -274,6 +302,31 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
     }
 
     rpc::Value result = method->handler(context, rpc_request.params);
+
+    if (context.file_region && protocol == rpc::Protocol::Binary) {
+      // Zero-copy response: the handler claimed the file-region offer, so
+      // splice the resolved range into the binary framing. The result
+      // value is the placeholder the handler returned; discard it.
+      const auto& claimed = *context.file_region;
+      util::Buffer framing;
+      rpc::binrpc::serialize_blob_response_head(
+          static_cast<std::uint32_t>(claimed.length), framing);
+      http::Response response;
+      response.status = 200;
+      response.reason = http::reason_phrase(200);
+      response.headers.set("Content-Type", rpc::content_type(protocol));
+      http::Response::FileRegion region;
+      region.path = claimed.path;
+      region.offset = claimed.offset;
+      region.length = claimed.length;
+      region.head = std::string(framing.peek_view());
+      framing.clear();
+      rpc::binrpc::serialize_blob_response_tail(request_id, framing);
+      region.tail = std::string(framing.peek_view());
+      response.file = std::move(region);
+      return response;
+    }
+
     rpc_response = rpc::Response::success(std::move(result));
   } catch (const rpc::Fault& fault) {
     rpc_response = rpc::Response::fault(fault.code(), fault.what());

@@ -83,6 +83,15 @@ struct ClarensConfig {
   /// Largest file.read chunk a client may request in one call. The
   /// wire-supplied length sizes a server buffer, so it is clamped.
   std::int64_t max_read_chunk = 8 * 1024 * 1024;
+
+  /// Adaptive inline dispatch: run measured-cheap system.* / echo.* RPCs
+  /// directly on the reactor thread, skipping the worker handoff (the
+  /// paper's Fig. 4 hot path). Off = every request takes a worker.
+  bool inline_dispatch = true;
+  /// file.read responses of at least this many bytes bypass the
+  /// serialization arena and stream zero-copy from the file (sendfile(2)
+  /// on plaintext connections; binary protocol only). < 0 disables.
+  std::int64_t sendfile_threshold = 64 * 1024;
   /// Expired-session sweep period; <= 0 disables the reaper thread.
   int session_reap_interval_s = 300;
 
@@ -142,6 +151,11 @@ class ClarensServer {
 
   std::uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
+  }
+
+  /// Requests dispatched inline on the reactor (adaptive dispatch).
+  std::uint64_t requests_inlined() const {
+    return http_ ? http_->requests_inlined() : 0;
   }
 
   /// Unix time start() completed; 0 before the first start().

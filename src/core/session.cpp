@@ -16,14 +16,57 @@ constexpr const char* kTable = "sessions";
 SessionManager::SessionManager(db::Store& store, std::int64_t default_ttl)
     : store_(store), default_ttl_(default_ttl) {}
 
+namespace {
+
+/// Append `s` as a JSON string literal, escaping exactly the byte set the
+/// jsonrpc parser understands (quote, backslash, control characters).
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
 std::string SessionManager::encode(const Session& session) {
-  rpc::Value v = rpc::Value::struct_();
-  v.set("identity", session.identity);
-  v.set("via_proxy", session.via_proxy);
-  v.set("created", session.created);
-  v.set("expires", session.expires);
-  v.set("proxy_serial", session.attached_proxy_serial);
-  return rpc::jsonrpc::serialize_value(v);
+  // Emitted directly rather than through an rpc::Value struct: session
+  // creation is on the login path and the benchmark floor, and the
+  // generic serializer costs a map of Values per call. The output stays
+  // parse-compatible with jsonrpc::parse_value, which decode() uses.
+  std::string out;
+  out.reserve(96 + session.identity.size() +
+              session.attached_proxy_serial.size());
+  out += "{\"identity\":";
+  append_json_string(out, session.identity);
+  out += ",\"via_proxy\":";
+  out += session.via_proxy ? "true" : "false";
+  out += ",\"created\":";
+  out += std::to_string(session.created);
+  out += ",\"expires\":";
+  out += std::to_string(session.expires);
+  out += ",\"proxy_serial\":";
+  append_json_string(out, session.attached_proxy_serial);
+  out += "}";
+  return out;
 }
 
 Session SessionManager::decode(const std::string& id, const std::string& text) {
@@ -44,10 +87,14 @@ SessionManager::Shard& SessionManager::shard_for(const std::string& id) const {
 }
 
 void SessionManager::cache_put(const Session& session) const {
-  Shard& shard = shard_for(session.id);
+  cache_put(std::make_shared<const Session>(session));
+}
+
+void SessionManager::cache_put(std::shared_ptr<const Session> session) const {
+  Shard& shard = shard_for(session->id);
   util::LockGuard lock(shard.mutex);
   if (shard.entries.size() >= kShardCap) shard.entries.clear();
-  shard.entries[session.id] = std::make_shared<const Session>(session);
+  shard.entries[session->id] = std::move(session);
 }
 
 void SessionManager::cache_erase(const std::string& id) const {
@@ -57,16 +104,20 @@ void SessionManager::cache_erase(const std::string& id) const {
 }
 
 Session SessionManager::create(const std::string& identity, bool via_proxy) {
-  Session session;
-  session.id = crypto::random_token(16);
-  session.identity = identity;
-  session.identity_dn = pki::DistinguishedName::parse(identity);
-  session.via_proxy = via_proxy;
-  session.created = util::unix_now();
-  session.expires = session.created + default_ttl_;
-  store_.put(kTable, session.id, encode(session));
-  cache_put(session);
-  return session;
+  // Build the immutable record once and share it between the write-through
+  // store put and the cache insert; the old path re-copied the session
+  // into the cache after encoding it through the generic serializer.
+  auto session = std::make_shared<Session>();
+  session->id = crypto::random_token(16);
+  session->identity = identity;
+  session->identity_dn = pki::DistinguishedName::parse(identity);
+  session->via_proxy = via_proxy;
+  session->created = util::unix_now();
+  session->expires = session->created + default_ttl_;
+  store_.put(kTable, session->id, encode(*session));
+  Session out = *session;
+  cache_put(std::shared_ptr<const Session>(std::move(session)));
+  return out;
 }
 
 Session SessionManager::lookup(const std::string& id) const {

@@ -93,6 +93,8 @@ class SessionManager {
 
   Shard& shard_for(const std::string& id) const;
   void cache_put(const Session& session) const;
+  /// Insert an already-built immutable record without copying it.
+  void cache_put(std::shared_ptr<const Session> session) const;
   void cache_erase(const std::string& id) const;
 
   db::Store& store_;

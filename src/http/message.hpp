@@ -78,6 +78,14 @@ struct Response {
     std::string path;
     std::int64_t offset = 0;
     std::int64_t length = -1;  // -1 = to EOF
+    /// When `head` is non-empty the region is an RPC-envelope response:
+    /// `head` and `tail` bracket the raw file bytes inside the serialized
+    /// RPC framing, offset/length are taken verbatim (the handler already
+    /// clamped them, so `length` must be >= 0), and Content-Length covers
+    /// head + region + tail. The file bytes never touch the serialization
+    /// arena — plaintext connections send them with sendfile(2).
+    std::string head;
+    std::string tail;
   };
   std::optional<FileRegion> file;
 

@@ -5,15 +5,58 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
 #include "http/parser.hpp"
 #include "util/buffer.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace clarens::http {
+
+namespace {
+
+/// Worker-side stream over an established TLS connection: encrypts through
+/// the connection's engine (write side — the drainer token serializes it
+/// against other writers) and writes blockingly on the raw socket. Reads
+/// stay on the reactor, which owns the engine's read side.
+struct TlsStream final : net::Stream {
+  net::TcpConnection& tcp;
+  tls::Engine& engine;
+
+  TlsStream(net::TcpConnection& t, tls::Engine& e) : tcp(t), engine(e) {}
+
+  std::size_t read(std::span<std::uint8_t>) override {
+    throw SystemError("TLS reads are reactor-side");
+  }
+
+  using net::Stream::write_all;
+
+  void write_all(std::span<const std::uint8_t> data) override {
+    thread_local util::Buffer wire;
+    wire.clear();
+    engine.encrypt(data, wire);
+    tcp.write_all(wire.peek());
+  }
+
+  void write_vec(std::span<const std::string_view> chunks) override {
+    thread_local util::Buffer wire;
+    wire.clear();
+    engine.encrypt(chunks, wire);
+    tcp.write_all(wire.peek());
+  }
+
+  void close() override { tcp.close(); }
+};
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
 
 Server::Server(ServerOptions options, HandlerFn handler)
     : options_(std::move(options)), handler_(std::move(handler)) {}
@@ -44,10 +87,11 @@ void Server::start() {
 void Server::stop() {
   if (!running_.exchange(false)) return;
   // Quiesce the reactor first: once it has joined, no thread reads
-  // connection fds or dispatches new work, so the teardown below cannot
-  // race with accepts or parser feeds.
+  // connection fds, runs inline handlers, or dispatches new work, so the
+  // teardown below cannot race with accepts or parser feeds.
   listener_.shutdown();
   reactor_->stop();
+  // clarens-lint: allow(reactor-blocking): stop() runs on a control thread, never on the reactor it is joining.
   if (reactor_thread_.joinable()) reactor_thread_.join();
 
   // Signal every live connection (shutdown leaves the fds intact for
@@ -56,15 +100,9 @@ void Server::stop() {
     util::LockGuard lock(conns_mutex_);
     for (auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_RDWR);
   }
-  {
-    util::LockGuard lock(tls_mutex_);
-    for (int fd : tls_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
 
-  // Join handler workers (their posted close tasks are now no-ops), then
-  // the TLS connection threads.
+  // Join handler workers (their posted close tasks are now no-ops).
   pool_.reset();
-  join_tls_threads();
 
   // Nothing references the connections any more; RAII closes the fds.
   {
@@ -76,16 +114,8 @@ void Server::stop() {
 }
 
 std::size_t Server::live_connections() {
-  std::size_t n = 0;
-  {
-    util::LockGuard lock(conns_mutex_);
-    n = conns_.size();
-  }
-  {
-    util::LockGuard lock(tls_mutex_);
-    n += tls_fds_.size();
-  }
-  return n;
+  util::LockGuard lock(conns_mutex_);
+  return conns_.size();
 }
 
 void Server::on_acceptable() {
@@ -105,18 +135,12 @@ void Server::on_acceptable() {
       try {
         tcp->set_nonblocking(true);
         std::string wire = Response::make(503, "server busy\n").serialize();
-        tcp->write_some(std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+        tcp->write_some(as_bytes(wire));
       } catch (const SystemError&) {
       }
       continue;  // destructor closes; client sees 503 then EOF
     }
-
-    if (options_.tls) {
-      spawn_tls(std::move(*tcp));
-    } else {
-      admit(std::move(*tcp));
-    }
+    admit(std::move(*tcp));
   }
 }
 
@@ -130,21 +154,51 @@ void Server::admit(net::TcpConnection tcp) {
     return;
   }
   auto conn = std::make_shared<Conn>(std::move(tcp));
-  conn->peer.encrypted = false;
+  if (options_.tls) {
+    // TLS connections join the reactor like plaintext ones: the sans-IO
+    // engine turns readable ciphertext into handshake flights and
+    // plaintext without ever blocking for the peer.
+    conn->engine =
+        std::make_unique<tls::Engine>(tls::Engine::Role::Server, *options_.tls);
+    conn->peer.encrypted = true;
+  }
   int fd = conn->tcp.fd();
   {
     util::LockGuard lock(conns_mutex_);
     conns_[fd] = conn;
   }
-  reactor_->add(fd, net::Reactor::kRead,
-                [this, conn](std::uint32_t) { on_readable(conn); });
+  reactor_->add(fd, net::Reactor::kRead, [this, conn](std::uint32_t ready) {
+    on_event(conn, ready);
+  });
+}
+
+void Server::on_event(const std::shared_ptr<Conn>& conn, std::uint32_t ready) {
+  if (!conn->tcp.valid()) return;
+  if (ready & net::Reactor::kWrite) flush_outbox(conn);
+  if (!conn->tcp.valid()) return;  // flush may have sealed the connection
+  if (ready & net::Reactor::kRead) on_readable(conn);
 }
 
 void Server::on_readable(const std::shared_ptr<Conn>& conn) {
   bool eof = false;
   bool bad = false;
-  std::vector<Request> parsed;
+  std::vector<Conn::Pending> parsed;
   std::array<std::uint8_t, 64 * 1024> chunk;
+
+  auto drain_parser = [&] {
+    std::optional<Request> request;
+    while ((request = conn->parser.next())) {
+      Conn::Pending item;
+      const DispatchOptions& d = options_.dispatch;
+      if (d.inline_dispatch && d.cost_key &&
+          request->body.size() <= d.inline_max_body) {
+        item.cost_key = d.cost_key(*request);
+      }
+      item.request = std::move(*request);
+      parsed.push_back(std::move(item));
+    }
+  };
+
   for (;;) {
     std::optional<std::size_t> n;
     try {
@@ -158,44 +212,116 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
       eof = true;  // client closed
       break;
     }
-    try {
-      conn->parser.feed(std::span<const std::uint8_t>(chunk.data(), *n));
-      std::optional<Request> request;
-      while ((request = conn->parser.next())) {
-        parsed.push_back(std::move(*request));
+
+    if (conn->engine) {
+      thread_local util::Buffer flight;
+      flight.clear();
+      try {
+        conn->engine->feed(std::span<const std::uint8_t>(chunk.data(), *n),
+                           flight);
+      } catch (const Error& e) {
+        CLARENS_LOG(Debug) << "TLS failure: " << e.what();
+        if (flight.readable() != 0) {
+          // Best-effort alert; never park bytes on a dead handshake.
+          try {
+            conn->tcp.write_some(flight.peek());
+          } catch (const SystemError&) {
+          }
+        }
+        eof = true;
+        break;
       }
-    } catch (const ParseError&) {
-      bad = true;
-      eof = true;
-      break;
+      if (flight.readable() != 0) {
+        std::array<std::string_view, 1> out = {flight.peek_view()};
+        try {
+          write_or_park(conn, out);
+        } catch (const SystemError&) {
+          eof = true;
+          break;
+        }
+      }
+      if (conn->engine->handshake_done() && !conn->peer.tls_identity &&
+          conn->peer.chain.empty()) {
+        conn->peer.tls_identity = conn->engine->peer();
+        conn->peer.chain = conn->engine->peer_chain();
+      }
+      try {
+        while (conn->engine->plain_available() > 0) {
+          std::size_t m = conn->engine->read_plain(chunk);
+          conn->parser.feed(std::span<const std::uint8_t>(chunk.data(), m));
+          drain_parser();
+        }
+      } catch (const ParseError&) {
+        bad = true;
+        eof = true;
+        break;
+      }
+    } else {
+      try {
+        conn->parser.feed(std::span<const std::uint8_t>(chunk.data(), *n));
+        drain_parser();
+      } catch (const ParseError&) {
+        bad = true;
+        eof = true;
+        break;
+      }
     }
     // A short read almost always means the buffer is drained; skip the
     // EAGAIN probe. Level-triggered epoll re-reports any residue.
     if (*n < chunk.size()) break;
   }
 
-  bool close_now = false;
   {
     util::LockGuard lock(conn->mutex);
     if (conn->closing) return;  // a worker already sealed this connection
-    for (auto& request : parsed) conn->ready.push_back(std::move(request));
+    for (auto& item : parsed) conn->ready.push_back(std::move(item));
     if (bad) conn->bad = true;
     if (eof) conn->closing = true;
-    if (!conn->busy && !conn->ready.empty()) {
+  }
+  maybe_dispatch(conn);
+}
+
+void Server::maybe_dispatch(const std::shared_ptr<Conn>& conn) {
+  // While the outbox holds bytes the reactor owns the write side; any
+  // dispatched drainer would interleave its response with the parked one.
+  if (conn->outbox.readable() != 0) return;
+  bool run_inline = false;
+  bool spill = false;
+  bool close_now = false;
+  bool bad = false;
+  {
+    util::LockGuard lock(conn->mutex);
+    if (conn->busy) return;
+    if (!conn->ready.empty()) {
       conn->busy = true;
-      pool_->submit([this, conn] { worker_drain(conn); });
-    } else if (!conn->busy && conn->closing) {
+      if (inline_eligible(conn->ready.front())) {
+        run_inline = true;
+      } else {
+        spill = true;
+      }
+    } else if (conn->closing) {
       close_now = true;
+      bad = conn->bad;
     }
   }
-  if (close_now) {
+  if (run_inline) {
+    inline_drain(conn);
+  } else if (spill) {
+    pool_->submit([this, conn] { worker_drain(conn); });
+  } else if (close_now) {
     if (bad) {
-      // Malformed first request and no worker to answer: refuse inline,
-      // best-effort (never block the reactor on a full socket buffer).
+      // Malformed stream and no drainer to answer: refuse best-effort,
+      // never blocking the reactor on a full socket buffer.
       std::string wire = Response::make(400, "malformed request\n").serialize();
       try {
-        conn->tcp.write_some(std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+        if (conn->engine && conn->engine->handshake_done()) {
+          thread_local util::Buffer enc;
+          enc.clear();
+          conn->engine->encrypt(as_bytes(wire), enc);
+          conn->tcp.write_some(enc.peek());
+        } else if (!conn->engine) {
+          conn->tcp.write_some(as_bytes(wire));
+        }
       } catch (const SystemError&) {
       }
     }
@@ -203,9 +329,231 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
   }
 }
 
+bool Server::inline_eligible(const Conn::Pending& item) {
+  const DispatchOptions& d = options_.dispatch;
+  if (!d.inline_dispatch || item.cost_key.empty()) return false;
+  std::uint64_t tick = reactor_->ticks();
+  if (tick != budget_tick_) {
+    budget_tick_ = tick;
+    budget_spent_us_ = 0;
+  }
+  if (budget_spent_us_ >= d.inline_budget_us) return false;
+  return cost_of(item.cost_key) < d.inline_cost_limit_us;
+}
+
+double Server::cost_of(const std::string& key) {
+  util::LockGuard lock(costs_mutex_);
+  auto it = costs_.find(key);
+  // Unknown methods get the optimistic answer: run inline once, measure,
+  // and let the EWMA evict them if they turn out slow.
+  return it == costs_.end() ? 0.0 : it->second;
+}
+
+void Server::note_cost(const std::string& key, double us) {
+  util::LockGuard lock(costs_mutex_);
+  double& cost = costs_[key];
+  cost = cost == 0.0 ? us : 0.7 * cost + 0.3 * us;
+}
+
+Response Server::run_handler(const Request& request, const Peer& peer,
+                             const std::string& cost_key) {
+  util::Stopwatch watch;
+  Response response;
+  try {
+    response = handler_(request, peer);
+  } catch (const std::exception& e) {
+    response = Response::make(500, std::string(e.what()) + "\n");
+  }
+  if (!cost_key.empty()) note_cost(cost_key, watch.seconds() * 1e6);
+  return response;
+}
+
+void Server::inline_drain(const std::shared_ptr<Conn>& conn) {
+  // Reactor thread, holding the drainer token (busy). Each iteration runs
+  // one measured-cheap request and writes its response without blocking;
+  // the first ineligible request (or an exhausted tick budget) hands the
+  // token to a pool worker so the reactor returns to its fds.
+  for (;;) {
+    Conn::Pending item;
+    {
+      util::LockGuard lock(conn->mutex);
+      if (conn->ready.empty()) {
+        conn->busy = false;
+        if (!conn->closing) return;
+        break;  // drained a closing connection: finish below
+      }
+      if (!inline_eligible(conn->ready.front())) {
+        // Spill the rest of the queue; the token transfers to the worker.
+        pool_->submit([this, conn] { worker_drain(conn); });
+        return;
+      }
+      item = std::move(conn->ready.front());
+      conn->ready.pop_front();
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    inlined_.fetch_add(1, std::memory_order_relaxed);
+    util::Stopwatch watch;
+    Response response = run_handler(item.request, conn->peer, item.cost_key);
+    budget_spent_us_ += watch.seconds() * 1e6;
+
+    bool close_after = false;
+    if (!item.request.keep_alive()) {
+      response.headers.set("Connection", "close");
+      close_after = true;
+    }
+
+    if (response.file) {
+      // File regions stream with blocking I/O (sendfile or the TLS read
+      // loop) — hand both the send and the drainer token to a worker.
+      pool_->submit([this, conn, request = std::move(item.request),
+                     response = std::move(response), close_after]() mutable {
+        bool ok = true;
+        try {
+          worker_send(*conn, request, std::move(response));
+        } catch (const SystemError&) {
+          ok = false;
+        }
+        if (!ok || close_after) {
+          util::LockGuard lock(conn->mutex);
+          conn->closing = true;
+          conn->ready.clear();
+        }
+        worker_drain(conn);
+      });
+      return;
+    }
+
+    std::string_view body = response.effective_body();
+    thread_local util::Buffer head;
+    head.clear();
+    response.serialize_head_into(head, body.size());
+    std::array<std::string_view, 2> chunks = {
+        head.peek_view(),
+        item.request.method != "HEAD" ? body : std::string_view()};
+    bool flushed = false;
+    bool broken = false;
+    try {
+      if (conn->engine) {
+        thread_local util::Buffer enc;
+        enc.clear();
+        conn->engine->encrypt(chunks, enc);
+        std::array<std::string_view, 1> wire = {enc.peek_view()};
+        flushed = write_or_park(conn, wire);
+      } else {
+        flushed = write_or_park(conn, chunks);
+      }
+    } catch (const SystemError&) {
+      broken = true;  // peer vanished mid-write
+    }
+
+    if (broken || (close_after && flushed)) {
+      {
+        util::LockGuard lock(conn->mutex);
+        conn->closing = true;
+        conn->ready.clear();
+        conn->busy = false;
+      }
+      close_conn(conn);
+      return;
+    }
+    if (!flushed) {
+      // The tail is parked in the outbox; the reactor resumes this queue
+      // (or closes, if close_after marked it) once EPOLLOUT drains it.
+      util::LockGuard lock(conn->mutex);
+      if (close_after) {
+        conn->closing = true;
+        conn->ready.clear();
+      }
+      conn->busy = false;
+      return;
+    }
+  }
+
+  // Drained a closing connection on the reactor: best-effort 400 if the
+  // stream was malformed, then tear down. busy is already released, but
+  // no other dispatcher can run — we are the dispatcher.
+  bool bad;
+  {
+    util::LockGuard lock(conn->mutex);
+    bad = conn->bad;
+  }
+  if (bad) {
+    std::string wire = Response::make(400, "malformed request\n").serialize();
+    try {
+      if (conn->engine && conn->engine->handshake_done()) {
+        thread_local util::Buffer enc;
+        enc.clear();
+        conn->engine->encrypt(as_bytes(wire), enc);
+        conn->tcp.write_some(enc.peek());
+      } else if (!conn->engine) {
+        conn->tcp.write_some(as_bytes(wire));
+      }
+    } catch (const SystemError&) {
+    }
+  }
+  close_conn(conn);
+}
+
+bool Server::write_or_park(const std::shared_ptr<Conn>& conn,
+                           std::span<const std::string_view> chunks) {
+  std::size_t written = 0;
+  if (conn->outbox.readable() == 0) {
+    written = conn->tcp.writev_some(chunks);
+  }
+  // Park whatever the socket did not take (everything, if earlier bytes
+  // are already parked — ordering is the outbox's whole point).
+  std::size_t skip = written;
+  bool parked = false;
+  for (std::string_view chunk : chunks) {
+    if (skip >= chunk.size()) {
+      skip -= chunk.size();
+      continue;
+    }
+    conn->outbox.write(chunk.substr(skip));
+    skip = 0;
+    parked = true;
+  }
+  if (!parked) return true;
+  arm_write(*conn, true);
+  return false;
+}
+
+void Server::flush_outbox(const std::shared_ptr<Conn>& conn) {
+  if (!conn->tcp.valid()) return;
+  if (conn->outbox.readable() != 0) {
+    try {
+      std::size_t n = conn->tcp.write_some(conn->outbox.peek());
+      conn->outbox.consume(n);
+    } catch (const SystemError&) {
+      {
+        util::LockGuard lock(conn->mutex);
+        conn->closing = true;
+        conn->ready.clear();
+      }
+      close_conn(conn);
+      return;
+    }
+  }
+  if (conn->outbox.readable() == 0) {
+    conn->outbox.compact();
+    arm_write(*conn, false);
+    maybe_dispatch(conn);  // resume the queue (or close) now that writes drained
+  }
+}
+
+void Server::arm_write(Conn& conn, bool on) {
+  if (conn.want_write == on) return;
+  if (!reactor_->watching(conn.tcp.fd())) return;
+  std::uint32_t interest = net::Reactor::kRead;
+  if (on) interest |= net::Reactor::kWrite;
+  reactor_->modify(conn.tcp.fd(), interest);
+  conn.want_write = on;
+}
+
 void Server::worker_drain(std::shared_ptr<Conn> conn) {
   for (;;) {
-    Request request;
+    Conn::Pending item;
     {
       util::LockGuard lock(conn->mutex);
       if (conn->ready.empty()) {
@@ -215,24 +563,19 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
         }
         break;  // drained a closing connection: finish below
       }
-      request = std::move(conn->ready.front());
+      item = std::move(conn->ready.front());
       conn->ready.pop_front();
     }
 
     requests_.fetch_add(1, std::memory_order_relaxed);
-    Response response;
-    try {
-      response = handler_(request, conn->peer);
-    } catch (const std::exception& e) {
-      response = Response::make(500, std::string(e.what()) + "\n");
-    }
+    Response response = run_handler(item.request, conn->peer, item.cost_key);
     bool close_after = false;
-    if (!request.keep_alive()) {
+    if (!item.request.keep_alive()) {
       response.headers.set("Connection", "close");
       close_after = true;
     }
     try {
-      send_response(conn->tcp, &conn->tcp, request, std::move(response));
+      worker_send(*conn, item.request, std::move(response));
     } catch (const SystemError&) {
       close_after = true;  // peer vanished mid-write
     }
@@ -252,9 +595,14 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
     bad = conn->bad;
   }
   if (bad) {
+    std::string wire = Response::make(400, "malformed request\n").serialize();
     try {
-      conn->tcp.write_all(
-          Response::make(400, "malformed request\n").serialize());
+      if (conn->engine && conn->engine->handshake_done()) {
+        TlsStream stream(conn->tcp, *conn->engine);
+        stream.write_all(wire);
+      } else if (!conn->engine) {
+        conn->tcp.write_all(wire);
+      }
     } catch (const SystemError&) {
     }
   }
@@ -263,6 +611,16 @@ void Server::worker_drain(std::shared_ptr<Conn> conn) {
     conn->busy = false;
   }
   request_close(conn);
+}
+
+void Server::worker_send(Conn& conn, const Request& request,
+                         Response response) {
+  if (conn.engine) {
+    TlsStream stream(conn.tcp, *conn.engine);
+    send_response(stream, nullptr, request, std::move(response));
+  } else {
+    send_response(conn.tcp, &conn.tcp, request, std::move(response));
+  }
 }
 
 void Server::request_close(const std::shared_ptr<Conn>& conn) {
@@ -276,100 +634,6 @@ void Server::close_conn(const std::shared_ptr<Conn>& conn) {
   conn->tcp.close();
   util::LockGuard lock(conns_mutex_);
   conns_.erase(fd);
-}
-
-void Server::spawn_tls(net::TcpConnection tcp) {
-  util::LockGuard lock(tls_mutex_);
-  std::uint64_t id = ++tls_seq_;
-  int fd = tcp.fd();
-  tls_fds_.insert(fd);
-  // The body blocks on tls_mutex_ until the emplace below completes, so
-  // it always finds its own handle in tls_threads_.
-  util::Thread thread([this, id, fd, conn = std::move(tcp)]() mutable {
-    try {
-      serve_tls(std::move(conn));
-    } catch (...) {
-      // Connection threads never take the process down.
-    }
-    util::LockGuard lk(tls_mutex_);
-    tls_fds_.erase(fd);
-    auto it = tls_threads_.find(id);
-    if (it != tls_threads_.end()) {
-      tls_finished_.push_back(std::move(it->second));
-      tls_threads_.erase(it);
-    }
-    tls_done_.notify_all();
-  });
-  tls_threads_.emplace(id, std::move(thread));
-  // Reap threads that finished earlier (they only parked their handles;
-  // joining is instant or near-instant).
-  for (auto& finished : tls_finished_) finished.join();
-  tls_finished_.clear();
-}
-
-void Server::join_tls_threads() {
-  util::UniqueLock lock(tls_mutex_);
-  while (!tls_threads_.empty()) tls_done_.wait(lock);
-  for (auto& finished : tls_finished_) finished.join();
-  tls_finished_.clear();
-}
-
-void Server::serve_tls(net::TcpConnection tcp) {
-  std::unique_ptr<net::Stream> stream;
-  try {
-    stream = tls::SecureChannel::accept(
-        std::make_unique<net::TcpConnection>(std::move(tcp)), *options_.tls);
-  } catch (const Error& e) {
-    CLARENS_LOG(Debug) << "TLS handshake failed: " << e.what();
-    return;
-  }
-
-  Peer peer;
-  peer.encrypted = true;
-  if (auto* secure = dynamic_cast<tls::SecureChannel*>(stream.get())) {
-    peer.tls_identity = secure->peer();
-    peer.chain = secure->peer_chain();
-  }
-
-  RequestParser parser;
-  std::array<std::uint8_t, 64 * 1024> chunk;
-  bool alive = true;
-  while (alive && running_.load()) {
-    std::size_t n;
-    try {
-      n = stream->read(chunk);
-    } catch (const SystemError&) {
-      return;
-    }
-    if (n == 0) return;  // client closed
-    try {
-      parser.feed(std::span<const std::uint8_t>(chunk.data(), n));
-      std::optional<Request> request;
-      while (alive && (request = parser.next())) {
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        Response response;
-        try {
-          response = handler_(*request, peer);
-        } catch (const std::exception& e) {
-          response = Response::make(500, std::string(e.what()) + "\n");
-        }
-        if (!request->keep_alive()) {
-          response.headers.set("Connection", "close");
-          alive = false;
-        }
-        send_response(*stream, nullptr, *request, std::move(response));
-      }
-    } catch (const ParseError& e) {
-      try {
-        stream->write_all(
-            Response::make(400, std::string(e.what()) + "\n").serialize());
-      } catch (const SystemError&) {
-      }
-      return;
-    } catch (const SystemError&) {
-      return;  // peer vanished mid-write
-    }
-  }
 }
 
 void Server::send_response(net::Stream& stream, net::TcpConnection* plain_tcp,
@@ -389,13 +653,56 @@ void Server::send_response(net::Stream& stream, net::TcpConnection* plain_tcp,
     return;
   }
 
-  // File region responses: stat, fix up length, stream.
   const auto& region = *response.file;
   int fd = ::open(region.path.c_str(), O_RDONLY);
   if (fd < 0) {
     stream.write_all(Response::make(404, "file not found\n").serialize());
     return;
   }
+
+  if (!region.head.empty()) {
+    // RPC envelope mode (zero-copy file.read): the handler already
+    // resolved and clamped the region, and head/tail carry the serialized
+    // response framing around the raw bytes. The body bypasses the
+    // serialization arena entirely — sendfile(2) on plaintext.
+    std::size_t length = static_cast<std::size_t>(region.length);
+    std::string_view body_head = region.head;
+    std::string_view body_tail = region.tail;
+    thread_local util::Buffer http_head;
+    http_head.clear();
+    response.serialize_head_into(http_head,
+                                 body_head.size() + length + body_tail.size());
+    std::array<std::string_view, 2> opening = {http_head.peek_view(),
+                                               body_head};
+    stream.write_vec(opening);
+    std::size_t sent = 0;
+    if (plain_tcp) {
+      sent = plain_tcp->sendfile(fd, region.offset, length);
+    } else {
+      if (::lseek(fd, region.offset, SEEK_SET) < 0) {
+        ::close(fd);
+        throw SystemError("lseek failed");
+      }
+      std::array<std::uint8_t, 64 * 1024> buf;
+      while (sent < length) {
+        ssize_t n = ::read(fd, buf.data(), std::min(length - sent, buf.size()));
+        if (n <= 0) break;
+        stream.write_all(std::span<const std::uint8_t>(
+            buf.data(), static_cast<std::size_t>(n)));
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    ::close(fd);
+    if (sent != length) {
+      // The Content-Length is committed; a short file (truncated between
+      // resolve and send) can only be answered by killing the connection.
+      throw SystemError("file region shrank mid-response");
+    }
+    stream.write_all(body_tail);
+    return;
+  }
+
+  // GET-style file responses: stat, fix up length, stream.
   struct stat st{};
   if (fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
     ::close(fd);

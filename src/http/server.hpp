@@ -1,33 +1,43 @@
-// HTTP server: epoll reactor front end + worker-pool request execution.
+// HTTP server: epoll reactor front end + adaptive inline / worker-pool
+// request execution.
 //
 // The paper's PClarens runs inside Apache's event-driven front end with a
-// pool of worker processes; this server mirrors that shape directly:
+// pool of worker processes; this server mirrors that shape and then
+// erases the mandatory handoff for the paper's hot path (small
+// authenticated RPCs, §4):
 //
 //   * a single reactor thread owns the listening socket and every
-//     plaintext connection fd (non-blocking), accepts, reads, and feeds
-//     the incremental request parser;
-//   * complete requests are queued per connection and drained — in
-//     order — by `util::ThreadPool` workers that run the handler and
-//     write the response (keep-alive pipelining preserved);
+//     connection fd (non-blocking, plaintext and TLS alike), accepts,
+//     reads, and feeds the incremental request parser; TLS bytes pass
+//     through a per-connection sans-IO tls::Engine, so handshakes and
+//     record decryption are driven by readiness events, never by a
+//     blocking read;
+//   * complete requests are queued per connection. Small, measured-cheap
+//     requests are executed *inline* on the reactor thread (adaptive
+//     dispatch: per-method EWMA cost, body-size cap, per-epoll-tick
+//     budget), with responses written non-blockingly — any unsent tail
+//     parks in a per-connection outbox drained on EPOLLOUT. Everything
+//     else spills to the `util::ThreadPool` workers that run the handler
+//     and write the response blockingly (keep-alive pipelining and
+//     per-connection ordering preserved in both modes, and across mode
+//     switches);
 //   * connection teardown is always executed on the reactor thread
 //     (workers schedule it via Reactor::post), so an fd is never closed
-//     while the reactor might still act on it;
-//   * TLS connections keep a blocking per-connection model (the record
-//     layer reads synchronously) on *tracked* threads that stop() joins —
-//     nothing is detached anywhere.
+//     while the reactor might still act on it.
 //
-// GET file responses use sendfile(2) on plaintext connections, the
-// zero-copy path §2.3 credits for file throughput.
+// File-region responses use sendfile(2) on plaintext connections — the
+// zero-copy path §2.3 credits for file throughput — optionally wrapped in
+// an RPC envelope (FileRegion::head/tail) so large file.read responses
+// bypass the serialization arena entirely.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +46,7 @@
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "tls/channel.hpp"
+#include "tls/engine.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
@@ -52,6 +63,29 @@ struct Peer {
 
 using HandlerFn = std::function<Response(const Request&, const Peer&)>;
 
+/// Inline-dispatch policy (DESIGN.md "Dispatch policy"). The reactor runs
+/// a request inline iff cost_key() returns a non-empty key, the body is
+/// small, the key's EWMA cost is under the limit, and this epoll tick's
+/// inline budget is not exhausted; otherwise the request spills to the
+/// worker pool.
+struct DispatchOptions {
+  /// Master switch; off = every request takes the worker handoff (the
+  /// pre-inline behavior, kept benchmarkable as the ablation).
+  bool inline_dispatch = true;
+  /// Requests with bodies above this never run inline.
+  std::size_t inline_max_body = 16 * 1024;
+  /// A method whose EWMA cost exceeds this spills (microseconds).
+  double inline_cost_limit_us = 500.0;
+  /// Total inline handler time allowed per epoll tick (microseconds);
+  /// past it the remainder of the tick spills, bounding how long the
+  /// reactor defers its read loop.
+  double inline_budget_us = 5000.0;
+  /// Maps a parsed request to its cost-tracking key ("" = never inline).
+  /// Unset = inline dispatch disabled: only the embedder knows which
+  /// handlers are safe to run on the reactor thread.
+  std::function<std::string(const Request&)> cost_key;
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral
@@ -60,6 +94,7 @@ struct ServerOptions {
   /// Handler worker threads; 0 = hardware_concurrency - 1 (min 1), the
   /// reactor thread taking the remaining core.
   std::size_t worker_threads = 0;
+  DispatchOptions dispatch;
 };
 
 class Server {
@@ -83,20 +118,41 @@ class Server {
   /// Served request count (all connections).
   std::uint64_t requests_served() const { return requests_.load(); }
 
+  /// Requests executed inline on the reactor thread (subset of
+  /// requests_served; dispatch-policy telemetry).
+  std::uint64_t requests_inlined() const { return inlined_.load(); }
+
  private:
-  /// Per-connection state (plaintext reactor path). The reactor thread
-  /// owns `tcp` reads and `parser`; at most one worker at a time owns
-  /// writes while draining `ready`.
+  /// Per-connection state. The reactor thread owns `tcp` reads, `parser`,
+  /// the TLS engine's read side, and `outbox`; at most one drainer at a
+  /// time (a worker, or the reactor running inline) owns writes and the
+  /// front of `ready` — the `busy` flag is that ownership token. While
+  /// `outbox` is non-empty the reactor owns the write side exclusively
+  /// and no drainer is dispatched.
   struct Conn {
     explicit Conn(net::TcpConnection c) : tcp(std::move(c)) {}
     net::TcpConnection tcp;
     Peer peer;
     RequestParser parser;  // reactor thread only
+    /// Sans-IO TLS state machine; null on plaintext connections. Read
+    /// side (feed/read_plain) is reactor-only; write side (encrypt) is
+    /// serialized by the drainer token.
+    std::unique_ptr<tls::Engine> engine;
+    /// Unwritten response/handshake bytes (reactor thread only).
+    util::Buffer outbox;
+    bool want_write = false;  // reactor thread only: EPOLLOUT armed
+
+    /// A parsed request plus its dispatch-cost key (computed once on the
+    /// reactor at parse time; "" = never inline).
+    struct Pending {
+      Request request;
+      std::string cost_key;
+    };
 
     util::Mutex mutex;
     /// Parsed, not yet handled.
-    std::deque<Request> ready CLARENS_GUARDED_BY(mutex);
-    /// A worker is draining `ready`.
+    std::deque<Pending> ready CLARENS_GUARDED_BY(mutex);
+    /// A drainer (worker or inline) owns writes + the ready front.
     bool busy CLARENS_GUARDED_BY(mutex) = false;
     /// Drain then close; no new dispatch.
     bool closing CLARENS_GUARDED_BY(mutex) = false;
@@ -107,18 +163,30 @@ class Server {
   // Reactor-thread handlers.
   void on_acceptable();
   void admit(net::TcpConnection tcp);
+  void on_event(const std::shared_ptr<Conn>& conn, std::uint32_t ready);
   void on_readable(const std::shared_ptr<Conn>& conn);
+  void maybe_dispatch(const std::shared_ptr<Conn>& conn);
+  void inline_drain(const std::shared_ptr<Conn>& conn);
+  void flush_outbox(const std::shared_ptr<Conn>& conn);
+  void arm_write(Conn& conn, bool on);
+  /// Non-blocking write; parks the unsent tail in the outbox and arms
+  /// EPOLLOUT. Returns true when fully written.
+  bool write_or_park(const std::shared_ptr<Conn>& conn,
+                     std::span<const std::string_view> chunks);
   void close_conn(const std::shared_ptr<Conn>& conn);  // reactor thread only
+
+  // Dispatch-policy state.
+  bool inline_eligible(const Conn::Pending& item) CLARENS_EXCLUDES(costs_mutex_);
+  double cost_of(const std::string& key) CLARENS_EXCLUDES(costs_mutex_);
+  void note_cost(const std::string& key, double us) CLARENS_EXCLUDES(costs_mutex_);
 
   // Worker-side.
   void worker_drain(std::shared_ptr<Conn> conn);
+  void worker_send(Conn& conn, const Request& request, Response response);
   void request_close(const std::shared_ptr<Conn>& conn);
 
-  // Tracked blocking threads for TLS connections.
-  void spawn_tls(net::TcpConnection tcp);
-  void serve_tls(net::TcpConnection tcp);
-  void join_tls_threads();
-
+  Response run_handler(const Request& request, const Peer& peer,
+                       const std::string& cost_key);
   std::size_t live_connections();
   void send_response(net::Stream& stream, net::TcpConnection* plain_tcp,
                      const Request& request, Response response);
@@ -129,6 +197,7 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> inlined_{0};
 
   std::unique_ptr<net::Reactor> reactor_;
   util::Thread reactor_thread_;
@@ -138,16 +207,14 @@ class Server {
   std::unordered_map<int, std::shared_ptr<Conn>> conns_
       CLARENS_GUARDED_BY(conns_mutex_);
 
-  // TLS connection threads, keyed by a sequence id. A finishing thread
-  // parks its handle in tls_finished_ (a thread cannot join itself);
-  // the acceptor and stop() reap those.
-  util::Mutex tls_mutex_;
-  util::CondVar tls_done_;
-  std::map<std::uint64_t, util::Thread> tls_threads_
-      CLARENS_GUARDED_BY(tls_mutex_);
-  std::vector<util::Thread> tls_finished_ CLARENS_GUARDED_BY(tls_mutex_);
-  std::set<int> tls_fds_ CLARENS_GUARDED_BY(tls_mutex_);
-  std::uint64_t tls_seq_ CLARENS_GUARDED_BY(tls_mutex_) = 0;
+  // Per-method EWMA handler cost in microseconds, updated after every
+  // execution (inline and worker alike).
+  util::Mutex costs_mutex_;
+  std::unordered_map<std::string, double> costs_ CLARENS_GUARDED_BY(costs_mutex_);
+
+  // Inline budget accounting; reactor thread only.
+  std::uint64_t budget_tick_ = 0;
+  double budget_spent_us_ = 0;
 };
 
 }  // namespace clarens::http

@@ -96,6 +96,7 @@ int Reactor::poll(int timeout_ms) {
     if (errno == EINTR) return 0;
     throw SystemError(std::string("epoll_wait: ") + std::strerror(errno));
   }
+  ++ticks_;
   int handled = 0;
   for (int i = 0; i < n; ++i) {
     int fd = events[i].data.fd;

@@ -53,6 +53,12 @@ class Reactor {
 
   std::size_t watched() const;
 
+  /// Number of poll() rounds completed so far. Only meaningful on the
+  /// polling thread (unsynchronized): callbacks use it to detect "same
+  /// epoll tick" for per-tick budgets (e.g. the HTTP server's inline
+  /// dispatch budget).
+  std::uint64_t ticks() const { return ticks_; }
+
  private:
   void wake();
 
@@ -65,6 +71,8 @@ class Reactor {
   std::vector<std::function<void()>> tasks_ CLARENS_GUARDED_BY(mutex_);
   // stop() may be called from another thread while run() polls.
   std::atomic<bool> stopping_{false};
+  // Polling-thread only; see ticks().
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace clarens::net

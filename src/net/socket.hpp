@@ -79,12 +79,18 @@ class TcpConnection : public Stream {
   std::optional<std::size_t> read_some(std::span<std::uint8_t> out);
   /// write: returns bytes accepted (possibly 0 on EAGAIN).
   std::size_t write_some(std::span<const std::uint8_t> data);
+  /// Vectored non-blocking write: one writev(2) attempt over up to 8
+  /// chunks; returns bytes accepted (possibly 0 on EAGAIN). The reactor's
+  /// inline-dispatch path sends header + body with this and parks any
+  /// remainder in a per-connection outbox instead of blocking.
+  std::size_t writev_some(std::span<const std::string_view> chunks);
 
   void set_nonblocking(bool on);
   void set_nodelay(bool on);
 
   /// Block until the socket is writable (or `timeout_ms` elapses;
   /// -1 = forever). Returns true when writable.
+  // clarens-lint: allow(reactor-blocking): declaration of the blessed worker-side wait primitive.
   bool wait_writable(int timeout_ms);
 
   int fd() const { return fd_.get(); }
@@ -92,10 +98,15 @@ class TcpConnection : public Stream {
 
   /// Zero-copy transfer from a file descriptor using sendfile(2) — the
   /// syscall the paper credits for low-CPU high-throughput file serving.
-  /// Returns bytes sent. Polls for writability on non-blocking sockets.
+  /// Falls back to splice(2) through a pipe, then to a read/write loop,
+  /// when the kernel refuses sendfile for this fd pair. Returns bytes
+  /// sent. Polls for writability on non-blocking sockets.
   std::size_t sendfile(int file_fd, std::int64_t offset, std::size_t count);
 
  private:
+  std::size_t splice_from(int file_fd, std::int64_t offset, std::size_t count);
+  std::size_t copy_from(int file_fd, std::int64_t offset, std::size_t count);
+
   Fd fd_;
 };
 

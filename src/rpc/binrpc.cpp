@@ -267,6 +267,19 @@ std::string serialize_response(const Response& response) {
   return std::string(out.peek_view());
 }
 
+void serialize_blob_response_head(std::uint32_t length, util::Buffer& out) {
+  write_frame_header(out, kKindResponse);
+  out.write_u8(0);  // not a fault
+  out.write_u8(kBinary);
+  out.write_u32(length);
+  // The `length` payload bytes follow on the wire, written by the
+  // transport straight from the source file.
+}
+
+void serialize_blob_response_tail(const Value& id, util::Buffer& out) {
+  write_value(out, id);
+}
+
 Response parse_response(std::string_view body) {
   Reader in = open_frame(body, kKindResponse);
   Response response;

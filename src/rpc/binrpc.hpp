@@ -39,6 +39,15 @@ Request parse_request(std::string_view body);
 std::string serialize_response(const Response& response);
 Response parse_response(std::string_view body);
 
+/// Split framing for zero-copy binary-result responses: `head` is the
+/// frame header + success byte + binary tag + u32 `length`; the `length`
+/// raw payload bytes follow on the wire but are supplied by the transport
+/// (sendfile(2) from the source file), then `tail` carries the id value.
+/// head + payload + tail is byte-identical to serialize_response() of a
+/// Response whose result is Value(binary payload).
+void serialize_blob_response_head(std::uint32_t length, util::Buffer& out);
+void serialize_blob_response_tail(const Value& id, util::Buffer& out);
+
 /// Bare value codec (exposed for tests).
 std::string serialize_value(const Value& value);
 Value parse_value(std::string_view bytes);

@@ -50,6 +50,52 @@ Protocol detect(std::string_view content_type_header, std::string_view body) {
   return Protocol::XmlRpc;
 }
 
+std::string peek_method(Protocol protocol, std::string_view body) {
+  switch (protocol) {
+    case Protocol::Binary: {
+      // frame header (6) | u8 string tag | u32 len | method bytes.
+      if (body.size() < 11 || body[6] != 4) return {};
+      std::uint32_t len = (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(body[7]))
+                           << 24) |
+                          (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(body[8]))
+                           << 16) |
+                          (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(body[9]))
+                           << 8) |
+                          static_cast<std::uint32_t>(
+                              static_cast<unsigned char>(body[10]));
+      if (len == 0 || len > 256 || body.size() < 11 + len) return {};
+      return std::string(body.substr(11, len));
+    }
+    case Protocol::XmlRpc:
+    case Protocol::Soap: {
+      std::size_t open = body.find("<methodName>");
+      if (open == std::string_view::npos) return {};
+      open += std::string_view("<methodName>").size();
+      std::size_t close = body.find("</methodName>", open);
+      if (close == std::string_view::npos || close - open > 256) return {};
+      return std::string(util::trim(body.substr(open, close - open)));
+    }
+    case Protocol::JsonRpc: {
+      std::size_t key = body.find("\"method\"");
+      if (key == std::string_view::npos) return {};
+      std::size_t colon = body.find(':', key + 8);
+      if (colon == std::string_view::npos) return {};
+      std::size_t open = body.find('"', colon + 1);
+      if (open == std::string_view::npos) return {};
+      std::size_t close = body.find('"', open + 1);
+      if (close == std::string_view::npos || close - open - 1 > 256) return {};
+      std::string method(body.substr(open + 1, close - open - 1));
+      // Escapes in a method name are outlandish; punt to the real parser.
+      if (method.find('\\') != std::string::npos) return {};
+      return method;
+    }
+  }
+  return {};
+}
+
 std::string serialize_request(Protocol protocol, const Request& request) {
   switch (protocol) {
     case Protocol::XmlRpc: return xmlrpc::serialize_request(request);

@@ -18,6 +18,14 @@ const char* content_type(Protocol protocol);
 /// Choose the protocol from a Content-Type header value and the body.
 Protocol detect(std::string_view content_type_header, std::string_view body);
 
+/// Cheap, never-throwing method-name extraction from an unparsed request
+/// body — the HTTP server's inline-dispatch policy keys its per-method
+/// cost table on this at parse time, before deciding which thread runs
+/// the full parse + handler. Returns "" when the method cannot be found
+/// (the request then always takes the worker path, where the real parser
+/// reports the error).
+std::string peek_method(Protocol protocol, std::string_view body);
+
 std::string serialize_request(Protocol protocol, const Request& request);
 Request parse_request(Protocol protocol, std::string_view body);
 std::string serialize_response(Protocol protocol, const Response& response);

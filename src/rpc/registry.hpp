@@ -20,9 +20,11 @@
 // acl_path overrides the path used for the method-ACL walk.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,22 @@ struct CallContext {
   bool via_proxy = false;
   /// Wire protocol name ("xmlrpc", "jsonrpc", "soap") for diagnostics.
   std::string protocol;
+
+  /// A resolved on-disk byte range a handler may hand back instead of a
+  /// materialized result, letting the transport stream it zero-copy
+  /// (sendfile(2)) inside the RPC framing.
+  struct FileRegionResult {
+    std::string path;
+    std::int64_t offset = 0;
+    std::int64_t length = 0;
+  };
+  /// Set by the dispatcher when the transport can stream a file region
+  /// (binary protocol + plaintext-capable response path). Handlers that
+  /// don't opt in just ignore it.
+  bool offer_file_region = false;
+  /// Filled by a handler (with a Nil return value) to claim the offer;
+  /// mutable because handlers receive the context by const reference.
+  mutable std::optional<FileRegionResult> file_region;
 };
 
 using Handler = std::function<Value(const CallContext&, const std::vector<Value>&)>;

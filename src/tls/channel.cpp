@@ -1,399 +1,90 @@
 #include "tls/channel.hpp"
 
-#include <cstring>
+#include <array>
 
-#include "crypto/chacha20.hpp"
-#include "crypto/hmac.hpp"
-#include "crypto/random.hpp"
-#include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace clarens::tls {
 
-namespace {
-
-constexpr std::uint8_t kRecordHandshake = 1;
-constexpr std::uint8_t kRecordData = 2;
-constexpr std::uint8_t kRecordAlert = 3;
-
-constexpr std::size_t kRandomSize = 32;
-constexpr std::size_t kPreMasterSize = 48;
-constexpr std::size_t kMaxRecord = 1 << 24;
-
-// Length-prefixed string list helpers for handshake payloads.
-void put_blob(util::Buffer& buf, std::span<const std::uint8_t> data) {
-  buf.write_u32(static_cast<std::uint32_t>(data.size()));
-  buf.write(data);
-}
-
-void put_blob(util::Buffer& buf, const std::string& s) {
-  buf.write_u32(static_cast<std::uint32_t>(s.size()));
-  buf.write(s);
-}
-
-std::vector<std::uint8_t> get_blob(util::Buffer& buf) {
-  std::uint32_t len = buf.read_u32();
-  if (len > kMaxRecord) throw ParseError("handshake blob too large");
-  return buf.read(len);
-}
-
-std::string get_blob_string(util::Buffer& buf) {
-  std::uint32_t len = buf.read_u32();
-  if (len > kMaxRecord) throw ParseError("handshake blob too large");
-  return buf.read_string(len);
-}
-
-void put_chain(util::Buffer& buf, const std::optional<pki::Credential>& cred,
-               const std::vector<pki::Certificate>& extra) {
-  std::vector<std::string> encoded;
-  if (cred) {
-    encoded.push_back(cred->certificate.encode());
-    for (const auto& cert : extra) encoded.push_back(cert.encode());
-  }
-  buf.write_u32(static_cast<std::uint32_t>(encoded.size()));
-  for (const auto& e : encoded) put_blob(buf, e);
-}
-
-std::vector<pki::Certificate> get_chain(util::Buffer& buf) {
-  std::uint32_t count = buf.read_u32();
-  if (count > 8) throw ParseError("certificate chain too long");
-  std::vector<pki::Certificate> chain;
-  chain.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    chain.push_back(pki::Certificate::decode(get_blob_string(buf)));
-  }
-  return chain;
-}
-
-std::vector<std::uint8_t> concat(std::span<const std::uint8_t> a,
-                                 std::span<const std::uint8_t> b) {
-  std::vector<std::uint8_t> out;
-  out.reserve(a.size() + b.size());
-  out.insert(out.end(), a.begin(), a.end());
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
-}
-
-}  // namespace
-
 SecureChannel::SecureChannel(std::unique_ptr<net::Stream> transport,
-                             bool is_server)
-    : transport_(std::move(transport)), is_server_(is_server) {}
+                             Engine::Role role, const TlsConfig& config)
+    : transport_(std::move(transport)),
+      config_(config),
+      engine_(role, config_) {}
 
-void SecureChannel::send_record(std::uint8_t type,
-                                std::span<const std::uint8_t> payload) {
-  util::Buffer buf;
-  buf.write_u8(type);
-  buf.write_u32(static_cast<std::uint32_t>(payload.size()));
-  buf.write(payload);
+void SecureChannel::flush(util::Buffer& buf) {
+  if (buf.empty()) return;
   transport_->write_all(buf.peek());
+  buf.clear();
 }
 
-std::pair<std::uint8_t, std::vector<std::uint8_t>> SecureChannel::recv_record() {
-  std::uint8_t header[5];
-  std::size_t got = 0;
-  while (got < sizeof(header)) {
-    std::size_t n = transport_->read(
-        std::span<std::uint8_t>(header + got, sizeof(header) - got));
-    if (n == 0) throw SystemError("connection closed during TLS record");
-    got += n;
+void SecureChannel::run_handshake() {
+  util::Buffer out;
+  std::array<std::uint8_t, 8 * 1024> chunk;
+  while (!engine_.handshake_done()) {
+    std::size_t n = transport_->read(chunk);
+    if (n == 0) throw SystemError("connection closed during TLS handshake");
+    try {
+      engine_.feed(std::span<const std::uint8_t>(chunk.data(), n), out);
+    } catch (...) {
+      // Deliver any alert the engine owed the peer, then fail.
+      try {
+        flush(out);
+      } catch (const SystemError&) {
+      }
+      throw;
+    }
+    flush(out);
   }
-  std::uint8_t type = header[0];
-  std::uint32_t len = (static_cast<std::uint32_t>(header[1]) << 24) |
-                      (static_cast<std::uint32_t>(header[2]) << 16) |
-                      (static_cast<std::uint32_t>(header[3]) << 8) |
-                      header[4];
-  if (len > kMaxRecord) throw ParseError("TLS record too large");
-  std::vector<std::uint8_t> payload(len);
-  std::size_t off = 0;
-  while (off < len) {
-    std::size_t n = transport_->read(
-        std::span<std::uint8_t>(payload.data() + off, len - off));
-    if (n == 0) throw SystemError("connection closed inside TLS record");
-    off += n;
-  }
-  if (type == kRecordAlert) {
-    throw AuthError("TLS alert from peer: " +
-                    std::string(payload.begin(), payload.end()));
-  }
-  return {type, std::move(payload)};
-}
-
-void SecureChannel::derive_keys(std::span<const std::uint8_t> master) {
-  auto make = [&](const char* label) {
-    Keys keys;
-    std::vector<std::uint8_t> material =
-        crypto::derive_key(master, label, 64);
-    keys.cipher_key.assign(material.begin(), material.begin() + 32);
-    keys.mac_key.assign(material.begin() + 32, material.end());
-    return keys;
-  };
-  Keys client = make("client write");
-  Keys server = make("server write");
-  if (is_server_) {
-    send_keys_ = std::move(server);
-    recv_keys_ = std::move(client);
-  } else {
-    send_keys_ = std::move(client);
-    recv_keys_ = std::move(server);
-  }
-}
-
-void SecureChannel::send_encrypted(std::span<const std::uint8_t> data) {
-  // MAC covers seq | type | plaintext; nonce is derived from the MAC key
-  // and sequence number so both sides compute it without transmission.
-  std::array<std::uint8_t, 8> seq_bytes;
-  for (int i = 0; i < 8; ++i) {
-    seq_bytes[i] = static_cast<std::uint8_t>(send_seq_ >> (8 * (7 - i)));
-  }
-  std::vector<std::uint8_t> mac_input;
-  mac_input.reserve(9 + data.size());
-  mac_input.insert(mac_input.end(), seq_bytes.begin(), seq_bytes.end());
-  mac_input.push_back(kRecordData);
-  mac_input.insert(mac_input.end(), data.begin(), data.end());
-  auto mac = crypto::hmac_sha256(send_keys_.mac_key, mac_input);
-
-  std::vector<std::uint8_t> payload(data.begin(), data.end());
-  payload.insert(payload.end(), mac.begin(), mac.end());
-
-  auto nonce_full = crypto::hmac_sha256(send_keys_.mac_key, seq_bytes);
-  crypto::ChaCha20 cipher(send_keys_.cipher_key,
-                          std::span<const std::uint8_t>(nonce_full.data(), 12));
-  cipher.crypt(payload);
-
-  send_record(kRecordData, payload);
-  ++send_seq_;
-}
-
-std::vector<std::uint8_t> SecureChannel::recv_encrypted() {
-  auto [type, payload] = recv_record();
-  if (type != kRecordData) throw ParseError("expected TLS data record");
-  if (payload.size() < 32) throw ParseError("TLS record shorter than MAC");
-
-  std::array<std::uint8_t, 8> seq_bytes;
-  for (int i = 0; i < 8; ++i) {
-    seq_bytes[i] = static_cast<std::uint8_t>(recv_seq_ >> (8 * (7 - i)));
-  }
-  auto nonce_full = crypto::hmac_sha256(recv_keys_.mac_key, seq_bytes);
-  crypto::ChaCha20 cipher(recv_keys_.cipher_key,
-                          std::span<const std::uint8_t>(nonce_full.data(), 12));
-  cipher.crypt(payload);
-
-  std::size_t data_len = payload.size() - 32;
-  std::vector<std::uint8_t> mac_input;
-  mac_input.reserve(9 + data_len);
-  mac_input.insert(mac_input.end(), seq_bytes.begin(), seq_bytes.end());
-  mac_input.push_back(kRecordData);
-  mac_input.insert(mac_input.end(), payload.begin(),
-                   payload.begin() + static_cast<long>(data_len));
-  auto expected = crypto::hmac_sha256(recv_keys_.mac_key, mac_input);
-  if (!crypto::constant_time_equal(
-          std::span<const std::uint8_t>(payload.data() + data_len, 32),
-          expected)) {
-    throw AuthError("TLS record MAC mismatch");
-  }
-  ++recv_seq_;
-  payload.resize(data_len);
-  return payload;
 }
 
 std::unique_ptr<SecureChannel> SecureChannel::connect(
     std::unique_ptr<net::Stream> transport, const TlsConfig& config) {
-  if (!config.trust) throw Error("TLS config requires a trust store");
   auto chan = std::unique_ptr<SecureChannel>(
       // clarens-lint: allow(raw-new): private constructor, unreachable by make_unique; ownership taken on this line.
-      new SecureChannel(std::move(transport), /*is_server=*/false));
-
-  // ClientHello
-  std::vector<std::uint8_t> client_random = crypto::random_bytes(kRandomSize);
+      new SecureChannel(std::move(transport), Engine::Role::Client, config));
   util::Buffer hello;
-  put_blob(hello, client_random);
-  put_chain(hello, config.credential, config.chain);
-  chan->send_record(kRecordHandshake, hello.peek());
-
-  // ServerHello
-  auto [type, payload] = chan->recv_record();
-  if (type != kRecordHandshake) throw ParseError("expected ServerHello");
-  util::Buffer server_hello;
-  server_hello.write(std::span<const std::uint8_t>(payload));
-  std::vector<std::uint8_t> server_random = get_blob(server_hello);
-  if (server_random.size() != kRandomSize) throw ParseError("bad server random");
-  std::vector<pki::Certificate> server_chain = get_chain(server_hello);
-  if (server_chain.empty()) throw AuthError("server presented no certificate");
-
-  pki::TrustStore::Result server_identity =
-      config.trust->verify(server_chain, util::unix_now());
-  if (!server_identity.ok) {
-    throw AuthError("server certificate rejected: " + server_identity.error);
-  }
-  chan->peer_ = server_identity;
-  chan->peer_chain_ = server_chain;
-
-  // Transcript binds the randoms (and thus both hellos).
-  std::vector<std::uint8_t> transcript = concat(client_random, server_random);
-
-  // KeyExchange
-  std::vector<std::uint8_t> pre_master = crypto::random_bytes(kPreMasterSize);
-  std::vector<std::uint8_t> encrypted = crypto::rsa_encrypt(
-      server_chain.front().public_key(), pre_master, crypto::system_drbg());
-  util::Buffer kx;
-  put_blob(kx, encrypted);
-  if (config.credential) {
-    // Prove possession of the presented certificate's key.
-    std::vector<std::uint8_t> sig =
-        crypto::rsa_sign(config.credential->private_key,
-                         std::span<const std::uint8_t>(transcript));
-    put_blob(kx, sig);
-  } else {
-    kx.write_u32(0);
-  }
-  chan->send_record(kRecordHandshake, kx.peek());
-
-  // Key derivation: master = HKDF(pre_master, "master" | transcript).
-  std::vector<std::uint8_t> ikm = pre_master;
-  ikm.insert(ikm.end(), transcript.begin(), transcript.end());
-  std::vector<std::uint8_t> master = crypto::derive_key(ikm, "master", 48);
-  chan->derive_keys(master);
-
-  // Client Finished.
-  std::vector<std::uint8_t> cf_input = concat(
-      std::span<const std::uint8_t>(transcript),
-      std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>("client finished"), 15));
-  auto client_finished = crypto::hmac_sha256(master, cf_input);
-  chan->send_record(kRecordHandshake, client_finished);
-
-  // Server Finished.
-  auto [ftype, fpayload] = chan->recv_record();
-  if (ftype != kRecordHandshake) throw ParseError("expected server Finished");
-  std::vector<std::uint8_t> sf_input = concat(
-      std::span<const std::uint8_t>(transcript),
-      std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>("server finished"), 15));
-  auto expected_sf = crypto::hmac_sha256(master, sf_input);
-  if (!crypto::constant_time_equal(fpayload, expected_sf)) {
-    throw AuthError("server Finished verification failed");
-  }
+  chan->engine_.start(hello);
+  chan->flush(hello);
+  chan->run_handshake();
   return chan;
 }
 
 std::unique_ptr<SecureChannel> SecureChannel::accept(
     std::unique_ptr<net::Stream> transport, const TlsConfig& config) {
-  if (!config.trust) throw Error("TLS config requires a trust store");
-  if (!config.credential) throw Error("TLS server requires a credential");
   auto chan = std::unique_ptr<SecureChannel>(
       // clarens-lint: allow(raw-new): private constructor, unreachable by make_unique; ownership taken on this line.
-      new SecureChannel(std::move(transport), /*is_server=*/true));
-
-  // ClientHello
-  auto [type, payload] = chan->recv_record();
-  if (type != kRecordHandshake) throw ParseError("expected ClientHello");
-  util::Buffer hello;
-  hello.write(std::span<const std::uint8_t>(payload));
-  std::vector<std::uint8_t> client_random = get_blob(hello);
-  if (client_random.size() != kRandomSize) throw ParseError("bad client random");
-  std::vector<pki::Certificate> client_chain = get_chain(hello);
-
-  if (client_chain.empty() && config.require_peer_certificate) {
-    chan->send_record(kRecordAlert,
-                      std::span<const std::uint8_t>(
-                          reinterpret_cast<const std::uint8_t*>("certificate required"), 20));
-    throw AuthError("client presented no certificate");
-  }
-  if (!client_chain.empty()) {
-    pki::TrustStore::Result client_identity =
-        config.trust->verify(client_chain, util::unix_now());
-    if (!client_identity.ok) {
-      chan->send_record(kRecordAlert,
-                        std::span<const std::uint8_t>(
-                            reinterpret_cast<const std::uint8_t*>("bad certificate"), 15));
-      throw AuthError("client certificate rejected: " + client_identity.error);
-    }
-    chan->peer_ = client_identity;
-    chan->peer_chain_ = client_chain;
-  }
-
-  // ServerHello
-  std::vector<std::uint8_t> server_random = crypto::random_bytes(kRandomSize);
-  util::Buffer server_hello;
-  put_blob(server_hello, server_random);
-  put_chain(server_hello, config.credential, config.chain);
-  chan->send_record(kRecordHandshake, server_hello.peek());
-
-  std::vector<std::uint8_t> transcript = concat(client_random, server_random);
-
-  // KeyExchange
-  auto [kx_type, kx_payload] = chan->recv_record();
-  if (kx_type != kRecordHandshake) throw ParseError("expected KeyExchange");
-  util::Buffer kx;
-  kx.write(std::span<const std::uint8_t>(kx_payload));
-  std::vector<std::uint8_t> encrypted = get_blob(kx);
-  std::vector<std::uint8_t> sig = get_blob(kx);
-  auto pre_master = crypto::rsa_decrypt(config.credential->private_key, encrypted);
-  if (!pre_master || pre_master->size() != kPreMasterSize) {
-    throw AuthError("key exchange decryption failed");
-  }
-  if (!client_chain.empty()) {
-    if (sig.empty() ||
-        !crypto::rsa_verify(client_chain.front().public_key(),
-                            std::span<const std::uint8_t>(transcript), sig)) {
-      throw AuthError("client key-possession proof failed");
-    }
-  }
-
-  std::vector<std::uint8_t> ikm = *pre_master;
-  ikm.insert(ikm.end(), transcript.begin(), transcript.end());
-  std::vector<std::uint8_t> master = crypto::derive_key(ikm, "master", 48);
-  chan->derive_keys(master);
-
-  // Client Finished.
-  auto [cf_type, cf_payload] = chan->recv_record();
-  if (cf_type != kRecordHandshake) throw ParseError("expected client Finished");
-  std::vector<std::uint8_t> cf_input = concat(
-      std::span<const std::uint8_t>(transcript),
-      std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>("client finished"), 15));
-  auto expected_cf = crypto::hmac_sha256(master, cf_input);
-  if (!crypto::constant_time_equal(cf_payload, expected_cf)) {
-    throw AuthError("client Finished verification failed");
-  }
-
-  // Server Finished.
-  std::vector<std::uint8_t> sf_input = concat(
-      std::span<const std::uint8_t>(transcript),
-      std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>("server finished"), 15));
-  auto server_finished = crypto::hmac_sha256(master, sf_input);
-  chan->send_record(kRecordHandshake, server_finished);
+      new SecureChannel(std::move(transport), Engine::Role::Server, config));
+  chan->run_handshake();
   return chan;
 }
 
 std::size_t SecureChannel::read(std::span<std::uint8_t> out) {
-  if (plain_in_.empty()) {
-    std::vector<std::uint8_t> data;
+  std::array<std::uint8_t, 16 * 1024> chunk;
+  while (engine_.plain_available() == 0) {
+    std::size_t n;
     try {
-      data = recv_encrypted();
+      n = transport_->read(chunk);
     } catch (const SystemError&) {
       return 0;  // orderly close of the transport == EOF
     }
-    plain_in_.write(std::span<const std::uint8_t>(data));
+    if (n == 0) return 0;
+    util::Buffer unused;  // established engines emit nothing on feed
+    engine_.feed(std::span<const std::uint8_t>(chunk.data(), n), unused);
   }
-  std::size_t take = std::min(out.size(), plain_in_.readable());
-  std::memcpy(out.data(), plain_in_.peek().data(), take);
-  plain_in_.consume(take);
-  return take;
+  return engine_.read_plain(out);
 }
 
 void SecureChannel::write_all(std::span<const std::uint8_t> data) {
-  // Bound record size so MAC/cipher work streams (16 KiB like real TLS).
-  constexpr std::size_t kChunk = 16 * 1024;
-  std::size_t off = 0;
-  while (off < data.size()) {
-    std::size_t take = std::min(kChunk, data.size() - off);
-    send_encrypted(data.subspan(off, take));
-    off += take;
-  }
-  if (data.empty()) send_encrypted(data);
+  out_.clear();
+  engine_.encrypt(data, out_);
+  flush(out_);
+}
+
+void SecureChannel::write_vec(std::span<const std::string_view> chunks) {
+  out_.clear();
+  engine_.encrypt(chunks, out_);
+  flush(out_);
 }
 
 void SecureChannel::close() { transport_->close(); }

@@ -22,6 +22,11 @@
 //   S->C Finished      { HMAC(master, "server finished" | transcript) }
 // Keys: HKDF(master, direction label) -> 32-byte cipher key + 32-byte MAC
 // key per direction; record nonce = first 12 bytes of HMAC(mac_key, seq).
+//
+// The protocol itself lives in tls::Engine (engine.hpp), a sans-IO state
+// machine the HTTP server drives from its epoll reactor. SecureChannel is
+// the blocking convenience wrapper over a transport stream, used by
+// clients and anywhere a dedicated thread owns the connection.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +38,7 @@
 #include "net/socket.hpp"
 #include "pki/certificate.hpp"
 #include "pki/verify.hpp"
+#include "tls/engine.hpp"
 #include "util/buffer.hpp"
 
 namespace clarens::tls {
@@ -66,40 +72,35 @@ class SecureChannel : public net::Stream {
   std::size_t read(std::span<std::uint8_t> out) override;
   void write_all(std::span<const std::uint8_t> data) override;
   using net::Stream::write_all;
+  /// Coalesces the chunks into shared records (one for a typical header +
+  /// body pair) instead of one record per chunk.
+  void write_vec(std::span<const std::string_view> chunks) override;
   void close() override;
 
   /// Verified peer identity; nullopt when the peer was anonymous.
-  const std::optional<pki::TrustStore::Result>& peer() const { return peer_; }
+  const std::optional<pki::TrustStore::Result>& peer() const {
+    return engine_.peer();
+  }
 
   /// Peer certificate chain as presented (leaf first); empty if anonymous.
-  const std::vector<pki::Certificate>& peer_chain() const { return peer_chain_; }
+  const std::vector<pki::Certificate>& peer_chain() const {
+    return engine_.peer_chain();
+  }
 
  private:
-  SecureChannel(std::unique_ptr<net::Stream> transport, bool is_server);
+  SecureChannel(std::unique_ptr<net::Stream> transport, Engine::Role role,
+                const TlsConfig& config);
 
-  struct Keys {
-    std::vector<std::uint8_t> cipher_key;
-    std::vector<std::uint8_t> mac_key;
-  };
-
-  void send_record(std::uint8_t type, std::span<const std::uint8_t> payload);
-  /// Reads one full record; returns {type, payload}.
-  std::pair<std::uint8_t, std::vector<std::uint8_t>> recv_record();
-
-  void send_encrypted(std::span<const std::uint8_t> data);
-  std::vector<std::uint8_t> recv_encrypted();
-
-  void derive_keys(std::span<const std::uint8_t> master);
+  /// Pump the blocking transport until the engine's handshake completes.
+  void run_handshake();
+  void flush(util::Buffer& buf);
 
   std::unique_ptr<net::Stream> transport_;
-  bool is_server_;
-  Keys send_keys_;
-  Keys recv_keys_;
-  std::uint64_t send_seq_ = 0;
-  std::uint64_t recv_seq_ = 0;
-  std::optional<pki::TrustStore::Result> peer_;
-  std::vector<pki::Certificate> peer_chain_;
-  util::Buffer plain_in_;  // decrypted bytes not yet read by the caller
+  /// Owned copy: the engine references it, and callers' configs are often
+  /// stack temporaries that die right after connect()/accept().
+  TlsConfig config_;
+  Engine engine_;
+  util::Buffer out_;  // staging for encrypted records before one write
 };
 
 }  // namespace clarens::tls

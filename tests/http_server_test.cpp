@@ -7,6 +7,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <span>
 #include <string>
 #include <thread>
@@ -193,6 +194,112 @@ TEST(ServerConcurrency, ManyKeepAliveConnectionsInParallel) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(server.requests_served(),
             static_cast<std::uint64_t>(kClients * kRequestsEach));
+  server.stop();
+}
+
+// --- Adaptive inline dispatch -------------------------------------------
+//
+// With a cost key configured, measured-cheap requests run directly on the
+// reactor thread; everything else (no key, measured-slow, over budget)
+// takes the worker-pool handoff. The split must be invisible on the wire:
+// per-connection ordering and response bytes are identical either way.
+
+ServerOptions inline_options(
+    std::function<std::string(const Request&)> cost_key) {
+  ServerOptions options;
+  options.dispatch.inline_dispatch = true;
+  options.dispatch.cost_key = std::move(cost_key);
+  return options;
+}
+
+TEST(ServerInlineDispatch, CheapRequestsRunOnTheReactor) {
+  Server server = make_echo_server(
+      inline_options([](const Request& request) { return request.target; }));
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  for (int i = 0; i < 10; ++i) {
+    conn.write_all(post("ping" + std::to_string(i)));
+    std::vector<Response> responses = read_responses(conn, 1);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].body, "echo:ping" + std::to_string(i));
+  }
+  EXPECT_EQ(server.requests_served(), 10u);
+  // An unknown method is optimistically inlined and the echo handler is
+  // far cheaper than the cost ceiling, so every request stays inline.
+  EXPECT_EQ(server.requests_inlined(), 10u);
+  server.stop();
+}
+
+TEST(ServerInlineDispatch, PipelinedMixOfInlineAndSpilledStaysOrdered) {
+  // Odd-length bodies get no cost key, forcing the worker-pool path;
+  // even ones are inline-eligible. All 20 ride one TCP segment, starting
+  // with an eligible request so the reactor takes the queue first; the
+  // first odd body then hands the busy token (and the rest of the queue)
+  // to a worker. Responses must come back in request order regardless of
+  // which side produced them.
+  Server server = make_echo_server(inline_options([](const Request& request) {
+    return request.body.size() % 2 == 0 ? "cheap" : std::string();
+  }));
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  std::string wire;
+  for (int i = 0; i < 20; ++i) {
+    wire += post(std::string(static_cast<std::size_t>(i) + 2, 'a'));
+  }
+  conn.write_all(wire);
+  std::vector<Response> responses = read_responses(conn, 20);
+  ASSERT_EQ(responses.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(responses[i].body,
+              "echo:" + std::string(static_cast<std::size_t>(i) + 2, 'a'));
+  }
+  EXPECT_EQ(server.requests_served(), 20u);
+  std::uint64_t inlined = server.requests_inlined();
+  EXPECT_GT(inlined, 0u);
+  EXPECT_LT(inlined, 20u);
+  server.stop();
+}
+
+TEST(ServerInlineDispatch, MeasuredSlowMethodsStopBeingInlined) {
+  ServerOptions options;
+  options.dispatch.inline_dispatch = true;
+  options.dispatch.inline_cost_limit_us = 500.0;
+  options.dispatch.cost_key = [](const Request&) { return "slow.method"; };
+  Server server(std::move(options), [](const Request& request, const Peer&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    return Response::make(200, "echo:" + request.body);
+  });
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  for (int i = 0; i < 8; ++i) {
+    conn.write_all(post("r" + std::to_string(i)));
+    ASSERT_EQ(read_responses(conn, 1).size(), 1u);
+  }
+  EXPECT_EQ(server.requests_served(), 8u);
+  // The first call is optimistically inlined (unknown cost); its 3 ms
+  // measurement lands far above the 500 µs ceiling, so the EWMA keeps
+  // every later call on the worker pool.
+  EXPECT_LE(server.requests_inlined(), 2u);
+  server.stop();
+}
+
+TEST(ServerInlineDispatch, DisabledMeansEveryRequestTakesAWorker) {
+  ServerOptions options =
+      inline_options([](const Request&) { return "cheap"; });
+  options.dispatch.inline_dispatch = false;
+  Server server = make_echo_server(std::move(options));
+  server.start();
+  net::TcpConnection conn =
+      net::TcpConnection::connect("127.0.0.1", server.port());
+  for (int i = 0; i < 5; ++i) {
+    conn.write_all(post("x"));
+    ASSERT_EQ(read_responses(conn, 1).size(), 1u);
+  }
+  EXPECT_EQ(server.requests_served(), 5u);
+  EXPECT_EQ(server.requests_inlined(), 0u);
   server.stop();
 }
 

@@ -87,9 +87,12 @@ TEST(LintNetBlocking, FlagsSleepsInNet) {
       "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
       "usleep(100);\n"
       "sleep(1);\n");
+  // Every sleep in src/net/ also counts as a blocking wait, so each line
+  // carries the net-blocking and reactor-blocking pair.
   EXPECT_EQ(rules_of(found),
-            (std::vector<std::string>{"net-blocking", "net-blocking",
-                                      "net-blocking"}));
+            (std::vector<std::string>{"net-blocking", "reactor-blocking",
+                                      "net-blocking", "reactor-blocking",
+                                      "net-blocking", "reactor-blocking"}));
 }
 
 TEST(LintNetBlocking, OutsideNetPasses) {
@@ -102,6 +105,45 @@ TEST(LintNetBlocking, NonBlockingNetCodePasses) {
   EXPECT_TRUE(lint_content("src/net/reactor.cpp",
                            "int n = epoll_wait(fd, events, 64, timeout);\n")
                   .empty());
+}
+
+// --- reactor-blocking -------------------------------------------------
+
+TEST(LintReactorBlocking, FlagsWaitsInTransportLayers) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/net/socket.cpp", "wait_writable(-1);\n"),
+      "reactor-blocking"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/http/server.cpp", "reactor_thread_.join();\n"),
+      "reactor-blocking"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/tls/channel.cpp", "done_.wait(lock);\n"),
+      "reactor-blocking"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/http/server.cpp", "pool_->wait_idle();\n"),
+      "reactor-blocking"));
+}
+
+TEST(LintReactorBlocking, BoundariesAndScopeRespected) {
+  // epoll_wait / joinable share substrings with the tokens but are the
+  // reactor's bread and butter; identifier boundaries keep them legal.
+  EXPECT_TRUE(lint_content("src/net/reactor.cpp",
+                           "int n = epoll_wait(fd, events, 64, t);\n"
+                           "if (thread_.joinable()) mark();\n")
+                  .empty());
+  // Outside src/net, src/http, src/tls the rule does not apply: workers
+  // and control threads may block.
+  EXPECT_TRUE(lint_content("src/core/server.cpp", "reaper_.join();\n")
+                  .empty());
+}
+
+TEST(LintReactorBlocking, AllowNamesTheBlessedThread) {
+  EXPECT_TRUE(
+      lint_content("src/net/socket.cpp",
+                   "// clarens-lint: allow(reactor-blocking): worker-side "
+                   "blocking write.\n"
+                   "wait_writable(-1);\n")
+          .empty());
 }
 
 // --- layering ---------------------------------------------------------

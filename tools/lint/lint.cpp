@@ -181,8 +181,8 @@ bool path_ends_with(const std::string& path, const std::string& suffix) {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
-      "raw-sync", "detach",  "net-blocking",
-      "layering", "raw-new", "lock-order",
+      "raw-sync", "detach",     "net-blocking",     "layering",
+      "raw-new",  "lock-order", "reactor-blocking",
   };
   return rules;
 }
@@ -324,6 +324,42 @@ void check_net_blocking(const std::string& path,
   }
 }
 
+void check_reactor_blocking(const std::string& path,
+                            const std::vector<LineInfo>& lines,
+                            std::vector<Violation>& out) {
+  // The reactor thread services every connection, and with inline
+  // dispatch it also runs handlers; one blocking wait in the transport
+  // stack stalls all of them. Blocking primitives in src/net, src/http
+  // and src/tls must carry an allow() naming the thread that may
+  // legitimately park there (identifier-boundary matching keeps
+  // epoll_wait and joinable out of scope).
+  if (!path_in(path, "net") && !path_in(path, "http") &&
+      !path_in(path, "tls")) {
+    return;
+  }
+  static const char* kTokens[] = {
+      "wait_writable", "wait_idle",   "wait_for", "wait_until",
+      "wait",          "join",        "sleep_for", "sleep_until",
+      "usleep",        "nanosleep",   "sleep",
+  };
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    for (const char* token : kTokens) {
+      std::size_t pos = find_token(code, token);
+      if (pos == std::string::npos) continue;
+      std::size_t after = skip_spaces(code, pos + std::string(token).size());
+      if (after >= code.size() || code[after] != '(') continue;
+      out.push_back({path, static_cast<int>(n) + 1, "reactor-blocking",
+                     std::string(token) +
+                         "() can block; reactor-owned code must stay "
+                         "non-blocking — if this call never runs on the "
+                         "reactor thread, say so with allow(reactor-"
+                         "blocking)"});
+      break;  // one finding per line is enough to demand the annotation
+    }
+  }
+}
+
 void check_layering(const std::string& path, const std::vector<LineInfo>& lines,
                     std::vector<Violation>& out) {
   bool scoped = path_in(path, "rpc") || path_in(path, "util");
@@ -461,6 +497,7 @@ std::vector<Violation> lint_content(const std::string& path,
   check_raw_sync(path, lines, found);
   check_detach(path, lines, found);
   check_net_blocking(path, lines, found);
+  check_reactor_blocking(path, lines, found);
   check_layering(path, lines, found);
   check_raw_new(path, lines, found);
   check_lock_order(path, lines, found);

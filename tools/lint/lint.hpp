@@ -15,6 +15,12 @@
 //   net-blocking  sleeps (and std::this_thread) inside src/net/ — the
 //                 reactor thread services every connection, so one
 //                 blocking call stalls the whole server.
+//   reactor-blocking  blocking-wait calls (wait_writable, wait, wait_for,
+//                 join, the sleep family) inside src/net/, src/http/ or
+//                 src/tls/. With inline dispatch the reactor also runs
+//                 handlers there, so every blocking primitive must carry
+//                 an allow() naming the worker/control thread that may
+//                 legitimately park on it.
 //   layering      src/rpc/ and src/util/ including core/ or http/
 //                 headers (dependency direction: util <- rpc <- http
 //                 <- core).
