@@ -1,6 +1,8 @@
 #include "core/config_loader.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -42,6 +44,14 @@ ClarensConfig config_from(const util::Config& config) {
   out.session_ttl = config.get_int_or("session_ttl", out.session_ttl);
   out.challenge_ttl = config.get_int_or("challenge_ttl", out.challenge_ttl);
   out.max_read_chunk = config.get_int_or("max_read_chunk", out.max_read_chunk);
+  // The binary-protocol blob framing carries a u32 length; a larger chunk
+  // limit would let sendfile regions desynchronize the frame from the
+  // HTTP Content-Length.
+  if (out.max_read_chunk <= 0 ||
+      static_cast<std::uint64_t>(out.max_read_chunk) >
+          std::numeric_limits<std::uint32_t>::max()) {
+    throw ParseError("max_read_chunk must be in (0, 4294967295]");
+  }
   out.inline_dispatch =
       config.get_bool_or("inline_dispatch", out.inline_dispatch);
   out.sendfile_threshold =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <limits>
 #include <set>
 
 #include "core/bindings/bindings.hpp"
@@ -308,6 +309,16 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
       // splice the resolved range into the binary framing. The result
       // value is the placeholder the handler returned; discard it.
       const auto& claimed = *context.file_region;
+      // The blob framing length is a u32; config validation bounds
+      // max_read_chunk below that, but a handler could still hand back a
+      // wider region — fail it rather than desynchronize the framing
+      // from Content-Length.
+      if (claimed.length < 0 ||
+          static_cast<std::uint64_t>(claimed.length) >
+              std::numeric_limits<std::uint32_t>::max()) {
+        throw rpc::Fault(rpc::kFaultGeneric,
+                         "file region exceeds 32-bit frame length");
+      }
       util::Buffer framing;
       rpc::binrpc::serialize_blob_response_head(
           static_cast<std::uint32_t>(claimed.length), framing);

@@ -222,10 +222,21 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
       } catch (const Error& e) {
         CLARENS_LOG(Debug) << "TLS failure: " << e.what();
         if (flight.readable() != 0) {
-          // Best-effort alert; never park bytes on a dead handshake.
-          try {
-            conn->tcp.write_some(flight.peek());
-          } catch (const SystemError&) {
+          // Best-effort alert; never park bytes on a dead handshake. A
+          // busy drainer may be mid-write on this fd, and parked outbox
+          // bytes must go first — in either case just drop the alert
+          // (the connection is being torn down anyway) rather than
+          // interleave with another writer.
+          bool drainer_active;
+          {
+            util::LockGuard lock(conn->mutex);
+            drainer_active = conn->busy;
+          }
+          if (!drainer_active && conn->outbox.readable() == 0) {
+            try {
+              conn->tcp.write_some(flight.peek());
+            } catch (const SystemError&) {
+            }
           }
         }
         eof = true;
@@ -240,8 +251,8 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
           break;
         }
       }
-      if (conn->engine->handshake_done() && !conn->peer.tls_identity &&
-          conn->peer.chain.empty()) {
+      if (conn->engine->handshake_done() && !conn->peer_set) {
+        conn->peer_set = true;
         conn->peer.tls_identity = conn->engine->peer();
         conn->peer.chain = conn->engine->peer_chain();
       }

@@ -133,6 +133,11 @@ class Server {
     explicit Conn(net::TcpConnection c) : tcp(std::move(c)) {}
     net::TcpConnection tcp;
     Peer peer;
+    /// Reactor thread only: latches the one-shot post-handshake peer
+    /// assignment. Field values can't serve as the guard — an anonymous
+    /// TLS peer leaves them empty, and re-assigning on every readable
+    /// event would race a worker reading `peer` in the handler.
+    bool peer_set = false;
     RequestParser parser;  // reactor thread only
     /// Sans-IO TLS state machine; null on plaintext connections. Read
     /// side (feed/read_plain) is reactor-only; write side (encrypt) is

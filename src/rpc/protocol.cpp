@@ -79,18 +79,59 @@ std::string peek_method(Protocol protocol, std::string_view body) {
       return std::string(util::trim(body.substr(open, close - open)));
     }
     case Protocol::JsonRpc: {
-      std::size_t key = body.find("\"method\"");
-      if (key == std::string_view::npos) return {};
-      std::size_t colon = body.find(':', key + 8);
-      if (colon == std::string_view::npos) return {};
-      std::size_t open = body.find('"', colon + 1);
-      if (open == std::string_view::npos) return {};
-      std::size_t close = body.find('"', open + 1);
-      if (close == std::string_view::npos || close - open - 1 > 256) return {};
-      std::string method(body.substr(open + 1, close - open - 1));
-      // Escapes in a method name are outlandish; punt to the real parser.
-      if (method.find('\\') != std::string::npos) return {};
-      return method;
+      // Depth-aware scan: only a "method" key of the top-level object
+      // counts, so a nested {"params":{"method":...}} cannot spoof the
+      // dispatch cost key and buy an optimistic inline first run. The
+      // parser's Value::set overwrites duplicate keys (last wins), so on
+      // duplicates keep the last candidate for the same reason.
+      constexpr std::string_view kWs = " \t\r\n";
+      std::size_t i = body.find_first_not_of(kWs);
+      if (i == std::string_view::npos || body[i] != '{') return {};
+      int depth = 0;
+      bool method_key = false;  // next string is a top-level method value
+      std::string found;
+      bool have = false;
+      for (; i < body.size(); ++i) {
+        char c = body[i];
+        if (c == '"') {
+          std::size_t start = i + 1;
+          bool escaped = false;
+          std::size_t j = start;
+          for (; j < body.size(); ++j) {
+            if (body[j] == '\\') {
+              escaped = true;
+              ++j;  // skip the escaped character
+              continue;
+            }
+            if (body[j] == '"') break;
+          }
+          if (j >= body.size()) return {};  // unterminated string
+          std::string_view str = body.substr(start, j - start);
+          if (method_key) {
+            method_key = false;
+            // Escapes in a method name are outlandish; punt to the parser.
+            if (escaped || str.size() > 256) return {};
+            found.assign(str);
+            have = true;
+          } else if (depth == 1 && !escaped && str == "method") {
+            // A key only if followed by ':' and a string value.
+            std::size_t k = body.find_first_not_of(kWs, j + 1);
+            if (k != std::string_view::npos && body[k] == ':') {
+              std::size_t v = body.find_first_not_of(kWs, k + 1);
+              if (v == std::string_view::npos || body[v] != '"') return {};
+              method_key = true;
+              i = v - 1;  // loop increment lands on the value's open quote
+              continue;
+            }
+          }
+          i = j;  // resume after the closing quote
+        } else if (c == '{' || c == '[') {
+          ++depth;
+        } else if (c == '}' || c == ']') {
+          if (--depth == 0) break;  // top-level object closed
+        }
+      }
+      return have ? found : std::string{};
     }
   }
   return {};

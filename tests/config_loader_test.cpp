@@ -83,6 +83,13 @@ TEST(ConfigLoader, MalformedEntriesThrow) {
   EXPECT_THROW(config_from(util::Config::parse("use_tls true\n")), ParseError);
   EXPECT_THROW(config_from(util::Config::parse("credential_file /no/file\n")),
                SystemError);
+  // The binary blob framing length is a u32: chunk limits past 4 GiB - 1
+  // (or non-positive) would desynchronize sendfile frames.
+  EXPECT_THROW(config_from(util::Config::parse("max_read_chunk 4294967296\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("max_read_chunk 0\n")),
+               ParseError);
+  EXPECT_NO_THROW(config_from(util::Config::parse("max_read_chunk 4294967295\n")));
 }
 
 TEST(ConfigLoader, LoadsCredentialTrustAndUserMapFiles) {

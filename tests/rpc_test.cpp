@@ -368,6 +368,60 @@ TEST(Protocol, DetectByBodyWhenHeaderMissing) {
   EXPECT_EQ(detect("", "<SOAP-ENV:Envelope/>"), Protocol::Soap);
 }
 
+TEST(Protocol, PeekMethodJsonTopLevel) {
+  EXPECT_EQ(peek_method(Protocol::JsonRpc, R"({"method":"echo.echo"})"),
+            "echo.echo");
+  EXPECT_EQ(peek_method(Protocol::JsonRpc,
+                        R"({ "id" : 1 , "method" : "system.listMethods" })"),
+            "system.listMethods");
+  // Key order must not matter.
+  EXPECT_EQ(peek_method(Protocol::JsonRpc,
+                        R"({"params":[1,2],"method":"math.add","id":3})"),
+            "math.add");
+}
+
+TEST(Protocol, PeekMethodIgnoresNestedAndDecoyKeys) {
+  // A nested "method" key must not spoof the dispatch cost key: the real
+  // top-level method is what the parser will dispatch.
+  EXPECT_EQ(peek_method(
+                Protocol::JsonRpc,
+                R"({"params":{"method":"echo.x"},"method":"file.read"})"),
+            "file.read");
+  // Nested-only key: peek must not surface it.
+  EXPECT_EQ(peek_method(Protocol::JsonRpc,
+                        R"({"params":{"method":"echo.x"},"id":1})"),
+            "");
+  // "method" appearing as a string *value* is not a key.
+  EXPECT_EQ(peek_method(Protocol::JsonRpc,
+                        R"({"name":"method","method":"echo.echo"})"),
+            "echo.echo");
+  // Inside an array at any depth: not a key either.
+  EXPECT_EQ(peek_method(Protocol::JsonRpc,
+                        R"({"params":["method","x"],"id":1})"),
+            "");
+  // Escaped content before the real key must not derail the scan.
+  EXPECT_EQ(peek_method(
+                Protocol::JsonRpc,
+                R"({"note":"say \"method\": here","method":"echo.echo"})"),
+            "echo.echo");
+  // Duplicate top-level keys: the parser's Value::set is last-wins, so
+  // the peek must agree or a cheap decoy first key buys inline dispatch
+  // of an expensive method.
+  EXPECT_EQ(peek_method(Protocol::JsonRpc,
+                        R"({"method":"echo.echo","method":"file.read"})"),
+            "file.read");
+}
+
+TEST(Protocol, PeekMethodJsonPuntsOnOddInput) {
+  // Non-object top level, escapes in the name, or truncation: return ""
+  // so the request spills to a worker and the real parser decides.
+  EXPECT_EQ(peek_method(Protocol::JsonRpc, R"(["method","echo.echo"])"), "");
+  EXPECT_EQ(peek_method(Protocol::JsonRpc, R"({"method":"a\tb"})"), "");
+  EXPECT_EQ(peek_method(Protocol::JsonRpc, R"({"method":"unterminated)"), "");
+  EXPECT_EQ(peek_method(Protocol::JsonRpc, R"({"method":42})"), "");
+  EXPECT_EQ(peek_method(Protocol::JsonRpc, ""), "");
+}
+
 // ---------- registry ----------
 
 TEST(Registry, RegisterListDispatch) {
