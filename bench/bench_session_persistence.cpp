@@ -1,11 +1,40 @@
 // Ablation A5: session persistence. Clarens stores sessions in the
 // server-side database so clients survive restarts (§2, Architecture).
-// This measures the cost of that choice: in-memory vs journaled stores
-// for session create/lookup, journal replay (restart) latency, and
-// lookup under a large live-session population.
+// This measures the cost of that choice two ways:
+//
+//   * google-benchmark micros (default mode): in-memory vs journaled
+//     session create, lookup under a large live population, journal
+//     replay (restart) latency;
+//   * a multi-writer churn harness (--json): sustained session
+//     create/destroy throughput with a large live-session population
+//     resident, across storage-engine configurations — the ISSUE-7
+//     before/after. Rows:
+//       baseline_single_mutex  1 shard, per-op commits (the old engine)
+//       group_commit_off       16 shards, per-op commits (ablation)
+//       engine                 16 shards, group commit (the new engine)
+//       engine_durable         as `engine`, but every create/destroy is
+//                              acknowledged only after its group fsync
+//
+// Usage:
+//   bench_session_persistence [--benchmark_* flags]          micro mode
+//   bench_session_persistence --json FILE|- [--live N]
+//       [--writers N] [--ms N]                               churn mode
+//
+// The churn rows share one prefilled snapshot (built once, copied into
+// each row's fresh directory) so every row replays the identical
+// live-session population. Compaction is parked far away during the
+// measured window so the rows compare commit paths, not checkpoint
+// schedules.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/session.hpp"
 #include "crypto/random.hpp"
@@ -46,6 +75,23 @@ static void BM_CreateJournaled(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_CreateJournaled);
+
+// Durable variant: every create/destroy waits for its commit group's
+// fdatasync. Single-threaded, so nobody shares the fsync — the worst
+// case; the churn harness shows the amortized multi-writer cost.
+static void BM_CreateJournaledDurable(benchmark::State& state) {
+  std::string dir = fresh_dir();
+  {
+    db::Store store(dir);
+    core::SessionManager sessions(store, 24 * 3600, /*durable_writes=*/true);
+    for (auto _ : state) {
+      core::Session s = sessions.create("/O=bench/CN=User", false);
+      sessions.destroy(s.id);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CreateJournaledDurable);
 
 static void BM_LookupAmongN(benchmark::State& state) {
   db::Store store;
@@ -105,3 +151,196 @@ static void BM_RestartAfterCompaction(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_RestartAfterCompaction);
+
+// ---------------------------------------------------------------------------
+// Multi-writer churn harness (--json)
+
+namespace {
+
+struct RowSpec {
+  const char* name;
+  std::size_t shards;
+  bool group_commit;
+  bool durable;
+};
+
+struct RowResult {
+  const RowSpec* spec = nullptr;
+  std::uint64_t ops = 0;  // creates + destroys
+  double seconds = 0;
+  double ops_per_sec = 0;
+};
+
+/// Build the shared live-session population once: N session rows encoded
+/// the way SessionManager stores them, folded into a snapshot.
+std::string build_prefill_snapshot(std::size_t live) {
+  std::string dir = fresh_dir();
+  db::StoreOptions options;
+  options.compact_threshold = static_cast<std::size_t>(-1);  // no auto-fold
+  {
+    db::Store store(dir, options);
+    std::int64_t now = static_cast<std::int64_t>(::time(nullptr));
+    std::string tail = "\",\"via_proxy\":false,\"created\":" +
+                       std::to_string(now) +
+                       ",\"expires\":" + std::to_string(now + 30 * 24 * 3600) +
+                       ",\"proxy_serial\":\"\"}";
+    unsigned hw = std::thread::hardware_concurrency();
+    std::size_t loaders = hw ? std::min<std::size_t>(hw, 8) : 4;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < loaders; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = t; i < live; i += loaders) {
+          std::string id = "resident-" + std::to_string(i);
+          std::string row =
+              "{\"identity\":\"/O=bench/CN=Resident" + std::to_string(i) + tail;
+          store.put("sessions", id, std::move(row));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    store.compact();  // fold the load into snapshot.db
+  }
+  return dir;
+}
+
+RowResult run_row(const RowSpec& spec, const std::string& prefill_dir,
+                  int writers, int ms) {
+  std::string dir = fresh_dir();
+  std::string snapshot = prefill_dir + "/snapshot.db";
+  if (std::filesystem::exists(snapshot)) {
+    std::filesystem::copy_file(snapshot, dir + "/snapshot.db");
+  }
+  RowResult result;
+  result.spec = &spec;
+  {
+    db::StoreOptions options;
+    options.shards = spec.shards;
+    options.group_commit = spec.group_commit;
+    // Park compaction outside the window: rows compare commit paths.
+    options.compact_threshold = static_cast<std::size_t>(-1);
+    db::Store store(dir, options);
+    core::SessionManager sessions(store, 24 * 3600, spec.durable);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> counts(writers, 0);
+    std::vector<std::thread> threads;
+    auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < writers; ++t) {
+      threads.emplace_back([&, t] {
+        std::uint64_t local = 0;
+        std::string identity = "/O=bench/CN=Writer" + std::to_string(t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          core::Session s = sessions.create(identity, false);
+          sessions.destroy(s.id);
+          local += 2;
+        }
+        counts[t] = local;
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+    auto end = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(end - start).count();
+    for (auto c : counts) result.ops += c;
+    result.ops_per_sec = result.ops / result.seconds;
+  }
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+int run_churn(const char* json_path, std::size_t live, int writers, int ms) {
+  static const RowSpec kRows[] = {
+      {"baseline_single_mutex", 1, false, false},
+      {"group_commit_off", 16, false, false},
+      {"engine", 16, true, false},
+      {"engine_durable", 16, true, true},
+  };
+
+  std::printf("# prefilling %zu live sessions...\n", live);
+  std::string prefill_dir = build_prefill_snapshot(live);
+
+  std::vector<RowResult> results;
+  for (const RowSpec& spec : kRows) {
+    std::printf("# %-22s shards=%-3zu group_commit=%-5s durable=%s ... ",
+                spec.name, spec.shards, spec.group_commit ? "true" : "false",
+                spec.durable ? "true" : "false");
+    std::fflush(stdout);
+    RowResult row = run_row(spec, prefill_dir, writers, ms);
+    std::printf("%.0f ops/s (%llu ops in %.2fs)\n", row.ops_per_sec,
+                static_cast<unsigned long long>(row.ops), row.seconds);
+    results.push_back(row);
+  }
+  std::filesystem::remove_all(prefill_dir);
+
+  double baseline = results[0].ops_per_sec;
+  double engine = results[2].ops_per_sec;
+  double speedup = baseline > 0 ? engine / baseline : 0;
+  std::printf("# engine vs baseline_single_mutex: %.2fx\n", speedup);
+
+  std::string json = "{\n  \"bench\": \"store_churn\",\n";
+  json += "  \"workload\": \"session create+destroy pairs, " +
+          std::to_string(writers) + " writer threads, " +
+          std::to_string(live) + " live sessions resident\",\n";
+  json += "  \"live_sessions\": " + std::to_string(live) + ",\n";
+  json += "  \"writers\": " + std::to_string(writers) + ",\n";
+  json += "  \"duration_ms\": " + std::to_string(ms) + ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RowResult& row = results[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"shards\": %zu, "
+                  "\"group_commit\": %s, \"durable\": %s, "
+                  "\"ops\": %llu, \"ops_per_sec\": %.0f}%s\n",
+                  row.spec->name, row.spec->shards,
+                  row.spec->group_commit ? "true" : "false",
+                  row.spec->durable ? "true" : "false",
+                  static_cast<unsigned long long>(row.ops), row.ops_per_sec,
+                  i + 1 < results.size() ? "," : "");
+    json += buf;
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"speedup_engine_vs_baseline\": %.2f\n}\n", speedup);
+  json += tail;
+
+  if (!std::strcmp(json_path, "-")) {
+    std::fputs(json.c_str(), stdout);
+  } else if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::size_t live = 1000000;
+  int writers = 8;
+  int ms = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--live") && i + 1 < argc) {
+      live = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--writers") && i + 1 < argc) {
+      writers = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--ms") && i + 1 < argc) {
+      ms = std::atoi(argv[++i]);
+    }
+  }
+  if (json_path) return run_churn(json_path, live, writers, ms);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

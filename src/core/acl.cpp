@@ -217,7 +217,7 @@ std::shared_ptr<const CompiledAclSpec> AclManager::compiled_level(
     const std::string& level) const {
   std::uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = shards_[std::hash<std::string>{}(level) % kShards];
-  // lock-order: core.acl.shard -> db.store
+  // lock-order: core.acl.shard -> db.store.shard
   util::LockGuard lock(shard.mutex);
   if (shard.stamp != gen) {
     shard.entries.clear();

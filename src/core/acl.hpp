@@ -120,7 +120,7 @@ class AclManager {
 
   /// nullptr value = negative entry (no ACL stored at that level).
   /// compiled_level() reads the store while holding the shard lock, so
-  /// the hierarchy is `core.acl.shard` -> `db.store`.
+  /// the hierarchy is `core.acl.shard` -> `db.store.shard`.
   struct Shard {
     mutable util::Mutex mutex;
     /// Generation the contents belong to.

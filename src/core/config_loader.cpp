@@ -52,6 +52,32 @@ ClarensConfig config_from(const util::Config& config) {
           std::numeric_limits<std::uint32_t>::max()) {
     throw ParseError("max_read_chunk must be in (0, 4294967295]");
   }
+  out.store_shards = static_cast<std::size_t>(config.get_int_or(
+      "store_shards", static_cast<std::int64_t>(out.store_shards)));
+  if (out.store_shards < 1 || out.store_shards > 1024) {
+    throw ParseError("store_shards must be in [1, 1024]");
+  }
+  out.store_group_commit =
+      config.get_bool_or("store_group_commit", out.store_group_commit);
+  out.store_commit_interval_us = config.get_int_or(
+      "store_commit_interval_us", out.store_commit_interval_us);
+  if (out.store_commit_interval_us < 0 ||
+      out.store_commit_interval_us > 1000000) {
+    throw ParseError("store_commit_interval_us must be in [0, 1000000]");
+  }
+  out.store_commit_batch_max = static_cast<std::size_t>(config.get_int_or(
+      "store_commit_batch_max",
+      static_cast<std::int64_t>(out.store_commit_batch_max)));
+  if (out.store_commit_batch_max < 1 || out.store_commit_batch_max > 65536) {
+    throw ParseError("store_commit_batch_max must be in [1, 65536]");
+  }
+  out.store_compact_threshold = config.get_int_or("store_compact_threshold",
+                                                  out.store_compact_threshold);
+  if (out.store_compact_threshold < 4096) {
+    throw ParseError("store_compact_threshold must be >= 4096");
+  }
+  out.session_durable_writes = config.get_bool_or("session_durable_writes",
+                                                  out.session_durable_writes);
   out.inline_dispatch =
       config.get_bool_or("inline_dispatch", out.inline_dispatch);
   out.sendfile_threshold =

@@ -116,7 +116,7 @@ std::string JobService::submit(const pki::DistinguishedName& owner,
   job.command = command;
   job.submitted = util::unix_now();
   {
-    // lock-order: core.job -> db.store
+    // lock-order: core.job -> db.store.shard
     util::LockGuard lock(mutex_);
     save(job);
     queue_.push_back(job.id);
@@ -130,7 +130,7 @@ void JobService::worker_loop() {
     std::string job_id;
     Job job;
     {
-      // lock-order: core.job -> db.store
+      // lock-order: core.job -> db.store.shard
       util::UniqueLock lock(mutex_);
       while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (stopping_) return;
@@ -157,7 +157,7 @@ void JobService::worker_loop() {
     }
 
     {
-      // lock-order: core.job -> db.store
+      // lock-order: core.job -> db.store.shard
       util::LockGuard lock(mutex_);
       try {
         job = load(job_id);
@@ -183,7 +183,7 @@ void JobService::worker_loop() {
 
 Job JobService::status(const std::string& job_id,
                        const pki::DistinguishedName& who) const {
-  // lock-order: core.job -> db.store
+  // lock-order: core.job -> db.store.shard
   util::LockGuard lock(mutex_);
   Job job = load(job_id);
   if (job.owner != who.str()) {
@@ -193,7 +193,7 @@ Job JobService::status(const std::string& job_id,
 }
 
 std::vector<Job> JobService::list(const pki::DistinguishedName& owner) const {
-  // lock-order: core.job -> db.store
+  // lock-order: core.job -> db.store.shard
   util::LockGuard lock(mutex_);
   std::vector<Job> out;
   for (const auto& id : store_.keys(kTable)) {
@@ -210,7 +210,7 @@ std::vector<Job> JobService::list(const pki::DistinguishedName& owner) const {
 
 bool JobService::cancel(const std::string& job_id,
                         const pki::DistinguishedName& who) {
-  // lock-order: core.job -> db.store
+  // lock-order: core.job -> db.store.shard
   util::LockGuard lock(mutex_);
   Job job = load(job_id);
   if (job.owner != who.str()) {
@@ -226,7 +226,7 @@ bool JobService::cancel(const std::string& job_id,
 
 void JobService::purge(const std::string& job_id,
                        const pki::DistinguishedName& who) {
-  // lock-order: core.job -> db.store
+  // lock-order: core.job -> db.store.shard
   util::LockGuard lock(mutex_);
   Job job = load(job_id);
   if (job.owner != who.str()) {
@@ -241,7 +241,7 @@ void JobService::purge(const std::string& job_id,
 
 Job JobService::wait(const std::string& job_id,
                      const pki::DistinguishedName& who, int timeout_ms) {
-  // lock-order: core.job -> db.store
+  // lock-order: core.job -> db.store.shard
   util::UniqueLock lock(mutex_);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);

@@ -78,7 +78,7 @@ class JobService {
   db::Store& store_;
   ShellService& shell_;
   /// Held across store reads/writes of job records (atomic state
-  /// transitions): hierarchy `core.job` -> `db.store`.
+  /// transitions): hierarchy `core.job` -> `db.store.shard`.
   mutable util::Mutex mutex_;
   util::CondVar work_available_;
   util::CondVar state_changed_;

@@ -56,7 +56,7 @@ std::string MessageService::mailbox_key(const std::string& dn,
 }
 
 std::uint64_t MessageService::enqueue(Message message) {
-  // lock-order: core.message -> db.store
+  // lock-order: core.message -> db.store.shard
   util::LockGuard lock(mutex_);
   // Next id for this mailbox.
   std::uint64_t id = 1;

@@ -70,7 +70,7 @@ class MessageService {
   std::size_t max_mailbox_;
   /// Serializes the id-counter read-modify-write and the mailbox trim;
   /// concurrent senders to one mailbox must not mint duplicate ids.
-  /// Held across store calls: hierarchy `core.message` -> `db.store`.
+  /// Held across store calls: hierarchy `core.message` -> `db.store.shard`.
   util::Mutex mutex_;
 };
 

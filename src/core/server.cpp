@@ -42,10 +42,22 @@ constexpr const char* kPortalPage = R"(<!DOCTYPE html>
 
 ClarensServer::ClarensServer(ClarensConfig config)
     : config_(std::move(config)) {
-  store_ = config_.data_dir.empty()
-               ? std::make_unique<db::Store>()
-               : std::make_unique<db::Store>(config_.data_dir);
-  sessions_ = std::make_unique<SessionManager>(*store_, config_.session_ttl);
+  if (config_.data_dir.empty()) {
+    store_ = std::make_unique<db::Store>();
+  } else {
+    db::StoreOptions store_options;
+    store_options.shards = config_.store_shards;
+    store_options.group_commit = config_.store_group_commit;
+    store_options.commit_interval_us =
+        static_cast<std::uint32_t>(config_.store_commit_interval_us);
+    store_options.commit_batch_max = config_.store_commit_batch_max;
+    store_options.compact_threshold =
+        static_cast<std::size_t>(config_.store_compact_threshold);
+    store_ = std::make_unique<db::Store>(config_.data_dir, store_options);
+  }
+  sessions_ = std::make_unique<SessionManager>(
+      *store_, config_.session_ttl,
+      config_.session_durable_writes && store_->persistent());
   vo_ = std::make_unique<VoManager>(*store_, config_.admins);
   acl_ = std::make_unique<AclManager>(*store_, *vo_, config_.default_allow);
   files_ = std::make_unique<FileService>(*acl_);
@@ -164,7 +176,7 @@ void ClarensServer::start() {
       // The sweep below takes session-shard and store locks while the
       // reaper lock is held.
       // lock-order: core.server.reaper -> core.session.shard
-      // lock-order: core.server.reaper -> db.store
+      // lock-order: core.server.reaper -> db.store.shard
       util::UniqueLock lock(reaper_mutex_);
       while (!reaper_stopping_) {
         reaper_stop_.wait_for(

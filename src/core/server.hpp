@@ -45,6 +45,18 @@ struct ClarensConfig {
   /// then do NOT survive restarts — fine for tests and benchmarks).
   std::string data_dir;
 
+  /// Storage-engine tuning (persistent stores only; see db::StoreOptions).
+  std::size_t store_shards = 16;
+  bool store_group_commit = true;
+  std::int64_t store_commit_interval_us = 200;
+  std::size_t store_commit_batch_max = 256;
+  std::int64_t store_compact_threshold = 8 * 1024 * 1024;
+  /// Durable session mutations: session create/destroy ack only after
+  /// their journal group is fdatasync'ed (group commit amortizes the
+  /// fsync across concurrent logins). Off = async journaling, the
+  /// paper's restart-survival is best-effort within the commit interval.
+  bool session_durable_writes = false;
+
   /// Root administrator DNs (populate the admins group at startup).
   std::vector<std::string> admins;
 

@@ -13,8 +13,11 @@ namespace {
 constexpr const char* kTable = "sessions";
 }
 
-SessionManager::SessionManager(db::Store& store, std::int64_t default_ttl)
-    : store_(store), default_ttl_(default_ttl) {}
+SessionManager::SessionManager(db::Store& store, std::int64_t default_ttl,
+                               bool durable_writes)
+    : store_(store),
+      default_ttl_(default_ttl),
+      durable_writes_(durable_writes) {}
 
 namespace {
 
@@ -114,7 +117,14 @@ Session SessionManager::create(const std::string& identity, bool via_proxy) {
   session->via_proxy = via_proxy;
   session->created = util::unix_now();
   session->expires = session->created + default_ttl_;
-  store_.put(kTable, session->id, encode(*session));
+  // encode() produces an rvalue, so the store takes the record without a
+  // copy. The durable path rides the store's group commit: concurrent
+  // logins share one fdatasync instead of paying one each.
+  if (durable_writes_) {
+    store_.put_durable(kTable, session->id, encode(*session));
+  } else {
+    store_.put(kTable, session->id, encode(*session));
+  }
   Session out = *session;
   cache_put(std::shared_ptr<const Session>(std::move(session)));
   return out;
@@ -178,7 +188,8 @@ bool SessionManager::destroy(const std::string& id) {
   // Bump the generation before touching the store so an in-flight miss
   // that already read the old row cannot re-populate the cache.
   invalidations_.fetch_add(1, std::memory_order_release);
-  bool existed = store_.erase(kTable, id);
+  bool existed = durable_writes_ ? store_.erase_durable(kTable, id)
+                                 : store_.erase(kTable, id);
   cache_erase(id);
   return existed;
 }

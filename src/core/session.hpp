@@ -45,8 +45,13 @@ struct Session {
 
 class SessionManager {
  public:
-  /// `store` must outlive the manager. `default_ttl` in seconds.
-  SessionManager(db::Store& store, std::int64_t default_ttl = 24 * 3600);
+  /// `store` must outlive the manager. `default_ttl` in seconds. With
+  /// `durable_writes`, create/destroy use the store's group-commit
+  /// durable path: the call returns only after the mutation's journal
+  /// group is fdatasync'ed (concurrent logins share one fsync), so an
+  /// acknowledged login survives a server crash.
+  SessionManager(db::Store& store, std::int64_t default_ttl = 24 * 3600,
+                 bool durable_writes = false);
 
   /// Mint a session for an authenticated identity.
   Session create(const std::string& identity, bool via_proxy);
@@ -99,6 +104,7 @@ class SessionManager {
 
   db::Store& store_;
   std::int64_t default_ttl_;
+  bool durable_writes_;
   mutable Shard shards_[kShards];
   // Bumped before every store erase of a session; see header comment.
   mutable std::atomic<std::uint64_t> invalidations_{1};

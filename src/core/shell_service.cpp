@@ -90,7 +90,7 @@ void ShellService::load_user_map_file(const std::string& path) {
 std::optional<std::string> ShellService::map_user(
     const pki::DistinguishedName& dn) const {
   // VO membership checks below read the store while we hold the map lock.
-  // lock-order: core.shell -> db.store
+  // lock-order: core.shell -> db.store.shard
   util::LockGuard lock(mutex_);
   for (const auto& entry : entries_) {
     for (const auto& prefix : entry.dns) {

@@ -163,7 +163,7 @@ std::string TransferService::start(const pki::DistinguishedName& owner,
       proxies_.retrieve(owner.str(), proxy_password);
 
   {
-    // lock-order: core.transfer -> db.store
+    // lock-order: core.transfer -> db.store.shard
     util::LockGuard lock(mutex_);
     save(t);
     credentials_[t.id] = std::move(credential);
@@ -177,7 +177,7 @@ void TransferService::worker_loop() {
   for (;;) {
     std::string transfer_id;
     {
-      // lock-order: core.transfer -> db.store
+      // lock-order: core.transfer -> db.store.shard
       util::UniqueLock lock(mutex_);
       while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (stopping_) return;
@@ -207,7 +207,7 @@ void TransferService::run_transfer(const std::string& transfer_id) {
   Transfer t;
   ProxyService::StoredProxy credential;
   {
-    // lock-order: core.transfer -> db.store
+    // lock-order: core.transfer -> db.store.shard
     util::LockGuard lock(mutex_);
     t = load(transfer_id);
     auto it = credentials_.find(transfer_id);
@@ -257,7 +257,7 @@ void TransferService::run_transfer(const std::string& transfer_id) {
     error = e.what();
   }
 
-  // lock-order: core.transfer -> db.store
+  // lock-order: core.transfer -> db.store.shard
   util::LockGuard lock(mutex_);
   t = load(transfer_id);
   t.bytes = bytes;
@@ -271,7 +271,7 @@ void TransferService::run_transfer(const std::string& transfer_id) {
 
 Transfer TransferService::status(const std::string& transfer_id,
                                  const pki::DistinguishedName& who) const {
-  // lock-order: core.transfer -> db.store
+  // lock-order: core.transfer -> db.store.shard
   util::LockGuard lock(mutex_);
   Transfer t = load(transfer_id);
   if (t.owner != who.str()) {
@@ -282,7 +282,7 @@ Transfer TransferService::status(const std::string& transfer_id,
 
 std::vector<Transfer> TransferService::list(
     const pki::DistinguishedName& owner) const {
-  // lock-order: core.transfer -> db.store
+  // lock-order: core.transfer -> db.store.shard
   util::LockGuard lock(mutex_);
   std::vector<Transfer> out;
   for (const auto& id : store_.keys(kTable)) {
@@ -299,7 +299,7 @@ std::vector<Transfer> TransferService::list(
 
 bool TransferService::cancel(const std::string& transfer_id,
                              const pki::DistinguishedName& who) {
-  // lock-order: core.transfer -> db.store
+  // lock-order: core.transfer -> db.store.shard
   util::LockGuard lock(mutex_);
   Transfer t = load(transfer_id);
   if (t.owner != who.str()) {
@@ -317,7 +317,7 @@ bool TransferService::cancel(const std::string& transfer_id,
 Transfer TransferService::wait(const std::string& transfer_id,
                                const pki::DistinguishedName& who,
                                int timeout_ms) {
-  // lock-order: core.transfer -> db.store
+  // lock-order: core.transfer -> db.store.shard
   util::UniqueLock lock(mutex_);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);

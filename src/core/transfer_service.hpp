@@ -94,7 +94,7 @@ class TransferService {
   const pki::TrustStore& trust_;
 
   /// Held across store reads/writes of transfer records: hierarchy
-  /// `core.transfer` -> `db.store`.
+  /// `core.transfer` -> `db.store.shard`.
   mutable util::Mutex mutex_;
   util::CondVar work_available_;
   util::CondVar state_changed_;

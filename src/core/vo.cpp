@@ -104,7 +104,7 @@ std::vector<std::string> VoManager::list_groups() const {
 
 bool VoManager::is_root_admin(const pki::DistinguishedName& dn) const {
   std::uint64_t gen = generation_.load(std::memory_order_acquire);
-  // lock-order: core.vo.root_cache -> db.store
+  // lock-order: core.vo.root_cache -> db.store.shard
   util::LockGuard lock(root_cache_mutex_);
   if (root_cache_.stamp != gen) {
     root_cache_.prefixes.clear();
@@ -169,7 +169,7 @@ bool VoManager::can_administer(const std::string& group,
 
 void VoManager::create_group(const std::string& group,
                              const pki::DistinguishedName& actor) {
-  // lock-order: core.vo.write -> db.store
+  // lock-order: core.vo.write -> db.store.shard
   util::LockGuard lock(write_mutex_);
   validate_group_name(group);
   if (group == kAdminsGroup) {
@@ -201,7 +201,7 @@ void VoManager::create_group(const std::string& group,
 
 void VoManager::delete_group(const std::string& group,
                              const pki::DistinguishedName& actor) {
-  // lock-order: core.vo.write -> db.store
+  // lock-order: core.vo.write -> db.store.shard
   util::LockGuard lock(write_mutex_);
   if (group == kAdminsGroup) {
     throw AccessError("the admins group cannot be deleted");
@@ -222,7 +222,7 @@ void VoManager::delete_group(const std::string& group,
 
 void VoManager::add_member(const std::string& group, const std::string& member_dn,
                            const pki::DistinguishedName& actor) {
-  // lock-order: core.vo.write -> db.store
+  // lock-order: core.vo.write -> db.store.shard
   util::LockGuard lock(write_mutex_);
   GroupInfo info = load(group);
   if (!can_administer(group, actor)) {
@@ -239,7 +239,7 @@ void VoManager::add_member(const std::string& group, const std::string& member_d
 void VoManager::remove_member(const std::string& group,
                               const std::string& member_dn,
                               const pki::DistinguishedName& actor) {
-  // lock-order: core.vo.write -> db.store
+  // lock-order: core.vo.write -> db.store.shard
   util::LockGuard lock(write_mutex_);
   GroupInfo info = load(group);
   if (!can_administer(group, actor)) {
@@ -251,7 +251,7 @@ void VoManager::remove_member(const std::string& group,
 
 void VoManager::add_admin(const std::string& group, const std::string& admin_dn,
                           const pki::DistinguishedName& actor) {
-  // lock-order: core.vo.write -> db.store
+  // lock-order: core.vo.write -> db.store.shard
   util::LockGuard lock(write_mutex_);
   if (group == kAdminsGroup && !is_root_admin(actor)) {
     throw AccessError("only root administrators may modify the admins group");
@@ -270,7 +270,7 @@ void VoManager::add_admin(const std::string& group, const std::string& admin_dn,
 
 void VoManager::remove_admin(const std::string& group, const std::string& admin_dn,
                              const pki::DistinguishedName& actor) {
-  // lock-order: core.vo.write -> db.store
+  // lock-order: core.vo.write -> db.store.shard
   util::LockGuard lock(write_mutex_);
   GroupInfo info = load(group);
   if (!can_administer(group, actor)) {

@@ -86,14 +86,14 @@ class VoManager {
   /// write over the stored group record, and concurrent administrators
   /// must not lose each other's changes. Queries read the store directly
   /// (it is internally thread-safe) and take no lock. Held across store
-  /// calls: hierarchy `core.vo.write` -> `db.store`.
+  /// calls: hierarchy `core.vo.write` -> `db.store.shard`.
   util::Mutex write_mutex_;
 
   // is_root_admin() runs on the ACL evaluation path (group-based specs,
   // deny fallback), so the admins group is cached pre-parsed. Every
   // group mutation bumps the generation; the cache reloads lazily (the
   // reload reads the store under the lock: `core.vo.root_cache` ->
-  // `db.store`).
+  // `db.store.shard`).
   struct RootAdminCache {
     std::uint64_t stamp = 0;
     std::vector<pki::DistinguishedName> prefixes;  // admins + members

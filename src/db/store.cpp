@@ -1,9 +1,19 @@
 #include "db/store.hpp"
 
+#include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <functional>
+#include <set>
+#include <system_error>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -16,6 +26,8 @@ namespace {
 //   u8 op ('P' put / 'E' erase) | u32 tlen | u32 klen | u32 vlen |
 //   table | key | value | u32 fnv1a(checksum over everything before it)
 // Fixed-width little-endian lengths; the checksum detects torn tails.
+// Snapshots are the same record stream (all 'P'), written to a temp file
+// and renamed into place, so one replay routine reads both.
 
 std::uint32_t fnv1a(const void* data, std::size_t len, std::uint32_t seed) {
   const auto* p = static_cast<const std::uint8_t*>(data);
@@ -29,34 +41,18 @@ std::uint32_t fnv1a(const void* data, std::size_t len, std::uint32_t seed) {
 
 constexpr std::uint32_t kFnvBasis = 2166136261u;
 
+// Queue depth at which async writers start waiting for the journal
+// thread to drain — bounds memory when writers outrun the disk.
+constexpr std::size_t kMaxPendingRecords = 4096;
+
 void put_u32(std::string& out, std::uint32_t v) {
   char buf[4];
   std::memcpy(buf, &v, 4);
   out.append(buf, 4);
 }
 
-bool read_exact(std::FILE* f, void* out, std::size_t len) {
-  return std::fread(out, 1, len, f) == len;
-}
-
-}  // namespace
-
-Store::Store() = default;
-
-Store::Store(const std::string& directory) : directory_(directory) {
-  std::filesystem::create_directories(directory_);
-  util::LockGuard lock(mutex_);
-  load_locked();
-}
-
-Store::~Store() {
-  util::LockGuard lock(mutex_);
-  if (journal_) std::fclose(journal_);
-}
-
-void Store::append_journal(char op, const std::string& table,
-                           const std::string& key, const std::string& value) {
-  if (!journal_) return;
+std::string encode_record(char op, const std::string& table,
+                          const std::string& key, const std::string& value) {
   std::string record;
   record.reserve(17 + table.size() + key.size() + value.size());
   record.push_back(op);
@@ -67,21 +63,615 @@ void Store::append_journal(char op, const std::string& table,
   record.append(key);
   record.append(value);
   put_u32(record, fnv1a(record.data(), record.size(), kFnvBasis));
-  std::fwrite(record.data(), 1, record.size(), journal_);
-  std::fflush(journal_);
-  journal_bytes_ += record.size();
-  if (journal_bytes_ >= compact_threshold_) {
-    write_snapshot_locked();
+  return record;
+}
+
+bool read_exact(std::FILE* f, void* out, std::size_t len) {
+  return std::fread(out, 1, len, f) == len;
+}
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::error_code(errno, std::generic_category()).message();
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Construction / destruction
+
+Store::Store() {
+  shards_.push_back(std::make_unique<Shard>());
+  std::size_t n = round_up_pow2(std::clamp<std::size_t>(options_.shards, 1, 1024));
+  while (shards_.size() < n) shards_.push_back(std::make_unique<Shard>());
+  shard_mask_ = shards_.size() - 1;
+}
+
+Store::Store(const std::string& directory, StoreOptions options)
+    : options_(options), directory_(directory) {
+  options_.shards = round_up_pow2(std::clamp<std::size_t>(options_.shards, 1, 1024));
+  options_.commit_batch_max = std::clamp<std::size_t>(
+      options_.commit_batch_max, 1, static_cast<std::size_t>(IOV_MAX));
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shards_.size() - 1;
+  load();
+  journal_thread_ = util::Thread([this] { journal_main(); });
+}
+
+Store::~Store() {
+  if (journal_thread_.joinable()) {
+    {
+      util::UniqueLock lock(journal_mutex_);
+      stop_ = true;
+      work_cv_.notify_one();
+    }
+    // The journal thread drains every queued record before exiting.
+    journal_thread_.join();
+  }
+  if (journal_fd_ >= 0) {
+    ::fdatasync(journal_fd_);  // best-effort: clean shutdowns leave disk hot
+    ::close(journal_fd_);
   }
 }
 
-void Store::replay_file(std::FILE* f, bool tolerate_tear) {
+// --------------------------------------------------------------------------
+// Memtable
+
+Store::Shard& Store::shard_of(const std::string& table,
+                              const std::string& key) const {
+  std::size_t h = std::hash<std::string>{}(table);
+  h ^= std::hash<std::string>{}(key) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return *shards_[h & shard_mask_];
+}
+
+std::uint64_t Store::enqueue(std::string&& record) {
+  // Called under the owning shard's write lock: the shard lock is what
+  // guarantees journal order == memtable order per key.
+  util::UniqueLock lock(journal_mutex_);
+  std::uint64_t seq = ++enqueued_seq_;
+  bool was_empty = pending_.empty();
+  pending_.push_back(Pending{std::move(record), seq});
+  pending_count_.store(pending_.size(), std::memory_order_relaxed);
+  // The journal thread only sleeps when the queue is empty (or inside a
+  // batching window that a full batch ends), so waking it on every
+  // record would just burn futex calls under load.
+  if (was_empty || pending_.size() == options_.commit_batch_max) {
+    work_cv_.notify_one();
+  }
+  return seq;
+}
+
+void Store::wait_commit(std::uint64_t seq, bool durable) {
+  util::UniqueLock lock(journal_mutex_);
+  if (durable && seq > sync_target_) {
+    sync_target_ = seq;
+    work_cv_.notify_one();
+  }
+  const std::uint64_t& watermark = durable ? durable_seq_ : written_seq_;
+  while (!failed_.load(std::memory_order_acquire) && watermark < seq) {
+    progress_cv_.wait(lock);
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    throw SystemError("store unavailable: " + error_);
+  }
+}
+
+void Store::check_available() const {
+  if (!failed_.load(std::memory_order_acquire)) return;
+  std::string message;
+  {
+    util::LockGuard lock(journal_mutex_);
+    message = error_;
+  }
+  throw SystemError("store unavailable: " + message);
+}
+
+void Store::fail(const std::string& what) {
+  util::UniqueLock lock(journal_mutex_);
+  if (!failed_.load(std::memory_order_acquire)) {
+    error_ = what;
+    failed_.store(true, std::memory_order_release);
+    CLARENS_LOG(Error) << "db: journal failed: " << what;
+  }
+  pending_.clear();
+  pending_count_.store(0, std::memory_order_relaxed);
+  progress_cv_.notify_all();
+}
+
+void Store::put_impl(const std::string& table, const std::string& key,
+                     std::string&& value, bool durable) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  check_available();
+  std::string record;
+  if (persistent()) {
+    record = encode_record('P', table, key, value);
+    if (options_.group_commit &&
+        pending_count_.load(std::memory_order_relaxed) >= kMaxPendingRecords) {
+      // Backpressure: never taken with a shard lock held, so readers are
+      // unaffected while this writer waits for the queue to drain.
+      util::UniqueLock lock(journal_mutex_);
+      while (!failed_.load(std::memory_order_acquire) &&
+             pending_.size() >= kMaxPendingRecords) {
+        progress_cv_.wait(lock);
+      }
+    }
+    check_available();
+  }
+  auto shared = std::make_shared<const std::string>(std::move(value));
+  Shard& shard = shard_of(table, key);
+  std::uint64_t seq = 0;
+  {
+    util::WriteLock lock(shard.mutex);
+    shard.tables[table][key] = std::move(shared);
+    if (persistent()) {
+      // lock-order: db.store.shard -> db.store.journal
+      seq = enqueue(std::move(record));
+    }
+  }
+  if (persistent() && (durable || !options_.group_commit)) {
+    wait_commit(seq, durable);
+  }
+}
+
+void Store::put(const std::string& table, const std::string& key,
+                const std::string& value) {
+  put_impl(table, key, std::string(value), /*durable=*/false);
+}
+
+void Store::put(const std::string& table, const std::string& key,
+                std::string&& value) {
+  put_impl(table, key, std::move(value), /*durable=*/false);
+}
+
+void Store::put_durable(const std::string& table, const std::string& key,
+                        std::string value) {
+  put_impl(table, key, std::move(value), /*durable=*/true);
+}
+
+bool Store::erase_impl(const std::string& table, const std::string& key,
+                       bool durable) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  check_available();
+  std::string record;
+  if (persistent()) record = encode_record('E', table, key, "");
+  Shard& shard = shard_of(table, key);
+  std::uint64_t seq = 0;
+  bool existed = false;
+  {
+    util::WriteLock lock(shard.mutex);
+    auto it = shard.tables.find(table);
+    if (it != shard.tables.end() && it->second.erase(key) != 0) {
+      existed = true;
+      if (it->second.empty()) shard.tables.erase(it);
+      if (persistent()) {
+        // lock-order: db.store.shard -> db.store.journal
+        seq = enqueue(std::move(record));
+      }
+    }
+  }
+  if (existed && persistent() && (durable || !options_.group_commit)) {
+    wait_commit(seq, durable);
+  }
+  return existed;
+}
+
+bool Store::erase(const std::string& table, const std::string& key) {
+  return erase_impl(table, key, /*durable=*/false);
+}
+
+bool Store::erase_durable(const std::string& table, const std::string& key) {
+  return erase_impl(table, key, /*durable=*/true);
+}
+
+std::optional<std::string> Store::get(const std::string& table,
+                                      const std::string& key) const {
+  std::shared_ptr<const std::string> value = get_shared(table, key);
+  if (!value) return std::nullopt;
+  return *value;  // copied outside any lock
+}
+
+std::shared_ptr<const std::string> Store::get_shared(
+    const std::string& table, const std::string& key) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_of(table, key);
+  util::ReadLock lock(shard.mutex);
+  auto it = shard.tables.find(table);
+  if (it == shard.tables.end()) return nullptr;
+  auto kit = it->second.find(key);
+  if (kit == it->second.end()) return nullptr;
+  return kit->second;
+}
+
+bool Store::contains(const std::string& table, const std::string& key) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_of(table, key);
+  util::ReadLock lock(shard.mutex);
+  auto it = shard.tables.find(table);
+  return it != shard.tables.end() && it->second.count(key) != 0;
+}
+
+std::vector<std::string> Store::keys(const std::string& table) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    util::ReadLock lock(shard->mutex);
+    auto it = shard->tables.find(table);
+    if (it == shard->tables.end()) continue;
+    for (const auto& [key, _] : it->second) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
+    const std::string& table, const std::string& prefix) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& shard : shards_) {
+    util::ReadLock lock(shard->mutex);
+    auto it = shard->tables.find(table);
+    if (it == shard->tables.end()) continue;
+    for (auto kit = it->second.lower_bound(prefix); kit != it->second.end();
+         ++kit) {
+      if (kit->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.emplace_back(kit->first, *kit->second);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t Store::drop_table(const std::string& table) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  check_available();
+  std::size_t dropped = 0;
+  for (const auto& shard : shards_) {
+    util::WriteLock lock(shard->mutex);
+    auto it = shard->tables.find(table);
+    if (it == shard->tables.end()) continue;
+    dropped += it->second.size();
+    if (persistent()) {
+      // Journal each erase (under the shard lock, so a concurrent re-put
+      // of a dropped key cannot land between our memtable erase and our
+      // journal record) so replay reproduces the drop.
+      // lock-order: db.store.shard -> db.store.journal
+      for (const auto& [key, _] : it->second) {
+        enqueue(encode_record('E', table, key, ""));
+      }
+    }
+    shard->tables.erase(it);
+  }
+  return dropped;
+}
+
+std::vector<std::string> Store::tables() const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  std::set<std::string> names;
+  for (const auto& shard : shards_) {
+    util::ReadLock lock(shard->mutex);
+    for (const auto& [name, _] : shard->tables) names.insert(name);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::size_t Store::size(const std::string& table) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    util::ReadLock lock(shard->mutex);
+    auto it = shard->tables.find(table);
+    if (it != shard->tables.end()) total += it->second.size();
+  }
+  return total;
+}
+
+// --------------------------------------------------------------------------
+// Durability barriers
+
+void Store::sync() {
+  if (!persistent()) return;
+  util::UniqueLock lock(journal_mutex_);
+  std::uint64_t target = enqueued_seq_;
+  if (target > sync_target_) sync_target_ = target;
+  work_cv_.notify_one();
+  while (!failed_.load(std::memory_order_acquire) && durable_seq_ < target) {
+    progress_cv_.wait(lock);
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    throw SystemError("store unavailable: " + error_);
+  }
+}
+
+void Store::compact() {
+  if (!persistent()) return;
+  util::UniqueLock lock(journal_mutex_);
+  // Wait for a checkpoint that *starts* after this request, so records
+  // already enqueued are folded (the journal thread drains the queue
+  // before checkpointing).
+  std::uint64_t target = ++compact_requests_;
+  work_cv_.notify_one();
+  while (!failed_.load(std::memory_order_acquire) &&
+         compacted_through_ < target) {
+    progress_cv_.wait(lock);
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    throw SystemError("store unavailable: " + error_);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Journal thread: group commit + background checkpoint
+
+bool Store::write_group(int fd, std::vector<Pending>& group,
+                        std::size_t* bytes_written) {
+  std::vector<iovec> iov(group.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    iov[i].iov_base = group[i].bytes.data();
+    iov[i].iov_len = group[i].bytes.size();
+    total += group[i].bytes.size();
+  }
+  std::size_t idx = 0;
+  while (idx < iov.size()) {
+    int count = static_cast<int>(
+        std::min<std::size_t>(iov.size() - idx, static_cast<std::size_t>(IOV_MAX)));
+    ssize_t wrote = ::writev(fd, &iov[idx], count);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail(errno_message("journal writev"));
+      return false;
+    }
+    // Short write (disk full mid-group, signals): advance the iovec
+    // cursor and keep going; a hard error surfaces on the next call.
+    std::size_t n = static_cast<std::size_t>(wrote);
+    while (n > 0 && idx < iov.size()) {
+      if (n >= iov[idx].iov_len) {
+        n -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + n;
+        iov[idx].iov_len -= n;
+        n = 0;
+      }
+    }
+  }
+  *bytes_written = total;
+  return true;
+}
+
+void Store::journal_main() {
+  for (;;) {
+    std::vector<Pending> group;
+    bool need_sync = false;
+    bool barrier_sync = false;
+    bool do_checkpoint = false;
+    std::uint64_t checkpoint_target = 0;
+    {
+      util::UniqueLock lock(journal_mutex_);
+      for (;;) {
+        if (failed_.load(std::memory_order_acquire)) return;
+        if (!pending_.empty()) break;
+        if (sync_target_ > durable_seq_) {
+          barrier_sync = true;
+          break;
+        }
+        if (journal_bytes_ >= options_.compact_threshold &&
+            compact_requests_ == compacted_through_) {
+          ++compact_requests_;  // self-request a background checkpoint
+        }
+        if (compact_requests_ > compacted_through_) {
+          do_checkpoint = true;
+          checkpoint_target = compact_requests_;
+          break;
+        }
+        if (stop_) return;  // queue drained, barriers served: clean exit
+        work_cv_.wait(lock);
+      }
+      if (!barrier_sync && !do_checkpoint) {
+        if (options_.group_commit && options_.commit_interval_us > 0 &&
+            !stop_ && pending_.size() < options_.commit_batch_max &&
+            sync_target_ <= durable_seq_) {
+          // Batching window: let concurrent writers pile onto this group
+          // before paying the fdatasync. A durable waiter arriving
+          // (sync_target_ bump) or a full batch ends the window early.
+          auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::microseconds(options_.commit_interval_us);
+          while (!stop_ && !failed_.load(std::memory_order_acquire) &&
+                 pending_.size() < options_.commit_batch_max &&
+                 sync_target_ <= durable_seq_ &&
+                 work_cv_.wait_until(lock, deadline) !=
+                     std::cv_status::timeout) {
+          }
+        }
+        std::size_t take = options_.group_commit
+                               ? std::min(pending_.size(),
+                                          options_.commit_batch_max)
+                               : 1;
+        group.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          group.push_back(std::move(pending_.front()));
+          pending_.pop_front();
+        }
+        pending_count_.store(pending_.size(), std::memory_order_relaxed);
+        // fdatasync only when a durable waiter / sync() barrier needs
+        // it: async puts promise enqueue-order journaling, not
+        // power-loss durability. A waiter whose record rides this group
+        // without being covered here is served by the barrier branch on
+        // the next loop iteration.
+        need_sync = sync_target_ > durable_seq_;
+      }
+    }
+
+    if (barrier_sync) {
+      // sync() barrier with an already-drained queue (per-op mode, or a
+      // durable waiter racing the group that carried its record).
+      if (journal_fd_ >= 0 && ::fdatasync(journal_fd_) != 0) {
+        fail(errno_message("journal fdatasync"));
+        return;
+      }
+      util::UniqueLock lock(journal_mutex_);
+      durable_seq_ = written_seq_;
+      progress_cv_.notify_all();
+      continue;
+    }
+
+    if (do_checkpoint) {
+      if (!checkpoint()) return;  // fail() already recorded the cause
+      util::UniqueLock lock(journal_mutex_);
+      compacted_through_ = checkpoint_target;
+      progress_cv_.notify_all();
+      continue;
+    }
+
+    // Commit the group: one writev, one fdatasync, one broadcast.
+    std::size_t bytes = 0;
+    if (!write_group(journal_fd_, group, &bytes)) return;
+    if (need_sync && ::fdatasync(journal_fd_) != 0) {
+      fail(errno_message("journal fdatasync"));
+      return;
+    }
+    journal_bytes_ += bytes;
+    {
+      util::UniqueLock lock(journal_mutex_);
+      written_seq_ = group.back().seq;
+      if (need_sync) durable_seq_ = written_seq_;
+      progress_cv_.notify_all();
+    }
+  }
+}
+
+bool Store::fsync_directory() {
+  int fd = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    fail(errno_message("open store directory"));
+    return false;
+  }
+  bool ok = ::fsync(fd) == 0;
+  if (!ok) fail(errno_message("fsync store directory"));
+  ::close(fd);
+  return ok;
+}
+
+bool Store::write_snapshot() {
+  std::string tmp_path = directory_ + "/snapshot.tmp";
+  std::string snapshot_path = directory_ + "/snapshot.db";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (!f) {
+    fail(errno_message("create " + tmp_path));
+    return false;
+  }
+  // Stream one shard at a time: each copy is a consistent freeze of that
+  // shard (value pointers, not bytes), taken under a shared lock so the
+  // shard's writers stall only for the pointer copy, never for the I/O.
+  // Writers that slip in after a shard was copied are still correct:
+  // their records are in the commit queue and will be journaled after
+  // the checkpoint, and replay-over-snapshot is idempotent.
+  for (const auto& shard : shards_) {
+    std::map<std::string, Table> frozen;
+    {
+      util::ReadLock lock(shard->mutex);
+      frozen = shard->tables;
+    }
+    for (const auto& [table, rows] : frozen) {
+      for (const auto& [key, value] : rows) {
+        std::string record = encode_record('P', table, key, *value);
+        if (std::fwrite(record.data(), 1, record.size(), f) != record.size()) {
+          fail(errno_message("write " + tmp_path));
+          std::fclose(f);
+          ::unlink(tmp_path.c_str());
+          return false;
+        }
+      }
+    }
+  }
+  bool ok = std::fflush(f) == 0 && ::fdatasync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    fail(errno_message("flush " + tmp_path));
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  if (::rename(tmp_path.c_str(), snapshot_path.c_str()) != 0) {
+    fail(errno_message("rename snapshot"));
+    return false;
+  }
+  return fsync_directory();
+}
+
+bool Store::checkpoint() {
+  std::string journal_path = directory_ + "/journal.log";
+  std::string old_path = directory_ + "/journal.old";
+
+  // 1. Rotate: the current journal becomes journal.old and new groups go
+  //    to a fresh journal.log. Recovery replays snapshot, then .old,
+  //    then .log, so every crash point between here and the unlink below
+  //    reconstructs exactly the durable state.
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+  if (::rename(journal_path.c_str(), old_path.c_str()) != 0) {
+    fail(errno_message("rotate journal"));
+    return false;
+  }
+  journal_fd_ = ::open(journal_path.c_str(),
+                       O_CREAT | O_WRONLY | O_APPEND | O_TRUNC, 0644);
+  if (journal_fd_ < 0) {
+    fail(errno_message("reopen journal"));
+    return false;
+  }
+  if (!fsync_directory()) return false;
+
+  // 2. Dump the memtable (per-shard freeze) and publish it atomically.
+  if (!write_snapshot()) return false;
+
+  // 3. The rotated journal is folded into the snapshot; drop it.
+  ::unlink(old_path.c_str());
+  if (!fsync_directory()) return false;
+  journal_bytes_ = 0;
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Recovery
+
+void Store::apply_replayed(char op, std::string&& table, std::string&& key,
+                           std::string&& value) {
+  Shard& shard = shard_of(table, key);
+  util::WriteLock lock(shard.mutex);
+  if (op == 'P') {
+    shard.tables[std::move(table)][std::move(key)] =
+        std::make_shared<const std::string>(std::move(value));
+  } else {
+    auto it = shard.tables.find(table);
+    if (it != shard.tables.end()) {
+      it->second.erase(key);
+      if (it->second.empty()) shard.tables.erase(it);
+    }
+  }
+}
+
+std::size_t Store::replay_file(std::FILE* f, bool tolerate_tear, bool* tore) {
+  std::size_t good = 0;
   for (;;) {
     unsigned char header[13];
     std::size_t got = std::fread(header, 1, sizeof(header), f);
-    if (got == 0) return;  // clean EOF
+    if (got == 0) return good;  // clean EOF
     if (got < sizeof(header)) {
-      if (tolerate_tear) return;
+      if (tolerate_tear) {
+        if (tore) *tore = true;
+        return good;
+      }
       throw SystemError("corrupt store: truncated record header");
     }
     char op = static_cast<char>(header[0]);
@@ -90,16 +680,24 @@ void Store::replay_file(std::FILE* f, bool tolerate_tear) {
     std::memcpy(&klen, header + 5, 4);
     std::memcpy(&vlen, header + 9, 4);
     // Guard against absurd lengths from corruption.
-    if (tlen > (1u << 20) || klen > (1u << 24) || vlen > (1u << 28)) {
-      if (tolerate_tear) return;
-      throw SystemError("corrupt store: implausible record length");
+    bool plausible = (op == 'P' || op == 'E') && tlen <= (1u << 20) &&
+                     klen <= (1u << 24) && vlen <= (1u << 28);
+    if (!plausible) {
+      if (tolerate_tear) {
+        if (tore) *tore = true;
+        return good;
+      }
+      throw SystemError("corrupt store: implausible record");
     }
     std::string table(tlen, '\0'), key(klen, '\0'), value(vlen, '\0');
     std::uint32_t checksum = 0;
     if (!read_exact(f, table.data(), tlen) || !read_exact(f, key.data(), klen) ||
         !read_exact(f, value.data(), vlen) ||
         !read_exact(f, &checksum, sizeof(checksum))) {
-      if (tolerate_tear) return;
+      if (tolerate_tear) {
+        if (tore) *tore = true;
+        return good;
+      }
       throw SystemError("corrupt store: truncated record body");
     }
     std::uint32_t h = fnv1a(header, sizeof(header), kFnvBasis);
@@ -107,177 +705,68 @@ void Store::replay_file(std::FILE* f, bool tolerate_tear) {
     h = fnv1a(key.data(), klen, h);
     h = fnv1a(value.data(), vlen, h);
     if (h != checksum) {
-      if (tolerate_tear) return;
+      if (tolerate_tear) {
+        if (tore) *tore = true;
+        return good;
+      }
       throw SystemError("corrupt store: checksum mismatch");
     }
-    if (op == 'P') {
-      tables_[table][key] = value;
-    } else if (op == 'E') {
-      auto it = tables_.find(table);
-      if (it != tables_.end()) {
-        it->second.erase(key);
-        if (it->second.empty()) tables_.erase(it);
-      }
-    } else {
-      if (tolerate_tear) return;
-      throw SystemError("corrupt store: unknown op");
-    }
+    apply_replayed(op, std::move(table), std::move(key), std::move(value));
+    good += sizeof(header) + tlen + klen + vlen + sizeof(checksum);
   }
 }
 
-void Store::load_locked() {
-  tables_.clear();
+void Store::load() {
+  std::filesystem::create_directories(directory_);
   std::string snapshot_path = directory_ + "/snapshot.db";
+  std::string old_path = directory_ + "/journal.old";
   std::string journal_path = directory_ + "/journal.log";
+
+  // A snapshot.tmp is a checkpoint that never reached its rename; the
+  // previous snapshot + journals are still authoritative.
+  ::unlink((directory_ + "/snapshot.tmp").c_str());
 
   if (std::FILE* f = std::fopen(snapshot_path.c_str(), "rb")) {
     // Snapshots are written atomically, so corruption is a hard error.
-    replay_file(f, /*tolerate_tear=*/false);
+    replay_file(f, /*tolerate_tear=*/false, nullptr);
     std::fclose(f);
   }
+  // journal.old exists only when a checkpoint died between its snapshot
+  // rename and the unlink; its records are ordered before journal.log's.
+  bool fold = false;
+  if (std::FILE* f = std::fopen(old_path.c_str(), "rb")) {
+    fold = true;
+    replay_file(f, /*tolerate_tear=*/true, nullptr);
+    std::fclose(f);
+  }
+  bool tore = false;
+  std::size_t good_bytes = 0;
   if (std::FILE* f = std::fopen(journal_path.c_str(), "rb")) {
     // The journal's final record may be torn by a crash; discard it.
-    replay_file(f, /*tolerate_tear=*/true);
+    good_bytes = replay_file(f, /*tolerate_tear=*/true, &tore);
     std::fclose(f);
   }
-  journal_ = std::fopen(journal_path.c_str(), "ab");
-  if (!journal_) throw SystemError("cannot open journal: " + journal_path);
-  long pos = std::ftell(journal_);
-  journal_bytes_ = pos > 0 ? static_cast<std::size_t>(pos) : 0;
-}
 
-void Store::write_snapshot_locked() {
-  if (directory_.empty()) return;
-  std::string tmp_path = directory_ + "/snapshot.tmp";
-  std::string snapshot_path = directory_ + "/snapshot.db";
-  std::string journal_path = directory_ + "/journal.log";
-
-  {
-    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-    if (!f) throw SystemError("cannot write snapshot: " + tmp_path);
-    for (const auto& [table, rows] : tables_) {
-      for (const auto& [key, value] : rows) {
-        std::string record;
-        record.push_back('P');
-        put_u32(record, static_cast<std::uint32_t>(table.size()));
-        put_u32(record, static_cast<std::uint32_t>(key.size()));
-        put_u32(record, static_cast<std::uint32_t>(value.size()));
-        record.append(table);
-        record.append(key);
-        record.append(value);
-        put_u32(record, fnv1a(record.data(), record.size(), kFnvBasis));
-        std::fwrite(record.data(), 1, record.size(), f);
-      }
+  if (fold || tore) {
+    // Fold everything recovered into a fresh snapshot before accepting
+    // writes: a torn journal must never be appended to (records after
+    // the tear would be unreachable on the next replay), and journal.old
+    // must not survive into a second crash.
+    if (!write_snapshot()) {
+      throw SystemError("store recovery failed: " + error_);
     }
-    std::fflush(f);
-    std::fclose(f);
+    ::unlink(old_path.c_str());
+    journal_fd_ = ::open(journal_path.c_str(),
+                         O_CREAT | O_WRONLY | O_APPEND | O_TRUNC, 0644);
+    good_bytes = 0;
+  } else {
+    journal_fd_ =
+        ::open(journal_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
   }
-  std::filesystem::rename(tmp_path, snapshot_path);
-
-  if (journal_) std::fclose(journal_);
-  journal_ = std::fopen(journal_path.c_str(), "wb");
-  if (!journal_) throw SystemError("cannot truncate journal: " + journal_path);
-  journal_bytes_ = 0;
-}
-
-void Store::put(const std::string& table, const std::string& key,
-                const std::string& value) {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  tables_[table][key] = value;
-  append_journal('P', table, key, value);
-}
-
-std::optional<std::string> Store::get(const std::string& table,
-                                      const std::string& key) const {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return std::nullopt;
-  auto kit = it->second.find(key);
-  if (kit == it->second.end()) return std::nullopt;
-  return kit->second;
-}
-
-bool Store::erase(const std::string& table, const std::string& key) {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  auto it = tables_.find(table);
-  if (it == tables_.end() || it->second.erase(key) == 0) return false;
-  if (it->second.empty()) tables_.erase(it);
-  append_journal('E', table, key, "");
-  return true;
-}
-
-bool Store::contains(const std::string& table, const std::string& key) const {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  auto it = tables_.find(table);
-  return it != tables_.end() && it->second.count(key) != 0;
-}
-
-std::vector<std::string> Store::keys(const std::string& table) const {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  std::vector<std::string> out;
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [key, _] : it->second) out.push_back(key);
-  return out;
-}
-
-std::vector<std::pair<std::string, std::string>> Store::scan_prefix(
-    const std::string& table, const std::string& prefix) const {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  std::vector<std::pair<std::string, std::string>> out;
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return out;
-  for (auto kit = it->second.lower_bound(prefix); kit != it->second.end();
-       ++kit) {
-    if (kit->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.emplace_back(kit->first, kit->second);
+  if (journal_fd_ < 0) {
+    throw SystemError(errno_message("cannot open journal " + journal_path));
   }
-  return out;
-}
-
-std::size_t Store::drop_table(const std::string& table) {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return 0;
-  std::size_t n = it->second.size();
-  // Journal each erase so replay reproduces the drop.
-  for (const auto& [key, _] : it->second) append_journal('E', table, key, "");
-  tables_.erase(it);
-  return n;
-}
-
-std::vector<std::string> Store::tables() const {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  std::vector<std::string> out;
-  out.reserve(tables_.size());
-  for (const auto& [name, _] : tables_) out.push_back(name);
-  return out;
-}
-
-std::size_t Store::size(const std::string& table) const {
-  ops_.fetch_add(1, std::memory_order_relaxed);
-  util::LockGuard lock(mutex_);
-  auto it = tables_.find(table);
-  return it == tables_.end() ? 0 : it->second.size();
-}
-
-void Store::compact() {
-  util::LockGuard lock(mutex_);
-  write_snapshot_locked();
-}
-
-void Store::sync() {
-  util::LockGuard lock(mutex_);
-  if (journal_) std::fflush(journal_);
+  journal_bytes_ = good_bytes;
 }
 
 }  // namespace clarens::db

@@ -92,6 +92,49 @@ TEST(ConfigLoader, MalformedEntriesThrow) {
   EXPECT_NO_THROW(config_from(util::Config::parse("max_read_chunk 4294967295\n")));
 }
 
+TEST(ConfigLoader, StorageEngineKnobs) {
+  ClarensConfig out = config_from(util::Config::parse(
+      "store_shards 64\n"
+      "store_group_commit false\n"
+      "store_commit_interval_us 500\n"
+      "store_commit_batch_max 1024\n"
+      "store_compact_threshold 1048576\n"
+      "session_durable_writes true\n"));
+  EXPECT_EQ(out.store_shards, 64u);
+  EXPECT_FALSE(out.store_group_commit);
+  EXPECT_EQ(out.store_commit_interval_us, 500);
+  EXPECT_EQ(out.store_commit_batch_max, 1024u);
+  EXPECT_EQ(out.store_compact_threshold, 1048576);
+  EXPECT_TRUE(out.session_durable_writes);
+
+  // Defaults when unset.
+  ClarensConfig defaults = config_from(util::Config::parse("host x\n"));
+  EXPECT_EQ(defaults.store_shards, 16u);
+  EXPECT_TRUE(defaults.store_group_commit);
+  EXPECT_FALSE(defaults.session_durable_writes);
+}
+
+TEST(ConfigLoader, StorageEngineKnobValidation) {
+  EXPECT_THROW(config_from(util::Config::parse("store_shards 0\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("store_shards 2048\n")),
+               ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("store_commit_interval_us -1\n")),
+      ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("store_commit_interval_us 2000000\n")),
+      ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("store_commit_batch_max 0\n")),
+               ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("store_commit_batch_max 100000\n")),
+      ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("store_compact_threshold 1024\n")),
+      ParseError);
+}
+
 TEST(ConfigLoader, LoadsCredentialTrustAndUserMapFiles) {
   const TestPki& pki = TestPki::instance();
   TempDir tmp;

@@ -134,6 +134,7 @@ TEST(Store, CompactionPreservesContentAndShrinksJournal) {
       store.put("t", "hot", "value-" + std::to_string(i));
     }
     store.put("t", "cold", "stable");
+    store.sync();  // drain the commit queue before measuring the journal
     auto before = std::filesystem::file_size(tmp.path() + "/journal.log");
     store.compact();
     auto after = std::filesystem::file_size(tmp.path() + "/journal.log");
@@ -174,6 +175,206 @@ TEST(Store, ConcurrentWritersDontCorrupt) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(store.size("t"), 8u * 500u);
+}
+
+TEST(Store, GetSharedSurvivesOverwriteAndErase) {
+  Store store;
+  store.put("t", "k", "original");
+  auto snapshot = store.get_shared("t", "k");
+  ASSERT_TRUE(snapshot);
+  store.put("t", "k", "replaced");
+  store.erase("t", "k");
+  // The record handed out is immutable: later mutations never touch it.
+  EXPECT_EQ(*snapshot, "original");
+  EXPECT_FALSE(store.get_shared("t", "missing"));
+}
+
+TEST(Store, SyncMakesDataDurableAcrossReopen) {
+  // Satellite: sync() is a real durability barrier. Copy the live
+  // directory right after sync() returns — before the store's destructor
+  // can flush anything — and recover from the copy: every record written
+  // before the sync must be there.
+  TempDir tmp;
+  Store store(tmp.path());
+  store.put("t", "synced", "yes");
+  store.put("t", "synced2", "also");
+  store.sync();
+  std::filesystem::copy(tmp.path(), tmp.path() + "_snap",
+                        std::filesystem::copy_options::recursive);
+  Store recovered(tmp.path() + "_snap");
+  EXPECT_EQ(recovered.get("t", "synced"), "yes");
+  EXPECT_EQ(recovered.get("t", "synced2"), "also");
+}
+
+TEST(Store, PutDurableVisibleAfterCopyOfLiveDirectory) {
+  TempDir tmp;
+  Store store(tmp.path());
+  store.put_durable("t", "k", "durable-value");
+  // put_durable acked => the record is on disk now, before destruction.
+  std::filesystem::copy(tmp.path(), tmp.path() + "_snap",
+                        std::filesystem::copy_options::recursive);
+  Store recovered(tmp.path() + "_snap");
+  EXPECT_EQ(recovered.get("t", "k"), "durable-value");
+}
+
+TEST(Store, EraseDurableVisibleAfterCopyOfLiveDirectory) {
+  TempDir tmp;
+  Store store(tmp.path());
+  store.put_durable("t", "k", "v");
+  EXPECT_TRUE(store.erase_durable("t", "k"));
+  EXPECT_FALSE(store.erase_durable("t", "k"));
+  std::filesystem::copy(tmp.path(), tmp.path() + "_snap",
+                        std::filesystem::copy_options::recursive);
+  Store recovered(tmp.path() + "_snap");
+  EXPECT_FALSE(recovered.get("t", "k").has_value());
+}
+
+TEST(Store, ShardedViewsMergeSorted) {
+  // Exercise the merge paths with enough keys that every shard of a
+  // 16-way store holds several.
+  StoreOptions options;
+  options.shards = 16;
+  TempDir tmp;
+  Store store(tmp.path(), options);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key-%03d", i);
+    store.put("t", buf, std::to_string(i));
+    expected.push_back(buf);
+  }
+  store.put("other", "x", "y");
+  EXPECT_EQ(store.keys("t"), expected);  // sorted merge across shards
+  auto scan = store.scan_prefix("t", "key-01");
+  ASSERT_EQ(scan.size(), 10u);
+  EXPECT_EQ(scan.front().first, "key-010");
+  EXPECT_EQ(scan.back().first, "key-019");
+  EXPECT_EQ(scan.back().second, "19");
+  EXPECT_EQ(store.tables(), (std::vector<std::string>{"other", "t"}));
+  EXPECT_EQ(store.size("t"), 200u);
+  EXPECT_EQ(store.drop_table("t"), 200u);
+  EXPECT_EQ(store.tables(), (std::vector<std::string>{"other"}));
+}
+
+TEST(Store, SingleShardStoreStillCorrect) {
+  StoreOptions options;
+  options.shards = 1;
+  options.group_commit = false;  // per-op commit ablation path
+  TempDir tmp;
+  {
+    Store store(tmp.path(), options);
+    store.put("t", "a", "1");
+    store.put("t", "b", "2");
+    EXPECT_TRUE(store.erase("t", "a"));
+  }
+  Store reopened(tmp.path(), options);
+  EXPECT_FALSE(reopened.get("t", "a").has_value());
+  EXPECT_EQ(reopened.get("t", "b"), "2");
+}
+
+TEST(Store, ConcurrentDurableWritersShareGroups) {
+  TempDir tmp;
+  StoreOptions options;
+  options.commit_interval_us = 100;
+  Store store(tmp.path(), options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        std::string key = "d" + std::to_string(t) + "-" + std::to_string(i);
+        store.put_durable("t", key, "v");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size("t"), 4u * 50u);
+  std::filesystem::copy(tmp.path(), tmp.path() + "_snap",
+                        std::filesystem::copy_options::recursive);
+  Store recovered(tmp.path() + "_snap");
+  EXPECT_EQ(recovered.size("t"), 4u * 50u);
+}
+
+TEST(Store, ConcurrentWritersWithCompaction) {
+  TempDir tmp;
+  StoreOptions options;
+  options.compact_threshold = 16 * 1024;  // force frequent auto-checkpoints
+  Store store(tmp.path(), options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 300; ++i) {
+        std::string key = "k" + std::to_string(t) + "-" + std::to_string(i);
+        store.put("t", key, std::string(64, 'x'));
+        EXPECT_TRUE(store.get_shared("t", key));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  store.compact();
+  EXPECT_EQ(store.size("t"), 4u * 300u);
+}
+
+TEST(Store, ReopenAfterAutoCompaction) {
+  TempDir tmp;
+  StoreOptions options;
+  options.compact_threshold = 8 * 1024;
+  {
+    Store store(tmp.path(), options);
+    for (int i = 0; i < 200; ++i) {
+      store.put("t", "hot", std::string(128, 'a' + (i % 26)));
+    }
+    store.put("t", "last", "value");
+  }
+  Store reopened(tmp.path());
+  EXPECT_EQ(reopened.get("t", "last"), "value");
+  EXPECT_TRUE(reopened.get("t", "hot").has_value());
+}
+
+TEST(Store, LeftoverJournalOldIsReplayedAndFolded) {
+  // Simulate a checkpoint that crashed between the snapshot rename and
+  // the journal.old unlink: recovery must replay .old before .log and
+  // fold everything so the stale file cannot survive a second crash.
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    store.put("t", "a", "1");
+  }
+  std::filesystem::rename(tmp.path() + "/journal.log",
+                          tmp.path() + "/journal.old");
+  {
+    std::ofstream journal(tmp.path() + "/journal.log", std::ios::binary);
+    (void)journal;  // empty fresh journal, as rotation leaves it
+  }
+  {
+    Store store(tmp.path());
+    EXPECT_EQ(store.get("t", "a"), "1");
+  }
+  EXPECT_FALSE(std::filesystem::exists(tmp.path() + "/journal.old"));
+  EXPECT_TRUE(std::filesystem::exists(tmp.path() + "/snapshot.db"));
+}
+
+TEST(Store, StaleSnapshotTmpIsIgnored) {
+  TempDir tmp;
+  {
+    Store store(tmp.path());
+    store.put("t", "k", "v");
+  }
+  {
+    std::ofstream f(tmp.path() + "/snapshot.tmp", std::ios::binary);
+    f << "half-written garbage";
+  }
+  Store store(tmp.path());
+  EXPECT_EQ(store.get("t", "k"), "v");
+  EXPECT_FALSE(std::filesystem::exists(tmp.path() + "/snapshot.tmp"));
+}
+
+TEST(Store, OperationsCounterCounts) {
+  Store store;
+  auto base = store.operations();
+  store.put("t", "k", "v");
+  store.get("t", "k");
+  store.contains("t", "k");
+  EXPECT_EQ(store.operations(), base + 3);
 }
 
 }  // namespace

@@ -191,13 +191,13 @@ TEST(LintRawNew, PlacementDeletedAndOperatorPass) {
 
 TEST(LintLockOrder, DeclaredEdgePasses) {
   EXPECT_TRUE(
-      lint_content("src/core/x.cpp", "// lock-order: core.job -> db.store\n")
+      lint_content("src/core/x.cpp", "// lock-order: core.job -> db.store.shard\n")
           .empty());
 }
 
 TEST(LintLockOrder, InvertedEdgeFlagged) {
   EXPECT_TRUE(has_rule(
-      lint_content("src/core/x.cpp", "// lock-order: db.store -> core.job\n"),
+      lint_content("src/core/x.cpp", "// lock-order: db.store.shard -> core.job\n"),
       "lock-order"));
 }
 
@@ -217,7 +217,7 @@ TEST(LintLockOrder, UnknownLevelFlagged) {
 
 TEST(LintLockOrder, MalformedFlagged) {
   EXPECT_TRUE(has_rule(lint_content("src/core/x.cpp",
-                                    "// lock-order: core.job db.store\n"),
+                                    "// lock-order: core.job db.store.shard\n"),
                        "lock-order"));
 }
 
@@ -274,15 +274,28 @@ TEST(LintFormat, FileLineRuleMessage) {
   EXPECT_EQ(format(violation), "src/a.cpp:12: raw-new: bare new");
 }
 
-TEST(LintHierarchy, StoreIsInnermost) {
-  int store_rank = -1;
+TEST(LintHierarchy, JournalIsInnermost) {
+  // The commit-queue lock nests under the memtable shard locks (enqueue
+  // runs with the shard write lock held), which in turn nest under every
+  // service lock that wraps store calls.
+  int shard_rank = -1;
+  int journal_rank = -1;
   for (const auto& [level, rank] : lock_hierarchy()) {
-    if (level == "db.store") store_rank = rank;
+    if (level == "db.store.shard") shard_rank = rank;
+    if (level == "db.store.journal") journal_rank = rank;
   }
-  ASSERT_GE(store_rank, 0);
+  ASSERT_GE(shard_rank, 0);
+  ASSERT_GE(journal_rank, 0);
+  EXPECT_LT(shard_rank, journal_rank);
   for (const auto& [level, rank] : lock_hierarchy()) {
-    EXPECT_LE(rank, store_rank) << level << " outranks db.store";
+    EXPECT_LE(rank, journal_rank) << level << " outranks db.store.journal";
   }
+}
+
+TEST(LintLockOrder, ShardToJournalEdgePasses) {
+  EXPECT_TRUE(lint_content("src/db/x.cpp",
+                           "// lock-order: db.store.shard -> db.store.journal\n")
+                  .empty());
 }
 
 }  // namespace

@@ -476,7 +476,8 @@ const std::vector<std::pair<std::string, int>>& lock_hierarchy() {
       {"core.message", 20},        // mailbox table
       {"core.srm", 20},            // SRM request table
       {"core.session.shard", 30},  // session cache shard (leaf w.r.t. db)
-      {"db.store", 40},            // innermost: store internals
+      {"db.store.shard", 40},      // store memtable shard (SharedMutex)
+      {"db.store.journal", 50},    // innermost: store commit queue
       {"storage.mass", 40},        // leaf: disk-cache bookkeeping
   };
   return hierarchy;

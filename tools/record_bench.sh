@@ -12,6 +12,7 @@
 #   fig4_inline.json       end-to-end sweep, adaptive inline dispatch ON
 #   fig4_inline_off.json   ablation: every request takes the worker handoff
 #   wire.json              per-protocol round-trip cost
+#   store.json             storage-engine churn rows (BENCH_store.json)
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -42,5 +43,10 @@ echo "== wire protocols =="
 "$BUILD/bench/bench_wire_protocols" --json "$OUT/wire.json"
 
 echo
-echo "Raw results in $OUT/. Fold the summaries into BENCH_hotpath.json"
-echo "and BENCH_wire.json when committing a performance change."
+echo "== storage engine: multi-writer session churn =="
+"$BUILD/bench/bench_session_persistence" --json "$OUT/store.json"
+
+echo
+echo "Raw results in $OUT/. Fold the summaries into BENCH_hotpath.json,"
+echo "BENCH_wire.json and BENCH_store.json when committing a performance"
+echo "change."
