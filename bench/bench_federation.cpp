@@ -1,0 +1,225 @@
+// Federation overhead: what does the head/storage role split cost?
+//
+// Topology: one head node (sessions + namespace, no file bytes) and two
+// storage nodes, wired through a discovery station, placement decided by
+// the consistent-hash ring over namespace prefixes. The ablation
+// baseline is a standalone server doing the same file I/O with no hop.
+//
+// Measured:
+//   * file.write / file.read through RoutedClient — every call pays the
+//     head round-trip (redirect envelope) plus the replay on the owning
+//     storage node;
+//   * the same calls against a standalone server (no redirect tax);
+//   * file.ls on the shared namespace root — head-side async fan-out to
+//     every storage node, merged.
+//
+// Usage: bench_federation [--files N] [--reads N] [--json FILE]
+//   --json writes machine-readable results (folded into
+//   BENCH_federation.json when committing a federation change).
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "client/client.hpp"
+#include "client/routed.hpp"
+#include "db/store.hpp"
+#include "discovery/discovery_server.hpp"
+#include "discovery/station.hpp"
+#include "federation/router.hpp"
+#include "util/clock.hpp"
+
+using namespace clarens;
+
+namespace {
+
+constexpr const char* kSecret = "bench-federation-secret";
+
+core::ClarensConfig fed_config(const std::string& node, core::NodeRole role,
+                               const std::string& data_dir,
+                               const std::string& head_url,
+                               std::uint16_t station_port) {
+  core::ClarensConfig config = bench::paper_server_config();
+  core::FileAcl open_acl;
+  open_acl.read = bench::allow_anyone();
+  open_acl.write = bench::allow_anyone();
+  config.initial_file_acls = {{"/data", open_acl}};
+  config.farm = "benchfarm";
+  config.node = node;
+  config.node_role = role;
+  config.node_ticket_secret = kSecret;
+  config.head_url = head_url;
+  if (station_port != 0) config.station = {{"127.0.0.1", station_port}};
+  config.publish_interval_ms = 100;
+  config.federation_refresh_ms = 100;
+  if (!data_dir.empty()) config.file_roots = {{"/data", data_dir}};
+  return config;
+}
+
+struct IoCost {
+  double write_us = 0;
+  double read_us = 0;
+};
+
+/// mkdir every run prefix, then time `files` writes and `reads` reads of
+/// an 8 KiB payload spread over the prefixes.
+template <typename Client>
+IoCost measure_io(Client& client, int files, int reads,
+                  const std::string& payload) {
+  for (int i = 0; i < files; ++i) {
+    client.call("file.mkdir", {rpc::Value("/data/run" + std::to_string(i))});
+  }
+  IoCost cost;
+  util::Stopwatch write_timer;
+  for (int i = 0; i < files; ++i) {
+    std::string path = "/data/run" + std::to_string(i) + "/evt.bin";
+    client.call("file.write", {rpc::Value(path), rpc::Value(payload)});
+  }
+  cost.write_us = write_timer.seconds() * 1e6 / files;
+  util::Stopwatch read_timer;
+  for (int i = 0; i < reads; ++i) {
+    std::string path = "/data/run" + std::to_string(i % files) + "/evt.bin";
+    client.call("file.read", {rpc::Value(path), rpc::Value(std::int64_t{0}),
+                              rpc::Value(std::int64_t{1 << 20})});
+  }
+  cost.read_us = read_timer.seconds() * 1e6 / reads;
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int files = 16;
+  int reads = 400;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--files") && i + 1 < argc) {
+      files = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--reads") && i + 1 < argc) {
+      reads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const bench::BenchPki& pki = bench::BenchPki::instance();
+  const std::string payload(8192, 'x');
+  std::string root = "/tmp/clarens_bench_federation";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root + "/solo");
+  std::filesystem::create_directories(root + "/fst1");
+  std::filesystem::create_directories(root + "/fst2");
+
+  std::printf("# Federation: redirect-to-node file I/O vs standalone "
+              "(8 KiB payloads, %d files, %d reads)\n", files, reads);
+
+  // Baseline: one standalone server, no discovery, no redirect hop.
+  IoCost solo;
+  {
+    core::ClarensConfig config =
+        fed_config("solo", core::NodeRole::Standalone, root + "/solo",
+                   /*head_url=*/"", /*station_port=*/0);
+    core::ClarensServer server(std::move(config));
+    server.start();
+    client::ClientOptions options;
+    options.port = server.port();
+    options.credential = pki.user;
+    options.trust = &pki.trust;
+    client::ClarensClient client(options);
+    client.connect();
+    client.authenticate();
+    solo = measure_io(client, files, reads, payload);
+    server.stop();
+  }
+
+  // Cluster: head + 2 storage behind one discovery fabric.
+  discovery::StationServer station;
+  db::Store store;
+  discovery::DiscoveryServer discovery(store, /*record_ttl=*/3600);
+  discovery.subscribe("127.0.0.1", station.port());
+
+  core::ClarensServer head(fed_config("head", core::NodeRole::Head,
+                                      /*data_dir=*/"", /*head_url=*/"",
+                                      station.port()));
+  head.attach_discovery(discovery);
+  head.start();
+  const std::string head_url = head.url();
+  core::ClarensServer storage1(fed_config("fst1", core::NodeRole::Storage,
+                                          root + "/fst1", head_url,
+                                          station.port()));
+  storage1.start();
+  core::ClarensServer storage2(fed_config("fst2", core::NodeRole::Storage,
+                                          root + "/fst2", head_url,
+                                          station.port()));
+  storage2.start();
+  for (int i = 0; i < 500 && (!head.router() ||
+                              head.router()->storage_nodes().size() < 2);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!head.router() || head.router()->storage_nodes().size() < 2) {
+    std::printf("error: head never saw both storage nodes\n");
+    return 1;
+  }
+
+  client::ClientOptions base;
+  base.credential = pki.user;
+  base.trust = &pki.trust;
+  client::RoutedClient routed(head_url, base, /*max_attempts=*/10,
+                              /*retry_backoff_ms=*/50);
+  routed.authenticate();
+  IoCost fed = measure_io(routed, files, reads, payload);
+
+  // Fan-out listing: the head asks every storage node and merges.
+  int ls_calls = reads / 10 > 5 ? reads / 10 : 5;
+  util::Stopwatch ls_timer;
+  for (int i = 0; i < ls_calls; ++i) {
+    routed.call("file.ls", {rpc::Value("/data")});
+  }
+  double ls_ms = ls_timer.seconds() * 1e3 / ls_calls;
+
+  std::printf("%-28s %-12s %-12s\n", "path", "write us", "read us");
+  std::printf("%-28s %-12.1f %-12.1f\n", "standalone (no hop)",
+              solo.write_us, solo.read_us);
+  std::printf("%-28s %-12.1f %-12.1f\n", "federated (head redirect)",
+              fed.write_us, fed.read_us);
+  std::printf("# redirect tax: write %.2fx, read %.2fx; fan-out file.ls "
+              "%.2f ms over %zu nodes; %llu redirects followed\n",
+              fed.write_us / solo.write_us, fed.read_us / solo.read_us,
+              ls_ms, head.router()->storage_nodes().size(),
+              static_cast<unsigned long long>(routed.redirects_followed()));
+
+  if (json_path) {
+    std::string json =
+        "{\n  \"bench\": \"federation\",\n"
+        "  \"files\": " + std::to_string(files) + ",\n"
+        "  \"reads\": " + std::to_string(reads) + ",\n"
+        "  \"payload_bytes\": 8192,\n"
+        "  \"standalone_us\": {\"file_write\": " +
+        std::to_string(solo.write_us) + ", \"file_read\": " +
+        std::to_string(solo.read_us) + "},\n"
+        "  \"federated_us\": {\"file_write\": " +
+        std::to_string(fed.write_us) + ", \"file_read\": " +
+        std::to_string(fed.read_us) + ", \"file_ls_fanout_ms\": " +
+        std::to_string(ls_ms) + "},\n"
+        "  \"redirect_tax\": {\"write\": " +
+        std::to_string(fed.write_us / solo.write_us) + ", \"read\": " +
+        std::to_string(fed.read_us / solo.read_us) + "},\n"
+        "  \"redirects_followed\": " +
+        std::to_string(routed.redirects_followed()) + "\n}\n";
+    if (!std::strcmp(json_path, "-")) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      out << json;
+    }
+  }
+
+  storage2.stop();
+  storage1.stop();
+  head.stop();
+  std::filesystem::remove_all(root);
+  return 0;
+}

@@ -43,7 +43,136 @@ struct Connection {
   bool awaiting_response = false;
 };
 
+struct FanOutConnection {
+  net::TcpConnection tcp;
+  http::ResponseParser parser;
+  std::string wire;
+  std::size_t write_offset = 0;
+  bool done = false;
+};
+
 }  // namespace
+
+std::vector<FanOutReply> fan_out(
+    const std::vector<FanOutTarget>& targets, const std::string& method,
+    const std::vector<rpc::Value>& params,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    rpc::Protocol protocol, int timeout_ms) {
+  std::vector<FanOutReply> replies(targets.size());
+  if (targets.empty()) return replies;
+
+  rpc::Request rpc_request;
+  rpc_request.method = method;
+  rpc_request.params = params;
+  rpc_request.id = rpc::Value(std::int64_t{1});
+  std::string body = rpc::serialize_request(protocol, rpc_request);
+
+  net::Reactor reactor;
+  std::vector<std::unique_ptr<FanOutConnection>> conns(targets.size());
+  std::size_t outstanding = 0;
+
+  auto fail = [&](std::size_t i, const std::string& why) {
+    if (conns[i] && !conns[i]->done) {
+      conns[i]->done = true;
+      --outstanding;
+    }
+    replies[i].ok = false;
+    replies[i].error = why;
+  };
+
+  auto finish = [&](std::size_t i, http::Response response) {
+    conns[i]->done = true;
+    --outstanding;
+    if (response.status != 200) {
+      replies[i].error = "HTTP " + std::to_string(response.status);
+      return;
+    }
+    try {
+      rpc::Response parsed = rpc::parse_response(protocol, response.body);
+      if (parsed.is_fault) {
+        replies[i].error = parsed.fault_message;
+      } else {
+        replies[i].ok = true;
+        replies[i].result = std::move(parsed.result);
+      }
+    } catch (const std::exception& e) {  // ParseError or rpc::Fault
+      replies[i].error = e.what();
+    }
+  };
+
+  auto pump = [&](std::size_t i) {
+    FanOutConnection& conn = *conns[i];
+    if (conn.done) return;
+    try {
+      while (conn.write_offset < conn.wire.size()) {
+        std::size_t n = conn.tcp.write_some(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(conn.wire.data()) +
+                conn.write_offset,
+            conn.wire.size() - conn.write_offset));
+        if (n == 0) return;  // kernel buffer full
+        conn.write_offset += n;
+      }
+      for (;;) {
+        if (auto response = conn.parser.next()) {
+          finish(i, std::move(*response));
+          return;
+        }
+        std::array<std::uint8_t, 64 * 1024> chunk;
+        auto n = conn.tcp.read_some(chunk);
+        if (!n) return;  // EAGAIN
+        if (*n == 0) {
+          fail(i, "node closed connection");
+          return;
+        }
+        conn.parser.feed(std::span<const std::uint8_t>(chunk.data(), *n));
+      }
+    } catch (const Error& e) {
+      fail(i, e.what());
+    }
+  };
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    auto conn = std::make_unique<FanOutConnection>();
+    try {
+      conn->tcp = net::TcpConnection::connect(targets[i].host,
+                                              targets[i].port);
+    } catch (const Error& e) {
+      replies[i].error = e.what();
+      continue;  // unreachable node: fan-out degrades, not fails
+    }
+    conn->tcp.set_nonblocking(true);
+    http::Request request;
+    request.method = "POST";
+    request.target = targets[i].endpoint;
+    request.headers.set("Content-Type", rpc::content_type(protocol));
+    request.headers.set("Host", targets[i].host);
+    for (const auto& [name, value] : headers) {
+      request.headers.set(name, value);
+    }
+    request.body = body;
+    conn->wire = request.serialize();
+    conns[i] = std::move(conn);
+    ++outstanding;
+    std::size_t index = i;
+    reactor.add(conns[i]->tcp.fd(), net::Reactor::kRead | net::Reactor::kWrite,
+                [&pump, index](std::uint32_t) { pump(index); });
+  }
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (conns[i]) pump(i);
+  }
+  util::Stopwatch timer;
+  while (outstanding > 0) {
+    if (timer.seconds() * 1000 > timeout_ms) {
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        if (conns[i] && !conns[i]->done) fail(i, "fan-out timeout");
+      }
+      break;
+    }
+    reactor.poll(50);
+  }
+  return replies;
+}
 
 AsyncRunResult AsyncCallDriver::run(std::size_t connections,
                                     std::uint64_t total_calls) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rpc/protocol.hpp"
@@ -27,6 +28,33 @@ struct AsyncRunResult {
                                : 0;
   }
 };
+
+/// One endpoint of a fan_out() call (plaintext HTTP).
+struct FanOutTarget {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string endpoint = "/clarens";
+};
+
+/// Per-target outcome of a fan_out() call. `ok` is false on transport
+/// failure, timeout, or an RPC fault; a down node degrades the merged
+/// result instead of failing the whole fan-out.
+struct FanOutReply {
+  bool ok = false;
+  rpc::Value result;
+  std::string error;
+};
+
+/// Issue the same call against every target concurrently from one epoll
+/// loop — the head-side primitive for namespace operations that span
+/// storage nodes (a federated `file.ls /` asks every node at once
+/// instead of serially). `headers` ride on each request (node tickets);
+/// replies slower than `timeout_ms` come back as failed.
+std::vector<FanOutReply> fan_out(
+    const std::vector<FanOutTarget>& targets, const std::string& method,
+    const std::vector<rpc::Value>& params,
+    const std::vector<std::pair<std::string, std::string>>& headers = {},
+    rpc::Protocol protocol = rpc::Protocol::XmlRpc, int timeout_ms = 5000);
 
 class AsyncCallDriver {
  public:

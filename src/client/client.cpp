@@ -38,26 +38,78 @@ void ClarensClient::close() {
   }
 }
 
-http::Response ClarensClient::roundtrip(const http::Request& request) {
+http::Response ClarensClient::roundtrip(const http::Request& request,
+                                        bool idempotent) {
+  // A reused keep-alive connection may have been closed by the server
+  // between calls; a fresh one failing is a real error.
+  bool reused = stream_ != nullptr;
   if (!stream_) connect();
   std::string wire = request.serialize();
   for (int attempt = 0; attempt < 2; ++attempt) {
+    bool wrote = false;             // full request handed to the kernel
+    bool response_started = false;  // any response bytes arrived
     try {
       stream_->write_all(wire);
+      wrote = true;
       std::array<std::uint8_t, 64 * 1024> chunk;
       for (;;) {
         if (auto response = parser_.next()) return std::move(*response);
         std::size_t n = stream_->read(chunk);
         if (n == 0) throw SystemError("server closed connection");
+        response_started = true;
         parser_.feed(std::span<const std::uint8_t>(chunk.data(), n));
       }
     } catch (const SystemError&) {
-      // Keep-alive connection was torn down between calls; reconnect once.
-      if (attempt == 1) throw;
+      // Replay exactly once, and only when it cannot double-execute:
+      //  * write never completed -> the server saw at most a partial
+      //    HTTP request it will not act on; any method is safe;
+      //  * write completed, zero response bytes -> the server may have
+      //    executed the call before dying, so only idempotent methods
+      //    are safe;
+      //  * a partial response arrived -> the call definitely executed;
+      //    never replay, even idempotent ones (the caller should see
+      //    the failure rather than a silent second execution).
+      bool replayable = !wrote || (idempotent && !response_started);
+      if (!reused || attempt == 1 || !replayable) throw;
       connect();
     }
   }
   throw SystemError("unreachable");
+}
+
+bool is_idempotent_method(const std::string& method) {
+  for (const char* module : {"system.", "echo.", "discovery."}) {
+    if (method.rfind(module, 0) == 0) return true;
+  }
+  static const char* kReadOnly[] = {
+      "file.read",  "file.ls",     "file.stat", "file.md5",
+      "file.size",  "file.find",   "file.locate", "proxy.exists",
+  };
+  for (const char* name : kReadOnly) {
+    if (method == name) return true;
+  }
+  return false;
+}
+
+void ClarensClient::set_header(const std::string& name,
+                               const std::string& value) {
+  for (auto it = extra_headers_.begin(); it != extra_headers_.end(); ++it) {
+    if (it->first == name) {
+      if (value.empty()) {
+        extra_headers_.erase(it);
+      } else {
+        it->second = value;
+      }
+      return;
+    }
+  }
+  if (!value.empty()) extra_headers_.emplace_back(name, value);
+}
+
+void ClarensClient::apply_extra_headers(http::Request& request) const {
+  for (const auto& [name, value] : extra_headers_) {
+    request.headers.set(name, value);
+  }
 }
 
 rpc::Value ClarensClient::call(const std::string& method,
@@ -76,8 +128,9 @@ rpc::Value ClarensClient::call(const std::string& method,
     request.headers.set("X-Clarens-Session", session_);
   }
   request.body = rpc::serialize_request(options_.protocol, rpc_request);
+  apply_extra_headers(request);
 
-  http::Response http_response = roundtrip(request);
+  http::Response http_response = roundtrip(request, is_idempotent_method(method));
   if (http_response.status != 200) {
     throw SystemError("HTTP " + std::to_string(http_response.status) + ": " +
                       http_response.body);
@@ -134,7 +187,8 @@ http::Response ClarensClient::get(const std::string& path, std::int64_t offset,
   request.target = target;
   request.headers.set("Host", options_.host);
   if (!session_.empty()) request.headers.set("X-Clarens-Session", session_);
-  return roundtrip(request);
+  apply_extra_headers(request);
+  return roundtrip(request, /*idempotent=*/true);  // GET never mutates
 }
 
 std::vector<std::uint8_t> ClarensClient::file_read(const std::string& path,

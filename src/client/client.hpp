@@ -65,9 +65,21 @@ class ClarensClient {
   void set_session(std::string token) { session_ = std::move(token); }
   const std::string& session() const { return session_; }
 
+  /// Attach a header to every subsequent request (replacing any previous
+  /// value for `name`); an empty value removes it. Used for federation
+  /// node tickets (X-Clarens-Node-Ticket).
+  void set_header(const std::string& name, const std::string& value);
+
   /// Invoke a method. Throws rpc::Fault on fault responses and
-  /// clarens::SystemError on transport failure. Reconnects transparently
-  /// if the server closed the keep-alive connection.
+  /// clarens::SystemError on transport failure.
+  ///
+  /// Retry policy for torn keep-alive connections: a failure on a
+  /// *reused* connection is retried exactly once on a fresh connection,
+  /// but only when replaying cannot double-execute the call — either the
+  /// request never finished writing, or the method is idempotent (see
+  /// is_idempotent_method) and no response bytes had arrived. Failures
+  /// on a fresh connection, non-idempotent calls that reached the
+  /// server, and partially received responses all propagate.
   rpc::Value call(const std::string& method,
                   const std::vector<rpc::Value>& params = {});
 
@@ -85,13 +97,21 @@ class ClarensClient {
   const ClientOptions& options() const { return options_; }
 
  private:
-  http::Response roundtrip(const http::Request& request);
+  http::Response roundtrip(const http::Request& request, bool idempotent);
+  void apply_extra_headers(http::Request& request) const;
 
   ClientOptions options_;
   std::unique_ptr<net::Stream> stream_;
   http::ResponseParser parser_;
   std::string session_;
+  std::vector<std::pair<std::string, std::string>> extra_headers_;
   std::uint64_t next_id_ = 1;
 };
+
+/// Is `method` safe to replay when a keep-alive connection died after the
+/// request may have reached the server? Read-only modules (system.*,
+/// echo.*, discovery.*) and the read-side file.* / proxy.* methods are;
+/// everything else — writes, job submission, logouts — is not.
+bool is_idempotent_method(const std::string& method);
 
 }  // namespace clarens::client

@@ -1,0 +1,69 @@
+#include "client/routed.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "rpc/binding.hpp"
+#include "util/error.hpp"
+
+namespace clarens::client {
+
+namespace {
+
+ClientOptions head_options(const std::string& head_url, ClientOptions base) {
+  PeerEndpoint endpoint = PeerEndpoint::parse(head_url);
+  base.host = endpoint.host;
+  base.port = endpoint.port;
+  base.use_tls = endpoint.tls;
+  return base;
+}
+
+}  // namespace
+
+RoutedClient::RoutedClient(const std::string& head_url, ClientOptions base,
+                           int max_attempts, int retry_backoff_ms)
+    : pool_(base),
+      head_(head_options(head_url, std::move(base))),
+      max_attempts_(max_attempts),
+      retry_backoff_ms_(retry_backoff_ms) {}
+
+rpc::Value RoutedClient::call(const std::string& method,
+                              const std::vector<rpc::Value>& params) {
+  std::string last_error;
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry_backoff_ms_));
+    }
+    rpc::Value result;
+    try {
+      result = head_.call(method, params);
+    } catch (const SystemError& e) {
+      // Safe to replay against a head (see header); a dead head means
+      // waiting out the backoff is all we can do.
+      last_error = e.what();
+      continue;
+    }
+    if (!rpc::RedirectResult::is_redirect(result)) return result;
+    rpc::RedirectResult redirect = rpc::RedirectResult::from_value(result);
+    ++redirects_followed_;
+    // The ticket is the whole credential on the node side — no session
+    // is established there.
+    PeerPool::Lease lease = pool_.lease(redirect.url);
+    lease->set_header("X-Clarens-Node-Ticket", redirect.ticket);
+    try {
+      return lease->call(method, params);
+    } catch (const SystemError& e) {
+      // Torn/stale node connection or a node mid-restart: drop the
+      // connection and re-ask the head, which re-routes around the
+      // failure. rpc::Fault propagates — the node answered.
+      lease.discard();
+      last_error = e.what();
+    }
+  }
+  throw SystemError("routed call '" + method + "' failed after " +
+                    std::to_string(max_attempts_) +
+                    " attempts; last error: " + last_error);
+}
+
+}  // namespace clarens::client

@@ -1,0 +1,57 @@
+// Federation-aware client: follows redirect envelopes (ISSUE 8 tentpole).
+//
+// Against a federated head, file I/O calls come back as HTTP-307-style
+// redirect envelopes ("the data lives on node X, here is your ticket").
+// RoutedClient hides the hop: it calls the head, and when the result is a
+// redirect it replays the same call against the owning node through a
+// per-node keep-alive pool, presenting the head-minted node ticket as
+// X-Clarens-Node-Ticket.
+//
+// Failure handling is retry-through-head: when the node call dies on a
+// transport error (node restarted, was SIGKILLed, connection stale), the
+// client discards the torn connection and asks the head again — the head
+// re-routes around membership changes, so a bounded number of retries
+// rides out a node restart with zero caller-visible failures. Replaying
+// the *head* call is always safe on a head: redirect minting has no side
+// effect, and the only calls a head executes itself are idempotent
+// metadata proxies. (Do not point RoutedClient at a standalone server
+// for non-idempotent calls — there the call executes in place.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/peer_pool.hpp"
+#include "rpc/value.hpp"
+
+namespace clarens::client {
+
+class RoutedClient {
+ public:
+  /// `base` carries protocol, credential/chain, trust and endpoint path;
+  /// host/port/TLS are derived from `head_url` (and per redirect target).
+  RoutedClient(const std::string& head_url, ClientOptions base,
+               int max_attempts = 8, int retry_backoff_ms = 100);
+
+  /// The underlying head connection (authenticate() on it, etc.).
+  ClarensClient& head() { return head_; }
+
+  std::string authenticate() { return head_.authenticate(); }
+
+  /// Invoke a method, transparently following one redirect hop and
+  /// retrying through the head on node transport failures.
+  rpc::Value call(const std::string& method,
+                  const std::vector<rpc::Value>& params = {});
+
+  /// Redirect hops taken so far (tests: proves calls really bounced).
+  std::uint64_t redirects_followed() const { return redirects_followed_; }
+
+ private:
+  PeerPool pool_;
+  ClarensClient head_;
+  int max_attempts_;
+  int retry_backoff_ms_;
+  std::uint64_t redirects_followed_ = 0;
+};
+
+}  // namespace clarens::client

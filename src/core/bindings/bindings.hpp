@@ -15,6 +15,9 @@
 namespace clarens::discovery {
 class DiscoveryServer;
 }
+namespace clarens::federation {
+class Router;
+}
 namespace clarens::storage {
 class SrmService;
 }
@@ -57,6 +60,12 @@ void register_transfer_methods(TransferService& transfers,
 void register_discovery_methods(discovery::DiscoveryServer& discovery,
                                 rpc::Registry& registry);
 void register_srm_methods(storage::SrmService& srm, rpc::Registry& registry);
+/// Head role only: re-binds file.* with redirect/proxy/fan-out variants
+/// and adds file.locate. Call after register_file_methods (bind replaces
+/// same-name registrations).
+void register_federation_methods(ClarensServer& server,
+                                 federation::Router& router,
+                                 rpc::Registry& registry);
 
 }  // namespace bindings
 }  // namespace clarens::core

@@ -71,6 +71,28 @@ void register_system_methods(ClarensServer& server) {
       {.help = "Server identification and capabilities"});
 
   registry.bind(
+      "system.cluster",
+      [srv] {
+        rpc::Value v = rpc::Value::struct_();
+        v.set("role", std::string(to_string(srv->role())));
+        v.set("farm", srv->config().farm);
+        v.set("node", srv->config().node);
+        rpc::Value nodes = rpc::Value::array();
+        if (federation::Router* router = srv->router()) {
+          for (const auto& info : router->storage_nodes()) {
+            rpc::Value n = rpc::Value::struct_();
+            n.set("id", info.id);
+            n.set("url", info.url);
+            n.set("capacity", info.capacity);
+            nodes.push(n);
+          }
+        }
+        v.set("storage_nodes", nodes);
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "Federation role and live storage-node membership"});
+
+  registry.bind(
       "system.stats",
       [srv] {
         rpc::Value v = rpc::Value::struct_();

@@ -155,6 +155,67 @@ ClarensConfig config_from(const util::Config& config) {
     out.initial_file_acls.emplace_back(path, std::move(acl));
   }
 
+  // --- Federation knobs (ISSUE 8) -------------------------------------
+  if (auto role = config.get("node_role")) {
+    if (*role == "standalone") {
+      out.node_role = NodeRole::Standalone;
+    } else if (*role == "head") {
+      out.node_role = NodeRole::Head;
+    } else if (*role == "storage") {
+      out.node_role = NodeRole::Storage;
+    } else {
+      throw ParseError("node_role must be 'standalone', 'head' or 'storage'"
+                       ", got '" + *role + "'");
+    }
+  }
+  out.head_url = config.get_or("head_url", "");
+  if (!out.head_url.empty() &&
+      !util::starts_with(out.head_url, "http://") &&
+      !util::starts_with(out.head_url, "https://")) {
+    throw ParseError("head_url must start with http:// or https://: '" +
+                     out.head_url + "'");
+  }
+  out.node_ticket_secret = config.get_or("node_ticket_secret", "");
+  if (out.node_role != NodeRole::Standalone &&
+      out.node_ticket_secret.size() < 16) {
+    throw ParseError(
+        "head/storage roles require node_ticket_secret of >= 16 characters "
+        "(it signs the cluster's node tickets)");
+  }
+  if (out.node_role == NodeRole::Storage && out.head_url.empty()) {
+    throw ParseError("node_role storage requires head_url");
+  }
+  out.placement_replicas = static_cast<int>(
+      config.get_int_or("placement_replicas", out.placement_replicas));
+  if (out.placement_replicas < 1 || out.placement_replicas > 8) {
+    throw ParseError("placement_replicas must be in [1, 8]");
+  }
+  if (auto capacity = config.get("node_capacity")) {
+    try {
+      out.node_capacity = std::stod(*capacity);
+    } catch (const std::exception&) {
+      throw ParseError("node_capacity must be a number: '" + *capacity + "'");
+    }
+    if (!(out.node_capacity > 0)) {
+      throw ParseError("node_capacity must be > 0");
+    }
+  }
+  out.federation_refresh_ms = static_cast<int>(
+      config.get_int_or("federation_refresh_ms", out.federation_refresh_ms));
+  if (out.federation_refresh_ms < 0 || out.federation_refresh_ms > 60000) {
+    throw ParseError("federation_refresh_ms must be in [0, 60000]");
+  }
+  out.node_ticket_ttl_s = static_cast<int>(
+      config.get_int_or("node_ticket_ttl_s", out.node_ticket_ttl_s));
+  if (out.node_ticket_ttl_s < 1 || out.node_ticket_ttl_s > 86400) {
+    throw ParseError("node_ticket_ttl_s must be in [1, 86400]");
+  }
+  out.placement_prefix_depth = static_cast<int>(config.get_int_or(
+      "placement_prefix_depth", out.placement_prefix_depth));
+  if (out.placement_prefix_depth < 1 || out.placement_prefix_depth > 8) {
+    throw ParseError("placement_prefix_depth must be in [1, 8]");
+  }
+
   // station <host>:<port>
   if (auto value = config.get("station")) {
     std::size_t colon = value->rfind(':');

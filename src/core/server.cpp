@@ -6,6 +6,7 @@
 #include <limits>
 #include <set>
 
+#include "client/peer_pool.hpp"
 #include "core/bindings/bindings.hpp"
 #include "rpc/binrpc.hpp"
 #include "rpc/fault.hpp"
@@ -20,6 +21,7 @@ namespace clarens::core {
 namespace {
 
 constexpr const char* kSessionHeader = "X-Clarens-Session";
+constexpr const char* kNodeTicketHeader = "X-Clarens-Node-Ticket";
 
 // Minimal browser portal (paper §3): a static page whose JavaScript would
 // issue the web-service calls; served to satisfy HTTP GET on "/".
@@ -39,6 +41,15 @@ constexpr const char* kPortalPage = R"(<!DOCTYPE html>
 )";
 
 }  // namespace
+
+const char* to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::Standalone: return "standalone";
+    case NodeRole::Head: return "head";
+    case NodeRole::Storage: return "storage";
+  }
+  return "standalone";
+}
 
 ClarensServer::ClarensServer(ClarensConfig config)
     : config_(std::move(config)) {
@@ -112,6 +123,19 @@ void ClarensServer::register_core_methods() {
 void ClarensServer::attach_discovery(discovery::DiscoveryServer& discovery) {
   discovery_ = &discovery;
   bindings::register_discovery_methods(discovery, registry_);
+  if (config_.node_role == NodeRole::Head) {
+    // The head's routing layer: discovery records feed the placement
+    // ring, and the federated file.* bindings re-bind the local
+    // handlers with redirect/proxy/fan-out variants.
+    federation::RouterOptions options;
+    options.secret = config_.node_ticket_secret;
+    options.replicas = config_.placement_replicas;
+    options.refresh_ms = config_.federation_refresh_ms;
+    options.ticket_ttl_s = config_.node_ticket_ttl_s;
+    options.prefix_depth = config_.placement_prefix_depth;
+    router_ = std::make_unique<federation::Router>(discovery, options);
+    bindings::register_federation_methods(*this, *router_, registry_);
+  }
 }
 
 void ClarensServer::attach_storage(storage::SrmService& srm) {
@@ -216,6 +240,17 @@ std::shared_ptr<const Session> ClarensServer::check_session(
   return sessions_->lookup_shared(session_id);
 }
 
+federation::NodeTicket ClarensServer::check_node_ticket(
+    const std::string& token) const {
+  if (config_.node_ticket_secret.empty()) {
+    throw AuthError("this server does not accept node tickets");
+  }
+  std::optional<federation::NodeTicket> ticket = federation::NodeTicket::verify(
+      config_.node_ticket_secret, token, util::unix_now());
+  if (!ticket) throw AuthError("invalid or expired node ticket");
+  return *ticket;
+}
+
 void ClarensServer::check_acl(const std::string& method,
                               const pki::DistinguishedName& dn) const {
   // ACL first: the common case is an explicit allow, and the root-admin
@@ -242,11 +277,19 @@ void ClarensServer::start_publisher() {
     record.url = url();
     record.protocol = "xmlrpc";
     record.version = "1.0";
+    // Federation attributes: the role tells head routers whether this
+    // node belongs on the placement ring; storage nodes advertise their
+    // virtual roots as namespace prefixes.
+    record.role = to_string(config_.node_role);
+    if (config_.node_role == NodeRole::Storage) {
+      record.prefixes = files_->roots();
+    }
     // GLUE-style key/numerical-value pairs (paper §2.4): basic load data
     // rides along with the service description.
     record.metrics["methods"] = static_cast<double>(registry_.size());
     record.metrics["sessions"] =
         static_cast<double>(sessions_->active_count());
+    record.metrics["capacity"] = config_.node_capacity;
     records.push_back(std::move(record));
   }
   publisher_->set_records(std::move(records));
@@ -297,6 +340,22 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
         context.identity = peer.tls_identity->identity.str();
         context.via_proxy = peer.tls_identity->via_proxy;
       }
+    } else if (const std::string* node_token =
+                   config_.node_ticket_secret.empty()
+                       ? nullptr
+                       : request.headers.find(kNodeTicketHeader)) {
+      // Federation fast path: a head-minted node ticket replaces the
+      // session handshake — the head already authenticated the caller
+      // and the HMAC proves it. The method ACL still runs against the
+      // forwarded identity (delegated credentials ride along in
+      // via_proxy / proxy_serial).
+      federation::NodeTicket ticket = check_node_ticket(*node_token);
+      context.identity = ticket.dn;
+      context.via_proxy = ticket.via_proxy;
+      context.proxy_serial = ticket.proxy_serial;
+      check_acl(method->info.acl_path.empty() ? rpc_request.method
+                                              : method->info.acl_path,
+                pki::DistinguishedName::parse(ticket.dn));
     } else {
       // Check 1: session lookup (cache, write-through to the database).
       static const std::string kNoToken;
@@ -306,6 +365,7 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
       context.identity = session->identity;
       context.session_id = session->id;
       context.via_proxy = session->via_proxy;
+      context.proxy_serial = session->attached_proxy_serial;
       // Check 2: method ACL (compiled-spec cache; DN pre-parsed at
       // session decode time). Methods may carry an explicit ACL path;
       // the default is the method name itself.
@@ -437,6 +497,7 @@ http::Response ClarensServer::handle_get(const http::Request& request,
   // anonymous (empty DN — only files whose ACL allows '*' are served...
   // which requires an authenticated match, so effectively none unless
   // default_allow is set).
+  auto query = request.query();
   pki::DistinguishedName identity;
   if (peer.tls_identity && peer.tls_identity->ok) {
     identity = peer.tls_identity->identity;
@@ -445,6 +506,51 @@ http::Response ClarensServer::handle_get(const http::Request& request,
       identity = sessions_->lookup_shared(*token)->identity_dn;
     } catch (const AuthError&) {
       return http::Response::make(401, "invalid session\n");
+    }
+  } else if (auto it = query.find("ticket"); it != query.end()) {
+    // Storage-node GET path: a head-minted node ticket rides as a query
+    // parameter (the token is hex, hence URL-safe) because the 307
+    // redirect cannot make the browser attach a custom header.
+    try {
+      federation::NodeTicket ticket = check_node_ticket(it->second);
+      if (!ticket.covers(path)) {
+        return http::Response::make(403, "ticket does not cover path\n");
+      }
+      identity = pki::DistinguishedName::parse(ticket.dn);
+    } catch (const AuthError& e) {
+      return http::Response::make(401, std::string(e.what()) + "\n");
+    }
+  }
+
+  // Federated head: file bytes live on storage nodes — answer with a
+  // real HTTP 307 carrying a ticket-bearing Location, the GET analogue
+  // of the RPC redirect envelope. Falls through to local serving when
+  // no storage node owns the prefix (empty ring).
+  if (config_.node_role == NodeRole::Head && router_) {
+    if (auto owner = router_->route(path)) {
+      if (!acl_->check_file_read(path, identity) &&
+          !vo_->is_root_admin(identity)) {
+        return http::Response::make(403, "file access denied\n");
+      }
+      std::string scope = router_->prefix_of(path);
+      std::string ticket = router_->mint_ticket(
+          identity.str(), /*via_proxy=*/false, /*proxy_serial=*/"", scope);
+      client::PeerEndpoint endpoint = client::PeerEndpoint::parse(owner->url);
+      std::string location = std::string(endpoint.tls ? "https" : "http") +
+                             "://" + endpoint.host + ":" +
+                             std::to_string(endpoint.port) + path +
+                             "?ticket=" + ticket;
+      // Byte-range parameters survive the hop.
+      for (const char* key : {"offset", "length"}) {
+        if (auto param = query.find(key); param != query.end()) {
+          location += "&" + std::string(key) + "=" + param->second;
+        }
+      }
+      http::Response response =
+          http::Response::make(307, "file is on " + owner->url + "\n");
+      response.reason = http::reason_phrase(307);
+      response.headers.set("Location", location);
+      return response;
     }
   }
 
@@ -462,7 +568,6 @@ http::Response ClarensServer::handle_get(const http::Request& request,
     }
     http::Response response = http::Response::make(200, "", "application/octet-stream");
     // Range support: "offset-length" via query (?offset=&length=).
-    auto query = request.query();
     std::int64_t offset = 0, length = -1;
     if (auto it = query.find("offset"); it != query.end()) {
       offset = util::parse_int(it->second);

@@ -28,6 +28,8 @@
 #include "db/store.hpp"
 #include "discovery/discovery_server.hpp"
 #include "discovery/publisher.hpp"
+#include "federation/node_ticket.hpp"
+#include "federation/router.hpp"
 #include "http/server.hpp"
 #include "pki/certificate.hpp"
 #include "pki/verify.hpp"
@@ -36,6 +38,18 @@
 #include "util/sync.hpp"
 
 namespace clarens::core {
+
+/// Federation role of one server (ISSUE 8, the EOS mgm/fst split):
+///  * Standalone — the pre-federation single-server deployment; owns
+///    everything, redirects nothing.
+///  * Head — owns sessions/auth/VO/ACL and the namespace; answers file
+///    I/O with redirect envelopes to storage nodes and mints the node
+///    tickets that authorize the hop.
+///  * Storage — owns file/sandbox bytes; trusts head-minted node tickets
+///    (X-Clarens-Node-Ticket) in place of a full session handshake.
+enum class NodeRole { Standalone, Head, Storage };
+
+const char* to_string(NodeRole role);
 
 struct ClarensConfig {
   std::string host = "127.0.0.1";
@@ -119,6 +133,28 @@ struct ClarensConfig {
   std::string node = "clarens";
   int publish_interval_ms = 2000;
 
+  // --- Federation (ISSUE 8) -------------------------------------------
+  /// Role in a federated deployment; Standalone keeps every pre-existing
+  /// behaviour byte-for-byte.
+  NodeRole node_role = NodeRole::Standalone;
+  /// Storage nodes: RPC URL of the head (http(s)://host:port[/clarens]).
+  std::string head_url;
+  /// Shared cluster secret that signs node tickets. Required (>= 16
+  /// chars) for head and storage roles.
+  std::string node_ticket_secret;
+  /// Distinct storage nodes a namespace prefix is placed on.
+  int placement_replicas = 1;
+  /// This node's placement-ring weight as advertised via discovery.
+  double node_capacity = 1.0;
+  /// Head: minimum interval between placement-ring rebuilds from
+  /// discovery records.
+  int federation_refresh_ms = 1000;
+  /// Lifetime of head-minted node tickets.
+  int node_ticket_ttl_s = 300;
+  /// Path components per placement prefix ("/data/run1/x" -> "/data/run1"
+  /// at depth 2).
+  int placement_prefix_depth = 2;
+
   std::size_t max_connections = 1024;
 };
 
@@ -160,6 +196,10 @@ class ClarensServer {
   ProxyService& proxy() { return *proxy_; }
   db::Store& store() { return *store_; }
   const ClarensConfig& config() const { return config_; }
+  NodeRole role() const { return config_.node_role; }
+  /// Head-side placement router; null on standalone/storage roles and on
+  /// heads with no discovery attached.
+  federation::Router* router() { return router_.get(); }
 
   std::uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
@@ -192,6 +232,9 @@ class ClarensServer {
       const std::string& session_id) const;
   void check_acl(const std::string& method,
                  const pki::DistinguishedName& dn) const;
+  /// Verify a presented node ticket against the cluster secret. Throws
+  /// AuthError on a bad/expired token or when this server takes none.
+  federation::NodeTicket check_node_ticket(const std::string& token) const;
 
   ClarensConfig config_;
   std::unique_ptr<db::Store> store_;
@@ -207,6 +250,7 @@ class ClarensServer {
   std::unique_ptr<ProxyService> proxy_;
   std::unique_ptr<http::Server> http_;
   std::unique_ptr<discovery::Publisher> publisher_;
+  std::unique_ptr<federation::Router> router_;
   discovery::DiscoveryServer* discovery_ = nullptr;
   storage::SrmService* srm_ = nullptr;
 

@@ -19,11 +19,20 @@ DiscoveryServer::DiscoveryServer(db::Store& store, std::int64_t record_ttl)
       socket_(net::UdpSocket::bind(0)),
       port_(socket_.local_port()) {
   // Warm the in-memory cache from any persisted aggregation (restart).
+  // Rows whose heartbeat already lapsed past the TTL are reaped here
+  // rather than resurrected: they would never be served again, only
+  // occupy the table.
+  std::int64_t now = util::unix_now();
   for (const auto& key : store_.keys(kTable)) {
     if (auto text = store_.get(kTable, key)) {
       try {
-        cache_[key] =
+        ServiceRecord record =
             ServiceRecord::from_value(rpc::jsonrpc::parse_value(*text));
+        if (now - record.heartbeat > record_ttl_) {
+          store_.erase(kTable, key);  // stale across the restart
+        } else {
+          cache_[key] = std::move(record);
+        }
       } catch (const Error&) {
         store_.erase(kTable, key);  // drop unreadable rows
       }
@@ -55,10 +64,19 @@ void DiscoveryServer::subscribe(const std::string& station_host,
 }
 
 void DiscoveryServer::receive_loop() {
+  std::int64_t last_reap = util::unix_now();
   while (running_.load()) {
     auto wire = socket_.recv(250);
-    if (!wire) continue;
     if (!running_.load()) return;
+    // Lazy reap: queries filter stale records out, but without this the
+    // table itself (cache + store rows) grows without bound and
+    // record_count() keeps counting servers that stopped heartbeating.
+    std::int64_t now = util::unix_now();
+    if (now - last_reap >= 1) {
+      last_reap = now;
+      reap_stale();
+    }
+    if (!wire) continue;
     try {
       Datagram datagram = Datagram::decode(*wire);
       if (datagram.type == Datagram::Type::Records) {
@@ -68,6 +86,27 @@ void DiscoveryServer::receive_loop() {
       CLARENS_LOG(Debug) << "discovery: dropping bad datagram: " << e.what();
     }
   }
+}
+
+std::size_t DiscoveryServer::reap_stale() {
+  std::int64_t now = util::unix_now();
+  std::vector<std::string> stale;
+  {
+    util::LockGuard lock(cache_mutex_);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (now - it->second.heartbeat > record_ttl_) {
+        stale.push_back(it->first);
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Store rows are erased outside the cache lock (the store takes its own
+  // shard locks); a concurrent re-publish of the same key re-inserts both
+  // sides through ingest(), so the worst case is one extra reap cycle.
+  for (const auto& key : stale) store_.erase(kTable, key);
+  return stale.size();
 }
 
 void DiscoveryServer::ingest(const std::vector<ServiceRecord>& records) {

@@ -48,7 +48,16 @@ class DiscoveryServer {
   std::vector<ServiceRecord> query_stations(const std::string& query,
                                             int timeout_ms = 500) const;
 
+  /// Records currently held (live + not-yet-reaped stale). The receive
+  /// loop reaps entries whose heartbeat lapsed past the TTL, so this
+  /// converges to the live count ~1 s after a publisher goes silent.
   std::size_t record_count() const;
+
+  /// Drop every record whose heartbeat is older than the TTL from the
+  /// cache and the backing store. Returns the number reaped. Called
+  /// periodically by the receive loop; public for tests.
+  std::size_t reap_stale();
+
   void stop();
 
  private:

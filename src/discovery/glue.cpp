@@ -14,6 +14,10 @@ rpc::Value ServiceRecord::to_value() const {
   v.set("protocol", protocol);
   v.set("version", version);
   v.set("heartbeat", heartbeat);
+  v.set("role", role);
+  rpc::Value p = rpc::Value::array();
+  for (const auto& prefix : prefixes) p.push(prefix);
+  v.set("prefixes", p);
   rpc::Value m = rpc::Value::struct_();
   for (const auto& [key, value] : metrics) m.set(key, value);
   v.set("metrics", m);
@@ -29,6 +33,14 @@ ServiceRecord ServiceRecord::from_value(const rpc::Value& v) {
   r.protocol = v.at("protocol").as_string();
   r.version = v.at("version").as_string();
   r.heartbeat = v.at("heartbeat").as_int();
+  // role / prefixes are absent on records published by pre-federation
+  // servers; tolerate that (the fields default to empty).
+  if (const rpc::Value* role = v.find("role")) r.role = role->as_string();
+  if (const rpc::Value* p = v.find("prefixes")) {
+    for (const auto& prefix : p->as_array()) {
+      r.prefixes.push_back(prefix.as_string());
+    }
+  }
   if (const rpc::Value* m = v.find("metrics")) {
     for (const auto& [key, value] : m->members()) {
       r.metrics[key] = value.as_double();
@@ -40,7 +52,8 @@ ServiceRecord ServiceRecord::from_value(const rpc::Value& v) {
 bool ServiceRecord::operator==(const ServiceRecord& o) const {
   return farm == o.farm && node == o.node && service == o.service &&
          url == o.url && protocol == o.protocol && version == o.version &&
-         heartbeat == o.heartbeat && metrics == o.metrics;
+         heartbeat == o.heartbeat && role == o.role &&
+         prefixes == o.prefixes && metrics == o.metrics;
 }
 
 namespace {

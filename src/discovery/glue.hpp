@@ -25,7 +25,15 @@ struct ServiceRecord {
   std::string protocol;  // "xmlrpc", "soap", ...
   std::string version;
   std::int64_t heartbeat = 0;  // unix seconds of last publish
-  /// GLUE-style key/numerical-value pairs (load, capacity, ...).
+  /// Federation role of the publishing server: "standalone", "head" or
+  /// "storage" ("" on records from pre-federation publishers).
+  std::string role;
+  /// Virtual namespace prefixes this server exports ("/data", "/sandbox",
+  /// ...). Storage nodes advertise them so a head node's placement ring
+  /// knows which parts of the namespace the node can own.
+  std::vector<std::string> prefixes;
+  /// GLUE-style key/numerical-value pairs (load, capacity, ...). The
+  /// placement ring reads "capacity" as the node's ring weight.
   std::map<std::string, double> metrics;
 
   /// Unique key within the discovery network.

@@ -1,0 +1,107 @@
+#include "federation/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clarens::federation {
+
+namespace {
+
+// FNV-1a 64-bit: tiny, dependency-free, and plenty uniform for ring
+// point spreading (this is placement, not integrity — tickets use HMAC).
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// Virtual nodes per unit of capacity. High enough that a 2-node ring
+// splits the namespace roughly evenly; low enough that rebuilds stay
+// trivially cheap at realistic fleet sizes.
+constexpr int kPointsPerCapacity = 64;
+
+}  // namespace
+
+bool NodeInfo::exports(const std::string& prefix) const {
+  if (prefixes.empty()) return true;  // no restriction advertised
+  for (const auto& root : prefixes) {
+    if (root.empty() || root == "/") return true;
+    if (prefix.compare(0, root.size(), root) == 0 &&
+        (prefix.size() == root.size() || prefix[root.size()] == '/')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Placement::prefix_of(const std::string& path, int depth) {
+  std::string out;
+  int components = 0;
+  std::size_t i = 0;
+  while (i < path.size() && components < depth) {
+    // Skip separator runs, then take one component.
+    while (i < path.size() && path[i] == '/') ++i;
+    if (i >= path.size()) break;
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    out += '/';
+    out.append(path, start, i - start);
+    ++components;
+  }
+  return out.empty() ? "/" : out;
+}
+
+void Placement::set_nodes(std::vector<NodeInfo> nodes) {
+  nodes_.clear();
+  ring_.clear();
+  for (auto& node : nodes) {
+    if (node.capacity <= 0) continue;
+    nodes_.push_back(std::move(node));
+  }
+  for (std::size_t index = 0; index < nodes_.size(); ++index) {
+    int points = std::max(
+        1, static_cast<int>(std::lround(nodes_[index].capacity *
+                                        kPointsPerCapacity)));
+    for (int p = 0; p < points; ++p) {
+      ring_.push_back(
+          {fnv1a(nodes_[index].id + "#" + std::to_string(p)), index});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+std::optional<NodeInfo> Placement::owner(const std::string& prefix) const {
+  std::vector<NodeInfo> one = owners(prefix, 1);
+  if (one.empty()) return std::nullopt;
+  return one.front();
+}
+
+std::vector<NodeInfo> Placement::owners(const std::string& prefix,
+                                        int replicas) const {
+  std::vector<NodeInfo> out;
+  if (ring_.empty() || replicas <= 0) return out;
+  std::uint64_t target = fnv1a(prefix);
+  std::size_t start = std::lower_bound(ring_.begin(), ring_.end(), target,
+                                       [](const Point& p, std::uint64_t h) {
+                                         return p.hash < h;
+                                       }) -
+                      ring_.begin();
+  std::vector<bool> taken(nodes_.size(), false);
+  for (std::size_t step = 0;
+       step < ring_.size() && out.size() < static_cast<std::size_t>(replicas);
+       ++step) {
+    const Point& point = ring_[(start + step) % ring_.size()];
+    if (taken[point.node]) continue;
+    taken[point.node] = true;
+    if (!nodes_[point.node].exports(prefix)) continue;
+    out.push_back(nodes_[point.node]);
+  }
+  return out;
+}
+
+}  // namespace clarens::federation

@@ -1,0 +1,75 @@
+// Consistent-hash placement ring (the EOS mgm/fst idiom adapted to
+// Clarens, ISSUE 8 tentpole).
+//
+// A federated head node owns the *namespace*; the file bytes live on
+// storage nodes. This class answers "which storage node owns this part
+// of the namespace?" deterministically from the current membership, so
+// that every head (and every client that asks one) computes the same
+// answer without coordination:
+//
+//   * Namespace granularity is a *prefix* — the first `depth` path
+//     components ("/data/run1/evt.bin" -> "/data/run1"), so files that
+//     belong together land together.
+//   * Each node is hashed onto a ring many times (virtual nodes,
+//     weighted by its advertised capacity); a prefix is owned by the
+//     first node clockwise from the prefix's own hash. Membership
+//     changes move only the prefixes adjacent to the changed node.
+//   * A node may restrict itself to advertised namespace prefixes
+//     ("/data", ...); the ring walk skips nodes that do not export the
+//     prefix being placed.
+//
+// Placement is a plain value type: NOT thread-safe. federation::Router
+// owns one behind its mutex and rebuilds it from discovery records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clarens::federation {
+
+/// One storage node as seen by the ring, distilled from its discovery
+/// ServiceRecords.
+struct NodeInfo {
+  std::string id;        // stable identity: "<farm>/<node>"
+  std::string url;       // RPC endpoint, e.g. "http://host:port/"
+  double capacity = 1.0; // ring weight (discovery metric "capacity")
+  std::vector<std::string> prefixes;  // exported roots ("" / empty = all)
+
+  bool exports(const std::string& prefix) const;
+};
+
+class Placement {
+ public:
+  /// Namespace prefix a path is placed by: the first `depth` components,
+  /// normalized ("/data/run1/a/b", 2 -> "/data/run1"; "/data" -> "/data";
+  /// "" or "/" -> "/").
+  static std::string prefix_of(const std::string& path, int depth = 2);
+
+  /// Replace the membership and rebuild the ring. Nodes with
+  /// non-positive capacity are dropped.
+  void set_nodes(std::vector<NodeInfo> nodes);
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  bool empty() const { return ring_.empty(); }
+
+  /// The node owning `prefix`, or nullopt when the ring is empty or no
+  /// node exports the prefix.
+  std::optional<NodeInfo> owner(const std::string& prefix) const;
+
+  /// Up to `replicas` distinct nodes for `prefix`, primary first —
+  /// the ring walk order, so every caller agrees on the fallback chain.
+  std::vector<NodeInfo> owners(const std::string& prefix, int replicas) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t node;  // index into nodes_
+  };
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace clarens::federation

@@ -143,6 +143,7 @@ const char* reason_phrase(int status) {
     case 301: return "Moved Permanently";
     case 302: return "Found";
     case 304: return "Not Modified";
+    case 307: return "Temporary Redirect";
     case 400: return "Bad Request";
     case 401: return "Unauthorized";
     case 403: return "Forbidden";

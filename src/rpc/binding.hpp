@@ -74,6 +74,52 @@ struct StructResult {
   Value value;
 };
 
+/// Return wrapper: an HTTP-307-style redirect envelope. A federated head
+/// node answers file I/O calls with "the data lives over there": the
+/// client re-issues the same call against `url`, presenting `ticket`
+/// (a head-minted node ticket) as its credential. The envelope is an
+/// ordinary struct result — NOT a fault — so it round-trips identically
+/// through all four wire protocols; the reserved "clarens.redirect"
+/// member (the 307 status marker) is what distinguishes it from user
+/// struct data.
+struct RedirectResult {
+  std::string url;     // RPC endpoint of the owning node
+  std::string ticket;  // node ticket authorizing the caller there ("" = none)
+  std::string scope;   // namespace prefix the redirect covers
+
+  static constexpr const char* kMarker = "clarens.redirect";
+
+  Value to_value() const {
+    Value v = Value::struct_();
+    v.set(kMarker, std::int64_t{307});
+    v.set("url", url);
+    v.set("ticket", ticket);
+    v.set("scope", scope);
+    return v;
+  }
+
+  /// Is this result value a redirect envelope?
+  static bool is_redirect(const Value& v) {
+    if (!v.is_struct()) return false;
+    const Value* marker = v.find(kMarker);
+    return marker && marker->type() == Value::Type::Int &&
+           marker->as_int() == 307;
+  }
+
+  /// Decode an envelope previously produced by to_value(). Throws
+  /// Fault(kFaultType) when `v` is not a redirect envelope.
+  static RedirectResult from_value(const Value& v) {
+    if (!is_redirect(v)) {
+      throw Fault(kFaultType, "value is not a redirect envelope");
+    }
+    RedirectResult r;
+    r.url = v.at("url").as_string();
+    if (const Value* t = v.find("ticket")) r.ticket = t->as_string();
+    if (const Value* s = v.find("scope")) r.scope = s->as_string();
+    return r;
+  }
+};
+
 namespace binding_detail {
 
 [[noreturn]] inline void bad_param(std::size_t index, const char* want,
@@ -290,6 +336,11 @@ template <>
 struct ResultTraits<StructResult> {
   static constexpr const char* kName = "struct";
   static Value to_value(StructResult v) { return std::move(v.value); }
+};
+template <>
+struct ResultTraits<RedirectResult> {
+  static constexpr const char* kName = "redirect";
+  static Value to_value(const RedirectResult& v) { return v.to_value(); }
 };
 
 /// Optionals must form a suffix of the parameter list: a required

@@ -41,6 +41,9 @@ struct CallContext {
   std::string session_id;
   /// True when the identity was established via a proxy certificate.
   bool via_proxy = false;
+  /// Serial of a delegated stored proxy riding with the call ("" = none);
+  /// forwarded across federation hops inside node tickets.
+  std::string proxy_serial;
   /// Wire protocol name ("xmlrpc", "jsonrpc", "soap") for diagnostics.
   std::string protocol;
 

@@ -3,14 +3,21 @@
 // the asynchronous multi-connection driver used by the Figure-4 bench.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <fstream>
+#include <optional>
 
 #include "client/async_client.hpp"
 #include "client/client.hpp"
 #include "core/server.hpp"
+#include "http/parser.hpp"
+#include "net/socket.hpp"
 #include "rpc/fault.hpp"
+#include "rpc/protocol.hpp"
 #include "test_fixtures.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::client {
 namespace {
@@ -134,6 +141,160 @@ TEST(Client, GetRangeRequests) {
   EXPECT_EQ(client.get("/data/blob.bin", 10, -1).body, "ABCDEF");
   EXPECT_EQ(client.get("/data/ghost").status, 404);
   server.stop();
+}
+
+// Scripted keep-alive peer for the retry-policy tests: every request is
+// answered with its 1-based sequence number, except request `drop_at`,
+// which is read fully and then "answered" by closing the connection —
+// the keep-alive teardown race ClarensClient::roundtrip must survive.
+// When `partial` is set the dropped request first receives a torn
+// response prefix. Fresh connections keep being accepted afterwards.
+class FlakyServer {
+ public:
+  explicit FlakyServer(int drop_at, bool partial = false)
+      : drop_at_(drop_at),
+        partial_(partial),
+        listener_(net::TcpListener::listen(0)),
+        thread_([this] { serve(); }) {}
+  ~FlakyServer() {
+    running_.store(false);
+    listener_.shutdown();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint16_t port() const { return listener_.local_port(); }
+  int requests_seen() const { return requests_seen_.load(); }
+
+ private:
+  void serve() {
+    while (running_.load()) {
+      net::TcpConnection conn;
+      try {
+        conn = listener_.accept();
+      } catch (const Error&) {
+        return;  // shutdown() woke us
+      }
+      http::RequestParser parser;
+      std::array<std::uint8_t, 16 * 1024> chunk;
+      bool open = true;
+      while (running_.load() && open) {
+        std::optional<http::Request> request;
+        try {
+          while (!(request = parser.next())) {
+            std::size_t n = conn.read(chunk);
+            if (n == 0) {
+              open = false;
+              break;
+            }
+            parser.feed(std::span<const std::uint8_t>(chunk.data(), n));
+          }
+        } catch (const Error&) {
+          open = false;
+        }
+        if (!request) break;
+        int seq = ++requests_seen_;
+        if (seq == drop_at_) {
+          if (partial_) {
+            conn.write_all(std::string("HTTP/1.1 200 OK\r\nContent-Le"));
+          }
+          conn.close();
+          break;
+        }
+        rpc::Request rpc_request =
+            rpc::parse_request(rpc::Protocol::XmlRpc, request->body);
+        rpc::Response response =
+            rpc::Response::success(rpc::Value(static_cast<std::int64_t>(seq)));
+        response.id = rpc_request.id;
+        http::Response out = http::Response::make(
+            200, rpc::serialize_response(rpc::Protocol::XmlRpc, response),
+            rpc::content_type(rpc::Protocol::XmlRpc));
+        conn.write_all(out.serialize());
+      }
+    }
+  }
+
+  int drop_at_;
+  bool partial_;
+  std::atomic<bool> running_{true};
+  std::atomic<int> requests_seen_{0};
+  net::TcpListener listener_;
+  util::Thread thread_;
+};
+
+ClientOptions plain_options(std::uint16_t port) {
+  ClientOptions options;
+  options.port = port;
+  return options;
+}
+
+TEST(ClientRetry, IdempotentMethodTable) {
+  EXPECT_TRUE(is_idempotent_method("echo.echo"));
+  EXPECT_TRUE(is_idempotent_method("system.ping"));
+  EXPECT_TRUE(is_idempotent_method("discovery.find_services"));
+  EXPECT_TRUE(is_idempotent_method("file.read"));
+  EXPECT_TRUE(is_idempotent_method("file.ls"));
+  EXPECT_TRUE(is_idempotent_method("file.locate"));
+  EXPECT_TRUE(is_idempotent_method("proxy.exists"));
+  EXPECT_FALSE(is_idempotent_method("file.write"));
+  EXPECT_FALSE(is_idempotent_method("file.mkdir"));
+  EXPECT_FALSE(is_idempotent_method("file.rm"));
+  EXPECT_FALSE(is_idempotent_method("job.submit"));
+  EXPECT_FALSE(is_idempotent_method("proxy.logon"));
+  EXPECT_FALSE(is_idempotent_method("filesystem"));  // prefix, not a match
+}
+
+TEST(ClientRetry, IdempotentCallReplayedOnceOnTornKeepAlive) {
+  FlakyServer server(/*drop_at=*/2);
+  ClarensClient client(plain_options(server.port()));
+  client.connect();
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(std::int64_t{1})}).as_int(),
+            1);
+  // Request 2 is read and dropped; the replay on a fresh connection is
+  // request 3 and the call succeeds transparently.
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(std::int64_t{2})}).as_int(),
+            3);
+  EXPECT_EQ(server.requests_seen(), 3);
+}
+
+TEST(ClientRetry, NonIdempotentCallIsNeverReplayed) {
+  FlakyServer server(/*drop_at=*/2);
+  ClarensClient client(plain_options(server.port()));
+  client.connect();
+  EXPECT_EQ(client
+                .call("file.write",
+                      {rpc::Value(std::string("/p")),
+                       rpc::Value(std::string("x"))})
+                .as_int(),
+            1);
+  // The server may have executed the dropped write before dying, so the
+  // client must surface the failure instead of double-executing.
+  EXPECT_THROW(client.call("file.write", {rpc::Value(std::string("/p")),
+                                          rpc::Value(std::string("y"))}),
+               SystemError);
+  EXPECT_EQ(server.requests_seen(), 2);
+}
+
+TEST(ClientRetry, FreshConnectionFailureIsNotRetried) {
+  FlakyServer server(/*drop_at=*/1);
+  ClarensClient client(plain_options(server.port()));
+  // No connect(): roundtrip dials a fresh connection, so its failure is
+  // a real error, not a stale keep-alive — even for idempotent methods.
+  EXPECT_THROW(client.call("echo.echo", {rpc::Value(std::int64_t{1})}),
+               SystemError);
+  EXPECT_EQ(server.requests_seen(), 1);
+}
+
+TEST(ClientRetry, PartialResponseNeverReplayedEvenWhenIdempotent) {
+  FlakyServer server(/*drop_at=*/2, /*partial=*/true);
+  ClarensClient client(plain_options(server.port()));
+  client.connect();
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(std::int64_t{1})}).as_int(),
+            1);
+  // Response bytes arrived: the call definitely executed server-side, so
+  // even an idempotent method must not be silently run twice.
+  EXPECT_THROW(client.call("echo.echo", {rpc::Value(std::int64_t{2})}),
+               SystemError);
+  EXPECT_EQ(server.requests_seen(), 2);
 }
 
 TEST(AsyncDriver, CompletesExactCallBudget) {

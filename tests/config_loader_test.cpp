@@ -135,6 +135,80 @@ TEST(ConfigLoader, StorageEngineKnobValidation) {
       ParseError);
 }
 
+TEST(ConfigLoader, FederationKnobs) {
+  ClarensConfig head = config_from(util::Config::parse(
+      "node_role head\n"
+      "node_ticket_secret 0123456789abcdef\n"
+      "placement_replicas 2\n"
+      "node_capacity 2.5\n"
+      "federation_refresh_ms 250\n"
+      "node_ticket_ttl_s 60\n"
+      "placement_prefix_depth 3\n"));
+  EXPECT_EQ(head.node_role, NodeRole::Head);
+  EXPECT_EQ(head.node_ticket_secret, "0123456789abcdef");
+  EXPECT_EQ(head.placement_replicas, 2);
+  EXPECT_DOUBLE_EQ(head.node_capacity, 2.5);
+  EXPECT_EQ(head.federation_refresh_ms, 250);
+  EXPECT_EQ(head.node_ticket_ttl_s, 60);
+  EXPECT_EQ(head.placement_prefix_depth, 3);
+
+  ClarensConfig storage = config_from(util::Config::parse(
+      "node_role storage\n"
+      "head_url http://head.example.org:8080/clarens\n"
+      "node_ticket_secret 0123456789abcdef\n"));
+  EXPECT_EQ(storage.node_role, NodeRole::Storage);
+  EXPECT_EQ(storage.head_url, "http://head.example.org:8080/clarens");
+
+  // Defaults: standalone, no secret required, single replica.
+  ClarensConfig defaults = config_from(util::Config::parse("host x\n"));
+  EXPECT_EQ(defaults.node_role, NodeRole::Standalone);
+  EXPECT_TRUE(defaults.node_ticket_secret.empty());
+  EXPECT_EQ(defaults.placement_replicas, 1);
+  EXPECT_DOUBLE_EQ(defaults.node_capacity, 1.0);
+  EXPECT_EQ(defaults.placement_prefix_depth, 2);
+}
+
+TEST(ConfigLoader, FederationKnobValidation) {
+  // Unknown role.
+  EXPECT_THROW(config_from(util::Config::parse("node_role primary\n")),
+               ParseError);
+  // head/storage roles demand a meaningful shared secret…
+  EXPECT_THROW(config_from(util::Config::parse(
+                   "node_role head\nnode_ticket_secret short\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("node_role head\n")),
+               ParseError);
+  // …and a storage node must know its head.
+  EXPECT_THROW(config_from(util::Config::parse(
+                   "node_role storage\nnode_ticket_secret 0123456789abcdef\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("head_url gopher://x:1\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("placement_replicas 0\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("placement_replicas 9\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("node_capacity nan-ish\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("node_capacity 0\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("node_capacity -1\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("federation_refresh_ms -1\n")),
+               ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("federation_refresh_ms 60001\n")),
+      ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("node_ticket_ttl_s 0\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("node_ticket_ttl_s 86401\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("placement_prefix_depth 0\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("placement_prefix_depth 9\n")),
+               ParseError);
+}
+
 TEST(ConfigLoader, LoadsCredentialTrustAndUserMapFiles) {
   const TestPki& pki = TestPki::instance();
   TempDir tmp;

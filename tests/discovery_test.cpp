@@ -11,6 +11,7 @@
 #include "discovery/glue.hpp"
 #include "discovery/publisher.hpp"
 #include "discovery/station.hpp"
+#include "rpc/jsonrpc.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -158,6 +159,77 @@ TEST(Discovery, StaleRecordsFilteredFromQueries) {
   ASSERT_TRUE(eventually([&] { return discovery.record_count() == 1; }));
   std::this_thread::sleep_for(std::chrono::milliseconds(2300));
   EXPECT_TRUE(discovery.find_services("").empty());  // live filter
+}
+
+TEST(Glue, RoleAndPrefixesRoundTripAndDefault) {
+  ServiceRecord record = make_record("clarens01", "file");
+  record.role = "storage";
+  record.prefixes = {"/data", "/sandbox"};
+  ServiceRecord back = ServiceRecord::from_value(record.to_value());
+  EXPECT_EQ(back, record);
+  EXPECT_EQ(back.role, "storage");
+  ASSERT_EQ(back.prefixes.size(), 2u);
+
+  // Records published by pre-federation servers carry neither field;
+  // from_value must tolerate their absence rather than throw.
+  rpc::Value legacy = make_record("old", "file").to_value();
+  ServiceRecord tolerated = ServiceRecord::from_value(legacy);
+  EXPECT_TRUE(tolerated.prefixes.empty());
+}
+
+// Regression (ISSUE 8 satellite): records used to be filtered out of
+// query answers once stale, but the cache + persisted table kept them
+// forever — record_count() counted dead servers and the table grew
+// without bound. The receive loop now lazily reaps expired entries.
+TEST(Discovery, ExpiredRecordsAreReapedNotJustFiltered) {
+  StationServer station;
+  db::Store store;
+  DiscoveryServer discovery(store, /*record_ttl=*/1);
+  discovery.subscribe("127.0.0.1", station.port());
+  Publisher publisher("127.0.0.1", station.port());
+  publisher.set_records({make_record("n1", "file")});
+  publisher.publish_once();
+  ASSERT_TRUE(eventually([&] { return discovery.record_count() == 1; }));
+  // No further heartbeats: the record expires and the background reap
+  // removes it from the cache entirely, not only from query answers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2300));
+  EXPECT_TRUE(eventually([&] { return discovery.record_count() == 0; }));
+}
+
+TEST(Discovery, ReapStaleReportsCountAndErasesPersistedRows) {
+  StationServer station;
+  db::Store store;
+  DiscoveryServer discovery(store, /*record_ttl=*/1);
+  discovery.subscribe("127.0.0.1", station.port());
+  Publisher publisher("127.0.0.1", station.port());
+  publisher.set_records({make_record("n1", "file"), make_record("n2", "vo")});
+  publisher.publish_once();
+  ASSERT_TRUE(eventually([&] { return discovery.record_count() == 2; }));
+  EXPECT_EQ(store.keys("discovery_records").size(), 2u);
+  discovery.stop();  // park the background reaper for a deterministic count
+  std::this_thread::sleep_for(std::chrono::milliseconds(2300));
+  EXPECT_EQ(discovery.reap_stale(), 2u);
+  EXPECT_EQ(discovery.record_count(), 0u);
+  EXPECT_TRUE(store.keys("discovery_records").empty());
+  EXPECT_EQ(discovery.reap_stale(), 0u);  // idempotent once drained
+}
+
+TEST(Discovery, StalePersistedRowsDroppedAtStartup) {
+  db::Store store;
+  ServiceRecord stale = make_record("dead", "file");
+  stale.heartbeat = util::unix_now() - 100;
+  ServiceRecord fresh = make_record("live", "file");
+  store.put("discovery_records", stale.key(),
+            rpc::jsonrpc::serialize_value(stale.to_value()));
+  store.put("discovery_records", fresh.key(),
+            rpc::jsonrpc::serialize_value(fresh.to_value()));
+
+  DiscoveryServer discovery(store, /*record_ttl=*/5);
+  // The restart warm-up resurrects only the live row; the stale one is
+  // reaped from the table instead of haunting record_count().
+  EXPECT_EQ(discovery.record_count(), 1u);
+  ASSERT_EQ(store.keys("discovery_records").size(), 1u);
+  EXPECT_EQ(discovery.find_services("file").at(0).node, "live");
 }
 
 TEST(Discovery, QueryStationsSlowPathMatchesFastPath) {

@@ -1,0 +1,260 @@
+// Three-node federation cluster, end-to-end (ISSUE 8 acceptance):
+// one head + two storage nodes wired through a discovery fabric.
+//
+//   * files written through the head land on BOTH storage nodes
+//     (consistent-hash placement over namespace prefixes);
+//   * reading back through redirect envelopes returns the exact bytes;
+//   * the HTTP GET path answers 307 with a ticket-bearing Location that
+//     a plain client can follow to the owning node;
+//   * killing and restarting one storage node mid-run causes ZERO failed
+//     client calls — RoutedClient retries through the head until the
+//     node is back.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "client/client.hpp"
+#include "client/peer_pool.hpp"
+#include "client/routed.hpp"
+#include "core/server.hpp"
+#include "db/store.hpp"
+#include "discovery/discovery_server.hpp"
+#include "discovery/station.hpp"
+#include "federation/router.hpp"
+#include "rpc/fault.hpp"
+#include "test_fixtures.hpp"
+#include "util/error.hpp"
+#include "util/sync.hpp"
+
+namespace clarens {
+namespace {
+
+using testing::TempDir;
+using testing::TestPki;
+
+constexpr const char* kSecret = "federation-cluster-secret";
+
+/// Poll until `predicate` holds or ~5 s elapse (sanitizer headroom).
+template <typename F>
+bool eventually(F predicate) {
+  for (int i = 0; i < 250; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return predicate();
+}
+
+core::AclSpec allow_anyone() {
+  core::AclSpec spec;
+  spec.allow_dns = {core::AclSpec::kAnyone};
+  return spec;
+}
+
+core::ClarensConfig node_config(const TestPki& pki, const std::string& node,
+                                core::NodeRole role,
+                                const std::string& data_dir,
+                                const std::string& head_url,
+                                std::uint16_t station_port) {
+  core::ClarensConfig config;
+  config.trust = pki.trust;
+  config.admins = {"/O=testgrid.org/OU=People/CN=Alice Able"};
+  core::AclSpec anyone = allow_anyone();
+  config.initial_method_acls = {
+      {"system", anyone}, {"echo", anyone}, {"file", anyone}};
+  core::FileAcl facl;
+  facl.read = anyone;
+  facl.write = anyone;
+  config.initial_file_acls = {{"/data", facl}};
+  config.farm = "fedfarm";
+  config.node = node;
+  config.node_role = role;
+  config.node_ticket_secret = kSecret;
+  config.head_url = head_url;
+  config.station = {{"127.0.0.1", station_port}};
+  config.publish_interval_ms = 100;
+  config.federation_refresh_ms = 100;
+  if (!data_dir.empty()) config.file_roots = {{"/data", data_dir}};
+  return config;
+}
+
+std::size_t files_under(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) ++n;
+  }
+  return n;
+}
+
+std::string as_string(const rpc::Value& value) {
+  auto bytes = value.as_binary();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TEST(FederationCluster, RedirectedIoAcrossNodesSurvivesNodeRestart) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+
+  // Discovery fabric: one station, one aggregating discovery server.
+  // Generous TTL: a node's liveness is decided by connect attempts in
+  // this test, not by heartbeat lapses under sanitizer load.
+  discovery::StationServer station;
+  db::Store store;
+  discovery::DiscoveryServer discovery(store, /*record_ttl=*/5);
+  discovery.subscribe("127.0.0.1", station.port());
+
+  // Head: owns sessions + namespace, serves no file bytes itself.
+  core::ClarensServer head(node_config(pki, "head", core::NodeRole::Head,
+                                       /*data_dir=*/"", /*head_url=*/"",
+                                       station.port()));
+  head.attach_discovery(discovery);
+  head.start();
+  const std::string head_url = head.url();
+
+  // Two storage nodes, each exporting "/data" from its own directory.
+  std::string dir1 = tmp.sub("fst1");
+  std::string dir2 = tmp.sub("fst2");
+  auto storage1 = std::make_unique<core::ClarensServer>(node_config(
+      pki, "fst1", core::NodeRole::Storage, dir1, head_url, station.port()));
+  storage1->start();
+  auto storage2 = std::make_unique<core::ClarensServer>(node_config(
+      pki, "fst2", core::NodeRole::Storage, dir2, head_url, station.port()));
+  storage2->start();
+  const std::uint16_t storage2_port = storage2->port();
+
+  ASSERT_NE(head.router(), nullptr);
+  ASSERT_TRUE(eventually(
+      [&] { return head.router()->storage_nodes().size() == 2; }))
+      << "head never saw both storage nodes via discovery";
+
+  // Generous retry budget: a restarting node under TSan can take a
+  // couple of seconds to come back.
+  client::ClientOptions base;
+  base.credential = pki.alice;
+  base.trust = &pki.trust;
+  client::RoutedClient client(head_url, base, /*max_attempts=*/40,
+                              /*retry_backoff_ms=*/100);
+  client.authenticate();
+
+  // Spread files over many placement prefixes. The ring is
+  // deterministic, so with 12 prefixes on 2 nodes both get a share.
+  std::map<std::string, std::string> written;
+  for (int i = 0; i < 12; ++i) {
+    std::string run = "/data/run" + std::to_string(i);
+    std::string path = run + "/evt.bin";
+    std::string payload =
+        "payload-" + std::to_string(i) + "-" + std::string(64, 'x');
+    client.call("file.mkdir", {rpc::Value(run)});
+    EXPECT_TRUE(
+        client.call("file.write", {rpc::Value(path), rpc::Value(payload)})
+            .as_bool());
+    written[path] = payload;
+  }
+  EXPECT_GT(client.redirects_followed(), 0u)
+      << "calls never bounced through a storage node";
+  EXPECT_GT(files_under(dir1), 0u) << "placement starved node fst1";
+  EXPECT_GT(files_under(dir2), 0u) << "placement starved node fst2";
+
+  // Redirected read == written bytes, for every file.
+  for (const auto& [path, payload] : written) {
+    rpc::Value bytes = client.call(
+        "file.read", {rpc::Value(path), rpc::Value(std::int64_t{0}),
+                      rpc::Value(std::int64_t{1 << 20})});
+    EXPECT_EQ(as_string(bytes), payload) << path;
+  }
+
+  // Fan-out listing merges both nodes' views of the one namespace.
+  rpc::Value listing = client.call("file.ls", {rpc::Value("/data")});
+  EXPECT_EQ(listing.as_array().size(), 12u);
+
+  // file.find fans out likewise and merges full paths.
+  rpc::Value hits = client.call(
+      "file.find", {rpc::Value("/data"), rpc::Value("evt")});
+  EXPECT_EQ(hits.as_array().size(), 12u);
+
+  // Placement introspection names a live owner for each prefix.
+  rpc::Value located =
+      client.call("file.locate", {rpc::Value("/data/run0/evt.bin")});
+  EXPECT_EQ(located.at("prefix").as_string(), "/data/run0");
+  ASSERT_FALSE(located.at("owners").as_array().empty());
+
+  // The GET path: the head answers 307 with a ticket-bearing Location;
+  // following it manually on a fresh plain client yields the bytes.
+  http::Response redirect = client.head().get("/data/run0/evt.bin");
+  ASSERT_EQ(redirect.status, 307);
+  const std::string* location = redirect.headers.find("Location");
+  ASSERT_NE(location, nullptr);
+  client::PeerEndpoint target = client::PeerEndpoint::parse(*location);
+  std::size_t path_pos = location->find('/', location->find("://") + 3);
+  ASSERT_NE(path_pos, std::string::npos);
+  client::ClientOptions direct_options;
+  direct_options.host = target.host;
+  direct_options.port = target.port;
+  client::ClarensClient direct(direct_options);
+  direct.connect();
+  http::Response got = direct.get(location->substr(path_pos));
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, written.at("/data/run0/evt.bin"));
+  // Tickets are scoped to one placement prefix: presenting run0's
+  // ticket for a run1 path is refused outright.
+  std::size_t query_pos = location->find("?ticket=");
+  ASSERT_NE(query_pos, std::string::npos);
+  EXPECT_EQ(
+      direct.get("/data/run1/evt.bin" + location->substr(query_pos)).status,
+      403);
+
+  // Kill storage node 2 and restart it on the same port in the
+  // background while the client keeps reading every file: the retry-
+  // through-head loop must ride out the restart with zero failures.
+  storage2->stop();
+  storage2.reset();
+  util::Thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    core::ClarensConfig config = node_config(
+        pki, "fst2", core::NodeRole::Storage, dir2, head_url, station.port());
+    config.port = storage2_port;
+    storage2 = std::make_unique<core::ClarensServer>(std::move(config));
+    storage2->start();
+  });
+  std::size_t failed = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& [path, payload] : written) {
+      try {
+        rpc::Value bytes = client.call(
+            "file.read", {rpc::Value(path), rpc::Value(std::int64_t{0}),
+                          rpc::Value(std::int64_t{1 << 20})});
+        EXPECT_EQ(as_string(bytes), payload) << path;
+      } catch (const Error& e) {
+        ADD_FAILURE() << "client call failed during restart: " << path
+                      << ": " << e.what();
+        ++failed;
+      } catch (const rpc::Fault& e) {
+        ADD_FAILURE() << "client call faulted during restart: " << path
+                      << ": " << e.what();
+        ++failed;
+      }
+    }
+  }
+  restarter.join();
+  EXPECT_EQ(failed, 0u);
+
+  // The restarted node serves its files again, first try.
+  for (const auto& [path, payload] : written) {
+    EXPECT_EQ(as_string(client.call(
+                  "file.read", {rpc::Value(path), rpc::Value(std::int64_t{0}),
+                                rpc::Value(std::int64_t{1 << 20})})),
+              payload);
+  }
+
+  storage2->stop();
+  storage1->stop();
+  head.stop();
+}
+
+}  // namespace
+}  // namespace clarens

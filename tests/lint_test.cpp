@@ -157,6 +157,19 @@ TEST(LintLayering, RpcAndUtilMustNotReachUp) {
       "layering"));
 }
 
+TEST(LintLayering, FederationMustNotReachIntoCore) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/federation/router.cpp",
+                   "#include \"core/server.hpp\"\n"),
+      "layering"));
+  // Its sanctioned dependencies pass.
+  EXPECT_TRUE(lint_content("src/federation/router.cpp",
+                           "#include \"client/peer_pool.hpp\"\n"
+                           "#include \"discovery/discovery_server.hpp\"\n"
+                           "#include \"rpc/value.hpp\"\n")
+                  .empty());
+}
+
 TEST(LintLayering, DownwardAndExternalIncludesPass) {
   EXPECT_TRUE(lint_content("src/rpc/x.cpp",
                            "#include \"util/buffer.hpp\"\n"

@@ -11,6 +11,7 @@
 
 #include "client/client.hpp"
 #include "core/server.hpp"
+#include "rpc/binding.hpp"
 #include "rpc/fault.hpp"
 #include "rpc/registry.hpp"
 #include "test_fixtures.hpp"
@@ -278,6 +279,72 @@ TEST(MethodBindingFaults, WrongTypeFaultsOnEveryProtocol) {
     } catch (const rpc::Fault& fault) {
       EXPECT_EQ(fault.code(), rpc::kFaultType);
     }
+  }
+  server.stop();
+}
+
+// ---- redirect envelopes over every protocol ------------------------------
+//
+// A federated head answers file.read/write with a RedirectResult struct
+// (ISSUE 8); the envelope must survive serialization on all four wire
+// protocols, and its reserved marker must stay distinguishable from
+// ordinary struct results.
+TEST(MethodBindingRedirect, EnvelopeSurvivesEveryProtocol) {
+  const TestPki& pki = TestPki::instance();
+  core::ClarensConfig config = base_config(pki);
+  core::AclSpec anyone = allow_anyone();
+  config.initial_method_acls.push_back({"t", anyone});
+  core::ClarensServer server(std::move(config));
+  server.registry().bind(
+      "t.redirect",
+      [](const std::string&) {
+        rpc::RedirectResult redirect;
+        redirect.url = "http://node1:8080/clarens";
+        redirect.ticket = "cnt1.00ff.aa55";
+        redirect.scope = "/data/run1";
+        return redirect;
+      },
+      {.help = "test: always redirects", .params = {"path"}});
+  server.registry().bind(
+      "t.plain",
+      [] {
+        // A struct that *mentions* the marker key with a non-307 value
+        // must not be mistaken for a redirect.
+        rpc::Value v = rpc::Value::struct_();
+        v.set("clarens.redirect", std::int64_t{200});
+        v.set("url", std::string("http://decoy"));
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "test: marker-shaped but not a redirect"});
+  EXPECT_EQ(server.registry().info("t.redirect").signature,
+            "redirect (string path)");
+  server.start();
+
+  const rpc::Protocol protocols[] = {rpc::Protocol::XmlRpc,
+                                     rpc::Protocol::JsonRpc,
+                                     rpc::Protocol::Soap,
+                                     rpc::Protocol::Binary};
+  for (rpc::Protocol protocol : protocols) {
+    client::ClientOptions options =
+        client_options(pki, pki.bob, server.port());
+    options.protocol = protocol;
+    client::ClarensClient client(options);
+    client.connect();
+    client.authenticate();
+
+    rpc::Value value =
+        client.call("t.redirect", {rpc::Value("/data/run1/evt.bin")});
+    ASSERT_TRUE(rpc::RedirectResult::is_redirect(value))
+        << "protocol " << static_cast<int>(protocol);
+    rpc::RedirectResult redirect = rpc::RedirectResult::from_value(value);
+    EXPECT_EQ(redirect.url, "http://node1:8080/clarens");
+    EXPECT_EQ(redirect.ticket, "cnt1.00ff.aa55");
+    EXPECT_EQ(redirect.scope, "/data/run1");
+
+    rpc::Value plain = client.call("t.plain");
+    EXPECT_FALSE(rpc::RedirectResult::is_redirect(plain))
+        << "protocol " << static_cast<int>(protocol);
+    EXPECT_THROW(rpc::RedirectResult::from_value(plain), rpc::Fault);
   }
   server.stop();
 }

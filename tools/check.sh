@@ -7,6 +7,9 @@
 #   asan      AddressSanitizer build + full suite
 #   ubsan     UndefinedBehaviorSanitizer build + full suite
 #   tsan      ThreadSanitizer build + full suite
+#   cluster   3-node federation cluster test (head + 2 storage) in the
+#             release, asan and tsan builds — the federation acceptance
+#             gate, runnable on its own without the full suites
 #   tidy      clang -Wthread-safety over the annotated lock layer
 #             (compile only; skipped when clang++ is not installed)
 #
@@ -62,6 +65,31 @@ leg_lint() {
   fi
 }
 
+leg_cluster() {
+  # Federation acceptance: one head + two storage nodes, redirect I/O,
+  # node kill + restart with zero failed client calls — must hold under
+  # plain release, AddressSanitizer and ThreadSanitizer.
+  local log="$LOG_DIR/cluster.log" ok=1
+  note "cluster: federation_cluster_test (release + asan + tsan)"
+  : >"$log"
+  local pair preset dir
+  for pair in "default build" "asan build-asan" "tsan build-tsan"; do
+    preset=${pair% *}
+    dir=${pair#* }
+    printf '== cluster[%s] ==\n' "$dir" >>"$log"
+    if ! { cmake --preset "$preset" >>"$log" 2>&1 &&
+           cmake --build "$dir" -j "$JOBS" --target federation_cluster_test \
+             >>"$log" 2>&1 &&
+           ctest --test-dir "$dir" -R '^federation_cluster_test$' \
+             --output-on-failure >>"$log" 2>&1; }; then
+      ok=0
+    fi
+  done
+  if [ "$ok" -eq 1 ]; then record PASS cluster; else
+    record FAIL cluster "(log: $log)"
+  fi
+}
+
 leg_tidy() {
   local log="$LOG_DIR/tidy.log"
   if ! command -v clang++ >/dev/null 2>&1; then
@@ -78,11 +106,11 @@ leg_tidy() {
 }
 
 LEGS=("$@")
-[ ${#LEGS[@]} -eq 0 ] && LEGS=(release lint asan ubsan tsan tidy)
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(release lint asan ubsan tsan cluster tidy)
 
 for leg in "${LEGS[@]}"; do
   case "$leg" in
-    release|lint|asan|ubsan|tsan|tidy) "leg_$leg" ;;
+    release|lint|asan|ubsan|tsan|cluster|tidy) "leg_$leg" ;;
     *) record FAIL "$leg" "(unknown leg)" ;;
   esac
 done

@@ -18,12 +18,24 @@
 //   allow system *
 //   EOF
 //   clarensd clarens.conf
+//
+// Daemon-level keys (read here, not by the core loader):
+//   station_listen_port <port>   host a discovery station on this UDP port
+//   discovery_server true        aggregate the configured station into a
+//                                local discovery server and attach it —
+//                                required for node_role head, so the head
+//                                can build its placement ring
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <semaphore>
 
 #include "core/config_loader.hpp"
 #include "core/server.hpp"
+#include "db/store.hpp"
+#include "discovery/discovery_server.hpp"
+#include "discovery/station.hpp"
+#include "util/config.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -43,7 +55,35 @@ int main(int argc, char** argv) {
   try {
     clarens::core::ClarensConfig config =
         clarens::core::load_config_file(argv[1]);
+    clarens::util::Config raw = clarens::util::Config::load(argv[1]);
+
+    // Optional discovery fabric, hosted in-process: a station server
+    // (UDP ingest) and/or an aggregating discovery server over the
+    // configured station. A federation head needs the latter.
+    std::unique_ptr<clarens::discovery::StationServer> station;
+    auto listen_port = raw.get_int_or("station_listen_port", 0);
+    if (listen_port > 0) {
+      station = std::make_unique<clarens::discovery::StationServer>(
+          static_cast<std::uint16_t>(listen_port));
+      std::printf("clarensd: station server on udp port %u\n",
+                  station->port());
+    }
+    std::unique_ptr<clarens::db::Store> discovery_store;
+    std::unique_ptr<clarens::discovery::DiscoveryServer> discovery;
+    if (raw.get_bool_or("discovery_server", false)) {
+      if (!config.station) {
+        std::fprintf(stderr,
+                     "clarensd: discovery_server requires a station line\n");
+        return 1;
+      }
+      discovery_store = std::make_unique<clarens::db::Store>();
+      discovery = std::make_unique<clarens::discovery::DiscoveryServer>(
+          *discovery_store);
+      discovery->subscribe(config.station->first, config.station->second);
+    }
+
     clarens::core::ClarensServer server(std::move(config));
+    if (discovery) server.attach_discovery(*discovery);
     server.start();
     std::printf("clarensd: serving at %s (%zu methods)\n",
                 server.url().c_str(), server.registry().size());

@@ -362,22 +362,45 @@ void check_reactor_blocking(const std::string& path,
 
 void check_layering(const std::string& path, const std::vector<LineInfo>& lines,
                     std::vector<Violation>& out) {
-  bool scoped = path_in(path, "rpc") || path_in(path, "util");
-  if (!scoped) return;
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    const std::string& raw = lines[n].raw;
-    std::size_t pos = skip_spaces(raw, 0);
-    if (pos >= raw.size() || raw[pos] != '#') continue;
-    pos = skip_spaces(raw, pos + 1);
-    if (raw.compare(pos, 7, "include") != 0) continue;
-    pos = skip_spaces(raw, pos + 7);
-    if (pos >= raw.size() || raw[pos] != '"') continue;
-    for (const char* layer : {"core/", "http/"}) {
-      if (raw.compare(pos + 1, std::string(layer).size(), layer) == 0) {
-        out.push_back({path, static_cast<int>(n) + 1, "layering",
-                       "dependency direction is util <- rpc <- http <- "
-                       "core; this layer must not include " +
-                           std::string(layer)});
+  // Two scoped cases:
+  //  * rpc/ and util/ sit below http/ and core/ and may include neither;
+  //  * federation/ sits beside core/ (it depends on client, discovery
+  //    and rpc) and must never reach into core internals — the head's
+  //    method bindings in core depend on federation, not the reverse.
+  struct Scope {
+    const char* dir;
+    std::vector<const char*> banned;
+    const char* why;
+  };
+  static const Scope kScopes[] = {
+      {"rpc",
+       {"core/", "http/"},
+       "dependency direction is util <- rpc <- http <- core; this layer "
+       "must not include "},
+      {"util",
+       {"core/", "http/"},
+       "dependency direction is util <- rpc <- http <- core; this layer "
+       "must not include "},
+      {"federation",
+       {"core/"},
+       "federation depends on client/discovery/rpc, never core internals; "
+       "this layer must not include "},
+  };
+  for (const Scope& scope : kScopes) {
+    if (!path_in(path, scope.dir)) continue;
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      const std::string& raw = lines[n].raw;
+      std::size_t pos = skip_spaces(raw, 0);
+      if (pos >= raw.size() || raw[pos] != '#') continue;
+      pos = skip_spaces(raw, pos + 1);
+      if (raw.compare(pos, 7, "include") != 0) continue;
+      pos = skip_spaces(raw, pos + 7);
+      if (pos >= raw.size() || raw[pos] != '"') continue;
+      for (const char* layer : scope.banned) {
+        if (raw.compare(pos + 1, std::string(layer).size(), layer) == 0) {
+          out.push_back({path, static_cast<int>(n) + 1, "layering",
+                         scope.why + std::string(layer)});
+        }
       }
     }
   }
@@ -475,7 +498,9 @@ const std::vector<std::pair<std::string, int>>& lock_hierarchy() {
       {"core.transfer", 20},       // transfer table + queue
       {"core.message", 20},        // mailbox table
       {"core.srm", 20},            // SRM request table
+      {"federation.router", 20},   // placement ring + refresh stopwatch
       {"core.session.shard", 30},  // session cache shard (leaf w.r.t. db)
+      {"client.peer_pool", 30},    // idle-client map (leaf; no calls held)
       {"db.store.shard", 40},      // store memtable shard (SharedMutex)
       {"db.store.journal", 50},    // innermost: store commit queue
       {"storage.mass", 40},        // leaf: disk-cache bookkeeping

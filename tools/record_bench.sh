@@ -13,6 +13,7 @@
 #   fig4_inline_off.json   ablation: every request takes the worker handoff
 #   wire.json              per-protocol round-trip cost
 #   store.json             storage-engine churn rows (BENCH_store.json)
+#   federation.json        3-node cluster redirect tax (BENCH_federation.json)
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -47,6 +48,10 @@ echo "== storage engine: multi-writer session churn =="
 "$BUILD/bench/bench_session_persistence" --json "$OUT/store.json"
 
 echo
+echo "== federation: redirect-to-node I/O vs standalone =="
+"$BUILD/bench/bench_federation" --json "$OUT/federation.json"
+
+echo
 echo "Raw results in $OUT/. Fold the summaries into BENCH_hotpath.json,"
-echo "BENCH_wire.json and BENCH_store.json when committing a performance"
-echo "change."
+echo "BENCH_wire.json, BENCH_store.json and BENCH_federation.json when"
+echo "committing a performance change."
