@@ -48,6 +48,7 @@ struct FanOutConnection {
   http::ResponseParser parser;
   std::string wire;
   std::size_t write_offset = 0;
+  bool connecting = true;  // TCP handshake still in flight
   bool done = false;
 };
 
@@ -104,6 +105,16 @@ std::vector<FanOutReply> fan_out(
     FanOutConnection& conn = *conns[i];
     if (conn.done) return;
     try {
+      if (conn.connecting) {
+        // Connection establishment is part of the fan-out, covered by
+        // the same deadline as the request itself — a blackholed node
+        // times out instead of stalling every sibling behind a blocking
+        // connect(2).
+        if (!conn.tcp.finish_connect(targets[i].host, targets[i].port)) {
+          return;  // handshake still in flight; the reactor will re-arm
+        }
+        conn.connecting = false;
+      }
       while (conn.write_offset < conn.wire.size()) {
         std::size_t n = conn.tcp.write_some(std::span<const std::uint8_t>(
             reinterpret_cast<const std::uint8_t*>(conn.wire.data()) +
@@ -134,13 +145,12 @@ std::vector<FanOutReply> fan_out(
   for (std::size_t i = 0; i < targets.size(); ++i) {
     auto conn = std::make_unique<FanOutConnection>();
     try {
-      conn->tcp = net::TcpConnection::connect(targets[i].host,
-                                              targets[i].port);
+      conn->tcp = net::TcpConnection::connect_nonblocking(targets[i].host,
+                                                          targets[i].port);
     } catch (const Error& e) {
       replies[i].error = e.what();
       continue;  // unreachable node: fan-out degrades, not fails
     }
-    conn->tcp.set_nonblocking(true);
     http::Request request;
     request.method = "POST";
     request.target = targets[i].endpoint;

@@ -43,7 +43,14 @@ http::Response ClarensClient::roundtrip(const http::Request& request,
   // A reused keep-alive connection may have been closed by the server
   // between calls; a fresh one failing is a real error.
   bool reused = stream_ != nullptr;
-  if (!stream_) connect();
+  if (!stream_) {
+    try {
+      connect();
+    } catch (const SystemError& e) {
+      // Nothing was ever sent: retrying callers may replay freely.
+      throw TransportError(e.what(), /*may_have_executed=*/false);
+    }
+  }
   std::string wire = request.serialize();
   for (int attempt = 0; attempt < 2; ++attempt) {
     bool wrote = false;             // full request handed to the kernel
@@ -59,7 +66,7 @@ http::Response ClarensClient::roundtrip(const http::Request& request,
         response_started = true;
         parser_.feed(std::span<const std::uint8_t>(chunk.data(), n));
       }
-    } catch (const SystemError&) {
+    } catch (const SystemError& e) {
       // Replay exactly once, and only when it cannot double-execute:
       //  * write never completed -> the server saw at most a partial
       //    HTTP request it will not act on; any method is safe;
@@ -69,9 +76,18 @@ http::Response ClarensClient::roundtrip(const http::Request& request,
       //  * a partial response arrived -> the call definitely executed;
       //    never replay, even idempotent ones (the caller should see
       //    the failure rather than a silent second execution).
+      // Failures surface as TransportError carrying `wrote`, so outer
+      // retry layers (RoutedClient) can make the same safety call.
       bool replayable = !wrote || (idempotent && !response_started);
-      if (!reused || attempt == 1 || !replayable) throw;
-      connect();
+      if (!reused || attempt == 1 || !replayable) {
+        throw TransportError(e.what(), /*may_have_executed=*/wrote);
+      }
+      try {
+        connect();
+      } catch (const SystemError& reconnect) {
+        // The original attempt was replayable; report its write state.
+        throw TransportError(reconnect.what(), /*may_have_executed=*/wrote);
+      }
     }
   }
   throw SystemError("unreachable");

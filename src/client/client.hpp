@@ -18,8 +18,27 @@
 #include "pki/verify.hpp"
 #include "rpc/protocol.hpp"
 #include "tls/channel.hpp"
+#include "util/error.hpp"
 
 namespace clarens::client {
+
+/// Transport failure from ClarensClient with the one fact a retrying
+/// caller needs: whether the request may have reached the server.
+/// `may_have_executed == false` means the full request was never handed
+/// to the kernel — replaying cannot double-execute, whatever the method.
+/// `true` means the server may (or may not) have acted on it; only
+/// idempotent methods are safe to replay then.
+class TransportError : public SystemError {
+ public:
+  TransportError(std::string message, bool may_have_executed)
+      : SystemError(std::move(message)),
+        may_have_executed_(may_have_executed) {}
+
+  bool may_have_executed() const { return may_have_executed_; }
+
+ private:
+  bool may_have_executed_;
+};
 
 struct ClientOptions {
   std::string host = "127.0.0.1";

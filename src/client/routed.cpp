@@ -29,6 +29,14 @@ RoutedClient::RoutedClient(const std::string& head_url, ClientOptions base,
 
 rpc::Value RoutedClient::call(const std::string& method,
                               const std::vector<rpc::Value>& params) {
+  // Replaying after a transport failure is only safe when it cannot
+  // double-execute: the request provably never reached a server, or the
+  // method is idempotent. A non-idempotent call that may have executed
+  // (file.write fully sent, connection died before the response) must
+  // surface the failure — the paper's analysis clients handle "unknown
+  // outcome" far better than a silent second execution (a replayed
+  // file.rm would fault NotFound despite having succeeded).
+  const bool idempotent = is_idempotent_method(method);
   std::string last_error;
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (attempt > 0) {
@@ -38,9 +46,12 @@ rpc::Value RoutedClient::call(const std::string& method,
     rpc::Value result;
     try {
       result = head_.call(method, params);
-    } catch (const SystemError& e) {
-      // Safe to replay against a head (see header); a dead head means
-      // waiting out the backoff is all we can do.
+    } catch (const TransportError& e) {
+      // A federated head answers non-idempotent file.* with a redirect
+      // (no side effect), but a head with an empty ring executes the
+      // call in place — so the idempotency gate applies here too.
+      if (!idempotent && e.may_have_executed()) throw;
+      // Otherwise a dead head just means waiting out the backoff.
       last_error = e.what();
       continue;
     }
@@ -53,11 +64,12 @@ rpc::Value RoutedClient::call(const std::string& method,
     lease->set_header("X-Clarens-Node-Ticket", redirect.ticket);
     try {
       return lease->call(method, params);
-    } catch (const SystemError& e) {
+    } catch (const TransportError& e) {
       // Torn/stale node connection or a node mid-restart: drop the
       // connection and re-ask the head, which re-routes around the
       // failure. rpc::Fault propagates — the node answered.
       lease.discard();
+      if (!idempotent && e.may_have_executed()) throw;
       last_error = e.what();
     }
   }

@@ -11,11 +11,14 @@
 // transport error (node restarted, was SIGKILLed, connection stale), the
 // client discards the torn connection and asks the head again — the head
 // re-routes around membership changes, so a bounded number of retries
-// rides out a node restart with zero caller-visible failures. Replaying
-// the *head* call is always safe on a head: redirect minting has no side
-// effect, and the only calls a head executes itself are idempotent
-// metadata proxies. (Do not point RoutedClient at a standalone server
-// for non-idempotent calls — there the call executes in place.)
+// rides out a node restart with zero caller-visible failures for
+// idempotent calls. Replay is gated on safety: a non-idempotent call
+// (file.write, file.mkdir, file.rm, ...) whose request may have reached a
+// server (TransportError::may_have_executed) is NOT replayed — the error
+// propagates so the caller can decide, instead of risking a silent
+// double-execution (a replayed file.rm would fault NotFound despite
+// having succeeded). Calls that provably never reached a server retry
+// freely regardless of method.
 #pragma once
 
 #include <string>

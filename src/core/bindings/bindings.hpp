@@ -42,6 +42,15 @@ inline pki::DistinguishedName caller_dn(const rpc::CallContext& context) {
   return pki::DistinguishedName::parse(context.identity);
 }
 
+/// Ticket-authorized calls (storage nodes) are capabilities for one
+/// namespace prefix: every file handler runs the touched path through
+/// this before acting. No-op for session-authenticated callers (the ACL
+/// chain already decided). Throws AccessError when the ticket's scope
+/// does not cover `path`, or when `write` is requested on a read-only
+/// ticket.
+void check_ticket(const rpc::CallContext& context, const std::string& path,
+                  bool write);
+
 // system.* (+ echo.echo) touch server-wide state — sessions, the
 // challenge table, config, the registry itself — so they take the server.
 void register_system_methods(ClarensServer& server);

@@ -52,19 +52,19 @@ void check_file_access(ClarensServer& server, const rpc::CallContext& context,
 }
 
 std::string mint(federation::Router& router, const rpc::CallContext& context,
-                 const std::string& scope) {
+                 const std::string& scope, bool write) {
   return router.mint_ticket(context.identity, context.via_proxy,
-                            context.proxy_serial, scope);
+                            context.proxy_serial, scope, write);
 }
 
 rpc::RedirectResult redirect_to(federation::Router& router,
                                 const rpc::CallContext& context,
                                 const federation::NodeInfo& node,
-                                const std::string& path) {
+                                const std::string& path, bool write) {
   rpc::RedirectResult redirect;
   redirect.url = node.url;
   redirect.scope = router.prefix_of(path);
-  redirect.ticket = mint(router, context, redirect.scope);
+  redirect.ticket = mint(router, context, redirect.scope, write);
   return redirect;
 }
 
@@ -78,8 +78,8 @@ std::vector<rpc::Value> fan_out_collect(federation::Router& router,
                                         const std::string& path,
                                         const std::vector<rpc::Value>& params) {
   std::vector<federation::NodeInfo> nodes = router.storage_nodes();
-  std::vector<client::FanOutReply> replies =
-      router.fan_out(nodes, method, params, mint(router, context, "/"));
+  std::vector<client::FanOutReply> replies = router.fan_out(
+      nodes, method, params, mint(router, context, "/", /*write=*/false));
   std::vector<rpc::Value> results;
   std::string first_error;
   for (auto& reply : replies) {
@@ -112,7 +112,8 @@ void register_federation_methods(ClarensServer& server,
                     std::int64_t offset, std::int64_t length) -> rpc::Value {
         if (auto owner = r->route(path)) {
           check_file_access(*s, context, path, /*write=*/false);
-          return redirect_to(*r, context, *owner, path).to_value();
+          return redirect_to(*r, context, *owner, path, /*write=*/false)
+              .to_value();
         }
         return rpc::Value(files->read(path, offset, length,
                                       caller_dn(context)));
@@ -127,7 +128,8 @@ void register_federation_methods(ClarensServer& server,
                     rpc::Blob data) -> rpc::Value {
         if (auto owner = r->route(path)) {
           check_file_access(*s, context, path, /*write=*/true);
-          return redirect_to(*r, context, *owner, path).to_value();
+          return redirect_to(*r, context, *owner, path, /*write=*/true)
+              .to_value();
         }
         files->write(path, data.bytes, caller_dn(context));
         return rpc::Value(true);
@@ -142,7 +144,8 @@ void register_federation_methods(ClarensServer& server,
                     const std::string& path) -> rpc::Value {
         if (auto owner = r->route(path)) {
           check_file_access(*s, context, path, /*write=*/true);
-          return redirect_to(*r, context, *owner, path).to_value();
+          return redirect_to(*r, context, *owner, path, /*write=*/true)
+              .to_value();
         }
         files->mkdir(path, caller_dn(context));
         return rpc::Value(true);
@@ -157,7 +160,8 @@ void register_federation_methods(ClarensServer& server,
                     const std::string& path) -> rpc::Value {
         if (auto owner = r->route(path)) {
           check_file_access(*s, context, path, /*write=*/true);
-          return redirect_to(*r, context, *owner, path).to_value();
+          return redirect_to(*r, context, *owner, path, /*write=*/true)
+              .to_value();
         }
         files->remove(path, caller_dn(context));
         return rpc::Value(true);
@@ -178,7 +182,8 @@ void register_federation_methods(ClarensServer& server,
           std::vector<rpc::Value> params = {rpc::Value(path)};
           if (auto owner = r->route(path)) {
             check_file_access(*s, context, path, /*write=*/false);
-            std::string ticket = mint(*r, context, r->prefix_of(path));
+            std::string ticket =
+                mint(*r, context, r->prefix_of(path), /*write=*/false);
             return r->call_on(*owner, method, params, ticket);
           }
           pki::DistinguishedName dn = caller_dn(context);

@@ -2,8 +2,21 @@
 #include "core/bindings/bindings.hpp"
 
 #include "core/file_service.hpp"
+#include "federation/node_ticket.hpp"
+#include "util/error.hpp"
 
 namespace clarens::core::bindings {
+
+void check_ticket(const rpc::CallContext& context, const std::string& path,
+                  bool write) {
+  if (!context.via_ticket) return;
+  if (write && !context.ticket_write) {
+    throw AccessError("node ticket is read-only: " + path);
+  }
+  if (!federation::NodeTicket::scope_covers(context.ticket_scope, path)) {
+    throw AccessError("node ticket does not cover path: " + path);
+  }
+}
 
 namespace {
 
@@ -26,6 +39,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
       [f](const rpc::CallContext& context, const std::string& path,
           std::int64_t offset, std::int64_t length)
           -> std::vector<std::uint8_t> {
+        check_ticket(context, path, /*write=*/false);
         // When the transport can stream a file region zero-copy and the
         // request is large enough to be worth it, hand back the resolved
         // range instead of materializing the bytes; the dispatcher
@@ -49,6 +63,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
       "file.write",
       [f](const rpc::CallContext& context, const std::string& path,
           rpc::Blob data) {
+        check_ticket(context, path, /*write=*/true);
         f->write(path, data.bytes, caller_dn(context));
         return true;
       },
@@ -58,6 +73,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.ls",
       [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/false);
         rpc::Array out;
         for (const auto& st : f->ls(path, caller_dn(context))) {
           out.push_back(stat_value(st));
@@ -69,6 +85,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.stat",
       [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/false);
         return rpc::StructResult{stat_value(f->stat(path, caller_dn(context)))};
       },
       {.help = "File or directory information", .params = {"path"}});
@@ -76,6 +93,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.md5",
       [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/false);
         return f->md5(path, caller_dn(context));
       },
       {.help = "MD5 integrity hash of a file", .params = {"path"}});
@@ -83,6 +101,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.size",
       [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/false);
         return f->size(path, caller_dn(context));
       },
       {.help = "Size of a file in bytes", .params = {"path"}});
@@ -91,6 +110,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
       "file.find",
       [f](const rpc::CallContext& context, const std::string& path,
           const std::string& pattern) {
+        check_ticket(context, path, /*write=*/false);
         return f->find(path, pattern, caller_dn(context));
       },
       {.help = "Recursive filename search", .params = {"path", "pattern"}});
@@ -98,6 +118,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.mkdir",
       [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/true);
         f->mkdir(path, caller_dn(context));
         return true;
       },
@@ -106,6 +127,7 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
   registry.bind(
       "file.rm",
       [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/true);
         f->remove(path, caller_dn(context));
         return true;
       },

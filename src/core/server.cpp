@@ -341,18 +341,30 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
         context.via_proxy = peer.tls_identity->via_proxy;
       }
     } else if (const std::string* node_token =
-                   config_.node_ticket_secret.empty()
+                   config_.node_role != NodeRole::Storage ||
+                           config_.node_ticket_secret.empty()
                        ? nullptr
                        : request.headers.find(kNodeTicketHeader)) {
       // Federation fast path: a head-minted node ticket replaces the
       // session handshake — the head already authenticated the caller
-      // and the HMAC proves it. The method ACL still runs against the
-      // forwarded identity (delegated credentials ride along in
-      // via_proxy / proxy_serial).
+      // and the HMAC proves it. Only storage-role nodes honor tickets
+      // (heads and standalone servers run the full session stack), and a
+      // ticket is a *file capability*, not a blanket identity: it
+      // authorizes file.* methods only, and the file handlers enforce
+      // its namespace scope and write bit against the path they touch.
+      // The method ACL still runs against the forwarded identity
+      // (delegated credentials ride along in via_proxy / proxy_serial).
       federation::NodeTicket ticket = check_node_ticket(*node_token);
+      if (!util::starts_with(rpc_request.method, "file.")) {
+        throw AuthError("node ticket does not authorize method '" +
+                        rpc_request.method + "'");
+      }
       context.identity = ticket.dn;
       context.via_proxy = ticket.via_proxy;
       context.proxy_serial = ticket.proxy_serial;
+      context.via_ticket = true;
+      context.ticket_scope = ticket.scope;
+      context.ticket_write = ticket.write;
       check_acl(method->info.acl_path.empty() ? rpc_request.method
                                               : method->info.acl_path,
                 pki::DistinguishedName::parse(ticket.dn));
@@ -499,18 +511,31 @@ http::Response ClarensServer::handle_get(const http::Request& request,
   // default_allow is set).
   auto query = request.query();
   pki::DistinguishedName identity;
+  // Delegation info rides into any node ticket minted below: a caller
+  // whose identity came from a stored proxy logon must look the same to
+  // a storage node whichever protocol (RPC or GET) carried the hop.
+  bool via_proxy = false;
+  std::string proxy_serial;
   if (peer.tls_identity && peer.tls_identity->ok) {
     identity = peer.tls_identity->identity;
+    via_proxy = peer.tls_identity->via_proxy;
   } else if (auto token = request.headers.get(kSessionHeader)) {
     try {
-      identity = sessions_->lookup_shared(*token)->identity_dn;
+      std::shared_ptr<const Session> session = sessions_->lookup_shared(*token);
+      identity = session->identity_dn;
+      via_proxy = session->via_proxy;
+      proxy_serial = session->attached_proxy_serial;
     } catch (const AuthError&) {
       return http::Response::make(401, "invalid session\n");
     }
-  } else if (auto it = query.find("ticket"); it != query.end()) {
+  } else if (auto it = query.find("ticket");
+             it != query.end() && config_.node_role == NodeRole::Storage) {
     // Storage-node GET path: a head-minted node ticket rides as a query
     // parameter (the token is hex, hence URL-safe) because the 307
-    // redirect cannot make the browser attach a custom header.
+    // redirect cannot make the browser attach a custom header. Only
+    // storage-role nodes honor tickets — everywhere else the full
+    // session stack decides. GET is read-only, so any valid covering
+    // ticket (read or write) serves.
     try {
       federation::NodeTicket ticket = check_node_ticket(it->second);
       if (!ticket.covers(path)) {
@@ -533,17 +558,25 @@ http::Response ClarensServer::handle_get(const http::Request& request,
         return http::Response::make(403, "file access denied\n");
       }
       std::string scope = router_->prefix_of(path);
-      std::string ticket = router_->mint_ticket(
-          identity.str(), /*via_proxy=*/false, /*proxy_serial=*/"", scope);
+      // Read-only ticket: the GET ticket travels in a query string that
+      // proxies and access logs capture, so even a leaked token must
+      // never authorize a mutation (see docs/FEDERATION.md).
+      std::string ticket = router_->mint_ticket(identity.str(), via_proxy,
+                                                proxy_serial, scope,
+                                                /*write=*/false);
       client::PeerEndpoint endpoint = client::PeerEndpoint::parse(owner->url);
+      // The path was %-decoded by request.path(); re-encode it (keeping
+      // '/') so names with spaces/'#'/'&' survive as a well-formed URL.
+      // The ticket itself is hex-safe by construction.
       std::string location = std::string(endpoint.tls ? "https" : "http") +
                              "://" + endpoint.host + ":" +
-                             std::to_string(endpoint.port) + path +
-                             "?ticket=" + ticket;
+                             std::to_string(endpoint.port) +
+                             http::url_encode(path) + "?ticket=" + ticket;
       // Byte-range parameters survive the hop.
       for (const char* key : {"offset", "length"}) {
         if (auto param = query.find(key); param != query.end()) {
-          location += "&" + std::string(key) + "=" + param->second;
+          location += "&" + std::string(key) + "=" +
+                      http::url_encode(param->second);
         }
       }
       http::Response response =

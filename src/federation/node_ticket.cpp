@@ -27,6 +27,7 @@ std::string NodeTicket::mint(std::string_view secret) const {
   payload.set("via_proxy", via_proxy);
   payload.set("proxy_serial", proxy_serial);
   payload.set("scope", scope);
+  payload.set("write", write);
   payload.set("exp", expires);
   std::string json = rpc::jsonrpc::serialize_value(payload);
   std::string signed_part =
@@ -68,6 +69,7 @@ std::optional<NodeTicket> NodeTicket::verify(std::string_view secret,
     ticket.via_proxy = payload.at("via_proxy").as_bool();
     ticket.proxy_serial = payload.at("proxy_serial").as_string();
     ticket.scope = payload.at("scope").as_string();
+    ticket.write = payload.at("write").as_bool();
     ticket.expires = payload.at("exp").as_int();
     if (ticket.expires < now) return std::nullopt;
     return ticket;
@@ -78,7 +80,8 @@ std::optional<NodeTicket> NodeTicket::verify(std::string_view secret,
   }
 }
 
-bool NodeTicket::covers(const std::string& path) const {
+bool NodeTicket::scope_covers(const std::string& scope,
+                              const std::string& path) {
   if (scope.empty() || scope == "/") return true;
   if (path.compare(0, scope.size(), scope) != 0) return false;
   return path.size() == scope.size() || path[scope.size()] == '/';

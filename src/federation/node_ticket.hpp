@@ -27,6 +27,7 @@ struct NodeTicket {
   bool via_proxy = false;    // identity came from a stored proxy logon
   std::string proxy_serial;  // serial of the delegated proxy ("" = none)
   std::string scope;         // namespace prefix the ticket covers
+  bool write = false;        // authorizes mutations (write/mkdir/rm)
   std::int64_t expires = 0;  // unix seconds; invalid after this instant
 
   /// Serialize + sign with the shared cluster secret.
@@ -41,7 +42,14 @@ struct NodeTicket {
 
   /// Does the ticket's scope cover `path`? Scope "/data/run1" covers
   /// "/data/run1" and anything below it; scope "" or "/" covers all.
-  bool covers(const std::string& path) const;
+  bool covers(const std::string& path) const {
+    return scope_covers(scope, path);
+  }
+
+  /// The component-boundary subtree check behind covers(), usable on a
+  /// bare scope string (the dispatcher hands handlers the scope, not the
+  /// ticket).
+  static bool scope_covers(const std::string& scope, const std::string& path);
 };
 
 }  // namespace clarens::federation

@@ -91,12 +91,13 @@ void Router::invalidate() {
 
 std::string Router::mint_ticket(const std::string& dn, bool via_proxy,
                                 const std::string& proxy_serial,
-                                const std::string& scope) const {
+                                const std::string& scope, bool write) const {
   NodeTicket ticket;
   ticket.dn = dn;
   ticket.via_proxy = via_proxy;
   ticket.proxy_serial = proxy_serial;
   ticket.scope = scope;
+  ticket.write = write;
   ticket.expires = util::unix_now() + options_.ticket_ttl_s;
   return ticket.mint(options_.secret);
 }

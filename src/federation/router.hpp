@@ -66,9 +66,12 @@ class Router {
   std::vector<NodeInfo> storage_nodes();
 
   /// Mint a ticket letting `dn` act on `scope` on a storage node.
+  /// `write` grants mutations (file.write/mkdir/rm); read redirects and
+  /// metadata proxying mint read-only tickets so a leaked/logged token
+  /// can never authorize a change.
   std::string mint_ticket(const std::string& dn, bool via_proxy,
                           const std::string& proxy_serial,
-                          const std::string& scope) const;
+                          const std::string& scope, bool write) const;
 
   /// Proxy one call to `node` over the keep-alive pool, presenting
   /// `ticket`. Throws what the remote call throws (rpc::Fault,

@@ -83,6 +83,39 @@ TcpConnection TcpConnection::connect(const std::string& host,
   return conn;
 }
 
+TcpConnection TcpConnection::connect_nonblocking(const std::string& host,
+                                                 std::uint16_t port) {
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (raw < 0) throw_errno("socket");
+  TcpConnection conn{Fd(raw)};
+  conn.set_nonblocking(true);
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  return conn;
+}
+
+bool TcpConnection::finish_connect(const std::string& host,
+                                   std::uint16_t port) {
+  // Re-issuing connect() reports the handshake state without needing a
+  // prior readiness notification: EALREADY/EINPROGRESS while in flight,
+  // EISCONN (or 0) once established, the real error on failure.
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) == 0 ||
+      errno == EISCONN) {
+    set_nodelay(true);
+    return true;
+  }
+  if (errno == EALREADY || errno == EINPROGRESS || errno == EINTR ||
+      errno == EAGAIN || errno == EWOULDBLOCK) {
+    return false;
+  }
+  throw_errno("connect to " + host + ":" + std::to_string(port));
+}
+
 std::size_t TcpConnection::read(std::span<std::uint8_t> out) {
   for (;;) {
     ssize_t n = ::read(fd_.get(), out.data(), out.size());

@@ -68,6 +68,19 @@ class TcpConnection : public Stream {
   /// Blocking connect to host:port (IPv4 dotted quad or "localhost").
   static TcpConnection connect(const std::string& host, std::uint16_t port);
 
+  /// Begin a non-blocking connect: the socket is created O_NONBLOCK and
+  /// the handshake is initiated but not awaited (EINPROGRESS is the
+  /// normal outcome). Poll the fd for writability, then finish_connect().
+  /// Immediate failures (bad address, no route) throw right here.
+  static TcpConnection connect_nonblocking(const std::string& host,
+                                           std::uint16_t port);
+
+  /// Progress check after connect_nonblocking: true once the connection
+  /// is established (TCP_NODELAY is applied then), false while the
+  /// handshake is still in flight, throws SystemError when the connect
+  /// failed (refused, timed out, unreachable).
+  bool finish_connect(const std::string& host, std::uint16_t port);
+
   std::size_t read(std::span<std::uint8_t> out) override;
   void write_all(std::span<const std::uint8_t> data) override;
   using Stream::write_all;

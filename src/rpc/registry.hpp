@@ -47,6 +47,15 @@ struct CallContext {
   /// Wire protocol name ("xmlrpc", "jsonrpc", "soap") for diagnostics.
   std::string protocol;
 
+  /// Federation: set when the caller was authorized by a head-minted
+  /// node ticket instead of a session. The dispatcher verified signature
+  /// and expiry; handlers must enforce the ticket's namespace scope and
+  /// write bit against the path they touch (the ticket is a capability
+  /// for one prefix, not a blanket identity).
+  bool via_ticket = false;
+  std::string ticket_scope;
+  bool ticket_write = false;
+
   /// A resolved on-disk byte range a handler may hand back instead of a
   /// materialized result, letting the transport stream it zero-copy
   /// (sendfile(2)) inside the RPC framing.

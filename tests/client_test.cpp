@@ -5,17 +5,22 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <optional>
+#include <thread>
+#include <vector>
 
 #include "client/async_client.hpp"
 #include "client/client.hpp"
+#include "client/routed.hpp"
 #include "core/server.hpp"
 #include "http/parser.hpp"
 #include "net/socket.hpp"
 #include "rpc/fault.hpp"
 #include "rpc/protocol.hpp"
 #include "test_fixtures.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/sync.hpp"
 
@@ -284,6 +289,92 @@ TEST(ClientRetry, FreshConnectionFailureIsNotRetried) {
   EXPECT_EQ(server.requests_seen(), 1);
 }
 
+TEST(ClientRetry, TransportErrorCarriesMayHaveExecuted) {
+  // Dropped after the full request was written: the server may have
+  // executed the call before dying, and the error must say so.
+  {
+    FlakyServer server(/*drop_at=*/2);
+    ClarensClient client(plain_options(server.port()));
+    client.connect();
+    client.call("file.write", {rpc::Value(std::string("/p")),
+                               rpc::Value(std::string("x"))});
+    try {
+      client.call("file.write", {rpc::Value(std::string("/p")),
+                                 rpc::Value(std::string("y"))});
+      FAIL() << "expected TransportError";
+    } catch (const TransportError& e) {
+      EXPECT_TRUE(e.may_have_executed());
+    }
+  }
+  // Connection refused: the request provably never reached a server, so
+  // outer retry layers may replay even non-idempotent methods.
+  {
+    net::TcpListener closed = net::TcpListener::listen(0);
+    std::uint16_t dead_port = closed.local_port();
+    closed.shutdown();
+    ClientOptions options;
+    options.port = dead_port;
+    ClarensClient client(options);
+    try {
+      client.call("file.write", {rpc::Value(std::string("/p")),
+                                 rpc::Value(std::string("x"))});
+      FAIL() << "expected TransportError";
+    } catch (const TransportError& e) {
+      EXPECT_FALSE(e.may_have_executed());
+    }
+  }
+}
+
+TEST(RoutedRetry, IdempotentCallRetriedThroughHead) {
+  // The head drops the very first request after reading it; an
+  // idempotent call rides out the failure via the retry loop.
+  FlakyServer server(/*drop_at=*/1);
+  ClientOptions base;
+  RoutedClient client("http://127.0.0.1:" + std::to_string(server.port()) +
+                          "/clarens",
+                      base, /*max_attempts=*/4, /*retry_backoff_ms=*/10);
+  EXPECT_EQ(client.call("echo.echo", {rpc::Value(std::int64_t{1})}).as_int(),
+            2);
+  EXPECT_EQ(server.requests_seen(), 2);
+}
+
+TEST(RoutedRetry, NonIdempotentThatMayHaveExecutedPropagates) {
+  // Same failure, non-idempotent method: the request reached the server
+  // (which may have executed it before dying), so RoutedClient must NOT
+  // replay through the head — the transport error surfaces unchanged.
+  FlakyServer server(/*drop_at=*/1);
+  ClientOptions base;
+  RoutedClient client("http://127.0.0.1:" + std::to_string(server.port()) +
+                          "/clarens",
+                      base, /*max_attempts=*/4, /*retry_backoff_ms=*/10);
+  EXPECT_THROW(client.call("file.write", {rpc::Value(std::string("/p")),
+                                          rpc::Value(std::string("x"))}),
+               TransportError);
+  EXPECT_EQ(server.requests_seen(), 1);
+}
+
+TEST(RoutedRetry, NonIdempotentRetriedWhenRequestNeverReachedServer) {
+  // Dead head: every connect is refused, so nothing ever executed and
+  // retrying is safe even for file.write — the retry budget is spent
+  // (proving the calls were replayed, not propagated on first failure).
+  net::TcpListener closed = net::TcpListener::listen(0);
+  std::uint16_t dead_port = closed.local_port();
+  closed.shutdown();
+  ClientOptions base;
+  RoutedClient client("http://127.0.0.1:" + std::to_string(dead_port) +
+                          "/clarens",
+                      base, /*max_attempts=*/3, /*retry_backoff_ms=*/10);
+  try {
+    client.call("file.write", {rpc::Value(std::string("/p")),
+                               rpc::Value(std::string("x"))});
+    FAIL() << "expected SystemError";
+  } catch (const SystemError& e) {
+    EXPECT_NE(std::string(e.what()).find("after 3 attempts"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ClientRetry, PartialResponseNeverReplayedEvenWhenIdempotent) {
   FlakyServer server(/*drop_at=*/2, /*partial=*/true);
   ClarensClient client(plain_options(server.port()));
@@ -295,6 +386,44 @@ TEST(ClientRetry, PartialResponseNeverReplayedEvenWhenIdempotent) {
   EXPECT_THROW(client.call("echo.echo", {rpc::Value(std::int64_t{2})}),
                SystemError);
   EXPECT_EQ(server.requests_seen(), 2);
+}
+
+TEST(FanOut, BlackholedTargetDoesNotStallHealthySiblings) {
+  // A healthy node plus a port whose accept queue is deliberately full —
+  // SYNs to it are dropped, so a *blocking* connect would hang for the
+  // kernel's minutes-long handshake timeout. fan_out connects
+  // non-blockingly under its own deadline: the healthy sibling answers
+  // and the blackholed one fails, all within the fan-out timeout.
+  FlakyServer healthy(/*drop_at=*/0);  // seq starts at 1: never drops
+  net::TcpListener blackhole =
+      net::TcpListener::listen(0, "127.0.0.1", /*backlog=*/1);
+  std::vector<net::TcpConnection> filler;
+  for (int i = 0; i < 4; ++i) {
+    try {
+      filler.push_back(net::TcpConnection::connect_nonblocking(
+          "127.0.0.1", blackhole.local_port()));
+    } catch (const Error&) {
+      break;
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::vector<FanOutTarget> targets(2);
+  targets[0].host = "127.0.0.1";
+  targets[0].port = healthy.port();
+  targets[1].host = "127.0.0.1";
+  targets[1].port = blackhole.local_port();
+  util::Stopwatch timer;
+  std::vector<FanOutReply> replies =
+      fan_out(targets, "echo.echo", {rpc::Value(std::int64_t{7})}, {},
+              rpc::Protocol::XmlRpc, /*timeout_ms=*/1000);
+  // Well under the kernel connect timeout the old blocking path hit
+  // (sanitizer headroom on top of the 1 s fan-out deadline).
+  EXPECT_LT(timer.seconds(), 30.0);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(replies[0].ok) << replies[0].error;
+  EXPECT_EQ(replies[0].result.as_int(), 1);
+  EXPECT_FALSE(replies[1].ok);
 }
 
 TEST(AsyncDriver, CompletesExactCallBudget) {

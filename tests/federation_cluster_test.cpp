@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,9 +26,11 @@
 #include "db/store.hpp"
 #include "discovery/discovery_server.hpp"
 #include "discovery/station.hpp"
+#include "federation/node_ticket.hpp"
 #include "federation/router.hpp"
 #include "rpc/fault.hpp"
 #include "test_fixtures.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/sync.hpp"
 
@@ -204,9 +207,48 @@ TEST(FederationCluster, RedirectedIoAcrossNodesSurvivesNodeRestart) {
   // ticket for a run1 path is refused outright.
   std::size_t query_pos = location->find("?ticket=");
   ASSERT_NE(query_pos, std::string::npos);
+  // GET-minted tickets are read-only capabilities carrying the session
+  // identity: the query string is loggable, so a leaked token must
+  // never authorize a mutation.
+  {
+    std::string token = location->substr(query_pos + 8);
+    if (auto amp = token.find('&'); amp != std::string::npos) {
+      token.resize(amp);
+    }
+    auto minted = federation::NodeTicket::verify(kSecret, token,
+                                                 util::unix_now());
+    ASSERT_TRUE(minted.has_value());
+    EXPECT_EQ(minted->dn, "/O=testgrid.org/OU=People/CN=Alice Able");
+    EXPECT_EQ(minted->scope, "/data/run0");
+    EXPECT_FALSE(minted->write);
+  }
   EXPECT_EQ(
       direct.get("/data/run1/evt.bin" + location->substr(query_pos)).status,
       403);
+
+  // The Location percent-encodes the path: a file name with a space
+  // survives the redirect hop as a well-formed URL and decodes back to
+  // the same file on the owning node.
+  std::string odd_path = "/data/run0/evt copy.bin";
+  EXPECT_TRUE(client
+                  .call("file.write", {rpc::Value(odd_path),
+                                       rpc::Value(std::string("spacey"))})
+                  .as_bool());
+  http::Response odd_redirect = client.head().get("/data/run0/evt%20copy.bin");
+  ASSERT_EQ(odd_redirect.status, 307);
+  const std::string* odd_location = odd_redirect.headers.find("Location");
+  ASSERT_NE(odd_location, nullptr);
+  EXPECT_NE(odd_location->find("/data/run0/evt%20copy.bin"),
+            std::string::npos)
+      << *odd_location;
+  std::size_t odd_path_pos =
+      odd_location->find('/', odd_location->find("://") + 3);
+  ASSERT_NE(odd_path_pos, std::string::npos);
+  // Same placement prefix as run0's evt.bin, so `direct` already points
+  // at the owning node.
+  http::Response odd_got = direct.get(odd_location->substr(odd_path_pos));
+  EXPECT_EQ(odd_got.status, 200);
+  EXPECT_EQ(odd_got.body, "spacey");
 
   // Kill storage node 2 and restart it on the same port in the
   // background while the client keeps reading every file: the retry-
@@ -254,6 +296,80 @@ TEST(FederationCluster, RedirectedIoAcrossNodesSurvivesNodeRestart) {
   storage2->stop();
   storage1->stop();
   head.stop();
+}
+
+// A node ticket is a scoped file *capability*, not a blanket identity:
+// the storage node must refuse anything the ticket does not literally
+// cover — wrong subtree, mutation on a read-only ticket, or a non-file
+// method (the REVIEW finding: a read ticket for /data/run1 must not
+// authorize file.rm anywhere as the embedded DN).
+TEST(FederationCluster, StorageEnforcesTicketScopeAndVerb) {
+  const TestPki& pki = TestPki::instance();
+  TempDir tmp;
+  discovery::StationServer station;
+  std::string dir = tmp.sub("fst");
+  core::ClarensServer storage(
+      node_config(pki, "fst", core::NodeRole::Storage, dir,
+                  "http://127.0.0.1:1/clarens", station.port()));
+  storage.start();
+  std::filesystem::create_directories(dir + "/run1");
+  { std::ofstream(dir + "/run1/evt.bin") << "payload"; }
+
+  auto ticket_for = [&](const std::string& scope, bool write) {
+    federation::NodeTicket ticket;
+    ticket.dn = "/O=testgrid.org/OU=People/CN=Alice Able";
+    ticket.scope = scope;
+    ticket.write = write;
+    ticket.expires = util::unix_now() + 60;
+    return ticket.mint(kSecret);
+  };
+  auto read_call = [](const std::string& path) {
+    return std::vector<rpc::Value>{rpc::Value(path),
+                                   rpc::Value(std::int64_t{0}),
+                                   rpc::Value(std::int64_t{1 << 20})};
+  };
+
+  client::ClientOptions options;
+  options.port = storage.port();
+  client::ClarensClient client(options);
+  client.connect();
+
+  // Read ticket scoped to /data/run1: reads inside the scope work...
+  client.set_header("X-Clarens-Node-Ticket",
+                    ticket_for("/data/run1", /*write=*/false));
+  EXPECT_EQ(as_string(client.call("file.read", read_call("/data/run1/evt.bin"))),
+            "payload");
+  EXPECT_FALSE(
+      client.call("file.stat", {rpc::Value("/data/run1/evt.bin")})
+          .at("is_directory")
+          .as_bool());
+  // ...but no mutations (read-only verb), nothing outside the scope
+  // (read or write), and no non-file methods at all.
+  EXPECT_THROW(client.call("file.write", {rpc::Value("/data/run1/new.bin"),
+                                          rpc::Value(std::string("x"))}),
+               rpc::Fault);
+  EXPECT_THROW(client.call("file.read", read_call("/data/run2/evt.bin")),
+               rpc::Fault);
+  EXPECT_THROW(client.call("file.rm", {rpc::Value("/data/run2/evt.bin")}),
+               rpc::Fault);
+  EXPECT_THROW(client.call("file.mkdir", {rpc::Value("/data/run2")}),
+               rpc::Fault);
+  EXPECT_THROW(client.call("echo.echo", {rpc::Value(std::int64_t{1})}),
+               rpc::Fault);
+
+  // Write ticket: mutations inside the scope only.
+  client.set_header("X-Clarens-Node-Ticket",
+                    ticket_for("/data/run1", /*write=*/true));
+  EXPECT_TRUE(client
+                  .call("file.write", {rpc::Value("/data/run1/new.bin"),
+                                       rpc::Value(std::string("fresh"))})
+                  .as_bool());
+  EXPECT_EQ(as_string(client.call("file.read", read_call("/data/run1/new.bin"))),
+            "fresh");
+  EXPECT_THROW(client.call("file.rm", {rpc::Value("/data/run2/evt.bin")}),
+               rpc::Fault);
+
+  storage.stop();
 }
 
 }  // namespace

@@ -143,6 +143,7 @@ TEST(NodeTicket, MintVerifyRoundTrip) {
   ticket.via_proxy = true;
   ticket.proxy_serial = "serial-42";
   ticket.scope = "/data/run1";
+  ticket.write = true;
   ticket.expires = util::unix_now() + 60;
   std::string token = ticket.mint("super-secret-cluster-key");
   auto back = NodeTicket::verify("super-secret-cluster-key", token,
@@ -152,7 +153,16 @@ TEST(NodeTicket, MintVerifyRoundTrip) {
   EXPECT_TRUE(back->via_proxy);
   EXPECT_EQ(back->proxy_serial, "serial-42");
   EXPECT_EQ(back->scope, "/data/run1");
+  EXPECT_TRUE(back->write);
   EXPECT_EQ(back->expires, ticket.expires);
+
+  // The write bit is covered by the MAC and defaults to read-only.
+  ticket.write = false;
+  auto readonly = NodeTicket::verify("super-secret-cluster-key",
+                                     ticket.mint("super-secret-cluster-key"),
+                                     util::unix_now());
+  ASSERT_TRUE(readonly.has_value());
+  EXPECT_FALSE(readonly->write);
   // Tokens must be header/URL-safe: version dot hex dot hex.
   EXPECT_EQ(token.find_first_not_of(
                 "abcdefghijklmnopqrstuvwxyz0123456789."),
@@ -288,11 +298,12 @@ TEST(Router, BuildsRingFromStorageRecordsOnly) {
   auto owner = router.route("/data/run1/evt.bin");
   ASSERT_TRUE(owner.has_value());
   EXPECT_EQ(router.prefix_of("/data/run1/evt.bin"), "/data/run1");
-  std::string ticket =
-      router.mint_ticket("/O=t/CN=A", false, "", "/data/run1");
-  EXPECT_TRUE(NodeTicket::verify("super-secret-cluster-key", ticket,
-                                 util::unix_now())
-                  .has_value());
+  std::string ticket = router.mint_ticket("/O=t/CN=A", false, "",
+                                          "/data/run1", /*write=*/true);
+  auto verified = NodeTicket::verify("super-secret-cluster-key", ticket,
+                                     util::unix_now());
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_TRUE(verified->write);
 }
 
 }  // namespace
