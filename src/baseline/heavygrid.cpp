@@ -83,6 +83,10 @@ void HeavyGridServer::accept_loop() {
         serve_one(std::move(conn));
       } catch (...) {
       }
+      // This lambda body runs on the spawned connection thread; the
+      // accept loop's guard is not held there, so the lexical nesting
+      // below is not a real acquisition edge.
+      // clarens-lint: allow(lock-order): lambda runs on its own thread
       util::LockGuard lk(mutex_);
       auto it = conn_threads_.find(id);
       if (it != conn_threads_.end()) {

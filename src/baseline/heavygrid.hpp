@@ -71,7 +71,7 @@ class HeavyGridServer {
   /// Leaf lock guarding the per-connection thread table. Connection
   /// threads park their own handles in `finished_` when done; the
   /// acceptor and stop() join the parked handles.
-  util::Mutex mutex_;
+  util::Mutex mutex_{util::LockLevel::kBaselineHeavygrid};
   util::CondVar all_done_;
   std::map<std::uint64_t, util::Thread> conn_threads_
       CLARENS_GUARDED_BY(mutex_);

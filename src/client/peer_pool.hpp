@@ -77,7 +77,7 @@ class PeerPool {
                 std::unique_ptr<ClarensClient> client);
 
   ClientOptions base_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kClientPeerPool};
   std::map<std::string, std::vector<std::unique_ptr<ClarensClient>>> idle_
       CLARENS_GUARDED_BY(mutex_);
 };

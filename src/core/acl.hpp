@@ -122,7 +122,7 @@ class AclManager {
   /// compiled_level() reads the store while holding the shard lock, so
   /// the hierarchy is `core.acl.shard` -> `db.store.shard`.
   struct Shard {
-    mutable util::Mutex mutex;
+    mutable util::Mutex mutex{util::LockLevel::kCoreAclShard};
     /// Generation the contents belong to.
     std::uint64_t stamp CLARENS_GUARDED_BY(mutex) = 0;
     std::unordered_map<std::string, std::shared_ptr<const CompiledAclSpec>>

@@ -79,7 +79,7 @@ class JobService {
   ShellService& shell_;
   /// Held across store reads/writes of job records (atomic state
   /// transitions): hierarchy `core.job` -> `db.store.shard`.
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kCoreJob};
   util::CondVar work_available_;
   util::CondVar state_changed_;
   std::deque<std::string> queue_ CLARENS_GUARDED_BY(mutex_);

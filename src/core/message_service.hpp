@@ -71,7 +71,7 @@ class MessageService {
   /// Serializes the id-counter read-modify-write and the mailbox trim;
   /// concurrent senders to one mailbox must not mint duplicate ids.
   /// Held across store calls: hierarchy `core.message` -> `db.store.shard`.
-  util::Mutex mutex_;
+  util::Mutex mutex_{util::LockLevel::kCoreMessage};
 };
 
 }  // namespace clarens::core

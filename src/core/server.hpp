@@ -257,7 +257,7 @@ class ClarensServer {
   // Lazy housekeeping: a reaper thread sweeps expired sessions so the
   // session table stays bounded even when clients never log out.
   util::Thread reaper_;
-  util::Mutex reaper_mutex_;
+  util::Mutex reaper_mutex_{util::LockLevel::kCoreServerReaper};
   util::CondVar reaper_stop_;
   bool reaper_stopping_ CLARENS_GUARDED_BY(reaper_mutex_) = false;
   std::int64_t started_at_ = 0;

@@ -88,7 +88,7 @@ class SessionManager {
   /// the insert lock is taken, never under it (docs/CONCURRENCY.md,
   /// level `core.session.shard`).
   struct Shard {
-    mutable util::Mutex mutex;
+    mutable util::Mutex mutex{util::LockLevel::kCoreSessionShard};
     std::unordered_map<std::string, std::shared_ptr<const Session>> entries
         CLARENS_GUARDED_BY(mutex);
   };

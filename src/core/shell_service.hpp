@@ -84,7 +84,7 @@ class ShellService {
   /// Guards entries_ and cwd_: the job service workers and RPC threads
   /// execute commands concurrently. Hierarchy level `core.shell` (leaf:
   /// the interpreter only touches the filesystem under it).
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kCoreShell};
   std::vector<UserMapEntry> entries_ CLARENS_GUARDED_BY(mutex_);
   /// Per-user current working directory (relative to the sandbox root),
   /// persisted across commands like an interactive shell.

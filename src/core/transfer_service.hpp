@@ -95,7 +95,7 @@ class TransferService {
 
   /// Held across store reads/writes of transfer records: hierarchy
   /// `core.transfer` -> `db.store.shard`.
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kCoreTransfer};
   util::CondVar work_available_;
   util::CondVar state_changed_;
   std::deque<std::string> queue_ CLARENS_GUARDED_BY(mutex_);

@@ -105,7 +105,12 @@ std::vector<std::string> VoManager::list_groups() const {
 bool VoManager::is_root_admin(const pki::DistinguishedName& dn) const {
   std::uint64_t gen = generation_.load(std::memory_order_acquire);
   // lock-order: core.vo.root_cache -> db.store.shard
-  util::LockGuard lock(root_cache_mutex_);
+  // lock-order: core.vo.write -> core.vo.root_cache (same-rank)
+  // Group mutations call this with core.vo.write held (same rank 20).
+  // The pair cannot deadlock: root_cache never acquires write, and the
+  // only nesting direction is write -> root_cache.
+  util::LockGuard lock(root_cache_mutex_,
+                       util::SameRankToken{"core.vo.write -> root_cache"});
   if (root_cache_.stamp != gen) {
     root_cache_.prefixes.clear();
     if (auto text = store_.get(kTable, kAdminsGroup)) {

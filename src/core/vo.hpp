@@ -87,7 +87,7 @@ class VoManager {
   /// must not lose each other's changes. Queries read the store directly
   /// (it is internally thread-safe) and take no lock. Held across store
   /// calls: hierarchy `core.vo.write` -> `db.store.shard`.
-  util::Mutex write_mutex_;
+  util::Mutex write_mutex_{util::LockLevel::kCoreVoWrite};
 
   // is_root_admin() runs on the ACL evaluation path (group-based specs,
   // deny fallback), so the admins group is cached pre-parsed. Every
@@ -99,7 +99,7 @@ class VoManager {
     std::vector<pki::DistinguishedName> prefixes;  // admins + members
   };
   std::atomic<std::uint64_t> generation_{1};
-  mutable util::Mutex root_cache_mutex_;
+  mutable util::Mutex root_cache_mutex_{util::LockLevel::kCoreVoRootCache};
   mutable RootAdminCache root_cache_ CLARENS_GUARDED_BY(root_cache_mutex_);
 };
 

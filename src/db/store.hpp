@@ -165,7 +165,7 @@ class Store {
   /// lock ever taken under one is the commit-queue lock
   /// (`db.store.journal`).
   struct Shard {
-    mutable util::SharedMutex mutex;
+    mutable util::SharedMutex mutex{util::LockLevel::kDbStoreShard};
     std::map<std::string, Table> tables CLARENS_GUARDED_BY(mutex);
   };
 
@@ -226,7 +226,7 @@ class Store {
   // `db.store.journal` is the innermost lock in the tree: it is taken
   // under a shard write lock (enqueue) and under service locks that
   // wrap store calls, and nothing is ever acquired under it.
-  mutable util::Mutex journal_mutex_;
+  mutable util::Mutex journal_mutex_{util::LockLevel::kDbStoreJournal};
   util::CondVar work_cv_;      // journal thread waits for work
   util::CondVar progress_cv_;  // writers/sync/compact waiters park here
   std::deque<Pending> pending_ CLARENS_GUARDED_BY(journal_mutex_);

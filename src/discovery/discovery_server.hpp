@@ -75,7 +75,7 @@ class DiscoveryServer {
   /// persistent form (survives restarts); queries answer from here —
   /// this is what makes the local path "far more rapid" than walking
   /// the station network (§2.4).
-  mutable util::Mutex cache_mutex_;
+  mutable util::Mutex cache_mutex_{util::LockLevel::kDiscoveryServerCache};
   std::map<std::string, ServiceRecord> cache_ CLARENS_GUARDED_BY(cache_mutex_);
 };
 

@@ -35,7 +35,7 @@ class Publisher {
   std::string station_host_;
   std::uint16_t station_port_;
   net::UdpSocket socket_;
-  util::Mutex mutex_;
+  util::Mutex mutex_{util::LockLevel::kDiscoveryPublisher};
   std::vector<ServiceRecord> records_ CLARENS_GUARDED_BY(mutex_);
   std::atomic<bool> running_{false};
   util::Thread ticker_;

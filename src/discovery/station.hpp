@@ -58,7 +58,7 @@ class StationServer {
 
   /// Leaf lock: held only around the record/subscriber tables, never
   /// across socket sends.
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kDiscoveryStation};
   std::map<std::string, ServiceRecord> records_
       CLARENS_GUARDED_BY(mutex_);  // keyed by record.key()
   std::vector<std::pair<std::string, std::uint16_t>> subscribers_

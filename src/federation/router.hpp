@@ -99,7 +99,7 @@ class Router {
   RouterOptions options_;
   client::PeerPool pool_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kFederationRouter};
   Placement placement_ CLARENS_GUARDED_BY(mutex_);
   bool ring_valid_ CLARENS_GUARDED_BY(mutex_) = false;
   util::Stopwatch refresh_age_ CLARENS_GUARDED_BY(mutex_);

@@ -154,7 +154,7 @@ class Server {
       std::string cost_key;
     };
 
-    util::Mutex mutex;
+    util::Mutex mutex{util::LockLevel::kHttpConn};
     /// Parsed, not yet handled.
     std::deque<Pending> ready CLARENS_GUARDED_BY(mutex);
     /// A drainer (worker or inline) owns writes + the ready front.
@@ -208,13 +208,13 @@ class Server {
   util::Thread reactor_thread_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  util::Mutex conns_mutex_;
+  util::Mutex conns_mutex_{util::LockLevel::kHttpServerConns};
   std::unordered_map<int, std::shared_ptr<Conn>> conns_
       CLARENS_GUARDED_BY(conns_mutex_);
 
   // Per-method EWMA handler cost in microseconds, updated after every
   // execution (inline and worker alike).
-  util::Mutex costs_mutex_;
+  util::Mutex costs_mutex_{util::LockLevel::kHttpServerCosts};
   std::unordered_map<std::string, double> costs_ CLARENS_GUARDED_BY(costs_mutex_);
 
   // Inline budget accounting; reactor thread only.

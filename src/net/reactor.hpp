@@ -66,7 +66,7 @@ class Reactor {
   Fd wake_fd_;  // eventfd to interrupt run()
   // Guards callbacks_ and tasks_; add/remove/post may race with poll()
   // on another thread. Never held while a callback or task executes.
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kNetReactorTasks};
   std::map<int, Callback> callbacks_ CLARENS_GUARDED_BY(mutex_);
   std::vector<std::function<void()>> tasks_ CLARENS_GUARDED_BY(mutex_);
   // stop() may be called from another thread while run() polls.

@@ -149,7 +149,7 @@ class Registry {
   // bind()/remove() are registration-time or administrative (exclusive).
   // Entries are immutable shared_ptr<const Method>, so a looked-up method
   // stays valid across a concurrent rebind of the same name.
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::LockLevel::kRpcRegistry};
   std::map<std::string, std::shared_ptr<const Method>> methods_
       CLARENS_GUARDED_BY(mutex_);
 };

@@ -79,7 +79,7 @@ class MassStorage {
 
   /// Hierarchy level `storage.mass` (leaf; staging I/O and the simulated
   /// tape latency run with the lock dropped).
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kStorageMass};
   std::map<std::string, CacheEntry> cache_
       CLARENS_GUARDED_BY(mutex_);  // by logical path
   std::int64_t used_ CLARENS_GUARDED_BY(mutex_) = 0;

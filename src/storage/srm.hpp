@@ -74,7 +74,7 @@ class SrmService {
   MassStorage& storage_;
   /// Request-table lock; never held across staging (`storage.mass`
   /// locking is independent — workers stage unlocked).
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockLevel::kCoreSrm};
   util::CondVar work_available_;
   util::CondVar state_changed_;
   std::map<std::string, SrmRequest> requests_ CLARENS_GUARDED_BY(mutex_);

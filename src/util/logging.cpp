@@ -12,7 +12,7 @@ namespace clarens::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-Mutex g_output_mutex;
+Mutex g_output_mutex{LockLevel::kUtilLogging};
 
 const char* level_name(LogLevel level) {
   switch (level) {

@@ -1,6 +1,5 @@
 // Annotated synchronization layer — the ONLY place raw std:: sync
-// primitives may appear (clarens_lint rule raw-sync; util/thread_pool.hpp
-// holds a legacy exemption).
+// primitives may appear (clarens_lint rule raw-sync).
 //
 // Every lock in the tree is one of the wrappers below, so that under
 // clang (-DCLARENS_THREAD_SAFETY=ON, the build-tidy preset) the whole
@@ -12,9 +11,20 @@
 // zero-cost forwarding shims.
 //
 // The lock *hierarchy* (which mutex may be acquired while holding which)
-// is documented in docs/CONCURRENCY.md and enforced structurally by
-// clarens_lint's lock-order rule against `// lock-order:` comments at
-// every nested-acquisition site.
+// has one source of truth — src/util/lock_levels.hpp. Every mutex names
+// its level at construction; three layers then enforce the discipline:
+//
+//   * clarens_lint checks `// lock-order:` comments, nested guard scopes
+//     and the merged global lock graph against the table (lock-order,
+//     lock-cycle, undeclared-mutex rules);
+//   * under CLARENS_LOCK_RANK_CHECK (on in the asan/tsan/lockrank legs,
+//     compiled out in release) every acquisition is validated at runtime
+//     against a thread-local held-lock stack and an upward or sideways
+//     acquisition aborts with both lock names and a backtrace;
+//   * the generated table in docs/CONCURRENCY.md is drift-checked.
+//
+// Same-rank nesting (e.g. core.vo.write -> core.vo.root_cache) is only
+// legal with an explicit SameRankToken at the call site.
 #pragma once
 
 #include <chrono>
@@ -23,6 +33,8 @@
 #include <shared_mutex>
 #include <thread>
 #include <utility>
+
+#include "util/lock_levels.hpp"
 
 // ---------------------------------------------------------------------------
 // Clang thread-safety attribute macros. GCC defines none of these, so the
@@ -74,38 +86,115 @@ namespace clarens::util {
 
 class CondVar;
 
-/// std::mutex with the capability attribute. Prefer LockGuard/UniqueLock
-/// over calling lock()/unlock() directly.
+/// Explicit opt-in for acquiring a lock at the SAME rank as one already
+/// held (e.g. core.vo.write -> core.vo.root_cache, both rank 20). The
+/// reason string documents why the pair cannot deadlock (a global
+/// acquisition order between the two levels, or sharding by disjoint
+/// keys). Without a token, a same-rank acquisition aborts under
+/// CLARENS_LOCK_RANK_CHECK exactly like an upward one.
+struct SameRankToken {
+  const char* why;
+};
+
+#if defined(CLARENS_LOCK_RANK_CHECK) && CLARENS_LOCK_RANK_CHECK
+namespace rank_check {
+/// Validates `level` against this thread's held-lock stack and pushes it.
+/// Aborts (after printing both lock names, the full held stack and a
+/// backtrace) when the acquisition goes upward or sideways without a
+/// token, or re-acquires a mutex this thread already holds.
+void note_acquire(const void* mutex, LockLevel level, bool same_rank_ok);
+/// Pops `mutex` from this thread's held-lock stack.
+void note_release(const void* mutex);
+/// Locks currently held by this thread (test hook).
+int held_count();
+}  // namespace rank_check
+#define CLARENS_RANK_ACQUIRE__(mutex, level, same_rank_ok) \
+  ::clarens::util::rank_check::note_acquire(mutex, level, same_rank_ok)
+#define CLARENS_RANK_RELEASE__(mutex) \
+  ::clarens::util::rank_check::note_release(mutex)
+#else
+#define CLARENS_RANK_ACQUIRE__(mutex, level, same_rank_ok) ((void)0)
+#define CLARENS_RANK_RELEASE__(mutex) ((void)0)
+#endif
+
+/// std::mutex with the capability attribute and a mandatory hierarchy
+/// level. Prefer LockGuard/UniqueLock over calling lock()/unlock()
+/// directly.
 class CLARENS_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  explicit Mutex(LockLevel level) noexcept : level_(level) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() CLARENS_ACQUIRE() { m_.lock(); }
-  void unlock() CLARENS_RELEASE() { m_.unlock(); }
-  bool try_lock() CLARENS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() CLARENS_ACQUIRE() {
+    CLARENS_RANK_ACQUIRE__(this, level_, false);
+    m_.lock();
+  }
+  void lock(SameRankToken) CLARENS_ACQUIRE() {
+    CLARENS_RANK_ACQUIRE__(this, level_, true);
+    m_.lock();
+  }
+  void unlock() CLARENS_RELEASE() {
+    m_.unlock();
+    CLARENS_RANK_RELEASE__(this);
+  }
+  bool try_lock() CLARENS_TRY_ACQUIRE(true) {
+    // try_lock never blocks, so it cannot complete a deadlock cycle by
+    // itself — but anything acquired while the try-lock is held is
+    // checked against it, so it still joins the stack.
+    if (!m_.try_lock()) return false;
+    CLARENS_RANK_ACQUIRE__(this, level_, true);
+    return true;
+  }
+
+  LockLevel level() const noexcept { return level_; }
 
  private:
   friend class UniqueLock;
   std::mutex m_;
+  LockLevel level_;
 };
 
-/// std::shared_mutex with the capability attribute: exclusive writers,
-/// concurrent readers. Use WriteLock / ReadLock.
+/// std::shared_mutex with the capability attribute and a mandatory
+/// hierarchy level: exclusive writers, concurrent readers. Use
+/// WriteLock / ReadLock. Shared and exclusive acquisitions rank
+/// identically — a reader can deadlock a writer just as well.
 class CLARENS_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  explicit SharedMutex(LockLevel level) noexcept : level_(level) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() CLARENS_ACQUIRE() { m_.lock(); }
-  void unlock() CLARENS_RELEASE() { m_.unlock(); }
-  void lock_shared() CLARENS_ACQUIRE_SHARED() { m_.lock_shared(); }
-  void unlock_shared() CLARENS_RELEASE_SHARED() { m_.unlock_shared(); }
+  void lock() CLARENS_ACQUIRE() {
+    CLARENS_RANK_ACQUIRE__(this, level_, false);
+    m_.lock();
+  }
+  void lock(SameRankToken) CLARENS_ACQUIRE() {
+    CLARENS_RANK_ACQUIRE__(this, level_, true);
+    m_.lock();
+  }
+  void unlock() CLARENS_RELEASE() {
+    m_.unlock();
+    CLARENS_RANK_RELEASE__(this);
+  }
+  void lock_shared() CLARENS_ACQUIRE_SHARED() {
+    CLARENS_RANK_ACQUIRE__(this, level_, false);
+    m_.lock_shared();
+  }
+  void lock_shared(SameRankToken) CLARENS_ACQUIRE_SHARED() {
+    CLARENS_RANK_ACQUIRE__(this, level_, true);
+    m_.lock_shared();
+  }
+  void unlock_shared() CLARENS_RELEASE_SHARED() {
+    m_.unlock_shared();
+    CLARENS_RANK_RELEASE__(this);
+  }
+
+  LockLevel level() const noexcept { return level_; }
 
  private:
   std::shared_mutex m_;
+  LockLevel level_;
 };
 
 /// RAII exclusive lock over Mutex (std::lock_guard analogue).
@@ -113,6 +202,10 @@ class CLARENS_SCOPED_CAPABILITY LockGuard {
  public:
   explicit LockGuard(Mutex& mutex) CLARENS_ACQUIRE(mutex) : mutex_(mutex) {
     mutex_.lock();
+  }
+  LockGuard(Mutex& mutex, SameRankToken token) CLARENS_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock(token);
   }
   ~LockGuard() CLARENS_RELEASE() { mutex_.unlock(); }
 
@@ -126,12 +219,34 @@ class CLARENS_SCOPED_CAPABILITY LockGuard {
 /// RAII exclusive lock usable with CondVar::wait (std::unique_lock
 /// analogue). Always holds the mutex from construction to destruction
 /// from the analysis' point of view — condition-variable waits release
-/// and reacquire internally, which the static analysis (correctly, for
-/// the code before/after the wait) treats as continuously held.
+/// and reacquire internally, which both the static analysis and the
+/// rank checker (correctly, for the code before/after the wait) treat
+/// as continuously held.
 class CLARENS_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mutex) CLARENS_ACQUIRE(mutex) : lock_(mutex.m_) {}
-  ~UniqueLock() CLARENS_RELEASE() {}
+  explicit UniqueLock(Mutex& mutex) CLARENS_ACQUIRE(mutex)
+      : lock_(mutex.m_, std::defer_lock) {
+#if defined(CLARENS_LOCK_RANK_CHECK) && CLARENS_LOCK_RANK_CHECK
+    mutex_ = &mutex;
+#endif
+    // Validate before blocking, so a violating acquisition aborts even
+    // when the deadlock it would cause is real.
+    CLARENS_RANK_ACQUIRE__(&mutex, mutex.level_, false);
+    lock_.lock();
+  }
+  UniqueLock(Mutex& mutex, SameRankToken) CLARENS_ACQUIRE(mutex)
+      : lock_(mutex.m_, std::defer_lock) {
+#if defined(CLARENS_LOCK_RANK_CHECK) && CLARENS_LOCK_RANK_CHECK
+    mutex_ = &mutex;
+#endif
+    CLARENS_RANK_ACQUIRE__(&mutex, mutex.level_, true);
+    lock_.lock();
+  }
+  ~UniqueLock() CLARENS_RELEASE() {
+#if defined(CLARENS_LOCK_RANK_CHECK) && CLARENS_LOCK_RANK_CHECK
+    CLARENS_RANK_RELEASE__(mutex_);
+#endif
+  }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
@@ -139,6 +254,9 @@ class CLARENS_SCOPED_CAPABILITY UniqueLock {
  private:
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
+#if defined(CLARENS_LOCK_RANK_CHECK) && CLARENS_LOCK_RANK_CHECK
+  Mutex* mutex_ = nullptr;
+#endif
 };
 
 /// RAII exclusive lock over SharedMutex.
@@ -147,6 +265,10 @@ class CLARENS_SCOPED_CAPABILITY WriteLock {
   explicit WriteLock(SharedMutex& mutex) CLARENS_ACQUIRE(mutex)
       : mutex_(mutex) {
     mutex_.lock();
+  }
+  WriteLock(SharedMutex& mutex, SameRankToken token) CLARENS_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock(token);
   }
   ~WriteLock() CLARENS_RELEASE() { mutex_.unlock(); }
 
@@ -163,6 +285,10 @@ class CLARENS_SCOPED_CAPABILITY ReadLock {
   explicit ReadLock(SharedMutex& mutex) CLARENS_ACQUIRE_SHARED(mutex)
       : mutex_(mutex) {
     mutex_.lock_shared();
+  }
+  ReadLock(SharedMutex& mutex, SameRankToken token) CLARENS_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared(token);
   }
   // Destructor releases generically (the analysis knows a scoped lock
   // releases whatever it acquired).

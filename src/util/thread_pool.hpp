@@ -34,7 +34,7 @@ class ThreadPool {
  private:
   void worker_loop() CLARENS_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{LockLevel::kUtilThreadPool};
   CondVar work_available_;
   CondVar all_idle_;
   std::deque<std::function<void()>> queue_ CLARENS_GUARDED_BY(mutex_);

@@ -39,6 +39,7 @@
 #include "db/store.hpp"
 #include "test_fixtures.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::db {
 namespace {
@@ -122,7 +123,7 @@ void durable_writer_child(const std::string& dir, int fd) {
   StoreOptions options;
   options.commit_interval_us = 100;  // small groups: many fsync boundaries
   Store store(dir, options);
-  std::vector<std::thread> writers;
+  std::vector<util::Thread> writers;
   for (int t = 0; t < 4; ++t) {
     writers.emplace_back([&store, fd, t] {
       for (int i = 0;; ++i) {

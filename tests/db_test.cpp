@@ -10,6 +10,7 @@
 #include "db/store.hpp"
 #include "test_fixtures.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::db {
 namespace {
@@ -163,7 +164,7 @@ TEST(Store, WritesAfterCompactionSurviveReopen) {
 
 TEST(Store, ConcurrentWritersDontCorrupt) {
   Store store;
-  std::vector<std::thread> threads;
+  std::vector<util::Thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&store, t] {
       for (int i = 0; i < 500; ++i) {
@@ -277,7 +278,7 @@ TEST(Store, ConcurrentDurableWritersShareGroups) {
   StoreOptions options;
   options.commit_interval_us = 100;
   Store store(tmp.path(), options);
-  std::vector<std::thread> threads;
+  std::vector<util::Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&store, t] {
       for (int i = 0; i < 50; ++i) {
@@ -299,7 +300,7 @@ TEST(Store, ConcurrentWritersWithCompaction) {
   StoreOptions options;
   options.compact_threshold = 16 * 1024;  // force frequent auto-checkpoints
   Store store(tmp.path(), options);
-  std::vector<std::thread> threads;
+  std::vector<util::Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&store, t] {
       for (int i = 0; i < 300; ++i) {

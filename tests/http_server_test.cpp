@@ -19,6 +19,7 @@
 #include "http/parser.hpp"
 #include "http/server.hpp"
 #include "net/socket.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::http {
 namespace {
@@ -169,7 +170,7 @@ TEST(ServerConcurrency, ManyKeepAliveConnectionsInParallel) {
   constexpr int kClients = 8;
   constexpr int kRequestsEach = 10;
   std::atomic<int> failures{0};
-  std::vector<std::thread> clients;
+  std::vector<util::Thread> clients;
   clients.reserve(kClients);
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {

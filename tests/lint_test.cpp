@@ -42,7 +42,7 @@ TEST(LintRawSync, FlagsRawPrimitives) {
 
 TEST(LintRawSync, WrapperAndNestedTypesPass) {
   EXPECT_TRUE(lint_content("src/core/x.cpp",
-                           "util::Mutex m;\n"
+                           "util::Mutex m{util::LockLevel::kCoreJob};\n"
                            "util::Thread t;\n"
                            "std::thread::id tid;\n"
                            "std::thread::hardware_concurrency();\n")
@@ -52,11 +52,13 @@ TEST(LintRawSync, WrapperAndNestedTypesPass) {
 TEST(LintRawSync, SyncHeaderIsExempt) {
   EXPECT_TRUE(
       lint_content("src/util/sync.hpp", "std::mutex impl_;\n").empty());
-  EXPECT_TRUE(lint_content("src/util/thread_pool.hpp", "std::thread t;\n")
-                  .empty());
-  // ...but only those files, not the rest of util/.
+  // ...but only that file, not the rest of util/ (the thread pool's
+  // legacy exemption is gone — it uses the wrappers now).
   EXPECT_TRUE(has_rule(lint_content("src/util/other.hpp", "std::mutex m;\n"),
                        "raw-sync"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/util/thread_pool.hpp", "std::thread t;\n"),
+      "raw-sync"));
 }
 
 TEST(LintRawSync, IgnoresStringsAndComments) {
@@ -287,7 +289,7 @@ TEST(LintFormat, FileLineRuleMessage) {
   EXPECT_EQ(format(violation), "src/a.cpp:12: raw-new: bare new");
 }
 
-TEST(LintHierarchy, JournalIsInnermost) {
+TEST(LintHierarchy, JournalIsInnermostDbLock) {
   // The commit-queue lock nests under the memtable shard locks (enqueue
   // runs with the shard write lock held), which in turn nest under every
   // service lock that wraps store calls.
@@ -301,7 +303,17 @@ TEST(LintHierarchy, JournalIsInnermost) {
   ASSERT_GE(journal_rank, 0);
   EXPECT_LT(shard_rank, journal_rank);
   for (const auto& [level, rank] : lock_hierarchy()) {
+    if (level.rfind("db.", 0) != 0 && level.rfind("core.", 0) != 0) continue;
     EXPECT_LE(rank, journal_rank) << level << " outranks db.store.journal";
+  }
+  // Logging is the one global innermost level: loggable under any lock.
+  int logging_rank = -1;
+  for (const auto& [level, rank] : lock_hierarchy()) {
+    if (level == "util.logging") logging_rank = rank;
+  }
+  ASSERT_GE(logging_rank, 0);
+  for (const auto& [level, rank] : lock_hierarchy()) {
+    EXPECT_LE(rank, logging_rank) << level << " outranks util.logging";
   }
 }
 
@@ -309,6 +321,230 @@ TEST(LintLockOrder, ShardToJournalEdgePasses) {
   EXPECT_TRUE(lint_content("src/db/x.cpp",
                            "// lock-order: db.store.shard -> db.store.journal\n")
                   .empty());
+}
+
+TEST(LintLockOrder, SameRankTagAcceptedWhenRanksMatch) {
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           "// lock-order: core.vo.write -> "
+                           "core.vo.root_cache (same-rank)\n")
+                  .empty());
+  // ...and rejected when they differ.
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.cpp",
+                   "// lock-order: core.job -> db.store.shard (same-rank)\n"),
+      "lock-order"));
+}
+
+// --- undeclared-mutex -------------------------------------------------
+
+TEST(LintUndeclaredMutex, FlagsLevellessDeclarations) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.hpp", "util::Mutex mutex_;\n"),
+      "undeclared-mutex"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.hpp", "mutable util::SharedMutex mutex_{};\n"),
+      "undeclared-mutex"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.hpp",
+                   "util::Mutex m{util::LockLevel::kBogusLevel};\n"),
+      "undeclared-mutex"));
+}
+
+TEST(LintUndeclaredMutex, RankedDeclarationAndReferencesPass) {
+  EXPECT_TRUE(lint_content("src/core/x.hpp",
+                           "util::Mutex m{util::LockLevel::kCoreJob};\n"
+                           "mutable util::SharedMutex sm{\n"
+                           "    util::LockLevel::kDbStoreShard};\n"
+                           "void take(util::Mutex& m);\n"
+                           "explicit Guard(util::SharedMutex* m);\n")
+                  .empty());
+}
+
+// --- derived lock-order edges (nested guard scopes) -------------------
+
+namespace {
+constexpr const char* kTwoLevelDecls =
+    "util::Mutex job_{util::LockLevel::kCoreJob};\n"
+    "util::Mutex shard_{util::LockLevel::kDbStoreShard};\n"
+    "util::Mutex transfer_{util::LockLevel::kCoreTransfer};\n";
+}  // namespace
+
+TEST(LintDerivedEdges, DownwardNestingPasses) {
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           std::string(kTwoLevelDecls) +
+                               "void f() {\n"
+                               "  util::LockGuard a(job_);\n"
+                               "  util::LockGuard b(shard_);\n"
+                               "}\n")
+                  .empty());
+}
+
+TEST(LintDerivedEdges, InvertedNestingFlagged) {
+  EXPECT_TRUE(has_rule(lint_content("src/core/x.cpp",
+                                    std::string(kTwoLevelDecls) +
+                                        "void f() {\n"
+                                        "  util::LockGuard a(shard_);\n"
+                                        "  util::LockGuard b(job_);\n"
+                                        "}\n"),
+                       "lock-order"));
+}
+
+TEST(LintDerivedEdges, SameRankNeedsToken) {
+  EXPECT_TRUE(has_rule(lint_content("src/core/x.cpp",
+                                    std::string(kTwoLevelDecls) +
+                                        "void f() {\n"
+                                        "  util::LockGuard a(job_);\n"
+                                        "  util::LockGuard b(transfer_);\n"
+                                        "}\n"),
+                       "lock-order"));
+  EXPECT_TRUE(
+      lint_content("src/core/x.cpp",
+                   std::string(kTwoLevelDecls) +
+                       "void f() {\n"
+                       "  util::LockGuard a(job_);\n"
+                       "  util::LockGuard b(transfer_,\n"
+                       "                    util::SameRankToken{\"why\"});\n"
+                       "}\n")
+          .empty());
+}
+
+TEST(LintDerivedEdges, GuardScopeEndsAtBrace) {
+  // Sequential guards in sibling scopes are not nested.
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           std::string(kTwoLevelDecls) +
+                               "void f() {\n"
+                               "  { util::LockGuard a(shard_); }\n"
+                               "  { util::LockGuard b(job_); }\n"
+                               "}\n")
+                  .empty());
+}
+
+TEST(LintDerivedEdges, RequiresBodyCountsAsGuardScope) {
+  // A CLARENS_REQUIRES function body holds the listed lock throughout,
+  // so a guard inside it derives an edge...
+  EXPECT_TRUE(has_rule(
+      lint_content("src/core/x.cpp",
+                   std::string(kTwoLevelDecls) +
+                       "void f() CLARENS_REQUIRES(shard_) {\n"
+                       "  util::LockGuard b(job_);\n"
+                       "}\n"),
+      "lock-order"));
+  // ...but a prototype holds nothing.
+  EXPECT_TRUE(lint_content("src/core/x.cpp",
+                           std::string(kTwoLevelDecls) +
+                               "void f() CLARENS_REQUIRES(shard_);\n"
+                               "void g() { util::LockGuard b(job_); }\n")
+                  .empty());
+}
+
+TEST(LintDerivedEdges, ResolvesThroughPairedHeader) {
+  // Declarations live in the header, guards in the matching .cpp.
+  std::vector<SourceFile> files = {
+      {"src/core/x.hpp", kTwoLevelDecls},
+      {"src/core/x.cpp",
+       "void f() {\n"
+       "  util::LockGuard a(shard_);\n"
+       "  util::LockGuard b(job_);\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(has_rule(lint_sources(files), "lock-order"));
+}
+
+// --- held-over-call ---------------------------------------------------
+
+TEST(LintHeldOverCall, BlockingCallUnderGuardFlagged) {
+  EXPECT_TRUE(has_rule(lint_content("src/db/x.cpp",
+                                    std::string(kTwoLevelDecls) +
+                                        "void f() {\n"
+                                        "  util::LockGuard g(job_);\n"
+                                        "  ::fdatasync(fd_);\n"
+                                        "}\n"),
+                       "held-over-call"));
+  EXPECT_TRUE(has_rule(lint_content("src/client/x.cpp",
+                                    std::string(kTwoLevelDecls) +
+                                        "void f() {\n"
+                                        "  util::LockGuard g(job_);\n"
+                                        "  auto r = client.roundtrip(req);\n"
+                                        "}\n"),
+                       "held-over-call"));
+}
+
+TEST(LintHeldOverCall, AfterGuardScopeEndsPasses) {
+  EXPECT_TRUE(lint_content("src/db/x.cpp",
+                           std::string(kTwoLevelDecls) +
+                               "void f() {\n"
+                               "  { util::LockGuard g(job_); note(); }\n"
+                               "  ::fdatasync(fd_);\n"
+                               "}\n")
+                  .empty());
+}
+
+TEST(LintHeldOverCall, AllowSuppresses) {
+  EXPECT_TRUE(
+      lint_content("src/db/x.cpp",
+                   std::string(kTwoLevelDecls) +
+                       "void f() {\n"
+                       "  util::LockGuard g(job_);\n"
+                       "  // clarens-lint: allow(held-over-call): cold "
+                       "shutdown path, no concurrent acquirers\n"
+                       "  ::fdatasync(fd_);\n"
+                       "}\n")
+          .empty());
+}
+
+// --- lock-cycle (tree-wide merged graph) ------------------------------
+
+TEST(LintLockCycle, TwoNodeTokenedCycleAcrossFiles) {
+  // Each edge carries a SameRankToken, so no per-edge rule fires — but
+  // the two files together close a cycle only the global graph sees.
+  std::vector<SourceFile> files = {
+      {"src/core/a.cpp",
+       std::string(kTwoLevelDecls) +
+           "void a() {\n"
+           "  util::LockGuard g1(job_);\n"
+           "  util::LockGuard g2(transfer_, util::SameRankToken{\"a\"});\n"
+           "}\n"},
+      {"src/core/b.cpp",
+       "void b() {\n"
+       "  util::LockGuard g1(transfer_);\n"
+       "  util::LockGuard g2(job_, util::SameRankToken{\"b\"});\n"
+       "}\n"},
+  };
+  auto found = lint_sources(files);
+  EXPECT_TRUE(has_rule(found, "lock-cycle"));
+  EXPECT_FALSE(has_rule(found, "lock-order"));
+}
+
+TEST(LintLockCycle, ThreeNodeCommentCycleAcrossFiles) {
+  // Three declared same-rank edges, each individually legal, that only
+  // deadlock in combination.
+  std::vector<SourceFile> files = {
+      {"src/core/a.cpp",
+       "// lock-order: core.job -> core.transfer (same-rank)\n"},
+      {"src/core/b.cpp",
+       "// lock-order: core.transfer -> core.message (same-rank)\n"},
+      {"src/core/c.cpp",
+       "// lock-order: core.message -> core.job (same-rank)\n"},
+  };
+  auto found = lint_sources(files);
+  ASSERT_TRUE(has_rule(found, "lock-cycle"));
+  for (const auto& violation : found) {
+    if (violation.rule != "lock-cycle") continue;
+    // The report names the full chain with one site per edge.
+    EXPECT_NE(violation.message.find("core.job"), std::string::npos);
+    EXPECT_NE(violation.message.find("core.transfer"), std::string::npos);
+    EXPECT_NE(violation.message.find("core.message"), std::string::npos);
+    EXPECT_NE(violation.message.find("src/core/a.cpp:1"), std::string::npos);
+  }
+}
+
+TEST(LintLockCycle, AcyclicGraphPasses) {
+  std::vector<SourceFile> files = {
+      {"src/core/a.cpp", "// lock-order: core.job -> db.store.shard\n"},
+      {"src/core/b.cpp",
+       "// lock-order: db.store.shard -> db.store.journal\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_sources(files), "lock-cycle"));
 }
 
 }  // namespace

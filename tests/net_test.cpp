@@ -8,6 +8,7 @@
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::net {
 namespace {
@@ -19,7 +20,7 @@ TEST(Tcp, ListenerPicksEphemeralPort) {
 
 TEST(Tcp, EchoRoundTrip) {
   TcpListener listener = TcpListener::listen(0);
-  std::thread server([&listener] {
+  util::Thread server([&listener] {
     TcpConnection conn = listener.accept();
     std::array<std::uint8_t, 64> buf;
     std::size_t n = conn.read(buf);
@@ -36,7 +37,7 @@ TEST(Tcp, EchoRoundTrip) {
 
 TEST(Tcp, ReadReturnsZeroOnPeerClose) {
   TcpListener listener = TcpListener::listen(0);
-  std::thread server([&listener] {
+  util::Thread server([&listener] {
     TcpConnection conn = listener.accept();
     conn.close();
   });
@@ -59,7 +60,7 @@ TEST(Tcp, InvalidAddressThrows) {
 
 TEST(Tcp, NonblockingReadReturnsNulloptWhenEmpty) {
   TcpListener listener = TcpListener::listen(0);
-  std::thread server([&listener] {
+  util::Thread server([&listener] {
     TcpConnection conn = listener.accept();
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     conn.write_all(std::string_view("x"));
@@ -135,7 +136,7 @@ TEST(Reactor, CallbackMayRemoveItself) {
 
 TEST(Reactor, StopInterruptsRun) {
   Reactor reactor;
-  std::thread runner([&reactor] { reactor.run(); });
+  util::Thread runner([&reactor] { reactor.run(); });
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   reactor.stop();
   runner.join();  // must return promptly
@@ -152,7 +153,7 @@ TEST(Sendfile, TransfersFileRegion) {
     fclose(f);
   }
   TcpListener listener = TcpListener::listen(0);
-  std::thread server([&listener, &path] {
+  util::Thread server([&listener, &path] {
     TcpConnection conn = listener.accept();
     FILE* f = fopen(path.c_str(), "rb");
     conn.sendfile(fileno(f), 4, 8);

@@ -14,6 +14,7 @@
 #include "rpc/fault.hpp"
 #include "test_fixtures.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace clarens {
 namespace {
@@ -39,7 +40,7 @@ TEST(Stress, ManyThreadsSharedServer) {
   constexpr int kThreads = 16;
   constexpr int kCallsPerThread = 200;
   std::atomic<int> failures{0};
-  std::vector<std::thread> threads;
+  std::vector<util::Thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       try {
@@ -106,7 +107,7 @@ TEST(Stress, MixedRpcAndFileTraffic) {
   server.start();
 
   std::atomic<int> failures{0};
-  std::vector<std::thread> threads;
+  std::vector<util::Thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&, t] {
       try {
@@ -174,7 +175,7 @@ TEST(Stress, ConcurrentMessagingIsLossless) {
   constexpr int kSenders = 8;
   constexpr int kPerSender = 50;
   std::string inbox_dn = pki.alice.certificate.subject().str();
-  std::vector<std::thread> threads;
+  std::vector<util::Thread> threads;
   for (int t = 0; t < kSenders; ++t) {
     threads.emplace_back([&, t] {
       client::ClientOptions options;

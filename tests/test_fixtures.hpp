@@ -23,6 +23,7 @@ struct TestPki {
 
   static const TestPki& instance() {
     static TestPki* pki = [] {
+      // clarens-lint: allow(raw-new): deliberately leaked process-lifetime singleton
       auto* p = new TestPki{
           pki::CertificateAuthority::create(
               pki::DistinguishedName::parse("/O=testgrid.org/CN=Test CA"), 512),

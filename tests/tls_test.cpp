@@ -11,6 +11,7 @@
 #include "test_fixtures.hpp"
 #include "tls/channel.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace clarens::tls {
 namespace {
@@ -28,7 +29,7 @@ ChannelPair handshake(const TlsConfig& client_config,
   net::TcpListener listener = net::TcpListener::listen(0);
   std::unique_ptr<SecureChannel> server_channel;
   std::exception_ptr server_error;
-  std::thread server_thread([&] {
+  util::Thread server_thread([&] {
     try {
       auto conn = std::make_unique<net::TcpConnection>(listener.accept());
       server_channel = SecureChannel::accept(std::move(conn), server_config);
@@ -111,7 +112,7 @@ TEST(Tls, LargeTransferSpansManyRecords) {
   for (std::size_t i = 0; i < big.size(); ++i) {
     big[i] = static_cast<char>('a' + (i % 26));
   }
-  std::thread writer([&] { pair.client->write_all(big); });
+  util::Thread writer([&] { pair.client->write_all(big); });
   std::string got;
   std::array<std::uint8_t, 8192> buf;
   while (got.size() < big.size()) {
@@ -172,7 +173,7 @@ TEST(Tls, TamperedRecordDetected) {
   // Manual wiring so we can corrupt bytes in flight.
   net::TcpListener listener = net::TcpListener::listen(0);
   std::unique_ptr<SecureChannel> server_channel;
-  std::thread server_thread([&] {
+  util::Thread server_thread([&] {
     auto conn = std::make_unique<net::TcpConnection>(listener.accept());
     server_channel = SecureChannel::accept(std::move(conn), server_config(pki));
   });

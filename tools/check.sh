@@ -7,6 +7,8 @@
 #   asan      AddressSanitizer build + full suite
 #   ubsan     UndefinedBehaviorSanitizer build + full suite
 #   tsan      ThreadSanitizer build + full suite
+#   lockrank  Debug build with CLARENS_LOCK_RANK_CHECK=ON + full suite
+#             (runtime lock-hierarchy detector armed on every test)
 #   cluster   3-node federation cluster test (head + 2 storage) in the
 #             release, asan and tsan builds — the federation acceptance
 #             gate, runnable on its own without the full suites
@@ -52,13 +54,16 @@ leg_release() { build_and_test release default build -DCLARENS_WERROR=ON; }
 leg_asan()    { build_and_test asan  asan  build-asan;  }
 leg_ubsan()   { build_and_test ubsan ubsan build-ubsan; }
 leg_tsan()    { build_and_test tsan  tsan  build-tsan;  }
+leg_lockrank(){ build_and_test lockrank lockrank build-lockrank; }
 
 leg_lint() {
   local log="$LOG_DIR/lint.log"
-  note "lint: structural lint over src/"
+  note "lint: structural lint over src/ tools/ tests/ + lock-doc drift"
   if cmake --preset default >"$log" 2>&1 &&
      cmake --build build -j "$JOBS" --target clarens_lint >>"$log" 2>&1 &&
-     ./build/tools/clarens_lint src >>"$log" 2>&1; then
+     ./build/tools/clarens_lint src tools tests >>"$log" 2>&1 &&
+     ./build/tools/clarens_lint --check-lock-doc docs/CONCURRENCY.md \
+       >>"$log" 2>&1; then
     record PASS lint
   else
     record FAIL lint "(log: $log)"
@@ -93,6 +98,9 @@ leg_cluster() {
 leg_tidy() {
   local log="$LOG_DIR/tidy.log"
   if ! command -v clang++ >/dev/null 2>&1; then
+    note "tidy: SKIP - clang++ not installed (the thread-safety"
+    note "tidy: attributes expand to nothing under GCC, so there is"
+    note "tidy: nothing to compile-check on this machine)"
     record SKIP tidy "(clang++ not installed)"
     return
   fi
@@ -106,11 +114,11 @@ leg_tidy() {
 }
 
 LEGS=("$@")
-[ ${#LEGS[@]} -eq 0 ] && LEGS=(release lint asan ubsan tsan cluster tidy)
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(release lint asan ubsan tsan lockrank cluster tidy)
 
 for leg in "${LEGS[@]}"; do
   case "$leg" in
-    release|lint|asan|ubsan|tsan|cluster|tidy) "leg_$leg" ;;
+    release|lint|asan|ubsan|tsan|lockrank|cluster|tidy) "leg_$leg" ;;
     *) record FAIL "$leg" "(unknown leg)" ;;
   esac
 done

@@ -1,29 +1,116 @@
 // Structural linter driver; see tools/lint/lint.hpp for the rule set.
 //
-// Usage: clarens_lint <file-or-directory>...
-// Prints `file:line: rule-id: message` per violation; exit 1 when any.
+// Usage:
+//   clarens_lint <file-or-directory>...   lint the trees together (one
+//                                         merged lock graph); exit 1 on
+//                                         any violation
+//   clarens_lint --lock-table             print the markdown rank table
+//                                         generated from
+//                                         src/util/lock_levels.hpp
+//   clarens_lint --check-lock-doc <doc>   diff the generated table
+//                                         against the block between the
+//                                         CLARENS_LOCK_TABLE markers in
+//                                         <doc>; exit 1 on drift
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.hpp"
 
+namespace {
+
+constexpr const char* kBeginMarker = "<!-- CLARENS_LOCK_TABLE:BEGIN -->";
+constexpr const char* kEndMarker = "<!-- CLARENS_LOCK_TABLE:END -->";
+
+int check_lock_doc(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "clarens_lint: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string doc = buffer.str();
+  std::size_t begin = doc.find(kBeginMarker);
+  std::size_t end = doc.find(kEndMarker);
+  if (begin == std::string::npos || end == std::string::npos || end < begin) {
+    std::fprintf(stderr,
+                 "clarens_lint: %s: missing %s / %s markers around the "
+                 "lock table\n",
+                 path.c_str(), kBeginMarker, kEndMarker);
+    return 1;
+  }
+  begin = doc.find('\n', begin);
+  if (begin == std::string::npos || begin + 1 > end) {
+    std::fprintf(stderr, "clarens_lint: %s: malformed marker block\n",
+                 path.c_str());
+    return 1;
+  }
+  std::string embedded = doc.substr(begin + 1, end - begin - 1);
+  std::string generated = clarens::lint::lock_table_markdown();
+  if (embedded == generated) return 0;
+  std::fprintf(stderr,
+               "clarens_lint: %s: lock table drifted from "
+               "src/util/lock_levels.hpp\n",
+               path.c_str());
+  // Line-by-line diff so the drift is obvious in the test log.
+  std::istringstream have(embedded);
+  std::istringstream want(generated);
+  std::string have_line;
+  std::string want_line;
+  while (true) {
+    bool have_more = static_cast<bool>(std::getline(have, have_line));
+    bool want_more = static_cast<bool>(std::getline(want, want_line));
+    if (!have_more && !want_more) break;
+    if (!have_more) have_line.clear();
+    if (!want_more) want_line.clear();
+    if (have_line != want_line) {
+      std::fprintf(stderr, "  doc:       %s\n", have_line.c_str());
+      std::fprintf(stderr, "  generated: %s\n", want_line.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "  regenerate with: clarens_lint --lock-table (paste "
+               "between the markers)\n");
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--lock-table") {
+    std::printf("%s", clarens::lint::lock_table_markdown().c_str());
+    return 0;
+  }
+  if (argc >= 2 && std::string(argv[1]) == "--check-lock-doc") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: clarens_lint --check-lock-doc <doc.md>\n");
+      return 2;
+    }
+    return check_lock_doc(argv[2]);
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: clarens_lint <file-or-directory>...\n");
+    std::fprintf(stderr,
+                 "usage: clarens_lint <file-or-directory>...\n"
+                 "       clarens_lint --lock-table\n"
+                 "       clarens_lint --check-lock-doc <doc.md>\n");
     std::fprintf(stderr, "\nlock hierarchy (outer rank < inner rank):\n");
     for (const auto& [level, rank] : clarens::lint::lock_hierarchy()) {
-      std::fprintf(stderr, "  %-22s %d\n", level.c_str(), rank);
+      std::fprintf(stderr, "  %-24s %d\n", level.c_str(), rank);
     }
     return 2;
   }
+  // All roots go through one lint_roots call so the lock graph merges
+  // across them (a cycle half in src/ and half in tools/ is still a
+  // cycle).
+  std::vector<std::string> roots(argv + 1, argv + argc);
   std::size_t total = 0;
-  for (int i = 1; i < argc; ++i) {
-    for (const auto& violation : clarens::lint::lint_tree(argv[i])) {
-      std::printf("%s\n", clarens::lint::format(violation).c_str());
-      ++total;
-    }
+  for (const auto& violation : clarens::lint::lint_roots(roots)) {
+    std::printf("%s\n", clarens::lint::format(violation).c_str());
+    ++total;
   }
   if (total) {
     std::fprintf(stderr, "clarens_lint: %zu violation(s)\n", total);

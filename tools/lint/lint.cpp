@@ -4,9 +4,13 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+
+#include "util/lock_levels.hpp"
 
 namespace clarens::lint {
 
@@ -181,10 +185,43 @@ bool path_ends_with(const std::string& path, const std::string& suffix) {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
-      "raw-sync", "detach",     "net-blocking",     "layering",
-      "raw-new",  "lock-order", "reactor-blocking",
+      "raw-sync",         "detach",           "net-blocking",
+      "layering",         "raw-new",          "lock-order",
+      "reactor-blocking", "undeclared-mutex", "held-over-call",
+      "lock-cycle",
   };
   return rules;
+}
+
+/// The level table, indexed both by level name and by enumerator, built
+/// once from the X-macro in src/util/lock_levels.hpp.
+struct Levels {
+  std::map<std::string, int> rank;             // "db.store.shard" -> 40
+  std::map<std::string, std::string> by_enum;  // "kDbStoreShard" -> name
+};
+
+const Levels& levels() {
+  static const Levels table = [] {
+    Levels out;
+    for (const auto& info : util::kLockLevels) {
+      out.rank[info.name] = info.rank;
+    }
+#define CLARENS_LINT_LEVEL_ENUM__(name, str, rank_, doc) \
+  out.by_enum[#name] = str;
+    CLARENS_LOCK_LEVEL_LIST(CLARENS_LINT_LEVEL_ENUM__)
+#undef CLARENS_LINT_LEVEL_ENUM__
+    return out;
+  }();
+  return table;
+}
+
+/// The annotated-wrapper layer itself: its constructors and lock()
+/// bodies are the mechanism, not users of it, so the lock-discipline
+/// scans skip these two files.
+bool sync_layer_file(const std::string& path) {
+  return path_ends_with(path, "util/sync.hpp") ||
+         path_ends_with(path, "util/sync.cpp") ||
+         path_ends_with(path, "util/lock_levels.hpp");
 }
 
 // ---------------------------------------------------------------------
@@ -195,6 +232,11 @@ struct Allows {
   /// line -> rules suppressed on that line.
   std::map<int, std::set<std::string>> by_line;
   std::vector<Violation> bad;
+
+  bool suppressed(const Violation& violation) const {
+    auto it = by_line.find(violation.line);
+    return it != by_line.end() && it->second.count(violation.rule) > 0;
+  }
 };
 
 Allows collect_allows(const std::string& path,
@@ -239,17 +281,13 @@ Allows collect_allows(const std::string& path,
 }
 
 // ---------------------------------------------------------------------
-// Rules.
+// Per-line rules (unchanged from the original structural set).
 // ---------------------------------------------------------------------
 
 void check_raw_sync(const std::string& path, const std::vector<LineInfo>& lines,
                     std::vector<Violation>& out) {
-  // The wrapper itself and the pool it predates are the only homes for
-  // raw primitives.
-  if (path_ends_with(path, "util/sync.hpp") ||
-      path_ends_with(path, "util/thread_pool.hpp")) {
-    return;
-  }
+  // The wrapper layer is the only home for raw primitives.
+  if (path_ends_with(path, "util/sync.hpp")) return;
   static const char* kTokens[] = {
       "std::mutex",          "std::timed_mutex",
       "std::recursive_mutex", "std::recursive_timed_mutex",
@@ -442,16 +480,325 @@ void check_raw_new(const std::string& path, const std::vector<LineInfo>& lines,
   }
 }
 
-void check_lock_order(const std::string& path,
-                      const std::vector<LineInfo>& lines,
-                      std::vector<Violation>& out) {
-  std::map<std::string, int> rank;
-  for (const auto& [level, r] : lock_hierarchy()) rank[level] = r;
+// ---------------------------------------------------------------------
+// Lock-graph machinery: mutex declarations, guard scopes, edges.
+// ---------------------------------------------------------------------
+
+/// A declared edge in the global lock graph, in level-name terms.
+struct LevelEdge {
+  std::string outer;
+  std::string inner;
+  std::string file;
+  int line = 0;
+  bool same_rank = false;  ///< carried a SameRankToken / (same-rank) tag
+};
+
+/// Per-file result of the structural scan.
+struct FileScan {
+  std::map<std::string, std::string> decls;  ///< var -> level ("?" ambiguous)
+  struct VarEdge {
+    std::string outer;  ///< mutex variable of the enclosing guard
+    std::string inner;  ///< mutex variable of the nested guard
+    int line = 0;
+    bool same_rank = false;  ///< nested guard passed a SameRankToken
+  };
+  std::vector<VarEdge> var_edges;
+  std::vector<LevelEdge> comment_edges;  ///< validated lock-order comments
+};
+
+/// Joins the code view from (line n, position pos) forward, for parsing
+/// balanced groups that wrap across lines. Newlines become spaces.
+std::string joined_code(const std::vector<LineInfo>& lines, std::size_t n,
+                        std::size_t pos, std::size_t max_lines = 8) {
+  std::string out = lines[n].code.substr(pos);
+  for (std::size_t k = n + 1; k < lines.size() && k < n + max_lines; ++k) {
+    out += ' ';
+    out += lines[k].code;
+  }
+  return out;
+}
+
+/// The balanced (...) group's contents: `text[start]` must be the open
+/// delimiter. Empty when unbalanced within the joined window.
+std::string group_contents(const std::string& text, std::size_t start,
+                           char open, char close) {
+  if (start >= text.size() || text[start] != open) return "";
+  int depth = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    if (text[i] == close && --depth == 0) {
+      return text.substr(start + 1, i - start - 1);
+    }
+  }
+  return "";
+}
+
+/// Trailing identifier of a lock expression: `shard.mutex` -> "mutex",
+/// `conn->mutex` -> "mutex", `mutex_` -> "mutex_".
+std::string last_ident(const std::string& expr) {
+  std::size_t end = expr.size();
+  while (end > 0 && !ident_char(expr[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+/// First top-level comma-separated argument of an argument list.
+std::string first_argument(const std::string& args) {
+  int depth = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    char c = args[i];
+    if (c == '(' || c == '{' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '}' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) return args.substr(0, i);
+  }
+  return args;
+}
+
+/// Scans `path` for util::Mutex / util::SharedMutex declarations
+/// (undeclared-mutex rule) and builds the var -> level map; then walks
+/// guard scopes to derive nesting edges and held-over-call violations.
+FileScan scan_lock_graph(const std::string& path,
+                         const std::vector<LineInfo>& lines,
+                         std::vector<Violation>& out) {
+  FileScan scan;
+  if (sync_layer_file(path)) return scan;
+
+  // --- Pass 1: mutex declarations -------------------------------------
+  static const char* kMutexTokens[] = {"Mutex", "SharedMutex"};
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    for (const char* token : kMutexTokens) {
+      for (std::size_t pos = find_token(code, token);
+           pos != std::string::npos;
+           pos = find_token(code, token, pos + 1)) {
+        // A declaration is `[util::]Mutex <ident> ...`; anything else
+        // (reference/pointer parameters, class definitions in the sync
+        // layer, template arguments) has no identifier right after.
+        std::size_t after = skip_spaces(code, pos + std::string(token).size());
+        if (after >= code.size() || !ident_char(code[after]) ||
+            std::isdigit(static_cast<unsigned char>(code[after]))) {
+          continue;
+        }
+        std::size_t vend = after;
+        while (vend < code.size() && ident_char(code[vend])) ++vend;
+        std::string var = code.substr(after, vend - after);
+        int line = static_cast<int>(n) + 1;
+        std::size_t init = skip_spaces(code, vend);
+        if (init >= code.size() || code[init] != '{') {
+          out.push_back(
+              {path, line, "undeclared-mutex",
+               "util::" + std::string(token) + " '" + var +
+                   "' does not declare its hierarchy level; construct as "
+                   "util::" + std::string(token) +
+                   " " + var + "{util::LockLevel::k...} "
+                   "(see src/util/lock_levels.hpp)"});
+          continue;
+        }
+        std::string body =
+            group_contents(joined_code(lines, n, init), 0, '{', '}');
+        std::size_t lpos = body.find("LockLevel::");
+        if (lpos == std::string::npos) {
+          out.push_back({path, line, "undeclared-mutex",
+                         "util::" + std::string(token) + " '" + var +
+                             "' initializer does not name a "
+                             "util::LockLevel"});
+          continue;
+        }
+        std::size_t estart = lpos + std::string("LockLevel::").size();
+        std::size_t eend = estart;
+        while (eend < body.size() && ident_char(body[eend])) ++eend;
+        std::string enumerator = body.substr(estart, eend - estart);
+        auto it = levels().by_enum.find(enumerator);
+        if (it == levels().by_enum.end()) {
+          out.push_back({path, line, "undeclared-mutex",
+                         "unknown lock level 'LockLevel::" + enumerator +
+                             "'; add it to src/util/lock_levels.hpp"});
+          continue;
+        }
+        auto [slot, inserted] = scan.decls.emplace(var, it->second);
+        if (!inserted && slot->second != it->second) {
+          slot->second = "?";  // same name, different levels: ambiguous
+        }
+      }
+    }
+  }
+
+  // --- Pass 2: guard scopes, derived edges, blocking calls -------------
+  struct Guard {
+    std::string var;
+    int depth = 0;
+    int line = 0;
+  };
+  struct Event {
+    std::size_t pos = 0;
+    enum Kind { kGuard, kRequires, kBlocking } kind = kGuard;
+    std::string var;                 // kGuard: mutex variable
+    bool same_rank = false;          // kGuard: SameRankToken present
+    std::vector<std::string> vars;   // kRequires
+    const char* blocking = nullptr;  // kBlocking
+  };
+  static const char* kGuardTokens[] = {"LockGuard", "UniqueLock", "WriteLock",
+                                       "ReadLock"};
+  static const char* kRequireTokens[] = {"CLARENS_REQUIRES",
+                                         "CLARENS_REQUIRES_SHARED"};
+  // Blocking operations that must never run under a lock: network
+  // round-trips, durability syscalls, connection setup, zero-copy sends
+  // and deliberate sleeps. (CondVar waits are absent by design — parking
+  // on a condvar under its mutex is the one sanctioned blocking wait.)
+  static const char* kBlockingTokens[] = {
+      "roundtrip", "fdatasync",  "fsync",     "connect", "sendfile",
+      "sleep_for", "sleep_until", "usleep",   "nanosleep", "sleep",
+  };
+
+  std::vector<Guard> active;
+  std::vector<std::string> pending_requires;
+  int depth = 0;
+
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    int line = static_cast<int>(n) + 1;
+    std::vector<Event> events;
+
+    for (const char* token : kGuardTokens) {
+      for (std::size_t pos = find_token(code, token);
+           pos != std::string::npos;
+           pos = find_token(code, token, pos + 1)) {
+        std::size_t after = skip_spaces(code, pos + std::string(token).size());
+        if (after >= code.size() || !ident_char(code[after])) continue;
+        std::size_t vend = after;
+        while (vend < code.size() && ident_char(code[vend])) ++vend;
+        std::size_t paren = skip_spaces(code, vend);
+        std::string joined = joined_code(lines, n, paren);
+        std::string args = group_contents(joined, 0, '(', ')');
+        if (args.empty()) continue;
+        Event event;
+        event.pos = pos;
+        event.kind = Event::kGuard;
+        event.var = last_ident(first_argument(args));
+        event.same_rank = args.find("SameRankToken") != std::string::npos;
+        if (!event.var.empty()) events.push_back(std::move(event));
+      }
+    }
+    for (const char* token : kRequireTokens) {
+      for (std::size_t pos = find_token(code, token);
+           pos != std::string::npos;
+           pos = find_token(code, token, pos + 1)) {
+        std::size_t paren = skip_spaces(code, pos + std::string(token).size());
+        std::string joined = joined_code(lines, n, paren);
+        std::string args = group_contents(joined, 0, '(', ')');
+        if (args.empty()) continue;
+        Event event;
+        event.pos = pos;
+        event.kind = Event::kRequires;
+        std::size_t start = 0;
+        while (start <= args.size()) {
+          std::size_t comma = args.find(',', start);
+          std::string arg = last_ident(
+              args.substr(start, comma == std::string::npos ? std::string::npos
+                                                            : comma - start));
+          if (!arg.empty()) event.vars.push_back(arg);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+        if (!event.vars.empty()) events.push_back(std::move(event));
+      }
+    }
+    for (const char* token : kBlockingTokens) {
+      for (std::size_t pos = find_token(code, token);
+           pos != std::string::npos;
+           pos = find_token(code, token, pos + 1)) {
+        std::size_t after = skip_spaces(code, pos + std::string(token).size());
+        if (after >= code.size() || code[after] != '(') continue;
+        Event event;
+        event.pos = pos;
+        event.kind = Event::kBlocking;
+        event.blocking = token;
+        events.push_back(std::move(event));
+        break;  // one finding per line per token family is enough
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.pos < b.pos; });
+
+    std::size_t next_event = 0;
+    for (std::size_t i = 0; i <= code.size(); ++i) {
+      while (next_event < events.size() && events[next_event].pos == i) {
+        const Event& event = events[next_event++];
+        switch (event.kind) {
+          case Event::kGuard:
+            if (!active.empty()) {
+              scan.var_edges.push_back(
+                  {active.back().var, event.var, line, event.same_rank});
+            }
+            active.push_back({event.var, depth, line});
+            break;
+          case Event::kRequires:
+            pending_requires = event.vars;
+            break;
+          case Event::kBlocking:
+            if (!active.empty()) {
+              out.push_back(
+                  {path, line, "held-over-call",
+                   std::string(event.blocking) +
+                       "() blocks while holding '" + active.back().var +
+                       "' (guard since line " +
+                       std::to_string(active.back().line) +
+                       "); every other acquirer convoys behind the "
+                       "syscall — release the lock first"});
+            }
+            break;
+        }
+      }
+      if (i == code.size()) break;
+      char c = code[i];
+      if (c == '{') {
+        ++depth;
+        if (!pending_requires.empty()) {
+          // A CLARENS_REQUIRES function body: the listed locks are held
+          // for the whole body, exactly like a guard opened here.
+          for (const std::string& var : pending_requires) {
+            if (!active.empty()) {
+              scan.var_edges.push_back({active.back().var, var, line, false});
+            }
+            active.push_back({var, depth, line});
+          }
+          pending_requires.clear();
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!active.empty() && active.back().depth > depth) {
+          active.pop_back();
+        }
+      } else if (c == ';' && !pending_requires.empty()) {
+        pending_requires.clear();  // prototype, not a definition
+      }
+    }
+  }
+  return scan;
+}
+
+/// Validates `// lock-order:` comments against the hierarchy and
+/// collects the declared edges for the global graph. A `(same-rank)`
+/// suffix documents a tokened same-rank edge (legal only when the ranks
+/// really are equal).
+void check_lock_order_comments(const std::string& path,
+                               const std::vector<LineInfo>& lines,
+                               FileScan& scan, std::vector<Violation>& out) {
+  const std::map<std::string, int>& rank = levels().rank;
   for (std::size_t n = 0; n < lines.size(); ++n) {
     std::string comment = trim(lines[n].comment);
     if (comment.rfind("lock-order:", 0) != 0) continue;
     int line = static_cast<int>(n) + 1;
     std::string spec = trim(comment.substr(std::string("lock-order:").size()));
+    bool same_rank = false;
+    const std::string kSameRankTag = "(same-rank)";
+    if (spec.size() >= kSameRankTag.size() &&
+        spec.compare(spec.size() - kSameRankTag.size(), kSameRankTag.size(),
+                     kSameRankTag) == 0) {
+      same_rank = true;
+      spec = trim(spec.substr(0, spec.size() - kSameRankTag.size()));
+    }
     std::size_t arrow = spec.find("->");
     if (arrow == std::string::npos) {
       out.push_back({path, line, "lock-order",
@@ -467,45 +814,210 @@ void check_lock_order(const std::string& path,
         out.push_back({path, line, "lock-order",
                        "unknown lock level '" + level +
                            "'; declare it in the hierarchy table "
-                           "(tools/lint/lint.cpp) and docs/CONCURRENCY.md"});
+                           "(src/util/lock_levels.hpp)"});
         ok = false;
       }
     }
     if (!ok) continue;
-    if (rank[outer] >= rank[inner]) {
+    int outer_rank = rank.at(outer);
+    int inner_rank = rank.at(inner);
+    if (same_rank) {
+      if (outer_rank != inner_rank) {
+        out.push_back({path, line, "lock-order",
+                       "'" + outer + "' -> '" + inner +
+                           "' is tagged (same-rank) but the ranks differ (" +
+                           std::to_string(outer_rank) + " vs " +
+                           std::to_string(inner_rank) + ")"});
+        continue;
+      }
+    } else if (outer_rank >= inner_rank) {
       out.push_back({path, line, "lock-order",
                      "'" + outer + "' -> '" + inner +
                          "' inverts the declared hierarchy (" + outer +
-                         " rank " + std::to_string(rank[outer]) + ", " +
-                         inner + " rank " + std::to_string(rank[inner]) +
+                         " rank " + std::to_string(outer_rank) + ", " + inner +
+                         " rank " + std::to_string(inner_rank) +
                          "); deadlock risk"});
+      continue;
     }
+    scan.comment_edges.push_back({outer, inner, path, line, same_rank});
+  }
+}
+
+// ---------------------------------------------------------------------
+// The tree-wide pass: resolve variable edges to levels, check derived
+// edges against the ranks, and run cycle detection over the merged
+// global graph.
+// ---------------------------------------------------------------------
+
+std::string paired_path(const std::string& path) {
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".cpp") == 0) {
+    return path.substr(0, path.size() - 4) + ".hpp";
+  }
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0) {
+    return path.substr(0, path.size() - 4) + ".cpp";
+  }
+  return "";
+}
+
+struct GraphInput {
+  std::string path;
+  FileScan scan;
+};
+
+void run_graph_pass(const std::vector<GraphInput>& inputs,
+                    std::map<std::string, std::vector<Violation>>& per_file) {
+  const std::map<std::string, int>& rank = levels().rank;
+
+  // Declaration index: per file, and globally for unambiguous names.
+  std::map<std::string, const std::map<std::string, std::string>*> file_decls;
+  std::map<std::string, std::set<std::string>> global;
+  for (const GraphInput& input : inputs) {
+    file_decls[input.path] = &input.scan.decls;
+    for (const auto& [var, level] : input.scan.decls) {
+      if (level != "?") global[var].insert(level);
+    }
+  }
+  auto resolve = [&](const std::string& path,
+                     const std::string& var) -> std::optional<std::string> {
+    auto in = [&](const std::string& p) -> std::optional<std::string> {
+      auto fit = file_decls.find(p);
+      if (fit == file_decls.end()) return std::nullopt;
+      auto vit = fit->second->find(var);
+      if (vit == fit->second->end() || vit->second == "?") return std::nullopt;
+      return vit->second;
+    };
+    if (auto hit = in(path)) return hit;
+    std::string pair = paired_path(path);
+    if (!pair.empty()) {
+      if (auto hit = in(pair)) return hit;
+    }
+    auto git = global.find(var);
+    if (git != global.end() && git->second.size() == 1) {
+      return *git->second.begin();
+    }
+    return std::nullopt;
+  };
+
+  // Merge edges: derived (rank-checked here) + comment (already checked).
+  std::vector<LevelEdge> edges;
+  for (const GraphInput& input : inputs) {
+    for (const FileScan::VarEdge& edge : input.scan.var_edges) {
+      std::optional<std::string> outer = resolve(input.path, edge.outer);
+      std::optional<std::string> inner = resolve(input.path, edge.inner);
+      if (!outer || !inner) continue;
+      int outer_rank = rank.at(*outer);
+      int inner_rank = rank.at(*inner);
+      if (!edge.same_rank && outer_rank > inner_rank) {
+        per_file[input.path].push_back(
+            {input.path, edge.line, "lock-order",
+             "nested acquisition '" + *outer + "' -> '" + *inner +
+                 "' inverts the declared hierarchy (" + *outer + " rank " +
+                 std::to_string(outer_rank) + ", " + *inner + " rank " +
+                 std::to_string(inner_rank) + "); deadlock risk"});
+      } else if (!edge.same_rank && outer_rank == inner_rank) {
+        per_file[input.path].push_back(
+            {input.path, edge.line, "lock-order",
+             "same-rank nested acquisition '" + *outer + "' -> '" + *inner +
+                 "' (both rank " + std::to_string(outer_rank) +
+                 ") needs an explicit util::SameRankToken at the call "
+                 "site"});
+      }
+      if (*outer != *inner) {
+        edges.push_back({*outer, *inner, input.path, edge.line,
+                         edge.same_rank});
+      }
+    }
+    for (const LevelEdge& edge : input.scan.comment_edges) {
+      if (edge.outer != edge.inner) edges.push_back(edge);
+    }
+  }
+
+  // Cycle detection over the merged graph. SameRankToken / (same-rank)
+  // edges stay IN the graph: each one is locally justified, but two
+  // tokened edges in opposite directions across different files are a
+  // deadlock no per-edge check can see — catching exactly that is this
+  // rule's reason to exist.
+  std::map<std::string, std::map<std::string, const LevelEdge*>> adjacency;
+  for (const LevelEdge& edge : edges) {
+    adjacency[edge.outer].emplace(edge.inner, &edge);
+  }
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        auto it = adjacency.find(node);
+        if (it != adjacency.end()) {
+          for (const auto& [next, edge] : it->second) {
+            if (color[next] == 1) {
+              // Back edge: the cycle is stack[pos(next)..] + this edge.
+              auto begin =
+                  std::find(stack.begin(), stack.end(), next);
+              std::vector<std::string> cycle(begin, stack.end());
+              std::vector<std::string> canon = cycle;
+              std::rotate(canon.begin(),
+                          std::min_element(canon.begin(), canon.end()),
+                          canon.end());
+              std::string key;
+              for (const std::string& name : canon) key += name + ";";
+              if (!reported.insert(key).second) continue;
+              std::ostringstream chain;
+              std::ostringstream sites;
+              for (std::size_t i = 0; i < cycle.size(); ++i) {
+                const std::string& from = cycle[i];
+                const std::string& to = cycle[(i + 1) % cycle.size()];
+                const LevelEdge* hop = adjacency.at(from).at(to);
+                chain << from << " -> ";
+                sites << (i ? ", " : "") << from << "->" << to << " ("
+                      << hop->file << ":" << hop->line << ")";
+              }
+              chain << cycle.front();
+              per_file[edge->file].push_back(
+                  {edge->file, edge->line, "lock-cycle",
+                   "cycle in the global lock graph: " + chain.str() +
+                       "; edges: " + sites.str() +
+                       " — some interleaving of these acquisitions "
+                       "deadlocks"});
+            } else if (color[next] == 0) {
+              visit(next);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, _] : adjacency) {
+    if (color[node] == 0) visit(node);
   }
 }
 
 }  // namespace
 
 const std::vector<std::pair<std::string, int>>& lock_hierarchy() {
-  // Outer locks have lower ranks; a thread may only acquire downward.
-  // Keep in sync with docs/CONCURRENCY.md.
-  static const std::vector<std::pair<std::string, int>> hierarchy = {
-      {"core.server.reaper", 10},  // session-reaper wakeup lock
-      {"core.vo.write", 20},       // VO group read-modify-write
-      {"core.vo.root_cache", 20},  // root-admins compiled cache
-      {"core.acl.shard", 20},      // compiled method-ACL cache shard
-      {"core.shell", 20},          // shell session table
-      {"core.job", 20},            // job table + queue
-      {"core.transfer", 20},       // transfer table + queue
-      {"core.message", 20},        // mailbox table
-      {"core.srm", 20},            // SRM request table
-      {"federation.router", 20},   // placement ring + refresh stopwatch
-      {"core.session.shard", 30},  // session cache shard (leaf w.r.t. db)
-      {"client.peer_pool", 30},    // idle-client map (leaf; no calls held)
-      {"db.store.shard", 40},      // store memtable shard (SharedMutex)
-      {"db.store.journal", 50},    // innermost: store commit queue
-      {"storage.mass", 40},        // leaf: disk-cache bookkeeping
-  };
+  // Generated from src/util/lock_levels.hpp — the same single source the
+  // runtime detector and the docs table use.
+  static const std::vector<std::pair<std::string, int>> hierarchy = [] {
+    std::vector<std::pair<std::string, int>> out;
+    for (const auto& info : util::kLockLevels) {
+      out.emplace_back(info.name, info.rank);
+    }
+    return out;
+  }();
   return hierarchy;
+}
+
+std::string lock_table_markdown() {
+  std::ostringstream out;
+  out << "| level | rank | guards |\n";
+  out << "|-------|------|--------|\n";
+  for (const auto& info : util::kLockLevels) {
+    out << "| `" << info.name << "` | " << info.rank << " | " << info.doc
+        << " |\n";
+  }
+  return out.str();
 }
 
 std::string format(const Violation& violation) {
@@ -515,30 +1027,73 @@ std::string format(const Violation& violation) {
   return out.str();
 }
 
-std::vector<Violation> lint_content(const std::string& path,
-                                    const std::string& content) {
-  std::vector<LineInfo> lines = lex(content);
-  Allows allows = collect_allows(path, lines);
-  std::vector<Violation> found;
-  check_raw_sync(path, lines, found);
-  check_detach(path, lines, found);
-  check_net_blocking(path, lines, found);
-  check_reactor_blocking(path, lines, found);
-  check_layering(path, lines, found);
-  check_raw_new(path, lines, found);
-  check_lock_order(path, lines, found);
-  std::vector<Violation> out = std::move(allows.bad);
-  for (auto& violation : found) {
-    auto it = allows.by_line.find(violation.line);
-    if (it != allows.by_line.end() && it->second.count(violation.rule)) {
-      continue;
+std::vector<Violation> lint_sources(const std::vector<SourceFile>& files) {
+  struct FileState {
+    Allows allows;
+    std::vector<Violation> found;
+  };
+  std::map<std::string, FileState> states;
+  std::vector<GraphInput> graph_inputs;
+
+  for (const SourceFile& file : files) {
+    std::vector<LineInfo> lines = lex(file.content);
+    FileState& state = states[file.path];
+    state.allows = collect_allows(file.path, lines);
+    check_raw_sync(file.path, lines, state.found);
+    check_detach(file.path, lines, state.found);
+    check_net_blocking(file.path, lines, state.found);
+    check_reactor_blocking(file.path, lines, state.found);
+    check_layering(file.path, lines, state.found);
+    check_raw_new(file.path, lines, state.found);
+    GraphInput input;
+    input.path = file.path;
+    input.scan = scan_lock_graph(file.path, lines, state.found);
+    check_lock_order_comments(file.path, lines, input.scan, state.found);
+    // An allow(lock-order) on a derived edge means "this lexical nesting
+    // is not a real acquisition edge" (lambda bodies, death-test
+    // fixtures), so it must leave the global cycle graph too — not just
+    // mute the per-edge report.
+    auto& var_edges = input.scan.var_edges;
+    var_edges.erase(
+        std::remove_if(var_edges.begin(), var_edges.end(),
+                       [&](const FileScan::VarEdge& edge) {
+                         auto it = state.allows.by_line.find(edge.line);
+                         return it != state.allows.by_line.end() &&
+                                it->second.count("lock-order") > 0;
+                       }),
+        var_edges.end());
+    graph_inputs.push_back(std::move(input));
+  }
+
+  std::map<std::string, std::vector<Violation>> graph_violations;
+  run_graph_pass(graph_inputs, graph_violations);
+  for (auto& [path, found] : graph_violations) {
+    auto it = states.find(path);
+    if (it == states.end()) continue;
+    for (Violation& violation : found) {
+      it->second.found.push_back(std::move(violation));
     }
-    out.push_back(std::move(violation));
+  }
+
+  std::vector<Violation> out;
+  for (auto& [path, state] : states) {
+    for (Violation& violation : state.allows.bad) {
+      out.push_back(std::move(violation));
+    }
+    for (Violation& violation : state.found) {
+      if (state.allows.suppressed(violation)) continue;
+      out.push_back(std::move(violation));
+    }
   }
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });
   return out;
+}
+
+std::vector<Violation> lint_content(const std::string& path,
+                                    const std::string& content) {
+  return lint_sources({{path, content}});
 }
 
 std::vector<Violation> lint_file(const std::string& path) {
@@ -551,26 +1106,42 @@ std::vector<Violation> lint_file(const std::string& path) {
   return lint_content(path, buffer.str());
 }
 
-std::vector<Violation> lint_tree(const std::string& root) {
-  std::vector<std::string> files;
-  if (fs::is_regular_file(root)) {
-    files.push_back(root);
-  } else {
+std::vector<Violation> lint_roots(const std::vector<std::string>& roots) {
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    if (fs::is_regular_file(root)) {
+      paths.push_back(root);
+      continue;
+    }
     for (const auto& entry : fs::recursive_directory_iterator(root)) {
       if (!entry.is_regular_file()) continue;
       std::string ext = entry.path().extension().string();
       if (ext == ".hpp" || ext == ".cpp") {
-        files.push_back(entry.path().string());
+        paths.push_back(entry.path().string());
       }
     }
-    std::sort(files.begin(), files.end());
   }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  std::vector<SourceFile> files;
   std::vector<Violation> out;
-  for (const std::string& file : files) {
-    std::vector<Violation> found = lint_file(file);
-    out.insert(out.end(), found.begin(), found.end());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      out.push_back({path, 0, "io", "cannot open file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.push_back({path, buffer.str()});
   }
+  std::vector<Violation> found = lint_sources(files);
+  out.insert(out.end(), found.begin(), found.end());
   return out;
+}
+
+std::vector<Violation> lint_tree(const std::string& root) {
+  return lint_roots({root});
 }
 
 }  // namespace clarens::lint
