@@ -11,7 +11,12 @@
 //     storage node;
 //   * the same calls against a standalone server (no redirect tax);
 //   * file.ls on the shared namespace root — head-side async fan-out to
-//     every storage node, merged.
+//     every storage node, merged;
+//   * the replication tax (ISSUE 10): the same writes against a head
+//     running placement_replicas=2 — client-visible write cost (the
+//     copy is asynchronous, so this should track the single-copy
+//     number), background convergence to full replication, and the
+//     replica.fsck scrub throughput over every replica.
 //
 // Usage: bench_federation [--files N] [--reads N] [--json FILE]
 //   --json writes machine-readable results (folded into
@@ -47,6 +52,9 @@ core::ClarensConfig fed_config(const std::string& node, core::NodeRole role,
   open_acl.read = bench::allow_anyone();
   open_acl.write = bench::allow_anyone();
   config.initial_file_acls = {{"/data", open_acl}};
+  // The replication control plane: storage-node commit notifications
+  // (replica.committed) run the method ACL against the writer identity.
+  config.initial_method_acls.push_back({"replica", bench::allow_anyone()});
   config.farm = "benchfarm";
   config.node = node;
   config.node_role = role;
@@ -180,16 +188,118 @@ int main(int argc, char** argv) {
   }
   double ls_ms = ls_timer.seconds() * 1e3 / ls_calls;
 
+  // Replication: an isolated cluster (own discovery fabric, so its ring
+  // and commit notifications do not mix with the single-copy one) whose
+  // head targets two copies per file. The client-visible write should
+  // stay near the single-copy number (the second copy is made in the
+  // background); convergence and fsck measure the repair engine itself.
+  std::filesystem::create_directories(root + "/fst3");
+  std::filesystem::create_directories(root + "/fst4");
+  discovery::StationServer rep_station;
+  db::Store rep_store;
+  discovery::DiscoveryServer rep_discovery(rep_store, /*record_ttl=*/3600);
+  rep_discovery.subscribe("127.0.0.1", rep_station.port());
+  core::ClarensConfig rep_config = fed_config(
+      "head2", core::NodeRole::Head, /*data_dir=*/"", /*head_url=*/"",
+      rep_station.port());
+  rep_config.placement_replicas = 2;
+  rep_config.replication_grace_ms = 500;
+  core::ClarensServer rep_head(std::move(rep_config));
+  rep_head.attach_discovery(rep_discovery);
+  rep_head.start();
+  core::ClarensServer storage3(fed_config("fst3", core::NodeRole::Storage,
+                                          root + "/fst3", rep_head.url(),
+                                          rep_station.port()));
+  storage3.start();
+  core::ClarensServer storage4(fed_config("fst4", core::NodeRole::Storage,
+                                          root + "/fst4", rep_head.url(),
+                                          rep_station.port()));
+  storage4.start();
+  for (int i = 0; i < 500 && (!rep_head.router() ||
+                              rep_head.router()->storage_nodes().size() < 2);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!rep_head.router() || rep_head.router()->storage_nodes().size() < 2) {
+    std::printf("error: replication head never saw its storage nodes\n");
+    return 1;
+  }
+  client::RoutedClient rep_client(rep_head.url(), base, /*max_attempts=*/10,
+                                  /*retry_backoff_ms=*/50);
+  rep_client.authenticate();
+  for (int i = 0; i < files; ++i) {
+    rep_client.call("file.mkdir",
+                    {rpc::Value("/data/rep" + std::to_string(i))});
+  }
+  util::Stopwatch rep_write_timer;
+  for (int i = 0; i < files; ++i) {
+    std::string path = "/data/rep" + std::to_string(i) + "/evt.bin";
+    rep_client.call("file.write", {rpc::Value(path), rpc::Value(payload)});
+  }
+  double rep_write_us = rep_write_timer.seconds() * 1e6 / files;
+
+  // Convergence: seconds from the last write until every file reports
+  // two healthy, checksum-confirmed replicas.
+  auto healthy_count = [&](const std::string& path) {
+    int healthy = 0;
+    try {
+      rpc::Value layout = rep_client.call("file.layout", {rpc::Value(path)});
+      if (!layout.at("confirmed").as_bool()) return 0;
+      for (const rpc::Value& replica : layout.at("replicas").as_array()) {
+        if (replica.at("state").as_string() == "healthy") ++healthy;
+      }
+    } catch (const std::exception&) {
+    }
+    return healthy;
+  };
+  util::Stopwatch converge_timer;
+  double converge_s = -1;
+  for (int spin = 0; spin < 3000; ++spin) {
+    bool done = true;
+    for (int i = 0; i < files && done; ++i) {
+      done = healthy_count("/data/rep" + std::to_string(i) + "/evt.bin") >= 2;
+    }
+    if (done) {
+      converge_s = converge_timer.seconds();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (converge_s < 0) {
+    std::printf("error: replication never converged\n");
+    return 1;
+  }
+
+  // fsck scrub: every replica of every managed file gets stream-hashed
+  // on its storage node; throughput is replicas checked (and bytes
+  // hashed) per second of wall clock.
+  util::Stopwatch fsck_timer;
+  rpc::Value fsck = rep_client.call("replica.fsck", {rpc::Value("/data")});
+  double fsck_s = fsck_timer.seconds();
+  std::int64_t fsck_files = fsck.at("files").as_int();
+  std::int64_t fsck_replicas = fsck.at("replicas_checked").as_int();
+  double fsck_mb = fsck_replicas * static_cast<double>(payload.size()) / 1e6;
+
   std::printf("%-28s %-12s %-12s\n", "path", "write us", "read us");
   std::printf("%-28s %-12.1f %-12.1f\n", "standalone (no hop)",
               solo.write_us, solo.read_us);
   std::printf("%-28s %-12.1f %-12.1f\n", "federated (head redirect)",
               fed.write_us, fed.read_us);
+  std::printf("%-28s %-12.1f %-12s\n", "federated, 2 replicas",
+              rep_write_us, "-");
   std::printf("# redirect tax: write %.2fx, read %.2fx; fan-out file.ls "
               "%.2f ms over %zu nodes; %llu redirects followed\n",
               fed.write_us / solo.write_us, fed.read_us / solo.read_us,
               ls_ms, head.router()->storage_nodes().size(),
               static_cast<unsigned long long>(routed.redirects_followed()));
+  std::printf("# replication: client-visible write %.2fx single-copy; "
+              "%d files fully replicated %.2fs after last write\n",
+              rep_write_us / fed.write_us, files, converge_s);
+  std::printf("# fsck scrub: %lld replicas of %lld files in %.3fs "
+              "(%.0f replicas/s, %.1f MB/s hashed)\n",
+              static_cast<long long>(fsck_replicas),
+              static_cast<long long>(fsck_files), fsck_s,
+              fsck_replicas / fsck_s, fsck_mb / fsck_s);
 
   if (json_path) {
     std::string json =
@@ -207,6 +317,15 @@ int main(int argc, char** argv) {
         "  \"redirect_tax\": {\"write\": " +
         std::to_string(fed.write_us / solo.write_us) + ", \"read\": " +
         std::to_string(fed.read_us / solo.read_us) + "},\n"
+        "  \"replication\": {\"file_write_us\": " +
+        std::to_string(rep_write_us) + ", \"write_tax_vs_single_copy\": " +
+        std::to_string(rep_write_us / fed.write_us) +
+        ", \"convergence_s\": " + std::to_string(converge_s) + "},\n"
+        "  \"fsck\": {\"files\": " + std::to_string(fsck_files) +
+        ", \"replicas_checked\": " + std::to_string(fsck_replicas) +
+        ", \"seconds\": " + std::to_string(fsck_s) +
+        ", \"replicas_per_s\": " + std::to_string(fsck_replicas / fsck_s) +
+        ", \"mb_hashed_per_s\": " + std::to_string(fsck_mb / fsck_s) + "},\n"
         "  \"redirects_followed\": " +
         std::to_string(routed.redirects_followed()) + "\n}\n";
     if (!std::strcmp(json_path, "-")) {
@@ -217,6 +336,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  storage4.stop();
+  storage3.stop();
+  rep_head.stop();
   storage2.stop();
   storage1.stop();
   head.stop();

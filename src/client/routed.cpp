@@ -1,5 +1,6 @@
 #include "client/routed.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -20,12 +21,42 @@ ClientOptions head_options(const std::string& head_url, ClientOptions base) {
 
 }  // namespace
 
+int RetryPolicy::delay_ms(int attempt, std::uint64_t& state) const {
+  if (attempt < 1) return 0;
+  double delay = static_cast<double>(base_ms);
+  for (int i = 1; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= static_cast<double>(max_ms)) break;
+  }
+  delay = std::min(delay, static_cast<double>(max_ms));
+  // xorshift64 advances even when jitter is 0 so toggling jitter does
+  // not shift the rest of the schedule.
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  if (jitter > 0) {
+    double unit = static_cast<double>(state % 10000) / 10000.0;  // [0, 1)
+    delay *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  return std::max(1, static_cast<int>(delay));
+}
+
 RoutedClient::RoutedClient(const std::string& head_url, ClientOptions base,
-                           int max_attempts, int retry_backoff_ms)
+                           RetryPolicy retry)
     : pool_(base),
       head_(head_options(head_url, std::move(base))),
-      max_attempts_(max_attempts),
-      retry_backoff_ms_(retry_backoff_ms) {}
+      retry_(retry),
+      jitter_state_(retry.seed) {}
+
+// Legacy knobs: a flat per-retry delay. Mapped onto the policy as
+// base == cap (the exponential never grows), so existing callers keep
+// their pacing and still gain the jitter spread.
+RoutedClient::RoutedClient(const std::string& head_url, ClientOptions base,
+                           int max_attempts, int retry_backoff_ms)
+    : RoutedClient(head_url, std::move(base),
+                   RetryPolicy{.max_attempts = max_attempts,
+                               .base_ms = retry_backoff_ms,
+                               .max_ms = retry_backoff_ms}) {}
 
 rpc::Value RoutedClient::call(const std::string& method,
                               const std::vector<rpc::Value>& params) {
@@ -38,10 +69,10 @@ rpc::Value RoutedClient::call(const std::string& method,
   // file.rm would fault NotFound despite having succeeded).
   const bool idempotent = is_idempotent_method(method);
   std::string last_error;
-  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(retry_backoff_ms_));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retry_.delay_ms(attempt, jitter_state_)));
     }
     rpc::Value result;
     try {
@@ -69,12 +100,22 @@ rpc::Value RoutedClient::call(const std::string& method,
       // connection and re-ask the head, which re-routes around the
       // failure. rpc::Fault propagates — the node answered.
       lease.discard();
+      // Tell the head before retrying: it marks the node suspect, so
+      // the re-asked call routes to a healthy replica immediately
+      // instead of bouncing to the same dead node until discovery
+      // notices. Best effort — a head without the replication control
+      // plane faults BadMethod, older deployments just retry blind.
+      try {
+        head_.call("replica.report", {rpc::Value(redirect.url)});
+        ++failures_reported_;
+      } catch (const std::exception&) {
+      }
       if (!idempotent && e.may_have_executed()) throw;
       last_error = e.what();
     }
   }
   throw SystemError("routed call '" + method + "' failed after " +
-                    std::to_string(max_attempts_) +
+                    std::to_string(retry_.max_attempts) +
                     " attempts; last error: " + last_error);
 }
 

@@ -21,6 +21,7 @@
 // freely regardless of method.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,31 @@
 
 namespace clarens::client {
 
+/// Retry pacing for the retry-through-head loop: capped exponential
+/// backoff with deterministic jitter. Each retry waits
+/// base_ms * multiplier^(attempt-1), saturating at max_ms, then spread
+/// by +-jitter so a cluster-wide event (head restart) does not make
+/// every client retry in lockstep. The jitter PRNG is seeded, so a
+/// given policy produces one exact, testable schedule.
+struct RetryPolicy {
+  int max_attempts = 8;
+  int base_ms = 100;  ///< delay before the second attempt
+  int max_ms = 5000;  ///< cap the doubling saturates at
+  double multiplier = 2.0;
+  double jitter = 0.25;  ///< +- fraction applied to each delay
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  /// Delay before retry `attempt` (1 = first retry), advancing the
+  /// jitter state (initialize from `seed`). Pure arithmetic.
+  int delay_ms(int attempt, std::uint64_t& state) const;
+};
+
 class RoutedClient {
  public:
   /// `base` carries protocol, credential/chain, trust and endpoint path;
   /// host/port/TLS are derived from `head_url` (and per redirect target).
+  RoutedClient(const std::string& head_url, ClientOptions base,
+               RetryPolicy retry);
   RoutedClient(const std::string& head_url, ClientOptions base,
                int max_attempts = 8, int retry_backoff_ms = 100);
 
@@ -49,12 +71,17 @@ class RoutedClient {
   /// Redirect hops taken so far (tests: proves calls really bounced).
   std::uint64_t redirects_followed() const { return redirects_followed_; }
 
+  /// Node transport failures reported to the head via replica.report
+  /// (tests: proves the suspect feedback loop fired).
+  std::uint64_t failures_reported() const { return failures_reported_; }
+
  private:
   PeerPool pool_;
   ClarensClient head_;
-  int max_attempts_;
-  int retry_backoff_ms_;
+  RetryPolicy retry_;
+  std::uint64_t jitter_state_;
   std::uint64_t redirects_followed_ = 0;
+  std::uint64_t failures_reported_ = 0;
 };
 
 }  // namespace clarens::client

@@ -9,6 +9,9 @@
 // auth and HTTP handling for itself.
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "pki/dn.hpp"
 #include "rpc/registry.hpp"
 
@@ -16,6 +19,8 @@ namespace clarens::discovery {
 class DiscoveryServer;
 }
 namespace clarens::federation {
+class LayoutTable;
+class Replicator;
 class Router;
 }
 namespace clarens::storage {
@@ -58,7 +63,15 @@ void register_system_methods(ClarensServer& server);
 void register_vo_methods(VoManager& vo, rpc::Registry& registry);
 void register_acl_methods(AclManager& acl, VoManager& vo,
                           rpc::Registry& registry);
-void register_file_methods(FileService& files, rpc::Registry& registry);
+/// Called after a ticket-authorized mutation lands bytes on disk; a
+/// storage node uses it to send the head its commit notification
+/// (replica.committed) so the layout table learns the content hash
+/// without the bytes ever crossing the head.
+using CommitHook =
+    std::function<void(const rpc::CallContext&, const std::string& path)>;
+
+void register_file_methods(FileService& files, rpc::Registry& registry,
+                           CommitHook on_commit = {});
 void register_shell_methods(ShellService& shell, rpc::Registry& registry);
 void register_job_methods(JobService& jobs, rpc::Registry& registry);
 void register_proxy_methods(ProxyService& proxy, rpc::Registry& registry);
@@ -75,6 +88,15 @@ void register_srm_methods(storage::SrmService& srm, rpc::Registry& registry);
 void register_federation_methods(ClarensServer& server,
                                  federation::Router& router,
                                  rpc::Registry& registry);
+
+/// Head role only: the replication control plane — file.layout and the
+/// replica.* family (list/repair/drain/fsck/status/report/committed)
+/// over the layout table and the background repair engine.
+void register_replica_methods(ClarensServer& server,
+                              federation::Router& router,
+                              federation::LayoutTable& layouts,
+                              federation::Replicator& replicator,
+                              rpc::Registry& registry);
 
 }  // namespace bindings
 }  // namespace clarens::core

@@ -28,6 +28,7 @@
 #include "core/file_service.hpp"
 #include "core/server.hpp"
 #include "core/vo.hpp"
+#include "federation/replicator.hpp"
 #include "federation/router.hpp"
 #include "rpc/binding.hpp"
 #include "rpc/fault.hpp"
@@ -97,6 +98,32 @@ std::vector<rpc::Value> fan_out_collect(federation::Router& router,
   return results;
 }
 
+/// Node to serve a read of `path`. With a replicator attached (head with
+/// replication wired up) the layout table drives the choice — healthy,
+/// live, non-suspect replicas first — so reads keep succeeding while a
+/// node is down. Without one, fall back to plain ring routing.
+std::optional<federation::NodeInfo> pick_read(ClarensServer& server,
+                                              federation::Router& router,
+                                              const std::string& path) {
+  if (federation::Replicator* rep = server.replicator()) {
+    return rep->pick_read_node(path);
+  }
+  return router.route(path);
+}
+
+/// Record the intent of a write/append redirect in the layout table
+/// before the client ever reaches the storage node: the replicator now
+/// expects a commit for `path` on `primary` and treats every other
+/// replica as stale.
+void note_write(ClarensServer& server, const rpc::CallContext& context,
+                const std::string& path, const federation::NodeInfo& primary) {
+  if (federation::Replicator* rep = server.replicator()) {
+    rep->note_write(path, primary.id,
+                    {context.identity, context.via_proxy,
+                     context.proxy_serial});
+  }
+}
+
 }  // namespace
 
 void register_federation_methods(ClarensServer& server,
@@ -110,7 +137,7 @@ void register_federation_methods(ClarensServer& server,
       "file.read",
       [s, r, files](const rpc::CallContext& context, const std::string& path,
                     std::int64_t offset, std::int64_t length) -> rpc::Value {
-        if (auto owner = r->route(path)) {
+        if (auto owner = pick_read(*s, *r, path)) {
           check_file_access(*s, context, path, /*write=*/false);
           return redirect_to(*r, context, *owner, path, /*write=*/false)
               .to_value();
@@ -128,6 +155,7 @@ void register_federation_methods(ClarensServer& server,
                     rpc::Blob data) -> rpc::Value {
         if (auto owner = r->route(path)) {
           check_file_access(*s, context, path, /*write=*/true);
+          note_write(*s, context, path, *owner);
           return redirect_to(*r, context, *owner, path, /*write=*/true)
               .to_value();
         }
@@ -135,6 +163,23 @@ void register_federation_methods(ClarensServer& server,
         return rpc::Value(true);
       },
       {.help = "Create or overwrite a file (redirects to the owning node)",
+       .params = {"path", "data"},
+       .acl_path = "file.write"});
+
+  registry.bind(
+      "file.append",
+      [s, r, files](const rpc::CallContext& context, const std::string& path,
+                    rpc::Blob data) -> rpc::Value {
+        if (auto owner = r->route(path)) {
+          check_file_access(*s, context, path, /*write=*/true);
+          note_write(*s, context, path, *owner);
+          return redirect_to(*r, context, *owner, path, /*write=*/true)
+              .to_value();
+        }
+        files->append(path, data.bytes, caller_dn(context));
+        return rpc::Value(true);
+      },
+      {.help = "Append to a file (redirects to the owning node)",
        .params = {"path", "data"},
        .acl_path = "file.write"});
 
@@ -160,6 +205,11 @@ void register_federation_methods(ClarensServer& server,
                     const std::string& path) -> rpc::Value {
         if (auto owner = r->route(path)) {
           check_file_access(*s, context, path, /*write=*/true);
+          // The client removes the primary copy; the replicator purges
+          // the other replicas and the layout rows underneath `path`.
+          if (federation::Replicator* rep = s->replicator()) {
+            rep->note_remove(path);
+          }
           return redirect_to(*r, context, *owner, path, /*write=*/true)
               .to_value();
         }
@@ -173,22 +223,39 @@ void register_federation_methods(ClarensServer& server,
   // Small metadata: one proxied hop over the keep-alive peer pool beats
   // bouncing the client (all three are idempotent, so a stale pooled
   // connection is retried safely by the peer client).
-  for (const char* name : {"file.stat", "file.md5", "file.size"}) {
+  for (const char* name :
+       {"file.stat", "file.md5", "file.size", "file.checksum"}) {
     std::string method = name;
     registry.bind(
         method,
         [s, r, files, method](const rpc::CallContext& context,
                               const std::string& path) -> rpc::Value {
           std::vector<rpc::Value> params = {rpc::Value(path)};
-          if (auto owner = r->route(path)) {
+          if (auto owner = pick_read(*s, *r, path)) {
             check_file_access(*s, context, path, /*write=*/false);
             std::string ticket =
                 mint(*r, context, r->prefix_of(path), /*write=*/false);
-            return r->call_on(*owner, method, params, ticket);
+            try {
+              return r->call_on(*owner, method, params, ticket);
+            } catch (const SystemError&) {
+              // The node did not answer; mark it suspect so the client's
+              // retry of this call lands on a healthy replica.
+              if (federation::Replicator* rep = s->replicator()) {
+                rep->report_failure(owner->url);
+              }
+              throw;
+            }
           }
           pki::DistinguishedName dn = caller_dn(context);
           if (method == "file.md5") return rpc::Value(files->md5(path, dn));
           if (method == "file.size") return rpc::Value(files->size(path, dn));
+          if (method == "file.checksum") {
+            FileService::FileChecksum sum = files->checksum(path, dn);
+            rpc::Value v = rpc::Value::struct_();
+            v.set("md5", sum.md5);
+            v.set("size", sum.size);
+            return v;
+          }
           FileStat st = files->stat(path, dn);
           rpc::Value v = rpc::Value::struct_();
           v.set("name", st.name);

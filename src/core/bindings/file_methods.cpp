@@ -31,8 +31,24 @@ rpc::Value stat_value(const FileStat& st) {
 
 }  // namespace
 
-void register_file_methods(FileService& files, rpc::Registry& registry) {
+void register_file_methods(FileService& files, rpc::Registry& registry,
+                           CommitHook on_commit) {
   FileService* f = &files;
+  // Fire the commit hook only for ticket-authorized mutations: those are
+  // the replicated writes a storage node executes on the head's behalf,
+  // and the hook's job is to report the landed bytes back to the head's
+  // layout table. Session-authenticated (local/standalone) writes have
+  // no layout entry to confirm.
+  // Repair-engine copies (context.replication) are excluded: the head's
+  // replicator already knows the bytes it is landing, per-chunk
+  // notifications would carry partial-content hashes, and a synchronous
+  // notify-back can deadlock a single-worker head<->storage pair.
+  auto committed = [on_commit](const rpc::CallContext& context,
+                               const std::string& path) {
+    if (on_commit && context.via_ticket && !context.replication) {
+      on_commit(context, path);
+    }
+  };
 
   registry.bind(
       "file.read",
@@ -61,13 +77,26 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
 
   registry.bind(
       "file.write",
-      [f](const rpc::CallContext& context, const std::string& path,
-          rpc::Blob data) {
+      [f, committed](const rpc::CallContext& context, const std::string& path,
+                     rpc::Blob data) {
         check_ticket(context, path, /*write=*/true);
         f->write(path, data.bytes, caller_dn(context));
+        committed(context, path);
         return true;
       },
       {.help = "Create or overwrite a remote file",
+       .params = {"path", "data"}});
+
+  registry.bind(
+      "file.append",
+      [f, committed](const rpc::CallContext& context, const std::string& path,
+                     rpc::Blob data) {
+        check_ticket(context, path, /*write=*/true);
+        f->append(path, data.bytes, caller_dn(context));
+        committed(context, path);
+        return true;
+      },
+      {.help = "Append to (creating if needed) a remote file",
        .params = {"path", "data"}});
 
   registry.bind(
@@ -97,6 +126,19 @@ void register_file_methods(FileService& files, rpc::Registry& registry) {
         return f->md5(path, caller_dn(context));
       },
       {.help = "MD5 integrity hash of a file", .params = {"path"}});
+
+  registry.bind(
+      "file.checksum",
+      [f](const rpc::CallContext& context, const std::string& path) {
+        check_ticket(context, path, /*write=*/false);
+        FileService::FileChecksum sum = f->checksum(path, caller_dn(context));
+        rpc::Value v = rpc::Value::struct_();
+        v.set("md5", sum.md5);
+        v.set("size", sum.size);
+        return rpc::StructResult{std::move(v)};
+      },
+      {.help = "MD5 hash and size in one pass (fsck scrub primitive)",
+       .params = {"path"}});
 
   registry.bind(
       "file.size",

@@ -216,6 +216,49 @@ ClarensConfig config_from(const util::Config& config) {
     throw ParseError("placement_prefix_depth must be in [1, 8]");
   }
 
+  // Replication / self-healing (head role).
+  out.replication_grace_ms = static_cast<int>(
+      config.get_int_or("replication_grace_ms", out.replication_grace_ms));
+  if (out.replication_grace_ms < 100 || out.replication_grace_ms > 600000) {
+    throw ParseError("replication_grace_ms must be in [100, 600000]");
+  }
+  out.replication_retry_max = static_cast<int>(
+      config.get_int_or("replication_retry_max", out.replication_retry_max));
+  if (out.replication_retry_max < 1 || out.replication_retry_max > 64) {
+    throw ParseError("replication_retry_max must be in [1, 64]");
+  }
+  out.replication_retry_base_ms = static_cast<int>(config.get_int_or(
+      "replication_retry_base_ms", out.replication_retry_base_ms));
+  if (out.replication_retry_base_ms < 1 ||
+      out.replication_retry_base_ms > 60000) {
+    throw ParseError("replication_retry_base_ms must be in [1, 60000]");
+  }
+  out.replication_retry_max_ms = static_cast<int>(config.get_int_or(
+      "replication_retry_max_ms", out.replication_retry_max_ms));
+  if (out.replication_retry_max_ms < out.replication_retry_base_ms ||
+      out.replication_retry_max_ms > 600000) {
+    throw ParseError(
+        "replication_retry_max_ms must be in [replication_retry_base_ms, "
+        "600000]");
+  }
+  out.replication_chunk =
+      config.get_int_or("replication_chunk", out.replication_chunk);
+  if (out.replication_chunk < 4096 ||
+      out.replication_chunk > out.max_read_chunk) {
+    throw ParseError(
+        "replication_chunk must be in [4096, max_read_chunk]");
+  }
+  out.fsck_interval_ms = static_cast<int>(
+      config.get_int_or("fsck_interval_ms", out.fsck_interval_ms));
+  if (out.fsck_interval_ms < 0 || out.fsck_interval_ms > 86400000) {
+    throw ParseError("fsck_interval_ms must be in [0, 86400000]");
+  }
+  out.replica_suspect_ttl_ms = static_cast<int>(config.get_int_or(
+      "replica_suspect_ttl_ms", out.replica_suspect_ttl_ms));
+  if (out.replica_suspect_ttl_ms < 0 || out.replica_suspect_ttl_ms > 600000) {
+    throw ParseError("replica_suspect_ttl_ms must be in [0, 600000]");
+  }
+
   // station <host>:<port>
   if (auto value = config.get("station")) {
     std::size_t colon = value->rfind(':');

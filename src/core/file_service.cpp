@@ -9,6 +9,7 @@
 
 #include "crypto/md5.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace fs = std::filesystem;
@@ -172,24 +173,17 @@ FileStat FileService::stat(const std::string& path,
 
 std::string FileService::md5(const std::string& path,
                              const pki::DistinguishedName& who) const {
+  return checksum(path, who).md5;
+}
+
+FileService::FileChecksum FileService::checksum(
+    const std::string& path, const pki::DistinguishedName& who) const {
   require_read(path, who);
   std::string real = resolve(path);
-  std::FILE* f = std::fopen(real.c_str(), "rb");
-  if (!f) throw NotFoundError("cannot open file: '" + path + "'");
-  crypto::Md5 md5;
-  std::vector<std::uint8_t> buf(256 * 1024);
-  std::size_t n;
-  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
-    md5.update(std::span<const std::uint8_t>(buf.data(), n));
-  }
-  std::fclose(f);
-  auto digest = md5.finish();
-  static const char* hex = "0123456789abcdef";
-  std::string out;
-  for (std::uint8_t b : digest) {
-    out.push_back(hex[b >> 4]);
-    out.push_back(hex[b & 0xf]);
-  }
+  FileChecksum out;
+  std::optional<std::string> hex = crypto::Md5::file_hex(real, &out.size);
+  if (!hex) throw NotFoundError("cannot open file: '" + path + "'");
+  out.md5 = std::move(*hex);
   return out;
 }
 
@@ -229,6 +223,11 @@ void FileService::write(const std::string& path,
                         const pki::DistinguishedName& who) const {
   require_write(path, who);
   std::string real = resolve(path);
+  // The detail is the resolved path: in-process cluster tests arm the
+  // point against one node's data directory to fail just that node.
+  if (CLARENS_FAULT("file.write.eio", real)) {
+    throw SystemError("injected I/O error writing '" + path + "'");
+  }
   std::ofstream out(real, std::ios::binary | std::ios::trunc);
   if (!out) throw SystemError("cannot write file: '" + path + "'");
   out.write(reinterpret_cast<const char*>(data.data()),
@@ -240,6 +239,9 @@ void FileService::append(const std::string& path,
                          const pki::DistinguishedName& who) const {
   require_write(path, who);
   std::string real = resolve(path);
+  if (CLARENS_FAULT("file.write.eio", real)) {
+    throw SystemError("injected I/O error appending to '" + path + "'");
+  }
   std::ofstream out(real, std::ios::binary | std::ios::app);
   if (!out) throw SystemError("cannot append to file: '" + path + "'");
   out.write(reinterpret_cast<const char*>(data.data()),

@@ -84,6 +84,15 @@ class FileService {
   std::string md5(const std::string& path,
                   const pki::DistinguishedName& who) const;
 
+  /// Hash + size in one pass (file.checksum) — what the fsck scrubber
+  /// and the post-write commit notification ask a storage node for.
+  struct FileChecksum {
+    std::string md5;
+    std::int64_t size = 0;
+  };
+  FileChecksum checksum(const std::string& path,
+                        const pki::DistinguishedName& who) const;
+
   /// Recursive find: paths under `path` whose basename contains `pattern`
   /// ('*' alone matches everything) (file.find).
   std::vector<std::string> find(const std::string& path,

@@ -14,6 +14,7 @@
 #include "util/buffer.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace clarens::core {
@@ -22,6 +23,7 @@ namespace {
 
 constexpr const char* kSessionHeader = "X-Clarens-Session";
 constexpr const char* kNodeTicketHeader = "X-Clarens-Node-Ticket";
+constexpr const char* kReplicationHeader = "X-Clarens-Replication";
 
 // Minimal browser portal (paper §3): a static page whose JavaScript would
 // issue the web-service calls; served to satisfy HTTP GET on "/".
@@ -100,6 +102,16 @@ ClarensServer::ClarensServer(ClarensConfig config)
     acl_->set_file_acl(path, facl);
   }
 
+  if (config_.node_role == NodeRole::Storage && !config_.head_url.empty() &&
+      !config_.node_ticket_secret.empty()) {
+    // Commit notifications ride the same plaintext JSON-RPC peer channel
+    // the head uses toward storage nodes (the trust boundary is the node
+    // ticket, not the transport).
+    client::ClientOptions base;
+    base.protocol = rpc::Protocol::JsonRpc;
+    head_pool_ = std::make_unique<client::PeerPool>(std::move(base));
+  }
+
   register_core_methods();
 }
 
@@ -112,7 +124,11 @@ void ClarensServer::register_core_methods() {
   bindings::register_system_methods(*this);
   bindings::register_vo_methods(*vo_, registry_);
   bindings::register_acl_methods(*acl_, *vo_, registry_);
-  bindings::register_file_methods(*files_, registry_);
+  bindings::register_file_methods(
+      *files_, registry_,
+      [this](const rpc::CallContext& context, const std::string& path) {
+        notify_commit(context, path);
+      });
   if (shell_) bindings::register_shell_methods(*shell_, registry_);
   if (jobs_) bindings::register_job_methods(*jobs_, registry_);
   bindings::register_proxy_methods(*proxy_, registry_);
@@ -135,6 +151,28 @@ void ClarensServer::attach_discovery(discovery::DiscoveryServer& discovery) {
     options.prefix_depth = config_.placement_prefix_depth;
     router_ = std::make_unique<federation::Router>(discovery, options);
     bindings::register_federation_methods(*this, *router_, registry_);
+
+    // Replication control plane: the layout table persists in the head's
+    // own store; the repair engine drains its queue once start() runs.
+    layouts_ = std::make_unique<federation::LayoutTable>(*store_);
+    federation::ReplicatorOptions ropts;
+    ropts.replicas = config_.placement_replicas;
+    ropts.retry_max = config_.replication_retry_max;
+    ropts.retry_base_ms = config_.replication_retry_base_ms;
+    ropts.retry_max_ms = config_.replication_retry_max_ms;
+    ropts.node_grace_ms = config_.replication_grace_ms;
+    ropts.suspect_ttl_ms = config_.replica_suspect_ttl_ms;
+    ropts.fsck_interval_ms = config_.fsck_interval_ms;
+    ropts.copy_chunk =
+        std::min(config_.replication_chunk, config_.max_read_chunk);
+    // Poll membership fast enough to resolve the grace period, and sweep
+    // for under-replication at least as often as nodes are declared gone.
+    ropts.tick_ms = std::clamp(config_.replication_grace_ms / 4, 50, 250);
+    ropts.rescan_ms = std::max(1000, config_.replication_grace_ms);
+    replicator_ = std::make_unique<federation::Replicator>(*router_, *layouts_,
+                                                           ropts);
+    bindings::register_replica_methods(*this, *router_, *layouts_,
+                                       *replicator_, registry_);
   }
 }
 
@@ -191,6 +229,7 @@ void ClarensServer::start() {
   http_->start();
   started_at_ = util::unix_now();
   if (config_.station) start_publisher();
+  if (replicator_) replicator_->start();
   if (config_.session_reap_interval_s > 0) {
     {
       util::LockGuard lock(reaper_mutex_);
@@ -219,6 +258,7 @@ void ClarensServer::stop() {
   }
   reaper_stop_.notify_all();
   if (reaper_.joinable()) reaper_.join();
+  if (replicator_) replicator_->stop();
   if (publisher_) publisher_->stop();
   if (http_) http_->stop();
 }
@@ -249,6 +289,46 @@ federation::NodeTicket ClarensServer::check_node_ticket(
       config_.node_ticket_secret, token, util::unix_now());
   if (!ticket) throw AuthError("invalid or expired node ticket");
   return *ticket;
+}
+
+void ClarensServer::notify_commit(const rpc::CallContext& context,
+                                  const std::string& path) {
+  if (!head_pool_) return;
+  try {
+    // Checksum what actually landed (streamed, bounded memory), then
+    // report it under a self-minted node ticket: storage nodes hold the
+    // same cluster secret the head mints with, and the head honors node
+    // tickets for exactly this one method. The ticket carries the
+    // original writer's identity so the head's method ACL still judges
+    // the user, not the node.
+    FileService::FileChecksum sum =
+        files_->checksum(path, pki::DistinguishedName::parse(context.identity));
+    federation::NodeTicket ticket;
+    ticket.dn = context.identity;
+    ticket.via_proxy = context.via_proxy;
+    ticket.proxy_serial = context.proxy_serial;
+    ticket.scope = path;
+    ticket.write = false;
+    ticket.expires = util::unix_now() + 60;
+    std::string token = ticket.mint(config_.node_ticket_secret);
+    client::PeerPool::Lease lease = head_pool_->lease(config_.head_url);
+    lease->set_header(kNodeTicketHeader, token);
+    try {
+      lease->call("replica.committed",
+                  {rpc::Value(path),
+                   rpc::Value(config_.farm + "/" + config_.node),
+                   rpc::Value(sum.md5), rpc::Value(sum.size)});
+    } catch (const SystemError&) {
+      lease.discard();
+      throw;
+    }
+  } catch (const std::exception& error) {
+    // Best effort: a lost notification leaves the layout checksum
+    // unconfirmed, and the head's fsck scrub re-derives it from the
+    // primary replica.
+    CLARENS_LOG(Warn) << "commit notification for '" << path
+                      << "' failed: " << error.what();
+  }
 }
 
 void ClarensServer::check_acl(const std::string& method,
@@ -341,21 +421,27 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
         context.via_proxy = peer.tls_identity->via_proxy;
       }
     } else if (const std::string* node_token =
-                   config_.node_role != NodeRole::Storage ||
+                   config_.node_role == NodeRole::Standalone ||
                            config_.node_ticket_secret.empty()
                        ? nullptr
                        : request.headers.find(kNodeTicketHeader)) {
       // Federation fast path: a head-minted node ticket replaces the
       // session handshake — the head already authenticated the caller
-      // and the HMAC proves it. Only storage-role nodes honor tickets
-      // (heads and standalone servers run the full session stack), and a
-      // ticket is a *file capability*, not a blanket identity: it
-      // authorizes file.* methods only, and the file handlers enforce
-      // its namespace scope and write bit against the path they touch.
-      // The method ACL still runs against the forwarded identity
+      // and the HMAC proves it. Standalone servers run the full session
+      // stack only; a ticket is a *file capability*, not a blanket
+      // identity. On storage nodes it authorizes file.* methods only,
+      // and the file handlers enforce its namespace scope and write bit
+      // against the path they touch. On the head exactly one method
+      // honors tickets: replica.committed, the storage node's post-write
+      // commit notification (minted by the node with the same shared
+      // secret; the binding checks the ticket scope against the reported
+      // path). The method ACL still runs against the forwarded identity
       // (delegated credentials ride along in via_proxy / proxy_serial).
       federation::NodeTicket ticket = check_node_ticket(*node_token);
-      if (!util::starts_with(rpc_request.method, "file.")) {
+      bool allowed = config_.node_role == NodeRole::Storage
+                         ? util::starts_with(rpc_request.method, "file.")
+                         : rpc_request.method == "replica.committed";
+      if (!allowed) {
         throw AuthError("node ticket does not authorize method '" +
                         rpc_request.method + "'");
       }
@@ -365,6 +451,9 @@ http::Response ClarensServer::handle_rpc(const http::Request& request,
       context.via_ticket = true;
       context.ticket_scope = ticket.scope;
       context.ticket_write = ticket.write;
+      const std::string* replication =
+          request.headers.find(kReplicationHeader);
+      context.replication = replication != nullptr && *replication == "1";
       check_acl(method->info.acl_path.empty() ? rpc_request.method
                                               : method->info.acl_path,
                 pki::DistinguishedName::parse(ticket.dn));
@@ -552,7 +641,13 @@ http::Response ClarensServer::handle_get(const http::Request& request,
   // of the RPC redirect envelope. Falls through to local serving when
   // no storage node owns the prefix (empty ring).
   if (config_.node_role == NodeRole::Head && router_) {
-    if (auto owner = router_->route(path)) {
+    // Replica-aware pick: a node the layout table knows is unhealthy or
+    // that a client reported unreachable is skipped, so GETs keep
+    // succeeding while the repair engine restores replication.
+    std::optional<federation::NodeInfo> owner =
+        replicator_ ? replicator_->pick_read_node(path)
+                    : router_->route(path);
+    if (owner) {
       if (!acl_->check_file_read(path, identity) &&
           !vo_->is_root_admin(identity)) {
         return http::Response::make(403, "file access denied\n");

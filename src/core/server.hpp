@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "client/peer_pool.hpp"
 #include "core/acl.hpp"
 #include "core/file_service.hpp"
 #include "core/job_service.hpp"
@@ -28,7 +29,9 @@
 #include "db/store.hpp"
 #include "discovery/discovery_server.hpp"
 #include "discovery/publisher.hpp"
+#include "federation/layout.hpp"
 #include "federation/node_ticket.hpp"
+#include "federation/replicator.hpp"
 #include "federation/router.hpp"
 #include "http/server.hpp"
 #include "pki/certificate.hpp"
@@ -155,6 +158,24 @@ struct ClarensConfig {
   /// at depth 2).
   int placement_prefix_depth = 2;
 
+  // --- Replication / self-healing (ISSUE 10) --------------------------
+  /// Head: how long a storage node may be absent from discovery before
+  /// its replicas are declared missing and re-replication starts.
+  int replication_grace_ms = 5000;
+  /// Bounded retry of queued replication work: attempts per task, first
+  /// delay, and the cap the exponential backoff saturates at.
+  int replication_retry_max = 8;
+  int replication_retry_base_ms = 100;
+  int replication_retry_max_ms = 5000;
+  /// Bytes per hop when the repair engine copies a replica between
+  /// storage nodes; clamped to max_read_chunk at validation time.
+  std::int64_t replication_chunk = 1 * 1024 * 1024;
+  /// Periodic fsck scrub cadence on the head; 0 = on demand only
+  /// (replica.fsck).
+  int fsck_interval_ms = 0;
+  /// How long a client-reported unreachable node is skipped for reads.
+  int replica_suspect_ttl_ms = 3000;
+
   std::size_t max_connections = 1024;
 };
 
@@ -200,6 +221,10 @@ class ClarensServer {
   /// Head-side placement router; null on standalone/storage roles and on
   /// heads with no discovery attached.
   federation::Router* router() { return router_.get(); }
+  /// Head-side layout table / repair engine; null unless this is a head
+  /// with discovery attached.
+  federation::LayoutTable* layouts() { return layouts_.get(); }
+  federation::Replicator* replicator() { return replicator_.get(); }
 
   std::uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
@@ -235,6 +260,10 @@ class ClarensServer {
   /// Verify a presented node ticket against the cluster secret. Throws
   /// AuthError on a bad/expired token or when this server takes none.
   federation::NodeTicket check_node_ticket(const std::string& token) const;
+  /// Storage role: after a ticket-authorized write/append lands, report
+  /// the resulting checksum to the head (replica.committed). Best
+  /// effort — the head's fsck scrub covers a lost notification.
+  void notify_commit(const rpc::CallContext& context, const std::string& path);
 
   ClarensConfig config_;
   std::unique_ptr<db::Store> store_;
@@ -251,6 +280,10 @@ class ClarensServer {
   std::unique_ptr<http::Server> http_;
   std::unique_ptr<discovery::Publisher> publisher_;
   std::unique_ptr<federation::Router> router_;
+  std::unique_ptr<federation::LayoutTable> layouts_;
+  std::unique_ptr<federation::Replicator> replicator_;
+  /// Storage role: keep-alive pool to the head for commit notifications.
+  std::unique_ptr<client::PeerPool> head_pool_;
   discovery::DiscoveryServer* discovery_ = nullptr;
   storage::SrmService* srm_ = nullptr;
 

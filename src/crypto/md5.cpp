@@ -1,6 +1,8 @@
 #include "crypto/md5.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "util/hex.hpp"
 
@@ -143,6 +145,23 @@ Md5::Digest Md5::hash(std::string_view data) {
 std::string Md5::hex(std::string_view data) {
   Digest d = hash(data);
   return util::hex_encode(d);
+}
+
+std::optional<std::string> Md5::file_hex(const std::string& path,
+                                         std::int64_t* size_out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  Md5 md5;
+  std::int64_t total = 0;
+  std::vector<std::uint8_t> buf(256 * 1024);
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    md5.update(std::span<const std::uint8_t>(buf.data(), n));
+    total += static_cast<std::int64_t>(n);
+  }
+  std::fclose(f);
+  if (size_out) *size_out = total;
+  return util::hex_encode(md5.finish());
 }
 
 }  // namespace clarens::crypto

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -36,6 +37,15 @@ class Md5 {
   static Digest hash(std::string_view data);
   /// Lowercase hex digest, the format file.md5() returns.
   static std::string hex(std::string_view data);
+
+  /// Streaming digest of a file's bytes in fixed 256 KiB chunks —
+  /// bounded memory however large the file is (the shared checksum path
+  /// behind file.md5 / file.checksum / the fsck scrubber / mass-storage
+  /// verification). Returns lowercase hex, or nullopt when the file
+  /// cannot be opened. `size_out`, when non-null, receives the byte
+  /// count hashed.
+  static std::optional<std::string> file_hex(
+      const std::string& path, std::int64_t* size_out = nullptr);
 
  private:
   void process_block(const std::uint8_t* block);

@@ -78,6 +78,13 @@ std::vector<NodeInfo> Router::route_replicas(const std::string& path) {
   return placement_.owners(prefix_of(path), options_.replicas);
 }
 
+std::vector<NodeInfo> Router::route_owners(const std::string& path,
+                                           int replicas) {
+  refresh_if_stale();
+  util::LockGuard lock(mutex_);
+  return placement_.owners(prefix_of(path), replicas);
+}
+
 std::vector<NodeInfo> Router::storage_nodes() {
   refresh_if_stale();
   util::LockGuard lock(mutex_);
@@ -104,9 +111,12 @@ std::string Router::mint_ticket(const std::string& dn, bool via_proxy,
 
 rpc::Value Router::call_on(const NodeInfo& node, const std::string& method,
                            const std::vector<rpc::Value>& params,
-                           const std::string& ticket) {
+                           const std::string& ticket, bool replication) {
   client::PeerPool::Lease lease = pool_.lease(node.url);
   lease->set_header("X-Clarens-Node-Ticket", ticket);
+  // Pooled connections keep their headers across leases, so the
+  // replication mark must be set (or erased: empty value) on every call.
+  lease->set_header("X-Clarens-Replication", replication ? "1" : "");
   try {
     return lease->call(method, params);
   } catch (const SystemError&) {

@@ -62,6 +62,11 @@ class Router {
   /// Primary + fallback owners of `path`'s prefix (ring walk order).
   std::vector<NodeInfo> route_replicas(const std::string& path);
 
+  /// Same, but with an explicit owner count — the replicator places each
+  /// file by its layout's own replica_count, which may differ from the
+  /// configured default.
+  std::vector<NodeInfo> route_owners(const std::string& path, int replicas);
+
   /// All live storage nodes (fan-out targets), ring membership order.
   std::vector<NodeInfo> storage_nodes();
 
@@ -77,9 +82,12 @@ class Router {
   /// `ticket`. Throws what the remote call throws (rpc::Fault,
   /// SystemError);
   /// a transport failure retires the pooled connection.
+  /// `replication` marks the call as repair-engine traffic
+  /// (X-Clarens-Replication): the target skips its commit notification,
+  /// which would otherwise call back into the head synchronously.
   rpc::Value call_on(const NodeInfo& node, const std::string& method,
                      const std::vector<rpc::Value>& params,
-                     const std::string& ticket);
+                     const std::string& ticket, bool replication = false);
 
   /// Issue the same call on every node concurrently (plaintext targets
   /// go through one epoll loop; TLS targets fall back to sequential

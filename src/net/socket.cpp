@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace clarens::net {
 
@@ -71,6 +72,12 @@ void Fd::reset(int fd) {
 
 TcpConnection TcpConnection::connect(const std::string& host,
                                      std::uint16_t port) {
+  // Blackhole fault: pretend the host dropped off the network. Armed per
+  // "host:port" detail by the cluster fault tests.
+  if (CLARENS_FAULT("net.connect", host + ":" + std::to_string(port))) {
+    throw SystemError("injected blackhole: connect to " + host + ":" +
+                      std::to_string(port));
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Fd owned(fd);
@@ -85,6 +92,10 @@ TcpConnection TcpConnection::connect(const std::string& host,
 
 TcpConnection TcpConnection::connect_nonblocking(const std::string& host,
                                                  std::uint16_t port) {
+  if (CLARENS_FAULT("net.connect", host + ":" + std::to_string(port))) {
+    throw SystemError("injected blackhole: connect to " + host + ":" +
+                      std::to_string(port));
+  }
   int raw = ::socket(AF_INET, SOCK_STREAM, 0);
   if (raw < 0) throw_errno("socket");
   TcpConnection conn{Fd(raw)};

@@ -1,0 +1,120 @@
+#include "util/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace clarens::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* spec = std::getenv("CLARENS_FAULTS")) {
+    arm_from_spec(spec);
+  }
+}
+
+void FaultInjector::arm(const std::string& point, int times,
+                        const std::string& detail_substring) {
+  LockGuard lock(mutex_);
+  for (Armed& entry : armed_) {
+    if (entry.point == point && entry.detail == detail_substring) {
+      entry.remaining = times;
+      any_armed_.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+  armed_.push_back({point, detail_substring, times, 0});
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  LockGuard lock(mutex_);
+  for (Armed& entry : armed_) {
+    if (entry.point == point) entry.remaining = 0;
+  }
+}
+
+void FaultInjector::reset() {
+  LockGuard lock(mutex_);
+  armed_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(const std::string& point) const {
+  LockGuard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Armed& entry : armed_) {
+    if (entry.point == point) total += entry.fired;
+  }
+  return total;
+}
+
+bool FaultInjector::fire(const std::string& point, const std::string& detail) {
+  FaultInjector& self = instance();
+  if (!self.any_armed_.load(std::memory_order_relaxed)) return false;
+  return self.should_fire(point, detail);
+}
+
+bool FaultInjector::should_fire(const std::string& point,
+                                const std::string& detail) {
+  LockGuard lock(mutex_);
+  for (Armed& entry : armed_) {
+    if (entry.point != point) continue;
+    if (entry.remaining == 0) continue;
+    if (!entry.detail.empty() && detail.find(entry.detail) == std::string::npos)
+      continue;
+    if (entry.remaining > 0) --entry.remaining;
+    ++entry.fired;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::bit_flip(const std::string& path, std::uint64_t offset,
+                             std::uint8_t mask) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) return false;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) return false;
+  bool ok = false;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+    int byte = std::fgetc(f);
+    if (byte != EOF && std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+      std::fputc(byte ^ mask, f);
+      ok = true;
+    }
+  }
+  std::fclose(f);
+  if (ok) fs::last_write_time(path, mtime, ec);  // corruption leaves no trace
+  return ok;
+}
+
+void FaultInjector::arm_from_spec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    int times = -1;
+    if (std::size_t eq = entry.find('='); eq != std::string::npos) {
+      times = std::atoi(entry.c_str() + eq + 1);
+      entry.resize(eq);
+    }
+    std::string detail;
+    if (std::size_t at = entry.find('@'); at != std::string::npos) {
+      detail = entry.substr(at + 1);
+      entry.resize(at);
+    }
+    if (!entry.empty()) arm(entry, times, detail);
+  }
+}
+
+}  // namespace clarens::util

@@ -1,0 +1,104 @@
+// Fault injection for robustness tests (ISSUE 10 tentpole).
+//
+// The self-healing replication layer is only believable if its failure
+// modes are exercised on purpose: a storage node whose writes fail with
+// EIO, a node that drops off the network, a replica whose bytes rot on
+// disk. This module is the single switchboard for those faults:
+//
+//   * Fault *points* are string-named hook sites compiled into the code
+//     under test (e.g. "file.write.eio" in FileService::write,
+//     "net.connect" in TcpConnection::connect). A hook calls
+//     CLARENS_FAULT(point, detail) and fails itself when the point is
+//     armed and the armed detail substring matches.
+//   * Arming is programmatic (tests in the same process) or via the
+//     CLARENS_FAULTS environment variable:
+//         CLARENS_FAULTS="file.write.eio@/fst2=3;net.connect@127.0.0.1:9001"
+//     entries are ';'-separated `point[@detail-substring][=count]`
+//     (count omitted = until disarmed).
+//   * Hook sites are compiled out of release hot paths: CLARENS_FAULT()
+//     expands to `false` unless the build sets CLARENS_FAULT_INJECTION
+//     (the asan/tsan/lockrank presets do; plain release does not). The
+//     injector class itself always exists, so helpers like bit_flip()
+//     — which mutate state *outside* the server, not in a hot path —
+//     work in every build, and the release cluster leg can still run
+//     the kill + corruption scenarios.
+//
+// Concurrency: the arm table lives behind a rank-80 mutex (util.fault);
+// hooks first consult a relaxed atomic "anything armed?" flag, so an
+// unarmed build-with-hooks pays one atomic load per hook site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace clarens::util {
+
+class FaultInjector {
+ public:
+  /// Process-wide instance (fault points are global by nature: tests
+  /// arm faults against servers living in the same process).
+  static FaultInjector& instance();
+
+  /// Arm `point`: the next `times` matching fire() calls fail
+  /// (-1 = until disarmed). `detail_substring` restricts the fault to
+  /// fire() calls whose detail contains it ("" matches every call) —
+  /// e.g. a storage node's data directory, or a host:port.
+  void arm(const std::string& point, int times = -1,
+           const std::string& detail_substring = "");
+
+  void disarm(const std::string& point);
+
+  /// Disarm everything (test teardown).
+  void reset();
+
+  /// Number of times `point` actually fired (armed + matched).
+  std::uint64_t fired(const std::string& point) const;
+
+  /// Hook-site entry: true when `point` is armed, its detail matches,
+  /// and its budget is not exhausted (each hit consumes one). Prefer the
+  /// CLARENS_FAULT macro, which compiles the call out of release builds.
+  static bool fire(const std::string& point, const std::string& detail = "");
+
+  /// Flip one bit of the byte at `offset` in the file at `path`,
+  /// preserving the file's mtime — the on-disk corruption model (a rotted
+  /// sector does not update timestamps). Returns false when the file
+  /// cannot be opened or is shorter than `offset`. Available in every
+  /// build: it acts on the filesystem from the outside, not via a hook.
+  static bool bit_flip(const std::string& path, std::uint64_t offset,
+                       std::uint8_t mask = 0x01);
+
+  /// Parse and arm a CLARENS_FAULTS-style spec (also called once
+  /// implicitly with the environment variable on first use).
+  void arm_from_spec(const std::string& spec);
+
+ private:
+  FaultInjector();
+
+  struct Armed {
+    std::string point;
+    std::string detail;  // substring match; empty = any
+    int remaining = -1;  // -1 = unlimited
+    std::uint64_t fired = 0;
+  };
+
+  bool should_fire(const std::string& point, const std::string& detail);
+
+  mutable Mutex mutex_{LockLevel::kUtilFault};
+  std::vector<Armed> armed_ CLARENS_GUARDED_BY(mutex_);
+  std::atomic<bool> any_armed_{false};
+};
+
+}  // namespace clarens::util
+
+// Hook-site macro: evaluates to false (and compiles the strings away)
+// unless the build opts into fault injection.
+#if defined(CLARENS_FAULT_INJECTION)
+#define CLARENS_FAULT(point, detail) \
+  (::clarens::util::FaultInjector::fire((point), (detail)))
+#else
+#define CLARENS_FAULT(point, detail) false
+#endif

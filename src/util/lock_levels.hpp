@@ -44,8 +44,13 @@
     "SameRankToken)")                                                         \
   X(kCoreVoWrite, "core.vo.write", 20,                                        \
     "VO group read-modify-write serialization")                               \
+  X(kFederationReplicator, "federation.replicator", 20,                       \
+    "repair queue, node liveness and suspect tables (released before any "    \
+    "peer call)")                                                             \
   X(kFederationRouter, "federation.router", 20,                               \
     "placement ring + refresh stopwatch")                                     \
+  X(kFederationLayout, "federation.layout", 22,                               \
+    "layout-table read-modify-write serialization (nests over db.store)")     \
   X(kDiscoveryPublisher, "discovery.publisher", 25,                           \
     "published service-record list")                                          \
   X(kDiscoveryServerCache, "discovery.server.cache", 25,                      \
@@ -69,6 +74,8 @@
     "reactor callback/task registry (queue flips only)")                      \
   X(kUtilThreadPool, "util.thread_pool", 75,                                  \
     "worker-pool task queue (submit may run under http.conn)")                \
+  X(kUtilFault, "util.fault", 80,                                             \
+    "fault-injection arm table (hooks fire under arbitrary outer locks)")     \
   X(kUtilLogging, "util.logging", 90,                                         \
     "log output serialization (innermost: loggable under any lock)")
 

@@ -209,6 +209,68 @@ TEST(ConfigLoader, FederationKnobValidation) {
                ParseError);
 }
 
+TEST(ConfigLoader, ReplicationKnobs) {
+  ClarensConfig head = config_from(util::Config::parse(
+      "node_role head\n"
+      "node_ticket_secret 0123456789abcdef\n"
+      "replication_grace_ms 1500\n"
+      "replication_retry_max 4\n"
+      "replication_retry_base_ms 50\n"
+      "replication_retry_max_ms 2000\n"
+      "replication_chunk 65536\n"
+      "fsck_interval_ms 30000\n"
+      "replica_suspect_ttl_ms 1000\n"));
+  EXPECT_EQ(head.replication_grace_ms, 1500);
+  EXPECT_EQ(head.replication_retry_max, 4);
+  EXPECT_EQ(head.replication_retry_base_ms, 50);
+  EXPECT_EQ(head.replication_retry_max_ms, 2000);
+  EXPECT_EQ(head.replication_chunk, 65536);
+  EXPECT_EQ(head.fsck_interval_ms, 30000);
+  EXPECT_EQ(head.replica_suspect_ttl_ms, 1000);
+
+  ClarensConfig defaults = config_from(util::Config::parse("host x\n"));
+  EXPECT_EQ(defaults.replication_grace_ms, 5000);
+  EXPECT_EQ(defaults.replication_retry_max, 8);
+  EXPECT_EQ(defaults.fsck_interval_ms, 0);  // scrub on demand only
+}
+
+TEST(ConfigLoader, ReplicationKnobValidation) {
+  EXPECT_THROW(config_from(util::Config::parse("replication_grace_ms 99\n")),
+               ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("replication_grace_ms 600001\n")),
+      ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("replication_retry_max 0\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("replication_retry_max 65\n")),
+               ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("replication_retry_base_ms 0\n")),
+      ParseError);
+  // The cap may not undercut the base.
+  EXPECT_THROW(config_from(util::Config::parse(
+                   "replication_retry_base_ms 500\n"
+                   "replication_retry_max_ms 100\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("replication_chunk 4095\n")),
+               ParseError);
+  // The copy chunk rides over file.read/file.append, so it is bounded
+  // by what a storage node will serve in one call.
+  EXPECT_THROW(config_from(util::Config::parse("max_read_chunk 65536\n"
+                                               "replication_chunk 65537\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("fsck_interval_ms -1\n")),
+               ParseError);
+  EXPECT_THROW(config_from(util::Config::parse("fsck_interval_ms 86400001\n")),
+               ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("replica_suspect_ttl_ms -1\n")),
+      ParseError);
+  EXPECT_THROW(
+      config_from(util::Config::parse("replica_suspect_ttl_ms 600001\n")),
+      ParseError);
+}
+
 TEST(ConfigLoader, LoadsCredentialTrustAndUserMapFiles) {
   const TestPki& pki = TestPki::instance();
   TempDir tmp;

@@ -94,6 +94,49 @@ TEST_F(FileFixture, Md5MatchesDirectComputation) {
             crypto::Md5::hex("hello world"));
 }
 
+TEST_F(FileFixture, Md5StreamsFilesLargerThanTheReadChunkCap) {
+  // Regression: file.md5/file.checksum must hash in fixed-size chunks,
+  // not load the file — a file bigger than max_read_chunk (which caps a
+  // single file.read) has to hash fine with bounded memory.
+  files.set_max_read_chunk(64 * 1024);
+  std::string payload;
+  payload.reserve(200 * 1024);
+  for (int i = 0; i < 200 * 1024; ++i) {
+    payload.push_back(static_cast<char>('a' + i % 23));
+  }
+  write_file("big.bin", payload);
+  ASSERT_GT(static_cast<std::int64_t>(payload.size()),
+            files.max_read_chunk());
+  EXPECT_THROW(files.read("/data/big.bin", 0,
+                          static_cast<std::int64_t>(payload.size()), alice()),
+               ParseError);  // a single read stays capped...
+  EXPECT_EQ(files.md5("/data/big.bin", alice()),
+            crypto::Md5::hex(payload));  // ...but hashing streams past it
+
+  FileService::FileChecksum sum = files.checksum("/data/big.bin", alice());
+  EXPECT_EQ(sum.md5, crypto::Md5::hex(payload));
+  EXPECT_EQ(sum.size, static_cast<std::int64_t>(payload.size()));
+}
+
+TEST_F(FileFixture, ChecksumMatchesMd5AndStat) {
+  FileService::FileChecksum sum = files.checksum("/data/hello.txt", alice());
+  EXPECT_EQ(sum.md5, files.md5("/data/hello.txt", alice()));
+  EXPECT_EQ(sum.size, 11);
+  EXPECT_THROW(files.checksum("/data/ghost", alice()), NotFoundError);
+}
+
+TEST_F(FileFixture, AppendExtendsAndCreates) {
+  auto span_of = [](const std::string& s) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  };
+  std::string first = "chunk-one|", second = "chunk-two";
+  files.append("/data/log.txt", span_of(first), alice());  // creates
+  files.append("/data/log.txt", span_of(second), alice());
+  auto back = files.read("/data/log.txt", 0, 100, alice());
+  EXPECT_EQ(std::string(back.begin(), back.end()), "chunk-one|chunk-two");
+}
+
 TEST_F(FileFixture, FindByPatternAndWildcard) {
   auto hits = files.find("/data", "nested", alice());
   ASSERT_EQ(hits.size(), 1u);

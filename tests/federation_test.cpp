@@ -137,6 +137,69 @@ TEST(Placement, AdvertisedPrefixesRestrictOwnership) {
   EXPECT_FALSE(placement.owner("/database").has_value());
 }
 
+TEST(Placement, OwnerChurnMovesFewReplicaSets) {
+  // The replicator places each file by its full owners() chain; a node
+  // joining must disturb few existing replica sets, or every membership
+  // change would trigger a cluster-wide re-replication storm.
+  Placement before, after;
+  std::vector<NodeInfo> nodes = {make_node("farm/n1"), make_node("farm/n2"),
+                                 make_node("farm/n3"), make_node("farm/n4")};
+  before.set_nodes(nodes);
+  nodes.push_back(make_node("farm/n5"));
+  after.set_nodes(nodes);
+  int disturbed = 0, total = 300;
+  for (int i = 0; i < total; ++i) {
+    std::string prefix = "/data/run" + std::to_string(i);
+    std::vector<NodeInfo> a = before.owners(prefix, 2);
+    std::vector<NodeInfo> b = after.owners(prefix, 2);
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(b.size(), 2u);
+    std::set<std::string> set_a, set_b;
+    for (const auto& n : a) set_a.insert(n.id);
+    for (const auto& n : b) set_b.insert(n.id);
+    // Any change to a set means a copy-in and (eventually) a purge; a
+    // set only changes when the new node inserted into its ring walk.
+    if (set_a != set_b) {
+      ++disturbed;
+      EXPECT_TRUE(set_b.count("farm/n5"))
+          << prefix << ": set changed without involving the joiner";
+    }
+  }
+  // The joiner holds ~1/5 of the ring; with 2 ranks per set, expect
+  // roughly 2/5 of sets touched — well under a full reshuffle.
+  EXPECT_LT(disturbed, total * 6 / 10);
+  EXPECT_GT(disturbed, 0);  // it must take SOME load
+}
+
+TEST(Placement, AdvertisedPrefixesGateEveryReplicaRank) {
+  // Prefix gating is not a primary-only rule: a node that does not
+  // export /data must never appear at ANY rank of a /data replica set,
+  // or the repair engine would copy bytes to a node that refuses them.
+  NodeInfo sandbox_only = make_node("farm/sandbox");
+  sandbox_only.prefixes = {"/sandbox"};
+  Placement placement;
+  placement.set_nodes({make_node("farm/n1"), make_node("farm/n2"),
+                       sandbox_only});
+  for (int i = 0; i < 100; ++i) {
+    std::string prefix = "/data/run" + std::to_string(i);
+    std::vector<NodeInfo> owners = placement.owners(prefix, 3);
+    // Only the two exporters qualify, even though 3 ranks were asked.
+    ASSERT_EQ(owners.size(), 2u) << prefix;
+    for (const auto& node : owners) {
+      EXPECT_NE(node.id, "farm/sandbox") << prefix;
+    }
+  }
+  // The restricted node still serves its own namespace at depth > 0.
+  bool sandbox_seen = false;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& node :
+         placement.owners("/sandbox/u" + std::to_string(i), 3)) {
+      if (node.id == "farm/sandbox") sandbox_seen = true;
+    }
+  }
+  EXPECT_TRUE(sandbox_seen);
+}
+
 TEST(NodeTicket, MintVerifyRoundTrip) {
   NodeTicket ticket;
   ticket.dn = "/O=testgrid.org/OU=People/CN=Alice Able";

@@ -9,9 +9,16 @@
 #   tsan      ThreadSanitizer build + full suite
 #   lockrank  Debug build with CLARENS_LOCK_RANK_CHECK=ON + full suite
 #             (runtime lock-hierarchy detector armed on every test)
-#   cluster   3-node federation cluster test (head + 2 storage) in the
+#   cluster   federation cluster tests (head + storage nodes) in the
 #             release, asan and tsan builds — the federation acceptance
-#             gate, runnable on its own without the full suites
+#             gate, runnable on its own without the full suites. Includes
+#             the fault-injection pass: a storage node killed mid-workload
+#             (zero failed client reads, re-replication restores the
+#             target) and an on-disk bit-flip that replica.fsck must
+#             detect and repair. Node kill + bit-flip run in all three
+#             builds; the EIO write-fault hooks additionally fire in
+#             asan/tsan, whose presets set CLARENS_FAULT_INJECTION=ON
+#             (plain release compiles the hook sites out)
 #   tidy      clang -Wthread-safety over the annotated lock layer
 #             (compile only; skipped when clang++ is not installed)
 #
@@ -71,9 +78,12 @@ leg_lint() {
 }
 
 leg_cluster() {
-  # Federation acceptance: one head + two storage nodes, redirect I/O,
-  # node kill + restart with zero failed client calls — must hold under
-  # plain release, AddressSanitizer and ThreadSanitizer.
+  # Federation acceptance: head + storage nodes, redirect I/O, and the
+  # self-healing fault pass — storage node killed mid-workload (zero
+  # failed client reads, replication target restored) and a bit-flipped
+  # replica that replica.fsck detects and repairs byte-identically.
+  # Must hold under plain release, AddressSanitizer and ThreadSanitizer;
+  # asan/tsan additionally arm the compiled-in EIO write-fault hooks.
   local log="$LOG_DIR/cluster.log" ok=1
   note "cluster: federation_cluster_test (release + asan + tsan)"
   : >"$log"

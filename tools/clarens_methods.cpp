@@ -45,6 +45,12 @@ std::string generated_table() {
   config.transfer_workers = 1;
   config.job_workers = 1;
   config.session_reap_interval_s = 0;
+  // Head role so the federation layer registers too: the federated
+  // file.* variants replace the standalone bindings in the table, and
+  // file.locate / file.layout / replica.* appear. (The repair engine is
+  // constructed but never started — no worker thread runs here.)
+  config.node_role = clarens::core::NodeRole::Head;
+  config.node_ticket_secret = "documentation-only-secret";
   clarens::core::ClarensServer server(std::move(config));
 
   clarens::db::Store discovery_store;

@@ -13,7 +13,8 @@
 #   fig4_inline_off.json   ablation: every request takes the worker handoff
 #   wire.json              per-protocol round-trip cost
 #   store.json             storage-engine churn rows (BENCH_store.json)
-#   federation.json        3-node cluster redirect tax (BENCH_federation.json)
+#   federation.json        cluster redirect tax + replication overhead
+#                          and fsck scrub throughput (BENCH_federation.json)
 set -euo pipefail
 
 BUILD="${1:-build}"
